@@ -1,0 +1,99 @@
+// EXT-C ablation: selector *quality* (not just speed).
+//
+// Table II only times the two selectors; this ablation asks how close the
+// heuristics get to the exact optimum value(G, D). The candidate pool is
+// kept small enough (m <= 22) for the brute force to serve as ground truth.
+
+#include <cstdio>
+#include <vector>
+
+#include "cf/recommender.h"
+#include "core/brute_force.h"
+#include "core/fairness_heuristic.h"
+#include "core/greedy_selector.h"
+#include "core/group_recommender.h"
+#include "core/local_search.h"
+#include "data/scenario.h"
+#include "common/string_util.h"
+#include "eval/table.h"
+#include "sim/rating_similarity.h"
+
+using namespace fairrec;
+
+int main() {
+  ScenarioConfig config;
+  config.num_patients = 300;
+  config.num_documents = 200;
+  config.num_clusters = 6;
+  config.rating_density = 0.08;
+  config.seed = 777;
+  const Scenario scenario = std::move(BuildScenario(config)).ValueOrDie();
+
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const RatingSimilarity similarity(&scenario.ratings, sim_options);
+  RecommenderOptions rec_options;
+  rec_options.peers.delta = 0.55;
+  rec_options.top_k = 10;
+  const Recommender recommender(&scenario.ratings, &similarity, rec_options);
+  const GroupRecommender group_rec(&recommender, {});
+
+  const FairnessHeuristic algorithm1;
+  const GreedyValueSelector greedy;
+  const LocalSearchSelector local_search;
+  const BruteForceSelector brute_force;
+
+  AsciiTable table({"group kind", "|G|", "m", "z", "alg1 / opt", "greedy / opt",
+                    "swap / opt", "alg1 fair", "greedy fair", "opt fair"});
+  double worst_alg1 = 1.0;
+  double worst_greedy = 1.0;
+  double worst_swap = 1.0;
+  for (const bool cohesive : {true, false}) {
+    for (const int32_t g : {3, 5}) {
+      for (const int32_t m : {14, 22}) {
+        for (const int32_t z : {4, 8}) {
+          const Group group = cohesive
+                                  ? scenario.MakeCohesiveGroup(g, 100 + g + m)
+                                  : scenario.MakeRandomGroup(g, 200 + g + m);
+          const GroupContext full =
+              std::move(group_rec.BuildContext(group)).ValueOrDie();
+          const GroupContext pool = full.RestrictToTopM(m);
+          const Selection a = std::move(algorithm1.Select(pool, z)).ValueOrDie();
+          const Selection b = std::move(greedy.Select(pool, z)).ValueOrDie();
+          const Selection c =
+              std::move(local_search.Select(pool, z)).ValueOrDie();
+          const Selection opt =
+              std::move(brute_force.Select(pool, z)).ValueOrDie();
+          const double ra = opt.score.value > 0
+                                ? a.score.value / opt.score.value
+                                : 1.0;
+          const double rb = opt.score.value > 0
+                                ? b.score.value / opt.score.value
+                                : 1.0;
+          const double rc = opt.score.value > 0
+                                ? c.score.value / opt.score.value
+                                : 1.0;
+          worst_alg1 = std::min(worst_alg1, ra);
+          worst_greedy = std::min(worst_greedy, rb);
+          worst_swap = std::min(worst_swap, rc);
+          table.AddRow({cohesive ? "cohesive" : "random", std::to_string(g),
+                        std::to_string(m), std::to_string(z),
+                        FormatDouble(ra, 4), FormatDouble(rb, 4),
+                        FormatDouble(rc, 4),
+                        FormatDouble(a.score.fairness, 2),
+                        FormatDouble(b.score.fairness, 2),
+                        FormatDouble(opt.score.fairness, 2)});
+        }
+      }
+    }
+  }
+  std::printf("selector quality vs the exact optimum (value ratio)\n\n%s",
+              table.ToString().c_str());
+  std::printf("\nworst-case value ratio: Algorithm 1 %.4f, greedy %.4f, "
+              "swap local search %.4f\n",
+              worst_alg1, worst_greedy, worst_swap);
+  std::printf("(Algorithm 1 trades a little relevance for its fairness "
+              "guarantee; greedy chases value directly; swap search closes "
+              "the remaining gap from the Algorithm 1 seed.)\n");
+  return 0;
+}

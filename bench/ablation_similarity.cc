@@ -1,0 +1,123 @@
+// EXT-A ablation: throughput of the three simU measures of §V (plus the
+// hybrid blend and the precomputed matrix), via google-benchmark.
+//
+// The three measures have very different cost profiles:
+//   * RS (Pearson): O(|I(u)| + |I(u')|) sorted merge per pair;
+//   * CS (TF-IDF cosine): sparse dot product over precomputed vectors;
+//   * SS (semantic): O(problems^2) memoized ontology distances;
+//   * SimilarityMatrix: O(1) lookups after an O(n^2) precomputation.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "data/scenario.h"
+#include "sim/hybrid_similarity.h"
+#include "sim/profile_similarity.h"
+#include "sim/rating_similarity.h"
+#include "sim/semantic_similarity.h"
+#include "sim/similarity_matrix.h"
+
+namespace fairrec {
+namespace {
+
+/// Shared world, built once.
+struct World {
+  Scenario scenario;
+  std::unique_ptr<RatingSimilarity> rs;
+  std::unique_ptr<ProfileSimilarity> cs;
+  std::unique_ptr<SemanticSimilarity> ss;
+  std::unique_ptr<HybridSimilarity> hybrid;
+
+  static const World& Get() {
+    static World* world = [] {
+      auto* w = new World();
+      ScenarioConfig config;
+      config.num_patients = 500;
+      config.num_documents = 300;
+      config.num_clusters = 8;
+      config.rating_density = 0.08;
+      config.seed = 11;
+      w->scenario = std::move(BuildScenario(config)).ValueOrDie();
+      RatingSimilarityOptions rs_options;
+      rs_options.shift_to_unit_interval = true;
+      w->rs = std::make_unique<RatingSimilarity>(&w->scenario.ratings, rs_options);
+      w->cs = std::move(ProfileSimilarity::Create(w->scenario.cohort.profiles,
+                                                  w->scenario.ontology.ontology))
+                  .ValueOrDie();
+      w->ss = std::make_unique<SemanticSimilarity>(&w->scenario.cohort.profiles,
+                                                   &w->scenario.ontology.ontology);
+      w->hybrid = std::move(HybridSimilarity::Create({{w->rs.get(), 0.5},
+                                                      {w->cs.get(), 0.25},
+                                                      {w->ss.get(), 0.25}}))
+                      .ValueOrDie();
+      return w;
+    }();
+    return *world;
+  }
+};
+
+void PairSweep(benchmark::State& state, const UserSimilarity& sim,
+               int32_t num_users) {
+  UserId a = 0;
+  UserId b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Compute(a, b));
+    b += 7;
+    if (b >= num_users) {
+      ++a;
+      if (a >= num_users) a = 0;
+      b = (a + 1) % num_users;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RatingSimilarity(benchmark::State& state) {
+  const World& w = World::Get();
+  PairSweep(state, *w.rs, w.scenario.ratings.num_users());
+}
+BENCHMARK(BM_RatingSimilarity);
+
+void BM_ProfileSimilarity(benchmark::State& state) {
+  const World& w = World::Get();
+  PairSweep(state, *w.cs, w.scenario.ratings.num_users());
+}
+BENCHMARK(BM_ProfileSimilarity);
+
+void BM_SemanticSimilarity(benchmark::State& state) {
+  const World& w = World::Get();
+  PairSweep(state, *w.ss, w.scenario.ratings.num_users());
+}
+BENCHMARK(BM_SemanticSimilarity);
+
+void BM_HybridSimilarity(benchmark::State& state) {
+  const World& w = World::Get();
+  PairSweep(state, *w.hybrid, w.scenario.ratings.num_users());
+}
+BENCHMARK(BM_HybridSimilarity);
+
+void BM_PrecomputeSimilarityMatrix(benchmark::State& state) {
+  const World& w = World::Get();
+  const auto num_users = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    auto matrix = SimilarityMatrix::Precompute(*w.ss, num_users);
+    benchmark::DoNotOptimize(matrix);
+  }
+  state.SetItemsProcessed(state.iterations() * num_users *
+                          (num_users - 1) / 2);
+}
+BENCHMARK(BM_PrecomputeSimilarityMatrix)->Arg(100)->Arg(250)->Arg(500);
+
+void BM_CachedLookup(benchmark::State& state) {
+  const World& w = World::Get();
+  static const SimilarityMatrix* cached =
+      std::move(SimilarityMatrix::Precompute(*w.ss, 500)).ValueOrDie().release();
+  PairSweep(state, *cached, 500);
+}
+BENCHMARK(BM_CachedLookup);
+
+}  // namespace
+}  // namespace fairrec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// EXT-D ablation: the distributed top-k of [5] vs the centralized heap.
+//
+// §IV: "The final sorting and top-k selection of those relevance values is
+// trivial when k elements are small enough to fit in memory. When this is
+// not the case, we can use the top-k MapReduce algorithm suggested in [5]."
+// This bench measures the crossover economics of that advice in-process:
+// centralized SelectTopK is a single O(n log k) pass; MapReduceTopK pays
+// shuffle overhead but prunes to partitions * k survivors.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "cf/top_k.h"
+#include "common/random.h"
+#include "mapreduce/topk_mapreduce.h"
+
+namespace fairrec {
+namespace {
+
+std::vector<ScoredItem> MakeScores(int64_t n) {
+  Rng rng(1234);
+  std::vector<ScoredItem> scored;
+  scored.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    scored.push_back({static_cast<ItemId>(i), rng.NextDouble() * 5.0});
+  }
+  return scored;
+}
+
+void BM_CentralizedTopK(benchmark::State& state) {
+  const auto scored = MakeScores(state.range(0));
+  const auto k = static_cast<int32_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectTopK(scored, k));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CentralizedTopK)
+    ->Args({1 << 10, 10})
+    ->Args({1 << 14, 10})
+    ->Args({1 << 18, 10})
+    ->Args({1 << 20, 10})
+    ->Args({1 << 18, 100})
+    ->Args({1 << 18, 1000});
+
+void BM_MapReduceTopK(benchmark::State& state) {
+  const auto scored = MakeScores(state.range(0));
+  const auto k = static_cast<int32_t>(state.range(1));
+  MapReduceOptions options;
+  options.num_workers = 2;
+  options.num_reduce_partitions = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MapReduceTopK(scored, k, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MapReduceTopK)
+    ->Args({1 << 10, 10})
+    ->Args({1 << 14, 10})
+    ->Args({1 << 18, 10})
+    ->Args({1 << 20, 10})
+    ->Args({1 << 18, 100})
+    ->Args({1 << 18, 1000});
+
+}  // namespace
+}  // namespace fairrec
+
+BENCHMARK_MAIN();

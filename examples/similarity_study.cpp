@@ -1,0 +1,159 @@
+// Similarity study: the three simU measures of §V, side by side.
+//
+// Part 1 reproduces the paper's Table I walkthrough: three patients whose
+// profiles come verbatim from the paper, scored by all three measures.
+// Part 2 runs the measures on a full synthetic cohort and reports how much
+// their peer sets (Def. 1) agree — the practical question a deployment
+// faces when choosing the simU slot.
+//
+// Build & run:  ./build/examples/similarity_study
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "cf/peer_finder.h"
+#include "data/scenario.h"
+#include "common/string_util.h"
+#include "eval/table.h"
+#include "ontology/snomed_generator.h"
+#include "sim/hybrid_similarity.h"
+#include "sim/profile_similarity.h"
+#include "sim/rating_similarity.h"
+#include "sim/semantic_similarity.h"
+
+using namespace fairrec;  // examples only
+
+namespace {
+
+ProfileStore TableIPatients(const Ontology& ontology) {
+  ProfileStore store;
+  PatientProfile p1;  // Table I, Patient 1
+  p1.user = 0;
+  p1.problems = {ontology.FindByName("Acute bronchitis")};
+  p1.medications = {"Ramipril 10 MG Oral Capsule"};
+  p1.gender = Gender::kFemale;
+  p1.age = 40;
+  PatientProfile p2;  // Patient 2
+  p2.user = 1;
+  p2.problems = {ontology.FindByName("Chest pain")};
+  p2.medications = {"Niacin 500 MG Extended Release Tablet"};
+  p2.gender = Gender::kMale;
+  p2.age = 53;
+  PatientProfile p3;  // Patient 3
+  p3.user = 2;
+  p3.problems = {ontology.FindByName("Tracheobronchitis"),
+                 ontology.FindByName("Broken arm")};
+  p3.medications = {"Ramipril 10 MG Oral Capsule"};
+  p3.gender = Gender::kMale;
+  p3.age = 34;
+  store.Add(std::move(p1)).CheckOK();
+  store.Add(std::move(p2)).CheckOK();
+  store.Add(std::move(p3)).CheckOK();
+  return store;
+}
+
+double Jaccard(const std::vector<Peer>& a, const std::vector<Peer>& b) {
+  std::set<UserId> sa;
+  std::set<UserId> sb;
+  for (const Peer& p : a) sa.insert(p.user);
+  for (const Peer& p : b) sb.insert(p.user);
+  if (sa.empty() && sb.empty()) return 1.0;
+  std::vector<UserId> inter;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(inter));
+  return static_cast<double>(inter.size()) /
+         static_cast<double>(sa.size() + sb.size() - inter.size());
+}
+
+}  // namespace
+
+int main() {
+  // ---- Part 1: the paper's own Table I example ----------------------
+  const Ontology fixture = std::move(BuildPaperFixtureOntology()).ValueOrDie();
+  const ProfileStore patients = TableIPatients(fixture);
+  const SemanticSimilarity semantic(&patients, &fixture);
+  const auto profile_sim =
+      std::move(ProfileSimilarity::Create(patients, fixture)).ValueOrDie();
+
+  std::printf("Table I patients, pairwise similarity:\n");
+  AsciiTable table({"pair", "semantic SS (Eq. 4)", "profile CS (Eq. 3)"});
+  const char* names[3] = {"Patient 1", "Patient 2", "Patient 3"};
+  for (UserId a = 0; a < 3; ++a) {
+    for (UserId b = a + 1; b < 3; ++b) {
+      table.AddRow({std::string(names[a]) + " vs " + names[b],
+                    FormatDouble(semantic.Compute(a, b), 4),
+                    FormatDouble(profile_sim->Compute(a, b), 4)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "as §V-C argues: SS(P1,P3)=%.3f > SS(P1,P2)=%.3f — tracheobronchitis is\n"
+      "2 hops from acute bronchitis in the ontology, chest pain is 5 hops.\n\n",
+      semantic.Compute(0, 2), semantic.Compute(0, 1));
+
+  // ---- Part 2: peer-set agreement on a full cohort -------------------
+  ScenarioConfig config;
+  config.num_patients = 250;
+  config.num_documents = 150;
+  config.num_clusters = 5;
+  config.rating_density = 0.12;
+  config.seed = 31;
+  const Scenario scenario = std::move(BuildScenario(config)).ValueOrDie();
+
+  RatingSimilarityOptions rs_options;
+  rs_options.shift_to_unit_interval = true;
+  const RatingSimilarity ratings_sim(&scenario.ratings, rs_options);
+  const auto cohort_profile_sim =
+      std::move(ProfileSimilarity::Create(scenario.cohort.profiles,
+                                          scenario.ontology.ontology))
+          .ValueOrDie();
+  const SemanticSimilarity cohort_semantic(&scenario.cohort.profiles,
+                                           &scenario.ontology.ontology);
+  const auto hybrid = std::move(HybridSimilarity::Create(
+                                    {{&ratings_sim, 0.5},
+                                     {cohort_profile_sim.get(), 0.25},
+                                     {&cohort_semantic, 0.25}}))
+                          .ValueOrDie();
+
+  struct Measure {
+    const UserSimilarity* sim;
+    double delta;
+  };
+  const std::vector<Measure> measures{{&ratings_sim, 0.55},
+                                      {cohort_profile_sim.get(), 0.15},
+                                      {&cohort_semantic, 0.15},
+                                      {hybrid.get(), 0.35}};
+
+  // Peer sets of 20 probe users under each measure.
+  std::vector<std::vector<std::vector<Peer>>> peers(measures.size());
+  for (size_t s = 0; s < measures.size(); ++s) {
+    PeerFinderOptions options;
+    options.delta = measures[s].delta;
+    const PeerFinder finder(measures[s].sim, scenario.ratings.num_users(), options);
+    for (UserId u = 0; u < 20; ++u) peers[s].push_back(finder.FindPeers(u));
+  }
+
+  AsciiTable agreement(
+      {"measure", "delta", "mean |P_u|", "jaccard vs ratings-peers"});
+  for (size_t s = 0; s < measures.size(); ++s) {
+    double total_size = 0.0;
+    double total_jaccard = 0.0;
+    for (size_t u = 0; u < peers[s].size(); ++u) {
+      total_size += static_cast<double>(peers[s][u].size());
+      total_jaccard += Jaccard(peers[s][u], peers[0][u]);
+    }
+    agreement.AddRow({measures[s].sim->name(),
+                      FormatDouble(measures[s].delta, 2),
+                      FormatDouble(total_size / 20.0, 1),
+                      FormatDouble(total_jaccard / 20.0, 3)});
+  }
+  std::printf("peer-set structure on a %d-patient cohort (20 probe users):\n%s",
+              config.num_patients, agreement.ToString().c_str());
+  std::printf(
+      "\nratings-based peers capture taste; profile/semantic peers capture the\n"
+      "clinical state — the paper's motivation for exploiting health-specific\n"
+      "information *in addition to* traditional ratings (§V).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "cf/content_based.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+Result<ContentBasedEstimator> ContentBasedEstimator::Create(
+    const RatingMatrix* matrix, std::vector<SparseVector> item_features,
+    ContentBasedOptions options) {
+  if (matrix == nullptr) {
+    return Status::InvalidArgument("matrix must not be null");
+  }
+  if (static_cast<int32_t>(item_features.size()) < matrix->num_items()) {
+    return Status::InvalidArgument(
+        "item_features must cover every item: have " +
+        std::to_string(item_features.size()) + ", need " +
+        std::to_string(matrix->num_items()));
+  }
+  if (options.max_neighbors < 0) {
+    return Status::InvalidArgument("max_neighbors must be >= 0");
+  }
+  return ContentBasedEstimator(matrix, std::move(item_features), options);
+}
+
+ContentBasedEstimator::ContentBasedEstimator(
+    const RatingMatrix* matrix, std::vector<SparseVector> item_features,
+    ContentBasedOptions options)
+    : matrix_(matrix),
+      item_features_(std::move(item_features)),
+      options_(options) {
+  // Normalizing once turns every cosine into a plain dot product.
+  for (SparseVector& v : item_features_) v.Normalize();
+}
+
+std::optional<double> ContentBasedEstimator::Predict(UserId u, ItemId i) const {
+  if (!matrix_->IsValidUser(u) || !matrix_->IsValidItem(i)) return std::nullopt;
+  const SparseVector& target = item_features_[static_cast<size_t>(i)];
+  if (target.empty()) return std::nullopt;
+
+  // Score every rated item by content similarity to the target.
+  std::vector<std::pair<double, Rating>> neighbors;  // (similarity, rating)
+  for (const ItemRating& entry : matrix_->ItemsRatedBy(u)) {
+    if (entry.item == i) continue;
+    const double sim = target.Dot(item_features_[static_cast<size_t>(entry.item)]);
+    if (sim >= options_.min_similarity) neighbors.emplace_back(sim, entry.value);
+  }
+  if (neighbors.empty()) return std::nullopt;
+  if (options_.max_neighbors > 0 &&
+      neighbors.size() > static_cast<size_t>(options_.max_neighbors)) {
+    std::partial_sort(neighbors.begin(),
+                      neighbors.begin() + options_.max_neighbors,
+                      neighbors.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    neighbors.resize(static_cast<size_t>(options_.max_neighbors));
+  }
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& [sim, rating] : neighbors) {
+    weighted += sim * rating;
+    total += sim;
+  }
+  if (total <= 0.0) return std::nullopt;
+  return weighted / total;
+}
+
+std::vector<ScoredItem> ContentBasedEstimator::PredictAll(
+    UserId u, const std::vector<ItemId>& items) const {
+  std::vector<ScoredItem> out;
+  out.reserve(items.size());
+  for (const ItemId i : items) {
+    const std::optional<double> prediction = Predict(u, i);
+    if (prediction.has_value()) out.push_back({i, *prediction});
+  }
+  return out;
+}
+
+}  // namespace fairrec

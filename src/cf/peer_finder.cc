@@ -1,0 +1,37 @@
+#include "cf/peer_finder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+PeerFinder::PeerFinder(const UserSimilarity* similarity, int32_t num_users,
+                       PeerFinderOptions options)
+    : similarity_(similarity), num_users_(num_users), options_(options) {
+  FAIRREC_CHECK(similarity != nullptr);
+}
+
+std::vector<Peer> PeerFinder::FindPeers(UserId u, const Group& exclude) const {
+  std::vector<bool> excluded(static_cast<size_t>(num_users_), false);
+  for (const UserId e : exclude) {
+    if (e >= 0 && e < num_users_) excluded[static_cast<size_t>(e)] = true;
+  }
+  std::vector<Peer> peers;
+  for (UserId v = 0; v < num_users_; ++v) {
+    if (v == u || excluded[static_cast<size_t>(v)]) continue;
+    const double sim = similarity_->Compute(u, v);
+    if (sim >= options_.delta) peers.push_back({v, sim});
+  }
+  std::sort(peers.begin(), peers.end(), [](const Peer& a, const Peer& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.user < b.user;
+  });
+  if (options_.max_peers > 0 &&
+      peers.size() > static_cast<size_t>(options_.max_peers)) {
+    peers.resize(static_cast<size_t>(options_.max_peers));
+  }
+  return peers;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,53 @@
+#ifndef FAIRREC_CF_PEER_FINDER_H_
+#define FAIRREC_CF_PEER_FINDER_H_
+
+#include <vector>
+
+#include "ratings/types.h"
+#include "sim/user_similarity.h"
+
+namespace fairrec {
+
+/// A peer of a user together with the similarity that qualified it.
+struct Peer {
+  UserId user = kInvalidUserId;
+  double similarity = 0.0;
+
+  friend bool operator==(const Peer&, const Peer&) = default;
+};
+
+/// Controls for PeerFinder.
+struct PeerFinderOptions {
+  /// The delta of Definition 1: users with simU >= delta become peers.
+  double delta = 0.1;
+  /// Optional cap: keep only the top max_peers most similar qualifying
+  /// peers (0 = unlimited, the paper's definition). A safety valve for very
+  /// dense similarity distributions.
+  int32_t max_peers = 0;
+};
+
+/// Implements Definition 1: P_u = { u' != u : simU(u, u') >= delta }.
+class PeerFinder {
+ public:
+  /// `similarity` must outlive this object.
+  PeerFinder(const UserSimilarity* similarity, int32_t num_users,
+             PeerFinderOptions options = {});
+
+  /// Peers of `u`, sorted by descending similarity (ties: ascending id).
+  /// Users listed in `exclude` are never returned — the MapReduce flow of
+  /// §IV computes similarities between a member and users *outside* the
+  /// group, so group recommendation passes the group here.
+  std::vector<Peer> FindPeers(UserId u, const Group& exclude = {}) const;
+
+  const PeerFinderOptions& options() const { return options_; }
+  int32_t num_users() const { return num_users_; }
+
+ private:
+  const UserSimilarity* similarity_;
+  int32_t num_users_;
+  PeerFinderOptions options_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CF_PEER_FINDER_H_

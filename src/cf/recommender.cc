@@ -1,0 +1,65 @@
+#include "cf/recommender.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "cf/top_k.h"
+#include "common/logging.h"
+
+namespace fairrec {
+
+Recommender::Recommender(const RatingMatrix* matrix,
+                         const UserSimilarity* similarity,
+                         RecommenderOptions options)
+    : matrix_(matrix),
+      peer_finder_(similarity, matrix->num_users(), options.peers),
+      estimator_(matrix),
+      options_(options) {
+  FAIRREC_CHECK(matrix != nullptr);
+}
+
+Result<std::vector<ScoredItem>> Recommender::RecommendForUser(UserId u) const {
+  if (!matrix_->IsValidUser(u)) {
+    return Status::InvalidArgument("unknown user id: " + std::to_string(u));
+  }
+  const std::vector<Peer> peers = peer_finder_.FindPeers(u);
+  const std::vector<ItemId> unrated = matrix_->ItemsUnratedBy(u);
+  const std::vector<ScoredItem> scored = estimator_.EstimateAll(peers, unrated);
+  return SelectTopK(scored, options_.top_k);
+}
+
+Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroup(
+    const Group& group) const {
+  if (group.empty()) {
+    return Status::InvalidArgument("group must not be empty");
+  }
+  std::unordered_set<UserId> seen;
+  for (const UserId u : group) {
+    if (!matrix_->IsValidUser(u)) {
+      return Status::InvalidArgument("unknown user id in group: " +
+                                     std::to_string(u));
+    }
+    if (!seen.insert(u).second) {
+      return Status::InvalidArgument("duplicate user id in group: " +
+                                     std::to_string(u));
+    }
+  }
+
+  // Job-1 semantics: candidates are the items no member has rated.
+  const std::vector<ItemId> candidates = matrix_->ItemsUnratedByAll(group);
+
+  std::vector<MemberRelevance> out;
+  out.reserve(group.size());
+  for (const UserId u : group) {
+    MemberRelevance member;
+    member.user = u;
+    // Job-1 semantics: potential peers are users outside the group.
+    member.peers = peer_finder_.FindPeers(u, group);
+    member.relevance = estimator_.EstimateAll(member.peers, candidates);
+    member.top_k = SelectTopK(member.relevance, options_.top_k);
+    out.push_back(std::move(member));
+  }
+  return out;
+}
+
+}  // namespace fairrec

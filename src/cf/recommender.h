@@ -1,0 +1,64 @@
+#ifndef FAIRREC_CF_RECOMMENDER_H_
+#define FAIRREC_CF_RECOMMENDER_H_
+
+#include <vector>
+
+#include "cf/peer_finder.h"
+#include "cf/relevance_estimator.h"
+#include "common/result.h"
+#include "ratings/rating_matrix.h"
+#include "ratings/types.h"
+#include "sim/user_similarity.h"
+
+namespace fairrec {
+
+/// Controls for Recommender.
+struct RecommenderOptions {
+  PeerFinderOptions peers;
+  /// Size of the single-user recommendation list A_u (§III-A).
+  int32_t top_k = 10;
+};
+
+/// Relevance estimates of one group member for the shared candidate items.
+struct MemberRelevance {
+  UserId user = kInvalidUserId;
+  /// Peers used for this member (Def. 1, excluding the group).
+  std::vector<Peer> peers;
+  /// relevance(u, i) for each candidate item with a defined estimate,
+  /// ordered by ascending item id.
+  std::vector<ScoredItem> relevance;
+  /// The member's A_u: top-k of `relevance`.
+  std::vector<ScoredItem> top_k;
+};
+
+/// Single-user collaborative-filtering recommender (§III-A): peers via
+/// Def. 1, relevance via Eq. 1, A_u via top-k.
+class Recommender {
+ public:
+  /// `matrix` and `similarity` must outlive this object.
+  Recommender(const RatingMatrix* matrix, const UserSimilarity* similarity,
+              RecommenderOptions options = {});
+
+  /// A_u over the items `u` has not rated. Returns InvalidArgument for an
+  /// unknown user.
+  Result<std::vector<ScoredItem>> RecommendForUser(UserId u) const;
+
+  /// Per-member relevance over the *group candidate set* (items unrated by
+  /// every member — the output of the paper's Job 1), with peers drawn from
+  /// outside the group (§IV). This is the input both to the group
+  /// aggregation (Def. 2) and to Algorithm 1's A_u lists.
+  Result<std::vector<MemberRelevance>> RelevanceForGroup(const Group& group) const;
+
+  const RecommenderOptions& options() const { return options_; }
+  const RatingMatrix& matrix() const { return *matrix_; }
+
+ private:
+  const RatingMatrix* matrix_;
+  PeerFinder peer_finder_;
+  RelevanceEstimator estimator_;
+  RecommenderOptions options_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CF_RECOMMENDER_H_

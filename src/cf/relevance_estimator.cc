@@ -1,0 +1,64 @@
+#include "cf/relevance_estimator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+RelevanceEstimator::RelevanceEstimator(const RatingMatrix* matrix)
+    : matrix_(matrix) {
+  FAIRREC_CHECK(matrix != nullptr);
+}
+
+std::optional<double> RelevanceEstimator::Estimate(const std::vector<Peer>& peers,
+                                                   ItemId item) const {
+  if (!matrix_->IsValidItem(item)) return std::nullopt;
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (const Peer& peer : peers) {
+    const std::optional<Rating> rating = matrix_->GetRating(peer.user, item);
+    if (!rating.has_value()) continue;
+    weighted_sum += peer.similarity * *rating;
+    weight_total += peer.similarity;
+  }
+  if (weight_total <= 0.0) return std::nullopt;
+  return weighted_sum / weight_total;
+}
+
+std::vector<ScoredItem> RelevanceEstimator::EstimateAll(
+    const std::vector<Peer>& peers, const std::vector<ItemId>& items) const {
+  // For more than a handful of items it is cheaper to scan each peer's row
+  // once than to binary-search per (peer, item) pair.
+  std::vector<ScoredItem> out;
+  if (items.empty() || peers.empty()) return out;
+
+  const ItemId max_item =
+      *std::max_element(items.begin(), items.end());
+  std::vector<double> weighted_sum(static_cast<size_t>(max_item) + 1, 0.0);
+  std::vector<double> weight_total(static_cast<size_t>(max_item) + 1, 0.0);
+  std::vector<bool> wanted(static_cast<size_t>(max_item) + 1, false);
+  for (const ItemId i : items) {
+    if (i >= 0) wanted[static_cast<size_t>(i)] = true;
+  }
+  for (const Peer& peer : peers) {
+    for (const ItemRating& entry : matrix_->ItemsRatedBy(peer.user)) {
+      if (entry.item > max_item || !wanted[static_cast<size_t>(entry.item)]) {
+        continue;
+      }
+      weighted_sum[static_cast<size_t>(entry.item)] +=
+          peer.similarity * entry.value;
+      weight_total[static_cast<size_t>(entry.item)] += peer.similarity;
+    }
+  }
+  out.reserve(items.size());
+  for (const ItemId i : items) {
+    if (i < 0) continue;
+    const double total = weight_total[static_cast<size_t>(i)];
+    if (total <= 0.0) continue;
+    out.push_back({i, weighted_sum[static_cast<size_t>(i)] / total});
+  }
+  return out;
+}
+
+}  // namespace fairrec

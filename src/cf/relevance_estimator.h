@@ -1,0 +1,42 @@
+#ifndef FAIRREC_CF_RELEVANCE_ESTIMATOR_H_
+#define FAIRREC_CF_RELEVANCE_ESTIMATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "cf/peer_finder.h"
+#include "ratings/rating_matrix.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// Implements Eq. 1:
+///
+///   relevance(u, i) = sum_{u' in P_u ∩ U(i)} simU(u,u') * rating(u',i)
+///                     -----------------------------------------------
+///   	               sum_{u' in P_u ∩ U(i)} simU(u,u')
+///
+/// The estimate is *undefined* when no peer rated the item (or when the
+/// qualifying similarity mass is zero); such items cannot be recommended to
+/// the user, mirroring the paper's implicit behaviour.
+class RelevanceEstimator {
+ public:
+  /// `matrix` must outlive this object.
+  explicit RelevanceEstimator(const RatingMatrix* matrix);
+
+  /// Relevance of a single item; nullopt when undefined. `peers` must be the
+  /// output of PeerFinder::FindPeers(u).
+  std::optional<double> Estimate(const std::vector<Peer>& peers, ItemId item) const;
+
+  /// Relevance for each of `items`; undefined items are skipped. The output
+  /// preserves the order of `items`.
+  std::vector<ScoredItem> EstimateAll(const std::vector<Peer>& peers,
+                                      const std::vector<ItemId>& items) const;
+
+ private:
+  const RatingMatrix* matrix_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CF_RELEVANCE_ESTIMATOR_H_

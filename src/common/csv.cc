@@ -1,0 +1,125 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fairrec {
+
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // tracks whether the current row has content
+
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    field_started = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        field_started = true;
+        ++i;
+        break;
+      case '\r':
+        // Swallow; the following '\n' (if any) ends the row.
+        ++i;
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+namespace {
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\r\n") != std::string_view::npos;
+}
+
+void AppendField(std::string& out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+}  // namespace
+
+std::string WriteCsvString(const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendField(out, row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open file for writing: " + path);
+  out << WriteCsvString(rows);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace fairrec

@@ -1,0 +1,33 @@
+#ifndef FAIRREC_COMMON_CSV_H_
+#define FAIRREC_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fairrec {
+
+/// One parsed CSV record.
+using CsvRow = std::vector<std::string>;
+
+/// Parses RFC-4180-style CSV text: comma-separated, double-quote quoting with
+/// "" escapes, LF or CRLF line endings. Empty trailing line is ignored.
+/// Returns InvalidArgument on an unterminated quoted field.
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file. Returns IOError if the file cannot be read.
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path);
+
+/// Serializes rows to CSV text, quoting fields that contain commas, quotes,
+/// or newlines.
+std::string WriteCsvString(const std::vector<CsvRow>& rows);
+
+/// Writes rows to a file. Returns IOError on failure.
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_COMMON_CSV_H_

@@ -1,0 +1,63 @@
+#ifndef FAIRREC_COMMON_LOGGING_H_
+#define FAIRREC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fairrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level that reaches stderr (default kInfo). Messages of
+/// level kFatal always abort after printing regardless of the threshold.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+/// Stream-style single-message logger; flushes (and for kFatal, aborts) on
+/// destruction. Use through the FAIRREC_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fairrec
+
+#define FAIRREC_LOG(LEVEL)                                                  \
+  ::fairrec::internal::LogMessage(::fairrec::LogLevel::k##LEVEL, __FILE__, \
+                                  __LINE__)
+
+/// Debug-only invariant check: compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define FAIRREC_DCHECK(cond) \
+  while (false) FAIRREC_LOG(Fatal)
+#else
+#define FAIRREC_DCHECK(cond) \
+  if (cond) {                \
+  } else                     \
+    FAIRREC_LOG(Fatal) << "DCHECK failed: " #cond " "
+#endif
+
+/// Always-on invariant check, for cheap conditions guarding memory safety.
+#define FAIRREC_CHECK(cond) \
+  if (cond) {               \
+  } else                    \
+    FAIRREC_LOG(Fatal) << "CHECK failed: " #cond " "
+
+#endif  // FAIRREC_COMMON_LOGGING_H_

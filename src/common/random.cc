@@ -1,0 +1,111 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace fairrec {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // Guard against the all-zero state, which is a fixed point of xoshiro.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  FAIRREC_DCHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t draw = NextUint64();
+  while (draw >= limit) draw = NextUint64();
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  FAIRREC_DCHECK(lo < hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+std::vector<int32_t> Rng::SampleWithoutReplacement(int32_t n, int32_t k) {
+  FAIRREC_DCHECK(k >= 0 && k <= n);
+  // Partial Fisher-Yates over an index array; O(n) space, O(n + k) time.
+  std::vector<int32_t> pool(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) pool[static_cast<size_t>(i)] = i;
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int32_t i = 0; i < k; ++i) {
+    const auto j =
+        static_cast<size_t>(UniformInt(i, static_cast<int64_t>(n) - 1));
+    std::swap(pool[static_cast<size_t>(i)], pool[j]);
+    out.push_back(pool[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  FAIRREC_DCHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FAIRREC_DCHECK(w >= 0.0);
+    total += w;
+  }
+  FAIRREC_DCHECK(total > 0.0);
+  double draw = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off the end
+}
+
+}  // namespace fairrec

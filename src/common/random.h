@@ -1,0 +1,64 @@
+#ifndef FAIRREC_COMMON_RANDOM_H_
+#define FAIRREC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+/// Deterministic, seedable PRNG (xoshiro256**, seeded via SplitMix64).
+///
+/// Every stochastic component in the library takes an explicit seed and builds
+/// one of these, so all experiments are bit-reproducible across runs and
+/// platforms. Not cryptographically secure; not thread-safe (use one Rng per
+/// thread).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform on the full 64-bit range.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi). Precondition: lo < hi.
+  double UniformReal(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Bernoulli draw.
+  bool NextBool(double p_true = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct values from [0, n) (order unspecified but
+  /// deterministic). Precondition: 0 <= k <= n.
+  std::vector<int32_t> SampleWithoutReplacement(int32_t n, int32_t k);
+
+  /// Picks one index in [0, weights.size()) proportionally to weights.
+  /// Precondition: weights non-empty, all non-negative, sum > 0.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_COMMON_RANDOM_H_

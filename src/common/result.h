@@ -1,0 +1,99 @@
+#ifndef FAIRREC_COMMON_RESULT_H_
+#define FAIRREC_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace fairrec {
+
+/// Value-or-error holder, the return type of fallible operations that produce
+/// a value. Mirrors arrow::Result / absl::StatusOr.
+///
+/// A Result is in exactly one of two states: it either holds a value of type T
+/// (and status().ok() is true) or a non-OK Status. Constructing a Result from
+/// an OK status is a programming error and is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : rep_(std::in_place_index<1>, std::move(value)) {}
+
+  /// Constructs from a non-OK status (implicit so `return st;` works).
+  Result(Status status) : rep_(std::in_place_index<0>, std::move(status)) {
+    if (std::get<0>(rep_).ok()) {
+      rep_.template emplace<0>(
+          Status::Internal("Result constructed from an OK status"));
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return rep_.index() == 1; }
+
+  /// The error status, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<0>(rep_);
+  }
+
+  /// Precondition: ok(). Enforced: aborts otherwise.
+  const T& value() const& {
+    DieIfError();
+    return std::get<1>(rep_);
+  }
+  T& value() & {
+    DieIfError();
+    return std::get<1>(rep_);
+  }
+  T&& value() && {
+    DieIfError();
+    return std::move(std::get<1>(rep_));
+  }
+
+  /// Moves the value out, aborting with the status message on error. Intended
+  /// for examples/benchmarks where errors are unrecoverable.
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<1>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::fprintf(stderr, "FATAL: Result accessed with error: %s\n",
+                   std::get<0>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace fairrec
+
+/// Evaluates a Result-returning expression; on error propagates the Status,
+/// otherwise assigns the unwrapped value to `lhs` (which may be a declaration).
+#define FAIRREC_ASSIGN_OR_RETURN(lhs, expr)                         \
+  FAIRREC_ASSIGN_OR_RETURN_IMPL_(                                   \
+      FAIRREC_RESULT_CONCAT_(_fairrec_result_, __LINE__), lhs, expr)
+
+#define FAIRREC_RESULT_CONCAT_INNER_(a, b) a##b
+#define FAIRREC_RESULT_CONCAT_(a, b) FAIRREC_RESULT_CONCAT_INNER_(a, b)
+
+#define FAIRREC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+#endif  // FAIRREC_COMMON_RESULT_H_

@@ -1,0 +1,97 @@
+#ifndef FAIRREC_COMMON_STATUS_H_
+#define FAIRREC_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace fairrec {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object used by every fallible operation in the
+/// library. Library code never throws; all error paths return Status or
+/// Result<T> (see result.h).
+///
+/// The OK status carries no allocation: it is represented by a null rep.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message);
+  static Status NotFound(std::string message);
+  static Status AlreadyExists(std::string message);
+  static Status OutOfRange(std::string message);
+  static Status FailedPrecondition(std::string message);
+  static Status IOError(std::string message);
+  static Status Internal(std::string message);
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  /// Empty for OK statuses.
+  std::string_view message() const {
+    return rep_ == nullptr ? std::string_view() : std::string_view(rep_->message);
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message unless ok(). Intended for
+  /// examples and benchmarks where an error is unrecoverable.
+  void CheckOK() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null means OK.
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace fairrec
+
+/// Propagates a non-OK Status from the evaluated expression to the caller.
+#define FAIRREC_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::fairrec::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#endif  // FAIRREC_COMMON_STATUS_H_

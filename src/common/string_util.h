@@ -1,0 +1,34 @@
+#ifndef FAIRREC_COMMON_STRING_UTIL_H_
+#define FAIRREC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairrec {
+
+/// Splits on a single-character delimiter; adjacent delimiters yield empty
+/// fields; the empty input yields a single empty field.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view input);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Fixed-precision decimal formatting without locale surprises.
+std::string FormatDouble(double value, int precision);
+
+/// 12345678 -> "12,345,678" (used by the benchmark tables).
+std::string FormatWithThousands(int64_t value);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace fairrec {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  // Dynamic self-scheduling over a shared counter: balanced even when task
+  // costs are skewed (e.g. brute-force cells vs heuristic cells).
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  const size_t workers = std::min(count, num_threads());
+  for (size_t w = 0; w < workers; ++w) {
+    Submit([next, count, &fn] {
+      for (size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  WaitIdle();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace fairrec

@@ -1,0 +1,52 @@
+#ifndef FAIRREC_COMMON_THREAD_POOL_H_
+#define FAIRREC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fairrec {
+
+/// Fixed-size worker pool used by the MapReduce engine and the similarity
+/// matrix precomputation. Tasks are plain std::function<void()>; exceptions
+/// must not escape tasks (library code does not throw).
+class ThreadPool {
+ public:
+  /// num_threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+  /// fn must be safe to invoke concurrently for distinct i.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + executing
+  bool shutting_down_ = false;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,43 @@
+#ifndef FAIRREC_CORE_AGGREGATION_H_
+#define FAIRREC_CORE_AGGREGATION_H_
+
+#include <span>
+#include <string_view>
+
+namespace fairrec {
+
+/// The Aggr designs of Definition 2 (first two), plus extension designs from
+/// the group-recommendation literature the paper builds on ([1], [17], [21])
+/// for the EXT-B ablation.
+enum class AggregationKind {
+  /// "Strong user preferences act as a veto": group relevance is the
+  /// minimum member relevance (least misery).
+  kMinimum,
+  /// "Satisfying the majority": group relevance is the average member
+  /// relevance.
+  kAverage,
+  /// Most-pleasure upper bound (extension).
+  kMaximum,
+  /// Outlier-robust majority: the median member relevance (extension).
+  kMedian,
+  /// Convex blend alpha * min + (1 - alpha) * avg — least misery softened
+  /// toward the majority (extension; alpha from AggregationParams).
+  kMiseryBlend,
+};
+
+/// Parameters for the parameterized designs; ignored by the others.
+struct AggregationParams {
+  /// Weight of the least-misery term in kMiseryBlend, in [0, 1].
+  double misery_alpha = 0.5;
+};
+
+std::string_view AggregationKindToString(AggregationKind kind);
+
+/// Applies the aggregation to one item's member relevance scores.
+/// Precondition: `member_scores` is non-empty.
+double Aggregate(std::span<const double> member_scores, AggregationKind kind,
+                 const AggregationParams& params = {});
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CORE_AGGREGATION_H_

@@ -1,0 +1,128 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+BruteForceSelector::BruteForceSelector(BruteForceOptions options)
+    : options_(options) {}
+
+uint64_t BruteForceSelector::CountCombinations(int32_t m, int32_t z) {
+  if (z < 0 || z > m) return 0;
+  z = std::min(z, m - z);
+  // C(m, z) = prod_{i=1..z} (m - z + i) / i, exact at every step.
+  unsigned __int128 result = 1;
+  for (int32_t i = 1; i <= z; ++i) {
+    result = result * static_cast<uint64_t>(m - z + i) / static_cast<uint64_t>(i);
+    if (result > UINT64_MAX) return UINT64_MAX;
+  }
+  return static_cast<uint64_t>(result);
+}
+
+Result<Selection> BruteForceSelector::Select(const GroupContext& context,
+                                             int32_t z) const {
+  if (z <= 0) return Status::InvalidArgument("z must be positive");
+  const int32_t m = context.num_candidates();
+  const int32_t n = context.group_size();
+
+  if (z >= m) {
+    // Only one subset exists: everything.
+    std::vector<int32_t> all(static_cast<size_t>(m));
+    for (int32_t c = 0; c < m; ++c) all[static_cast<size_t>(c)] = c;
+    Selection out;
+    out.score = EvaluateSelection(context, all);
+    for (const int32_t c : all) out.items.push_back(context.candidate(c).item);
+    return out;
+  }
+
+  const uint64_t combos = CountCombinations(m, z);
+  if (options_.max_combinations != 0 && combos > options_.max_combinations) {
+    return Status::FailedPrecondition(
+        "brute force would enumerate " + std::to_string(combos) +
+        " combinations, above the configured cap of " +
+        std::to_string(options_.max_combinations));
+  }
+
+  // Flatten the per-candidate data for the hot loop.
+  std::vector<double> group_rel(static_cast<size_t>(m));
+  // hit_members[c]: members whose A_u contains candidate c.
+  std::vector<std::vector<int32_t>> hit_members(static_cast<size_t>(m));
+  for (int32_t c = 0; c < m; ++c) {
+    group_rel[static_cast<size_t>(c)] = context.candidate(c).group_relevance;
+    for (int32_t mem = 0; mem < n; ++mem) {
+      if (context.InMemberTopK(mem, c)) {
+        hit_members[static_cast<size_t>(c)].push_back(mem);
+      }
+    }
+  }
+
+  // Incremental state.
+  double rel_sum = 0.0;
+  std::vector<int32_t> member_hits(static_cast<size_t>(n), 0);
+  int32_t fair_members = 0;
+  auto add = [&](int32_t c) {
+    rel_sum += group_rel[static_cast<size_t>(c)];
+    for (const int32_t mem : hit_members[static_cast<size_t>(c)]) {
+      if (member_hits[static_cast<size_t>(mem)]++ == 0) ++fair_members;
+    }
+  };
+  auto remove = [&](int32_t c) {
+    rel_sum -= group_rel[static_cast<size_t>(c)];
+    for (const int32_t mem : hit_members[static_cast<size_t>(c)]) {
+      if (--member_hits[static_cast<size_t>(mem)] == 0) --fair_members;
+    }
+  };
+
+  std::vector<int32_t> combo(static_cast<size_t>(z));
+  for (int32_t p = 0; p < z; ++p) {
+    combo[static_cast<size_t>(p)] = p;
+    add(p);
+  }
+
+  double best_value = -1.0;
+  std::vector<int32_t> best_combo;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  uint64_t steps = 0;
+  auto evaluate = [&] {
+    const double value = static_cast<double>(fair_members) * inv_n * rel_sum;
+    if (value > best_value) {
+      best_value = value;
+      best_combo = combo;
+    }
+  };
+  evaluate();
+
+  // Lexicographic successor enumeration with suffix-only state updates.
+  while (true) {
+    int32_t p = z - 1;
+    while (p >= 0 && combo[static_cast<size_t>(p)] == m - z + p) --p;
+    if (p < 0) break;
+    for (int32_t q = p; q < z; ++q) remove(combo[static_cast<size_t>(q)]);
+    ++combo[static_cast<size_t>(p)];
+    add(combo[static_cast<size_t>(p)]);
+    for (int32_t q = p + 1; q < z; ++q) {
+      combo[static_cast<size_t>(q)] = combo[static_cast<size_t>(q - 1)] + 1;
+      add(combo[static_cast<size_t>(q)]);
+    }
+    // Bound floating-point drift of the running sum on very long runs.
+    if ((++steps & ((1u << 20) - 1)) == 0) {
+      rel_sum = 0.0;
+      for (const int32_t c : combo) rel_sum += group_rel[static_cast<size_t>(c)];
+    }
+    evaluate();
+  }
+
+  Selection out;
+  out.score = EvaluateSelection(context, best_combo);
+  out.items.reserve(best_combo.size());
+  for (const int32_t c : best_combo) {
+    out.items.push_back(context.candidate(c).item);
+  }
+  return out;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,42 @@
+#ifndef FAIRREC_CORE_BRUTE_FORCE_H_
+#define FAIRREC_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/selector.h"
+
+namespace fairrec {
+
+/// Controls for BruteForceSelector.
+struct BruteForceOptions {
+  /// Refuse to run when C(m, z) exceeds this bound (0 = unlimited). Guards
+  /// tests and examples against accidental multi-hour runs; the Table II
+  /// bench runs unlimited.
+  uint64_t max_combinations = 0;
+};
+
+/// The exact method of §III-D: enumerate all C(m, z) subsets of the candidate
+/// pool and return the one maximizing value(G, D). Exponential — exactly the
+/// behaviour Table II documents — but implemented with an incrementally
+/// maintained state (running relevance sum + per-member A_u hit counters), so
+/// each enumeration step costs O(|G| * changed positions) instead of O(z*|G|).
+/// Enumeration order is lexicographic over candidate indexes; the first
+/// maximum encountered wins, making the result deterministic.
+class BruteForceSelector final : public ItemSetSelector {
+ public:
+  explicit BruteForceSelector(BruteForceOptions options = {});
+
+  Result<Selection> Select(const GroupContext& context, int32_t z) const override;
+  std::string name() const override { return "brute-force"; }
+
+  /// C(m, z) with saturation at UINT64_MAX (no overflow UB).
+  static uint64_t CountCombinations(int32_t m, int32_t z);
+
+ private:
+  BruteForceOptions options_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CORE_BRUTE_FORCE_H_

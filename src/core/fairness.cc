@@ -1,0 +1,43 @@
+#include "core/fairness.h"
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+bool IsFairToMember(const GroupContext& context, int32_t member_index,
+                    const std::vector<int32_t>& candidate_indexes) {
+  for (const int32_t c : candidate_indexes) {
+    if (context.InMemberTopK(member_index, c)) return true;
+  }
+  return false;
+}
+
+ValueBreakdown EvaluateSelection(const GroupContext& context,
+                                 const std::vector<int32_t>& candidate_indexes) {
+  ValueBreakdown out;
+  const int32_t n = context.group_size();
+  FAIRREC_DCHECK(n > 0);
+  int32_t fair_members = 0;
+  for (int32_t m = 0; m < n; ++m) {
+    if (IsFairToMember(context, m, candidate_indexes)) ++fair_members;
+  }
+  out.fairness = static_cast<double>(fair_members) / static_cast<double>(n);
+  for (const int32_t c : candidate_indexes) {
+    out.relevance_sum += context.candidate(c).group_relevance;
+  }
+  out.value = out.fairness * out.relevance_sum;
+  return out;
+}
+
+ValueBreakdown EvaluateSelectionByItems(const GroupContext& context,
+                                        const std::vector<ItemId>& items) {
+  std::vector<int32_t> indexes;
+  indexes.reserve(items.size());
+  for (const ItemId item : items) {
+    const int32_t index = context.CandidateIndexOf(item);
+    if (index >= 0) indexes.push_back(index);
+  }
+  return EvaluateSelection(context, indexes);
+}
+
+}  // namespace fairrec

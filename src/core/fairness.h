@@ -1,0 +1,39 @@
+#ifndef FAIRREC_CORE_FAIRNESS_H_
+#define FAIRREC_CORE_FAIRNESS_H_
+
+#include <vector>
+
+#include "core/group_context.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// The decomposition of value(G, D) = fairness(G, D) * sum_i relevanceG(G, i).
+struct ValueBreakdown {
+  /// fairness(G, D) of Definition 3: the fraction of members for whom D
+  /// contains at least one of their top-k items.
+  double fairness = 0.0;
+  /// sum of group relevance over D.
+  double relevance_sum = 0.0;
+  /// The product, i.e. value(G, D).
+  double value = 0.0;
+};
+
+/// True iff D (given as candidate indexes) is fair to `member_index`: it
+/// contains at least one item of the member's A_u (Def. 3's G_D test).
+bool IsFairToMember(const GroupContext& context, int32_t member_index,
+                    const std::vector<int32_t>& candidate_indexes);
+
+/// Computes fairness(G, D) and value(G, D) over candidate indexes.
+/// Out-of-range indexes are a programming error (DCHECK).
+ValueBreakdown EvaluateSelection(const GroupContext& context,
+                                 const std::vector<int32_t>& candidate_indexes);
+
+/// Convenience overload on item ids; ids not in the candidate set contribute
+/// nothing to either factor.
+ValueBreakdown EvaluateSelectionByItems(const GroupContext& context,
+                                        const std::vector<ItemId>& items);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CORE_FAIRNESS_H_

@@ -1,0 +1,29 @@
+#ifndef FAIRREC_CORE_GREEDY_SELECTOR_H_
+#define FAIRREC_CORE_GREEDY_SELECTOR_H_
+
+#include <string>
+
+#include "core/selector.h"
+
+namespace fairrec {
+
+/// Greedy marginal-value baseline (EXT-C ablation): grow D one item at a
+/// time, always adding the candidate with the largest increase of
+/// value(G, D) = fairness(G, D) * sum relevance. This is the classic
+/// lower-complexity subset-construction family the paper cites ([6],
+/// p-dispersion heuristics) applied directly to the value objective; it
+/// brackets Algorithm 1 from the "pure objective chasing" side.
+///
+/// Ties break toward higher group relevance, then smaller item id.
+/// Complexity: O(z * m * |G|).
+class GreedyValueSelector final : public ItemSetSelector {
+ public:
+  GreedyValueSelector() = default;
+
+  Result<Selection> Select(const GroupContext& context, int32_t z) const override;
+  std::string name() const override { return "greedy-value"; }
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CORE_GREEDY_SELECTOR_H_

@@ -1,0 +1,148 @@
+#include "core/group_context.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "cf/top_k.h"
+#include "common/logging.h"
+
+namespace fairrec {
+
+namespace {
+
+constexpr double kUndefined = std::numeric_limits<double>::quiet_NaN();
+
+bool IsDefined(double v) { return !std::isnan(v); }
+
+}  // namespace
+
+Result<GroupContext> GroupContext::Build(
+    const std::vector<MemberRelevance>& members, GroupContextOptions options) {
+  if (members.empty()) {
+    return Status::InvalidArgument("group context needs >= 1 member");
+  }
+  if (options.top_k <= 0) {
+    return Status::InvalidArgument("top_k must be positive");
+  }
+  for (const MemberRelevance& m : members) {
+    for (size_t i = 1; i < m.relevance.size(); ++i) {
+      if (m.relevance[i].item <= m.relevance[i - 1].item) {
+        return Status::InvalidArgument(
+            "member relevance lists must be strictly ascending by item id");
+      }
+    }
+  }
+
+  GroupContext ctx;
+  ctx.options_ = options;
+  for (const MemberRelevance& m : members) ctx.members_.push_back(m.user);
+  const size_t n = members.size();
+
+  // Merge the per-member (item-ascending) lists into per-item score rows.
+  std::map<ItemId, std::vector<double>> rows;
+  for (size_t m = 0; m < n; ++m) {
+    for (const ScoredItem& s : members[m].relevance) {
+      auto [it, inserted] = rows.try_emplace(s.item);
+      if (inserted) it->second.assign(n, kUndefined);
+      it->second[m] = s.score;
+    }
+  }
+
+  for (auto& [item, scores] : rows) {
+    std::vector<double> defined;
+    defined.reserve(n);
+    for (const double s : scores) {
+      if (IsDefined(s)) defined.push_back(s);
+    }
+    if (options.require_all_members && defined.size() != n) continue;
+    GroupCandidate candidate;
+    candidate.item = item;
+    candidate.group_relevance =
+        Aggregate(std::span<const double>(defined), options.aggregation,
+                  options.aggregation_params);
+    candidate.member_relevance = std::move(scores);
+    ctx.candidates_.push_back(std::move(candidate));
+  }
+
+  ctx.RebuildTopKSets();
+  return ctx;
+}
+
+void GroupContext::RebuildTopKSets() {
+  const size_t n = members_.size();
+  top_k_.assign(n, {});
+  top_k_flags_.assign(n, std::vector<uint8_t>(candidates_.size(), 0));
+  for (size_t m = 0; m < n; ++m) {
+    std::vector<ScoredItem> defined;
+    defined.reserve(candidates_.size());
+    for (const GroupCandidate& c : candidates_) {
+      const double s = c.member_relevance[m];
+      if (IsDefined(s)) defined.push_back({c.item, s});
+    }
+    top_k_[m] = SelectTopK(defined, options_.top_k);
+    for (const ScoredItem& s : top_k_[m]) {
+      const int32_t index = CandidateIndexOf(s.item);
+      FAIRREC_DCHECK(index >= 0);
+      top_k_flags_[m][static_cast<size_t>(index)] = 1;
+    }
+  }
+}
+
+GroupContext GroupContext::RestrictToTopM(int32_t m) const {
+  GroupContext out;
+  out.members_ = members_;
+  out.options_ = options_;
+  if (m >= num_candidates()) {
+    out.candidates_ = candidates_;
+  } else {
+    std::vector<int32_t> order(candidates_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+    std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
+      const GroupCandidate& ca = candidates_[static_cast<size_t>(a)];
+      const GroupCandidate& cb = candidates_[static_cast<size_t>(b)];
+      if (ca.group_relevance != cb.group_relevance) {
+        return ca.group_relevance > cb.group_relevance;
+      }
+      return ca.item < cb.item;
+    });
+    order.resize(static_cast<size_t>(std::max(m, 0)));
+    std::sort(order.begin(), order.end());  // restore ascending item id order
+    out.candidates_.reserve(order.size());
+    for (const int32_t index : order) {
+      out.candidates_.push_back(candidates_[static_cast<size_t>(index)]);
+    }
+  }
+  out.RebuildTopKSets();
+  return out;
+}
+
+const GroupCandidate& GroupContext::candidate(int32_t index) const {
+  FAIRREC_DCHECK(index >= 0 && index < num_candidates());
+  return candidates_[static_cast<size_t>(index)];
+}
+
+int32_t GroupContext::CandidateIndexOf(ItemId item) const {
+  const auto it = std::lower_bound(
+      candidates_.begin(), candidates_.end(), item,
+      [](const GroupCandidate& c, ItemId target) { return c.item < target; });
+  if (it == candidates_.end() || it->item != item) return -1;
+  return static_cast<int32_t>(it - candidates_.begin());
+}
+
+bool GroupContext::InMemberTopK(int32_t member_index,
+                                int32_t candidate_index) const {
+  FAIRREC_DCHECK(member_index >= 0 && member_index < group_size());
+  FAIRREC_DCHECK(candidate_index >= 0 && candidate_index < num_candidates());
+  return top_k_flags_[static_cast<size_t>(member_index)]
+                     [static_cast<size_t>(candidate_index)] != 0;
+}
+
+const std::vector<ScoredItem>& GroupContext::MemberTopK(
+    int32_t member_index) const {
+  FAIRREC_DCHECK(member_index >= 0 && member_index < group_size());
+  return top_k_[static_cast<size_t>(member_index)];
+}
+
+}  // namespace fairrec

@@ -1,0 +1,37 @@
+#include "core/group_recommender.h"
+
+#include "cf/top_k.h"
+#include "common/logging.h"
+
+namespace fairrec {
+
+GroupRecommender::GroupRecommender(const Recommender* recommender,
+                                   GroupContextOptions options)
+    : recommender_(recommender), options_(options) {
+  FAIRREC_CHECK(recommender != nullptr);
+}
+
+Result<GroupContext> GroupRecommender::BuildContext(const Group& group) const {
+  FAIRREC_ASSIGN_OR_RETURN(std::vector<MemberRelevance> members,
+                           recommender_->RelevanceForGroup(group));
+  return GroupContext::Build(members, options_);
+}
+
+Result<std::vector<ScoredItem>> GroupRecommender::TopKForGroup(const Group& group,
+                                                               int32_t k) const {
+  FAIRREC_ASSIGN_OR_RETURN(GroupContext context, BuildContext(group));
+  std::vector<ScoredItem> scored;
+  scored.reserve(static_cast<size_t>(context.num_candidates()));
+  for (const GroupCandidate& c : context.candidates()) {
+    scored.push_back({c.item, c.group_relevance});
+  }
+  return SelectTopK(scored, k);
+}
+
+Result<Selection> GroupRecommender::RecommendFair(
+    const Group& group, int32_t z, const ItemSetSelector& selector) const {
+  FAIRREC_ASSIGN_OR_RETURN(GroupContext context, BuildContext(group));
+  return selector.Select(context, z);
+}
+
+}  // namespace fairrec

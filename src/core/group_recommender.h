@@ -1,0 +1,43 @@
+#ifndef FAIRREC_CORE_GROUP_RECOMMENDER_H_
+#define FAIRREC_CORE_GROUP_RECOMMENDER_H_
+
+#include <vector>
+
+#include "cf/recommender.h"
+#include "common/result.h"
+#include "core/group_context.h"
+#include "core/selector.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// Facade over the full group-recommendation flow of §III: per-member
+/// relevance (via cf::Recommender), aggregation into group relevance
+/// (Def. 2), plain group top-k, and fairness-aware top-z selection (§III-C/D)
+/// through a pluggable ItemSetSelector.
+class GroupRecommender {
+ public:
+  /// `recommender` must outlive this object.
+  GroupRecommender(const Recommender* recommender, GroupContextOptions options = {});
+
+  /// Runs the CF pipeline for the group and assembles the selector context.
+  Result<GroupContext> BuildContext(const Group& group) const;
+
+  /// Plain group recommendation: the k candidates with the highest group
+  /// relevance (Def. 2), no fairness involved.
+  Result<std::vector<ScoredItem>> TopKForGroup(const Group& group, int32_t k) const;
+
+  /// Fairness-aware top-z recommendation through `selector`.
+  Result<Selection> RecommendFair(const Group& group, int32_t z,
+                                  const ItemSetSelector& selector) const;
+
+  const GroupContextOptions& options() const { return options_; }
+
+ private:
+  const Recommender* recommender_;
+  GroupContextOptions options_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CORE_GROUP_RECOMMENDER_H_

@@ -1,0 +1,39 @@
+#ifndef FAIRREC_CORE_SELECTOR_H_
+#define FAIRREC_CORE_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fairness.h"
+#include "core/group_context.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// The output of a top-z selector: D, with its value decomposition.
+struct Selection {
+  /// The selected items, in selection order (|items| <= z; smaller only when
+  /// the candidate pool is exhausted).
+  std::vector<ItemId> items;
+  ValueBreakdown score;
+};
+
+/// Interface for the top-z "most valuable recommendations" selectors of
+/// §III-D: given the group's candidate context and a budget z, produce the
+/// set D maximizing (exactly or heuristically) value(G, D).
+class ItemSetSelector {
+ public:
+  virtual ~ItemSetSelector() = default;
+
+  /// Selects up to z items. z must be positive.
+  virtual Result<Selection> Select(const GroupContext& context,
+                                   int32_t z) const = 0;
+
+  /// Short diagnostic name ("algorithm1", "brute-force", "greedy-value").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CORE_SELECTOR_H_

@@ -1,0 +1,104 @@
+#include "data/cohort_generator.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "common/random.h"
+
+namespace fairrec {
+
+namespace {
+
+constexpr std::array<std::string_view, 8> kMedicationStems = {
+    "Ramipril",   "Niacin",     "Metformin", "Atorvastatin",
+    "Salbutamol", "Omeprazole", "Cisplatin", "Levothyroxine"};
+constexpr std::array<std::string_view, 4> kMedicationForms = {
+    "10 MG Oral Capsule", "500 MG Extended Release Tablet",
+    "25 MG Oral Tablet", "100 MG Inhalation Solution"};
+constexpr std::array<std::string_view, 6> kProcedures = {
+    "chest radiograph",    "blood panel",        "biopsy",
+    "physical therapy",    "cardiac ultrasound", "endoscopy"};
+
+}  // namespace
+
+Result<Cohort> GenerateCohort(const CohortConfig& config,
+                              const SyntheticOntology& ontology) {
+  if (config.num_patients <= 0) {
+    return Status::InvalidArgument("num_patients must be positive");
+  }
+  if (config.min_primary_problems < 1 ||
+      config.max_primary_problems < config.min_primary_problems) {
+    return Status::InvalidArgument("invalid primary problem range");
+  }
+  if (ontology.cluster_roots.empty()) {
+    return Status::InvalidArgument("ontology has no condition clusters");
+  }
+  for (const auto& cluster : ontology.cluster_concepts) {
+    if (cluster.empty()) {
+      return Status::InvalidArgument("ontology cluster with no concepts");
+    }
+  }
+
+  Rng rng(config.seed);
+  Cohort cohort;
+  cohort.num_clusters = static_cast<int32_t>(ontology.cluster_roots.size());
+  cohort.cluster_of_user.reserve(static_cast<size_t>(config.num_patients));
+
+  for (UserId u = 0; u < config.num_patients; ++u) {
+    const auto cluster = static_cast<int32_t>(
+        rng.UniformInt(0, cohort.num_clusters - 1));
+    cohort.cluster_of_user.push_back(cluster);
+
+    PatientProfile profile;
+    profile.user = u;
+
+    // Primary problems: distinct concepts from the patient's own cluster.
+    const auto& pool =
+        ontology.cluster_concepts[static_cast<size_t>(cluster)];
+    const auto want = static_cast<int32_t>(rng.UniformInt(
+        config.min_primary_problems, config.max_primary_problems));
+    const int32_t take =
+        std::min<int32_t>(want, static_cast<int32_t>(pool.size()));
+    for (const int32_t index : rng.SampleWithoutReplacement(
+             static_cast<int32_t>(pool.size()), take)) {
+      profile.problems.push_back(pool[static_cast<size_t>(index)]);
+    }
+    // Comorbidity noise: one concept from a different cluster.
+    if (cohort.num_clusters > 1 && rng.NextBool(config.comorbidity_prob)) {
+      auto other = static_cast<int32_t>(
+          rng.UniformInt(0, cohort.num_clusters - 2));
+      if (other >= cluster) ++other;
+      const auto& other_pool =
+          ontology.cluster_concepts[static_cast<size_t>(other)];
+      profile.problems.push_back(other_pool[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(other_pool.size()) - 1))]);
+    }
+
+    // Medications biased by cluster so that profile text correlates with the
+    // clinical cluster (gives the TF-IDF measure signal to find).
+    const auto num_meds = static_cast<int32_t>(
+        rng.UniformInt(config.min_medications, config.max_medications));
+    for (int32_t k = 0; k < num_meds; ++k) {
+      const size_t stem =
+          (static_cast<size_t>(cluster) + static_cast<size_t>(k)) %
+          kMedicationStems.size();
+      const size_t form = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(kMedicationForms.size()) - 1));
+      profile.medications.push_back(std::string(kMedicationStems[stem]) + " " +
+                                    std::string(kMedicationForms[form]));
+    }
+    if (rng.NextBool(config.procedure_prob)) {
+      profile.procedures.push_back(std::string(kProcedures[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(kProcedures.size()) - 1))]));
+    }
+    profile.gender = rng.NextBool() ? Gender::kFemale : Gender::kMale;
+    profile.age =
+        static_cast<int32_t>(rng.UniformInt(config.min_age, config.max_age));
+
+    FAIRREC_RETURN_NOT_OK(cohort.profiles.Add(std::move(profile)));
+  }
+  return cohort;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,49 @@
+#ifndef FAIRREC_DATA_COHORT_GENERATOR_H_
+#define FAIRREC_DATA_COHORT_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/snomed_generator.h"
+#include "profiles/profile_store.h"
+
+namespace fairrec {
+
+/// Knobs for the synthetic patient cohort.
+struct CohortConfig {
+  int32_t num_patients = 500;
+  /// Problems sampled from the patient's primary condition cluster.
+  int32_t min_primary_problems = 1;
+  int32_t max_primary_problems = 3;
+  /// Probability of one extra problem from a random other cluster
+  /// (comorbidity noise).
+  double comorbidity_prob = 0.25;
+  /// Medications/procedures per patient (cluster-specific string pools).
+  int32_t min_medications = 1;
+  int32_t max_medications = 3;
+  double procedure_prob = 0.4;
+  int32_t min_age = 18;
+  int32_t max_age = 90;
+  uint64_t seed = 11;
+};
+
+/// The generated cohort: profiles plus the latent cluster assignment that
+/// the rating generator aligns document topics with.
+struct Cohort {
+  ProfileStore profiles;
+  /// cluster[u]: the primary condition cluster of user u.
+  std::vector<int32_t> cluster_of_user;
+  int32_t num_clusters = 0;
+};
+
+/// Generates patients whose problems come from `ontology`'s condition
+/// clusters. This is the stand-in for the iManageCancer PHR population: the
+/// cluster structure guarantees that meaningful peers exist for every user,
+/// which is what the similarity measures of §V need to discriminate.
+Result<Cohort> GenerateCohort(const CohortConfig& config,
+                              const SyntheticOntology& ontology);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_DATA_COHORT_GENERATOR_H_

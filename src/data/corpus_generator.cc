@@ -1,0 +1,45 @@
+#include "data/corpus_generator.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/random.h"
+
+namespace fairrec {
+
+namespace {
+constexpr std::array<std::string_view, 10> kTitleStems = {
+    "Managing",          "Understanding",   "Living with",
+    "Treatment options for", "Nutrition advice for", "Exercise guidance for",
+    "Side effects of therapy for", "Caregiver guide to", "Early signs of",
+    "Recovery after"};
+}  // namespace
+
+Result<Corpus> GenerateCorpus(const CorpusConfig& config) {
+  if (config.num_documents <= 0) {
+    return Status::InvalidArgument("num_documents must be positive");
+  }
+  if (config.num_topics <= 0) {
+    return Status::InvalidArgument("num_topics must be positive");
+  }
+  Rng rng(config.seed);
+  Corpus corpus;
+  corpus.num_topics = config.num_topics;
+  corpus.documents.reserve(static_cast<size_t>(config.num_documents));
+  for (int32_t i = 0; i < config.num_documents; ++i) {
+    Document doc;
+    doc.item = i;
+    doc.topic = i % config.num_topics;
+    // Quality concentrated around 0.5 with occasional standouts: the mean of
+    // two uniforms is triangular on [0, 1].
+    doc.quality = (rng.NextDouble() + rng.NextDouble()) / 2.0;
+    doc.title = std::string(kTitleStems[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(kTitleStems.size()) - 1))]) +
+                " condition " + std::to_string(doc.topic) + " (doc " +
+                std::to_string(i) + ")";
+    corpus.documents.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,43 @@
+#ifndef FAIRREC_DATA_CORPUS_GENERATOR_H_
+#define FAIRREC_DATA_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// One synthetic health document in the expert-curated corpus stand-in.
+struct Document {
+  ItemId item = kInvalidItemId;
+  std::string title;
+  /// Latent topic (aligned with the cohort's condition clusters).
+  int32_t topic = 0;
+  /// Latent editorial quality in [0, 1]; shifts every user's rating of the
+  /// document up or down regardless of topic match.
+  double quality = 0.5;
+};
+
+/// Knobs for the synthetic corpus.
+struct CorpusConfig {
+  int32_t num_documents = 200;
+  int32_t num_topics = 8;
+  uint64_t seed = 7;
+};
+
+/// The generated corpus.
+struct Corpus {
+  std::vector<Document> documents;  // item id == index
+  int32_t num_topics = 0;
+};
+
+/// Generates documents with topics distributed round-robin (so every topic is
+/// populated) and Beta-ish quality draws. Deterministic in the seed.
+Result<Corpus> GenerateCorpus(const CorpusConfig& config);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_DATA_CORPUS_GENERATOR_H_

@@ -1,0 +1,63 @@
+#include "data/rating_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace fairrec {
+
+Result<RatingMatrix> GenerateRatings(const RatingGeneratorConfig& config,
+                                     const std::vector<int32_t>& cluster_of_user,
+                                     const Corpus& corpus) {
+  if (cluster_of_user.empty()) {
+    return Status::InvalidArgument("no users to generate ratings for");
+  }
+  if (corpus.documents.empty()) {
+    return Status::InvalidArgument("corpus is empty");
+  }
+  if (config.density <= 0.0 || config.density > 1.0) {
+    return Status::InvalidArgument("density must be in (0, 1]");
+  }
+  if (config.on_topic_boost < 1.0) {
+    return Status::InvalidArgument("on_topic_boost must be >= 1");
+  }
+
+  Rng rng(config.seed);
+  const auto num_users = static_cast<int32_t>(cluster_of_user.size());
+  const auto num_items = static_cast<int32_t>(corpus.documents.size());
+
+  // Per-user rating probability, split so that the *overall* density matches
+  // the configured value while on-topic items are boosted. With topic share
+  // s (≈ 1/num_topics): p_on * s + p_off * (1 - s) = density and
+  // p_on = boost * p_off.
+  const double share = 1.0 / std::max(1, corpus.num_topics);
+  const double p_off =
+      config.density / (config.on_topic_boost * share + (1.0 - share));
+  const double p_on = std::min(1.0, config.on_topic_boost * p_off);
+
+  RatingMatrixBuilder builder;
+  builder.Reserve(num_users, num_items);
+  for (UserId u = 0; u < num_users; ++u) {
+    const int32_t cluster = cluster_of_user[static_cast<size_t>(u)];
+    for (ItemId i = 0; i < num_items; ++i) {
+      const Document& doc = corpus.documents[static_cast<size_t>(i)];
+      // Users' interest clusters map onto document topics modulo the
+      // available topic count.
+      const bool on_topic = doc.topic == cluster % corpus.num_topics;
+      if (!rng.NextBool(on_topic ? p_on : p_off)) continue;
+      const double base =
+          on_topic ? config.on_topic_mean
+                   : config.on_topic_mean - config.off_topic_penalty;
+      const double mean =
+          base + config.quality_gain * (doc.quality - 0.5);
+      const double drawn = mean + config.noise_sigma * rng.NextGaussian();
+      const double stars =
+          std::clamp(std::round(drawn), kMinRating, kMaxRating);
+      FAIRREC_RETURN_NOT_OK(builder.Add(u, i, stars));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace fairrec

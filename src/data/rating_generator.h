@@ -1,0 +1,45 @@
+#ifndef FAIRREC_DATA_RATING_GENERATOR_H_
+#define FAIRREC_DATA_RATING_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/corpus_generator.h"
+#include "ratings/rating_matrix.h"
+
+namespace fairrec {
+
+/// Knobs for the latent-cluster rating generator.
+struct RatingGeneratorConfig {
+  /// Expected fraction of the user x item grid that gets a rating.
+  double density = 0.05;
+  /// How much more likely a user is to rate a document of their own topic
+  /// (cluster-aligned) than an off-topic one.
+  double on_topic_boost = 3.0;
+  /// Mean rating for on-topic documents of average quality; off-topic
+  /// documents center `off_topic_penalty` lower.
+  double on_topic_mean = 4.0;
+  double off_topic_penalty = 1.5;
+  /// How strongly document quality shifts the rating (in stars per unit
+  /// quality deviation from 0.5).
+  double quality_gain = 1.0;
+  /// Gaussian observation noise, in stars.
+  double noise_sigma = 0.7;
+  uint64_t seed = 23;
+};
+
+/// Generates a rating matrix where users rate documents of their own latent
+/// cluster more often and more favourably. Ratings are integers 1..5.
+///
+/// `cluster_of_user[u]` assigns each user a latent interest (the cohort's
+/// condition cluster); document topics come from `corpus`. Cluster-aligned
+/// behaviour guarantees real peer structure, so Def. 1 / Eq. 1 operate on the
+/// same kind of signal the paper's real deployment would see.
+Result<RatingMatrix> GenerateRatings(const RatingGeneratorConfig& config,
+                                     const std::vector<int32_t>& cluster_of_user,
+                                     const Corpus& corpus);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_DATA_RATING_GENERATOR_H_

@@ -1,0 +1,93 @@
+#include "data/scenario.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace fairrec {
+
+SnomedGeneratorConfig ScenarioConfig::MakeOntologyConfig() const {
+  SnomedGeneratorConfig out;
+  out.num_clusters = num_clusters;
+  out.cluster_depth = 4;
+  out.seed = seed * 31 + 1;
+  return out;
+}
+
+CohortConfig ScenarioConfig::MakeCohortConfig() const {
+  CohortConfig out;
+  out.num_patients = num_patients;
+  out.seed = seed * 31 + 2;
+  return out;
+}
+
+CorpusConfig ScenarioConfig::MakeCorpusConfig() const {
+  CorpusConfig out;
+  out.num_documents = num_documents;
+  out.num_topics = num_clusters;
+  out.seed = seed * 31 + 3;
+  return out;
+}
+
+RatingGeneratorConfig ScenarioConfig::MakeRatingConfig() const {
+  RatingGeneratorConfig out;
+  out.density = rating_density;
+  out.seed = seed * 31 + 4;
+  return out;
+}
+
+Result<Scenario> BuildScenario(const ScenarioConfig& config) {
+  Scenario scenario;
+  FAIRREC_ASSIGN_OR_RETURN(scenario.ontology,
+                           GenerateSnomedLikeOntology(config.MakeOntologyConfig()));
+  FAIRREC_ASSIGN_OR_RETURN(
+      scenario.cohort, GenerateCohort(config.MakeCohortConfig(), scenario.ontology));
+  FAIRREC_ASSIGN_OR_RETURN(scenario.corpus,
+                           GenerateCorpus(config.MakeCorpusConfig()));
+  FAIRREC_ASSIGN_OR_RETURN(
+      scenario.ratings,
+      GenerateRatings(config.MakeRatingConfig(), scenario.cohort.cluster_of_user,
+                      scenario.corpus));
+  return scenario;
+}
+
+Group Scenario::MakeCohesiveGroup(int32_t size, uint64_t seed) const {
+  Rng rng(seed);
+  const int32_t num_clusters = cohort.num_clusters;
+  // Pick the cluster with enough patients, starting from a random one.
+  const auto start =
+      static_cast<int32_t>(rng.UniformInt(0, std::max(0, num_clusters - 1)));
+  for (int32_t offset = 0; offset < num_clusters; ++offset) {
+    const int32_t cluster = (start + offset) % num_clusters;
+    std::vector<UserId> pool;
+    for (size_t u = 0; u < cohort.cluster_of_user.size(); ++u) {
+      if (cohort.cluster_of_user[u] == cluster) {
+        pool.push_back(static_cast<UserId>(u));
+      }
+    }
+    if (static_cast<int32_t>(pool.size()) < size) continue;
+    Group group;
+    for (const int32_t index : rng.SampleWithoutReplacement(
+             static_cast<int32_t>(pool.size()), size)) {
+      group.push_back(pool[static_cast<size_t>(index)]);
+    }
+    std::sort(group.begin(), group.end());
+    return group;
+  }
+  // No cluster is large enough; fall back to a random group.
+  return MakeRandomGroup(size, seed);
+}
+
+Group Scenario::MakeRandomGroup(int32_t size, uint64_t seed) const {
+  Rng rng(seed ^ 0x5bd1e995u);
+  const auto num_users = static_cast<int32_t>(cohort.cluster_of_user.size());
+  Group group;
+  for (const int32_t u :
+       rng.SampleWithoutReplacement(num_users, std::min(size, num_users))) {
+    group.push_back(u);
+  }
+  std::sort(group.begin(), group.end());
+  return group;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,30 @@
+#include "eval/accuracy.h"
+
+#include <cmath>
+
+namespace fairrec {
+
+AccuracyStats EvaluatePredictor(const std::vector<RatingTriple>& test,
+                                const RatingPredictor& predict) {
+  AccuracyStats stats;
+  if (test.empty()) return stats;
+  double squared = 0.0;
+  double absolute = 0.0;
+  for (const RatingTriple& t : test) {
+    const std::optional<double> prediction = predict(t.user, t.item);
+    if (!prediction.has_value()) continue;
+    const double error = *prediction - t.value;
+    squared += error * error;
+    absolute += std::abs(error);
+    ++stats.predicted;
+  }
+  if (stats.predicted > 0) {
+    stats.rmse = std::sqrt(squared / static_cast<double>(stats.predicted));
+    stats.mae = absolute / static_cast<double>(stats.predicted);
+  }
+  stats.coverage =
+      static_cast<double>(stats.predicted) / static_cast<double>(test.size());
+  return stats;
+}
+
+}  // namespace fairrec

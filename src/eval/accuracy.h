@@ -1,0 +1,34 @@
+#ifndef FAIRREC_EVAL_ACCURACY_H_
+#define FAIRREC_EVAL_ACCURACY_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// Point-prediction accuracy over a held-out rating set.
+struct AccuracyStats {
+  double rmse = 0.0;
+  double mae = 0.0;
+  /// Held-out points the predictor could score at all.
+  int64_t predicted = 0;
+  /// Fraction of held-out points with a defined prediction — CF estimators
+  /// (Eq. 1, content-based) abstain where they lack evidence, MF never does.
+  double coverage = 0.0;
+};
+
+/// A predictor: nullopt means "no estimate for this cell".
+using RatingPredictor =
+    std::function<std::optional<double>(UserId user, ItemId item)>;
+
+/// Scores `predict` on every held-out triple. Abstentions reduce coverage
+/// but do not count toward the error sums.
+AccuracyStats EvaluatePredictor(const std::vector<RatingTriple>& test,
+                                const RatingPredictor& predict);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_EVAL_ACCURACY_H_

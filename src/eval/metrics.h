@@ -1,0 +1,39 @@
+#ifndef FAIRREC_EVAL_METRICS_H_
+#define FAIRREC_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/group_context.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// Per-group satisfaction statistics for a recommendation set D, used by the
+/// EXT-B aggregation ablation. A member's satisfaction is the best relevance
+/// D offers them, normalized by the best any candidate could offer them
+/// (1.0 = D contains their single favourite candidate; members with no
+/// defined relevance anywhere are skipped).
+struct SatisfactionStats {
+  double min = 0.0;   // the least-misery reading
+  double mean = 0.0;  // the majority reading
+  double max = 0.0;
+  int32_t members_counted = 0;
+};
+
+/// Satisfaction of one member for the item set D (candidate-id based).
+/// Returns -1.0 when the member has no defined relevance at all.
+double MemberSatisfaction(const GroupContext& context, int32_t member_index,
+                          const std::vector<int32_t>& candidate_indexes);
+
+/// Satisfaction stats across the whole group.
+SatisfactionStats GroupSatisfaction(const GroupContext& context,
+                                    const std::vector<int32_t>& candidate_indexes);
+
+/// Convenience overload resolving item ids into candidate indexes (ids not
+/// in the candidate universe are ignored).
+SatisfactionStats GroupSatisfactionByItems(const GroupContext& context,
+                                           const std::vector<ItemId>& items);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_EVAL_METRICS_H_

@@ -1,0 +1,31 @@
+#ifndef FAIRREC_EVAL_TABLE_H_
+#define FAIRREC_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace fairrec {
+
+/// Minimal aligned ASCII table used by the benchmark harness to print
+/// paper-style tables (Table II and the ablation series).
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Rows shorter than the header are padded with empty cells; longer rows
+  /// are truncated.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment, a header rule, and `|` separators.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_EVAL_TABLE_H_

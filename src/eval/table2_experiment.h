@@ -1,0 +1,72 @@
+#ifndef FAIRREC_EVAL_TABLE2_EXPERIMENT_H_
+#define FAIRREC_EVAL_TABLE2_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/group_context.h"
+#include "data/scenario.h"
+
+namespace fairrec {
+
+/// One (m, z) cell of Table II.
+struct Table2Row {
+  int32_t m = 0;
+  int32_t z = 0;
+  uint64_t combinations = 0;  // C(m, z) enumerated by the brute force
+  double brute_force_ms = -1.0;  // -1 when the brute force was skipped
+  double heuristic_ms = 0.0;
+  double brute_force_value = 0.0;
+  double heuristic_value = 0.0;
+  double brute_force_fairness = -1.0;
+  double heuristic_fairness = 0.0;
+};
+
+/// Configuration of the Table II reproduction ("§VI Preliminary Evaluation").
+struct Table2Config {
+  /// The paper's sweep: m in {10, 20, 30}, z in {4, 8, 12, 16, 20}, cells
+  /// restricted to z < m.
+  std::vector<int32_t> m_values = {10, 20, 30};
+  std::vector<int32_t> z_values = {4, 8, 12, 16, 20};
+  /// |G| — the paper does not state it; 4 keeps z >= |G| true for every
+  /// reported cell, which is what makes "fairness identical in both cases"
+  /// (Prop. 1) observable.
+  int32_t group_size = 4;
+  /// The synthetic world the candidates come from.
+  ScenarioConfig scenario;
+  /// A_u size for the fairness sets.
+  int32_t top_k = 10;
+  /// Peer threshold on the shifted-Pearson [0,1] scale.
+  double delta = 0.55;
+  /// Timing repetitions for the (fast) heuristic; the brute force runs once.
+  int32_t heuristic_repetitions = 3;
+  /// Skip brute-force cells above this combination count (0 = run all).
+  uint64_t max_combinations = 0;
+  bool run_brute_force = true;
+};
+
+/// The experiment result: one row per (m, z) cell plus the context used.
+struct Table2Result {
+  std::vector<Table2Row> rows;
+  int32_t candidate_pool_size = 0;  // available m before restriction
+};
+
+/// Builds a scenario, forms a caregiver group, assembles the group candidate
+/// context once, then times the heuristic vs the brute force on every (m, z)
+/// cell (restricting the context to the top-m candidates, as the paper's "m
+/// candidate recommendations to choose from").
+Result<Table2Result> RunTable2Experiment(const Table2Config& config);
+
+/// Renders rows in the paper's Table II layout (plus value columns).
+std::string FormatTable2(const Table2Result& result);
+
+/// The paper's own Table II measurements (msec), for side-by-side printing.
+/// Returns -1 for cells the paper does not report.
+double PaperTable2BruteForceMs(int32_t m, int32_t z);
+double PaperTable2HeuristicMs(int32_t m, int32_t z);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_EVAL_TABLE2_EXPERIMENT_H_

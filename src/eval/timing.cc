@@ -1,0 +1,27 @@
+#include "eval/timing.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace fairrec {
+
+TimingResult MeasureMs(const std::function<void()>& fn, int repetitions) {
+  repetitions = std::max(1, repetitions);
+  TimingResult out;
+  out.repetitions = repetitions;
+  out.min_ms = 0.0;
+  double total = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Stopwatch watch;
+    fn();
+    const double ms = watch.ElapsedMillis();
+    if (rep == 0 || ms < out.min_ms) out.min_ms = ms;
+    out.max_ms = std::max(out.max_ms, ms);
+    total += ms;
+  }
+  out.mean_ms = total / repetitions;
+  return out;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,23 @@
+#ifndef FAIRREC_EVAL_TIMING_H_
+#define FAIRREC_EVAL_TIMING_H_
+
+#include <functional>
+
+namespace fairrec {
+
+/// Wall-clock statistics over repeated runs of a workload.
+struct TimingResult {
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  int repetitions = 0;
+};
+
+/// Runs `fn` `repetitions` times (>= 1) and reports wall-clock statistics.
+/// The paper's Table II reports single-run times; the harness defaults to
+/// best-of-3 for the fast heuristic cells and 1 for brute-force cells.
+TimingResult MeasureMs(const std::function<void()>& fn, int repetitions = 3);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_EVAL_TIMING_H_

@@ -1,0 +1,18 @@
+#include "mapreduce/engine.h"
+
+#include <thread>
+
+namespace fairrec {
+
+MapReduceOptions MapReduceOptions::Resolved() const {
+  MapReduceOptions out = *this;
+  if (out.num_workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    out.num_workers = hw == 0 ? 1 : hw;
+  }
+  if (out.num_map_shards == 0) out.num_map_shards = out.num_workers;
+  if (out.num_reduce_partitions == 0) out.num_reduce_partitions = out.num_workers;
+  return out;
+}
+
+}  // namespace fairrec

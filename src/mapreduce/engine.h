@@ -1,0 +1,192 @@
+#ifndef FAIRREC_MAPREDUCE_ENGINE_H_
+#define FAIRREC_MAPREDUCE_ENGINE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fairrec {
+
+/// One record flowing through a MapReduce job.
+template <typename K, typename V>
+struct KeyValue {
+  K key;
+  V value;
+
+  friend bool operator==(const KeyValue&, const KeyValue&) = default;
+};
+
+/// Engine tuning knobs. The defaults parallelize across hardware threads.
+struct MapReduceOptions {
+  /// Worker threads (0 = hardware concurrency).
+  size_t num_workers = 0;
+  /// Map shards; each shard is one map task (0 = number of workers).
+  size_t num_map_shards = 0;
+  /// Reduce partitions, i.e. parallel reduce tasks (0 = number of workers).
+  size_t num_reduce_partitions = 0;
+
+  /// Returns a copy with all zeros resolved against the machine.
+  MapReduceOptions Resolved() const;
+};
+
+/// Per-run instrumentation, reported by RunMapReduce.
+struct MapReduceStats {
+  int64_t input_records = 0;
+  int64_t intermediate_records = 0;
+  int64_t output_records = 0;
+  size_t map_shards = 0;
+  size_t reduce_partitions = 0;
+};
+
+/// Hash functor usable for std::pair intermediate keys.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    const size_t h1 = std::hash<A>{}(p.first);
+    const size_t h2 = std::hash<B>{}(p.second);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+/// Collects the (K2, V2) pairs emitted by one map task, spread over the
+/// reduce partitions by the key hash.
+template <typename K2, typename V2, typename Hash = std::hash<K2>>
+class MapEmitter {
+ public:
+  MapEmitter(size_t num_partitions, Hash hash = {})
+      : partitions_(num_partitions), hash_(hash) {}
+
+  void Emit(K2 key, V2 value) {
+    const size_t p = hash_(key) % partitions_.size();
+    partitions_[p].push_back({std::move(key), std::move(value)});
+  }
+
+  std::vector<KeyValue<K2, V2>>& partition(size_t p) { return partitions_[p]; }
+  size_t num_partitions() const { return partitions_.size(); }
+
+ private:
+  std::vector<std::vector<KeyValue<K2, V2>>> partitions_;
+  Hash hash_;
+};
+
+/// Collects the (K3, V3) pairs emitted by one reduce task.
+template <typename K3, typename V3>
+class ReduceEmitter {
+ public:
+  void Emit(K3 key, V3 value) { out_.push_back({std::move(key), std::move(value)}); }
+
+  std::vector<KeyValue<K3, V3>>& records() { return out_; }
+
+ private:
+  std::vector<KeyValue<K3, V3>> out_;
+};
+
+/// Runs one MapReduce job in-process:
+///
+///   map phase:    map_fn(key, value, emitter) per input record, one task per
+///                 shard, tasks scheduled on a thread pool;
+///   shuffle:      intermediate records routed to hash(key) % R partitions;
+///   sort+reduce:  per partition, records are stably sorted by key (Less),
+///                 grouped, and reduce_fn(key, values, emitter) is invoked
+///                 once per distinct key with all its values.
+///
+/// Semantics preserved from the Hadoop model the paper targets: per-key
+/// grouping, reducers see each key exactly once, values arrive in mapper
+/// emission order (stable sort; shards concatenated in shard order), and the
+/// output is deterministic for a fixed options.Resolved() shape.
+///
+/// K2 needs Hash and Less; all types need to be movable. MapFn must be
+/// callable as map_fn(const K1&, const V1&, MapEmitter<K2, V2, Hash>&) and
+/// ReduceFn as reduce_fn(const K2&, std::span<const V2>,
+/// ReduceEmitter<K3, V3>&); both must be safe to invoke concurrently.
+template <typename K1, typename V1, typename K2, typename V2, typename K3,
+          typename V3, typename Hash = std::hash<K2>,
+          typename Less = std::less<K2>, typename MapFn, typename ReduceFn>
+std::vector<KeyValue<K3, V3>> RunMapReduce(
+    const std::vector<KeyValue<K1, V1>>& input, const MapFn& map_fn,
+    const ReduceFn& reduce_fn, const MapReduceOptions& options = {},
+    MapReduceStats* stats = nullptr) {
+  const MapReduceOptions opts = options.Resolved();
+  const size_t num_shards = std::max<size_t>(1, opts.num_map_shards);
+  const size_t num_partitions = std::max<size_t>(1, opts.num_reduce_partitions);
+
+  ThreadPool pool(opts.num_workers);
+
+  // ---- Map phase ----
+  std::vector<MapEmitter<K2, V2, Hash>> emitters;
+  emitters.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) emitters.emplace_back(num_partitions);
+
+  const size_t n = input.size();
+  pool.ParallelFor(num_shards, [&](size_t s) {
+    const size_t begin = n * s / num_shards;
+    const size_t end = n * (s + 1) / num_shards;
+    for (size_t i = begin; i < end; ++i) {
+      map_fn(input[i].key, input[i].value, emitters[s]);
+    }
+  });
+
+  int64_t intermediate = 0;
+  for (auto& e : emitters) {
+    for (size_t p = 0; p < num_partitions; ++p) {
+      intermediate += static_cast<int64_t>(e.partition(p).size());
+    }
+  }
+
+  // ---- Shuffle + sort + reduce phase ----
+  std::vector<std::vector<KeyValue<K3, V3>>> outputs(num_partitions);
+  pool.ParallelFor(num_partitions, [&](size_t p) {
+    std::vector<KeyValue<K2, V2>> bucket;
+    for (auto& e : emitters) {
+      auto& part = e.partition(p);
+      bucket.insert(bucket.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+      part.clear();
+    }
+    Less less;
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [&less](const KeyValue<K2, V2>& a, const KeyValue<K2, V2>& b) {
+                       return less(a.key, b.key);
+                     });
+    ReduceEmitter<K3, V3> out;
+    size_t i = 0;
+    std::vector<V2> values;
+    while (i < bucket.size()) {
+      size_t j = i;
+      values.clear();
+      while (j < bucket.size() && !less(bucket[i].key, bucket[j].key) &&
+             !less(bucket[j].key, bucket[i].key)) {
+        values.push_back(std::move(bucket[j].value));
+        ++j;
+      }
+      reduce_fn(bucket[i].key, std::span<const V2>(values), out);
+      i = j;
+    }
+    outputs[p] = std::move(out.records());
+  });
+
+  std::vector<KeyValue<K3, V3>> result;
+  for (auto& part : outputs) {
+    result.insert(result.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+
+  if (stats != nullptr) {
+    stats->input_records = static_cast<int64_t>(input.size());
+    stats->intermediate_records = intermediate;
+    stats->output_records = static_cast<int64_t>(result.size());
+    stats->map_shards = num_shards;
+    stats->reduce_partitions = num_partitions;
+  }
+  return result;
+}
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_MAPREDUCE_ENGINE_H_

@@ -1,0 +1,246 @@
+#include "mapreduce/jobs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <variant>
+
+#include "cf/peer_finder.h"
+#include "common/logging.h"
+
+namespace fairrec {
+
+namespace {
+constexpr double kUndefined = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+std::vector<double> RunUserMeanJob(const std::vector<RatingTriple>& ratings,
+                                   int32_t num_users,
+                                   const MapReduceOptions& options,
+                                   MapReduceStats* stats) {
+  std::vector<KeyValue<int64_t, RatingTriple>> input;
+  input.reserve(ratings.size());
+  int64_t index = 0;
+  for (const RatingTriple& t : ratings) input.push_back({index++, t});
+
+  const auto output = RunMapReduce<int64_t, RatingTriple, UserId, Rating, UserId,
+                                   double>(
+      input,
+      [](const int64_t&, const RatingTriple& t, MapEmitter<UserId, Rating>& out) {
+        out.Emit(t.user, t.value);
+      },
+      [](const UserId& user, std::span<const Rating> values,
+         ReduceEmitter<UserId, double>& out) {
+        double sum = 0.0;
+        for (const Rating r : values) sum += r;
+        out.Emit(user, sum / static_cast<double>(values.size()));
+      },
+      options, stats);
+
+  std::vector<double> means(static_cast<size_t>(num_users), 0.0);
+  for (const auto& kv : output) {
+    if (kv.key >= 0 && kv.key < num_users) means[static_cast<size_t>(kv.key)] = kv.value;
+  }
+  return means;
+}
+
+Result<Job1Output> RunJob1(const std::vector<RatingTriple>& ratings,
+                           const Group& group, int32_t num_users,
+                           const MapReduceOptions& options) {
+  if (group.empty()) {
+    return Status::InvalidArgument("group must not be empty");
+  }
+  std::vector<uint8_t> is_member(static_cast<size_t>(num_users), 0);
+  for (const UserId u : group) {
+    if (u < 0 || u >= num_users) {
+      return Status::InvalidArgument("group member out of range: " +
+                                     std::to_string(u));
+    }
+    is_member[static_cast<size_t>(u)] = 1;
+  }
+
+  std::vector<KeyValue<int64_t, RatingTriple>> input;
+  input.reserve(ratings.size());
+  int64_t index = 0;
+  for (const RatingTriple& t : ratings) input.push_back({index++, t});
+
+  // Reducer output is a tagged stream: candidates keyed by (-1, item),
+  // partials keyed by (member, peer).
+  using Job1Value = std::variant<std::vector<UserRating>, PartialSimilarity>;
+  constexpr UserId kCandidateTag = -1;
+
+  Job1Output result;
+  const auto output = RunMapReduce<int64_t, RatingTriple, ItemId, UserRating,
+                                   UserPairKey, Job1Value>(
+      input,
+      // Map: (u, i, rating) -> (i, (u, rating)).
+      [](const int64_t&, const RatingTriple& t,
+         MapEmitter<ItemId, UserRating>& out) {
+        out.Emit(t.item, {t.user, t.value});
+      },
+      // Reduce per item: candidate stream or partial similarity pairs.
+      [&is_member, kCandidateTag](const ItemId& item,
+                                  std::span<const UserRating> raters,
+                                  ReduceEmitter<UserPairKey, Job1Value>& out) {
+        bool any_member = false;
+        for (const UserRating& r : raters) {
+          if (is_member[static_cast<size_t>(r.user)] != 0) {
+            any_member = true;
+            break;
+          }
+        }
+        if (!any_member) {
+          out.Emit({kCandidateTag, item},
+                   std::vector<UserRating>(raters.begin(), raters.end()));
+          return;
+        }
+        for (const UserRating& member : raters) {
+          if (is_member[static_cast<size_t>(member.user)] == 0) continue;
+          for (const UserRating& peer : raters) {
+            if (is_member[static_cast<size_t>(peer.user)] != 0) continue;
+            out.Emit({member.user, peer.user},
+                     PartialSimilarity{item, member.value, peer.value});
+          }
+        }
+      },
+      options, &result.stats);
+
+  for (const auto& kv : output) {
+    if (kv.key.first == kCandidateTag) {
+      result.candidate_items.push_back(
+          {kv.key.second, std::get<std::vector<UserRating>>(kv.value)});
+    } else {
+      result.partial_similarities.push_back(
+          {kv.key, std::get<PartialSimilarity>(kv.value)});
+    }
+  }
+  // Deterministic downstream consumption regardless of partition layout.
+  std::sort(result.candidate_items.begin(), result.candidate_items.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  std::sort(result.partial_similarities.begin(),
+            result.partial_similarities.end(), [](const auto& a, const auto& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.value.item < b.value.item;
+            });
+  return result;
+}
+
+std::vector<KeyValue<UserPairKey, double>> RunJob2(
+    const std::vector<KeyValue<UserPairKey, PartialSimilarity>>& partials,
+    const std::vector<double>& user_means,
+    const RatingSimilarityOptions& sim_options, double delta,
+    const MapReduceOptions& options, MapReduceStats* stats) {
+  auto mean_of = [&user_means](UserId u) {
+    return (u >= 0 && static_cast<size_t>(u) < user_means.size())
+               ? user_means[static_cast<size_t>(u)]
+               : 0.0;
+  };
+
+  auto output = RunMapReduce<UserPairKey, PartialSimilarity, UserPairKey,
+                             PartialSimilarity, UserPairKey, double, PairHash>(
+      partials,
+      // Map: identity re-key (the pair key is already in place).
+      [](const UserPairKey& key, const PartialSimilarity& value,
+         MapEmitter<UserPairKey, PartialSimilarity, PairHash>& out) {
+        out.Emit(key, value);
+      },
+      // Reduce: restore the canonical co-rated item order, finish Eq. 2 via
+      // the shared FinishPearson, apply the Def. 1 threshold.
+      [&mean_of, &sim_options, delta](const UserPairKey& key,
+                                      std::span<const PartialSimilarity> values,
+                                      ReduceEmitter<UserPairKey, double>& out) {
+        std::vector<PartialSimilarity> sorted(values.begin(), values.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const PartialSimilarity& a, const PartialSimilarity& b) {
+                    return a.item < b.item;
+                  });
+        std::vector<std::pair<Rating, Rating>> shared;
+        shared.reserve(sorted.size());
+        for (const PartialSimilarity& p : sorted) {
+          shared.emplace_back(p.member_rating, p.peer_rating);
+        }
+        const double sim = FinishPearson(shared, mean_of(key.first),
+                                         mean_of(key.second), sim_options);
+        if (sim >= delta) out.Emit(key, sim);
+      },
+      options, stats);
+
+  std::sort(output.begin(), output.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  return output;
+}
+
+std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3(
+    const std::vector<KeyValue<ItemId, std::vector<UserRating>>>& candidates,
+    const std::vector<KeyValue<UserPairKey, double>>& similarities,
+    const Group& group, AggregationKind aggregation,
+    const MapReduceOptions& options, MapReduceStats* stats) {
+  // Side data (a Hadoop distributed-cache equivalent): each member's peer
+  // list in the serial PeerFinder order (descending similarity, ascending
+  // id), so the Eq. 1 accumulation below adds terms in the exact order the
+  // serial RelevanceEstimator does.
+  std::unordered_map<UserId, size_t> member_index;
+  for (size_t m = 0; m < group.size(); ++m) member_index.emplace(group[m], m);
+  std::vector<std::vector<Peer>> peers(group.size());
+  for (const auto& kv : similarities) {
+    const auto it = member_index.find(kv.key.first);
+    if (it != member_index.end()) {
+      peers[it->second].push_back({kv.key.second, kv.value});
+    }
+  }
+  for (auto& list : peers) {
+    std::sort(list.begin(), list.end(), [](const Peer& a, const Peer& b) {
+      if (a.similarity != b.similarity) return a.similarity > b.similarity;
+      return a.user < b.user;
+    });
+  }
+
+  auto output = RunMapReduce<ItemId, std::vector<UserRating>, ItemId, UserRating,
+                             ItemId, GroupItemRelevance>(
+      candidates,
+      // Map: explode each candidate's rater list to (i, (user, rating)).
+      [](const ItemId& item, const std::vector<UserRating>& raters,
+         MapEmitter<ItemId, UserRating>& out) {
+        for (const UserRating& r : raters) out.Emit(item, r);
+      },
+      // Reduce per item: Eq. 1 per member, then the group aggregate.
+      [&peers, &group, aggregation](const ItemId& item,
+                                    std::span<const UserRating> raters,
+                                    ReduceEmitter<ItemId, GroupItemRelevance>& out) {
+        std::unordered_map<UserId, Rating> rating_of;
+        rating_of.reserve(raters.size());
+        for (const UserRating& r : raters) rating_of.emplace(r.user, r.value);
+
+        GroupItemRelevance rel;
+        rel.member_relevance.assign(group.size(), kUndefined);
+        std::vector<double> defined;
+        defined.reserve(group.size());
+        for (size_t m = 0; m < group.size(); ++m) {
+          double weighted = 0.0;
+          double total = 0.0;
+          for (const Peer& peer : peers[m]) {
+            const auto it = rating_of.find(peer.user);
+            if (it == rating_of.end()) continue;
+            weighted += peer.similarity * it->second;
+            total += peer.similarity;
+          }
+          if (total > 0.0) {
+            rel.member_relevance[m] = weighted / total;
+            defined.push_back(rel.member_relevance[m]);
+          }
+        }
+        if (defined.empty()) return;  // unrecommendable to every member
+        rel.defined_for_all = defined.size() == group.size();
+        rel.group_relevance =
+            Aggregate(std::span<const double>(defined), aggregation);
+        out.Emit(item, rel);
+      },
+      options, stats);
+
+  std::sort(output.begin(), output.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  return output;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,96 @@
+#ifndef FAIRREC_MAPREDUCE_JOBS_H_
+#define FAIRREC_MAPREDUCE_JOBS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/aggregation.h"
+#include "mapreduce/engine.h"
+#include "ratings/types.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+
+/// Key for the user-pair similarity records: (group member, outside user).
+using UserPairKey = std::pair<UserId, UserId>;
+
+/// One co-rated item's contribution to simU(member, peer): the raw rating
+/// pair, tagged with the item so Job 2 can restore the canonical (ascending
+/// item) accumulation order and finish Eq. 2 through the exact same
+/// FinishPearson the serial path uses — making the two paths agree
+/// bit-for-bit, not just within tolerance.
+struct PartialSimilarity {
+  ItemId item = kInvalidItemId;
+  Rating member_rating = 0.0;  // r(member, i)
+  Rating peer_rating = 0.0;    // r(peer, i)
+
+  friend bool operator==(const PartialSimilarity&,
+                         const PartialSimilarity&) = default;
+};
+
+/// The two outputs of Job 1 (Fig. 2): the candidate item stream (items that
+/// no group member has rated, with their full rater lists) and the partial
+/// similarity stream for (member, outside-user) pairs.
+struct Job1Output {
+  std::vector<KeyValue<ItemId, std::vector<UserRating>>> candidate_items;
+  std::vector<KeyValue<UserPairKey, PartialSimilarity>> partial_similarities;
+  MapReduceStats stats;
+};
+
+/// Job 0 (supporting job, not drawn in Fig. 2): per-user mean ratings — the
+/// µ_u of Eq. 2. Hadoop deployments ship these to Job 2 via the distributed
+/// cache; here they are returned densely indexed by user id (0.0 for users
+/// with no ratings).
+std::vector<double> RunUserMeanJob(const std::vector<RatingTriple>& ratings,
+                                   int32_t num_users,
+                                   const MapReduceOptions& options = {},
+                                   MapReduceStats* stats = nullptr);
+
+/// Job 1 — "Find partial users similarity score and the unrated items".
+/// Map:    (u, i, rating) -> key i, value (u, rating).
+/// Reduce: if no group member rated i, emit i into the candidate stream;
+///         otherwise emit one PartialSimilarity per (member, non-member)
+///         rater pair of i.
+Result<Job1Output> RunJob1(const std::vector<RatingTriple>& ratings,
+                           const Group& group, int32_t num_users,
+                           const MapReduceOptions& options = {});
+
+/// Job 2 — "Calculate simU". Sums the partial components per (member, user)
+/// pair, finishes the Pearson correlation under `sim_options` (using
+/// `user_means` for the global-mean variant), and keeps pairs with
+/// simU >= delta (Def. 1's threshold).
+std::vector<KeyValue<UserPairKey, double>> RunJob2(
+    const std::vector<KeyValue<UserPairKey, PartialSimilarity>>& partials,
+    const std::vector<double>& user_means,
+    const RatingSimilarityOptions& sim_options, double delta,
+    const MapReduceOptions& options = {}, MapReduceStats* stats = nullptr);
+
+/// Relevance scores of one candidate item for the group (Job 3 output).
+struct GroupItemRelevance {
+  /// relevance(u, i) per member, aligned with the group order; NaN when
+  /// undefined (no peer of that member rated the item).
+  std::vector<double> member_relevance;
+  /// relevanceG(G, i) (Def. 2) over the defined member scores.
+  double group_relevance = 0.0;
+  /// True iff every member's relevance is defined.
+  bool defined_for_all = false;
+};
+
+/// Job 3 — "Calculate user and group relevance".
+/// Input:  the candidate stream of Job 1.
+/// Side:   the thresholded similarities of Job 2 (the peer sets of Def. 1),
+///         the group, and the aggregation design.
+/// Reduce: per item, Eq. 1 per member plus the group aggregate. Items where
+///         no member has a defined estimate are dropped; items partially
+///         defined are kept (callers apply their require_all policy).
+std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3(
+    const std::vector<KeyValue<ItemId, std::vector<UserRating>>>& candidates,
+    const std::vector<KeyValue<UserPairKey, double>>& similarities,
+    const Group& group, AggregationKind aggregation,
+    const MapReduceOptions& options = {}, MapReduceStats* stats = nullptr);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_MAPREDUCE_JOBS_H_

@@ -1,0 +1,89 @@
+#include "mapreduce/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cf/top_k.h"
+
+namespace fairrec {
+
+GroupRecommendationPipeline::GroupRecommendationPipeline(PipelineOptions options)
+    : options_(options) {}
+
+Result<PipelineResult> GroupRecommendationPipeline::Run(
+    const RatingMatrix& matrix, const Group& group, int32_t z) const {
+  PipelineResult result;
+  const std::vector<RatingTriple> triples = matrix.ToTriples();
+
+  // Job 0 (supporting): per-user means for the Pearson global-mean variant.
+  const std::vector<double> means =
+      RunUserMeanJob(triples, matrix.num_users(), options_.mapreduce);
+
+  // Job 1: candidates + partial similarity components.
+  FAIRREC_ASSIGN_OR_RETURN(
+      Job1Output job1,
+      RunJob1(triples, group, matrix.num_users(), options_.mapreduce));
+  result.job1_stats = job1.stats;
+  result.num_candidate_items = static_cast<int64_t>(job1.candidate_items.size());
+
+  // Job 2: finish simU and apply the Def. 1 threshold.
+  const auto similarities =
+      RunJob2(job1.partial_similarities, means, options_.similarity,
+              options_.delta, options_.mapreduce, &result.job2_stats);
+  result.num_similarity_pairs = static_cast<int64_t>(similarities.size());
+
+  // Job 3: Eq. 1 per member + Def. 2 group relevance.
+  const auto relevance =
+      RunJob3(job1.candidate_items, similarities, group, options_.aggregation,
+              options_.mapreduce, &result.job3_stats);
+
+  // Assemble the selector context in the same shape as the serial path.
+  std::vector<MemberRelevance> members(group.size());
+  for (size_t m = 0; m < group.size(); ++m) {
+    members[m].user = group[m];
+  }
+  for (const auto& kv : similarities) {
+    for (size_t m = 0; m < group.size(); ++m) {
+      if (kv.key.first == group[m]) {
+        members[m].peers.push_back({kv.key.second, kv.value});
+      }
+    }
+  }
+  for (MemberRelevance& member : members) {
+    std::sort(member.peers.begin(), member.peers.end(),
+              [](const Peer& a, const Peer& b) {
+                if (a.similarity != b.similarity) {
+                  return a.similarity > b.similarity;
+                }
+                return a.user < b.user;
+              });
+  }
+  // `relevance` is sorted by item id, so the per-member lists stay strictly
+  // ascending as GroupContext::Build requires.
+  for (const auto& kv : relevance) {
+    for (size_t m = 0; m < group.size(); ++m) {
+      const double score = kv.value.member_relevance[m];
+      if (!std::isnan(score)) {
+        members[m].relevance.push_back({kv.key, score});
+      }
+    }
+  }
+  GroupContextOptions context_options;
+  context_options.aggregation = options_.aggregation;
+  context_options.top_k = options_.top_k;
+  context_options.require_all_members = options_.require_all_members;
+  for (MemberRelevance& member : members) {
+    member.top_k = SelectTopK(member.relevance, context_options.top_k);
+  }
+  FAIRREC_ASSIGN_OR_RETURN(result.context,
+                           GroupContext::Build(members, context_options));
+
+  // "After these jobs have completed ... we perform Algorithm 1 in a
+  // centralized manner." (§IV)
+  const FairnessHeuristic heuristic(options_.heuristic);
+  FAIRREC_ASSIGN_OR_RETURN(result.selection,
+                           heuristic.Select(result.context, z));
+  return result;
+}
+
+}  // namespace fairrec

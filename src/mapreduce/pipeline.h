@@ -1,0 +1,75 @@
+#ifndef FAIRREC_MAPREDUCE_PIPELINE_H_
+#define FAIRREC_MAPREDUCE_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fairness_heuristic.h"
+#include "core/group_context.h"
+#include "core/selector.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/jobs.h"
+#include "ratings/rating_matrix.h"
+#include "ratings/types.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+
+/// Controls for GroupRecommendationPipeline.
+struct PipelineOptions {
+  /// Pearson configuration shared with the serial RatingSimilarity.
+  RatingSimilarityOptions similarity;
+  /// Peer threshold delta (Def. 1), applied by Job 2.
+  double delta = 0.1;
+  /// Size of the per-member A_u lists.
+  int32_t top_k = 10;
+  AggregationKind aggregation = AggregationKind::kAverage;
+  /// Candidate policy fed to GroupContext::Build.
+  bool require_all_members = true;
+  MapReduceOptions mapreduce;
+  FairnessHeuristicOptions heuristic;
+};
+
+/// Everything a pipeline run produces, plus per-job instrumentation.
+struct PipelineResult {
+  /// The assembled selector context (candidates + per-member relevance +
+  /// A_u sets) — byte-equivalent in content to the serial path's context.
+  GroupContext context;
+  /// Algorithm 1 output, computed centralized as §IV prescribes.
+  Selection selection;
+
+  MapReduceStats job1_stats;
+  MapReduceStats job2_stats;
+  MapReduceStats job3_stats;
+  int64_t num_candidate_items = 0;
+  int64_t num_similarity_pairs = 0;
+};
+
+/// The paper's §IV flow, end to end:
+///
+///   Job 1: partial similarities + the unrated candidate stream;
+///   Job 2: finish simU, threshold by delta (peer sets of Def. 1);
+///   Job 3: Eq. 1 per member + Def. 2 group relevance per candidate;
+///   finally Algorithm 1 runs centralized on the assembled context.
+///
+/// The pipeline is the ratings-based (Pearson) instantiation — the one whose
+/// partial scores Fig. 2 sketches. Profile/semantic similarities have no
+/// per-item partial decomposition and are served by the serial path instead.
+class GroupRecommendationPipeline {
+ public:
+  explicit GroupRecommendationPipeline(PipelineOptions options = {});
+
+  /// Runs all three jobs plus the centralized Algorithm 1 finishing step.
+  Result<PipelineResult> Run(const RatingMatrix& matrix, const Group& group,
+                             int32_t z) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_MAPREDUCE_PIPELINE_H_

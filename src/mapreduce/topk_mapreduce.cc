@@ -1,0 +1,44 @@
+#include "mapreduce/topk_mapreduce.h"
+
+#include "cf/top_k.h"
+
+namespace fairrec {
+
+std::vector<ScoredItem> MapReduceTopK(const std::vector<ScoredItem>& scored,
+                                      int32_t k, const MapReduceOptions& options,
+                                      MapReduceStats* stats) {
+  if (k <= 0) return {};
+
+  const size_t num_partitions =
+      std::max<size_t>(1, options.Resolved().num_reduce_partitions);
+
+  std::vector<KeyValue<int64_t, ScoredItem>> input;
+  input.reserve(scored.size());
+  int64_t index = 0;
+  for (const ScoredItem& s : scored) input.push_back({index++, s});
+
+  // Phase 1: local top-k per hash partition.
+  const auto survivors = RunMapReduce<int64_t, ScoredItem, int32_t, ScoredItem,
+                                      int32_t, ScoredItem>(
+      input,
+      [num_partitions](const int64_t&, const ScoredItem& s,
+                       MapEmitter<int32_t, ScoredItem>& out) {
+        out.Emit(static_cast<int32_t>(static_cast<uint32_t>(s.item) %
+                                      num_partitions),
+                 s);
+      },
+      [k](const int32_t& partition, std::span<const ScoredItem> values,
+          ReduceEmitter<int32_t, ScoredItem>& out) {
+        const std::vector<ScoredItem> local(values.begin(), values.end());
+        for (const ScoredItem& s : SelectTopK(local, k)) out.Emit(partition, s);
+      },
+      options, stats);
+
+  // Phase 2: merge the survivors ("single final reducer").
+  std::vector<ScoredItem> merged;
+  merged.reserve(survivors.size());
+  for (const auto& kv : survivors) merged.push_back(kv.value);
+  return SelectTopK(merged, k);
+}
+
+}  // namespace fairrec

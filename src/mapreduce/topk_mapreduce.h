@@ -1,0 +1,30 @@
+#ifndef FAIRREC_MAPREDUCE_TOPK_MAPREDUCE_H_
+#define FAIRREC_MAPREDUCE_TOPK_MAPREDUCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/engine.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// Distributed top-k selection following the pattern of Efthymiou et al.,
+/// "Top-k computations in MapReduce" (paper's [5]), which §IV prescribes for
+/// the final ranking step when k results do not fit in one reducer's memory:
+///
+///   phase 1 (MapReduce): records are hash-partitioned; each reduce partition
+///            keeps only its *local* top-k (a combiner-style pruning);
+///   phase 2: the <= partitions * k survivors are merged and the global
+///            top-k is selected (the "single final reducer").
+///
+/// Produces exactly SelectTopK(scored, k) — the deterministic order is
+/// descending score with ascending item id tie-breaks.
+std::vector<ScoredItem> MapReduceTopK(const std::vector<ScoredItem>& scored,
+                                      int32_t k,
+                                      const MapReduceOptions& options = {},
+                                      MapReduceStats* stats = nullptr);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_MAPREDUCE_TOPK_MAPREDUCE_H_

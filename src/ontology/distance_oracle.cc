@@ -1,0 +1,74 @@
+#include "ontology/distance_oracle.h"
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+namespace {
+uint64_t PairKey(ConceptId a, ConceptId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+}  // namespace
+
+ConceptDistanceOracle::ConceptDistanceOracle(const Ontology* ontology)
+    : ontology_(ontology) {
+  FAIRREC_CHECK(ontology != nullptr);
+}
+
+int32_t ConceptDistanceOracle::Distance(ConceptId a, ConceptId b) {
+  FAIRREC_DCHECK(ontology_->IsValid(a) && ontology_->IsValid(b));
+  if (a == b) return 0;
+  const uint64_t key = PairKey(a, b);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  const int32_t d = ontology_->PathLength(a, b);
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.emplace(key, d);
+  return d;
+}
+
+double ConceptDistanceOracle::Similarity(ConceptId a, ConceptId b) {
+  return 1.0 / (1.0 + static_cast<double>(Distance(a, b)));
+}
+
+int32_t ConceptDistanceOracle::DistanceByBfs(ConceptId a, ConceptId b) const {
+  FAIRREC_DCHECK(ontology_->IsValid(a) && ontology_->IsValid(b));
+  if (a == b) return 0;
+  std::vector<int32_t> dist(static_cast<size_t>(ontology_->num_concepts()), -1);
+  std::deque<ConceptId> frontier{a};
+  dist[static_cast<size_t>(a)] = 0;
+  while (!frontier.empty()) {
+    const ConceptId c = frontier.front();
+    frontier.pop_front();
+    const int32_t d = dist[static_cast<size_t>(c)];
+    auto visit = [&](ConceptId next) {
+      if (next == kInvalidConceptId) return false;
+      auto& slot = dist[static_cast<size_t>(next)];
+      if (slot != -1) return false;
+      slot = d + 1;
+      if (next == b) return true;
+      frontier.push_back(next);
+      return false;
+    };
+    if (visit(ontology_->ParentOf(c))) return d + 1;
+    for (ConceptId child : ontology_->ChildrenOf(c)) {
+      if (visit(child)) return d + 1;
+    }
+  }
+  return -1;  // unreachable in a tree, defensive for future DAG support
+}
+
+size_t ConceptDistanceOracle::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace fairrec

@@ -1,0 +1,47 @@
+#ifndef FAIRREC_ONTOLOGY_DISTANCE_ORACLE_H_
+#define FAIRREC_ONTOLOGY_DISTANCE_ORACLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "ontology/ontology.h"
+
+namespace fairrec {
+
+/// Memoizing shortest-path oracle over an ontology (§V-C-1): the semantic
+/// similarity measure issues O(|problems_u| * |problems_v|) distance queries
+/// per user pair, and clinical profiles reuse a small set of concepts, so
+/// caching pays off.
+///
+/// Distances come from the tree LCA closed form (equal to undirected BFS on a
+/// tree); a standalone BFS is exposed for verification.
+///
+/// Thread-safe: the cache is guarded by a mutex.
+class ConceptDistanceOracle {
+ public:
+  /// The ontology must outlive the oracle.
+  explicit ConceptDistanceOracle(const Ontology* ontology);
+
+  /// Shortest path length in edges between two concepts.
+  int32_t Distance(ConceptId a, ConceptId b);
+
+  /// Path-based similarity used by Eq. 4's x_i terms: 1 / (1 + hops), so an
+  /// identical concept scores 1 and similarity decays with distance.
+  double Similarity(ConceptId a, ConceptId b);
+
+  /// Reference BFS over undirected parent/child edges. O(V + E); used by
+  /// tests to cross-check the LCA closed form.
+  int32_t DistanceByBfs(ConceptId a, ConceptId b) const;
+
+  size_t cache_size() const;
+
+ private:
+  const Ontology* ontology_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, int32_t> cache_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_ONTOLOGY_DISTANCE_ORACLE_H_

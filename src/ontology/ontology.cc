@@ -1,0 +1,112 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+ConceptId Ontology::ParentOf(ConceptId c) const {
+  FAIRREC_DCHECK(IsValid(c));
+  return parents_[static_cast<size_t>(c)];
+}
+
+std::span<const ConceptId> Ontology::ChildrenOf(ConceptId c) const {
+  FAIRREC_DCHECK(IsValid(c));
+  return children_[static_cast<size_t>(c)];
+}
+
+int32_t Ontology::DepthOf(ConceptId c) const {
+  FAIRREC_DCHECK(IsValid(c));
+  return depths_[static_cast<size_t>(c)];
+}
+
+const std::string& Ontology::NameOf(ConceptId c) const {
+  FAIRREC_DCHECK(IsValid(c));
+  return names_[static_cast<size_t>(c)];
+}
+
+ConceptId Ontology::FindByName(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidConceptId : it->second;
+}
+
+bool Ontology::IsAncestorOf(ConceptId ancestor, ConceptId c) const {
+  FAIRREC_DCHECK(IsValid(ancestor) && IsValid(c));
+  while (c != kInvalidConceptId) {
+    if (c == ancestor) return true;
+    c = parents_[static_cast<size_t>(c)];
+  }
+  return false;
+}
+
+ConceptId Ontology::LowestCommonAncestor(ConceptId a, ConceptId b) const {
+  FAIRREC_DCHECK(IsValid(a) && IsValid(b));
+  // Climb the deeper node first, then walk both up in lockstep.
+  while (DepthOf(a) > DepthOf(b)) a = ParentOf(a);
+  while (DepthOf(b) > DepthOf(a)) b = ParentOf(b);
+  while (a != b) {
+    a = ParentOf(a);
+    b = ParentOf(b);
+  }
+  return a;
+}
+
+int32_t Ontology::PathLength(ConceptId a, ConceptId b) const {
+  const ConceptId lca = LowestCommonAncestor(a, b);
+  return DepthOf(a) + DepthOf(b) - 2 * DepthOf(lca);
+}
+
+Result<ConceptId> OntologyBuilder::AddRoot(std::string name) {
+  if (!names_.empty()) {
+    return Status::FailedPrecondition("root already added");
+  }
+  parents_.push_back(kInvalidConceptId);
+  by_name_.emplace(name, 0);
+  names_.push_back(std::move(name));
+  return ConceptId{0};
+}
+
+Result<ConceptId> OntologyBuilder::AddChild(ConceptId parent, std::string name) {
+  if (names_.empty()) {
+    return Status::FailedPrecondition("add the root before adding children");
+  }
+  if (parent < 0 || parent >= static_cast<ConceptId>(names_.size())) {
+    return Status::InvalidArgument("unknown parent concept id: " +
+                                   std::to_string(parent));
+  }
+  if (by_name_.contains(name)) {
+    return Status::AlreadyExists("duplicate concept name: " + name);
+  }
+  const auto id = static_cast<ConceptId>(names_.size());
+  parents_.push_back(parent);
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+Result<Ontology> OntologyBuilder::Build() {
+  if (names_.empty()) {
+    return Status::FailedPrecondition("ontology must contain a root concept");
+  }
+  Ontology out;
+  out.parents_ = std::move(parents_);
+  out.names_ = std::move(names_);
+  out.by_name_ = std::move(by_name_);
+  const auto n = out.parents_.size();
+  out.children_.assign(n, {});
+  out.depths_.assign(n, 0);
+  // Parents always precede children (AddChild requires an existing parent),
+  // so one forward pass fixes depths and children lists.
+  for (size_t c = 1; c < n; ++c) {
+    const auto parent = static_cast<size_t>(out.parents_[c]);
+    out.children_[parent].push_back(static_cast<ConceptId>(c));
+    out.depths_[c] = out.depths_[parent] + 1;
+  }
+  parents_.clear();
+  names_.clear();
+  by_name_.clear();
+  return out;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,95 @@
+#ifndef FAIRREC_ONTOLOGY_ONTOLOGY_H_
+#define FAIRREC_ONTOLOGY_ONTOLOGY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fairrec {
+
+/// Dense identifier of an ontology concept (a SNOMED-CT term stand-in).
+using ConceptId = int32_t;
+
+inline constexpr ConceptId kInvalidConceptId = -1;
+
+/// Immutable is-a concept hierarchy standing in for the SNOMED-CT class tree
+/// of §V-C. Concept 0 is always the root. Single-parent (tree) by
+/// construction; the BFS distance oracle treats edges as undirected, exactly
+/// as the paper's "shortest path that connects those two nodes in the tree".
+///
+/// Construct via OntologyBuilder.
+class Ontology {
+ public:
+  Ontology() = default;
+
+  int32_t num_concepts() const { return static_cast<int32_t>(parents_.size()); }
+
+  bool IsValid(ConceptId c) const { return c >= 0 && c < num_concepts(); }
+
+  /// The root ("SNOMED CT Concept" in the real ontology).
+  ConceptId root() const { return 0; }
+
+  /// Parent of `c`; kInvalidConceptId for the root.
+  ConceptId ParentOf(ConceptId c) const;
+
+  std::span<const ConceptId> ChildrenOf(ConceptId c) const;
+
+  /// Depth of `c` (root = 0).
+  int32_t DepthOf(ConceptId c) const;
+
+  const std::string& NameOf(ConceptId c) const;
+
+  /// Finds a concept by exact name; kInvalidConceptId if absent.
+  ConceptId FindByName(std::string_view name) const;
+
+  /// True iff `ancestor` lies on the root path of `c` (inclusive).
+  bool IsAncestorOf(ConceptId ancestor, ConceptId c) const;
+
+  /// Lowest common ancestor of two concepts. Precondition: valid ids.
+  ConceptId LowestCommonAncestor(ConceptId a, ConceptId b) const;
+
+  /// Tree distance in edges: depth(a) + depth(b) - 2*depth(lca). This *is*
+  /// the undirected shortest path for a tree; the BFS oracle cross-checks it.
+  int32_t PathLength(ConceptId a, ConceptId b) const;
+
+ private:
+  friend class OntologyBuilder;
+
+  std::vector<ConceptId> parents_;       // per concept
+  std::vector<int32_t> depths_;          // per concept
+  std::vector<std::string> names_;       // per concept
+  std::vector<std::vector<ConceptId>> children_;
+  std::unordered_map<std::string, ConceptId> by_name_;
+};
+
+/// Builds an Ontology incrementally. The first added concept is the root.
+class OntologyBuilder {
+ public:
+  OntologyBuilder() = default;
+
+  /// Adds the root concept. Must be called exactly once, first.
+  Result<ConceptId> AddRoot(std::string name);
+
+  /// Adds a child of an existing concept. Names must be unique.
+  Result<ConceptId> AddChild(ConceptId parent, std::string name);
+
+  int32_t num_concepts() const { return static_cast<int32_t>(names_.size()); }
+
+  /// Finalizes. The builder is left empty.
+  Result<Ontology> Build();
+
+ private:
+  std::vector<ConceptId> parents_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ConceptId> by_name_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_ONTOLOGY_ONTOLOGY_H_

@@ -1,0 +1,112 @@
+#include "ontology/snomed_generator.h"
+
+#include <array>
+#include <string>
+
+#include "common/random.h"
+
+namespace fairrec {
+
+namespace {
+
+// Realistic cluster labels; cycled with a numeric suffix when
+// num_clusters exceeds the list.
+constexpr std::array<std::string_view, 12> kClusterNames = {
+    "Disorder of respiratory system", "Disorder of cardiovascular system",
+    "Disorder of digestive system",   "Disorder of nervous system",
+    "Disorder of musculoskeletal system", "Disorder of endocrine system",
+    "Disorder of immune system",      "Disorder of skin",
+    "Mental disorder",                "Neoplastic disease",
+    "Infectious disease",             "Disorder of urinary system"};
+
+std::string ClusterName(int32_t index) {
+  const auto base = kClusterNames[static_cast<size_t>(index) % kClusterNames.size()];
+  if (static_cast<size_t>(index) < kClusterNames.size()) return std::string(base);
+  return std::string(base) + " variant " +
+         std::to_string(index / static_cast<int32_t>(kClusterNames.size()));
+}
+
+}  // namespace
+
+Result<SyntheticOntology> GenerateSnomedLikeOntology(
+    const SnomedGeneratorConfig& config) {
+  if (config.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (config.cluster_depth < 1) {
+    return Status::InvalidArgument("cluster_depth must be >= 1");
+  }
+  if (config.min_branch < 1 || config.max_branch < config.min_branch) {
+    return Status::InvalidArgument("need 1 <= min_branch <= max_branch");
+  }
+
+  Rng rng(config.seed);
+  OntologyBuilder builder;
+  FAIRREC_ASSIGN_OR_RETURN(const ConceptId root,
+                           builder.AddRoot("SNOMED CT Concept"));
+  FAIRREC_ASSIGN_OR_RETURN(const ConceptId finding,
+                           builder.AddChild(root, "Clinical finding"));
+
+  SyntheticOntology out;
+  for (int32_t c = 0; c < config.num_clusters; ++c) {
+    const std::string cluster_name = ClusterName(c);
+    FAIRREC_ASSIGN_OR_RETURN(const ConceptId cluster_root,
+                             builder.AddChild(finding, cluster_name));
+    out.cluster_roots.push_back(cluster_root);
+    out.cluster_concepts.emplace_back();
+
+    // Grow the subtree level by level.
+    std::vector<ConceptId> level{cluster_root};
+    int32_t counter = 0;
+    for (int32_t depth = 1; depth <= config.cluster_depth; ++depth) {
+      std::vector<ConceptId> next_level;
+      for (const ConceptId parent : level) {
+        const auto fanout = static_cast<int32_t>(
+            rng.UniformInt(config.min_branch, config.max_branch));
+        for (int32_t k = 0; k < fanout; ++k) {
+          const std::string name = cluster_name + " finding " +
+                                   std::to_string(depth) + "." +
+                                   std::to_string(counter++);
+          FAIRREC_ASSIGN_OR_RETURN(const ConceptId child,
+                                   builder.AddChild(parent, name));
+          next_level.push_back(child);
+          out.cluster_concepts.back().push_back(child);
+        }
+      }
+      level = std::move(next_level);
+    }
+  }
+
+  FAIRREC_ASSIGN_OR_RETURN(out.ontology, builder.Build());
+  return out;
+}
+
+Result<Ontology> BuildPaperFixtureOntology() {
+  OntologyBuilder builder;
+  // Depths chosen so that the two path lengths quoted in §V-C hold:
+  //   path(Acute bronchitis[4], Chest pain[3]) via Clinical finding[1] = 3+2 = 5
+  //   path(Tracheobronchitis[4], Acute bronchitis[4]) via Bronchitis[3] = 2
+  FAIRREC_ASSIGN_OR_RETURN(const ConceptId root,
+                           builder.AddRoot("SNOMED CT Concept"));
+  FAIRREC_ASSIGN_OR_RETURN(const ConceptId finding,
+                           builder.AddChild(root, "Clinical finding"));
+  FAIRREC_ASSIGN_OR_RETURN(
+      const ConceptId respiratory,
+      builder.AddChild(finding, "Disorder of respiratory system"));
+  FAIRREC_ASSIGN_OR_RETURN(const ConceptId bronchitis,
+                           builder.AddChild(respiratory, "Bronchitis"));
+  FAIRREC_RETURN_NOT_OK(builder.AddChild(bronchitis, "Acute bronchitis").status());
+  FAIRREC_RETURN_NOT_OK(
+      builder.AddChild(bronchitis, "Tracheobronchitis").status());
+  FAIRREC_ASSIGN_OR_RETURN(const ConceptId by_site,
+                           builder.AddChild(finding, "Finding by site"));
+  FAIRREC_RETURN_NOT_OK(builder.AddChild(by_site, "Chest pain").status());
+  FAIRREC_ASSIGN_OR_RETURN(const ConceptId injury,
+                           builder.AddChild(finding, "Traumatic injury"));
+  FAIRREC_ASSIGN_OR_RETURN(const ConceptId fracture,
+                           builder.AddChild(injury, "Fracture of upper limb"));
+  FAIRREC_RETURN_NOT_OK(builder.AddChild(fracture, "Broken arm").status());
+  return builder.Build();
+}
+
+}  // namespace fairrec

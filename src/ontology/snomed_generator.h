@@ -1,0 +1,59 @@
+#ifndef FAIRREC_ONTOLOGY_SNOMED_GENERATOR_H_
+#define FAIRREC_ONTOLOGY_SNOMED_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+
+namespace fairrec {
+
+/// A synthetic stand-in for the (licensed) SNOMED-CT hierarchy.
+///
+/// The real ontology cannot be redistributed, so we generate a tree with the
+/// same *shape* properties the semantic similarity of §V-C depends on: a
+/// single root, a "Clinical finding" axis, and a set of body-system clusters
+/// (subtrees). Concepts within a cluster are a short path apart; concepts in
+/// different clusters must route near the root, giving long paths — exactly
+/// the contrast the paper exploits (Table I: tracheobronchitis is 2 hops from
+/// acute bronchitis but chest pain is 5 hops away).
+struct SyntheticOntology {
+  Ontology ontology;
+  /// One subtree root per clinical cluster (e.g. per body system).
+  std::vector<ConceptId> cluster_roots;
+  /// All concepts inside each cluster subtree (excluding the cluster root).
+  std::vector<std::vector<ConceptId>> cluster_concepts;
+};
+
+/// Knobs for the synthetic SNOMED-like generator.
+struct SnomedGeneratorConfig {
+  /// Number of body-system clusters under the "Clinical finding" axis.
+  int32_t num_clusters = 8;
+  /// Depth of each cluster subtree below its cluster root.
+  int32_t cluster_depth = 4;
+  /// Children per internal node: drawn uniformly in [min_branch, max_branch].
+  int32_t min_branch = 2;
+  int32_t max_branch = 3;
+  uint64_t seed = 42;
+};
+
+/// Generates a synthetic ontology. Concept names are synthesized from cluster
+/// names and indexes and are unique.
+Result<SyntheticOntology> GenerateSnomedLikeOntology(
+    const SnomedGeneratorConfig& config);
+
+/// Hand-built fixture reproducing the exact paths behind the paper's Table I
+/// discussion: path(acute bronchitis, chest pain) = 5 and
+/// path(tracheobronchitis, acute bronchitis) = 2, plus the "Broken arm"
+/// concept of Patient 3. Used by tests and the quickstart example.
+///
+/// Concept names (exact spellings): "SNOMED CT Concept", "Clinical finding",
+/// "Disorder of respiratory system", "Bronchitis", "Acute bronchitis",
+/// "Tracheobronchitis", "Finding by site", "Chest pain", "Traumatic injury",
+/// "Fracture of upper limb", "Broken arm".
+Result<Ontology> BuildPaperFixtureOntology();
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_ONTOLOGY_SNOMED_GENERATOR_H_

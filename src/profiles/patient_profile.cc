@@ -1,0 +1,34 @@
+#include "profiles/patient_profile.h"
+
+namespace fairrec {
+
+std::string_view GenderToString(Gender gender) {
+  switch (gender) {
+    case Gender::kUnknown:
+      return "unknown";
+    case Gender::kFemale:
+      return "female";
+    case Gender::kMale:
+      return "male";
+  }
+  return "unknown";
+}
+
+std::string PatientProfile::RenderAsDocument(const Ontology& ontology) const {
+  std::string doc;
+  auto append_line = [&doc](std::string_view text) {
+    if (text.empty()) return;
+    if (!doc.empty()) doc += ' ';
+    doc += text;
+  };
+  for (const ConceptId problem : problems) {
+    if (ontology.IsValid(problem)) append_line(ontology.NameOf(problem));
+  }
+  for (const std::string& medication : medications) append_line(medication);
+  for (const std::string& procedure : procedures) append_line(procedure);
+  append_line(GenderToString(gender));
+  if (age > 0) append_line("age " + std::to_string(age));
+  return doc;
+}
+
+}  // namespace fairrec

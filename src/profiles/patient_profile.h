@@ -1,0 +1,40 @@
+#ifndef FAIRREC_PROFILES_PATIENT_PROFILE_H_
+#define FAIRREC_PROFILES_PATIENT_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+enum class Gender { kUnknown = 0, kFemale, kMale };
+
+std::string_view GenderToString(Gender gender);
+
+/// A patient's PHR profile, mirroring the fields of the paper's Table I:
+/// problems (SNOMED-CT terms), medication, gender, procedure, age. Problems
+/// are ontology concept ids so the semantic similarity (§V-C) can walk the
+/// hierarchy; all fields contribute to the profile-as-document rendering
+/// consumed by the TF-IDF similarity (§V-B).
+struct PatientProfile {
+  UserId user = kInvalidUserId;
+  /// Health problems as ontology concepts ("Problem" rows of Table I).
+  std::vector<ConceptId> problems;
+  /// Free-text medication lines, e.g. "Ramipril 10 MG Oral Capsule".
+  std::vector<std::string> medications;
+  /// Free-text procedure lines (may be empty, as in Table I).
+  std::vector<std::string> procedures;
+  Gender gender = Gender::kUnknown;
+  int32_t age = 0;
+
+  /// Renders the profile as a single text document (§V-B: "we consider all
+  /// the information contained in a profile as a single document"). Problem
+  /// concept ids are expanded to their ontology names.
+  std::string RenderAsDocument(const Ontology& ontology) const;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_PROFILES_PATIENT_PROFILE_H_

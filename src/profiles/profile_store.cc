@@ -1,0 +1,57 @@
+#include "profiles/profile_store.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+Status ProfileStore::Add(PatientProfile profile) {
+  if (profile.user < 0) {
+    return Status::InvalidArgument("profile user id must be non-negative");
+  }
+  const auto index = static_cast<size_t>(profile.user);
+  if (index >= profiles_.size()) {
+    profiles_.resize(index + 1);
+    present_.resize(index + 1, false);
+  }
+  if (present_[index]) {
+    return Status::AlreadyExists("profile already stored for user " +
+                                 std::to_string(profile.user));
+  }
+  profiles_[index] = std::move(profile);
+  present_[index] = true;
+  ++count_;
+  return Status::OK();
+}
+
+bool ProfileStore::Contains(UserId u) const {
+  return u >= 0 && static_cast<size_t>(u) < present_.size() &&
+         present_[static_cast<size_t>(u)];
+}
+
+const PatientProfile& ProfileStore::Get(UserId u) const {
+  FAIRREC_CHECK(Contains(u));
+  return profiles_[static_cast<size_t>(u)];
+}
+
+std::vector<UserId> ProfileStore::Users() const {
+  std::vector<UserId> out;
+  out.reserve(static_cast<size_t>(count_));
+  for (size_t i = 0; i < present_.size(); ++i) {
+    if (present_[i]) out.push_back(static_cast<UserId>(i));
+  }
+  return out;
+}
+
+std::vector<std::string> ProfileStore::RenderAllDocuments(
+    const Ontology& ontology) const {
+  std::vector<std::string> docs;
+  docs.reserve(static_cast<size_t>(count_));
+  for (size_t i = 0; i < present_.size(); ++i) {
+    if (present_[i]) docs.push_back(profiles_[i].RenderAsDocument(ontology));
+  }
+  return docs;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,50 @@
+#ifndef FAIRREC_PROFILES_PROFILE_STORE_H_
+#define FAIRREC_PROFILES_PROFILE_STORE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "profiles/patient_profile.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// Dense store of patient profiles indexed by UserId — the library's stand-in
+/// for the iPHR record system of the paper's architecture (Fig. 1).
+class ProfileStore {
+ public:
+  ProfileStore() = default;
+
+  /// Inserts a profile. The profile's user id must be non-negative and not
+  /// already present. Gaps are allowed (absent users have empty profiles and
+  /// Contains() == false).
+  Status Add(PatientProfile profile);
+
+  bool Contains(UserId u) const;
+
+  /// Precondition: Contains(u).
+  const PatientProfile& Get(UserId u) const;
+
+  /// Number of stored profiles.
+  int32_t size() const { return count_; }
+
+  /// One past the largest stored user id (0 when empty).
+  int32_t capacity_users() const { return static_cast<int32_t>(profiles_.size()); }
+
+  /// User ids of all stored profiles, ascending.
+  std::vector<UserId> Users() const;
+
+  /// Renders every stored profile (ascending user id order) as a document;
+  /// feed to TfIdfVectorizer::Fit. Returns one document per *stored* user.
+  std::vector<std::string> RenderAllDocuments(const Ontology& ontology) const;
+
+ private:
+  std::vector<PatientProfile> profiles_;  // indexed by user id
+  std::vector<bool> present_;
+  int32_t count_ = 0;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_PROFILES_PROFILE_STORE_H_

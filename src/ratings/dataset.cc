@@ -1,0 +1,110 @@
+#include "ratings/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace fairrec {
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats stats;
+  stats.num_users = matrix.num_users();
+  stats.num_items = matrix.num_items();
+  stats.num_ratings = matrix.num_ratings();
+  stats.density = matrix.Density();
+
+  double sum = 0.0;
+  int32_t min_deg = stats.num_users > 0 ? matrix.UserDegree(0) : 0;
+  int32_t max_deg = 0;
+  int64_t total_deg = 0;
+  for (UserId u = 0; u < stats.num_users; ++u) {
+    const int32_t deg = matrix.UserDegree(u);
+    min_deg = std::min(min_deg, deg);
+    max_deg = std::max(max_deg, deg);
+    total_deg += deg;
+    for (const ItemRating& entry : matrix.ItemsRatedBy(u)) {
+      sum += entry.value;
+      const int bucket =
+          std::clamp(static_cast<int>(std::lround(entry.value)), 1, 5) - 1;
+      stats.histogram[static_cast<size_t>(bucket)]++;
+    }
+  }
+  stats.mean_rating =
+      stats.num_ratings > 0 ? sum / static_cast<double>(stats.num_ratings) : 0.0;
+  stats.min_user_degree = stats.num_users > 0 ? min_deg : 0;
+  stats.max_user_degree = max_deg;
+  stats.mean_user_degree =
+      stats.num_users > 0
+          ? static_cast<double>(total_deg) / static_cast<double>(stats.num_users)
+          : 0.0;
+  return stats;
+}
+
+namespace {
+
+bool ParseInt32(const std::string& text, int32_t* out) {
+  const std::string trimmed(Trim(text));
+  if (trimmed.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(trimmed.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  if (value < INT32_MIN || value > INT32_MAX) return false;
+  *out = static_cast<int32_t>(value);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  const std::string trimmed(Trim(text));
+  if (trimmed.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<Dataset> LoadDatasetCsv(const std::string& path) {
+  FAIRREC_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, ReadCsvFile(path));
+  Dataset dataset;
+  RatingMatrixBuilder builder;
+  bool first = true;
+  for (const CsvRow& row : rows) {
+    if (row.size() != 3) {
+      return Status::InvalidArgument("expected 3 columns, got " +
+                                     std::to_string(row.size()));
+    }
+    int32_t user = 0;
+    int32_t item = 0;
+    double value = 0.0;
+    const bool parsed = ParseInt32(row[0], &user) && ParseInt32(row[1], &item) &&
+                        ParseDouble(row[2], &value);
+    if (!parsed) {
+      if (first) {
+        first = false;  // header row
+        continue;
+      }
+      return Status::InvalidArgument("unparseable CSV row: " + Join(row, ","));
+    }
+    first = false;
+    FAIRREC_RETURN_NOT_OK(builder.Add(user, item, value));
+  }
+  FAIRREC_ASSIGN_OR_RETURN(dataset.matrix, builder.Build());
+  return dataset;
+}
+
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"user", "item", "rating"});
+  for (const RatingTriple& t : dataset.matrix.ToTriples()) {
+    rows.push_back({std::to_string(t.user), std::to_string(t.item),
+                    FormatDouble(t.value, 3)});
+  }
+  return WriteCsvFile(path, rows);
+}
+
+}  // namespace fairrec

@@ -1,0 +1,47 @@
+#ifndef FAIRREC_RATINGS_DATASET_H_
+#define FAIRREC_RATINGS_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ratings/rating_matrix.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// Aggregate statistics about a rating matrix, for dataset reports.
+struct DatasetStats {
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  int64_t num_ratings = 0;
+  double density = 0.0;
+  double mean_rating = 0.0;
+  /// histogram[s-1] counts ratings with round(value) == s, s in 1..5.
+  std::vector<int64_t> histogram = std::vector<int64_t>(5, 0);
+  int32_t min_user_degree = 0;
+  int32_t max_user_degree = 0;
+  double mean_user_degree = 0.0;
+};
+
+/// A rating matrix together with optional display names, as produced by the
+/// synthetic generators or loaded from disk.
+struct Dataset {
+  RatingMatrix matrix;
+  std::vector<std::string> user_names;  // may be empty
+  std::vector<std::string> item_names;  // may be empty
+
+  DatasetStats ComputeStats() const;
+};
+
+/// Loads a `user,item,rating` CSV (optional single header row is detected and
+/// skipped). Ids must be non-negative integers; ratings must be in [1,5].
+Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+/// Writes `user,item,rating` rows with a header.
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_RATINGS_DATASET_H_

@@ -1,0 +1,187 @@
+#include "ratings/rating_matrix.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+double RatingMatrix::Density() const {
+  const double cells = static_cast<double>(num_users_) * num_items_;
+  return cells == 0.0 ? 0.0 : static_cast<double>(num_ratings()) / cells;
+}
+
+std::span<const ItemRating> RatingMatrix::ItemsRatedBy(UserId u) const {
+  FAIRREC_DCHECK(IsValidUser(u));
+  const auto begin = static_cast<size_t>(by_user_offsets_[static_cast<size_t>(u)]);
+  const auto end = static_cast<size_t>(by_user_offsets_[static_cast<size_t>(u) + 1]);
+  return {by_user_entries_.data() + begin, end - begin};
+}
+
+std::span<const UserRating> RatingMatrix::UsersWhoRated(ItemId i) const {
+  FAIRREC_DCHECK(IsValidItem(i));
+  const auto begin = static_cast<size_t>(by_item_offsets_[static_cast<size_t>(i)]);
+  const auto end = static_cast<size_t>(by_item_offsets_[static_cast<size_t>(i) + 1]);
+  return {by_item_entries_.data() + begin, end - begin};
+}
+
+std::optional<Rating> RatingMatrix::GetRating(UserId u, ItemId i) const {
+  if (!IsValidUser(u) || !IsValidItem(i)) return std::nullopt;
+  const auto row = ItemsRatedBy(u);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), i,
+      [](const ItemRating& entry, ItemId target) { return entry.item < target; });
+  if (it == row.end() || it->item != i) return std::nullopt;
+  return it->value;
+}
+
+double RatingMatrix::UserMean(UserId u) const {
+  FAIRREC_DCHECK(IsValidUser(u));
+  return user_means_[static_cast<size_t>(u)];
+}
+
+int32_t RatingMatrix::UserDegree(UserId u) const {
+  FAIRREC_DCHECK(IsValidUser(u));
+  return static_cast<int32_t>(by_user_offsets_[static_cast<size_t>(u) + 1] -
+                              by_user_offsets_[static_cast<size_t>(u)]);
+}
+
+int32_t RatingMatrix::ItemDegree(ItemId i) const {
+  FAIRREC_DCHECK(IsValidItem(i));
+  return static_cast<int32_t>(by_item_offsets_[static_cast<size_t>(i) + 1] -
+                              by_item_offsets_[static_cast<size_t>(i)]);
+}
+
+std::vector<ItemId> RatingMatrix::ItemsUnratedByAll(const Group& group) const {
+  std::vector<bool> rated(static_cast<size_t>(num_items_), false);
+  for (UserId u : group) {
+    if (!IsValidUser(u)) continue;
+    for (const ItemRating& entry : ItemsRatedBy(u)) {
+      rated[static_cast<size_t>(entry.item)] = true;
+    }
+  }
+  std::vector<ItemId> out;
+  for (ItemId i = 0; i < num_items_; ++i) {
+    if (!rated[static_cast<size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<ItemId> RatingMatrix::ItemsUnratedBy(UserId u) const {
+  return ItemsUnratedByAll(Group{u});
+}
+
+std::vector<RatingTriple> RatingMatrix::ToTriples() const {
+  std::vector<RatingTriple> out;
+  out.reserve(static_cast<size_t>(num_ratings()));
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (const ItemRating& entry : ItemsRatedBy(u)) {
+      out.push_back({u, entry.item, entry.value});
+    }
+  }
+  return out;
+}
+
+RatingMatrixBuilder& RatingMatrixBuilder::Reserve(int32_t num_users,
+                                                  int32_t num_items) {
+  num_users_ = std::max(num_users_, num_users);
+  num_items_ = std::max(num_items_, num_items);
+  return *this;
+}
+
+RatingMatrixBuilder& RatingMatrixBuilder::allow_any_scale(bool allow) {
+  allow_any_scale_ = allow;
+  return *this;
+}
+
+Status RatingMatrixBuilder::Add(UserId user, ItemId item, Rating value) {
+  if (user < 0) {
+    return Status::InvalidArgument("negative user id: " + std::to_string(user));
+  }
+  if (item < 0) {
+    return Status::InvalidArgument("negative item id: " + std::to_string(item));
+  }
+  if (!allow_any_scale_ && !IsValidRating(value)) {
+    return Status::InvalidArgument("rating outside [1,5]: " +
+                                   std::to_string(value));
+  }
+  triples_.push_back({user, item, value});
+  num_users_ = std::max(num_users_, user + 1);
+  num_items_ = std::max(num_items_, item + 1);
+  return Status::OK();
+}
+
+Status RatingMatrixBuilder::AddAll(const std::vector<RatingTriple>& triples) {
+  for (const RatingTriple& t : triples) {
+    FAIRREC_RETURN_NOT_OK(Add(t.user, t.item, t.value));
+  }
+  return Status::OK();
+}
+
+Result<RatingMatrix> RatingMatrixBuilder::Build() {
+  std::sort(triples_.begin(), triples_.end(),
+            [](const RatingTriple& a, const RatingTriple& b) {
+              return a.user != b.user ? a.user < b.user : a.item < b.item;
+            });
+  for (size_t k = 1; k < triples_.size(); ++k) {
+    if (triples_[k].user == triples_[k - 1].user &&
+        triples_[k].item == triples_[k - 1].item) {
+      return Status::AlreadyExists(
+          "duplicate rating for user " + std::to_string(triples_[k].user) +
+          ", item " + std::to_string(triples_[k].item));
+    }
+  }
+
+  RatingMatrix m;
+  m.num_users_ = num_users_;
+  m.num_items_ = num_items_;
+
+  // CSR by user (triples are already user-major sorted).
+  m.by_user_offsets_.assign(static_cast<size_t>(num_users_) + 1, 0);
+  m.by_user_entries_.reserve(triples_.size());
+  for (const RatingTriple& t : triples_) {
+    m.by_user_offsets_[static_cast<size_t>(t.user) + 1]++;
+  }
+  for (size_t u = 0; u < static_cast<size_t>(num_users_); ++u) {
+    m.by_user_offsets_[u + 1] += m.by_user_offsets_[u];
+  }
+  for (const RatingTriple& t : triples_) {
+    m.by_user_entries_.push_back({t.item, t.value});
+  }
+
+  // CSR by item via counting sort on item id (stable, preserves user order).
+  m.by_item_offsets_.assign(static_cast<size_t>(num_items_) + 1, 0);
+  for (const RatingTriple& t : triples_) {
+    m.by_item_offsets_[static_cast<size_t>(t.item) + 1]++;
+  }
+  for (size_t i = 0; i < static_cast<size_t>(num_items_); ++i) {
+    m.by_item_offsets_[i + 1] += m.by_item_offsets_[i];
+  }
+  m.by_item_entries_.resize(triples_.size());
+  {
+    std::vector<int64_t> cursor(m.by_item_offsets_.begin(),
+                                m.by_item_offsets_.end() - 1);
+    for (const RatingTriple& t : triples_) {
+      m.by_item_entries_[static_cast<size_t>(
+          cursor[static_cast<size_t>(t.item)]++)] = {t.user, t.value};
+    }
+  }
+
+  // Per-user means (µ_u of Eq. 2).
+  m.user_means_.assign(static_cast<size_t>(num_users_), 0.0);
+  for (UserId u = 0; u < num_users_; ++u) {
+    const auto row = m.ItemsRatedBy(u);
+    if (row.empty()) continue;
+    double sum = 0.0;
+    for (const ItemRating& entry : row) sum += entry.value;
+    m.user_means_[static_cast<size_t>(u)] = sum / static_cast<double>(row.size());
+  }
+
+  triples_.clear();
+  num_users_ = 0;
+  num_items_ = 0;
+  return m;
+}
+
+}  // namespace fairrec

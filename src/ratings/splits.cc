@@ -1,0 +1,72 @@
+#include "ratings/splits.h"
+
+#include "common/random.h"
+
+namespace fairrec {
+
+namespace {
+
+Result<TrainTestSplit> BuildSplit(const RatingMatrix& matrix,
+                                  std::vector<RatingTriple> train_triples,
+                                  std::vector<RatingTriple> test_triples) {
+  RatingMatrixBuilder builder;
+  // Preserve the original grid so user/item ids keep meaning even when a
+  // user's entire row was held out.
+  builder.Reserve(matrix.num_users(), matrix.num_items());
+  builder.allow_any_scale(true);  // already validated at original build time
+  FAIRREC_RETURN_NOT_OK(builder.AddAll(train_triples));
+  TrainTestSplit split;
+  FAIRREC_ASSIGN_OR_RETURN(split.train, builder.Build());
+  split.test = std::move(test_triples);
+  return split;
+}
+
+}  // namespace
+
+Result<TrainTestSplit> RandomHoldoutSplit(const RatingMatrix& matrix,
+                                          double test_fraction, uint64_t seed) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  if (matrix.num_ratings() == 0) {
+    return Status::InvalidArgument("cannot split an empty rating matrix");
+  }
+  Rng rng(seed);
+  std::vector<RatingTriple> train;
+  std::vector<RatingTriple> test;
+  for (const RatingTriple& t : matrix.ToTriples()) {
+    (rng.NextBool(test_fraction) ? test : train).push_back(t);
+  }
+  return BuildSplit(matrix, std::move(train), std::move(test));
+}
+
+Result<TrainTestSplit> LeaveKOutSplit(const RatingMatrix& matrix,
+                                      int32_t k_per_user, uint64_t seed) {
+  if (k_per_user <= 0) {
+    return Status::InvalidArgument("k_per_user must be positive");
+  }
+  if (matrix.num_ratings() == 0) {
+    return Status::InvalidArgument("cannot split an empty rating matrix");
+  }
+  Rng rng(seed);
+  std::vector<RatingTriple> train;
+  std::vector<RatingTriple> test;
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    const auto row = matrix.ItemsRatedBy(u);
+    if (static_cast<int32_t>(row.size()) <= k_per_user) {
+      for (const ItemRating& entry : row) train.push_back({u, entry.item, entry.value});
+      continue;
+    }
+    std::vector<uint8_t> held(row.size(), 0);
+    for (const int32_t index : rng.SampleWithoutReplacement(
+             static_cast<int32_t>(row.size()), k_per_user)) {
+      held[static_cast<size_t>(index)] = 1;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      (held[i] != 0 ? test : train).push_back({u, row[i].item, row[i].value});
+    }
+  }
+  return BuildSplit(matrix, std::move(train), std::move(test));
+}
+
+}  // namespace fairrec

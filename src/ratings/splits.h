@@ -1,0 +1,35 @@
+#ifndef FAIRREC_RATINGS_SPLITS_H_
+#define FAIRREC_RATINGS_SPLITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ratings/rating_matrix.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// A train/test partition of a rating matrix. Every observation appears in
+/// exactly one side; the train side is rebuilt into a matrix, the held-out
+/// side stays a triple list (the shape accuracy evaluation consumes).
+struct TrainTestSplit {
+  RatingMatrix train;
+  std::vector<RatingTriple> test;
+};
+
+/// Uniformly random holdout: each rating lands in the test side with
+/// probability `test_fraction`. Deterministic in `seed`. Fails unless
+/// 0 < test_fraction < 1 or if the matrix is empty.
+Result<TrainTestSplit> RandomHoldoutSplit(const RatingMatrix& matrix,
+                                          double test_fraction, uint64_t seed);
+
+/// Leave-k-out per user: k randomly chosen ratings of every user with more
+/// than `k_per_user` ratings are held out (users at or below the threshold
+/// keep all their ratings in train). Deterministic in `seed`.
+Result<TrainTestSplit> LeaveKOutSplit(const RatingMatrix& matrix,
+                                      int32_t k_per_user, uint64_t seed);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_RATINGS_SPLITS_H_

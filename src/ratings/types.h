@@ -1,0 +1,67 @@
+#ifndef FAIRREC_RATINGS_TYPES_H_
+#define FAIRREC_RATINGS_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fairrec {
+
+/// Dense, zero-based identifiers. The library indexes users and items
+/// contiguously; dataset loaders are responsible for remapping external ids.
+using UserId = int32_t;
+using ItemId = int32_t;
+
+/// Raw rating scale used throughout the paper: integers 1..5, stored as
+/// double so that predicted relevances (Eq. 1) share the type.
+using Rating = double;
+
+inline constexpr Rating kMinRating = 1.0;
+inline constexpr Rating kMaxRating = 5.0;
+
+inline constexpr UserId kInvalidUserId = -1;
+inline constexpr ItemId kInvalidItemId = -1;
+
+/// One observation: user `user` rated item `item` with `value`.
+struct RatingTriple {
+  UserId user = kInvalidUserId;
+  ItemId item = kInvalidItemId;
+  Rating value = 0.0;
+
+  friend bool operator==(const RatingTriple&, const RatingTriple&) = default;
+};
+
+/// (item, rating) entry in a user's row.
+struct ItemRating {
+  ItemId item = kInvalidItemId;
+  Rating value = 0.0;
+
+  friend bool operator==(const ItemRating&, const ItemRating&) = default;
+};
+
+/// (user, rating) entry in an item's column.
+struct UserRating {
+  UserId user = kInvalidUserId;
+  Rating value = 0.0;
+
+  friend bool operator==(const UserRating&, const UserRating&) = default;
+};
+
+/// (item, score) pair produced by relevance estimation and top-k selection.
+struct ScoredItem {
+  ItemId item = kInvalidItemId;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredItem&, const ScoredItem&) = default;
+};
+
+/// A caregiver's patient group G (dense user ids, no duplicates).
+using Group = std::vector<UserId>;
+
+/// True iff `value` lies on the paper's 1..5 scale.
+inline bool IsValidRating(Rating value) {
+  return value >= kMinRating && value <= kMaxRating;
+}
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_RATINGS_TYPES_H_

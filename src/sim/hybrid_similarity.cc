@@ -1,0 +1,50 @@
+#include "sim/hybrid_similarity.h"
+
+namespace fairrec {
+
+Result<std::unique_ptr<HybridSimilarity>> HybridSimilarity::Create(
+    std::vector<WeightedComponent> components) {
+  if (components.empty()) {
+    return Status::InvalidArgument("hybrid similarity needs >= 1 component");
+  }
+  double total = 0.0;
+  for (const WeightedComponent& c : components) {
+    if (c.measure == nullptr) {
+      return Status::InvalidArgument("hybrid similarity component is null");
+    }
+    if (c.weight < 0.0) {
+      return Status::InvalidArgument("hybrid similarity weight is negative");
+    }
+    total += c.weight;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("hybrid similarity weights sum to zero");
+  }
+  for (WeightedComponent& c : components) c.weight /= total;
+  return std::unique_ptr<HybridSimilarity>(
+      new HybridSimilarity(std::move(components)));
+}
+
+HybridSimilarity::HybridSimilarity(std::vector<WeightedComponent> components)
+    : components_(std::move(components)) {}
+
+double HybridSimilarity::Compute(UserId a, UserId b) const {
+  double sum = 0.0;
+  for (const WeightedComponent& c : components_) {
+    if (c.weight == 0.0) continue;
+    sum += c.weight * c.measure->Compute(a, b);
+  }
+  return sum;
+}
+
+std::string HybridSimilarity::name() const {
+  std::string out = "hybrid(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += "+";
+    out += components_[i].measure->name();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fairrec

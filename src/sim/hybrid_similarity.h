@@ -1,0 +1,48 @@
+#ifndef FAIRREC_SIM_HYBRID_SIMILARITY_H_
+#define FAIRREC_SIM_HYBRID_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/user_similarity.h"
+
+namespace fairrec {
+
+/// Convex combination of similarity measures. The paper presents the three
+/// measures of §V as alternatives for the simU slot; combining them is the
+/// natural deployment mode (ratings for taste, profile text for context,
+/// ontology for clinical proximity), and the EXT-A ablation compares the
+/// blend against each component.
+///
+/// All components should be on a [0, 1] scale (use
+/// RatingSimilarityOptions::shift_to_unit_interval for Pearson) so that the
+/// blend stays interpretable; this is the caller's responsibility.
+class HybridSimilarity final : public UserSimilarity {
+ public:
+  /// Component measure plus its blend weight.
+  struct WeightedComponent {
+    const UserSimilarity* measure = nullptr;  // not owned; must outlive
+    double weight = 0.0;
+  };
+
+  /// Validates: at least one component, non-null measures, non-negative
+  /// weights summing to something positive. Weights are normalized to sum 1.
+  static Result<std::unique_ptr<HybridSimilarity>> Create(
+      std::vector<WeightedComponent> components);
+
+  double Compute(UserId a, UserId b) const override;
+  std::string name() const override;
+
+  const std::vector<WeightedComponent>& components() const { return components_; }
+
+ private:
+  explicit HybridSimilarity(std::vector<WeightedComponent> components);
+
+  std::vector<WeightedComponent> components_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_HYBRID_SIMILARITY_H_

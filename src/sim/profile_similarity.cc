@@ -1,0 +1,37 @@
+#include "sim/profile_similarity.h"
+
+namespace fairrec {
+
+Result<std::unique_ptr<ProfileSimilarity>> ProfileSimilarity::Create(
+    const ProfileStore& store, const Ontology& ontology, TfIdfOptions options) {
+  if (store.size() == 0) {
+    return Status::InvalidArgument(
+        "profile similarity requires at least one stored profile");
+  }
+  auto sim = std::unique_ptr<ProfileSimilarity>(new ProfileSimilarity());
+  sim->vectorizer_ = TfIdfVectorizer(options);
+  const std::vector<UserId> users = store.Users();
+  std::vector<std::string> documents;
+  documents.reserve(users.size());
+  for (const UserId u : users) {
+    documents.push_back(store.Get(u).RenderAsDocument(ontology));
+  }
+  FAIRREC_RETURN_NOT_OK(sim->vectorizer_.Fit(documents));
+  sim->vectors_.resize(static_cast<size_t>(store.capacity_users()));
+  for (size_t k = 0; k < users.size(); ++k) {
+    sim->vectors_[static_cast<size_t>(users[k])] =
+        sim->vectorizer_.Transform(documents[k]);
+  }
+  return sim;
+}
+
+const SparseVector& ProfileSimilarity::VectorOf(UserId u) const {
+  if (u < 0 || static_cast<size_t>(u) >= vectors_.size()) return empty_;
+  return vectors_[static_cast<size_t>(u)];
+}
+
+double ProfileSimilarity::Compute(UserId a, UserId b) const {
+  return SparseVector::Cosine(VectorOf(a), VectorOf(b));
+}
+
+}  // namespace fairrec

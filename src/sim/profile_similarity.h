@@ -1,0 +1,49 @@
+#ifndef FAIRREC_SIM_PROFILE_SIMILARITY_H_
+#define FAIRREC_SIM_PROFILE_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+#include "profiles/profile_store.h"
+#include "sim/user_similarity.h"
+#include "text/sparse_vector.h"
+#include "text/tfidf.h"
+
+namespace fairrec {
+
+/// CS(u, u'): cosine similarity between TF-IDF vectors of the users' profiles
+/// rendered as documents (§V-B, Eq. 3 with Definition 4 idf).
+///
+/// The vectorizer is fitted on *all* stored profiles at construction time and
+/// every profile vector is precomputed, so Compute() is a sparse dot product.
+class ProfileSimilarity final : public UserSimilarity {
+ public:
+  /// Fits TF-IDF on the store's profiles. `store` and `ontology` are only
+  /// read during construction. Fails if the store is empty.
+  static Result<std::unique_ptr<ProfileSimilarity>> Create(
+      const ProfileStore& store, const Ontology& ontology,
+      TfIdfOptions options = {});
+
+  double Compute(UserId a, UserId b) const override;
+  std::string name() const override { return "tfidf-cosine"; }
+
+  /// The fitted vectorizer (for diagnostics and tests).
+  const TfIdfVectorizer& vectorizer() const { return vectorizer_; }
+
+  /// The precomputed vector for a user (zero vector for unknown users).
+  const SparseVector& VectorOf(UserId u) const;
+
+ private:
+  ProfileSimilarity() = default;
+
+  TfIdfVectorizer vectorizer_;
+  std::vector<SparseVector> vectors_;  // indexed by user id
+  SparseVector empty_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_PROFILE_SIMILARITY_H_

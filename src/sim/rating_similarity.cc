@@ -1,0 +1,83 @@
+#include "sim/rating_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+double FinishPearson(std::span<const std::pair<Rating, Rating>> shared,
+                     double global_mean_a, double global_mean_b,
+                     const RatingSimilarityOptions& options) {
+  if (static_cast<int32_t>(shared.size()) < options.min_overlap) return 0.0;
+
+  double mean_a;
+  double mean_b;
+  if (options.intersection_means) {
+    mean_a = 0.0;
+    mean_b = 0.0;
+    for (const auto& [ra, rb] : shared) {
+      mean_a += ra;
+      mean_b += rb;
+    }
+    mean_a /= static_cast<double>(shared.size());
+    mean_b /= static_cast<double>(shared.size());
+  } else {
+    // Eq. 2 as printed: µ_u is the mean over all of I(u).
+    mean_a = global_mean_a;
+    mean_b = global_mean_b;
+  }
+
+  double num = 0.0;
+  double den_a = 0.0;
+  double den_b = 0.0;
+  for (const auto& [ra, rb] : shared) {
+    const double da = ra - mean_a;
+    const double db = rb - mean_b;
+    num += da * db;
+    den_a += da * da;
+    den_b += db * db;
+  }
+  if (den_a == 0.0 || den_b == 0.0) return 0.0;
+  double r = num / (std::sqrt(den_a) * std::sqrt(den_b));
+  // With global means, |r| can exceed 1 by construction; clamp to the
+  // correlation range so downstream thresholds behave.
+  r = std::clamp(r, -1.0, 1.0);
+  return options.shift_to_unit_interval ? (r + 1.0) / 2.0 : r;
+}
+
+RatingSimilarity::RatingSimilarity(const RatingMatrix* matrix,
+                                   RatingSimilarityOptions options)
+    : matrix_(matrix), options_(options) {
+  FAIRREC_CHECK(matrix != nullptr);
+}
+
+double RatingSimilarity::Compute(UserId a, UserId b) const {
+  if (!matrix_->IsValidUser(a) || !matrix_->IsValidUser(b)) return 0.0;
+  const auto row_a = matrix_->ItemsRatedBy(a);
+  const auto row_b = matrix_->ItemsRatedBy(b);
+
+  // Sorted-merge over the two rows to find co-rated items (ascending item
+  // order, the canonical order FinishPearson documents).
+  std::vector<std::pair<Rating, Rating>> shared;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < row_a.size() && j < row_b.size()) {
+    if (row_a[i].item == row_b[j].item) {
+      shared.emplace_back(row_a[i].value, row_b[j].value);
+      ++i;
+      ++j;
+    } else if (row_a[i].item < row_b[j].item) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return FinishPearson(shared, matrix_->UserMean(a), matrix_->UserMean(b),
+                       options_);
+}
+
+}  // namespace fairrec

@@ -1,0 +1,64 @@
+#ifndef FAIRREC_SIM_RATING_SIMILARITY_H_
+#define FAIRREC_SIM_RATING_SIMILARITY_H_
+
+#include <span>
+#include <string>
+#include <utility>
+
+#include "ratings/rating_matrix.h"
+#include "sim/user_similarity.h"
+
+namespace fairrec {
+
+/// Controls for RatingSimilarity.
+struct RatingSimilarityOptions {
+  /// Minimum number of co-rated items for the correlation to be defined;
+  /// below it the similarity is 0. The paper does not guard this; 1 disables
+  /// the guard. With 1 co-rated item the numerator/denominator are degenerate
+  /// (zero variance), which already yields 0.
+  int32_t min_overlap = 2;
+  /// Use means over the co-rated intersection instead of each user's global
+  /// mean. Eq. 2 as printed uses the *global* mean of I(u) (default false);
+  /// the intersection variant is the classic GroupLens form, exposed for the
+  /// EXT-A ablation.
+  bool intersection_means = false;
+  /// Map the correlation from [-1, 1] to [0, 1] via (r + 1) / 2. Useful when
+  /// the score feeds Eq. 1 weights or a hybrid combination, both of which
+  /// assume non-negative weights.
+  bool shift_to_unit_interval = false;
+};
+
+/// Finishes Eq. 2 from the co-rated rating pairs of two users.
+///
+/// `shared` holds (rating_a, rating_b) for every co-rated item, in ascending
+/// item order; `global_mean_a` / `global_mean_b` are the users' means over
+/// their full rating rows (ignored under options.intersection_means). This is
+/// the single implementation both the serial RatingSimilarity and the
+/// MapReduce Job 2 call, so the two paths agree bit-for-bit.
+double FinishPearson(std::span<const std::pair<Rating, Rating>> shared,
+                     double global_mean_a, double global_mean_b,
+                     const RatingSimilarityOptions& options);
+
+/// RS(u, u'): Pearson correlation over co-rated items (Eq. 2).
+///
+/// Undefined cases (overlap below min_overlap, or zero variance on either
+/// side) return 0, i.e. "no evidence of similarity".
+class RatingSimilarity final : public UserSimilarity {
+ public:
+  /// The matrix must outlive this object.
+  explicit RatingSimilarity(const RatingMatrix* matrix,
+                            RatingSimilarityOptions options = {});
+
+  double Compute(UserId a, UserId b) const override;
+  std::string name() const override { return "pearson"; }
+
+  const RatingSimilarityOptions& options() const { return options_; }
+
+ private:
+  const RatingMatrix* matrix_;
+  RatingSimilarityOptions options_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_RATING_SIMILARITY_H_

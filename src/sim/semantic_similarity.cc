@@ -1,0 +1,39 @@
+#include "sim/semantic_similarity.h"
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+SemanticSimilarity::SemanticSimilarity(const ProfileStore* store,
+                                       const Ontology* ontology)
+    : store_(store),
+      oracle_(std::make_unique<ConceptDistanceOracle>(ontology)) {
+  FAIRREC_CHECK(store != nullptr);
+}
+
+double SemanticSimilarity::ProblemSimilarity(ConceptId p, ConceptId q) const {
+  return oracle_->Similarity(p, q);
+}
+
+double SemanticSimilarity::Compute(UserId a, UserId b) const {
+  if (!store_->Contains(a) || !store_->Contains(b)) return 0.0;
+  const PatientProfile& pa = store_->Get(a);
+  const PatientProfile& pb = store_->Get(b);
+  if (pa.problems.empty() || pb.problems.empty()) return 0.0;
+
+  // Harmonic mean of all cross-pair similarities (Eq. 4). Every x_i is
+  // strictly positive (1/(1+hops) > 0), so the sum of reciprocals is finite.
+  double reciprocal_sum = 0.0;
+  int64_t n = 0;
+  for (const ConceptId p : pa.problems) {
+    for (const ConceptId q : pb.problems) {
+      const double x = oracle_->Similarity(p, q);
+      FAIRREC_DCHECK(x > 0.0);
+      reciprocal_sum += 1.0 / x;
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / reciprocal_sum;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,43 @@
+#ifndef FAIRREC_SIM_SEMANTIC_SIMILARITY_H_
+#define FAIRREC_SIM_SEMANTIC_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+
+#include "ontology/distance_oracle.h"
+#include "ontology/ontology.h"
+#include "profiles/profile_store.h"
+#include "sim/user_similarity.h"
+
+namespace fairrec {
+
+/// SS(u, u'): semantic similarity over the users' health problems (§V-C).
+///
+/// Phase 1 scores every cross pair of problems (p, q), p from u and q from
+/// u', with the path measure 1 / (1 + hops(p, q)); phase 2 aggregates the
+/// pair scores with the harmonic mean of Eq. 4:
+///   SS = n / sum_i (1 / x_i),   n = |problems(u)| * |problems(u')|.
+///
+/// Users with no recorded problems score 0 against everyone — with no
+/// clinical signal there is no evidence of similarity.
+class SemanticSimilarity final : public UserSimilarity {
+ public:
+  /// `store` and `ontology` must outlive this object. A fresh memoizing
+  /// distance oracle is created internally.
+  SemanticSimilarity(const ProfileStore* store, const Ontology* ontology);
+
+  double Compute(UserId a, UserId b) const override;
+  std::string name() const override { return "semantic"; }
+
+  /// Similarity between two individual problems (phase 1), exposed for tests
+  /// and for the similarity_study example.
+  double ProblemSimilarity(ConceptId p, ConceptId q) const;
+
+ private:
+  const ProfileStore* store_;
+  std::unique_ptr<ConceptDistanceOracle> oracle_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_SEMANTIC_SIMILARITY_H_

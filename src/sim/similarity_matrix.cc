@@ -1,0 +1,55 @@
+#include "sim/similarity_matrix.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace fairrec {
+
+SimilarityMatrix::SimilarityMatrix(int32_t num_users, std::string name)
+    : num_users_(num_users), name_("cached-" + std::move(name)) {
+  const size_t n = static_cast<size_t>(num_users);
+  values_.assign(n * (n - 1) / 2, 0.0);
+}
+
+size_t SimilarityMatrix::IndexOf(UserId a, UserId b) const {
+  FAIRREC_DCHECK(a >= 0 && b >= 0 && a < num_users_ && b < num_users_ && a != b);
+  if (a > b) std::swap(a, b);
+  // Offset of row `a` within the packed strict upper triangle: rows
+  // 0..a-1 hold (n-1-r) entries each, i.e. a*(n-1) - a*(a-1)/2 in total.
+  const size_t n = static_cast<size_t>(num_users_);
+  const size_t row = static_cast<size_t>(a);
+  const size_t row_offset = row * (n - 1) - row * (row - 1) / 2;
+  return row_offset + static_cast<size_t>(b) - row - 1;
+}
+
+Result<std::unique_ptr<SimilarityMatrix>> SimilarityMatrix::Precompute(
+    const UserSimilarity& base, int32_t num_users, size_t num_threads) {
+  if (num_users <= 0) {
+    return Status::InvalidArgument("similarity matrix needs >= 1 user");
+  }
+  auto matrix = std::unique_ptr<SimilarityMatrix>(
+      new SimilarityMatrix(num_users, base.name()));
+  if (num_users == 1) return matrix;
+  ThreadPool pool(num_threads);
+  // One task per row; the base measure must be thread-safe (interface
+  // contract).
+  SimilarityMatrix* m = matrix.get();
+  const UserSimilarity* src = &base;
+  pool.ParallelFor(static_cast<size_t>(num_users) - 1, [m, src](size_t row) {
+    const auto a = static_cast<UserId>(row);
+    for (UserId b = a + 1; b < m->num_users_; ++b) {
+      m->values_[m->IndexOf(a, b)] = src->Compute(a, b);
+    }
+  });
+  return matrix;
+}
+
+double SimilarityMatrix::Compute(UserId a, UserId b) const {
+  if (a < 0 || b < 0 || a >= num_users_ || b >= num_users_) return 0.0;
+  if (a == b) return 1.0;
+  return values_[IndexOf(a, b)];
+}
+
+}  // namespace fairrec

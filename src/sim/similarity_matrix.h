@@ -1,0 +1,47 @@
+#ifndef FAIRREC_SIM_SIMILARITY_MATRIX_H_
+#define FAIRREC_SIM_SIMILARITY_MATRIX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/user_similarity.h"
+
+namespace fairrec {
+
+/// Precomputed symmetric user-user similarity cache.
+///
+/// Peer discovery (Def. 1) evaluates simU for every (group member, user)
+/// pair, and the MapReduce pipeline and the serial path must agree exactly;
+/// precomputing into a triangular dense array makes repeated lookups O(1) and
+/// deterministic. Self-similarity is defined as 1.0 by convention but is
+/// never used for peer selection (a user is not their own peer).
+///
+/// Itself a UserSimilarity, so it can be dropped into any simU slot.
+class SimilarityMatrix final : public UserSimilarity {
+ public:
+  /// Evaluates `base` on all pairs of [0, num_users). Computation is
+  /// parallelized across rows with `num_threads` workers (0 = hardware).
+  static Result<std::unique_ptr<SimilarityMatrix>> Precompute(
+      const UserSimilarity& base, int32_t num_users, size_t num_threads = 0);
+
+  double Compute(UserId a, UserId b) const override;
+  std::string name() const override { return name_; }
+
+  int32_t num_users() const { return num_users_; }
+
+ private:
+  SimilarityMatrix(int32_t num_users, std::string name);
+
+  size_t IndexOf(UserId a, UserId b) const;
+
+  int32_t num_users_;
+  std::string name_;
+  // Strict upper triangle, row-major: entry (a, b) with a < b.
+  std::vector<double> values_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_SIMILARITY_MATRIX_H_

@@ -1,0 +1,29 @@
+#ifndef FAIRREC_SIM_USER_SIMILARITY_H_
+#define FAIRREC_SIM_USER_SIMILARITY_H_
+
+#include <string>
+
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// Interface for the simU(u, u') functions of §V. Implementations must be
+/// symmetric (Compute(a,b) == Compute(b,a)) and return scores where larger
+/// means more similar. The range convention is implementation-specific:
+/// Pearson (Eq. 2) lies in [-1, 1]; cosine (Eq. 3) and the semantic measure
+/// (Eq. 4) lie in [0, 1]. Peer selection (Def. 1) compares the raw score
+/// against the threshold delta, so pick delta on the measure's own scale.
+class UserSimilarity {
+ public:
+  virtual ~UserSimilarity() = default;
+
+  /// simU(a, b). Must be thread-safe for concurrent calls.
+  virtual double Compute(UserId a, UserId b) const = 0;
+
+  /// Short diagnostic name ("pearson", "tfidf-cosine", "semantic", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_USER_SIMILARITY_H_

@@ -1,0 +1,70 @@
+#include "text/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairrec {
+
+SparseVector SparseVector::FromPairs(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.index < b.index; });
+  SparseVector v;
+  for (const Entry& e : entries) {
+    if (!v.entries_.empty() && v.entries_.back().index == e.index) {
+      v.entries_.back().value += e.value;
+    } else {
+      v.entries_.push_back(e);
+    }
+  }
+  std::erase_if(v.entries_, [](const Entry& e) { return e.value == 0.0; });
+  return v;
+}
+
+double SparseVector::ValueAt(int32_t index) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), index,
+      [](const Entry& e, int32_t target) { return e.index < target; });
+  if (it == entries_.end() || it->index != index) return 0.0;
+  return it->value;
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double sum = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    const int32_t a = entries_[i].index;
+    const int32_t b = other.entries_[j].index;
+    if (a == b) {
+      sum += entries_[i].value * other.entries_[j].value;
+      ++i;
+      ++j;
+    } else if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double SparseVector::NormL2() const {
+  double sum = 0.0;
+  for (const Entry& e : entries_) sum += e.value * e.value;
+  return std::sqrt(sum);
+}
+
+void SparseVector::Normalize() {
+  const double norm = NormL2();
+  if (norm == 0.0) return;
+  for (Entry& e : entries_) e.value /= norm;
+}
+
+double SparseVector::Cosine(const SparseVector& a, const SparseVector& b) {
+  const double na = a.NormL2();
+  const double nb = b.NormL2();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return a.Dot(b) / (na * nb);
+}
+
+}  // namespace fairrec

@@ -1,0 +1,52 @@
+#ifndef FAIRREC_TEXT_SPARSE_VECTOR_H_
+#define FAIRREC_TEXT_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fairrec {
+
+/// Sparse numeric vector with sorted, unique indexes. The TF-IDF profile
+/// vectors of §V-B are stored in this form; cosine similarity (Eq. 3) runs a
+/// sorted-merge dot product in O(nnz_a + nnz_b).
+class SparseVector {
+ public:
+  struct Entry {
+    int32_t index = 0;
+    double value = 0.0;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  SparseVector() = default;
+
+  /// Builds from unsorted (index, value) pairs: sorts, merges duplicate
+  /// indexes by summing, and drops exact zeros.
+  static SparseVector FromPairs(std::vector<Entry> entries);
+
+  size_t nnz() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Value at an index (0.0 if absent). O(log nnz).
+  double ValueAt(int32_t index) const;
+
+  double Dot(const SparseVector& other) const;
+  double NormL2() const;
+
+  /// Scales to unit L2 norm; no-op on the zero vector.
+  void Normalize();
+
+  /// Cosine similarity (Eq. 3); 0.0 if either vector is zero.
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+  friend bool operator==(const SparseVector&, const SparseVector&) = default;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_TEXT_SPARSE_VECTOR_H_

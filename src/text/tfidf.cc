@@ -1,0 +1,66 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+TfIdfVectorizer::TfIdfVectorizer(TfIdfOptions options)
+    : options_(options), tokenizer_(options.tokenizer) {}
+
+Status TfIdfVectorizer::Fit(const std::vector<std::string>& documents) {
+  if (documents.empty()) {
+    return Status::InvalidArgument("cannot fit TF-IDF on an empty corpus");
+  }
+  vocabulary_ = Vocabulary();
+  for (const std::string& doc : documents) {
+    vocabulary_.AddDocument(tokenizer_.Tokenize(doc));
+  }
+  const double n = static_cast<double>(vocabulary_.num_documents());
+  idf_.assign(static_cast<size_t>(vocabulary_.size()), 0.0);
+  for (int32_t t = 0; t < vocabulary_.size(); ++t) {
+    const double df = static_cast<double>(vocabulary_.DocumentFrequency(t));
+    idf_[static_cast<size_t>(t)] =
+        options_.smooth_idf ? std::log((1.0 + n) / (1.0 + df)) + 1.0
+                            : std::log(n / df);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+SparseVector TfIdfVectorizer::Transform(const std::string& document) const {
+  FAIRREC_DCHECK(fitted_);
+  std::unordered_map<int32_t, double> counts;
+  for (const std::string& token : tokenizer_.Tokenize(document)) {
+    const int32_t id = vocabulary_.Lookup(token);
+    if (id != Vocabulary::kUnknownTerm) counts[id] += 1.0;
+  }
+  std::vector<SparseVector::Entry> entries;
+  entries.reserve(counts.size());
+  for (const auto& [id, count] : counts) {
+    const double tf = options_.sublinear_tf ? 1.0 + std::log(count) : count;
+    entries.push_back({id, tf * idf_[static_cast<size_t>(id)]});
+  }
+  SparseVector v = SparseVector::FromPairs(std::move(entries));
+  if (options_.l2_normalize) v.Normalize();
+  return v;
+}
+
+Result<std::vector<SparseVector>> TfIdfVectorizer::FitTransform(
+    const std::vector<std::string>& documents) {
+  FAIRREC_RETURN_NOT_OK(Fit(documents));
+  std::vector<SparseVector> out;
+  out.reserve(documents.size());
+  for (const std::string& doc : documents) out.push_back(Transform(doc));
+  return out;
+}
+
+double TfIdfVectorizer::IdfOf(int32_t term_id) const {
+  FAIRREC_DCHECK(fitted_);
+  FAIRREC_DCHECK(term_id >= 0 && term_id < vocabulary_.size());
+  return idf_[static_cast<size_t>(term_id)];
+}
+
+}  // namespace fairrec

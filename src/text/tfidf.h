@@ -1,0 +1,68 @@
+#ifndef FAIRREC_TEXT_TFIDF_H_
+#define FAIRREC_TEXT_TFIDF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "text/sparse_vector.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace fairrec {
+
+/// Controls for TfIdfVectorizer.
+struct TfIdfOptions {
+  TokenizerOptions tokenizer;
+  /// tf = 1 + log(count) instead of the raw count.
+  bool sublinear_tf = false;
+  /// idf = log((1 + N) / (1 + df)) + 1 instead of the paper's log(N / df).
+  /// The smooth form never hits idf = 0 on corpus-wide terms; the paper's
+  /// form (default) deliberately zeroes terms present in every document.
+  bool smooth_idf = false;
+  /// L2-normalize the produced vectors. Cosine similarity is unchanged by
+  /// this; it only matters if vectors are consumed directly.
+  bool l2_normalize = false;
+};
+
+/// TF-IDF vectorizer over a fixed corpus, implementing Definition 4:
+///   idf(t, D) = log(N / |{d in D : t in d}|)
+/// and tf-idf(t, d) = tf(t, d) * idf(t, D).
+///
+/// Fit() freezes the vocabulary and document frequencies; Transform() maps any
+/// text into the fitted space (unseen terms are ignored, matching the usual
+/// IR convention).
+class TfIdfVectorizer {
+ public:
+  explicit TfIdfVectorizer(TfIdfOptions options = {});
+
+  /// Learns vocabulary + document frequencies from `documents`. Returns
+  /// InvalidArgument if `documents` is empty.
+  Status Fit(const std::vector<std::string>& documents);
+
+  /// Tokenizes and embeds one document. Precondition: fitted.
+  SparseVector Transform(const std::string& document) const;
+
+  /// Fit() then Transform() each input in order.
+  Result<std::vector<SparseVector>> FitTransform(
+      const std::vector<std::string>& documents);
+
+  bool fitted() const { return fitted_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  /// idf score of a term id under the configured idf variant.
+  /// Precondition: fitted, valid id.
+  double IdfOf(int32_t term_id) const;
+
+ private:
+  TfIdfOptions options_;
+  Tokenizer tokenizer_;
+  Vocabulary vocabulary_;
+  std::vector<double> idf_;  // indexed by term id
+  bool fitted_ = false;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_TEXT_TFIDF_H_

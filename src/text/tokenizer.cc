@@ -1,0 +1,55 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace fairrec {
+
+namespace {
+// Kept deliberately small: profile documents are short and domain-specific.
+constexpr std::array<std::string_view, 32> kStopwords = {
+    "a",    "an",   "and",  "are", "as",   "at",   "be",   "by",
+    "for",  "from", "has",  "he",  "in",   "is",   "it",   "its",
+    "of",   "on",   "or",   "she", "that", "the",  "to",   "was",
+    "were", "will", "with", "mg",  "ml",   "oral", "dose", "per"};
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsStopword(const std::string& token) const {
+  return std::find(kStopwords.begin(), kStopwords.end(), token) !=
+         kStopwords.end();
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.empty()) return;
+    std::string token = options_.lowercase ? ToLower(current) : current;
+    current.clear();
+    if (token.size() < options_.min_token_length) return;
+    if (!options_.keep_numbers &&
+        std::all_of(token.begin(), token.end(), [](unsigned char c) {
+          return std::isdigit(c);
+        })) {
+      return;
+    }
+    if (options_.remove_stopwords && IsStopword(token)) return;
+    tokens.push_back(std::move(token));
+  };
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += c;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,43 @@
+#ifndef FAIRREC_TEXT_TOKENIZER_H_
+#define FAIRREC_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairrec {
+
+/// Controls for Tokenizer.
+struct TokenizerOptions {
+  /// Lowercase tokens before emitting.
+  bool lowercase = true;
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 2;
+  /// Drop common English stopwords (small built-in list tuned for the
+  /// profile fields of Table I: articles, pronouns, units).
+  bool remove_stopwords = true;
+  /// Keep digit-only tokens (e.g. drug strengths like "500"). Default keeps
+  /// them: dosage numbers are discriminative in medication strings.
+  bool keep_numbers = true;
+};
+
+/// Splits free text into word tokens on non-alphanumeric boundaries.
+/// Used to turn a patient profile rendered as a document (§V-B) into the
+/// term sequence consumed by the TF-IDF vectorizer.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsStopword(const std::string& token) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_TEXT_TOKENIZER_H_

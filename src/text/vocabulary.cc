@@ -1,0 +1,44 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+int32_t Vocabulary::GetOrAdd(const std::string& term) {
+  const auto [it, inserted] =
+      index_.emplace(term, static_cast<int32_t>(terms_.size()));
+  if (inserted) {
+    terms_.push_back(term);
+    doc_frequency_.push_back(0);
+  }
+  return it->second;
+}
+
+int32_t Vocabulary::Lookup(std::string_view term) const {
+  const auto it = index_.find(std::string(term));
+  return it == index_.end() ? kUnknownTerm : it->second;
+}
+
+void Vocabulary::AddDocument(const std::vector<std::string>& tokens) {
+  ++num_documents_;
+  std::vector<int32_t> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& token : tokens) ids.push_back(GetOrAdd(token));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (int32_t id : ids) doc_frequency_[static_cast<size_t>(id)]++;
+}
+
+int64_t Vocabulary::DocumentFrequency(int32_t term_id) const {
+  FAIRREC_DCHECK(term_id >= 0 && term_id < size());
+  return doc_frequency_[static_cast<size_t>(term_id)];
+}
+
+const std::string& Vocabulary::TermText(int32_t term_id) const {
+  FAIRREC_DCHECK(term_id >= 0 && term_id < size());
+  return terms_[static_cast<size_t>(term_id)];
+}
+
+}  // namespace fairrec

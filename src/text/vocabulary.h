@@ -1,0 +1,48 @@
+#ifndef FAIRREC_TEXT_VOCABULARY_H_
+#define FAIRREC_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fairrec {
+
+/// Interns terms to dense int ids and tracks per-term document frequency,
+/// the |{d in D : t in d}| denominator of the paper's Definition 4.
+class Vocabulary {
+ public:
+  static constexpr int32_t kUnknownTerm = -1;
+
+  Vocabulary() = default;
+
+  /// Returns the id for `term`, creating it if needed.
+  int32_t GetOrAdd(const std::string& term);
+
+  /// Returns the id for `term`, or kUnknownTerm.
+  int32_t Lookup(std::string_view term) const;
+
+  /// Registers one document's terms: document frequency of each *distinct*
+  /// term in `tokens` is incremented by one.
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  int32_t size() const { return static_cast<int32_t>(terms_.size()); }
+  int64_t num_documents() const { return num_documents_; }
+
+  /// Document frequency for a term id. Precondition: valid id.
+  int64_t DocumentFrequency(int32_t term_id) const;
+
+  /// The interned spelling of a term id. Precondition: valid id.
+  const std::string& TermText(int32_t term_id) const;
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> terms_;
+  std::vector<int64_t> doc_frequency_;
+  int64_t num_documents_ = 0;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_TEXT_VOCABULARY_H_

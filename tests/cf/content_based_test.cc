@@ -1,0 +1,127 @@
+#include "cf/content_based.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+/// Builds a matrix whose item grid covers all 5 fixture items, regardless of
+/// which ones the triples mention.
+RatingMatrix MatrixFromTriples(const std::vector<RatingTriple>& triples) {
+  RatingMatrixBuilder builder;
+  builder.Reserve(1, 5);
+  EXPECT_TRUE(builder.AddAll(triples).ok());
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+/// Items 0,1 share feature axis 0; items 2,3 share axis 1; item 4 mixes.
+std::vector<SparseVector> Features() {
+  return {SparseVector::FromPairs({{0, 1.0}}),
+          SparseVector::FromPairs({{0, 1.0}}),
+          SparseVector::FromPairs({{1, 1.0}}),
+          SparseVector::FromPairs({{1, 1.0}}),
+          SparseVector::FromPairs({{0, 1.0}, {1, 1.0}})};
+}
+
+TEST(ContentBasedTest, ValidatesInputs) {
+  const RatingMatrix m = MatrixFromTriples({{0, 0, 5}});
+  EXPECT_TRUE(ContentBasedEstimator::Create(nullptr, Features())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ContentBasedEstimator::Create(&m, {})
+                  .status()
+                  .IsInvalidArgument());
+  ContentBasedOptions bad;
+  bad.max_neighbors = -1;
+  EXPECT_TRUE(ContentBasedEstimator::Create(&m, Features(), bad)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ContentBasedTest, PredictsFromContentTwins) {
+  // User 0 loved item 0; item 1 is its content twin -> prediction 5.
+  const RatingMatrix m = MatrixFromTriples({{0, 0, 5}, {0, 2, 1}});
+  const auto estimator =
+      std::move(ContentBasedEstimator::Create(&m, Features())).ValueOrDie();
+  const auto p = estimator.Predict(0, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 5.0, 1e-12);
+  // Item 3 is the twin of the hated item 2.
+  const auto q = estimator.Predict(0, 3);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_NEAR(*q, 1.0, 1e-12);
+}
+
+TEST(ContentBasedTest, MixedItemBlendsNeighbours) {
+  const RatingMatrix m = MatrixFromTriples({{0, 0, 5}, {0, 2, 1}});
+  const auto estimator =
+      std::move(ContentBasedEstimator::Create(&m, Features())).ValueOrDie();
+  // Item 4 is equally similar (cos = 1/sqrt(2)) to items 0 and 2.
+  const auto p = estimator.Predict(0, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 3.0, 1e-12);
+}
+
+TEST(ContentBasedTest, UndefinedWithoutSimilarRatedItems) {
+  // User rated only axis-1 items; item 0 lives on axis 0.
+  const RatingMatrix m = MatrixFromTriples({{0, 2, 4}, {0, 3, 2}});
+  const auto estimator =
+      std::move(ContentBasedEstimator::Create(&m, Features())).ValueOrDie();
+  EXPECT_FALSE(estimator.Predict(0, 0).has_value());
+}
+
+TEST(ContentBasedTest, UndefinedForUnknownIdsOrEmptyFeatures) {
+  std::vector<SparseVector> features = Features();
+  features[1] = SparseVector();  // item 1 has no content
+  const RatingMatrix m = MatrixFromTriples({{0, 0, 5}});
+  const auto estimator =
+      std::move(ContentBasedEstimator::Create(&m, features)).ValueOrDie();
+  EXPECT_FALSE(estimator.Predict(0, 1).has_value());   // empty feature vector
+  EXPECT_FALSE(estimator.Predict(99, 1).has_value());  // unknown user
+  EXPECT_FALSE(estimator.Predict(0, 99).has_value());  // unknown item
+}
+
+TEST(ContentBasedTest, MinSimilarityFiltersWeakNeighbours) {
+  const RatingMatrix m = MatrixFromTriples({{0, 4, 5}});
+  ContentBasedOptions options;
+  options.min_similarity = 0.9;  // cos(item 0, item 4) = 1/sqrt(2) < 0.9
+  const auto estimator =
+      std::move(ContentBasedEstimator::Create(&m, Features(), options))
+          .ValueOrDie();
+  EXPECT_FALSE(estimator.Predict(0, 0).has_value());
+}
+
+TEST(ContentBasedTest, MaxNeighborsKeepsTheMostSimilar) {
+  // Target item 4; user rated the strong twin (item 0's axis) and weaker
+  // matches. With max_neighbors = 1 only the most similar neighbour counts.
+  std::vector<SparseVector> features = {
+      SparseVector::FromPairs({{0, 1.0}}),             // item 0: cos ~ 0.707
+      SparseVector::FromPairs({{0, 1.0}, {1, 1.0}}),   // item 1: cos = 1
+      SparseVector::FromPairs({{1, 1.0}}),             // item 2: cos ~ 0.707
+      SparseVector::FromPairs({{2, 1.0}}),             // item 3: orthogonal
+      SparseVector::FromPairs({{0, 1.0}, {1, 1.0}}),   // item 4: the target
+  };
+  const RatingMatrix m = MatrixFromTriples({{0, 0, 1}, {0, 1, 5}, {0, 2, 1}});
+  ContentBasedOptions options;
+  options.max_neighbors = 1;
+  const auto estimator =
+      std::move(ContentBasedEstimator::Create(&m, features, options))
+          .ValueOrDie();
+  const auto p = estimator.Predict(0, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 5.0, 1e-12);  // only item 1 (cos 1.0) survives the cap
+}
+
+TEST(ContentBasedTest, PredictAllSkipsUndefined) {
+  const RatingMatrix m = MatrixFromTriples({{0, 0, 5}});
+  const auto estimator =
+      std::move(ContentBasedEstimator::Create(&m, Features())).ValueOrDie();
+  const std::vector<ScoredItem> out = estimator.PredictAll(0, {1, 2, 3, 4});
+  // Items 2 and 3 are orthogonal to everything the user rated.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].item, 1);
+  EXPECT_EQ(out[1].item, 4);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,111 @@
+#include "cf/peer_finder.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+/// Similarity looked up from a fixed table (symmetric).
+class TableSimilarity final : public UserSimilarity {
+ public:
+  explicit TableSimilarity(std::vector<std::vector<double>> table)
+      : table_(std::move(table)) {}
+  double Compute(UserId a, UserId b) const override {
+    return table_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+  }
+  std::string name() const override { return "table"; }
+
+ private:
+  std::vector<std::vector<double>> table_;
+};
+
+TableSimilarity FourUsers() {
+  // sim(0,*) = {-, 0.9, 0.5, 0.1}; sim(1,2)=0.7, sim(1,3)=0.2, sim(2,3)=0.6
+  return TableSimilarity({{1.0, 0.9, 0.5, 0.1},
+                          {0.9, 1.0, 0.7, 0.2},
+                          {0.5, 0.7, 1.0, 0.6},
+                          {0.1, 0.2, 0.6, 1.0}});
+}
+
+TEST(PeerFinderTest, ThresholdFiltersAndSorts) {
+  const TableSimilarity sim = FourUsers();
+  PeerFinderOptions options;
+  options.delta = 0.5;
+  const PeerFinder finder(&sim, 4, options);
+  const std::vector<Peer> peers = finder.FindPeers(0);
+  // Def. 1: qualifying peers of user 0 are 1 (0.9) and 2 (0.5), in
+  // descending similarity order.
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[0], (Peer{1, 0.9}));
+  EXPECT_EQ(peers[1], (Peer{2, 0.5}));
+}
+
+TEST(PeerFinderTest, ThresholdIsInclusive) {
+  const TableSimilarity sim = FourUsers();
+  PeerFinderOptions options;
+  options.delta = 0.9;
+  const PeerFinder finder(&sim, 4, options);
+  const std::vector<Peer> peers = finder.FindPeers(0);
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].user, 1);
+}
+
+TEST(PeerFinderTest, SelfIsNeverAPeer) {
+  const TableSimilarity sim = FourUsers();
+  PeerFinderOptions options;
+  options.delta = 0.0;
+  const PeerFinder finder(&sim, 4, options);
+  for (const Peer& p : finder.FindPeers(2)) EXPECT_NE(p.user, 2);
+}
+
+TEST(PeerFinderTest, ExcludeListRespected) {
+  const TableSimilarity sim = FourUsers();
+  PeerFinderOptions options;
+  options.delta = 0.0;
+  const PeerFinder finder(&sim, 4, options);
+  const std::vector<Peer> peers = finder.FindPeers(0, {1, 2});
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].user, 3);
+}
+
+TEST(PeerFinderTest, MaxPeersCapsAfterSorting) {
+  const TableSimilarity sim = FourUsers();
+  PeerFinderOptions options;
+  options.delta = 0.0;
+  options.max_peers = 2;
+  const PeerFinder finder(&sim, 4, options);
+  const std::vector<Peer> peers = finder.FindPeers(0);
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[0].user, 1);  // the two *most similar* survive
+  EXPECT_EQ(peers[1].user, 2);
+}
+
+TEST(PeerFinderTest, TieBreaksByAscendingId) {
+  const TableSimilarity sim({{1.0, 0.5, 0.5}, {0.5, 1.0, 0.5}, {0.5, 0.5, 1.0}});
+  PeerFinderOptions options;
+  options.delta = 0.5;
+  const PeerFinder finder(&sim, 3, options);
+  const std::vector<Peer> peers = finder.FindPeers(0);
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[0].user, 1);
+  EXPECT_EQ(peers[1].user, 2);
+}
+
+TEST(PeerFinderTest, NoQualifyingPeers) {
+  const TableSimilarity sim = FourUsers();
+  PeerFinderOptions options;
+  options.delta = 0.95;
+  const PeerFinder finder(&sim, 4, options);
+  EXPECT_TRUE(finder.FindPeers(3).empty());
+}
+
+TEST(PeerFinderTest, OutOfRangeExcludeEntriesIgnored) {
+  const TableSimilarity sim = FourUsers();
+  PeerFinderOptions options;
+  options.delta = 0.0;
+  const PeerFinder finder(&sim, 4, options);
+  EXPECT_EQ(finder.FindPeers(0, {-5, 99}).size(), 3u);
+}
+
+}  // namespace
+}  // namespace fairrec

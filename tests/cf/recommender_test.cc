@@ -1,0 +1,156 @@
+#include "cf/recommender.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cf/top_k.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+namespace {
+
+/// Fixed small world: 6 users, 8 items, cluster structure (users 0-2 like
+/// even items; users 3-5 like odd items).
+RatingMatrix ClusteredMatrix() {
+  RatingMatrixBuilder builder;
+  auto rate = [&builder](UserId u, ItemId i, Rating r) {
+    ASSERT_TRUE(builder.Add(u, i, r).ok());
+  };
+  for (UserId u = 0; u < 3; ++u) {
+    for (ItemId i = 0; i < 8; ++i) {
+      // Leave item (u * 2) unrated by user u so there is something to
+      // recommend inside the cluster's taste.
+      if (i == u * 2) continue;
+      rate(u, i, i % 2 == 0 ? 5 : 2);
+    }
+  }
+  for (UserId u = 3; u < 6; ++u) {
+    for (ItemId i = 0; i < 8; ++i) {
+      if (i == (u - 3) * 2 + 1) continue;
+      rate(u, i, i % 2 == 1 ? 5 : 2);
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+RecommenderOptions DefaultOptions() {
+  RecommenderOptions options;
+  options.peers.delta = 0.3;
+  options.top_k = 3;
+  return options;
+}
+
+TEST(RecommenderTest, RejectsUnknownUser) {
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity sim(&m);
+  const Recommender rec(&m, &sim, DefaultOptions());
+  EXPECT_TRUE(rec.RecommendForUser(99).status().IsInvalidArgument());
+  EXPECT_TRUE(rec.RecommendForUser(-1).status().IsInvalidArgument());
+}
+
+TEST(RecommenderTest, RecommendsOnlyUnratedItems) {
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity sim(&m);
+  const Recommender rec(&m, &sim, DefaultOptions());
+  const auto recs = rec.RecommendForUser(0);
+  ASSERT_TRUE(recs.ok());
+  for (const ScoredItem& s : *recs) {
+    EXPECT_FALSE(m.HasRating(0, s.item)) << "item " << s.item;
+  }
+}
+
+TEST(RecommenderTest, ClusterTasteDrivesTopRecommendation) {
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity sim(&m);
+  const Recommender rec(&m, &sim, DefaultOptions());
+  // User 0's only unrated item is 0 (even => loved by the cluster).
+  const auto recs = rec.RecommendForUser(0);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  EXPECT_EQ((*recs)[0].item, 0);
+  EXPECT_GT((*recs)[0].score, 4.0);
+}
+
+TEST(RecommenderTest, TopKIsBounded) {
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity sim(&m);
+  RecommenderOptions options = DefaultOptions();
+  options.top_k = 1;
+  const Recommender rec(&m, &sim, options);
+  const auto recs = rec.RecommendForUser(1);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_LE(recs->size(), 1u);
+}
+
+TEST(RecommenderGroupTest, RejectsBadGroups) {
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity sim(&m);
+  const Recommender rec(&m, &sim, DefaultOptions());
+  EXPECT_TRUE(rec.RelevanceForGroup({}).status().IsInvalidArgument());
+  EXPECT_TRUE(rec.RelevanceForGroup({0, 0}).status().IsInvalidArgument());
+  EXPECT_TRUE(rec.RelevanceForGroup({0, 42}).status().IsInvalidArgument());
+}
+
+TEST(RecommenderGroupTest, CandidatesAreUnratedByEveryMember) {
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity sim(&m);
+  const Recommender rec(&m, &sim, DefaultOptions());
+  const Group group{0, 1};
+  const auto members = rec.RelevanceForGroup(group);
+  ASSERT_TRUE(members.ok());
+  const std::vector<ItemId> candidates = m.ItemsUnratedByAll(group);
+  for (const MemberRelevance& member : *members) {
+    for (const ScoredItem& s : member.relevance) {
+      EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                     s.item))
+          << "item " << s.item << " rated by some member";
+    }
+  }
+}
+
+TEST(RecommenderGroupTest, PeersExcludeGroupMembers) {
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity sim(&m);
+  const Recommender rec(&m, &sim, DefaultOptions());
+  const Group group{0, 1, 2};
+  const auto members = rec.RelevanceForGroup(group);
+  ASSERT_TRUE(members.ok());
+  for (const MemberRelevance& member : *members) {
+    for (const Peer& peer : member.peers) {
+      EXPECT_TRUE(std::find(group.begin(), group.end(), peer.user) ==
+                  group.end())
+          << "peer " << peer.user << " is a group member";
+    }
+  }
+}
+
+TEST(RecommenderGroupTest, MemberTopKIsPrefixOfRelevanceOrdering) {
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity sim(&m);
+  const Recommender rec(&m, &sim, DefaultOptions());
+  const auto members = rec.RelevanceForGroup({0, 3});
+  ASSERT_TRUE(members.ok());
+  for (const MemberRelevance& member : *members) {
+    std::vector<ScoredItem> reference = member.relevance;
+    std::sort(reference.begin(), reference.end(), ScoredItemBetter);
+    reference.resize(std::min(reference.size(), member.top_k.size()));
+    EXPECT_EQ(member.top_k, reference);
+  }
+}
+
+TEST(RecommenderGroupTest, RelevanceListsAscendingByItem) {
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity sim(&m);
+  const Recommender rec(&m, &sim, DefaultOptions());
+  const auto members = rec.RelevanceForGroup({0, 4});
+  ASSERT_TRUE(members.ok());
+  for (const MemberRelevance& member : *members) {
+    for (size_t i = 1; i < member.relevance.size(); ++i) {
+      EXPECT_LT(member.relevance[i - 1].item, member.relevance[i].item);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,69 @@
+#include "cf/top_k.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fairrec {
+namespace {
+
+TEST(TopKTest, SelectsHighestScores) {
+  const std::vector<ScoredItem> scored{{0, 1.0}, {1, 5.0}, {2, 3.0}, {3, 4.0}};
+  const std::vector<ScoredItem> top = SelectTopK(scored, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], (ScoredItem{1, 5.0}));
+  EXPECT_EQ(top[1], (ScoredItem{3, 4.0}));
+}
+
+TEST(TopKTest, TieBreaksByAscendingItemId) {
+  const std::vector<ScoredItem> scored{{5, 2.0}, {1, 2.0}, {3, 2.0}};
+  const std::vector<ScoredItem> top = SelectTopK(scored, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 1);
+  EXPECT_EQ(top[1].item, 3);
+}
+
+TEST(TopKTest, KLargerThanInput) {
+  const std::vector<ScoredItem> scored{{0, 1.0}, {1, 2.0}};
+  EXPECT_EQ(SelectTopK(scored, 10).size(), 2u);
+}
+
+TEST(TopKTest, NonPositiveKIsEmpty) {
+  const std::vector<ScoredItem> scored{{0, 1.0}};
+  EXPECT_TRUE(SelectTopK(scored, 0).empty());
+  EXPECT_TRUE(SelectTopK(scored, -3).empty());
+}
+
+TEST(TopKTest, EmptyInput) {
+  EXPECT_TRUE(SelectTopK({}, 5).empty());
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomInput) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ScoredItem> scored;
+    const int n = static_cast<int>(rng.UniformInt(1, 200));
+    for (int i = 0; i < n; ++i) {
+      // Coarse scores force plenty of ties.
+      scored.push_back({i, static_cast<double>(rng.UniformInt(0, 9))});
+    }
+    const int k = static_cast<int>(rng.UniformInt(1, 50));
+    std::vector<ScoredItem> reference = scored;
+    std::sort(reference.begin(), reference.end(), ScoredItemBetter);
+    reference.resize(std::min<size_t>(reference.size(), static_cast<size_t>(k)));
+    EXPECT_EQ(SelectTopK(scored, k), reference) << "trial " << trial;
+  }
+}
+
+TEST(ScoredItemBetterTest, TotalOrder) {
+  EXPECT_TRUE(ScoredItemBetter({0, 2.0}, {1, 1.0}));
+  EXPECT_FALSE(ScoredItemBetter({1, 1.0}, {0, 2.0}));
+  EXPECT_TRUE(ScoredItemBetter({0, 1.0}, {1, 1.0}));   // tie -> smaller id
+  EXPECT_FALSE(ScoredItemBetter({1, 1.0}, {0, 1.0}));
+  EXPECT_FALSE(ScoredItemBetter({0, 1.0}, {0, 1.0}));  // irreflexive
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,92 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+TEST(CsvParseTest, SimpleRows) {
+  const auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  const auto rows = ParseCsv("a,b");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvParseTest, QuotedFieldWithCommaAndNewline) {
+  const auto rows = ParseCsv("\"a,b\",\"line1\nline2\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"a,b", "line1\nline2"}));
+}
+
+TEST(CsvParseTest, EscapedQuote) {
+  const auto rows = ParseCsv("\"she said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "she said \"hi\"");
+}
+
+TEST(CsvParseTest, CrlfLineEndings) {
+  const auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  const auto rows = ParseCsv(",\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (CsvRow{"", ""}));
+}
+
+TEST(CsvParseTest, EmptyInput) {
+  const auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  EXPECT_TRUE(ParseCsv("\"oops\n").status().IsInvalidArgument());
+}
+
+TEST(CsvWriteTest, QuotesOnlyWhenNeeded) {
+  const std::string text =
+      WriteCsvString({{"plain", "with,comma"}, {"with\"quote", "with\nnewline"}});
+  EXPECT_EQ(text,
+            "plain,\"with,comma\"\n\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvRoundTripTest, ParseOfWriteIsIdentity) {
+  const std::vector<CsvRow> rows{
+      {"a", "b,c", "d\"e"}, {"", "multi\nline", "plain"}, {"1", "2", "3"}};
+  const auto parsed = ParseCsv(WriteCsvString(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvFileTest, WriteThenReadBack) {
+  const std::string path = testing::TempDir() + "/fairrec_csv_test.csv";
+  const std::vector<CsvRow> rows{{"user", "item"}, {"1", "2"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  const auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/dir/file.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,93 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryOk) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  const Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, EachFactoryMapsToItsCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopySemantics) {
+  const Status original = Status::NotFound("missing");
+  Status copy = original;  // copy constructor
+  EXPECT_EQ(copy, original);
+  Status assigned;
+  assigned = original;  // copy assignment
+  EXPECT_EQ(assigned, original);
+  EXPECT_TRUE(assigned.IsNotFound());
+  EXPECT_EQ(assigned.message(), "missing");
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status original = Status::IOError("disk");
+  const Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsIOError());
+  original = Status::OK();  // reassignment after move must be valid
+  EXPECT_TRUE(original.ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  const auto fails = [] -> Status {
+    FAIRREC_RETURN_NOT_OK(Status::OutOfRange("boom"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsOutOfRange());
+
+  const auto passes = [] -> Status {
+    FAIRREC_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_TRUE(passes().IsInvalidArgument());
+}
+
+TEST(StatusDeathTest, CheckOKAbortsOnError) {
+  EXPECT_DEATH(Status::Internal("fatal").CheckOK(), "Internal: fatal");
+}
+
+TEST(StatusTest, CheckOKPassesOnOk) {
+  Status::OK().CheckOK();  // must not abort
+}
+
+}  // namespace
+}  // namespace fairrec

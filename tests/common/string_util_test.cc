@@ -1,0 +1,65 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, AdjacentDelimitersYieldEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(SplitTest, LeadingAndTrailingDelimiters) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("nochange"), "nochange");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ToLowerTest, Lowercases) {
+  EXPECT_EQ(ToLower("HeLLo 123"), "hello 123");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("fairness", "fair"));
+  EXPECT_FALSE(StartsWith("fair", "fairness"));
+  EXPECT_TRUE(EndsWith("fairness", "ness"));
+  EXPECT_FALSE(EndsWith("ness", "fairness"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatWithThousandsTest, GroupsDigits) {
+  EXPECT_EQ(FormatWithThousands(0), "0");
+  EXPECT_EQ(FormatWithThousands(999), "999");
+  EXPECT_EQ(FormatWithThousands(1000), "1,000");
+  EXPECT_EQ(FormatWithThousands(322371457), "322,371,457");
+  EXPECT_EQ(FormatWithThousands(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,134 @@
+#include "core/brute_force.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.h"
+
+namespace fairrec {
+namespace {
+
+using testing_fixtures::ContextFromDense;
+using testing_fixtures::NaiveBruteForce;
+using testing_fixtures::RandomContext;
+
+TEST(CountCombinationsTest, KnownValues) {
+  EXPECT_EQ(BruteForceSelector::CountCombinations(10, 4), 210u);
+  EXPECT_EQ(BruteForceSelector::CountCombinations(20, 8), 125970u);
+  EXPECT_EQ(BruteForceSelector::CountCombinations(30, 16), 145422675u);
+  EXPECT_EQ(BruteForceSelector::CountCombinations(30, 20), 30045015u);
+  EXPECT_EQ(BruteForceSelector::CountCombinations(5, 0), 1u);
+  EXPECT_EQ(BruteForceSelector::CountCombinations(5, 5), 1u);
+  EXPECT_EQ(BruteForceSelector::CountCombinations(5, 6), 0u);
+  EXPECT_EQ(BruteForceSelector::CountCombinations(5, -1), 0u);
+}
+
+TEST(CountCombinationsTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(BruteForceSelector::CountCombinations(200, 100), UINT64_MAX);
+}
+
+TEST(BruteForceTest, RejectsNonPositiveZ) {
+  const BruteForceSelector selector;
+  const GroupContext ctx = ContextFromDense({{3.0}});
+  EXPECT_TRUE(selector.Select(ctx, 0).status().IsInvalidArgument());
+}
+
+TEST(BruteForceTest, ZGeqMSelectsEverything) {
+  const BruteForceSelector selector;
+  const GroupContext ctx = ContextFromDense({{3.0, 4.0, 5.0}});
+  const Selection selection = std::move(selector.Select(ctx, 3)).ValueOrDie();
+  EXPECT_EQ(selection.items.size(), 3u);
+  const Selection bigger = std::move(selector.Select(ctx, 10)).ValueOrDie();
+  EXPECT_EQ(bigger.items.size(), 3u);
+}
+
+TEST(BruteForceTest, CombinationCapRefusesOversizedRuns) {
+  BruteForceOptions options;
+  options.max_combinations = 10;
+  const BruteForceSelector selector(options);
+  Rng rng(5);
+  const GroupContext ctx = RandomContext(rng, 2, 10);
+  // C(10, 4) = 210 > 10.
+  EXPECT_TRUE(selector.Select(ctx, 4).status().IsFailedPrecondition());
+  // C(10, 9) = 10 <= 10 runs fine.
+  EXPECT_TRUE(selector.Select(ctx, 9).ok());
+}
+
+TEST(BruteForceTest, HandCraftedOptimum) {
+  // Two members, top_k = 1: A_0 = {0}, A_1 = {3}. Group relevance (avg):
+  // item0 3.5, item1 3.45, item2 3.4, item3 3.5.
+  // z=2: candidates {0,3} give value 1.0 * 7.0 = 7.0 — the unique optimum
+  // (any other pair has fairness <= 0.5 -> value <= 3.475).
+  GroupContextOptions options;
+  options.top_k = 1;
+  const GroupContext ctx = ContextFromDense(
+      {{5.0, 4.0, 3.0, 2.0}, {2.0, 2.9, 3.8, 5.0}}, options);
+  const BruteForceSelector selector;
+  const Selection selection = std::move(selector.Select(ctx, 2)).ValueOrDie();
+  EXPECT_EQ(selection.items, (std::vector<ItemId>{0, 3}));
+  EXPECT_DOUBLE_EQ(selection.score.fairness, 1.0);
+  EXPECT_NEAR(selection.score.value, 7.0, 1e-12);
+}
+
+TEST(BruteForceTest, ReportedScoreMatchesRecomputation) {
+  Rng rng(606);
+  const GroupContext ctx = RandomContext(rng, 3, 12);
+  const BruteForceSelector selector;
+  const Selection selection = std::move(selector.Select(ctx, 5)).ValueOrDie();
+  const ValueBreakdown recomputed =
+      EvaluateSelectionByItems(ctx, selection.items);
+  EXPECT_NEAR(selection.score.value, recomputed.value, 1e-9);
+  EXPECT_DOUBLE_EQ(selection.score.fairness, recomputed.fairness);
+  const std::set<ItemId> unique(selection.items.begin(), selection.items.end());
+  EXPECT_EQ(unique.size(), selection.items.size());
+}
+
+// Property: the incremental enumerator finds the same optimal value as a
+// plain recursive reference on random instances.
+struct BruteForceParam {
+  int32_t group_size;
+  int32_t num_candidates;
+  int32_t top_k;
+  int32_t z;
+  uint64_t seed;
+};
+
+class BruteForceEquivalence : public ::testing::TestWithParam<BruteForceParam> {};
+
+TEST_P(BruteForceEquivalence, MatchesNaiveReference) {
+  const BruteForceParam p = GetParam();
+  Rng rng(p.seed);
+  GroupContextOptions options;
+  options.top_k = p.top_k;
+  const GroupContext ctx =
+      RandomContext(rng, p.group_size, p.num_candidates, options);
+  const BruteForceSelector selector;
+  const Selection fast = std::move(selector.Select(ctx, p.z)).ValueOrDie();
+  const Selection naive = NaiveBruteForce(ctx, p.z);
+  EXPECT_NEAR(fast.score.value, naive.score.value, 1e-9)
+      << "G=" << p.group_size << " m=" << p.num_candidates << " z=" << p.z;
+  EXPECT_DOUBLE_EQ(fast.score.fairness, naive.score.fairness);
+}
+
+std::vector<BruteForceParam> BruteForceGrid() {
+  std::vector<BruteForceParam> grid;
+  uint64_t seed = 100;
+  for (const int32_t g : {2, 4}) {
+    for (const int32_t m : {6, 10, 14}) {
+      for (const int32_t k : {1, 4}) {
+        for (const int32_t z : {2, 4, 6}) {
+          if (z >= m) continue;
+          grid.push_back({g, m, k, z, seed++});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BruteForceEquivalence,
+                         ::testing::ValuesIn(BruteForceGrid()));
+
+}  // namespace
+}  // namespace fairrec

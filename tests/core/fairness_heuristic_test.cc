@@ -1,0 +1,170 @@
+#include "core/fairness_heuristic.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.h"
+
+namespace fairrec {
+namespace {
+
+using testing_fixtures::ContextFromDense;
+using testing_fixtures::RandomContext;
+
+TEST(FairnessHeuristicTest, RejectsNonPositiveZ) {
+  const FairnessHeuristic heuristic;
+  const GroupContext ctx = ContextFromDense({{3.0}});
+  EXPECT_TRUE(heuristic.Select(ctx, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(heuristic.Select(ctx, -2).status().IsInvalidArgument());
+}
+
+TEST(FairnessHeuristicTest, FirstPickFollowsAlgorithm1Line7) {
+  // Two members. Line 7 with (x=0, y=1): pick from A_u1 the item with max
+  // relevance for u0. A_u1 (top_k=2) = {3, 2}; member 0 prefers item 2
+  // (3.0 > 2.0), so item 2 must be selected first.
+  GroupContextOptions options;
+  options.top_k = 2;
+  const GroupContext ctx =
+      ContextFromDense({{5.0, 4.0, 3.0, 2.0}, {1.0, 2.0, 4.0, 5.0}}, options);
+  const FairnessHeuristic heuristic;
+  const Selection selection = std::move(heuristic.Select(ctx, 4)).ValueOrDie();
+  ASSERT_FALSE(selection.items.empty());
+  EXPECT_EQ(selection.items[0], 2);
+  // Next pair (x=1, y=0): from A_u0 = {0, 1}, member 1 prefers item 1.
+  ASSERT_GE(selection.items.size(), 2u);
+  EXPECT_EQ(selection.items[1], 1);
+}
+
+TEST(FairnessHeuristicTest, TransposedVariantPicksFromAUx) {
+  // pick_from_a_ux: (x=0, y=1) picks from A_u0 the item maximizing member
+  // 1's relevance. A_u0 = {0, 1}; member 1 prefers item 1.
+  GroupContextOptions options;
+  options.top_k = 2;
+  const GroupContext ctx =
+      ContextFromDense({{5.0, 4.0, 3.0, 2.0}, {1.0, 2.0, 4.0, 5.0}}, options);
+  FairnessHeuristicOptions heuristic_options;
+  heuristic_options.pick_from_a_ux = true;
+  const FairnessHeuristic heuristic(heuristic_options);
+  const Selection selection = std::move(heuristic.Select(ctx, 4)).ValueOrDie();
+  ASSERT_FALSE(selection.items.empty());
+  EXPECT_EQ(selection.items[0], 1);
+}
+
+TEST(FairnessHeuristicTest, NoDuplicatesAndExactSize) {
+  Rng rng(808);
+  GroupContextOptions options;
+  options.top_k = 5;
+  const GroupContext ctx = RandomContext(rng, 4, 20, options);
+  const FairnessHeuristic heuristic;
+  for (const int32_t z : {1, 3, 7, 12, 20}) {
+    const Selection selection = std::move(heuristic.Select(ctx, z)).ValueOrDie();
+    EXPECT_EQ(selection.items.size(), static_cast<size_t>(std::min(z, 20)));
+    const std::set<ItemId> unique(selection.items.begin(), selection.items.end());
+    EXPECT_EQ(unique.size(), selection.items.size()) << "duplicates at z=" << z;
+  }
+}
+
+TEST(FairnessHeuristicTest, ReportedScoreMatchesRecomputation) {
+  Rng rng(909);
+  const GroupContext ctx = RandomContext(rng, 3, 15);
+  const FairnessHeuristic heuristic;
+  const Selection selection = std::move(heuristic.Select(ctx, 6)).ValueOrDie();
+  const ValueBreakdown recomputed =
+      EvaluateSelectionByItems(ctx, selection.items);
+  EXPECT_DOUBLE_EQ(selection.score.value, recomputed.value);
+  EXPECT_DOUBLE_EQ(selection.score.fairness, recomputed.fairness);
+}
+
+TEST(FairnessHeuristicTest, TruncatesMidRoundAtExactlyZ) {
+  Rng rng(111);
+  const GroupContext ctx = RandomContext(rng, 5, 30);
+  const FairnessHeuristic heuristic;
+  // z = 3 < |G| = 5: the first round must stop partway.
+  const Selection selection = std::move(heuristic.Select(ctx, 3)).ValueOrDie();
+  EXPECT_EQ(selection.items.size(), 3u);
+}
+
+TEST(FairnessHeuristicTest, SingletonGroupFallsBackToFilling) {
+  // With |G| = 1 there are no (x, y) pairs at all; Algorithm 1 alone returns
+  // nothing, so the fill_shortfall path must produce the best candidates by
+  // group relevance.
+  const GroupContext ctx = ContextFromDense({{5.0, 3.0, 4.0}});
+  const FairnessHeuristic heuristic;
+  const Selection selection = std::move(heuristic.Select(ctx, 2)).ValueOrDie();
+  ASSERT_EQ(selection.items.size(), 2u);
+  EXPECT_EQ(selection.items[0], 0);  // relevance 5.0
+  EXPECT_EQ(selection.items[1], 2);  // relevance 4.0
+}
+
+TEST(FairnessHeuristicTest, FillShortfallDisabledReturnsPureAlgorithm1) {
+  const GroupContext ctx = ContextFromDense({{5.0, 3.0, 4.0}});
+  FairnessHeuristicOptions options;
+  options.fill_shortfall = false;
+  const FairnessHeuristic heuristic(options);
+  const Selection selection = std::move(heuristic.Select(ctx, 2)).ValueOrDie();
+  EXPECT_TRUE(selection.items.empty());  // no pairs, no picks
+}
+
+TEST(FairnessHeuristicTest, ZLargerThanCandidatesSelectsEverything) {
+  const GroupContext ctx = ContextFromDense({{5.0, 3.0}, {1.0, 2.0}});
+  const FairnessHeuristic heuristic;
+  const Selection selection = std::move(heuristic.Select(ctx, 10)).ValueOrDie();
+  EXPECT_EQ(selection.items.size(), 2u);
+  EXPECT_DOUBLE_EQ(selection.score.fairness, 1.0);
+}
+
+// Proposition 1: for Algorithm 1's output, z >= |G| implies fairness = 1.
+// Swept over group sizes, candidate counts, top_k and z via parameterized
+// tests on randomized instances.
+struct Prop1Param {
+  int32_t group_size;
+  int32_t num_candidates;
+  int32_t top_k;
+  int32_t z;
+  uint64_t seed;
+};
+
+class Proposition1Property : public ::testing::TestWithParam<Prop1Param> {};
+
+TEST_P(Proposition1Property, FairnessIsOneWhenZGeqGroupSize) {
+  const Prop1Param p = GetParam();
+  Rng rng(p.seed);
+  GroupContextOptions options;
+  options.top_k = p.top_k;
+  const GroupContext ctx =
+      RandomContext(rng, p.group_size, p.num_candidates, options);
+  const FairnessHeuristic heuristic;
+  const Selection selection =
+      std::move(heuristic.Select(ctx, p.z)).ValueOrDie();
+  if (p.z >= p.group_size && p.z <= p.num_candidates) {
+    EXPECT_DOUBLE_EQ(selection.score.fairness, 1.0)
+        << "G=" << p.group_size << " m=" << p.num_candidates
+        << " k=" << p.top_k << " z=" << p.z;
+  }
+  EXPECT_GE(selection.score.fairness, 0.0);
+  EXPECT_LE(selection.score.fairness, 1.0);
+}
+
+std::vector<Prop1Param> Prop1Grid() {
+  std::vector<Prop1Param> grid;
+  uint64_t seed = 1;
+  for (const int32_t g : {2, 3, 4, 6}) {
+    for (const int32_t m : {8, 15, 30}) {
+      for (const int32_t k : {1, 3, 8}) {
+        for (const int32_t z : {2, 4, 8, 16}) {
+          if (z > m) continue;
+          grid.push_back({g, m, k, z, seed++});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Proposition1Property,
+                         ::testing::ValuesIn(Prop1Grid()));
+
+}  // namespace
+}  // namespace fairrec

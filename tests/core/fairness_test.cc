@@ -1,0 +1,94 @@
+#include "core/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.h"
+
+namespace fairrec {
+namespace {
+
+using testing_fixtures::ContextFromDense;
+
+GroupContext TwoMemberContext() {
+  // 4 items; member 0 loves low ids, member 1 loves high ids. top_k = 1:
+  // A_0 = {item 0}, A_1 = {item 3}.
+  GroupContextOptions options;
+  options.top_k = 1;
+  return ContextFromDense({{5.0, 4.0, 3.0, 2.0}, {2.0, 3.0, 4.0, 5.0}}, options);
+}
+
+TEST(FairnessTest, FairToMemberWhenTopItemIncluded) {
+  const GroupContext ctx = TwoMemberContext();
+  EXPECT_TRUE(IsFairToMember(ctx, 0, {0}));
+  EXPECT_FALSE(IsFairToMember(ctx, 0, {1, 2, 3}));
+  EXPECT_TRUE(IsFairToMember(ctx, 1, {3}));
+  EXPECT_FALSE(IsFairToMember(ctx, 1, {0}));
+}
+
+TEST(FairnessTest, EmptySelectionIsFairToNobody) {
+  const GroupContext ctx = TwoMemberContext();
+  const ValueBreakdown score = EvaluateSelection(ctx, {});
+  EXPECT_DOUBLE_EQ(score.fairness, 0.0);
+  EXPECT_DOUBLE_EQ(score.relevance_sum, 0.0);
+  EXPECT_DOUBLE_EQ(score.value, 0.0);
+}
+
+TEST(FairnessTest, Definition3Fraction) {
+  const GroupContext ctx = TwoMemberContext();
+  // {0}: fair to member 0 only -> 1/2.
+  EXPECT_DOUBLE_EQ(EvaluateSelection(ctx, {0}).fairness, 0.5);
+  // {0, 3}: fair to both -> 1.
+  EXPECT_DOUBLE_EQ(EvaluateSelection(ctx, {0, 3}).fairness, 1.0);
+  // {1, 2}: fair to neither -> 0.
+  EXPECT_DOUBLE_EQ(EvaluateSelection(ctx, {1, 2}).fairness, 0.0);
+}
+
+TEST(FairnessTest, ValueIsFairnessTimesRelevanceSum) {
+  const GroupContext ctx = TwoMemberContext();
+  const ValueBreakdown score = EvaluateSelection(ctx, {0, 3});
+  // Group relevance (average): item 0 -> 3.5, item 3 -> 3.5.
+  EXPECT_DOUBLE_EQ(score.relevance_sum, 7.0);
+  EXPECT_DOUBLE_EQ(score.fairness, 1.0);
+  EXPECT_DOUBLE_EQ(score.value, 7.0);
+
+  const ValueBreakdown half = EvaluateSelection(ctx, {0, 1});
+  EXPECT_DOUBLE_EQ(half.fairness, 0.5);
+  EXPECT_DOUBLE_EQ(half.relevance_sum, 3.5 + 3.5);
+  EXPECT_DOUBLE_EQ(half.value, 0.5 * 7.0);
+}
+
+TEST(FairnessTest, ByItemsOverloadIgnoresUnknownItems) {
+  const GroupContext ctx = TwoMemberContext();
+  const ValueBreakdown score = EvaluateSelectionByItems(ctx, {0, 3, 42, -1});
+  EXPECT_DOUBLE_EQ(score.fairness, 1.0);
+  EXPECT_DOUBLE_EQ(score.relevance_sum, 7.0);
+}
+
+TEST(FairnessTest, FairnessMonotoneUnderSupersets) {
+  const GroupContext ctx = TwoMemberContext();
+  const double f1 = EvaluateSelection(ctx, {1}).fairness;
+  const double f2 = EvaluateSelection(ctx, {1, 0}).fairness;
+  const double f3 = EvaluateSelection(ctx, {1, 0, 3}).fairness;
+  EXPECT_LE(f1, f2);
+  EXPECT_LE(f2, f3);
+}
+
+TEST(FairnessTest, FairnessAlwaysWithinUnitInterval) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    GroupContextOptions options;
+    options.top_k = 3;
+    const GroupContext ctx = testing_fixtures::RandomContext(rng, 4, 12, options);
+    std::vector<int32_t> selection;
+    for (int32_t c = 0; c < ctx.num_candidates(); ++c) {
+      if (rng.NextBool(0.3)) selection.push_back(c);
+    }
+    const ValueBreakdown score = EvaluateSelection(ctx, selection);
+    EXPECT_GE(score.fairness, 0.0);
+    EXPECT_LE(score.fairness, 1.0);
+    EXPECT_GE(score.value, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/cohort_generator.h"
+#include "data/corpus_generator.h"
+#include "data/rating_generator.h"
+#include "ontology/snomed_generator.h"
+
+namespace fairrec {
+namespace {
+
+SyntheticOntology TestOntology() {
+  SnomedGeneratorConfig config;
+  config.num_clusters = 4;
+  config.cluster_depth = 3;
+  config.seed = 5;
+  return std::move(GenerateSnomedLikeOntology(config)).ValueOrDie();
+}
+
+TEST(CorpusGeneratorTest, ValidatesConfig) {
+  CorpusConfig bad;
+  bad.num_documents = 0;
+  EXPECT_TRUE(GenerateCorpus(bad).status().IsInvalidArgument());
+  bad = CorpusConfig{};
+  bad.num_topics = -1;
+  EXPECT_TRUE(GenerateCorpus(bad).status().IsInvalidArgument());
+}
+
+TEST(CorpusGeneratorTest, EveryTopicPopulatedAndQualityInRange) {
+  CorpusConfig config;
+  config.num_documents = 50;
+  config.num_topics = 7;
+  const Corpus corpus = std::move(GenerateCorpus(config)).ValueOrDie();
+  ASSERT_EQ(corpus.documents.size(), 50u);
+  std::set<int32_t> topics;
+  for (const Document& doc : corpus.documents) {
+    EXPECT_GE(doc.topic, 0);
+    EXPECT_LT(doc.topic, 7);
+    EXPECT_GE(doc.quality, 0.0);
+    EXPECT_LE(doc.quality, 1.0);
+    EXPECT_FALSE(doc.title.empty());
+    topics.insert(doc.topic);
+  }
+  EXPECT_EQ(topics.size(), 7u);
+}
+
+TEST(CorpusGeneratorTest, Deterministic) {
+  CorpusConfig config;
+  const Corpus a = std::move(GenerateCorpus(config)).ValueOrDie();
+  const Corpus b = std::move(GenerateCorpus(config)).ValueOrDie();
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  for (size_t i = 0; i < a.documents.size(); ++i) {
+    EXPECT_EQ(a.documents[i].title, b.documents[i].title);
+    EXPECT_DOUBLE_EQ(a.documents[i].quality, b.documents[i].quality);
+  }
+}
+
+TEST(CohortGeneratorTest, ValidatesConfig) {
+  const SyntheticOntology ontology = TestOntology();
+  CohortConfig bad;
+  bad.num_patients = 0;
+  EXPECT_TRUE(GenerateCohort(bad, ontology).status().IsInvalidArgument());
+  bad = CohortConfig{};
+  bad.min_primary_problems = 3;
+  bad.max_primary_problems = 1;
+  EXPECT_TRUE(GenerateCohort(bad, ontology).status().IsInvalidArgument());
+}
+
+TEST(CohortGeneratorTest, ProfilesRespectConfigBounds) {
+  const SyntheticOntology ontology = TestOntology();
+  CohortConfig config;
+  config.num_patients = 100;
+  config.min_age = 30;
+  config.max_age = 40;
+  config.comorbidity_prob = 0.0;
+  const Cohort cohort = std::move(GenerateCohort(config, ontology)).ValueOrDie();
+  EXPECT_EQ(cohort.profiles.size(), 100);
+  ASSERT_EQ(cohort.cluster_of_user.size(), 100u);
+  for (const UserId u : cohort.profiles.Users()) {
+    const PatientProfile& p = cohort.profiles.Get(u);
+    EXPECT_GE(p.age, 30);
+    EXPECT_LE(p.age, 40);
+    EXPECT_GE(static_cast<int32_t>(p.problems.size()),
+              config.min_primary_problems);
+    EXPECT_LE(static_cast<int32_t>(p.problems.size()),
+              config.max_primary_problems);
+    EXPECT_GE(static_cast<int32_t>(p.medications.size()),
+              config.min_medications);
+    EXPECT_NE(p.gender, Gender::kUnknown);
+  }
+}
+
+TEST(CohortGeneratorTest, PrimaryProblemsComeFromAssignedCluster) {
+  const SyntheticOntology ontology = TestOntology();
+  CohortConfig config;
+  config.num_patients = 60;
+  config.comorbidity_prob = 0.0;  // no cross-cluster noise
+  const Cohort cohort = std::move(GenerateCohort(config, ontology)).ValueOrDie();
+  for (const UserId u : cohort.profiles.Users()) {
+    const int32_t cluster = cohort.cluster_of_user[static_cast<size_t>(u)];
+    const ConceptId root =
+        ontology.cluster_roots[static_cast<size_t>(cluster)];
+    for (const ConceptId problem : cohort.profiles.Get(u).problems) {
+      EXPECT_TRUE(ontology.ontology.IsAncestorOf(root, problem))
+          << "user " << u << " problem outside cluster";
+    }
+  }
+}
+
+TEST(CohortGeneratorTest, ComorbidityAddsCrossClusterProblems) {
+  const SyntheticOntology ontology = TestOntology();
+  CohortConfig config;
+  config.num_patients = 200;
+  config.comorbidity_prob = 1.0;
+  config.min_primary_problems = 1;
+  config.max_primary_problems = 1;
+  const Cohort cohort = std::move(GenerateCohort(config, ontology)).ValueOrDie();
+  int cross = 0;
+  for (const UserId u : cohort.profiles.Users()) {
+    if (cohort.profiles.Get(u).problems.size() == 2) ++cross;
+  }
+  EXPECT_EQ(cross, 200);  // every patient got exactly one comorbidity
+}
+
+TEST(RatingGeneratorTest, ValidatesConfig) {
+  const Corpus corpus = std::move(GenerateCorpus({})).ValueOrDie();
+  RatingGeneratorConfig bad;
+  bad.density = 0.0;
+  EXPECT_TRUE(
+      GenerateRatings(bad, {0, 1}, corpus).status().IsInvalidArgument());
+  bad = RatingGeneratorConfig{};
+  EXPECT_TRUE(GenerateRatings(bad, {}, corpus).status().IsInvalidArgument());
+}
+
+TEST(RatingGeneratorTest, DensityRoughlyMatches) {
+  const Corpus corpus = std::move(GenerateCorpus({})).ValueOrDie();
+  RatingGeneratorConfig config;
+  config.density = 0.10;
+  std::vector<int32_t> clusters(300);
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    clusters[i] = static_cast<int32_t>(i % 8);
+  }
+  const RatingMatrix m =
+      std::move(GenerateRatings(config, clusters, corpus)).ValueOrDie();
+  EXPECT_NEAR(m.Density(), 0.10, 0.02);
+}
+
+TEST(RatingGeneratorTest, RatingsAreOnScaleIntegers) {
+  const Corpus corpus = std::move(GenerateCorpus({})).ValueOrDie();
+  RatingGeneratorConfig config;
+  config.density = 0.2;
+  const RatingMatrix m =
+      std::move(GenerateRatings(config, {0, 1, 2, 3, 4, 5}, corpus)).ValueOrDie();
+  for (const RatingTriple& t : m.ToTriples()) {
+    EXPECT_GE(t.value, kMinRating);
+    EXPECT_LE(t.value, kMaxRating);
+    EXPECT_DOUBLE_EQ(t.value, std::round(t.value));
+  }
+}
+
+TEST(RatingGeneratorTest, OnTopicRatingsAreMoreFrequentAndHigher) {
+  CorpusConfig corpus_config;
+  corpus_config.num_documents = 400;
+  corpus_config.num_topics = 4;
+  const Corpus corpus = std::move(GenerateCorpus(corpus_config)).ValueOrDie();
+  RatingGeneratorConfig config;
+  config.density = 0.15;
+  std::vector<int32_t> clusters(200, 0);  // everyone in cluster 0
+  const RatingMatrix m =
+      std::move(GenerateRatings(config, clusters, corpus)).ValueOrDie();
+  int64_t on_count = 0;
+  int64_t off_count = 0;
+  double on_sum = 0.0;
+  double off_sum = 0.0;
+  for (const RatingTriple& t : m.ToTriples()) {
+    if (corpus.documents[static_cast<size_t>(t.item)].topic == 0) {
+      ++on_count;
+      on_sum += t.value;
+    } else {
+      ++off_count;
+      off_sum += t.value;
+    }
+  }
+  ASSERT_GT(on_count, 0);
+  ASSERT_GT(off_count, 0);
+  // On-topic items are 1/4 of the corpus but boosted 3x -> their per-item
+  // rate is ~3x the off-topic rate.
+  const double per_item_on = static_cast<double>(on_count) / 100.0;
+  const double per_item_off = static_cast<double>(off_count) / 300.0;
+  EXPECT_GT(per_item_on, 2.0 * per_item_off);
+  EXPECT_GT(on_sum / static_cast<double>(on_count),
+            off_sum / static_cast<double>(off_count) + 0.5);
+}
+
+}  // namespace
+}  // namespace fairrec

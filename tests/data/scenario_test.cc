@@ -1,0 +1,91 @@
+#include "data/scenario.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+ScenarioConfig SmallConfig() {
+  ScenarioConfig config;
+  config.num_patients = 80;
+  config.num_documents = 60;
+  config.num_clusters = 4;
+  config.rating_density = 0.15;
+  config.seed = 321;
+  return config;
+}
+
+TEST(ScenarioTest, BuildsConsistentWorld) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  EXPECT_EQ(s.cohort.profiles.size(), 80);
+  EXPECT_EQ(s.corpus.documents.size(), 60u);
+  EXPECT_EQ(s.ratings.num_users(), 80);
+  EXPECT_LE(s.ratings.num_items(), 60);
+  EXPECT_EQ(s.ontology.cluster_roots.size(), 4u);
+  EXPECT_GT(s.ratings.num_ratings(), 0);
+}
+
+TEST(ScenarioTest, DeterministicInSeed) {
+  const Scenario a = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  const Scenario b = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  EXPECT_EQ(a.ratings.ToTriples(), b.ratings.ToTriples());
+  EXPECT_EQ(a.cohort.cluster_of_user, b.cohort.cluster_of_user);
+}
+
+TEST(ScenarioTest, DifferentSeedsDifferentWorlds) {
+  ScenarioConfig other = SmallConfig();
+  other.seed = 9999;
+  const Scenario a = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  const Scenario b = std::move(BuildScenario(other)).ValueOrDie();
+  EXPECT_NE(a.ratings.ToTriples(), b.ratings.ToTriples());
+}
+
+TEST(ScenarioTest, CohesiveGroupSharesOneCluster) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  const Group group = s.MakeCohesiveGroup(4, 7);
+  ASSERT_EQ(group.size(), 4u);
+  std::set<int32_t> clusters;
+  for (const UserId u : group) {
+    clusters.insert(s.cohort.cluster_of_user[static_cast<size_t>(u)]);
+  }
+  EXPECT_EQ(clusters.size(), 1u);
+  // No duplicates.
+  EXPECT_EQ(std::set<UserId>(group.begin(), group.end()).size(), 4u);
+}
+
+TEST(ScenarioTest, RandomGroupHasDistinctValidMembers) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  const Group group = s.MakeRandomGroup(6, 11);
+  ASSERT_EQ(group.size(), 6u);
+  EXPECT_EQ(std::set<UserId>(group.begin(), group.end()).size(), 6u);
+  for (const UserId u : group) {
+    EXPECT_GE(u, 0);
+    EXPECT_LT(u, 80);
+  }
+}
+
+TEST(ScenarioTest, GroupsDeterministicInSeed) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  EXPECT_EQ(s.MakeCohesiveGroup(4, 5), s.MakeCohesiveGroup(4, 5));
+  EXPECT_EQ(s.MakeRandomGroup(4, 5), s.MakeRandomGroup(4, 5));
+}
+
+TEST(ScenarioTest, GroupsSortedAscending) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  const Group group = s.MakeCohesiveGroup(5, 3);
+  EXPECT_TRUE(std::is_sorted(group.begin(), group.end()));
+}
+
+TEST(ScenarioTest, OversizedCohesiveGroupFallsBack) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  // No cluster has 60 members out of 80 across 4 clusters; the fallback
+  // must still produce a usable random group.
+  const Group group = s.MakeCohesiveGroup(60, 13);
+  EXPECT_EQ(group.size(), 60u);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,60 @@
+#include "eval/accuracy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+const std::vector<RatingTriple> kTest{{0, 0, 4.0}, {0, 1, 2.0}, {1, 0, 5.0}};
+
+TEST(AccuracyTest, PerfectPredictorScoresZeroError) {
+  const AccuracyStats stats = EvaluatePredictor(
+      kTest, [](UserId u, ItemId i) -> std::optional<double> {
+        if (u == 0 && i == 0) return 4.0;
+        if (u == 0 && i == 1) return 2.0;
+        return 5.0;
+      });
+  EXPECT_DOUBLE_EQ(stats.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mae, 0.0);
+  EXPECT_EQ(stats.predicted, 3);
+  EXPECT_DOUBLE_EQ(stats.coverage, 1.0);
+}
+
+TEST(AccuracyTest, HandComputedErrors) {
+  // Constant 3.0: errors are 1, 1, 2.
+  const AccuracyStats stats = EvaluatePredictor(
+      kTest, [](UserId, ItemId) -> std::optional<double> { return 3.0; });
+  EXPECT_DOUBLE_EQ(stats.mae, (1.0 + 1.0 + 2.0) / 3.0);
+  EXPECT_DOUBLE_EQ(stats.rmse, std::sqrt((1.0 + 1.0 + 4.0) / 3.0));
+}
+
+TEST(AccuracyTest, AbstentionsReduceCoverageNotError) {
+  const AccuracyStats stats = EvaluatePredictor(
+      kTest, [](UserId u, ItemId) -> std::optional<double> {
+        if (u == 1) return std::nullopt;
+        return 3.0;
+      });
+  EXPECT_EQ(stats.predicted, 2);
+  EXPECT_NEAR(stats.coverage, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.mae, 1.0);  // errors 1 and 1 on the two covered
+}
+
+TEST(AccuracyTest, EmptyTestSet) {
+  const AccuracyStats stats = EvaluatePredictor(
+      {}, [](UserId, ItemId) -> std::optional<double> { return 3.0; });
+  EXPECT_EQ(stats.predicted, 0);
+  EXPECT_DOUBLE_EQ(stats.coverage, 0.0);
+  EXPECT_DOUBLE_EQ(stats.rmse, 0.0);
+}
+
+TEST(AccuracyTest, TotalAbstention) {
+  const AccuracyStats stats = EvaluatePredictor(
+      kTest, [](UserId, ItemId) -> std::optional<double> { return std::nullopt; });
+  EXPECT_EQ(stats.predicted, 0);
+  EXPECT_DOUBLE_EQ(stats.coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace fairrec

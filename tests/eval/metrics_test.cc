@@ -1,0 +1,82 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/timing.h"
+#include "tests/core/test_fixtures.h"
+
+namespace fairrec {
+namespace {
+
+using testing_fixtures::ContextFromDense;
+using testing_fixtures::kNaN;
+
+GroupContext TwoMembers() {
+  // Member 0: best item 0 (5.0); member 1: best item 2 (4.0).
+  return ContextFromDense({{5.0, 2.5, 1.0}, {2.0, 3.0, 4.0}});
+}
+
+TEST(MetricsTest, SatisfactionOfBestItemIsOne) {
+  const GroupContext ctx = TwoMembers();
+  EXPECT_DOUBLE_EQ(MemberSatisfaction(ctx, 0, {0}), 1.0);
+  EXPECT_DOUBLE_EQ(MemberSatisfaction(ctx, 1, {2}), 1.0);
+}
+
+TEST(MetricsTest, SatisfactionIsRelativeToBestPossible) {
+  const GroupContext ctx = TwoMembers();
+  // D = {1}: member 0 gets 2.5 of a possible 5.0.
+  EXPECT_DOUBLE_EQ(MemberSatisfaction(ctx, 0, {1}), 0.5);
+  // Member 1 gets 3.0 of a possible 4.0.
+  EXPECT_DOUBLE_EQ(MemberSatisfaction(ctx, 1, {1}), 0.75);
+}
+
+TEST(MetricsTest, EmptySelectionScoresZero) {
+  const GroupContext ctx = TwoMembers();
+  EXPECT_DOUBLE_EQ(MemberSatisfaction(ctx, 0, {}), 0.0);
+}
+
+TEST(MetricsTest, GroupStats) {
+  const GroupContext ctx = TwoMembers();
+  const SatisfactionStats stats = GroupSatisfaction(ctx, {1});
+  EXPECT_EQ(stats.members_counted, 2);
+  EXPECT_DOUBLE_EQ(stats.min, 0.5);
+  EXPECT_DOUBLE_EQ(stats.max, 0.75);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.625);
+}
+
+TEST(MetricsTest, ByItemsOverloadIgnoresUnknownIds) {
+  const GroupContext ctx = TwoMembers();
+  const SatisfactionStats stats = GroupSatisfactionByItems(ctx, {0, 2, 999});
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);  // both members got their favourite
+}
+
+TEST(MetricsTest, UndefinedMembersAreSkipped) {
+  GroupContextOptions options;
+  options.require_all_members = false;
+  // Member 1 has no defined relevance anywhere.
+  const GroupContext ctx =
+      ContextFromDense({{5.0, 2.0}, {kNaN, kNaN}}, options);
+  const SatisfactionStats stats = GroupSatisfaction(ctx, {0});
+  EXPECT_EQ(stats.members_counted, 1);
+  EXPECT_DOUBLE_EQ(MemberSatisfaction(ctx, 1, {0}), -1.0);
+}
+
+TEST(TimingTest, MeasuresAndAggregates) {
+  int calls = 0;
+  const TimingResult t = MeasureMs([&calls] { ++calls; }, 5);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(t.repetitions, 5);
+  EXPECT_GE(t.min_ms, 0.0);
+  EXPECT_LE(t.min_ms, t.mean_ms);
+  EXPECT_LE(t.mean_ms, t.max_ms);
+}
+
+TEST(TimingTest, ClampsRepetitionsToOne) {
+  int calls = 0;
+  const TimingResult t = MeasureMs([&calls] { ++calls; }, 0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(t.repetitions, 1);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,105 @@
+#include "eval/table2_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+
+namespace fairrec {
+namespace {
+
+Table2Config SmokeConfig() {
+  // Miniature sweep so the whole experiment path runs in well under a
+  // second: the real paper-scale sweep lives in the bench binary.
+  Table2Config config;
+  config.m_values = {8, 12};
+  config.z_values = {2, 4, 6};
+  config.group_size = 2;
+  config.scenario.num_patients = 80;
+  config.scenario.num_documents = 80;
+  config.scenario.num_clusters = 4;
+  config.scenario.rating_density = 0.2;
+  config.scenario.seed = 4321;
+  config.top_k = 5;
+  config.heuristic_repetitions = 1;
+  return config;
+}
+
+TEST(Table2ExperimentTest, ProducesAllValidCells) {
+  const Table2Result result =
+      std::move(RunTable2Experiment(SmokeConfig())).ValueOrDie();
+  // Cells with z < m: (8: 2,4,6), (12: 2,4,6) -> 6 rows.
+  EXPECT_EQ(result.rows.size(), 6u);
+  EXPECT_GE(result.candidate_pool_size, 12);
+}
+
+TEST(Table2ExperimentTest, BruteForceValueDominatesHeuristic) {
+  const Table2Result result =
+      std::move(RunTable2Experiment(SmokeConfig())).ValueOrDie();
+  for (const Table2Row& row : result.rows) {
+    ASSERT_GE(row.brute_force_ms, 0.0);
+    EXPECT_GE(row.brute_force_value, row.heuristic_value - 1e-9)
+        << "m=" << row.m << " z=" << row.z;
+  }
+}
+
+TEST(Table2ExperimentTest, Proposition1FairnessIdenticalWhenZGeqGroup) {
+  // The observation the paper attaches to Table II.
+  const Table2Result result =
+      std::move(RunTable2Experiment(SmokeConfig())).ValueOrDie();
+  for (const Table2Row& row : result.rows) {
+    if (row.z >= 2) {  // group_size = 2
+      EXPECT_DOUBLE_EQ(row.heuristic_fairness, 1.0)
+          << "m=" << row.m << " z=" << row.z;
+      EXPECT_DOUBLE_EQ(row.brute_force_fairness, 1.0)
+          << "m=" << row.m << " z=" << row.z;
+    }
+  }
+}
+
+TEST(Table2ExperimentTest, CombinationCountsRecorded) {
+  const Table2Result result =
+      std::move(RunTable2Experiment(SmokeConfig())).ValueOrDie();
+  for (const Table2Row& row : result.rows) {
+    EXPECT_EQ(row.combinations,
+              BruteForceSelector::CountCombinations(row.m, row.z));
+  }
+}
+
+TEST(Table2ExperimentTest, MaxCombinationsSkipsBigCells) {
+  Table2Config config = SmokeConfig();
+  config.max_combinations = 100;  // C(8,2)=28 runs; C(12,6)=924 skipped
+  const Table2Result result =
+      std::move(RunTable2Experiment(config)).ValueOrDie();
+  bool saw_run = false;
+  bool saw_skip = false;
+  for (const Table2Row& row : result.rows) {
+    if (row.brute_force_ms >= 0) saw_run = true;
+    if (row.brute_force_ms < 0) saw_skip = true;
+  }
+  EXPECT_TRUE(saw_run);
+  EXPECT_TRUE(saw_skip);
+}
+
+TEST(Table2ExperimentTest, FailsWhenPoolSmallerThanM) {
+  Table2Config config = SmokeConfig();
+  config.m_values = {100000};
+  EXPECT_TRUE(RunTable2Experiment(config).status().IsFailedPrecondition());
+}
+
+TEST(Table2ExperimentTest, FormatsTable) {
+  const Table2Result result =
+      std::move(RunTable2Experiment(SmokeConfig())).ValueOrDie();
+  const std::string text = FormatTable2(result);
+  EXPECT_NE(text.find("Brute-force (ms)"), std::string::npos);
+  EXPECT_NE(text.find("Heuristic (ms)"), std::string::npos);
+}
+
+TEST(PaperTable2Test, VerbatimCellsAccessible) {
+  EXPECT_DOUBLE_EQ(PaperTable2BruteForceMs(10, 4), 37.0);
+  EXPECT_DOUBLE_EQ(PaperTable2HeuristicMs(30, 20), 83.0);
+  EXPECT_DOUBLE_EQ(PaperTable2BruteForceMs(30, 16), 322371457.0);
+  EXPECT_LT(PaperTable2BruteForceMs(10, 12), 0.0);  // unreported cell
+}
+
+}  // namespace
+}  // namespace fairrec

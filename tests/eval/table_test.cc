@@ -1,0 +1,49 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+TEST(AsciiTableTest, RendersAlignedColumns) {
+  AsciiTable table({"m", "time"});
+  table.AddRow({"10", "37"});
+  table.AddRow({"300", "12345"});
+  const std::string out = table.ToString();
+  EXPECT_EQ(out,
+            "| m   | time  |\n"
+            "|-----|-------|\n"
+            "| 10  | 37    |\n"
+            "| 300 | 12345 |\n");
+}
+
+TEST(AsciiTableTest, ShortRowsPadded) {
+  AsciiTable table({"a", "b", "c"});
+  table.AddRow({"1"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, LongRowsTruncated) {
+  AsciiTable table({"a"});
+  table.AddRow({"1", "overflow"});
+  const std::string out = table.ToString();
+  EXPECT_EQ(out.find("overflow"), std::string::npos);
+}
+
+TEST(AsciiTableTest, HeaderWiderThanCells) {
+  AsciiTable table({"very_long_header"});
+  table.AddRow({"x"});
+  EXPECT_NE(table.ToString().find("| very_long_header |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, CountsRows) {
+  AsciiTable table({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace fairrec

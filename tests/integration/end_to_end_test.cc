@@ -1,0 +1,264 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cf/recommender.h"
+#include "core/brute_force.h"
+#include "core/fairness_heuristic.h"
+#include "core/greedy_selector.h"
+#include "core/group_recommender.h"
+#include "data/scenario.h"
+#include "eval/metrics.h"
+#include "mapreduce/pipeline.h"
+#include "sim/hybrid_similarity.h"
+#include "sim/profile_similarity.h"
+#include "sim/rating_similarity.h"
+#include "sim/semantic_similarity.h"
+#include "sim/similarity_matrix.h"
+
+namespace fairrec {
+namespace {
+
+/// One shared synthetic world for the whole suite (expensive to build).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig config;
+    config.num_patients = 120;
+    config.num_documents = 100;
+    config.num_clusters = 5;
+    config.rating_density = 0.15;
+    config.seed = 20170417;  // ICDE 2017 week
+    scenario_ = new Scenario(std::move(BuildScenario(config)).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static const Scenario& scenario() { return *scenario_; }
+
+  static RecommenderOptions DefaultRecOptions() {
+    RecommenderOptions options;
+    options.peers.delta = 0.55;  // shifted-Pearson scale
+    options.top_k = 8;
+    return options;
+  }
+
+  static Scenario* scenario_;
+};
+
+Scenario* EndToEndTest::scenario_ = nullptr;
+
+TEST_F(EndToEndTest, RatingsPathProducesFairSelection) {
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const RatingSimilarity similarity(&scenario().ratings, sim_options);
+  const Recommender recommender(&scenario().ratings, &similarity,
+                                DefaultRecOptions());
+  const GroupRecommender group_rec(&recommender, {});
+  const Group group = scenario().MakeCohesiveGroup(4, 42);
+
+  const FairnessHeuristic heuristic;
+  const Selection selection =
+      std::move(group_rec.RecommendFair(group, 6, heuristic)).ValueOrDie();
+  EXPECT_EQ(selection.items.size(), 6u);
+  EXPECT_DOUBLE_EQ(selection.score.fairness, 1.0);  // z=6 >= |G|=4 (Prop. 1)
+  const std::set<ItemId> unique(selection.items.begin(), selection.items.end());
+  EXPECT_EQ(unique.size(), 6u);
+  // Nothing recommended that any member already rated.
+  for (const ItemId item : selection.items) {
+    for (const UserId u : group) {
+      EXPECT_FALSE(scenario().ratings.HasRating(u, item));
+    }
+  }
+}
+
+TEST_F(EndToEndTest, AllThreeSimilarityMeasuresDriveTheSamePipeline) {
+  const Group group = scenario().MakeRandomGroup(3, 7);
+
+  RatingSimilarityOptions rs_options;
+  rs_options.shift_to_unit_interval = true;
+  const RatingSimilarity rs(&scenario().ratings, rs_options);
+  const auto cs = std::move(ProfileSimilarity::Create(
+                                scenario().cohort.profiles,
+                                scenario().ontology.ontology))
+                      .ValueOrDie();
+  const SemanticSimilarity ss(&scenario().cohort.profiles,
+                              &scenario().ontology.ontology);
+
+  struct Case {
+    const UserSimilarity* sim;
+    double delta;
+  };
+  const std::vector<Case> cases{{&rs, 0.55}, {cs.get(), 0.15}, {&ss, 0.15}};
+  for (const Case& c : cases) {
+    RecommenderOptions options = DefaultRecOptions();
+    options.peers.delta = c.delta;
+    const Recommender recommender(&scenario().ratings, c.sim, options);
+    const GroupRecommender group_rec(&recommender, {});
+    const auto context = group_rec.BuildContext(group);
+    ASSERT_TRUE(context.ok()) << c.sim->name();
+    EXPECT_GT(context->num_candidates(), 0) << c.sim->name();
+    const FairnessHeuristic heuristic;
+    const auto selection = heuristic.Select(*context, 5);
+    ASSERT_TRUE(selection.ok()) << c.sim->name();
+    EXPECT_EQ(selection->items.size(), 5u) << c.sim->name();
+  }
+}
+
+TEST_F(EndToEndTest, HybridSimilarityEndToEnd) {
+  RatingSimilarityOptions rs_options;
+  rs_options.shift_to_unit_interval = true;
+  const RatingSimilarity rs(&scenario().ratings, rs_options);
+  const auto cs = std::move(ProfileSimilarity::Create(
+                                scenario().cohort.profiles,
+                                scenario().ontology.ontology))
+                      .ValueOrDie();
+  const SemanticSimilarity ss(&scenario().cohort.profiles,
+                              &scenario().ontology.ontology);
+  const auto hybrid =
+      std::move(HybridSimilarity::Create(
+                    {{&rs, 0.5}, {cs.get(), 0.25}, {&ss, 0.25}}))
+          .ValueOrDie();
+
+  RecommenderOptions options = DefaultRecOptions();
+  options.peers.delta = 0.35;
+  const Recommender recommender(&scenario().ratings, hybrid.get(), options);
+  const GroupRecommender group_rec(&recommender, {});
+  const Group group = scenario().MakeCohesiveGroup(3, 99);
+  const FairnessHeuristic heuristic;
+  const Selection selection =
+      std::move(group_rec.RecommendFair(group, 5, heuristic)).ValueOrDie();
+  EXPECT_EQ(selection.items.size(), 5u);
+  EXPECT_DOUBLE_EQ(selection.score.fairness, 1.0);
+}
+
+TEST_F(EndToEndTest, PrecomputedMatrixAgreesWithDirectSimilarity) {
+  const SemanticSimilarity ss(&scenario().cohort.profiles,
+                              &scenario().ontology.ontology);
+  const auto cached = std::move(SimilarityMatrix::Precompute(
+                                    ss, scenario().ratings.num_users()))
+                          .ValueOrDie();
+  RecommenderOptions options = DefaultRecOptions();
+  options.peers.delta = 0.15;
+  const Group group = scenario().MakeRandomGroup(3, 5);
+
+  const Recommender direct(&scenario().ratings, &ss, options);
+  const Recommender precomputed(&scenario().ratings, cached.get(), options);
+  const GroupRecommender direct_rec(&direct, {});
+  const GroupRecommender cached_rec(&precomputed, {});
+  const FairnessHeuristic heuristic;
+  const Selection a =
+      std::move(direct_rec.RecommendFair(group, 4, heuristic)).ValueOrDie();
+  const Selection b =
+      std::move(cached_rec.RecommendFair(group, 4, heuristic)).ValueOrDie();
+  EXPECT_EQ(a.items, b.items);
+}
+
+TEST_F(EndToEndTest, MinVetoNeverExceedsAverageRelevance) {
+  RatingSimilarityOptions rs_options;
+  rs_options.shift_to_unit_interval = true;
+  const RatingSimilarity rs(&scenario().ratings, rs_options);
+  const Recommender recommender(&scenario().ratings, &rs, DefaultRecOptions());
+  const Group group = scenario().MakeRandomGroup(4, 17);
+
+  GroupContextOptions min_options;
+  min_options.aggregation = AggregationKind::kMinimum;
+  GroupContextOptions avg_options;
+  avg_options.aggregation = AggregationKind::kAverage;
+  const GroupRecommender min_rec(&recommender, min_options);
+  const GroupRecommender avg_rec(&recommender, avg_options);
+  const GroupContext min_ctx = std::move(min_rec.BuildContext(group)).ValueOrDie();
+  const GroupContext avg_ctx = std::move(avg_rec.BuildContext(group)).ValueOrDie();
+  ASSERT_EQ(min_ctx.num_candidates(), avg_ctx.num_candidates());
+  for (int32_t c = 0; c < min_ctx.num_candidates(); ++c) {
+    EXPECT_LE(min_ctx.candidate(c).group_relevance,
+              avg_ctx.candidate(c).group_relevance + 1e-12);
+  }
+}
+
+TEST_F(EndToEndTest, CohesiveGroupsAreEasierToSatisfyThanRandom) {
+  RatingSimilarityOptions rs_options;
+  rs_options.shift_to_unit_interval = true;
+  const RatingSimilarity rs(&scenario().ratings, rs_options);
+  const Recommender recommender(&scenario().ratings, &rs, DefaultRecOptions());
+  const GroupRecommender group_rec(&recommender, {});
+  const FairnessHeuristic heuristic;
+
+  double cohesive_satisfaction = 0.0;
+  double random_satisfaction = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    const GroupContext cohesive_ctx =
+        std::move(group_rec.BuildContext(
+                      scenario().MakeCohesiveGroup(4, 1000 + t)))
+            .ValueOrDie();
+    const GroupContext random_ctx =
+        std::move(
+            group_rec.BuildContext(scenario().MakeRandomGroup(4, 2000 + t)))
+            .ValueOrDie();
+    const Selection cs = std::move(heuristic.Select(cohesive_ctx, 6)).ValueOrDie();
+    const Selection rs_sel = std::move(heuristic.Select(random_ctx, 6)).ValueOrDie();
+    cohesive_satisfaction +=
+        GroupSatisfactionByItems(cohesive_ctx, cs.items).min;
+    random_satisfaction +=
+        GroupSatisfactionByItems(random_ctx, rs_sel.items).min;
+  }
+  // Cohesive groups share taste, so the least-satisfied member does better
+  // on average (the motivation for fairness-aware selection in
+  // heterogeneous groups).
+  EXPECT_GE(cohesive_satisfaction, random_satisfaction - 0.5);
+}
+
+TEST_F(EndToEndTest, MapReducePipelineAgreesWithSerialOnScenario) {
+  const Group group = scenario().MakeCohesiveGroup(3, 77);
+  PipelineOptions options;
+  options.similarity.shift_to_unit_interval = true;
+  options.delta = 0.55;
+  options.top_k = 8;
+  const GroupRecommendationPipeline pipeline(options);
+  const PipelineResult mr =
+      std::move(pipeline.Run(scenario().ratings, group, 6)).ValueOrDie();
+
+  RatingSimilarityOptions rs_options;
+  rs_options.shift_to_unit_interval = true;
+  const RatingSimilarity rs(&scenario().ratings, rs_options);
+  RecommenderOptions rec_options;
+  rec_options.peers.delta = 0.55;
+  rec_options.top_k = 8;
+  const Recommender recommender(&scenario().ratings, &rs, rec_options);
+  GroupContextOptions ctx_options;
+  ctx_options.top_k = 8;  // must match PipelineOptions::top_k
+  const GroupRecommender group_rec(&recommender, ctx_options);
+  const FairnessHeuristic heuristic;
+  const GroupContext serial_ctx =
+      std::move(group_rec.BuildContext(group)).ValueOrDie();
+  const Selection serial = std::move(heuristic.Select(serial_ctx, 6)).ValueOrDie();
+  EXPECT_EQ(mr.selection.items, serial.items);
+}
+
+TEST_F(EndToEndTest, SelectorsRankedByValueOnRealScenario) {
+  RatingSimilarityOptions rs_options;
+  rs_options.shift_to_unit_interval = true;
+  const RatingSimilarity rs(&scenario().ratings, rs_options);
+  const Recommender recommender(&scenario().ratings, &rs, DefaultRecOptions());
+  const GroupRecommender group_rec(&recommender, {});
+  const GroupContext full_ctx =
+      std::move(group_rec.BuildContext(scenario().MakeRandomGroup(4, 31)))
+          .ValueOrDie();
+  const GroupContext ctx = full_ctx.RestrictToTopM(14);
+
+  const BruteForceSelector brute_force;
+  const FairnessHeuristic heuristic;
+  const GreedyValueSelector greedy;
+  const Selection exact = std::move(brute_force.Select(ctx, 5)).ValueOrDie();
+  const Selection h = std::move(heuristic.Select(ctx, 5)).ValueOrDie();
+  const Selection g = std::move(greedy.Select(ctx, 5)).ValueOrDie();
+  EXPECT_GE(exact.score.value, h.score.value - 1e-9);
+  EXPECT_GE(exact.score.value, g.score.value - 1e-9);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,167 @@
+#include "mapreduce/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+using WordCountInput = std::vector<KeyValue<int, std::string>>;
+
+std::vector<KeyValue<std::string, int64_t>> WordCount(
+    const WordCountInput& input, const MapReduceOptions& options,
+    MapReduceStats* stats = nullptr) {
+  auto result = RunMapReduce<int, std::string, std::string, int64_t,
+                             std::string, int64_t>(
+      input,
+      [](const int&, const std::string& line,
+         MapEmitter<std::string, int64_t>& out) {
+        std::string word;
+        for (const char c : line + " ") {
+          if (c == ' ') {
+            if (!word.empty()) out.Emit(word, 1);
+            word.clear();
+          } else {
+            word += c;
+          }
+        }
+      },
+      [](const std::string& word, std::span<const int64_t> counts,
+         ReduceEmitter<std::string, int64_t>& out) {
+        int64_t total = 0;
+        for (const int64_t c : counts) total += c;
+        out.Emit(word, total);
+      },
+      options, stats);
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  return result;
+}
+
+TEST(MapReduceEngineTest, WordCount) {
+  const WordCountInput input{
+      {0, "the quick fox"}, {1, "the lazy dog"}, {2, "the fox"}};
+  const auto counts = WordCount(input, {});
+  const std::map<std::string, int64_t> as_map = [&] {
+    std::map<std::string, int64_t> m;
+    for (const auto& kv : counts) m[kv.key] = kv.value;
+    return m;
+  }();
+  EXPECT_EQ(as_map.at("the"), 3);
+  EXPECT_EQ(as_map.at("fox"), 2);
+  EXPECT_EQ(as_map.at("quick"), 1);
+  EXPECT_EQ(as_map.at("lazy"), 1);
+  EXPECT_EQ(as_map.at("dog"), 1);
+  EXPECT_EQ(as_map.size(), 5u);  // the, quick, fox, lazy, dog
+}
+
+TEST(MapReduceEngineTest, EmptyInputProducesEmptyOutput) {
+  const auto counts = WordCount({}, {});
+  EXPECT_TRUE(counts.empty());
+}
+
+TEST(MapReduceEngineTest, ResultIndependentOfParallelism) {
+  WordCountInput input;
+  for (int i = 0; i < 200; ++i) {
+    input.push_back({i, "w" + std::to_string(i % 17) + " shared"});
+  }
+  MapReduceOptions serial;
+  serial.num_workers = 1;
+  serial.num_map_shards = 1;
+  serial.num_reduce_partitions = 1;
+  const auto reference = WordCount(input, serial);
+  for (const size_t workers : {2u, 4u}) {
+    for (const size_t shards : {1u, 3u, 8u}) {
+      for (const size_t partitions : {1u, 2u, 7u}) {
+        MapReduceOptions options;
+        options.num_workers = workers;
+        options.num_map_shards = shards;
+        options.num_reduce_partitions = partitions;
+        EXPECT_EQ(WordCount(input, options), reference)
+            << "workers=" << workers << " shards=" << shards
+            << " partitions=" << partitions;
+      }
+    }
+  }
+}
+
+TEST(MapReduceEngineTest, StatsAreReported) {
+  const WordCountInput input{{0, "a b"}, {1, "a"}};
+  MapReduceStats stats;
+  MapReduceOptions options;
+  options.num_map_shards = 2;
+  options.num_reduce_partitions = 3;
+  WordCount(input, options, &stats);
+  EXPECT_EQ(stats.input_records, 2);
+  EXPECT_EQ(stats.intermediate_records, 3);  // a, b, a
+  EXPECT_EQ(stats.output_records, 2);        // a, b
+  EXPECT_EQ(stats.map_shards, 2u);
+  EXPECT_EQ(stats.reduce_partitions, 3u);
+}
+
+TEST(MapReduceEngineTest, ValuesArriveInEmissionOrder) {
+  // One key, values tagged with their input index; the reducer must see them
+  // in input order (stable shuffle contract).
+  std::vector<KeyValue<int, int>> input;
+  for (int i = 0; i < 50; ++i) input.push_back({i, i});
+  MapReduceOptions options;
+  options.num_map_shards = 4;
+  options.num_reduce_partitions = 2;
+  const auto output = RunMapReduce<int, int, int, int, int, std::vector<int>>(
+      input,
+      [](const int&, const int& v, MapEmitter<int, int>& out) {
+        out.Emit(0, v);
+      },
+      [](const int& key, std::span<const int> values,
+         ReduceEmitter<int, std::vector<int>>& out) {
+        out.Emit(key, std::vector<int>(values.begin(), values.end()));
+      },
+      options);
+  ASSERT_EQ(output.size(), 1u);
+  std::vector<int> expected(50);
+  for (int i = 0; i < 50; ++i) expected[static_cast<size_t>(i)] = i;
+  EXPECT_EQ(output[0].value, expected);
+}
+
+TEST(MapReduceEngineTest, PairKeysWorkWithPairHash) {
+  using PairKey = std::pair<int32_t, int32_t>;
+  std::vector<KeyValue<int, PairKey>> input;
+  for (int i = 0; i < 30; ++i) input.push_back({i, {i % 3, i % 2}});
+  const auto output =
+      RunMapReduce<int, PairKey, PairKey, int64_t, PairKey, int64_t, PairHash>(
+          input,
+          [](const int&, const PairKey& key,
+             MapEmitter<PairKey, int64_t, PairHash>& out) {
+            out.Emit(key, 1);
+          },
+          [](const PairKey& key, std::span<const int64_t> values,
+             ReduceEmitter<PairKey, int64_t>& out) {
+            out.Emit(key, static_cast<int64_t>(values.size()));
+          },
+          {});
+  // 6 distinct (i%3, i%2) combinations, each hit 5 times.
+  EXPECT_EQ(output.size(), 6u);
+  for (const auto& kv : output) EXPECT_EQ(kv.value, 5);
+}
+
+TEST(MapReduceOptionsTest, ResolvedFillsZeros) {
+  const MapReduceOptions resolved = MapReduceOptions{}.Resolved();
+  EXPECT_GE(resolved.num_workers, 1u);
+  EXPECT_EQ(resolved.num_map_shards, resolved.num_workers);
+  EXPECT_EQ(resolved.num_reduce_partitions, resolved.num_workers);
+
+  MapReduceOptions custom;
+  custom.num_workers = 3;
+  custom.num_map_shards = 5;
+  const MapReduceOptions kept = custom.Resolved();
+  EXPECT_EQ(kept.num_workers, 3u);
+  EXPECT_EQ(kept.num_map_shards, 5u);
+  EXPECT_EQ(kept.num_reduce_partitions, 3u);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,249 @@
+#include "mapreduce/jobs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cf/peer_finder.h"
+#include "cf/relevance_estimator.h"
+#include "common/random.h"
+#include "ratings/rating_matrix.h"
+
+namespace fairrec {
+namespace {
+
+RatingMatrix RandomMatrix(uint64_t seed, int32_t users = 20, int32_t items = 30,
+                          double density = 0.4) {
+  Rng rng(seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(users, items);
+  for (UserId u = 0; u < users; ++u) {
+    for (ItemId i = 0; i < items; ++i) {
+      if (rng.NextBool(density)) {
+        EXPECT_TRUE(
+            builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+TEST(UserMeanJobTest, MatchesMatrixMeans) {
+  const RatingMatrix m = RandomMatrix(42);
+  const std::vector<double> means =
+      RunUserMeanJob(m.ToTriples(), m.num_users(), {});
+  ASSERT_EQ(means.size(), static_cast<size_t>(m.num_users()));
+  for (UserId u = 0; u < m.num_users(); ++u) {
+    EXPECT_DOUBLE_EQ(means[static_cast<size_t>(u)], m.UserMean(u)) << "u=" << u;
+  }
+}
+
+TEST(Job1Test, RejectsBadGroups) {
+  const RatingMatrix m = RandomMatrix(1);
+  EXPECT_TRUE(RunJob1(m.ToTriples(), {}, m.num_users(), {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunJob1(m.ToTriples(), {999}, m.num_users(), {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Job1Test, CandidateStreamEqualsItemsUnratedByAll) {
+  const RatingMatrix m = RandomMatrix(7);
+  const Group group{0, 3, 5};
+  const Job1Output out =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), {})).ValueOrDie();
+
+  std::vector<ItemId> candidates;
+  for (const auto& kv : out.candidate_items) candidates.push_back(kv.key);
+  // Job 1 only sees *rated* items; ItemsUnratedByAll also returns items with
+  // no ratings at all. Those cannot be recommended by Eq. 1 anyway, so the
+  // MR stream must equal the serial list filtered to rated items.
+  std::vector<ItemId> expected;
+  for (const ItemId i : m.ItemsUnratedByAll(group)) {
+    if (m.ItemDegree(i) > 0) expected.push_back(i);
+  }
+  EXPECT_EQ(candidates, expected);
+}
+
+TEST(Job1Test, CandidateRaterListsMatchMatrixColumns) {
+  const RatingMatrix m = RandomMatrix(8);
+  const Group group{1, 2};
+  const Job1Output out =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), {})).ValueOrDie();
+  for (const auto& kv : out.candidate_items) {
+    const auto column = m.UsersWhoRated(kv.key);
+    std::vector<UserRating> expected(column.begin(), column.end());
+    std::vector<UserRating> actual = kv.value;
+    std::sort(actual.begin(), actual.end(),
+              [](const UserRating& a, const UserRating& b) {
+                return a.user < b.user;
+              });
+    EXPECT_EQ(actual, expected) << "item " << kv.key;
+  }
+}
+
+TEST(Job1Test, PartialPairsOnlyMemberOutsidePairs) {
+  const RatingMatrix m = RandomMatrix(9);
+  const Group group{0, 4};
+  const Job1Output out =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), {})).ValueOrDie();
+  for (const auto& kv : out.partial_similarities) {
+    EXPECT_TRUE(kv.key.first == 0 || kv.key.first == 4);
+    EXPECT_TRUE(kv.key.second != 0 && kv.key.second != 4);
+  }
+}
+
+TEST(Job1Test, PartialCountsEqualCoRatedItemCounts) {
+  const RatingMatrix m = RandomMatrix(10);
+  const Group group{2};
+  const Job1Output out =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), {})).ValueOrDie();
+  // One partial record per (pair, co-rated item).
+  std::map<UserPairKey, int64_t> count;
+  for (const auto& kv : out.partial_similarities) {
+    count[kv.key] += 1;
+  }
+  // Expected: co-rated items between member 2 and each outside user,
+  // counting only items that some group member rated (partials are emitted
+  // per member-rated item).
+  for (UserId v = 0; v < m.num_users(); ++v) {
+    if (v == 2) continue;
+    int64_t expected = 0;
+    for (const ItemRating& entry : m.ItemsRatedBy(2)) {
+      if (m.GetRating(v, entry.item).has_value()) ++expected;
+    }
+    const auto it = count.find({2, v});
+    EXPECT_EQ(it == count.end() ? 0 : it->second, expected) << "peer " << v;
+  }
+}
+
+TEST(Job2Test, MatchesSerialRatingSimilarityAboveDelta) {
+  const RatingMatrix m = RandomMatrix(11);
+  const Group group{0, 1};
+  const double delta = 0.2;
+  const Job1Output job1 =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), {})).ValueOrDie();
+  const std::vector<double> means =
+      RunUserMeanJob(m.ToTriples(), m.num_users(), {});
+
+  for (const bool intersection : {false, true}) {
+    RatingSimilarityOptions sim_options;
+    sim_options.intersection_means = intersection;
+    const auto job2 = RunJob2(job1.partial_similarities, means, sim_options,
+                              delta, {});
+    const RatingSimilarity serial(&m, sim_options);
+
+    // Every MR pair must match the serial value; every serial-qualifying
+    // pair must be present.
+    std::map<UserPairKey, double> mr;
+    for (const auto& kv : job2) mr[kv.key] = kv.value;
+    for (const UserId g : group) {
+      for (UserId v = 0; v < m.num_users(); ++v) {
+        if (v == group[0] || v == group[1]) continue;
+        const double expected = serial.Compute(g, v);
+        const auto it = mr.find({g, v});
+        if (expected >= delta) {
+          ASSERT_NE(it, mr.end()) << "missing pair (" << g << "," << v << ")";
+          EXPECT_NEAR(it->second, expected, 1e-9);
+        } else {
+          EXPECT_EQ(it, mr.end()) << "unexpected pair (" << g << "," << v << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Job3Test, MatchesSerialRelevanceEstimator) {
+  const RatingMatrix m = RandomMatrix(12);
+  const Group group{0, 5};
+  const double delta = 0.1;
+  const Job1Output job1 =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), {})).ValueOrDie();
+  const std::vector<double> means =
+      RunUserMeanJob(m.ToTriples(), m.num_users(), {});
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const auto job2 =
+      RunJob2(job1.partial_similarities, means, sim_options, delta, {});
+  const auto job3 = RunJob3(job1.candidate_items, job2, group,
+                            AggregationKind::kAverage, {});
+
+  // Serial reference.
+  const RatingSimilarity similarity(&m, sim_options);
+  PeerFinderOptions peer_options;
+  peer_options.delta = delta;
+  const PeerFinder finder(&similarity, m.num_users(), peer_options);
+  const RelevanceEstimator estimator(&m);
+
+  for (const auto& kv : job3) {
+    const ItemId item = kv.key;
+    for (size_t g = 0; g < group.size(); ++g) {
+      const std::vector<Peer> peers = finder.FindPeers(group[g], group);
+      const auto serial_rel = estimator.Estimate(peers, item);
+      const double mr_rel = kv.value.member_relevance[g];
+      if (serial_rel.has_value()) {
+        EXPECT_NEAR(mr_rel, *serial_rel, 1e-9)
+            << "item " << item << " member " << group[g];
+      } else {
+        EXPECT_TRUE(std::isnan(mr_rel)) << "item " << item;
+      }
+    }
+  }
+}
+
+TEST(Job3Test, GroupAggregationMatchesKind) {
+  const RatingMatrix m = RandomMatrix(13);
+  const Group group{3, 7};
+  const Job1Output job1 =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), {})).ValueOrDie();
+  const std::vector<double> means =
+      RunUserMeanJob(m.ToTriples(), m.num_users(), {});
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const auto job2 =
+      RunJob2(job1.partial_similarities, means, sim_options, 0.1, {});
+  const auto min_out = RunJob3(job1.candidate_items, job2, group,
+                               AggregationKind::kMinimum, {});
+  for (const auto& kv : min_out) {
+    if (!kv.value.defined_for_all) continue;
+    EXPECT_DOUBLE_EQ(kv.value.group_relevance,
+                     std::min(kv.value.member_relevance[0],
+                              kv.value.member_relevance[1]));
+  }
+}
+
+TEST(JobsTest, ParallelismDoesNotChangeOutputs) {
+  const RatingMatrix m = RandomMatrix(14);
+  const Group group{0, 2};
+  MapReduceOptions serial;
+  serial.num_workers = 1;
+  serial.num_map_shards = 1;
+  serial.num_reduce_partitions = 1;
+  MapReduceOptions parallel;
+  parallel.num_workers = 4;
+  parallel.num_map_shards = 7;
+  parallel.num_reduce_partitions = 3;
+
+  const Job1Output a =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), serial)).ValueOrDie();
+  const Job1Output b =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), parallel))
+          .ValueOrDie();
+  ASSERT_EQ(a.candidate_items.size(), b.candidate_items.size());
+  for (size_t i = 0; i < a.candidate_items.size(); ++i) {
+    EXPECT_EQ(a.candidate_items[i].key, b.candidate_items[i].key);
+  }
+  // Partial streams are canonically sorted by (pair, item) at the Job 1
+  // boundary, so they must be identical across partition layouts.
+  ASSERT_EQ(a.partial_similarities.size(), b.partial_similarities.size());
+  for (size_t i = 0; i < a.partial_similarities.size(); ++i) {
+    EXPECT_EQ(a.partial_similarities[i].key, b.partial_similarities[i].key);
+    EXPECT_EQ(a.partial_similarities[i].value, b.partial_similarities[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,62 @@
+#include "mapreduce/topk_mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include "cf/top_k.h"
+#include "common/random.h"
+
+namespace fairrec {
+namespace {
+
+TEST(MapReduceTopKTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(MapReduceTopK({}, 5).empty());
+  EXPECT_TRUE(MapReduceTopK({{0, 1.0}}, 0).empty());
+  EXPECT_TRUE(MapReduceTopK({{0, 1.0}}, -1).empty());
+}
+
+TEST(MapReduceTopKTest, SingleRecord) {
+  const std::vector<ScoredItem> top = MapReduceTopK({{7, 3.5}}, 3);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], (ScoredItem{7, 3.5}));
+}
+
+TEST(MapReduceTopKTest, MatchesCentralizedSelectTopK) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<ScoredItem> scored;
+    const int n = static_cast<int>(rng.UniformInt(1, 2000));
+    for (int i = 0; i < n; ++i) {
+      scored.push_back({i, static_cast<double>(rng.UniformInt(0, 50))});
+    }
+    const int k = static_cast<int>(rng.UniformInt(1, 64));
+    EXPECT_EQ(MapReduceTopK(scored, k), SelectTopK(scored, k))
+        << "trial " << trial << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(MapReduceTopKTest, PartitionCountDoesNotChangeResult) {
+  Rng rng(99);
+  std::vector<ScoredItem> scored;
+  for (int i = 0; i < 500; ++i) {
+    scored.push_back({i, rng.NextDouble() * 10.0});
+  }
+  const std::vector<ScoredItem> reference = SelectTopK(scored, 25);
+  for (const size_t partitions : {1u, 2u, 5u, 16u}) {
+    MapReduceOptions options;
+    options.num_reduce_partitions = partitions;
+    EXPECT_EQ(MapReduceTopK(scored, 25, options), reference)
+        << partitions << " partitions";
+  }
+}
+
+TEST(MapReduceTopKTest, KLargerThanInputReturnsAllSorted) {
+  const std::vector<ScoredItem> scored{{2, 1.0}, {0, 3.0}, {1, 2.0}};
+  const std::vector<ScoredItem> top = MapReduceTopK(scored, 100);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].item, 0);
+  EXPECT_EQ(top[1].item, 1);
+  EXPECT_EQ(top[2].item, 2);
+}
+
+}  // namespace
+}  // namespace fairrec

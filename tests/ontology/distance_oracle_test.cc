@@ -1,0 +1,81 @@
+#include "ontology/distance_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ontology/snomed_generator.h"
+
+namespace fairrec {
+namespace {
+
+TEST(DistanceOracleTest, ZeroForSameConcept) {
+  const Ontology o = std::move(BuildPaperFixtureOntology()).ValueOrDie();
+  ConceptDistanceOracle oracle(&o);
+  EXPECT_EQ(oracle.Distance(3, 3), 0);
+  EXPECT_DOUBLE_EQ(oracle.Similarity(3, 3), 1.0);
+}
+
+TEST(DistanceOracleTest, SymmetricAndMatchesPathLength) {
+  const Ontology o = std::move(BuildPaperFixtureOntology()).ValueOrDie();
+  ConceptDistanceOracle oracle(&o);
+  for (ConceptId a = 0; a < o.num_concepts(); ++a) {
+    for (ConceptId b = 0; b < o.num_concepts(); ++b) {
+      EXPECT_EQ(oracle.Distance(a, b), o.PathLength(a, b));
+      EXPECT_EQ(oracle.Distance(a, b), oracle.Distance(b, a));
+    }
+  }
+}
+
+TEST(DistanceOracleTest, SimilarityDecaysWithDistance) {
+  const Ontology o = std::move(BuildPaperFixtureOntology()).ValueOrDie();
+  ConceptDistanceOracle oracle(&o);
+  const ConceptId acute = o.FindByName("Acute bronchitis");
+  const ConceptId tracheo = o.FindByName("Tracheobronchitis");
+  const ConceptId chest = o.FindByName("Chest pain");
+  // 2 hops vs 5 hops: 1/3 vs 1/6.
+  EXPECT_DOUBLE_EQ(oracle.Similarity(acute, tracheo), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(oracle.Similarity(acute, chest), 1.0 / 6.0);
+  EXPECT_GT(oracle.Similarity(acute, tracheo), oracle.Similarity(acute, chest));
+}
+
+TEST(DistanceOracleTest, CacheGrowsAndHits) {
+  const Ontology o = std::move(BuildPaperFixtureOntology()).ValueOrDie();
+  ConceptDistanceOracle oracle(&o);
+  EXPECT_EQ(oracle.cache_size(), 0u);
+  oracle.Distance(1, 5);
+  EXPECT_EQ(oracle.cache_size(), 1u);
+  oracle.Distance(5, 1);  // symmetric key: no new entry
+  EXPECT_EQ(oracle.cache_size(), 1u);
+  oracle.Distance(2, 2);  // same-concept short circuit: no entry
+  EXPECT_EQ(oracle.cache_size(), 1u);
+}
+
+// Property: on randomly generated trees, the LCA closed form equals an
+// explicit undirected BFS for every concept pair.
+class OracleBfsEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleBfsEquivalence, LcaFormulaMatchesBfs) {
+  SnomedGeneratorConfig config;
+  config.num_clusters = 3;
+  config.cluster_depth = 3;
+  config.seed = GetParam();
+  const SyntheticOntology s =
+      std::move(GenerateSnomedLikeOntology(config)).ValueOrDie();
+  ConceptDistanceOracle oracle(&s.ontology);
+
+  Rng rng(GetParam() * 17 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<ConceptId>(
+        rng.UniformInt(0, s.ontology.num_concepts() - 1));
+    const auto b = static_cast<ConceptId>(
+        rng.UniformInt(0, s.ontology.num_concepts() - 1));
+    EXPECT_EQ(oracle.Distance(a, b), oracle.DistanceByBfs(a, b))
+        << "a=" << a << " b=" << b << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, OracleBfsEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,107 @@
+#include "ontology/ontology.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/snomed_generator.h"
+
+namespace fairrec {
+namespace {
+
+Ontology Chain() {
+  // root -> a -> b -> c plus root -> d
+  OntologyBuilder builder;
+  const ConceptId root = std::move(builder.AddRoot("root")).ValueOrDie();
+  const ConceptId a = std::move(builder.AddChild(root, "a")).ValueOrDie();
+  const ConceptId b = std::move(builder.AddChild(a, "b")).ValueOrDie();
+  (void)std::move(builder.AddChild(b, "c")).ValueOrDie();
+  (void)std::move(builder.AddChild(root, "d")).ValueOrDie();
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+TEST(OntologyBuilderTest, RootMustComeFirst) {
+  OntologyBuilder builder;
+  EXPECT_TRUE(builder.AddChild(0, "x").status().IsFailedPrecondition());
+  ASSERT_TRUE(builder.AddRoot("root").ok());
+  EXPECT_TRUE(builder.AddRoot("again").status().IsFailedPrecondition());
+}
+
+TEST(OntologyBuilderTest, RejectsUnknownParent) {
+  OntologyBuilder builder;
+  ASSERT_TRUE(builder.AddRoot("root").ok());
+  EXPECT_TRUE(builder.AddChild(42, "x").status().IsInvalidArgument());
+  EXPECT_TRUE(builder.AddChild(-1, "x").status().IsInvalidArgument());
+}
+
+TEST(OntologyBuilderTest, RejectsDuplicateNames) {
+  OntologyBuilder builder;
+  ASSERT_TRUE(builder.AddRoot("root").ok());
+  ASSERT_TRUE(builder.AddChild(0, "x").ok());
+  EXPECT_TRUE(builder.AddChild(0, "x").status().IsAlreadyExists());
+}
+
+TEST(OntologyBuilderTest, EmptyBuildFails) {
+  OntologyBuilder builder;
+  EXPECT_TRUE(builder.Build().status().IsFailedPrecondition());
+}
+
+TEST(OntologyTest, StructureAccessors) {
+  const Ontology o = Chain();
+  EXPECT_EQ(o.num_concepts(), 5);
+  EXPECT_EQ(o.root(), 0);
+  EXPECT_EQ(o.ParentOf(o.FindByName("a")), o.root());
+  EXPECT_EQ(o.ParentOf(o.root()), kInvalidConceptId);
+  EXPECT_EQ(o.DepthOf(o.FindByName("c")), 3);
+  EXPECT_EQ(o.DepthOf(o.root()), 0);
+  EXPECT_EQ(o.NameOf(o.FindByName("b")), "b");
+  EXPECT_EQ(o.FindByName("missing"), kInvalidConceptId);
+  ASSERT_EQ(o.ChildrenOf(o.root()).size(), 2u);
+}
+
+TEST(OntologyTest, AncestorChecks) {
+  const Ontology o = Chain();
+  const ConceptId c = o.FindByName("c");
+  EXPECT_TRUE(o.IsAncestorOf(o.root(), c));
+  EXPECT_TRUE(o.IsAncestorOf(o.FindByName("a"), c));
+  EXPECT_TRUE(o.IsAncestorOf(c, c));  // inclusive
+  EXPECT_FALSE(o.IsAncestorOf(c, o.root()));
+  EXPECT_FALSE(o.IsAncestorOf(o.FindByName("d"), c));
+}
+
+TEST(OntologyTest, LowestCommonAncestor) {
+  const Ontology o = Chain();
+  const ConceptId b = o.FindByName("b");
+  const ConceptId c = o.FindByName("c");
+  const ConceptId d = o.FindByName("d");
+  EXPECT_EQ(o.LowestCommonAncestor(c, d), o.root());
+  EXPECT_EQ(o.LowestCommonAncestor(b, c), b);
+  EXPECT_EQ(o.LowestCommonAncestor(c, c), c);
+}
+
+TEST(OntologyTest, PathLength) {
+  const Ontology o = Chain();
+  const ConceptId c = o.FindByName("c");
+  const ConceptId d = o.FindByName("d");
+  EXPECT_EQ(o.PathLength(c, d), 4);  // c->b->a->root->d
+  EXPECT_EQ(o.PathLength(c, c), 0);
+  EXPECT_EQ(o.PathLength(o.root(), c), 3);
+  EXPECT_EQ(o.PathLength(c, o.root()), 3);  // symmetric
+}
+
+TEST(PaperFixtureTest, TableIPathLengthsHold) {
+  // §V-C: "the shortest path between those two nodes is 5" (acute bronchitis
+  // vs chest pain) and "the shortest path ... is only 2" (tracheobronchitis
+  // vs acute bronchitis).
+  const Ontology o = std::move(BuildPaperFixtureOntology()).ValueOrDie();
+  const ConceptId acute = o.FindByName("Acute bronchitis");
+  const ConceptId chest = o.FindByName("Chest pain");
+  const ConceptId tracheo = o.FindByName("Tracheobronchitis");
+  ASSERT_NE(acute, kInvalidConceptId);
+  ASSERT_NE(chest, kInvalidConceptId);
+  ASSERT_NE(tracheo, kInvalidConceptId);
+  EXPECT_EQ(o.PathLength(acute, chest), 5);
+  EXPECT_EQ(o.PathLength(tracheo, acute), 2);
+  EXPECT_NE(o.FindByName("Broken arm"), kInvalidConceptId);
+}
+
+}  // namespace
+}  // namespace fairrec

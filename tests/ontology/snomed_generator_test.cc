@@ -1,0 +1,115 @@
+#include "ontology/snomed_generator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "ontology/distance_oracle.h"
+
+namespace fairrec {
+namespace {
+
+SnomedGeneratorConfig SmallConfig() {
+  SnomedGeneratorConfig config;
+  config.num_clusters = 4;
+  config.cluster_depth = 3;
+  config.min_branch = 2;
+  config.max_branch = 2;
+  config.seed = 99;
+  return config;
+}
+
+TEST(SnomedGeneratorTest, ValidatesConfig) {
+  SnomedGeneratorConfig bad = SmallConfig();
+  bad.num_clusters = 0;
+  EXPECT_TRUE(GenerateSnomedLikeOntology(bad).status().IsInvalidArgument());
+  bad = SmallConfig();
+  bad.cluster_depth = 0;
+  EXPECT_TRUE(GenerateSnomedLikeOntology(bad).status().IsInvalidArgument());
+  bad = SmallConfig();
+  bad.min_branch = 3;
+  bad.max_branch = 2;
+  EXPECT_TRUE(GenerateSnomedLikeOntology(bad).status().IsInvalidArgument());
+}
+
+TEST(SnomedGeneratorTest, StructureMatchesConfig) {
+  const SyntheticOntology s =
+      std::move(GenerateSnomedLikeOntology(SmallConfig())).ValueOrDie();
+  ASSERT_EQ(s.cluster_roots.size(), 4u);
+  ASSERT_EQ(s.cluster_concepts.size(), 4u);
+  // With fixed branch 2 and depth 3: each cluster has 2 + 4 + 8 = 14 concepts.
+  for (const auto& cluster : s.cluster_concepts) {
+    EXPECT_EQ(cluster.size(), 14u);
+  }
+  // Total: root + finding axis + 4 * (1 root + 14) concepts.
+  EXPECT_EQ(s.ontology.num_concepts(), 2 + 4 * 15);
+  // Every cluster root hangs off the "Clinical finding" axis at depth 2.
+  for (const ConceptId root : s.cluster_roots) {
+    EXPECT_EQ(s.ontology.DepthOf(root), 2);
+  }
+}
+
+TEST(SnomedGeneratorTest, DeterministicForSameSeed) {
+  const SyntheticOntology a =
+      std::move(GenerateSnomedLikeOntology(SmallConfig())).ValueOrDie();
+  const SyntheticOntology b =
+      std::move(GenerateSnomedLikeOntology(SmallConfig())).ValueOrDie();
+  ASSERT_EQ(a.ontology.num_concepts(), b.ontology.num_concepts());
+  for (ConceptId c = 0; c < a.ontology.num_concepts(); ++c) {
+    EXPECT_EQ(a.ontology.NameOf(c), b.ontology.NameOf(c));
+    EXPECT_EQ(a.ontology.ParentOf(c), b.ontology.ParentOf(c));
+  }
+}
+
+TEST(SnomedGeneratorTest, ClusterMembersBelongToClusterSubtree) {
+  const SyntheticOntology s =
+      std::move(GenerateSnomedLikeOntology(SmallConfig())).ValueOrDie();
+  for (size_t k = 0; k < s.cluster_roots.size(); ++k) {
+    for (const ConceptId c : s.cluster_concepts[k]) {
+      EXPECT_TRUE(s.ontology.IsAncestorOf(s.cluster_roots[k], c));
+    }
+  }
+}
+
+TEST(SnomedGeneratorTest, IntraClusterPathsShorterThanInterCluster) {
+  // The property the semantic similarity relies on: same-cluster concepts
+  // are closer than cross-cluster ones, on average by a wide margin.
+  const SyntheticOntology s =
+      std::move(GenerateSnomedLikeOntology(SmallConfig())).ValueOrDie();
+  ConceptDistanceOracle oracle(&s.ontology);
+
+  // Max intra-cluster distance: both leaves at depth cluster_depth below the
+  // cluster root (depth 2), so <= 2 * 3 = 6. Min inter-cluster distance:
+  // route via "Clinical finding" (depth 1), so >= 1 + 1 + 2 = hmm — compute
+  // directly instead:
+  int32_t max_intra = 0;
+  for (const auto& cluster : s.cluster_concepts) {
+    for (size_t i = 0; i < cluster.size(); i += 3) {
+      for (size_t j = i; j < cluster.size(); j += 3) {
+        max_intra = std::max(max_intra, oracle.Distance(cluster[i], cluster[j]));
+      }
+    }
+  }
+  int32_t min_inter = 1 << 30;
+  for (size_t i = 0; i < s.cluster_concepts[0].size(); i += 3) {
+    for (size_t j = 0; j < s.cluster_concepts[1].size(); j += 3) {
+      min_inter = std::min(
+          min_inter,
+          oracle.Distance(s.cluster_concepts[0][i], s.cluster_concepts[1][j]));
+    }
+  }
+  EXPECT_LE(max_intra, 2 * 3);
+  EXPECT_GE(min_inter, 4);  // at least down 1 + up 1 around the two roots
+}
+
+TEST(SnomedGeneratorTest, ManyClustersCycleNames) {
+  SnomedGeneratorConfig config = SmallConfig();
+  config.num_clusters = 15;  // more than the 12 built-in names
+  config.cluster_depth = 1;
+  const auto s = GenerateSnomedLikeOntology(config);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->cluster_roots.size(), 15u);
+}
+
+}  // namespace
+}  // namespace fairrec

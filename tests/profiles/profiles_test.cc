@@ -1,0 +1,104 @@
+#include "profiles/patient_profile.h"
+#include "profiles/profile_store.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/snomed_generator.h"
+
+namespace fairrec {
+namespace {
+
+Ontology Fixture() { return std::move(BuildPaperFixtureOntology()).ValueOrDie(); }
+
+PatientProfile Patient1(const Ontology& o) {
+  // Table I, Patient 1.
+  PatientProfile p;
+  p.user = 0;
+  p.problems = {o.FindByName("Acute bronchitis")};
+  p.medications = {"Ramipril 10 MG Oral Capsule"};
+  p.gender = Gender::kFemale;
+  p.age = 40;
+  return p;
+}
+
+TEST(PatientProfileTest, RenderContainsEveryField) {
+  const Ontology o = Fixture();
+  const std::string doc = Patient1(o).RenderAsDocument(o);
+  EXPECT_NE(doc.find("Acute bronchitis"), std::string::npos);
+  EXPECT_NE(doc.find("Ramipril 10 MG Oral Capsule"), std::string::npos);
+  EXPECT_NE(doc.find("female"), std::string::npos);
+  EXPECT_NE(doc.find("age 40"), std::string::npos);
+}
+
+TEST(PatientProfileTest, RenderSkipsEmptyFields) {
+  const Ontology o = Fixture();
+  PatientProfile p;
+  p.user = 1;
+  const std::string doc = p.RenderAsDocument(o);
+  // Only the unknown gender marker remains.
+  EXPECT_EQ(doc, "unknown");
+}
+
+TEST(PatientProfileTest, RenderIgnoresInvalidConcepts) {
+  const Ontology o = Fixture();
+  PatientProfile p;
+  p.user = 1;
+  p.problems = {kInvalidConceptId, 9999};
+  p.gender = Gender::kMale;
+  EXPECT_EQ(p.RenderAsDocument(o), "male");
+}
+
+TEST(GenderTest, Names) {
+  EXPECT_EQ(GenderToString(Gender::kFemale), "female");
+  EXPECT_EQ(GenderToString(Gender::kMale), "male");
+  EXPECT_EQ(GenderToString(Gender::kUnknown), "unknown");
+}
+
+TEST(ProfileStoreTest, AddAndGet) {
+  const Ontology o = Fixture();
+  ProfileStore store;
+  ASSERT_TRUE(store.Add(Patient1(o)).ok());
+  EXPECT_TRUE(store.Contains(0));
+  EXPECT_FALSE(store.Contains(1));
+  EXPECT_EQ(store.Get(0).age, 40);
+  EXPECT_EQ(store.size(), 1);
+}
+
+TEST(ProfileStoreTest, RejectsDuplicatesAndNegativeIds) {
+  const Ontology o = Fixture();
+  ProfileStore store;
+  ASSERT_TRUE(store.Add(Patient1(o)).ok());
+  EXPECT_TRUE(store.Add(Patient1(o)).IsAlreadyExists());
+  PatientProfile bad;
+  bad.user = -1;
+  EXPECT_TRUE(store.Add(bad).IsInvalidArgument());
+}
+
+TEST(ProfileStoreTest, SupportsSparseUserIds) {
+  ProfileStore store;
+  PatientProfile p;
+  p.user = 7;
+  ASSERT_TRUE(store.Add(p).ok());
+  EXPECT_FALSE(store.Contains(3));
+  EXPECT_TRUE(store.Contains(7));
+  EXPECT_EQ(store.size(), 1);
+  EXPECT_EQ(store.capacity_users(), 8);
+  EXPECT_EQ(store.Users(), (std::vector<UserId>{7}));
+}
+
+TEST(ProfileStoreTest, RenderAllDocumentsFollowsUserOrder) {
+  const Ontology o = Fixture();
+  ProfileStore store;
+  PatientProfile second;
+  second.user = 2;
+  second.gender = Gender::kMale;
+  ASSERT_TRUE(store.Add(second).ok());
+  ASSERT_TRUE(store.Add(Patient1(o)).ok());  // user 0
+  const std::vector<std::string> docs = store.RenderAllDocuments(o);
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_NE(docs[0].find("female"), std::string::npos);  // user 0 first
+  EXPECT_EQ(docs[1], "male");
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,92 @@
+#include "ratings/dataset.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace fairrec {
+namespace {
+
+Dataset SmallDataset() {
+  RatingMatrixBuilder builder;
+  EXPECT_TRUE(builder.Add(0, 0, 5).ok());
+  EXPECT_TRUE(builder.Add(0, 1, 3).ok());
+  EXPECT_TRUE(builder.Add(1, 0, 4).ok());
+  EXPECT_TRUE(builder.Add(1, 1, 2).ok());
+  EXPECT_TRUE(builder.Add(2, 0, 1).ok());
+  Dataset d;
+  d.matrix = std::move(builder.Build()).ValueOrDie();
+  return d;
+}
+
+TEST(DatasetStatsTest, ComputesAggregates) {
+  const DatasetStats stats = SmallDataset().ComputeStats();
+  EXPECT_EQ(stats.num_users, 3);
+  EXPECT_EQ(stats.num_items, 2);
+  EXPECT_EQ(stats.num_ratings, 5);
+  EXPECT_DOUBLE_EQ(stats.density, 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(stats.mean_rating, 3.0);
+  EXPECT_EQ(stats.histogram[0], 1);  // one rating of 1
+  EXPECT_EQ(stats.histogram[2], 1);  // one rating of 3
+  EXPECT_EQ(stats.histogram[4], 1);  // one rating of 5
+  EXPECT_EQ(stats.min_user_degree, 1);
+  EXPECT_EQ(stats.max_user_degree, 2);
+  EXPECT_NEAR(stats.mean_user_degree, 5.0 / 3.0, 1e-12);
+}
+
+TEST(DatasetStatsTest, EmptyDataset) {
+  const Dataset d;
+  const DatasetStats stats = d.ComputeStats();
+  EXPECT_EQ(stats.num_ratings, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_rating, 0.0);
+}
+
+TEST(DatasetCsvTest, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/fairrec_dataset_test.csv";
+  const Dataset original = SmallDataset();
+  ASSERT_TRUE(SaveDatasetCsv(original, path).ok());
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->matrix.ToTriples(), original.matrix.ToTriples());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, HeaderlessFileLoads) {
+  const std::string path = testing::TempDir() + "/fairrec_noheader_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {{"0", "1", "4.0"}, {"1", "0", "2.0"}}).ok());
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->matrix.num_ratings(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, BadRowAfterDataIsError) {
+  const std::string path = testing::TempDir() + "/fairrec_badrow_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {{"0", "1", "4.0"}, {"x", "y", "z"}}).ok());
+  EXPECT_TRUE(LoadDatasetCsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, WrongColumnCountIsError) {
+  const std::string path = testing::TempDir() + "/fairrec_cols_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {{"0", "1"}}).ok());
+  EXPECT_TRUE(LoadDatasetCsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, OffScaleRatingIsError) {
+  const std::string path = testing::TempDir() + "/fairrec_scale_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {{"0", "0", "9.0"}}).ok());
+  EXPECT_TRUE(LoadDatasetCsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadDatasetCsv("/no/such/file.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace fairrec

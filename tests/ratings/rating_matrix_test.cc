@@ -1,0 +1,162 @@
+#include "ratings/rating_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+RatingMatrix SmallMatrix() {
+  // Users 0..2, items 0..3:
+  //        i0   i1   i2   i3
+  //  u0     5    3    -    1
+  //  u1     4    -    2    -
+  //  u2     -    -    -    5
+  RatingMatrixBuilder builder;
+  EXPECT_TRUE(builder.Add(0, 0, 5).ok());
+  EXPECT_TRUE(builder.Add(0, 1, 3).ok());
+  EXPECT_TRUE(builder.Add(0, 3, 1).ok());
+  EXPECT_TRUE(builder.Add(1, 0, 4).ok());
+  EXPECT_TRUE(builder.Add(1, 2, 2).ok());
+  EXPECT_TRUE(builder.Add(2, 3, 5).ok());
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+TEST(RatingMatrixTest, Dimensions) {
+  const RatingMatrix m = SmallMatrix();
+  EXPECT_EQ(m.num_users(), 3);
+  EXPECT_EQ(m.num_items(), 4);
+  EXPECT_EQ(m.num_ratings(), 6);
+  EXPECT_DOUBLE_EQ(m.Density(), 6.0 / 12.0);
+}
+
+TEST(RatingMatrixTest, RowsAreSortedByItem) {
+  const RatingMatrix m = SmallMatrix();
+  const auto row = m.ItemsRatedBy(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], (ItemRating{0, 5}));
+  EXPECT_EQ(row[1], (ItemRating{1, 3}));
+  EXPECT_EQ(row[2], (ItemRating{3, 1}));
+}
+
+TEST(RatingMatrixTest, ColumnsAreSortedByUser) {
+  const RatingMatrix m = SmallMatrix();
+  const auto col = m.UsersWhoRated(0);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col[0], (UserRating{0, 5}));
+  EXPECT_EQ(col[1], (UserRating{1, 4}));
+  EXPECT_TRUE(m.UsersWhoRated(1).size() == 1 &&
+              m.UsersWhoRated(1)[0].user == 0);
+}
+
+TEST(RatingMatrixTest, GetRating) {
+  const RatingMatrix m = SmallMatrix();
+  EXPECT_EQ(m.GetRating(0, 0), 5.0);
+  EXPECT_EQ(m.GetRating(1, 2), 2.0);
+  EXPECT_FALSE(m.GetRating(0, 2).has_value());
+  EXPECT_FALSE(m.GetRating(2, 0).has_value());
+  EXPECT_FALSE(m.GetRating(-1, 0).has_value());
+  EXPECT_FALSE(m.GetRating(0, 99).has_value());
+}
+
+TEST(RatingMatrixTest, UserMeans) {
+  const RatingMatrix m = SmallMatrix();
+  EXPECT_DOUBLE_EQ(m.UserMean(0), 3.0);  // (5+3+1)/3
+  EXPECT_DOUBLE_EQ(m.UserMean(1), 3.0);  // (4+2)/2
+  EXPECT_DOUBLE_EQ(m.UserMean(2), 5.0);
+}
+
+TEST(RatingMatrixTest, Degrees) {
+  const RatingMatrix m = SmallMatrix();
+  EXPECT_EQ(m.UserDegree(0), 3);
+  EXPECT_EQ(m.UserDegree(2), 1);
+  EXPECT_EQ(m.ItemDegree(0), 2);
+  EXPECT_EQ(m.ItemDegree(1), 1);
+  EXPECT_EQ(m.ItemDegree(2), 1);
+}
+
+TEST(RatingMatrixTest, ItemsUnratedByAll) {
+  const RatingMatrix m = SmallMatrix();
+  // Group {0, 1} rated items 0,1,2,3 minus... u0 rated {0,1,3}, u1 {0,2}.
+  EXPECT_TRUE(m.ItemsUnratedByAll({0, 1}).empty());
+  EXPECT_EQ(m.ItemsUnratedByAll({2}), (std::vector<ItemId>{0, 1, 2}));
+  EXPECT_EQ(m.ItemsUnratedByAll({0}), (std::vector<ItemId>{2}));
+}
+
+TEST(RatingMatrixTest, ItemsUnratedBySingle) {
+  const RatingMatrix m = SmallMatrix();
+  EXPECT_EQ(m.ItemsUnratedBy(1), (std::vector<ItemId>{1, 3}));
+}
+
+TEST(RatingMatrixTest, ToTriplesRoundTrip) {
+  const RatingMatrix m = SmallMatrix();
+  const std::vector<RatingTriple> triples = m.ToTriples();
+  RatingMatrixBuilder builder;
+  ASSERT_TRUE(builder.AddAll(triples).ok());
+  const auto rebuilt = builder.Build();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->ToTriples(), triples);
+}
+
+TEST(RatingMatrixBuilderTest, RejectsNegativeIds) {
+  RatingMatrixBuilder builder;
+  EXPECT_TRUE(builder.Add(-1, 0, 3).IsInvalidArgument());
+  EXPECT_TRUE(builder.Add(0, -5, 3).IsInvalidArgument());
+}
+
+TEST(RatingMatrixBuilderTest, RejectsOffScaleRatings) {
+  RatingMatrixBuilder builder;
+  EXPECT_TRUE(builder.Add(0, 0, 0.5).IsInvalidArgument());
+  EXPECT_TRUE(builder.Add(0, 0, 5.5).IsInvalidArgument());
+  EXPECT_TRUE(builder.Add(0, 0, 1.0).ok());
+  EXPECT_TRUE(builder.Add(0, 1, 5.0).ok());
+}
+
+TEST(RatingMatrixBuilderTest, AllowAnyScaleOverridesValidation) {
+  RatingMatrixBuilder builder;
+  builder.allow_any_scale(true);
+  EXPECT_TRUE(builder.Add(0, 0, -2.5).ok());
+  const auto m = builder.Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->GetRating(0, 0), -2.5);
+}
+
+TEST(RatingMatrixBuilderTest, DuplicateCellRejectedAtBuild) {
+  RatingMatrixBuilder builder;
+  ASSERT_TRUE(builder.Add(1, 2, 3).ok());
+  ASSERT_TRUE(builder.Add(1, 2, 4).ok());
+  EXPECT_TRUE(builder.Build().status().IsAlreadyExists());
+}
+
+TEST(RatingMatrixBuilderTest, ReserveGrowsGrid) {
+  RatingMatrixBuilder builder;
+  builder.Reserve(10, 20);
+  ASSERT_TRUE(builder.Add(0, 0, 3).ok());
+  const auto m = builder.Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_users(), 10);
+  EXPECT_EQ(m->num_items(), 20);
+}
+
+TEST(RatingMatrixBuilderTest, EmptyBuild) {
+  RatingMatrixBuilder builder;
+  const auto m = builder.Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_users(), 0);
+  EXPECT_EQ(m->num_items(), 0);
+  EXPECT_EQ(m->num_ratings(), 0);
+  EXPECT_DOUBLE_EQ(m->Density(), 0.0);
+}
+
+TEST(RatingMatrixTest, UserWithNoRatingsHasZeroMean) {
+  RatingMatrixBuilder builder;
+  builder.Reserve(3, 1);
+  ASSERT_TRUE(builder.Add(0, 0, 4).ok());
+  const auto m = builder.Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->UserMean(1), 0.0);
+  EXPECT_EQ(m->UserDegree(1), 0);
+  EXPECT_TRUE(m->ItemsRatedBy(2).empty());
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,109 @@
+#include "ratings/splits.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fairrec {
+namespace {
+
+RatingMatrix DenseMatrix(int32_t users, int32_t items, uint64_t seed) {
+  Rng rng(seed);
+  RatingMatrixBuilder builder;
+  for (UserId u = 0; u < users; ++u) {
+    for (ItemId i = 0; i < items; ++i) {
+      EXPECT_TRUE(
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+std::set<std::pair<UserId, ItemId>> Cells(const std::vector<RatingTriple>& v) {
+  std::set<std::pair<UserId, ItemId>> out;
+  for (const RatingTriple& t : v) out.emplace(t.user, t.item);
+  return out;
+}
+
+TEST(RandomHoldoutSplitTest, ValidatesArguments) {
+  const RatingMatrix m = DenseMatrix(4, 4, 1);
+  EXPECT_TRUE(RandomHoldoutSplit(m, 0.0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(RandomHoldoutSplit(m, 1.0, 1).status().IsInvalidArgument());
+  const RatingMatrix empty = std::move(RatingMatrixBuilder().Build()).ValueOrDie();
+  EXPECT_TRUE(RandomHoldoutSplit(empty, 0.2, 1).status().IsInvalidArgument());
+}
+
+TEST(RandomHoldoutSplitTest, PartitionIsExactAndDisjoint) {
+  const RatingMatrix m = DenseMatrix(10, 20, 2);
+  const TrainTestSplit split =
+      std::move(RandomHoldoutSplit(m, 0.25, 7)).ValueOrDie();
+  EXPECT_EQ(split.train.num_ratings() +
+                static_cast<int64_t>(split.test.size()),
+            m.num_ratings());
+  const auto train_cells = Cells(split.train.ToTriples());
+  const auto test_cells = Cells(split.test);
+  for (const auto& cell : test_cells) {
+    EXPECT_FALSE(train_cells.contains(cell));
+  }
+  // Held-out fraction near the requested 25%.
+  EXPECT_NEAR(static_cast<double>(split.test.size()) /
+                  static_cast<double>(m.num_ratings()),
+              0.25, 0.08);
+}
+
+TEST(RandomHoldoutSplitTest, PreservesGridDimensions) {
+  const RatingMatrix m = DenseMatrix(6, 9, 3);
+  const TrainTestSplit split =
+      std::move(RandomHoldoutSplit(m, 0.5, 11)).ValueOrDie();
+  EXPECT_EQ(split.train.num_users(), 6);
+  EXPECT_EQ(split.train.num_items(), 9);
+}
+
+TEST(RandomHoldoutSplitTest, DeterministicInSeed) {
+  const RatingMatrix m = DenseMatrix(8, 8, 4);
+  const TrainTestSplit a = std::move(RandomHoldoutSplit(m, 0.3, 5)).ValueOrDie();
+  const TrainTestSplit b = std::move(RandomHoldoutSplit(m, 0.3, 5)).ValueOrDie();
+  EXPECT_EQ(a.test, b.test);
+  const TrainTestSplit c = std::move(RandomHoldoutSplit(m, 0.3, 6)).ValueOrDie();
+  EXPECT_NE(a.test, c.test);
+}
+
+TEST(LeaveKOutSplitTest, ValidatesArguments) {
+  const RatingMatrix m = DenseMatrix(4, 4, 1);
+  EXPECT_TRUE(LeaveKOutSplit(m, 0, 1).status().IsInvalidArgument());
+}
+
+TEST(LeaveKOutSplitTest, HoldsOutExactlyKPerEligibleUser) {
+  const RatingMatrix m = DenseMatrix(10, 12, 8);
+  const TrainTestSplit split = std::move(LeaveKOutSplit(m, 3, 9)).ValueOrDie();
+  std::vector<int32_t> held(10, 0);
+  for (const RatingTriple& t : split.test) held[static_cast<size_t>(t.user)]++;
+  for (const int32_t count : held) EXPECT_EQ(count, 3);
+  EXPECT_EQ(split.train.num_ratings(), 10 * (12 - 3));
+}
+
+TEST(LeaveKOutSplitTest, SmallUsersKeepEverything) {
+  RatingMatrixBuilder builder;
+  ASSERT_TRUE(builder.Add(0, 0, 3).ok());
+  ASSERT_TRUE(builder.Add(0, 1, 4).ok());
+  ASSERT_TRUE(builder.Add(1, 0, 5).ok());  // only one rating: below k+1
+  const RatingMatrix m = std::move(builder.Build()).ValueOrDie();
+  const TrainTestSplit split = std::move(LeaveKOutSplit(m, 2, 1)).ValueOrDie();
+  // User 0 has exactly k ratings (<= k) and user 1 has 1: nothing held out.
+  EXPECT_TRUE(split.test.empty());
+  EXPECT_EQ(split.train.num_ratings(), 3);
+}
+
+TEST(LeaveKOutSplitTest, HeldOutRatingsKeepTheirValues) {
+  const RatingMatrix m = DenseMatrix(5, 8, 12);
+  const TrainTestSplit split = std::move(LeaveKOutSplit(m, 2, 3)).ValueOrDie();
+  for (const RatingTriple& t : split.test) {
+    EXPECT_EQ(m.GetRating(t.user, t.item), t.value);
+  }
+}
+
+}  // namespace
+}  // namespace fairrec

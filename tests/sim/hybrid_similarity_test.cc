@@ -1,0 +1,81 @@
+#include "sim/hybrid_similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+/// Constant-valued stand-in measure.
+class FakeSimilarity final : public UserSimilarity {
+ public:
+  explicit FakeSimilarity(double value) : value_(value) {}
+  double Compute(UserId, UserId) const override { return value_; }
+  std::string name() const override { return "fake"; }
+
+ private:
+  double value_;
+};
+
+TEST(HybridSimilarityTest, RequiresComponents) {
+  EXPECT_TRUE(HybridSimilarity::Create({}).status().IsInvalidArgument());
+}
+
+TEST(HybridSimilarityTest, RejectsNullMeasure) {
+  EXPECT_TRUE(HybridSimilarity::Create({{nullptr, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HybridSimilarityTest, RejectsNegativeWeight) {
+  const FakeSimilarity a(0.5);
+  EXPECT_TRUE(HybridSimilarity::Create({{&a, -0.1}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HybridSimilarityTest, RejectsAllZeroWeights) {
+  const FakeSimilarity a(0.5);
+  EXPECT_TRUE(
+      HybridSimilarity::Create({{&a, 0.0}}).status().IsInvalidArgument());
+}
+
+TEST(HybridSimilarityTest, NormalizesWeights) {
+  const FakeSimilarity a(1.0);
+  const FakeSimilarity b(0.0);
+  // Raw weights 3:1 -> normalized 0.75/0.25.
+  const auto hybrid =
+      std::move(HybridSimilarity::Create({{&a, 3.0}, {&b, 1.0}})).ValueOrDie();
+  EXPECT_NEAR(hybrid->Compute(0, 1), 0.75, 1e-12);
+  EXPECT_NEAR(hybrid->components()[0].weight, 0.75, 1e-12);
+  EXPECT_NEAR(hybrid->components()[1].weight, 0.25, 1e-12);
+}
+
+TEST(HybridSimilarityTest, SingleComponentIsIdentity) {
+  const FakeSimilarity a(0.42);
+  const auto hybrid =
+      std::move(HybridSimilarity::Create({{&a, 7.0}})).ValueOrDie();
+  EXPECT_NEAR(hybrid->Compute(3, 4), 0.42, 1e-12);
+}
+
+TEST(HybridSimilarityTest, ConvexCombinationStaysInRange) {
+  const FakeSimilarity lo(0.0);
+  const FakeSimilarity hi(1.0);
+  const auto hybrid = std::move(HybridSimilarity::Create(
+                                    {{&lo, 0.5}, {&hi, 0.5}}))
+                          .ValueOrDie();
+  const double s = hybrid->Compute(0, 1);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+  EXPECT_NEAR(s, 0.5, 1e-12);
+}
+
+TEST(HybridSimilarityTest, NameListsComponents) {
+  const FakeSimilarity a(0.1);
+  const FakeSimilarity b(0.2);
+  const auto hybrid =
+      std::move(HybridSimilarity::Create({{&a, 1.0}, {&b, 1.0}})).ValueOrDie();
+  EXPECT_EQ(hybrid->name(), "hybrid(fake+fake)");
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,103 @@
+#include "sim/profile_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/snomed_generator.h"
+
+namespace fairrec {
+namespace {
+
+struct Fixture {
+  Ontology ontology;
+  ProfileStore store;
+
+  Fixture() {
+    ontology = std::move(BuildPaperFixtureOntology()).ValueOrDie();
+    Add(0, "Acute bronchitis", "Ramipril 10 MG Oral Capsule", Gender::kFemale, 40);
+    Add(1, "Chest pain", "Niacin 500 MG Extended Release Tablet", Gender::kMale, 53);
+    Add(2, "Tracheobronchitis", "Ramipril 10 MG Oral Capsule", Gender::kMale, 34);
+  }
+
+  void Add(UserId u, const std::string& problem, const std::string& med,
+           Gender gender, int age) {
+    PatientProfile p;
+    p.user = u;
+    p.problems = {ontology.FindByName(problem)};
+    p.medications = {med};
+    p.gender = gender;
+    p.age = age;
+    EXPECT_TRUE(store.Add(p).ok());
+  }
+};
+
+TEST(ProfileSimilarityTest, EmptyStoreFails) {
+  const Ontology o = std::move(BuildPaperFixtureOntology()).ValueOrDie();
+  const ProfileStore empty;
+  EXPECT_TRUE(
+      ProfileSimilarity::Create(empty, o).status().IsInvalidArgument());
+}
+
+TEST(ProfileSimilarityTest, SharedMedicationBeatsDisjointProfiles) {
+  const Fixture f;
+  const auto sim =
+      std::move(ProfileSimilarity::Create(f.store, f.ontology)).ValueOrDie();
+  // Patients 0 and 2 share the Ramipril line and the bronchitis wording;
+  // patient 1 shares neither.
+  EXPECT_GT(sim->Compute(0, 2), sim->Compute(0, 1));
+}
+
+TEST(ProfileSimilarityTest, SymmetricAndInUnitRange) {
+  const Fixture f;
+  const auto sim =
+      std::move(ProfileSimilarity::Create(f.store, f.ontology)).ValueOrDie();
+  for (UserId a = 0; a < 3; ++a) {
+    for (UserId b = 0; b < 3; ++b) {
+      const double s = sim->Compute(a, b);
+      EXPECT_DOUBLE_EQ(s, sim->Compute(b, a));
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(ProfileSimilarityTest, IdenticalProfilesScoreOne) {
+  Fixture f;
+  // User 3 duplicates user 0's profile exactly.
+  f.Add(3, "Acute bronchitis", "Ramipril 10 MG Oral Capsule", Gender::kFemale, 40);
+  const auto sim =
+      std::move(ProfileSimilarity::Create(f.store, f.ontology)).ValueOrDie();
+  EXPECT_NEAR(sim->Compute(0, 3), 1.0, 1e-12);
+}
+
+TEST(ProfileSimilarityTest, UnknownUserIsZero) {
+  const Fixture f;
+  const auto sim =
+      std::move(ProfileSimilarity::Create(f.store, f.ontology)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(sim->Compute(0, 77), 0.0);
+  EXPECT_DOUBLE_EQ(sim->Compute(-1, 0), 0.0);
+}
+
+TEST(ProfileSimilarityTest, VectorsExposedAndNonEmpty) {
+  const Fixture f;
+  const auto sim =
+      std::move(ProfileSimilarity::Create(f.store, f.ontology)).ValueOrDie();
+  EXPECT_GT(sim->VectorOf(0).nnz(), 0u);
+  EXPECT_TRUE(sim->VectorOf(42).empty());
+  EXPECT_TRUE(sim->vectorizer().fitted());
+}
+
+TEST(ProfileSimilarityTest, CorpusWideTermsCarryNoSignal) {
+  // Every profile contains a gender token and an "age N" clause; a profile
+  // overlapping another *only* in corpus-wide terms should score ~0.
+  Fixture f;
+  f.Add(3, "Broken arm", "Cisplatin 25 MG Oral Tablet", Gender::kFemale, 40);
+  const auto sim =
+      std::move(ProfileSimilarity::Create(f.store, f.ontology)).ValueOrDie();
+  // User 3 shares only "female"/"40" with user 0 — both may carry a little
+  // idf weight (df=2 of 4), so require merely "much smaller than the
+  // medication match".
+  EXPECT_LT(sim->Compute(0, 3), sim->Compute(0, 2));
+}
+
+}  // namespace
+}  // namespace fairrec

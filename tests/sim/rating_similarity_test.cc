@@ -1,0 +1,134 @@
+#include "sim/rating_similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fairrec {
+namespace {
+
+RatingMatrix MatrixFromTriples(const std::vector<RatingTriple>& triples) {
+  RatingMatrixBuilder builder;
+  EXPECT_TRUE(builder.AddAll(triples).ok());
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+TEST(RatingSimilarityTest, PerfectPositiveCorrelationIntersectionMeans) {
+  // Users agree perfectly on 3 shared items.
+  const RatingMatrix m = MatrixFromTriples(
+      {{0, 0, 1}, {0, 1, 3}, {0, 2, 5}, {1, 0, 2}, {1, 1, 3}, {1, 2, 4}});
+  RatingSimilarityOptions options;
+  options.intersection_means = true;
+  const RatingSimilarity sim(&m, options);
+  EXPECT_NEAR(sim.Compute(0, 1), 1.0, 1e-12);
+}
+
+TEST(RatingSimilarityTest, PerfectNegativeCorrelation) {
+  const RatingMatrix m = MatrixFromTriples(
+      {{0, 0, 1}, {0, 1, 3}, {0, 2, 5}, {1, 0, 5}, {1, 1, 3}, {1, 2, 1}});
+  RatingSimilarityOptions options;
+  options.intersection_means = true;
+  const RatingSimilarity sim(&m, options);
+  EXPECT_NEAR(sim.Compute(0, 1), -1.0, 1e-12);
+}
+
+TEST(RatingSimilarityTest, HandComputedGlobalMeans) {
+  // Eq. 2 with *global* user means. u0 rates {i0:5, i1:3, i2:1} (mean 3);
+  // u1 rates {i0:4, i1:2, i3:3} (mean 3). Shared items: i0, i1.
+  // num   = (5-3)(4-3) + (3-3)(2-3) = 2
+  // den_a = sqrt((5-3)^2 + (3-3)^2) = 2
+  // den_b = sqrt((4-3)^2 + (2-3)^2) = sqrt(2)
+  // r     = 2 / (2 * sqrt(2)) = 1/sqrt(2)
+  const RatingMatrix m = MatrixFromTriples(
+      {{0, 0, 5}, {0, 1, 3}, {0, 2, 1}, {1, 0, 4}, {1, 1, 2}, {1, 3, 3}});
+  const RatingSimilarity sim(&m);
+  EXPECT_NEAR(sim.Compute(0, 1), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(RatingSimilarityTest, Symmetric) {
+  const RatingMatrix m = MatrixFromTriples(
+      {{0, 0, 5}, {0, 1, 3}, {0, 2, 1}, {1, 0, 4}, {1, 1, 2}, {1, 2, 5}});
+  const RatingSimilarity sim(&m);
+  EXPECT_DOUBLE_EQ(sim.Compute(0, 1), sim.Compute(1, 0));
+}
+
+TEST(RatingSimilarityTest, BelowMinOverlapIsZero) {
+  const RatingMatrix m = MatrixFromTriples({{0, 0, 5}, {1, 0, 5}});
+  RatingSimilarityOptions options;
+  options.min_overlap = 2;
+  const RatingSimilarity sim(&m, options);
+  EXPECT_DOUBLE_EQ(sim.Compute(0, 1), 0.0);
+}
+
+TEST(RatingSimilarityTest, NoOverlapIsZero) {
+  const RatingMatrix m = MatrixFromTriples({{0, 0, 5}, {0, 1, 4}, {1, 2, 5}, {1, 3, 2}});
+  const RatingSimilarity sim(&m);
+  EXPECT_DOUBLE_EQ(sim.Compute(0, 1), 0.0);
+}
+
+TEST(RatingSimilarityTest, ZeroVarianceIsZero) {
+  // u1 rates every shared item the same -> zero variance -> undefined -> 0.
+  const RatingMatrix m = MatrixFromTriples(
+      {{0, 0, 5}, {0, 1, 1}, {1, 0, 3}, {1, 1, 3}});
+  RatingSimilarityOptions options;
+  options.intersection_means = true;
+  const RatingSimilarity sim(&m, options);
+  EXPECT_DOUBLE_EQ(sim.Compute(0, 1), 0.0);
+}
+
+TEST(RatingSimilarityTest, ShiftToUnitInterval) {
+  const RatingMatrix m = MatrixFromTriples(
+      {{0, 0, 1}, {0, 1, 3}, {0, 2, 5}, {1, 0, 5}, {1, 1, 3}, {1, 2, 1}});
+  RatingSimilarityOptions options;
+  options.intersection_means = true;
+  options.shift_to_unit_interval = true;
+  const RatingSimilarity sim(&m, options);
+  EXPECT_NEAR(sim.Compute(0, 1), 0.0, 1e-12);  // raw -1 -> 0
+}
+
+TEST(RatingSimilarityTest, UnknownUsersAreZero) {
+  const RatingMatrix m = MatrixFromTriples({{0, 0, 5}, {1, 0, 4}});
+  const RatingSimilarity sim(&m);
+  EXPECT_DOUBLE_EQ(sim.Compute(0, 99), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Compute(-3, 1), 0.0);
+}
+
+// Property sweep: on random matrices, Pearson stays within [-1, 1] (after the
+// documented clamp), is symmetric, and self-similarity with intersection
+// means is 1 whenever the user has rating variance.
+class RatingSimilarityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RatingSimilarityProperty, RangeAndSymmetry) {
+  Rng rng(GetParam());
+  RatingMatrixBuilder builder;
+  for (UserId u = 0; u < 12; ++u) {
+    for (ItemId i = 0; i < 25; ++i) {
+      if (rng.NextBool(0.4)) {
+        EXPECT_TRUE(
+            builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+      }
+    }
+  }
+  const RatingMatrix m = std::move(builder.Build()).ValueOrDie();
+  for (const bool intersection : {false, true}) {
+    RatingSimilarityOptions options;
+    options.intersection_means = intersection;
+    const RatingSimilarity sim(&m, options);
+    for (UserId a = 0; a < m.num_users(); ++a) {
+      for (UserId b = a + 1; b < m.num_users(); ++b) {
+        const double r = sim.Compute(a, b);
+        EXPECT_GE(r, -1.0);
+        EXPECT_LE(r, 1.0);
+        EXPECT_DOUBLE_EQ(r, sim.Compute(b, a));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, RatingSimilarityProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+}  // namespace
+}  // namespace fairrec

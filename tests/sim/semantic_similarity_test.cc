@@ -1,0 +1,116 @@
+#include "sim/semantic_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/snomed_generator.h"
+
+namespace fairrec {
+namespace {
+
+/// Builds the three Table I patients over the paper fixture ontology.
+struct TableIFixture {
+  Ontology ontology;
+  ProfileStore store;
+
+  TableIFixture() {
+    ontology = std::move(BuildPaperFixtureOntology()).ValueOrDie();
+    PatientProfile p1;
+    p1.user = 0;
+    p1.problems = {ontology.FindByName("Acute bronchitis")};
+    p1.gender = Gender::kFemale;
+    p1.age = 40;
+    PatientProfile p2;
+    p2.user = 1;
+    p2.problems = {ontology.FindByName("Chest pain")};
+    p2.gender = Gender::kMale;
+    p2.age = 53;
+    PatientProfile p3;
+    p3.user = 2;
+    p3.problems = {ontology.FindByName("Tracheobronchitis"),
+                   ontology.FindByName("Broken arm")};
+    p3.gender = Gender::kMale;
+    p3.age = 34;
+    EXPECT_TRUE(store.Add(p1).ok());
+    EXPECT_TRUE(store.Add(p2).ok());
+    EXPECT_TRUE(store.Add(p3).ok());
+  }
+};
+
+TEST(SemanticSimilarityTest, PaperTableIOrderingHolds) {
+  // §V-C: "the similarity based on the health problems between patients 1
+  // and 3 is greater than the one between patients 1 and 2."
+  const TableIFixture f;
+  const SemanticSimilarity sim(&f.store, &f.ontology);
+  EXPECT_GT(sim.Compute(0, 2), sim.Compute(0, 1));
+}
+
+TEST(SemanticSimilarityTest, HandComputedHarmonicMean) {
+  const TableIFixture f;
+  const SemanticSimilarity sim(&f.store, &f.ontology);
+  // Patients 1 & 2: single pair at distance 5 -> x = 1/6; harmonic mean of
+  // one element is the element.
+  EXPECT_NEAR(sim.Compute(0, 1), 1.0 / 6.0, 1e-12);
+  // Patients 1 & 3: pairs (acute, tracheo) dist 2 -> 1/3 and (acute, broken
+  // arm) dist: acute(4) up to Clinical finding(1) = 3 edges, down to broken
+  // arm(4) = 3 edges -> 6 -> 1/7. Harmonic mean = 2 / (3 + 7) = 0.2.
+  EXPECT_NEAR(sim.Compute(0, 2), 0.2, 1e-12);
+}
+
+TEST(SemanticSimilarityTest, SymmetricAndSelfConsistent) {
+  const TableIFixture f;
+  const SemanticSimilarity sim(&f.store, &f.ontology);
+  for (UserId a = 0; a < 3; ++a) {
+    for (UserId b = 0; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(sim.Compute(a, b), sim.Compute(b, a));
+    }
+  }
+  // A user with a single problem is maximally similar to themselves.
+  EXPECT_DOUBLE_EQ(sim.Compute(0, 0), 1.0);
+}
+
+TEST(SemanticSimilarityTest, ScoresWithinUnitInterval) {
+  const TableIFixture f;
+  const SemanticSimilarity sim(&f.store, &f.ontology);
+  for (UserId a = 0; a < 3; ++a) {
+    for (UserId b = 0; b < 3; ++b) {
+      EXPECT_GE(sim.Compute(a, b), 0.0);
+      EXPECT_LE(sim.Compute(a, b), 1.0);
+    }
+  }
+}
+
+TEST(SemanticSimilarityTest, NoProblemsMeansZero) {
+  TableIFixture f;
+  PatientProfile empty;
+  empty.user = 3;
+  ASSERT_TRUE(f.store.Add(empty).ok());
+  const SemanticSimilarity sim(&f.store, &f.ontology);
+  EXPECT_DOUBLE_EQ(sim.Compute(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Compute(0, 3), 0.0);
+}
+
+TEST(SemanticSimilarityTest, UnknownUserIsZero) {
+  const TableIFixture f;
+  const SemanticSimilarity sim(&f.store, &f.ontology);
+  EXPECT_DOUBLE_EQ(sim.Compute(0, 42), 0.0);
+}
+
+TEST(SemanticSimilarityTest, ProblemSimilarityExposed) {
+  const TableIFixture f;
+  const SemanticSimilarity sim(&f.store, &f.ontology);
+  const ConceptId acute = f.ontology.FindByName("Acute bronchitis");
+  const ConceptId tracheo = f.ontology.FindByName("Tracheobronchitis");
+  EXPECT_NEAR(sim.ProblemSimilarity(acute, tracheo), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SemanticSimilarityTest, HarmonicMeanLeqBestPair) {
+  // The harmonic mean is dominated by the worst pair: it can never exceed
+  // the best pair similarity (and is dragged below the arithmetic mean).
+  const TableIFixture f;
+  const SemanticSimilarity sim(&f.store, &f.ontology);
+  const double best_pair = 1.0 / 3.0;  // acute vs tracheo
+  EXPECT_LE(sim.Compute(0, 2), best_pair);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,79 @@
+#include "sim/similarity_matrix.h"
+
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+/// Deterministic pairwise function of the ids, symmetric by construction.
+class PairFunctionSimilarity final : public UserSimilarity {
+ public:
+  double Compute(UserId a, UserId b) const override {
+    if (a > b) std::swap(a, b);
+    return static_cast<double>(a * 31 + b) / 1000.0;
+  }
+  std::string name() const override { return "pairfn"; }
+};
+
+TEST(SimilarityMatrixTest, RejectsNonPositiveUserCount) {
+  const PairFunctionSimilarity base;
+  EXPECT_TRUE(
+      SimilarityMatrix::Precompute(base, 0).status().IsInvalidArgument());
+}
+
+TEST(SimilarityMatrixTest, SingleUserMatrix) {
+  const PairFunctionSimilarity base;
+  const auto matrix = std::move(SimilarityMatrix::Precompute(base, 1)).ValueOrDie();
+  EXPECT_EQ(matrix->num_users(), 1);
+  EXPECT_DOUBLE_EQ(matrix->Compute(0, 0), 1.0);
+}
+
+TEST(SimilarityMatrixTest, MatchesBaseForEveryPair) {
+  const PairFunctionSimilarity base;
+  const int32_t n = 23;
+  const auto matrix =
+      std::move(SimilarityMatrix::Precompute(base, n, 3)).ValueOrDie();
+  for (UserId a = 0; a < n; ++a) {
+    for (UserId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(matrix->Compute(a, b), base.Compute(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(SimilarityMatrixTest, SelfSimilarityIsOneByConvention) {
+  const PairFunctionSimilarity base;
+  const auto matrix = std::move(SimilarityMatrix::Precompute(base, 5)).ValueOrDie();
+  for (UserId u = 0; u < 5; ++u) EXPECT_DOUBLE_EQ(matrix->Compute(u, u), 1.0);
+}
+
+TEST(SimilarityMatrixTest, OutOfRangeIsZero) {
+  const PairFunctionSimilarity base;
+  const auto matrix = std::move(SimilarityMatrix::Precompute(base, 4)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(matrix->Compute(0, 99), 0.0);
+  EXPECT_DOUBLE_EQ(matrix->Compute(-1, 2), 0.0);
+}
+
+TEST(SimilarityMatrixTest, ThreadCountDoesNotChangeResult) {
+  const PairFunctionSimilarity base;
+  const auto serial = std::move(SimilarityMatrix::Precompute(base, 17, 1)).ValueOrDie();
+  const auto parallel =
+      std::move(SimilarityMatrix::Precompute(base, 17, 4)).ValueOrDie();
+  for (UserId a = 0; a < 17; ++a) {
+    for (UserId b = 0; b < 17; ++b) {
+      EXPECT_DOUBLE_EQ(serial->Compute(a, b), parallel->Compute(a, b));
+    }
+  }
+}
+
+TEST(SimilarityMatrixTest, NamePrefixed) {
+  const PairFunctionSimilarity base;
+  const auto matrix = std::move(SimilarityMatrix::Precompute(base, 3)).ValueOrDie();
+  EXPECT_EQ(matrix->name(), "cached-pairfn");
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,92 @@
+#include "text/sparse_vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+TEST(SparseVectorTest, FromPairsSortsAndMerges) {
+  const SparseVector v = SparseVector::FromPairs({{3, 1.0}, {1, 2.0}, {3, 4.0}});
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.entries()[0], (SparseVector::Entry{1, 2.0}));
+  EXPECT_EQ(v.entries()[1], (SparseVector::Entry{3, 5.0}));
+}
+
+TEST(SparseVectorTest, FromPairsDropsZeros) {
+  const SparseVector v = SparseVector::FromPairs({{1, 0.0}, {2, 3.0}, {4, -3.0}, {4, 3.0}});
+  ASSERT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(v.entries()[0].index, 2);
+}
+
+TEST(SparseVectorTest, ValueAt) {
+  const SparseVector v = SparseVector::FromPairs({{1, 2.0}, {5, 7.0}});
+  EXPECT_DOUBLE_EQ(v.ValueAt(1), 2.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(5), 7.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(3), 0.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(99), 0.0);
+}
+
+TEST(SparseVectorTest, DotProduct) {
+  const SparseVector a = SparseVector::FromPairs({{0, 1.0}, {2, 2.0}, {4, 3.0}});
+  const SparseVector b = SparseVector::FromPairs({{2, 5.0}, {3, 9.0}, {4, 1.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 2.0 * 5.0 + 3.0 * 1.0);
+  EXPECT_DOUBLE_EQ(b.Dot(a), a.Dot(b));  // symmetry
+}
+
+TEST(SparseVectorTest, DotWithDisjointIsZero) {
+  const SparseVector a = SparseVector::FromPairs({{0, 1.0}});
+  const SparseVector b = SparseVector::FromPairs({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+}
+
+TEST(SparseVectorTest, NormL2) {
+  const SparseVector v = SparseVector::FromPairs({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.NormL2(), 5.0);
+  EXPECT_DOUBLE_EQ(SparseVector().NormL2(), 0.0);
+}
+
+TEST(SparseVectorTest, NormalizeMakesUnitLength) {
+  SparseVector v = SparseVector::FromPairs({{0, 3.0}, {1, 4.0}});
+  v.Normalize();
+  EXPECT_NEAR(v.NormL2(), 1.0, 1e-12);
+  EXPECT_NEAR(v.ValueAt(0), 0.6, 1e-12);
+}
+
+TEST(SparseVectorTest, NormalizeZeroVectorIsNoop) {
+  SparseVector v;
+  v.Normalize();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SparseVectorTest, CosineSelfIsOne) {
+  const SparseVector v = SparseVector::FromPairs({{0, 2.0}, {7, 1.5}});
+  EXPECT_NEAR(SparseVector::Cosine(v, v), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, CosineOrthogonalIsZero) {
+  const SparseVector a = SparseVector::FromPairs({{0, 1.0}});
+  const SparseVector b = SparseVector::FromPairs({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(SparseVector::Cosine(a, b), 0.0);
+}
+
+TEST(SparseVectorTest, CosineWithZeroVectorIsZero) {
+  const SparseVector a = SparseVector::FromPairs({{0, 1.0}});
+  EXPECT_DOUBLE_EQ(SparseVector::Cosine(a, SparseVector()), 0.0);
+}
+
+TEST(SparseVectorTest, CosineScaleInvariant) {
+  const SparseVector a = SparseVector::FromPairs({{0, 1.0}, {1, 2.0}});
+  const SparseVector b = SparseVector::FromPairs({{0, 10.0}, {1, 20.0}});
+  EXPECT_NEAR(SparseVector::Cosine(a, b), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, CosineKnownAngle) {
+  const SparseVector a = SparseVector::FromPairs({{0, 1.0}, {1, 0.0}});
+  const SparseVector b = SparseVector::FromPairs({{0, 1.0}, {1, 1.0}});
+  EXPECT_NEAR(SparseVector::Cosine(a, b), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,116 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+TfIdfOptions PlainOptions() {
+  TfIdfOptions options;
+  options.tokenizer.remove_stopwords = false;
+  options.tokenizer.min_token_length = 1;
+  return options;
+}
+
+TEST(TfIdfTest, FitOnEmptyCorpusFails) {
+  TfIdfVectorizer vectorizer;
+  EXPECT_TRUE(vectorizer.Fit({}).IsInvalidArgument());
+  EXPECT_FALSE(vectorizer.fitted());
+}
+
+TEST(TfIdfTest, Definition4IdfValues) {
+  // 4 documents; "flu" appears in 2, "rare" in 1, "common" in all 4.
+  TfIdfVectorizer vectorizer(PlainOptions());
+  ASSERT_TRUE(vectorizer
+                  .Fit({"flu common", "flu common", "rare common", "common"})
+                  .ok());
+  const auto& vocab = vectorizer.vocabulary();
+  EXPECT_NEAR(vectorizer.IdfOf(vocab.Lookup("flu")), std::log(4.0 / 2.0), 1e-12);
+  EXPECT_NEAR(vectorizer.IdfOf(vocab.Lookup("rare")), std::log(4.0 / 1.0), 1e-12);
+  // Definition 4 deliberately zeroes corpus-wide terms: log(4/4) = 0.
+  EXPECT_NEAR(vectorizer.IdfOf(vocab.Lookup("common")), 0.0, 1e-12);
+}
+
+TEST(TfIdfTest, TransformMultipliesTfByIdf) {
+  TfIdfVectorizer vectorizer(PlainOptions());
+  ASSERT_TRUE(vectorizer.Fit({"flu flu cough", "cough", "fever"}).ok());
+  const auto& vocab = vectorizer.vocabulary();
+  const SparseVector v = vectorizer.Transform("flu flu cough");
+  // tf(flu) = 2, idf(flu) = log(3/1).
+  EXPECT_NEAR(v.ValueAt(vocab.Lookup("flu")), 2.0 * std::log(3.0), 1e-12);
+  // tf(cough) = 1, idf(cough) = log(3/2).
+  EXPECT_NEAR(v.ValueAt(vocab.Lookup("cough")), std::log(1.5), 1e-12);
+}
+
+TEST(TfIdfTest, UnseenTermsAreIgnored) {
+  TfIdfVectorizer vectorizer(PlainOptions());
+  ASSERT_TRUE(vectorizer.Fit({"flu", "cough"}).ok());
+  const SparseVector v = vectorizer.Transform("unknown words only");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(TfIdfTest, SublinearTf) {
+  TfIdfOptions options = PlainOptions();
+  options.sublinear_tf = true;
+  TfIdfVectorizer vectorizer(options);
+  ASSERT_TRUE(vectorizer.Fit({"flu flu flu cough", "cough"}).ok());
+  const auto& vocab = vectorizer.vocabulary();
+  const SparseVector v = vectorizer.Transform("flu flu flu");
+  EXPECT_NEAR(v.ValueAt(vocab.Lookup("flu")),
+              (1.0 + std::log(3.0)) * std::log(2.0), 1e-12);
+}
+
+TEST(TfIdfTest, SmoothIdfNeverZero) {
+  TfIdfOptions options = PlainOptions();
+  options.smooth_idf = true;
+  TfIdfVectorizer vectorizer(options);
+  ASSERT_TRUE(vectorizer.Fit({"common", "common"}).ok());
+  EXPECT_GT(vectorizer.IdfOf(vectorizer.vocabulary().Lookup("common")), 0.0);
+}
+
+TEST(TfIdfTest, L2NormalizeOption) {
+  TfIdfOptions options = PlainOptions();
+  options.l2_normalize = true;
+  TfIdfVectorizer vectorizer(options);
+  ASSERT_TRUE(vectorizer.Fit({"flu cough", "fever"}).ok());
+  const SparseVector v = vectorizer.Transform("flu cough");
+  EXPECT_NEAR(v.NormL2(), 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, FitTransformMatchesSeparateCalls) {
+  TfIdfVectorizer a(PlainOptions());
+  TfIdfVectorizer b(PlainOptions());
+  const std::vector<std::string> corpus{"flu cough", "cough fever", "fever"};
+  const auto batch = a.FitTransform(corpus);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(b.Fit(corpus).ok());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ((*batch)[i], b.Transform(corpus[i])) << "doc " << i;
+  }
+}
+
+TEST(TfIdfTest, IdenticalDocumentsHaveCosineOne) {
+  TfIdfVectorizer vectorizer(PlainOptions());
+  ASSERT_TRUE(vectorizer.Fit({"flu cough fever", "headache", "nausea"}).ok());
+  const SparseVector a = vectorizer.Transform("flu cough fever");
+  const SparseVector b = vectorizer.Transform("flu cough fever");
+  EXPECT_NEAR(SparseVector::Cosine(a, b), 1.0, 1e-12);
+}
+
+TEST(VocabularyTest, InternsAndCountsDocumentFrequency) {
+  Vocabulary vocab;
+  vocab.AddDocument({"a", "b", "a"});  // distinct terms only counted once
+  vocab.AddDocument({"b", "c"});
+  EXPECT_EQ(vocab.size(), 3);
+  EXPECT_EQ(vocab.num_documents(), 2);
+  EXPECT_EQ(vocab.DocumentFrequency(vocab.Lookup("a")), 1);
+  EXPECT_EQ(vocab.DocumentFrequency(vocab.Lookup("b")), 2);
+  EXPECT_EQ(vocab.DocumentFrequency(vocab.Lookup("c")), 1);
+  EXPECT_EQ(vocab.Lookup("zzz"), Vocabulary::kUnknownTerm);
+  EXPECT_EQ(vocab.TermText(vocab.Lookup("a")), "a");
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,76 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrec {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  const Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("Chest-Pain, acute!"),
+            (std::vector<std::string>{"chest", "pain", "acute"}));
+}
+
+TEST(TokenizerTest, DropsShortTokens) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  options.remove_stopwords = false;
+  const Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("a is the flu"),
+            (std::vector<std::string>{"the", "flu"}));
+}
+
+TEST(TokenizerTest, RemovesStopwords) {
+  const Tokenizer tokenizer;  // stopwords on by default
+  EXPECT_EQ(tokenizer.Tokenize("treatment of the lungs"),
+            (std::vector<std::string>{"treatment", "lungs"}));
+}
+
+TEST(TokenizerTest, KeepsStopwordsWhenDisabled) {
+  TokenizerOptions options;
+  options.remove_stopwords = false;
+  const Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("of the lungs"),
+            (std::vector<std::string>{"of", "the", "lungs"}));
+}
+
+TEST(TokenizerTest, KeepsNumbersByDefault) {
+  const Tokenizer tokenizer;
+  // Dosage numbers are discriminative in medication strings (Table I).
+  EXPECT_EQ(tokenizer.Tokenize("Ramipril 10 MG"),
+            (std::vector<std::string>{"ramipril", "10"}));
+}
+
+TEST(TokenizerTest, DropsNumbersWhenConfigured) {
+  TokenizerOptions options;
+  options.keep_numbers = false;
+  const Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("Ramipril 10 500"),
+            (std::vector<std::string>{"ramipril"}));
+}
+
+TEST(TokenizerTest, CaseSensitiveMode) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  options.remove_stopwords = false;
+  const Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("Chest PAIN"),
+            (std::vector<std::string>{"Chest", "PAIN"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnlyInput) {
+  const Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("!!! ... ---").empty());
+}
+
+TEST(TokenizerTest, MedicationLineFromTableI) {
+  const Tokenizer tokenizer;
+  // "MG" and "Oral" are in the stopword list as units/forms.
+  EXPECT_EQ(tokenizer.Tokenize("Niacin 500 MG Extended Release Tablet"),
+            (std::vector<std::string>{"niacin", "500", "extended", "release",
+                                      "tablet"}));
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,287 @@
+// fairrec_cli — command-line front end for the FairRec library.
+//
+// Lets a downstream user run the paper's pipeline on their own
+// `user,item,rating` CSV (or a generated synthetic one) without writing C++:
+//
+//   fairrec_cli generate  --out ratings.csv [--users 400] [--docs 200] [--seed 7]
+//   fairrec_cli stats     --ratings ratings.csv
+//   fairrec_cli recommend --ratings ratings.csv --user 3 [--k 10] [--delta 0.55]
+//   fairrec_cli group     --ratings ratings.csv --members 1,2,3 --z 6
+//                         [--selector algorithm1|greedy|bruteforce|localsearch]
+//                         [--aggregation min|avg|max|median] [--k 10]
+//                         [--delta 0.55]
+//
+// Exit status: 0 on success, 1 on usage/runtime errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cf/recommender.h"
+#include "common/string_util.h"
+#include "core/brute_force.h"
+#include "core/fairness_heuristic.h"
+#include "core/greedy_selector.h"
+#include "core/group_recommender.h"
+#include "core/local_search.h"
+#include "data/scenario.h"
+#include "eval/table.h"
+#include "ratings/dataset.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+namespace {
+
+/// Minimal --flag=value / --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string token = argv[i];
+      if (!StartsWith(token, "--")) continue;
+      token = token.substr(2);
+      const size_t eq = token.find('=');
+      if (eq != std::string::npos) {
+        values_[token.substr(0, eq)] = token.substr(eq + 1);
+      } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        values_[token] = argv[++i];
+      } else {
+        values_[token] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  bool Has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fairrec_cli generate  --out FILE [--users N] [--docs N] [--seed N]\n"
+               "  fairrec_cli stats     --ratings FILE\n"
+               "  fairrec_cli recommend --ratings FILE --user ID [--k N] [--delta X]\n"
+               "  fairrec_cli group     --ratings FILE --members a,b,c --z N\n"
+               "                        [--selector algorithm1|greedy|bruteforce|localsearch]\n"
+               "                        [--aggregation min|avg|max|median] [--k N] [--delta X]\n"
+               "                        [--any-member]\n");
+  return 1;
+}
+
+Result<Dataset> LoadRatings(const Args& args) {
+  const std::string path = args.Get("ratings", "");
+  if (path.empty()) return Status::InvalidArgument("--ratings is required");
+  return LoadDatasetCsv(path);
+}
+
+int RunGenerate(const Args& args) {
+  const std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 1;
+  }
+  ScenarioConfig config;
+  config.num_patients = static_cast<int32_t>(args.GetInt("users", 400));
+  config.num_documents = static_cast<int32_t>(args.GetInt("docs", 200));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  config.rating_density = args.GetDouble("density", 0.08);
+  const auto scenario = BuildScenario(config);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "error: %s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset;
+  dataset.matrix = scenario->ratings;
+  const Status st = SaveDatasetCsv(dataset, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %lld ratings (%d users x %d items) to %s\n",
+              static_cast<long long>(dataset.matrix.num_ratings()),
+              dataset.matrix.num_users(), dataset.matrix.num_items(),
+              out.c_str());
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  const auto dataset = LoadRatings(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const DatasetStats stats = dataset->ComputeStats();
+  AsciiTable table({"metric", "value"});
+  table.AddRow({"users", std::to_string(stats.num_users)});
+  table.AddRow({"items", std::to_string(stats.num_items)});
+  table.AddRow({"ratings", std::to_string(stats.num_ratings)});
+  table.AddRow({"density", FormatDouble(stats.density * 100.0, 2) + "%"});
+  table.AddRow({"mean rating", FormatDouble(stats.mean_rating, 3)});
+  for (int s = 1; s <= 5; ++s) {
+    table.AddRow({"ratings = " + std::to_string(s),
+                  std::to_string(stats.histogram[static_cast<size_t>(s - 1)])});
+  }
+  table.AddRow({"user degree (min/mean/max)",
+                std::to_string(stats.min_user_degree) + " / " +
+                    FormatDouble(stats.mean_user_degree, 1) + " / " +
+                    std::to_string(stats.max_user_degree)});
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int RunRecommend(const Args& args) {
+  const auto dataset = LoadRatings(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  if (!args.Has("user")) {
+    std::fprintf(stderr, "error: --user is required\n");
+    return 1;
+  }
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const RatingSimilarity similarity(&dataset->matrix, sim_options);
+  RecommenderOptions options;
+  options.peers.delta = args.GetDouble("delta", 0.55);
+  options.top_k = static_cast<int32_t>(args.GetInt("k", 10));
+  const Recommender recommender(&dataset->matrix, &similarity, options);
+  const auto recs =
+      recommender.RecommendForUser(static_cast<UserId>(args.GetInt("user", -1)));
+  if (!recs.ok()) {
+    std::fprintf(stderr, "error: %s\n", recs.status().ToString().c_str());
+    return 1;
+  }
+  AsciiTable table({"rank", "item", "relevance (Eq. 1)"});
+  for (size_t i = 0; i < recs->size(); ++i) {
+    table.AddRow({std::to_string(i + 1), std::to_string((*recs)[i].item),
+                  FormatDouble((*recs)[i].score, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int RunGroup(const Args& args) {
+  const auto dataset = LoadRatings(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Group group;
+  for (const std::string& token : Split(args.Get("members", ""), ',')) {
+    if (!Trim(token).empty()) {
+      group.push_back(static_cast<UserId>(std::strtol(token.c_str(), nullptr, 10)));
+    }
+  }
+  if (group.empty()) {
+    std::fprintf(stderr, "error: --members is required (comma-separated ids)\n");
+    return 1;
+  }
+  const auto z = static_cast<int32_t>(args.GetInt("z", 6));
+
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const RatingSimilarity similarity(&dataset->matrix, sim_options);
+  RecommenderOptions rec_options;
+  rec_options.peers.delta = args.GetDouble("delta", 0.55);
+  rec_options.top_k = static_cast<int32_t>(args.GetInt("k", 10));
+  const Recommender recommender(&dataset->matrix, &similarity, rec_options);
+
+  GroupContextOptions ctx_options;
+  ctx_options.top_k = rec_options.top_k;
+  // On sparse data, requiring every member to have peer evidence for an item
+  // can empty the candidate pool; --any-member keeps items any member can
+  // score (aggregation then runs over the defined subset).
+  ctx_options.require_all_members = !args.Has("any-member");
+  const std::string aggregation = args.Get("aggregation", "avg");
+  if (aggregation == "min") {
+    ctx_options.aggregation = AggregationKind::kMinimum;
+  } else if (aggregation == "avg") {
+    ctx_options.aggregation = AggregationKind::kAverage;
+  } else if (aggregation == "max") {
+    ctx_options.aggregation = AggregationKind::kMaximum;
+  } else if (aggregation == "median") {
+    ctx_options.aggregation = AggregationKind::kMedian;
+  } else {
+    std::fprintf(stderr, "error: unknown --aggregation '%s'\n",
+                 aggregation.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<ItemSetSelector> selector;
+  const std::string selector_name = args.Get("selector", "algorithm1");
+  if (selector_name == "algorithm1") {
+    selector = std::make_unique<FairnessHeuristic>();
+  } else if (selector_name == "greedy") {
+    selector = std::make_unique<GreedyValueSelector>();
+  } else if (selector_name == "bruteforce") {
+    BruteForceOptions bf_options;
+    bf_options.max_combinations = 200'000'000;  // refuse multi-hour requests
+    selector = std::make_unique<BruteForceSelector>(bf_options);
+  } else if (selector_name == "localsearch") {
+    selector = std::make_unique<LocalSearchSelector>();
+  } else {
+    std::fprintf(stderr, "error: unknown --selector '%s'\n",
+                 selector_name.c_str());
+    return 1;
+  }
+
+  const GroupRecommender group_rec(&recommender, ctx_options);
+  const auto selection = group_rec.RecommendFair(group, z, *selector);
+  if (!selection.ok()) {
+    std::fprintf(stderr, "error: %s\n", selection.status().ToString().c_str());
+    return 1;
+  }
+  if (selection->items.empty()) {
+    std::fprintf(stderr,
+                 "no recommendable items: no candidate had peer evidence for "
+                 "%s. Try a lower --delta or --any-member.\n",
+                 ctx_options.require_all_members ? "every member"
+                                                 : "any member");
+    return 1;
+  }
+  AsciiTable table({"rank", "item"});
+  for (size_t i = 0; i < selection->items.size(); ++i) {
+    table.AddRow({std::to_string(i + 1), std::to_string(selection->items[i])});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("selector=%s aggregation=%s fairness=%.3f relevance_sum=%.3f "
+              "value=%.3f\n",
+              selector->name().c_str(), aggregation.c_str(),
+              selection->score.fairness, selection->score.relevance_sum,
+              selection->score.value);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "generate") return RunGenerate(args);
+  if (command == "stats") return RunStats(args);
+  if (command == "recommend") return RunRecommend(args);
+  if (command == "group") return RunGroup(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace fairrec
+
+int main(int argc, char** argv) { return fairrec::Main(argc, argv); }
