@@ -1,0 +1,205 @@
+// All-pairs similarity precompute: naive O(U^2 * merge) vs the
+// sufficient-statistics engine's O(co-ratings) inverted-index sweep.
+//
+// Generates a synthetic sparse corpus (defaults: 10k users, 2k items, ~1%
+// density — the regime of the paper's MapReduce scaling argument), runs both
+// paths on the identical matrix, checks they agree, and writes the timings to
+// a JSON file so the perf trajectory is tracked across PRs.
+//
+//   bench_similarity_precompute [--users N] [--items N] [--density F]
+//                               [--seed N] [--threads N] [--block N]
+//                               [--out BENCH_similarity.json]
+//
+// Exit status: 0 on success, 1 on argument/IO errors, 2 if the two paths
+// disagree beyond 1e-9.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "ratings/rating_matrix.h"
+#include "sim/pairwise_engine.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+namespace {
+
+struct BenchConfig {
+  int32_t num_users = 10000;
+  int32_t num_items = 2000;
+  double density = 0.01;
+  uint64_t seed = 20170417;
+  size_t threads = 1;
+  int32_t block_users = 512;
+  std::string out_path = "BENCH_similarity.json";
+};
+
+RatingMatrix GenerateCorpus(const BenchConfig& config) {
+  Rng rng(config.seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(config.num_users, config.num_items);
+  for (UserId u = 0; u < config.num_users; ++u) {
+    for (ItemId i = 0; i < config.num_items; ++i) {
+      if (!rng.NextBool(config.density)) continue;
+      const auto status =
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5)));
+      if (!status.ok()) {
+        std::fprintf(stderr, "corpus generation failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+int Run(const BenchConfig& config) {
+  std::printf("generating corpus: %d users x %d items at %.2f%% density...\n",
+              config.num_users, config.num_items, 100.0 * config.density);
+  const RatingMatrix matrix = GenerateCorpus(config);
+  const size_t num_pairs =
+      PairwiseSimilarityEngine::PackedTriangleSize(matrix.num_users());
+  std::printf("  %lld ratings (density %.3f%%), %zu user pairs\n",
+              static_cast<long long>(matrix.num_ratings()),
+              100.0 * matrix.Density(), num_pairs);
+
+  RatingSimilarityOptions sim_options;  // paper defaults: global means, raw r
+  const RatingSimilarity naive(&matrix, sim_options);
+
+  // --- Naive all-pairs path: sorted-merge per pair (the pre-engine
+  // SimilarityMatrix::Precompute inner loop, single-threaded). ---
+  std::vector<double> naive_out(num_pairs, 0.0);
+  RatingSimilarity::PairScratch scratch;
+  Stopwatch naive_clock;
+  {
+    size_t index = 0;
+    for (UserId a = 0; a < matrix.num_users(); ++a) {
+      for (UserId b = a + 1; b < matrix.num_users(); ++b, ++index) {
+        naive_out[index] = naive.Compute(a, b, scratch);
+      }
+    }
+  }
+  const double naive_seconds = naive_clock.ElapsedSeconds();
+  std::printf("naive all-pairs merge:      %8.3f s  (%.2fM pairs/s)\n",
+              naive_seconds, static_cast<double>(num_pairs) / naive_seconds / 1e6);
+
+  // --- Sufficient-statistics engine. ---
+  PairwiseEngineOptions engine_options;
+  engine_options.num_threads = config.threads;
+  engine_options.block_users = config.block_users;
+  const PairwiseSimilarityEngine engine(&matrix, sim_options, engine_options);
+  std::vector<double> engine_out(num_pairs, 0.0);
+  Stopwatch engine_clock;
+  const Status status = engine.ComputeAll(std::span<double>(engine_out));
+  const double engine_seconds = engine_clock.ElapsedSeconds();
+  if (!status.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("sufficient-stats engine:    %8.3f s  (%.2fM pairs/s)\n",
+              engine_seconds,
+              static_cast<double>(num_pairs) / engine_seconds / 1e6);
+
+  // --- Agreement check. ---
+  double max_abs_diff = 0.0;
+  size_t nonzero = 0;
+  for (size_t k = 0; k < num_pairs; ++k) {
+    max_abs_diff = std::max(max_abs_diff, std::fabs(naive_out[k] - engine_out[k]));
+    if (engine_out[k] != 0.0) ++nonzero;
+  }
+  const double speedup = naive_seconds / engine_seconds;
+  std::printf("speedup: %.2fx   max |diff|: %.3e   nonzero pairs: %zu\n",
+              speedup, max_abs_diff, nonzero);
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"similarity_precompute\",\n"
+               "  \"corpus\": {\n"
+               "    \"num_users\": %d,\n"
+               "    \"num_items\": %d,\n"
+               "    \"num_ratings\": %lld,\n"
+               "    \"density\": %.6f,\n"
+               "    \"seed\": %llu\n"
+               "  },\n"
+               "  \"options\": {\n"
+               "    \"min_overlap\": %d,\n"
+               "    \"intersection_means\": %s,\n"
+               "    \"shift_to_unit_interval\": %s\n"
+               "  },\n"
+               "  \"threads\": %zu,\n"
+               "  \"block_users\": %d,\n"
+               "  \"num_pairs\": %zu,\n"
+               "  \"nonzero_pairs\": %zu,\n"
+               "  \"naive_seconds\": %.6f,\n"
+               "  \"engine_seconds\": %.6f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"max_abs_diff\": %.3e\n"
+               "}\n",
+               matrix.num_users(), matrix.num_items(),
+               static_cast<long long>(matrix.num_ratings()), matrix.Density(),
+               static_cast<unsigned long long>(config.seed),
+               naive.options().min_overlap,
+               naive.options().intersection_means ? "true" : "false",
+               naive.options().shift_to_unit_interval ? "true" : "false",
+               config.threads, config.block_users, num_pairs, nonzero,
+               naive_seconds, engine_seconds, speedup, max_abs_diff);
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+
+  if (max_abs_diff > 1e-9) {
+    std::fprintf(stderr, "FAIL: paths disagree (max |diff| %.3e)\n", max_abs_diff);
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairrec
+
+int main(int argc, char** argv) {
+  fairrec::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--users") {
+      config.num_users = std::atoi(next());
+    } else if (arg == "--items") {
+      config.num_items = std::atoi(next());
+    } else if (arg == "--density") {
+      config.density = std::atof(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      config.threads = static_cast<size_t>(std::atoi(next()));
+    } else if (arg == "--block") {
+      config.block_users = std::atoi(next());
+    } else if (arg == "--out") {
+      config.out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config.num_users < 2 || config.num_items < 1 || config.density <= 0.0 ||
+      config.density > 1.0) {
+    std::fprintf(stderr, "invalid corpus shape\n");
+    return 1;
+  }
+  return fairrec::Run(config);
+}

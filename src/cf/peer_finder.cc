@@ -1,10 +1,31 @@
 #include "cf/peer_finder.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "common/logging.h"
 
 namespace fairrec {
+
+namespace {
+
+/// Reusable exclusion mark-set: excluded(v) iff stamp[v] == epoch. Bumping
+/// the epoch invalidates every mark in O(1), so repeated FindPeers calls
+/// reuse the allocation instead of building a fresh bitmap. One per calling
+/// thread, shared across PeerFinder instances (it grows to the largest user
+/// population seen on the thread).
+struct ExclusionScratch {
+  std::vector<uint64_t> stamp;
+  uint64_t epoch = 0;
+};
+
+bool DescendingSimilarity(const Peer& a, const Peer& b) {
+  if (a.similarity != b.similarity) return a.similarity > b.similarity;
+  return a.user < b.user;
+}
+
+}  // namespace
 
 PeerFinder::PeerFinder(const UserSimilarity* similarity, int32_t num_users,
                        PeerFinderOptions options)
@@ -13,24 +34,37 @@ PeerFinder::PeerFinder(const UserSimilarity* similarity, int32_t num_users,
 }
 
 std::vector<Peer> PeerFinder::FindPeers(UserId u, const Group& exclude) const {
-  std::vector<bool> excluded(static_cast<size_t>(num_users_), false);
-  for (const UserId e : exclude) {
-    if (e >= 0 && e < num_users_) excluded[static_cast<size_t>(e)] = true;
+  thread_local ExclusionScratch scratch;
+  if (scratch.stamp.size() < static_cast<size_t>(num_users_)) {
+    scratch.stamp.resize(static_cast<size_t>(num_users_), 0);
   }
+  ++scratch.epoch;
+  for (const UserId e : exclude) {
+    if (e >= 0 && e < num_users_) {
+      scratch.stamp[static_cast<size_t>(e)] = scratch.epoch;
+    }
+  }
+
   std::vector<Peer> peers;
   for (UserId v = 0; v < num_users_; ++v) {
-    if (v == u || excluded[static_cast<size_t>(v)]) continue;
+    if (v == u || scratch.stamp[static_cast<size_t>(v)] == scratch.epoch) {
+      continue;
+    }
     const double sim = similarity_->Compute(u, v);
     if (sim >= options_.delta) peers.push_back({v, sim});
   }
-  std::sort(peers.begin(), peers.end(), [](const Peer& a, const Peer& b) {
-    if (a.similarity != b.similarity) return a.similarity > b.similarity;
-    return a.user < b.user;
-  });
-  if (options_.max_peers > 0 &&
-      peers.size() > static_cast<size_t>(options_.max_peers)) {
-    peers.resize(static_cast<size_t>(options_.max_peers));
+
+  const size_t cap = static_cast<size_t>(options_.max_peers);
+  if (options_.max_peers > 0 && peers.size() > cap) {
+    // Selecting the top cap then sorting only that prefix is
+    // O(n + cap log cap) vs O(n log n) for a full sort. The comparator is a
+    // total order (ties broken by id), so the result is identical to
+    // sort-then-truncate.
+    std::nth_element(peers.begin(), peers.begin() + static_cast<ptrdiff_t>(cap),
+                     peers.end(), DescendingSimilarity);
+    peers.resize(cap);
   }
+  std::sort(peers.begin(), peers.end(), DescendingSimilarity);
   return peers;
 }
 

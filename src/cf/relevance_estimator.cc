@@ -28,35 +28,52 @@ std::optional<double> RelevanceEstimator::Estimate(const std::vector<Peer>& peer
 
 std::vector<ScoredItem> RelevanceEstimator::EstimateAll(
     const std::vector<Peer>& peers, const std::vector<ItemId>& items) const {
+  thread_local Scratch scratch;
+  return EstimateAll(peers, items, scratch);
+}
+
+std::vector<ScoredItem> RelevanceEstimator::EstimateAll(
+    const std::vector<Peer>& peers, const std::vector<ItemId>& items,
+    Scratch& scratch) const {
   // For more than a handful of items it is cheaper to scan each peer's row
   // once than to binary-search per (peer, item) pair.
   std::vector<ScoredItem> out;
   if (items.empty() || peers.empty()) return out;
 
-  const ItemId max_item =
-      *std::max_element(items.begin(), items.end());
-  std::vector<double> weighted_sum(static_cast<size_t>(max_item) + 1, 0.0);
-  std::vector<double> weight_total(static_cast<size_t>(max_item) + 1, 0.0);
-  std::vector<bool> wanted(static_cast<size_t>(max_item) + 1, false);
+  const ItemId max_item = *std::max_element(items.begin(), items.end());
+  const size_t size = static_cast<size_t>(max_item) + 1;
+  if (scratch.wanted.size() < size) {
+    scratch.wanted.resize(size, 0);
+    scratch.written.resize(size, 0);
+    scratch.weighted_sum.resize(size, 0.0);
+    scratch.weight_total.resize(size, 0.0);
+  }
+  const uint64_t gen = ++scratch.generation;
   for (const ItemId i : items) {
-    if (i >= 0) wanted[static_cast<size_t>(i)] = true;
+    if (i >= 0) scratch.wanted[static_cast<size_t>(i)] = gen;
   }
   for (const Peer& peer : peers) {
     for (const ItemRating& entry : matrix_->ItemsRatedBy(peer.user)) {
-      if (entry.item > max_item || !wanted[static_cast<size_t>(entry.item)]) {
-        continue;
+      if (entry.item > max_item) continue;
+      const size_t slot = static_cast<size_t>(entry.item);
+      if (scratch.wanted[slot] != gen) continue;
+      if (scratch.written[slot] != gen) {
+        scratch.written[slot] = gen;
+        scratch.weighted_sum[slot] = 0.0;
+        scratch.weight_total[slot] = 0.0;
       }
-      weighted_sum[static_cast<size_t>(entry.item)] +=
-          peer.similarity * entry.value;
-      weight_total[static_cast<size_t>(entry.item)] += peer.similarity;
+      scratch.weighted_sum[slot] += peer.similarity * entry.value;
+      scratch.weight_total[slot] += peer.similarity;
     }
   }
   out.reserve(items.size());
   for (const ItemId i : items) {
     if (i < 0) continue;
-    const double total = weight_total[static_cast<size_t>(i)];
+    const size_t slot = static_cast<size_t>(i);
+    if (scratch.written[slot] != gen) continue;
+    const double total = scratch.weight_total[slot];
     if (total <= 0.0) continue;
-    out.push_back({i, weighted_sum[static_cast<size_t>(i)] / total});
+    out.push_back({i, scratch.weighted_sum[slot] / total});
   }
   return out;
 }

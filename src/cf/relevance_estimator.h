@@ -1,6 +1,7 @@
 #ifndef FAIRREC_CF_RELEVANCE_ESTIMATOR_H_
 #define FAIRREC_CF_RELEVANCE_ESTIMATOR_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -28,10 +29,31 @@ class RelevanceEstimator {
   /// output of PeerFinder::FindPeers(u).
   std::optional<double> Estimate(const std::vector<Peer>& peers, ItemId item) const;
 
+  /// Reusable dense accumulators for EstimateAll. Entries are valid only when
+  /// their stamp equals the current generation, so a call invalidates the
+  /// previous call's state by bumping `generation` instead of reallocating or
+  /// clearing three max_item+1 vectors. Safe to share across estimators (the
+  /// vectors grow monotonically to the largest item id seen).
+  struct Scratch {
+    std::vector<double> weighted_sum;
+    std::vector<double> weight_total;
+    /// Stamp of the last generation that marked the item as requested.
+    std::vector<uint64_t> wanted;
+    /// Stamp of the last generation that wrote the item's accumulators.
+    std::vector<uint64_t> written;
+    uint64_t generation = 0;
+  };
+
   /// Relevance for each of `items`; undefined items are skipped. The output
-  /// preserves the order of `items`.
+  /// preserves the order of `items`. Uses a thread-local Scratch, so repeated
+  /// group queries do not churn the allocator.
   std::vector<ScoredItem> EstimateAll(const std::vector<Peer>& peers,
                                       const std::vector<ItemId>& items) const;
+
+  /// Same, accumulating through a caller-owned Scratch.
+  std::vector<ScoredItem> EstimateAll(const std::vector<Peer>& peers,
+                                      const std::vector<ItemId>& items,
+                                      Scratch& scratch) const;
 
  private:
   const RatingMatrix* matrix_;

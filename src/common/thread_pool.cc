@@ -39,15 +39,20 @@ void ThreadPool::WaitIdle() {
 }
 
 void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  ParallelForIndexed(count, [&fn](size_t, size_t i) { fn(i); });
+}
+
+void ThreadPool::ParallelForIndexed(
+    size_t count, const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
   // Dynamic self-scheduling over a shared counter: balanced even when task
   // costs are skewed (e.g. brute-force cells vs heuristic cells).
   auto next = std::make_shared<std::atomic<size_t>>(0);
   const size_t workers = std::min(count, num_threads());
   for (size_t w = 0; w < workers; ++w) {
-    Submit([next, count, &fn] {
+    Submit([next, count, w, &fn] {
       for (size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
-        fn(i);
+        fn(w, i);
       }
     });
   }

@@ -35,6 +35,13 @@ class ThreadPool {
   /// fn must be safe to invoke concurrently for distinct i.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
+  /// Like ParallelFor, but fn also receives a stable worker slot in
+  /// [0, min(count, num_threads())). All indices handed to the same slot are
+  /// processed sequentially, so fn may keep per-slot scratch (accumulator
+  /// tiles, reusable buffers) without locks or false sharing.
+  void ParallelForIndexed(size_t count,
+                          const std::function<void(size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 

@@ -1,0 +1,186 @@
+#include "sim/pairwise_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace fairrec {
+
+namespace {
+
+/// Relative threshold below which a cancelled variance is treated as zero.
+/// The raw-moment expansion of sum((r - mean)^2) cancels a value of the order
+/// of sum(r^2) down to the true variance; when the result is this small
+/// relative to the cancelled magnitude it is rounding noise from an exactly
+/// constant row (e.g. every co-rating 3.1), not a real variance, and must
+/// yield 0 like FinishPearson's centered form does. On the paper's 1..5
+/// scale the smallest genuine nonzero variance is far above this threshold.
+constexpr double kRelativeVarianceEpsilon = 1e-12;
+
+}  // namespace
+
+size_t PairwiseSimilarityEngine::PackedTriangleIndex(UserId a, UserId b,
+                                                     int32_t num_users) {
+  const size_t n = static_cast<size_t>(num_users);
+  const size_t row = static_cast<size_t>(a);
+  const size_t row_offset = row * (n - 1) - row * (row - 1) / 2;
+  return row_offset + static_cast<size_t>(b) - row - 1;
+}
+
+PairwiseSimilarityEngine::PairwiseSimilarityEngine(
+    const RatingMatrix* matrix, RatingSimilarityOptions options,
+    PairwiseEngineOptions engine_options)
+    : matrix_(matrix),
+      options_(options),
+      engine_options_(engine_options) {
+  FAIRREC_CHECK(matrix != nullptr);
+}
+
+size_t PairwiseSimilarityEngine::PackedTriangleSize(int32_t num_users) {
+  if (num_users <= 1) return 0;
+  const size_t n = static_cast<size_t>(num_users);
+  return n * (n - 1) / 2;
+}
+
+double PairwiseSimilarityEngine::Finish(const PairStats& stats, UserId a,
+                                        UserId b) const {
+  const int32_t n = stats.n;
+  // Mirrors FinishPearson: overlap guard first, then the undefined-variance
+  // guard. n == 0 (no co-ratings) is always "no evidence", even when
+  // min_overlap <= 0 disables the guard.
+  if (n < options_.min_overlap || n == 0) return 0.0;
+
+  double mean_a;
+  double mean_b;
+  if (options_.intersection_means) {
+    mean_a = stats.sum_a / static_cast<double>(n);
+    mean_b = stats.sum_b / static_cast<double>(n);
+  } else {
+    mean_a = matrix_->UserMean(a);
+    mean_b = matrix_->UserMean(b);
+  }
+
+  // Expanded centered sums: sum((ra - ma)(rb - mb)) etc. in raw moments.
+  const double nn = static_cast<double>(n);
+  const double num = stats.sum_ab - mean_b * stats.sum_a - mean_a * stats.sum_b +
+                     nn * mean_a * mean_b;
+  const double den_a =
+      stats.sum_aa - 2.0 * mean_a * stats.sum_a + nn * mean_a * mean_a;
+  const double den_b =
+      stats.sum_bb - 2.0 * mean_b * stats.sum_b + nn * mean_b * mean_b;
+  // <= rather than ==: the expansion can round an exactly-zero variance to a
+  // tiny value of either sign, which must not reach sqrt. The relative guard
+  // catches constant rows whose values are not exactly representable, where
+  // the cancellation leaves positive rounding noise instead of 0.
+  const double scale_a = stats.sum_aa + nn * mean_a * mean_a;
+  const double scale_b = stats.sum_bb + nn * mean_b * mean_b;
+  if (den_a <= kRelativeVarianceEpsilon * scale_a ||
+      den_b <= kRelativeVarianceEpsilon * scale_b) {
+    return 0.0;
+  }
+  double r = num / (std::sqrt(den_a) * std::sqrt(den_b));
+  r = std::clamp(r, -1.0, 1.0);
+  return options_.shift_to_unit_interval ? (r + 1.0) / 2.0 : r;
+}
+
+void PairwiseSimilarityEngine::SweepTile(const Tile& tile,
+                                         std::vector<PairStats>& acc,
+                                         std::span<double> out) const {
+  const size_t cols = static_cast<size_t>(tile.col_last - tile.col_first);
+  const bool diagonal = tile.row_first == tile.col_first;
+
+  // ---- Accumulation: one pass over the item-inverted index. ----
+  const int32_t num_items = matrix_->num_items();
+  for (ItemId i = 0; i < num_items; ++i) {
+    const auto rows =
+        matrix_->UsersWhoRatedInRange(i, tile.row_first, tile.row_last);
+    if (rows.empty()) continue;
+    const auto col_span =
+        diagonal ? rows
+                 : matrix_->UsersWhoRatedInRange(i, tile.col_first, tile.col_last);
+    if (col_span.empty()) continue;
+    for (size_t p = 0; p < rows.size(); ++p) {
+      const size_t row_base =
+          static_cast<size_t>(rows[p].user - tile.row_first) * cols;
+      const double ra = rows[p].value;
+      // On the diagonal only pairs a < b exist; off the diagonal every
+      // (row user, col user) combination is a distinct pair.
+      for (size_t q = diagonal ? p + 1 : 0; q < col_span.size(); ++q) {
+        PairStats& cell =
+            acc[row_base + static_cast<size_t>(col_span[q].user - tile.col_first)];
+        const double rb = col_span[q].value;
+        cell.sum_a += ra;
+        cell.sum_b += rb;
+        cell.sum_aa += ra * ra;
+        cell.sum_bb += rb * rb;
+        cell.sum_ab += ra * rb;
+        cell.n += 1;
+      }
+    }
+  }
+
+  // ---- Finish: one allocation-free pass over the tile's pairs. ----
+  const int32_t num_users = matrix_->num_users();
+  for (UserId a = tile.row_first; a < tile.row_last; ++a) {
+    const UserId b_first = diagonal ? a + 1 : tile.col_first;
+    const size_t row_base = static_cast<size_t>(a - tile.row_first) * cols;
+    size_t packed = PackedTriangleIndex(a, b_first, num_users);
+    for (UserId b = b_first; b < tile.col_last; ++b, ++packed) {
+      PairStats& cell =
+          acc[row_base + static_cast<size_t>(b - tile.col_first)];
+      out[packed] = Finish(cell, a, b);
+      cell = PairStats{};  // reset for the worker's next tile
+    }
+  }
+}
+
+Status PairwiseSimilarityEngine::ComputeAll(std::span<double> out) const {
+  const int32_t num_users = matrix_->num_users();
+  if (out.size() != PackedTriangleSize(num_users)) {
+    return Status::InvalidArgument(
+        "output span holds " + std::to_string(out.size()) +
+        " entries; packed triangle needs " +
+        std::to_string(PackedTriangleSize(num_users)));
+  }
+  if (engine_options_.block_users <= 0) {
+    return Status::InvalidArgument("block_users must be positive");
+  }
+  if (num_users <= 1) return Status::OK();
+
+  // Tile the strict upper triangle into block_users x block_users ranges.
+  // Clamping to the population keeps small-corpus scratch proportional to the
+  // real tile size instead of the configured block.
+  const int32_t block = std::min(engine_options_.block_users, num_users);
+  std::vector<Tile> tiles;
+  for (UserId r = 0; r < num_users; r += block) {
+    const UserId r_last = std::min<UserId>(r + block, num_users);
+    for (UserId c = r; c < num_users; c += block) {
+      tiles.push_back({r, r_last, c, std::min<UserId>(c + block, num_users)});
+    }
+  }
+
+  ThreadPool pool(engine_options_.num_threads);
+  // Per-worker-slot accumulator blocks, allocated lazily on first tile. The
+  // finish pass leaves every visited cell zeroed, so no per-tile memset is
+  // needed: untouched cells stay default-constructed across tiles.
+  std::vector<std::vector<PairStats>> scratch(
+      std::min(pool.num_threads(), tiles.size()));
+  const size_t cells = static_cast<size_t>(block) * static_cast<size_t>(block);
+  pool.ParallelForIndexed(tiles.size(), [&](size_t worker, size_t t) {
+    std::vector<PairStats>& acc = scratch[worker];
+    if (acc.size() != cells) acc.assign(cells, PairStats{});
+    SweepTile(tiles[t], acc, out);
+  });
+  return Status::OK();
+}
+
+Result<std::vector<double>> PairwiseSimilarityEngine::ComputeAll() const {
+  std::vector<double> out(PackedTriangleSize(matrix_->num_users()), 0.0);
+  FAIRREC_RETURN_NOT_OK(ComputeAll(std::span<double>(out)));
+  return out;
+}
+
+}  // namespace fairrec

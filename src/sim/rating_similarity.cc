@@ -56,18 +56,23 @@ RatingSimilarity::RatingSimilarity(const RatingMatrix* matrix,
 }
 
 double RatingSimilarity::Compute(UserId a, UserId b) const {
+  thread_local PairScratch scratch;
+  return Compute(a, b, scratch);
+}
+
+double RatingSimilarity::Compute(UserId a, UserId b, PairScratch& scratch) const {
   if (!matrix_->IsValidUser(a) || !matrix_->IsValidUser(b)) return 0.0;
   const auto row_a = matrix_->ItemsRatedBy(a);
   const auto row_b = matrix_->ItemsRatedBy(b);
 
   // Sorted-merge over the two rows to find co-rated items (ascending item
   // order, the canonical order FinishPearson documents).
-  std::vector<std::pair<Rating, Rating>> shared;
+  scratch.clear();
   size_t i = 0;
   size_t j = 0;
   while (i < row_a.size() && j < row_b.size()) {
     if (row_a[i].item == row_b[j].item) {
-      shared.emplace_back(row_a[i].value, row_b[j].value);
+      scratch.emplace_back(row_a[i].value, row_b[j].value);
       ++i;
       ++j;
     } else if (row_a[i].item < row_b[j].item) {
@@ -76,7 +81,7 @@ double RatingSimilarity::Compute(UserId a, UserId b) const {
       ++j;
     }
   }
-  return FinishPearson(shared, matrix_->UserMean(a), matrix_->UserMean(b),
+  return FinishPearson(scratch, matrix_->UserMean(a), matrix_->UserMean(b),
                        options_);
 }
 

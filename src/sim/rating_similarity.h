@@ -4,6 +4,7 @@
 #include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "ratings/rating_matrix.h"
 #include "sim/user_similarity.h"
@@ -49,10 +50,22 @@ class RatingSimilarity final : public UserSimilarity {
   explicit RatingSimilarity(const RatingMatrix* matrix,
                             RatingSimilarityOptions options = {});
 
+  /// Reusable co-rated pair buffer for the allocation-free Compute overload.
+  /// One per calling thread; grows to the longest intersection seen.
+  using PairScratch = std::vector<std::pair<Rating, Rating>>;
+
+  /// Uses a thread-local PairScratch, so repeated calls do not allocate after
+  /// the first on each thread.
   double Compute(UserId a, UserId b) const override;
+
+  /// Same computation with a caller-provided scratch buffer (cleared here).
+  /// The all-pairs fallback path passes one buffer for the whole sweep.
+  double Compute(UserId a, UserId b, PairScratch& scratch) const;
+
   std::string name() const override { return "pearson"; }
 
   const RatingSimilarityOptions& options() const { return options_; }
+  const RatingMatrix& matrix() const { return *matrix_; }
 
  private:
   const RatingMatrix* matrix_;

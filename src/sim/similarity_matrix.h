@@ -13,10 +13,16 @@ namespace fairrec {
 /// Precomputed symmetric user-user similarity cache.
 ///
 /// Peer discovery (Def. 1) evaluates simU for every (group member, user)
-/// pair, and the MapReduce pipeline and the serial path must agree exactly;
-/// precomputing into a triangular dense array makes repeated lookups O(1) and
-/// deterministic. Self-similarity is defined as 1.0 by convention but is
-/// never used for peer selection (a user is not their own peer).
+/// pair; precomputing into a triangular dense array makes repeated lookups
+/// O(1) and deterministic. For a RatingSimilarity base over the full user
+/// population, Precompute delegates to the sufficient-statistics engine,
+/// whose values agree with the direct measure (and the MapReduce pipeline's
+/// FinishPearson) to ~1e-12 rather than bit-for-bit — a pair sitting exactly
+/// on the peer threshold delta can in principle flip sides between the
+/// cached and direct paths (see pairwise_engine.h). Every other base is
+/// evaluated through the measure itself and agrees exactly.
+/// Self-similarity is defined as 1.0 by convention but is never used for
+/// peer selection (a user is not their own peer).
 ///
 /// Itself a UserSimilarity, so it can be dropped into any simU slot.
 class SimilarityMatrix final : public UserSimilarity {

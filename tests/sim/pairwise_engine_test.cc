@@ -1,0 +1,272 @@
+#include "sim/pairwise_engine.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ratings/rating_matrix.h"
+#include "sim/rating_similarity.h"
+#include "sim/similarity_matrix.h"
+
+namespace fairrec {
+namespace {
+
+/// Engine results finish Pearson from raw moments instead of centered sums,
+/// so they can differ from FinishPearson in the last few ulps.
+constexpr double kParityTolerance = 1e-12;
+
+RatingMatrix MakeRandomMatrix(int32_t num_users, int32_t num_items,
+                              double density, uint64_t seed) {
+  Rng rng(seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(num_users, num_items);
+  for (UserId u = 0; u < num_users; ++u) {
+    for (ItemId i = 0; i < num_items; ++i) {
+      if (!rng.NextBool(density)) continue;
+      EXPECT_TRUE(
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+/// A matrix exercising every degenerate shape the finish pass must handle:
+/// zero-variance rows, empty overlaps, and a user with no ratings at all.
+RatingMatrix MakeDegenerateMatrix() {
+  RatingMatrixBuilder builder;
+  builder.Reserve(6, 6);
+  // User 0: constant ratings (zero variance) on items 0..3.
+  for (ItemId i = 0; i < 4; ++i) EXPECT_TRUE(builder.Add(0, i, 3.0).ok());
+  // User 1: varied ratings overlapping user 0.
+  EXPECT_TRUE(builder.Add(1, 0, 1.0).ok());
+  EXPECT_TRUE(builder.Add(1, 1, 5.0).ok());
+  EXPECT_TRUE(builder.Add(1, 2, 2.0).ok());
+  // User 2: rates only items nobody else rates (empty overlap with all).
+  EXPECT_TRUE(builder.Add(2, 4, 4.0).ok());
+  EXPECT_TRUE(builder.Add(2, 5, 2.0).ok());
+  // User 3: exactly one co-rated item with user 1 (overlap below min 2).
+  EXPECT_TRUE(builder.Add(3, 0, 5.0).ok());
+  // User 4: perfectly correlated with user 1 on their overlap.
+  EXPECT_TRUE(builder.Add(4, 0, 2.0).ok());
+  EXPECT_TRUE(builder.Add(4, 1, 4.0).ok());
+  EXPECT_TRUE(builder.Add(4, 2, 3.0).ok());
+  // User 5: no ratings.
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+std::vector<RatingSimilarityOptions> AllOptionCombinations() {
+  std::vector<RatingSimilarityOptions> combos;
+  for (const bool intersection : {false, true}) {
+    for (const bool shift : {false, true}) {
+      for (const int32_t min_overlap : {1, 2, 4}) {
+        RatingSimilarityOptions options;
+        options.intersection_means = intersection;
+        options.shift_to_unit_interval = shift;
+        options.min_overlap = min_overlap;
+        combos.push_back(options);
+      }
+    }
+  }
+  return combos;
+}
+
+void ExpectParity(const RatingMatrix& matrix,
+                  const RatingSimilarityOptions& options,
+                  PairwiseEngineOptions engine_options = {}) {
+  const PairwiseSimilarityEngine engine(&matrix, options, engine_options);
+  const auto packed = std::move(engine.ComputeAll()).ValueOrDie();
+  const RatingSimilarity reference(&matrix, options);
+
+  const int32_t n = matrix.num_users();
+  size_t index = 0;
+  for (UserId a = 0; a < n; ++a) {
+    for (UserId b = a + 1; b < n; ++b, ++index) {
+      EXPECT_NEAR(packed[index], reference.Compute(a, b), kParityTolerance)
+          << "a=" << a << " b=" << b << " min_overlap=" << options.min_overlap
+          << " intersection_means=" << options.intersection_means
+          << " shift=" << options.shift_to_unit_interval;
+    }
+  }
+  EXPECT_EQ(index, packed.size());
+}
+
+TEST(PairwiseEngineTest, PackedTriangleSize) {
+  EXPECT_EQ(PairwiseSimilarityEngine::PackedTriangleSize(0), 0u);
+  EXPECT_EQ(PairwiseSimilarityEngine::PackedTriangleSize(1), 0u);
+  EXPECT_EQ(PairwiseSimilarityEngine::PackedTriangleSize(2), 1u);
+  EXPECT_EQ(PairwiseSimilarityEngine::PackedTriangleSize(100), 4950u);
+}
+
+TEST(PairwiseEngineTest, ParityOnRandomMatrixAllOptionCombinations) {
+  const RatingMatrix matrix = MakeRandomMatrix(60, 40, 0.15, 42);
+  for (const auto& options : AllOptionCombinations()) {
+    ExpectParity(matrix, options);
+  }
+}
+
+TEST(PairwiseEngineTest, ParityOnDegenerateMatrixAllOptionCombinations) {
+  const RatingMatrix matrix = MakeDegenerateMatrix();
+  for (const auto& options : AllOptionCombinations()) {
+    ExpectParity(matrix, options);
+  }
+}
+
+TEST(PairwiseEngineTest, DegenerateCasesAreExactlyZero) {
+  const RatingMatrix matrix = MakeDegenerateMatrix();
+  const PairwiseSimilarityEngine engine(&matrix, {});
+  const auto packed = std::move(engine.ComputeAll()).ValueOrDie();
+  const auto at = [&](UserId a, UserId b) {
+    const size_t n = 6;
+    const size_t row = static_cast<size_t>(a);
+    return packed[row * (n - 1) - row * (row - 1) / 2 +
+                  static_cast<size_t>(b) - row - 1];
+  };
+  // Zero variance on user 0's side.
+  EXPECT_EQ(at(0, 1), 0.0);
+  // Empty overlap: user 2 shares no items with anyone.
+  for (const UserId other : {0, 1}) EXPECT_EQ(at(other, 2), 0.0);
+  EXPECT_EQ(at(2, 3), 0.0);
+  EXPECT_EQ(at(2, 4), 0.0);
+  // Single co-rated item falls below the default min_overlap of 2.
+  EXPECT_EQ(at(1, 3), 0.0);
+  // User 5 rated nothing.
+  for (const UserId other : {0, 1, 2, 3, 4}) EXPECT_EQ(at(other, 5), 0.0);
+}
+
+TEST(PairwiseEngineTest, ShiftDoesNotRemapDegeneratePairsToHalf) {
+  // FinishPearson returns 0 (not 0.5) for undefined pairs even under
+  // shift_to_unit_interval; the engine must match.
+  const RatingMatrix matrix = MakeDegenerateMatrix();
+  RatingSimilarityOptions options;
+  options.shift_to_unit_interval = true;
+  const PairwiseSimilarityEngine engine(&matrix, options);
+  const auto packed = std::move(engine.ComputeAll()).ValueOrDie();
+  EXPECT_EQ(packed[0], 0.0);  // pair (0, 1): zero variance side
+}
+
+TEST(PairwiseEngineTest, NonRepresentableConstantRowsHaveZeroSimilarity) {
+  // Every co-rating is 3.1 — not exactly representable, so the raw-moment
+  // variance cancels to rounding noise instead of 0. The relative-epsilon
+  // guard must still classify the row as zero-variance. (The centered
+  // FinishPearson form can report a spurious +-1 here, so this is engine-only
+  // rather than a parity check.)
+  RatingMatrixBuilder builder;
+  builder.allow_any_scale(true).Reserve(2, 3);
+  for (ItemId i = 0; i < 3; ++i) {
+    ASSERT_TRUE(builder.Add(0, i, 3.1).ok());
+    ASSERT_TRUE(builder.Add(1, i, 3.1).ok());
+  }
+  const RatingMatrix matrix = std::move(builder.Build()).ValueOrDie();
+  for (const bool intersection : {false, true}) {
+    RatingSimilarityOptions options;
+    options.intersection_means = intersection;
+    const PairwiseSimilarityEngine engine(&matrix, options);
+    const auto packed = std::move(engine.ComputeAll()).ValueOrDie();
+    ASSERT_EQ(packed.size(), 1u);
+    EXPECT_EQ(packed[0], 0.0) << "intersection_means=" << intersection;
+  }
+}
+
+TEST(PairwiseEngineTest, SingleAndEmptyPopulations) {
+  RatingMatrixBuilder builder;
+  builder.Reserve(1, 3);
+  ASSERT_TRUE(builder.Add(0, 0, 4.0).ok());
+  const RatingMatrix one = std::move(builder.Build()).ValueOrDie();
+  const PairwiseSimilarityEngine engine(&one, {});
+  const auto packed = std::move(engine.ComputeAll()).ValueOrDie();
+  EXPECT_TRUE(packed.empty());
+}
+
+TEST(PairwiseEngineTest, ThreadAndBlockShapeDoNotChangeResults) {
+  // Each pair's statistics accumulate in ascending item order no matter how
+  // the triangle is tiled, so results are bitwise identical across shapes.
+  const RatingMatrix matrix = MakeRandomMatrix(50, 30, 0.2, 7);
+  RatingSimilarityOptions options;
+  options.intersection_means = true;
+
+  PairwiseEngineOptions reference_shape;
+  reference_shape.num_threads = 1;
+  reference_shape.block_users = 512;
+  const auto reference =
+      std::move(PairwiseSimilarityEngine(&matrix, options, reference_shape)
+                    .ComputeAll())
+          .ValueOrDie();
+
+  for (const size_t threads : {2u, 4u}) {
+    for (const int32_t block : {3, 17, 50, 64}) {
+      PairwiseEngineOptions shape;
+      shape.num_threads = threads;
+      shape.block_users = block;
+      const auto got =
+          std::move(PairwiseSimilarityEngine(&matrix, options, shape).ComputeAll())
+              .ValueOrDie();
+      ASSERT_EQ(got.size(), reference.size());
+      for (size_t k = 0; k < got.size(); ++k) {
+        EXPECT_DOUBLE_EQ(got[k], reference[k])
+            << "threads=" << threads << " block=" << block << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(PairwiseEngineTest, RejectsWrongSpanSizeAndBadBlock) {
+  const RatingMatrix matrix = MakeRandomMatrix(10, 10, 0.3, 3);
+  const PairwiseSimilarityEngine engine(&matrix, {});
+  std::vector<double> wrong(7, 0.0);
+  EXPECT_TRUE(engine.ComputeAll(std::span<double>(wrong))
+                  .IsInvalidArgument());
+
+  PairwiseEngineOptions bad_block;
+  bad_block.block_users = 0;
+  const PairwiseSimilarityEngine bad(&matrix, {}, bad_block);
+  std::vector<double> out(PairwiseSimilarityEngine::PackedTriangleSize(10), 0.0);
+  EXPECT_TRUE(bad.ComputeAll(std::span<double>(out)).IsInvalidArgument());
+}
+
+TEST(PairwiseEngineTest, SimilarityMatrixDelegationMatchesEngine) {
+  const RatingMatrix matrix = MakeRandomMatrix(40, 25, 0.2, 11);
+  RatingSimilarityOptions options;
+  options.shift_to_unit_interval = true;
+  const RatingSimilarity base(&matrix, options);
+
+  const auto cached =
+      std::move(SimilarityMatrix::Precompute(base, matrix.num_users()))
+          .ValueOrDie();
+  EXPECT_EQ(cached->name(), "cached-pearson");
+
+  const PairwiseSimilarityEngine engine(&matrix, options);
+  const auto packed = std::move(engine.ComputeAll()).ValueOrDie();
+  size_t index = 0;
+  for (UserId a = 0; a < matrix.num_users(); ++a) {
+    for (UserId b = a + 1; b < matrix.num_users(); ++b, ++index) {
+      EXPECT_DOUBLE_EQ(cached->Compute(a, b), packed[index]);
+    }
+  }
+  // And the cached matrix still agrees with the direct measure.
+  for (UserId a = 0; a < matrix.num_users(); ++a) {
+    for (UserId b = a + 1; b < matrix.num_users(); ++b) {
+      EXPECT_NEAR(cached->Compute(a, b), base.Compute(a, b), kParityTolerance);
+    }
+  }
+}
+
+TEST(PairwiseEngineTest, PrecomputeOnUserPrefixFallsBackToGenericPath) {
+  // When the requested population differs from the matrix's, Precompute must
+  // not delegate; the generic path evaluates the base measure per pair.
+  const RatingMatrix matrix = MakeRandomMatrix(30, 20, 0.25, 5);
+  const RatingSimilarity base(&matrix, {});
+  const int32_t prefix = 12;
+  const auto cached =
+      std::move(SimilarityMatrix::Precompute(base, prefix)).ValueOrDie();
+  for (UserId a = 0; a < prefix; ++a) {
+    for (UserId b = a + 1; b < prefix; ++b) {
+      EXPECT_DOUBLE_EQ(cached->Compute(a, b), base.Compute(a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairrec
