@@ -1,0 +1,293 @@
+// Peer-graph build: the sparse serving path (engine -> PeerIndex, no U^2
+// triangle ever allocated) vs the retired dense route (engine -> packed
+// triangle -> thresholded per-user scan).
+//
+// Generates the same synthetic corpus as bench_similarity_precompute
+// (defaults: 10k users, 2k items, ~1% density), builds the Def. 1 peer graph
+// both ways, verifies the peer sets agree exactly, and writes timings plus
+// peak similarity-storage bytes to a JSON file so the memory trajectory is
+// tracked across PRs alongside the speed trajectory.
+//
+//   bench_peer_index [--users N] [--items N] [--density F] [--seed N]
+//                    [--threads N] [--block N] [--delta F] [--max-peers N]
+//                    [--skip-dense] [--out BENCH_peer_index.json]
+//
+// Exit status: 0 on success, 1 on argument/IO errors, 2 if the two paths
+// produce different peer sets.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "ratings/rating_matrix.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+namespace {
+
+struct BenchConfig {
+  int32_t num_users = 10000;
+  int32_t num_items = 2000;
+  double density = 0.01;
+  uint64_t seed = 20170417;
+  size_t threads = 1;
+  int32_t block_users = 512;
+  double delta = 0.1;
+  int32_t max_peers = 64;
+  bool skip_dense = false;
+  std::string out_path = "BENCH_peer_index.json";
+};
+
+RatingMatrix GenerateCorpus(const BenchConfig& config) {
+  Rng rng(config.seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(config.num_users, config.num_items);
+  for (UserId u = 0; u < config.num_users; ++u) {
+    for (ItemId i = 0; i < config.num_items; ++i) {
+      if (!rng.NextBool(config.density)) continue;
+      const auto status =
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5)));
+      if (!status.ok()) {
+        std::fprintf(stderr, "corpus generation failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+int Run(const BenchConfig& config) {
+  std::printf("generating corpus: %d users x %d items at %.2f%% density...\n",
+              config.num_users, config.num_items, 100.0 * config.density);
+  const RatingMatrix matrix = GenerateCorpus(config);
+  const size_t num_pairs =
+      PairwiseSimilarityEngine::PackedTriangleSize(matrix.num_users());
+  const size_t triangle_bytes = num_pairs * sizeof(double);
+  std::printf("  %lld ratings (density %.3f%%), %zu user pairs\n",
+              static_cast<long long>(matrix.num_ratings()),
+              100.0 * matrix.Density(), num_pairs);
+
+  RatingSimilarityOptions sim_options;  // paper defaults: global means, raw r
+  PairwiseEngineOptions engine_options;
+  engine_options.num_threads = config.threads;
+  engine_options.block_users = config.block_users;
+  const PairwiseSimilarityEngine engine(&matrix, sim_options, engine_options);
+
+  PeerIndexOptions peer_options;
+  peer_options.delta = config.delta;
+  peer_options.max_peers_per_user = config.max_peers;
+
+  // --- Sparse path: the engine emits the peer graph directly. ---
+  Stopwatch sparse_clock;
+  const auto sparse_result = engine.BuildPeerIndex(peer_options);
+  const double sparse_seconds = sparse_clock.ElapsedSeconds();
+  if (!sparse_result.ok()) {
+    std::fprintf(stderr, "sparse build failed: %s\n",
+                 sparse_result.status().ToString().c_str());
+    return 1;
+  }
+  const PeerIndex& sparse = *sparse_result;
+  // The accumulator tiles are the only other similarity-adjacent allocation
+  // on this path; they are bounded by the block shape, not by U^2.
+  const size_t workers =
+      config.threads == 0 ? ThreadPool().num_threads() : config.threads;
+  const int32_t block = std::min(config.block_users, config.num_users);
+  const size_t tile_scratch_bytes =
+      workers * static_cast<size_t>(block) * static_cast<size_t>(block) * 48;
+  std::printf(
+      "sparse (engine -> PeerIndex):   %8.3f s   peak %10.2f MiB  "
+      "(index %.2f MiB, %lld entries)\n",
+      sparse_seconds,
+      static_cast<double>(sparse.build_peak_bytes()) / (1024.0 * 1024.0),
+      static_cast<double>(sparse.StorageBytes()) / (1024.0 * 1024.0),
+      static_cast<long long>(sparse.num_entries()));
+
+  // --- Dense path (retired): packed triangle, then a thresholded scan. ---
+  double dense_seconds = 0.0;
+  size_t dense_peak_bytes = 0;
+  size_t mismatches = 0;
+  if (!config.skip_dense) {
+    Stopwatch dense_clock;
+    const auto triangle_result = engine.ComputeAll();
+    if (!triangle_result.ok()) {
+      std::fprintf(stderr, "dense build failed: %s\n",
+                   triangle_result.status().ToString().c_str());
+      return 1;
+    }
+    const std::vector<double>& triangle = *triangle_result;
+    // PeerFinder-over-SimilarityMatrix equivalent: scan each user's row of
+    // the triangle, keep sim >= delta, cap per user — reusing the same
+    // builder so selection semantics are identical by construction.
+    PeerIndex::Builder dense_builder(matrix.num_users(), peer_options);
+    {
+      ThreadPool pool(config.threads);
+      const int32_t num_users = matrix.num_users();
+      pool.ParallelFor(static_cast<size_t>(num_users), [&](size_t row) {
+        const auto u = static_cast<UserId>(row);
+        for (UserId v = u + 1; v < num_users; ++v) {
+          const double sim =
+              triangle[PairwiseSimilarityEngine::PackedTriangleIndex(
+                  u, v, num_users)];
+          if (sim >= config.delta) dense_builder.OfferPair(u, v, sim);
+        }
+      });
+    }
+    const PeerIndex dense = std::move(dense_builder).Build();
+    dense_seconds = dense_clock.ElapsedSeconds();
+    dense_peak_bytes = triangle_bytes + dense.build_peak_bytes();
+    std::printf(
+        "dense  (triangle -> scan):      %8.3f s   peak %10.2f MiB  "
+        "(triangle alone %.2f MiB)\n",
+        dense_seconds,
+        static_cast<double>(dense_peak_bytes) / (1024.0 * 1024.0),
+        static_cast<double>(triangle_bytes) / (1024.0 * 1024.0));
+
+    // --- Parity: identical peer sets, including order. ---
+    for (UserId u = 0; u < matrix.num_users(); ++u) {
+      const auto a = sparse.PeersOf(u);
+      const auto b = dense.PeersOf(u);
+      if (a.size() != b.size()) {
+        ++mismatches;
+        continue;
+      }
+      for (size_t k = 0; k < a.size(); ++k) {
+        if (a[k] != b[k]) {
+          ++mismatches;
+          break;
+        }
+      }
+    }
+    std::printf("parity: %zu mismatching users   speedup: %.2fx   "
+                "bytes ratio: %.1fx\n",
+                mismatches, dense_seconds / sparse_seconds,
+                static_cast<double>(dense_peak_bytes) /
+                    static_cast<double>(std::max<size_t>(
+                        sparse.build_peak_bytes(), 1)));
+  }
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"peer_index\",\n"
+               "  \"corpus\": {\n"
+               "    \"num_users\": %d,\n"
+               "    \"num_items\": %d,\n"
+               "    \"num_ratings\": %lld,\n"
+               "    \"density\": %.6f,\n"
+               "    \"seed\": %llu\n"
+               "  },\n"
+               "  \"options\": {\n"
+               "    \"delta\": %.6f,\n"
+               "    \"max_peers_per_user\": %d,\n"
+               "    \"min_overlap\": %d,\n"
+               "    \"intersection_means\": %s,\n"
+               "    \"shift_to_unit_interval\": %s\n"
+               "  },\n"
+               "  \"threads\": %zu,\n"
+               "  \"block_users\": %d,\n"
+               "  \"sparse\": {\n"
+               "    \"build_seconds\": %.6f,\n"
+               "    \"peak_bytes\": %zu,\n"
+               "    \"index_bytes\": %zu,\n"
+               "    \"tile_scratch_bytes\": %zu,\n"
+               "    \"entries\": %lld\n"
+               "  },\n"
+               "  \"dense\": {\n"
+               "    \"measured\": %s,\n"
+               "    \"build_seconds\": %.6f,\n"
+               "    \"peak_bytes\": %zu,\n"
+               "    \"triangle_bytes\": %zu\n"
+               "  },\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"peak_bytes_ratio\": %.3f,\n"
+               "  \"mismatching_users\": %zu\n"
+               "}\n",
+               matrix.num_users(), matrix.num_items(),
+               static_cast<long long>(matrix.num_ratings()), matrix.Density(),
+               static_cast<unsigned long long>(config.seed), config.delta,
+               config.max_peers, sim_options.min_overlap,
+               sim_options.intersection_means ? "true" : "false",
+               sim_options.shift_to_unit_interval ? "true" : "false",
+               config.threads, config.block_users, sparse_seconds,
+               sparse.build_peak_bytes(), sparse.StorageBytes(),
+               tile_scratch_bytes,
+               static_cast<long long>(sparse.num_entries()),
+               config.skip_dense ? "false" : "true", dense_seconds,
+               dense_peak_bytes, config.skip_dense ? 0 : triangle_bytes,
+               config.skip_dense ? 0.0 : dense_seconds / sparse_seconds,
+               config.skip_dense
+                   ? 0.0
+                   : static_cast<double>(dense_peak_bytes) /
+                         static_cast<double>(
+                             std::max<size_t>(sparse.build_peak_bytes(), 1)),
+               mismatches);
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+
+  if (!config.skip_dense && mismatches > 0) {
+    std::fprintf(stderr, "FAIL: peer sets disagree for %zu users\n",
+                 mismatches);
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairrec
+
+int main(int argc, char** argv) {
+  fairrec::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--users") {
+      config.num_users = std::atoi(next());
+    } else if (arg == "--items") {
+      config.num_items = std::atoi(next());
+    } else if (arg == "--density") {
+      config.density = std::atof(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      config.threads = static_cast<size_t>(std::atoi(next()));
+    } else if (arg == "--block") {
+      config.block_users = std::atoi(next());
+    } else if (arg == "--delta") {
+      config.delta = std::atof(next());
+    } else if (arg == "--max-peers") {
+      config.max_peers = std::atoi(next());
+    } else if (arg == "--skip-dense") {
+      config.skip_dense = true;
+    } else if (arg == "--out") {
+      config.out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config.num_users < 2 || config.num_items < 1 || config.density <= 0.0 ||
+      config.density > 1.0 || config.max_peers < 0) {
+    std::fprintf(stderr, "invalid configuration\n");
+    return 1;
+  }
+  return fairrec::Run(config);
+}

@@ -21,6 +21,8 @@
 #include "eval/metrics.h"
 #include "common/string_util.h"
 #include "eval/table.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
 
 using namespace fairrec;  // examples only
@@ -54,11 +56,18 @@ int main() {
 
   RatingSimilarityOptions sim_options;
   sim_options.shift_to_unit_interval = true;
-  const RatingSimilarity similarity(&scenario.ratings, sim_options);
   RecommenderOptions rec_options;
   rec_options.peers.delta = 0.55;
   rec_options.top_k = 8;
-  const Recommender recommender(&scenario.ratings, &similarity, rec_options);
+
+  // Sparse serving path: the sufficient-statistics engine emits the Def. 1
+  // peer graph directly, so no dense U x U similarity structure is ever
+  // built for this flow.
+  PeerIndexOptions peer_options;
+  peer_options.delta = rec_options.peers.delta;
+  const PairwiseSimilarityEngine engine(&scenario.ratings, sim_options);
+  const PeerIndex peers = std::move(engine.BuildPeerIndex(peer_options)).ValueOrDie();
+  const Recommender recommender(&scenario.ratings, &peers, rec_options);
 
   // A heterogeneous group: patients drawn from different clusters — the case
   // where one member can be "the least satisfied user in the group for all

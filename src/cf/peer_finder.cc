@@ -20,9 +20,18 @@ struct ExclusionScratch {
   uint64_t epoch = 0;
 };
 
-bool DescendingSimilarity(const Peer& a, const Peer& b) {
-  if (a.similarity != b.similarity) return a.similarity > b.similarity;
-  return a.user < b.user;
+ExclusionScratch& StampExclusions(int32_t num_users, const Group& exclude) {
+  thread_local ExclusionScratch scratch;
+  if (scratch.stamp.size() < static_cast<size_t>(num_users)) {
+    scratch.stamp.resize(static_cast<size_t>(num_users), 0);
+  }
+  ++scratch.epoch;
+  for (const UserId e : exclude) {
+    if (e >= 0 && e < num_users) {
+      scratch.stamp[static_cast<size_t>(e)] = scratch.epoch;
+    }
+  }
+  return scratch;
 }
 
 }  // namespace
@@ -33,16 +42,37 @@ PeerFinder::PeerFinder(const UserSimilarity* similarity, int32_t num_users,
   FAIRREC_CHECK(similarity != nullptr);
 }
 
+PeerFinder::PeerFinder(const PeerProvider* provider, PeerFinderOptions options)
+    : provider_(provider),
+      num_users_(provider != nullptr ? provider->num_users() : 0),
+      options_(options) {
+  FAIRREC_CHECK(provider != nullptr);
+}
+
 std::vector<Peer> PeerFinder::FindPeers(UserId u, const Group& exclude) const {
-  thread_local ExclusionScratch scratch;
-  if (scratch.stamp.size() < static_cast<size_t>(num_users_)) {
-    scratch.stamp.resize(static_cast<size_t>(num_users_), 0);
-  }
-  ++scratch.epoch;
-  for (const UserId e : exclude) {
-    if (e >= 0 && e < num_users_) {
-      scratch.stamp[static_cast<size_t>(e)] = scratch.epoch;
+  const ExclusionScratch& scratch = StampExclusions(num_users_, exclude);
+
+  if (provider_ != nullptr) {
+    // Sparse mode: the stored list is already thresholded at the provider's
+    // build delta and sorted by BetterPeer, so entries with sim >= delta form
+    // a prefix and the first max_peers survivors after exclusion are exactly
+    // the dense path's top-k.
+    const std::span<const Peer> stored = provider_->PeersOf(u);
+    const size_t cap = options_.max_peers > 0
+                           ? static_cast<size_t>(options_.max_peers)
+                           : stored.size();
+    std::vector<Peer> peers;
+    peers.reserve(std::min(cap, stored.size()));
+    for (const Peer& p : stored) {
+      if (p.similarity < options_.delta) break;
+      if (p.user == u ||
+          scratch.stamp[static_cast<size_t>(p.user)] == scratch.epoch) {
+        continue;
+      }
+      peers.push_back(p);
+      if (peers.size() == cap) break;
     }
+    return peers;
   }
 
   std::vector<Peer> peers;
@@ -61,10 +91,10 @@ std::vector<Peer> PeerFinder::FindPeers(UserId u, const Group& exclude) const {
     // total order (ties broken by id), so the result is identical to
     // sort-then-truncate.
     std::nth_element(peers.begin(), peers.begin() + static_cast<ptrdiff_t>(cap),
-                     peers.end(), DescendingSimilarity);
+                     peers.end(), BetterPeer);
     peers.resize(cap);
   }
-  std::sort(peers.begin(), peers.end(), DescendingSimilarity);
+  std::sort(peers.begin(), peers.end(), BetterPeer);
   return peers;
 }
 

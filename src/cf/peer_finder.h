@@ -4,17 +4,10 @@
 #include <vector>
 
 #include "ratings/types.h"
+#include "sim/peer_provider.h"
 #include "sim/user_similarity.h"
 
 namespace fairrec {
-
-/// A peer of a user together with the similarity that qualified it.
-struct Peer {
-  UserId user = kInvalidUserId;
-  double similarity = 0.0;
-
-  friend bool operator==(const Peer&, const Peer&) = default;
-};
 
 /// Controls for PeerFinder.
 struct PeerFinderOptions {
@@ -27,11 +20,29 @@ struct PeerFinderOptions {
 };
 
 /// Implements Definition 1: P_u = { u' != u : simU(u, u') >= delta }.
+///
+/// Two modes share one query surface:
+///
+///   * sparse — constructed over a PeerProvider (an engine-built PeerIndex
+///     or a DensePeerAdapter): FindPeers is a thin filter over the stored
+///     PeersOf(u) list (exclusion + max_peers), O(|peers| + |exclude|);
+///   * scan — constructed over a raw UserSimilarity: the original O(U)
+///     similarity scan per call, kept for ad-hoc measures nobody indexed.
 class PeerFinder {
  public:
-  /// `similarity` must outlive this object.
+  /// Scan mode. `similarity` must outlive this object.
   PeerFinder(const UserSimilarity* similarity, int32_t num_users,
              PeerFinderOptions options = {});
+
+  /// Sparse mode. `provider` must outlive this object. options.delta may be
+  /// *stricter* than the provider's build threshold (stored entries below it
+  /// are dropped at query time); it cannot be looser, since pairs discarded
+  /// at build time cannot reappear. Likewise max_peers is applied after
+  /// exclusion, so providers serving group queries should be built with
+  /// headroom (build cap >= max_peers + largest exclusion list) or
+  /// unbounded for exact Def. 1 semantics.
+  explicit PeerFinder(const PeerProvider* provider,
+                      PeerFinderOptions options = {});
 
   /// Peers of `u`, sorted by descending similarity (ties: ascending id).
   /// Users listed in `exclude` are never returned — the MapReduce flow of
@@ -43,8 +54,9 @@ class PeerFinder {
   int32_t num_users() const { return num_users_; }
 
  private:
-  const UserSimilarity* similarity_;
-  int32_t num_users_;
+  const UserSimilarity* similarity_ = nullptr;  // scan mode
+  const PeerProvider* provider_ = nullptr;      // sparse mode
+  int32_t num_users_ = 0;
   PeerFinderOptions options_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "cf/top_k.h"
 #include "common/logging.h"
@@ -18,6 +19,18 @@ Recommender::Recommender(const RatingMatrix* matrix,
   FAIRREC_CHECK(matrix != nullptr);
 }
 
+Recommender::Recommender(const RatingMatrix* matrix, const PeerProvider* peers,
+                         RecommenderOptions options)
+    : matrix_(matrix),
+      peer_finder_(peers, options.peers),
+      estimator_(matrix),
+      options_(options) {
+  FAIRREC_CHECK(matrix != nullptr);
+  // Peers index straight into the rating matrix (Eq. 1 walks their rows), so
+  // the two populations must agree.
+  FAIRREC_CHECK(peers->num_users() == matrix->num_users());
+}
+
 Result<std::vector<ScoredItem>> Recommender::RecommendForUser(UserId u) const {
   if (!matrix_->IsValidUser(u)) {
     return Status::InvalidArgument("unknown user id: " + std::to_string(u));
@@ -30,6 +43,17 @@ Result<std::vector<ScoredItem>> Recommender::RecommendForUser(UserId u) const {
 
 Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroup(
     const Group& group) const {
+  return RelevanceForGroupWith(group, peer_finder_);
+}
+
+Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroup(
+    const Group& group, const PeerProvider& peers) const {
+  FAIRREC_CHECK(peers.num_users() == matrix_->num_users());
+  return RelevanceForGroupWith(group, PeerFinder(&peers, options_.peers));
+}
+
+Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroupWith(
+    const Group& group, const PeerFinder& finder) const {
   if (group.empty()) {
     return Status::InvalidArgument("group must not be empty");
   }
@@ -48,14 +72,18 @@ Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroup(
   // Job-1 semantics: candidates are the items no member has rated.
   const std::vector<ItemId> candidates = matrix_->ItemsUnratedByAll(group);
 
+  // One caregiver query = one scratch: every member's Eq. 1 accumulation
+  // reuses the same dense buffers instead of leaning on the estimator's
+  // thread-local fallback.
+  RelevanceEstimator::Scratch scratch;
   std::vector<MemberRelevance> out;
   out.reserve(group.size());
   for (const UserId u : group) {
     MemberRelevance member;
     member.user = u;
     // Job-1 semantics: potential peers are users outside the group.
-    member.peers = peer_finder_.FindPeers(u, group);
-    member.relevance = estimator_.EstimateAll(member.peers, candidates);
+    member.peers = finder.FindPeers(u, group);
+    member.relevance = estimator_.EstimateAll(member.peers, candidates, scratch);
     member.top_k = SelectTopK(member.relevance, options_.top_k);
     out.push_back(std::move(member));
   }

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "ratings/rating_matrix.h"
 #include "ratings/types.h"
+#include "sim/peer_provider.h"
 #include "sim/user_similarity.h"
 
 namespace fairrec {
@@ -35,8 +36,16 @@ struct MemberRelevance {
 /// Def. 1, relevance via Eq. 1, A_u via top-k.
 class Recommender {
  public:
+  /// Scan mode: peers found by an O(U) similarity sweep per query.
   /// `matrix` and `similarity` must outlive this object.
   Recommender(const RatingMatrix* matrix, const UserSimilarity* similarity,
+              RecommenderOptions options = {});
+
+  /// Sparse mode: peers served from a prebuilt peer graph (an engine-built
+  /// PeerIndex or a DensePeerAdapter) — the serving path that never touches
+  /// a dense similarity structure. `peers->num_users()` must match the
+  /// matrix. `matrix` and `peers` must outlive this object.
+  Recommender(const RatingMatrix* matrix, const PeerProvider* peers,
               RecommenderOptions options = {});
 
   /// A_u over the items `u` has not rated. Returns InvalidArgument for an
@@ -46,13 +55,24 @@ class Recommender {
   /// Per-member relevance over the *group candidate set* (items unrated by
   /// every member — the output of the paper's Job 1), with peers drawn from
   /// outside the group (§IV). This is the input both to the group
-  /// aggregation (Def. 2) and to Algorithm 1's A_u lists.
+  /// aggregation (Def. 2) and to Algorithm 1's A_u lists. One relevance
+  /// scratch is shared across all members of the query.
   Result<std::vector<MemberRelevance>> RelevanceForGroup(const Group& group) const;
+
+  /// Same flow, but peers come from `peers` instead of the recommender's own
+  /// finder — e.g. the PeerIndex the MapReduce Job 2 emitted for exactly this
+  /// group. Group members are still excluded from each other's peer sets and
+  /// this recommender's PeerFinderOptions still apply.
+  Result<std::vector<MemberRelevance>> RelevanceForGroup(
+      const Group& group, const PeerProvider& peers) const;
 
   const RecommenderOptions& options() const { return options_; }
   const RatingMatrix& matrix() const { return *matrix_; }
 
  private:
+  Result<std::vector<MemberRelevance>> RelevanceForGroupWith(
+      const Group& group, const PeerFinder& finder) const;
+
   const RatingMatrix* matrix_;
   PeerFinder peer_finder_;
   RelevanceEstimator estimator_;

@@ -11,9 +11,24 @@ GroupRecommender::GroupRecommender(const Recommender* recommender,
   FAIRREC_CHECK(recommender != nullptr);
 }
 
+GroupRecommender::GroupRecommender(const RatingMatrix* matrix,
+                                   const PeerProvider* peers,
+                                   RecommenderOptions rec_options,
+                                   GroupContextOptions options)
+    : owned_recommender_(std::in_place, matrix, peers, rec_options),
+      recommender_(&*owned_recommender_),
+      options_(options) {}
+
 Result<GroupContext> GroupRecommender::BuildContext(const Group& group) const {
   FAIRREC_ASSIGN_OR_RETURN(std::vector<MemberRelevance> members,
                            recommender_->RelevanceForGroup(group));
+  return GroupContext::Build(members, options_);
+}
+
+Result<GroupContext> GroupRecommender::BuildContext(
+    const Group& group, const PeerProvider& peers) const {
+  FAIRREC_ASSIGN_OR_RETURN(std::vector<MemberRelevance> members,
+                           recommender_->RelevanceForGroup(group, peers));
   return GroupContext::Build(members, options_);
 }
 

@@ -1,6 +1,7 @@
 #ifndef FAIRREC_CORE_GROUP_RECOMMENDER_H_
 #define FAIRREC_CORE_GROUP_RECOMMENDER_H_
 
+#include <optional>
 #include <vector>
 
 #include "cf/recommender.h"
@@ -8,6 +9,7 @@
 #include "core/group_context.h"
 #include "core/selector.h"
 #include "ratings/types.h"
+#include "sim/peer_provider.h"
 
 namespace fairrec {
 
@@ -20,8 +22,26 @@ class GroupRecommender {
   /// `recommender` must outlive this object.
   GroupRecommender(const Recommender* recommender, GroupContextOptions options = {});
 
+  /// Sparse serving path: owns an internal Recommender whose peers come from
+  /// `peers` (an engine-built PeerIndex or a DensePeerAdapter), so no dense
+  /// U^2 similarity structure is involved anywhere in the flow. `matrix` and
+  /// `peers` must outlive this object.
+  GroupRecommender(const RatingMatrix* matrix, const PeerProvider* peers,
+                   RecommenderOptions rec_options = {},
+                   GroupContextOptions options = {});
+
+  // recommender_ may point into owned_recommender_, so a copied/moved object
+  // would dangle into its source.
+  GroupRecommender(const GroupRecommender&) = delete;
+  GroupRecommender& operator=(const GroupRecommender&) = delete;
+
   /// Runs the CF pipeline for the group and assembles the selector context.
   Result<GroupContext> BuildContext(const Group& group) const;
+
+  /// Same, with the group's peers drawn from `peers` for this query only —
+  /// e.g. the PeerIndex the MapReduce Job 2 emitted for exactly this group.
+  Result<GroupContext> BuildContext(const Group& group,
+                                    const PeerProvider& peers) const;
 
   /// Plain group recommendation: the k candidates with the highest group
   /// relevance (Def. 2), no fairness involved.
@@ -34,6 +54,8 @@ class GroupRecommender {
   const GroupContextOptions& options() const { return options_; }
 
  private:
+  /// Set only by the (matrix, peers) constructor; recommender_ points at it.
+  std::optional<Recommender> owned_recommender_;
   const Recommender* recommender_;
   GroupContextOptions options_;
 };

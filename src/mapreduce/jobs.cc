@@ -171,31 +171,43 @@ std::vector<KeyValue<UserPairKey, double>> RunJob2(
   return output;
 }
 
-std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3(
-    const std::vector<KeyValue<ItemId, std::vector<UserRating>>>& candidates,
-    const std::vector<KeyValue<UserPairKey, double>>& similarities,
-    const Group& group, AggregationKind aggregation,
+Result<PeerIndex> RunJob2PeerIndex(
+    const std::vector<KeyValue<UserPairKey, PartialSimilarity>>& partials,
+    const std::vector<double>& user_means,
+    const RatingSimilarityOptions& sim_options, double delta,
+    int32_t num_users, int32_t max_peers_per_member,
     const MapReduceOptions& options, MapReduceStats* stats) {
-  // Side data (a Hadoop distributed-cache equivalent): each member's peer
-  // list in the serial PeerFinder order (descending similarity, ascending
-  // id), so the Eq. 1 accumulation below adds terms in the exact order the
-  // serial RelevanceEstimator does.
-  std::unordered_map<UserId, size_t> member_index;
-  for (size_t m = 0; m < group.size(); ++m) member_index.emplace(group[m], m);
-  std::vector<std::vector<Peer>> peers(group.size());
-  for (const auto& kv : similarities) {
-    const auto it = member_index.find(kv.key.first);
-    if (it != member_index.end()) {
-      peers[it->second].push_back({kv.key.second, kv.value});
-    }
+  if (num_users < 0) {
+    return Status::InvalidArgument("num_users must be >= 0");
   }
-  for (auto& list : peers) {
-    std::sort(list.begin(), list.end(), [](const Peer& a, const Peer& b) {
-      if (a.similarity != b.similarity) return a.similarity > b.similarity;
-      return a.user < b.user;
-    });
+  if (max_peers_per_member < 0) {
+    return Status::InvalidArgument("max_peers_per_member must be >= 0");
   }
+  const auto thresholded =
+      RunJob2(partials, user_means, sim_options, delta, options, stats);
 
+  PeerIndexOptions index_options;
+  index_options.delta = delta;
+  index_options.max_peers_per_user = max_peers_per_member;
+  PeerIndex::Builder builder(num_users, index_options);
+  // The Job 1 stream is directional (member -> outside user), so only the
+  // member side of each record gets a list entry; OfferPair would invent
+  // edges for non-members that a whole-population build wouldn't have.
+  for (const auto& kv : thresholded) {
+    builder.Offer(kv.key.first, kv.key.second, kv.value);
+  }
+  return std::move(builder).Build();
+}
+
+namespace {
+
+/// The shared Job 3 reduce, fed with each member's peer list already in the
+/// canonical order (descending similarity, ties ascending id).
+std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3WithPeerLists(
+    const std::vector<KeyValue<ItemId, std::vector<UserRating>>>& candidates,
+    const std::vector<std::vector<Peer>>& peers, const Group& group,
+    AggregationKind aggregation, const MapReduceOptions& options,
+    MapReduceStats* stats) {
   auto output = RunMapReduce<ItemId, std::vector<UserRating>, ItemId, UserRating,
                              ItemId, GroupItemRelevance>(
       candidates,
@@ -241,6 +253,46 @@ std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3(
   std::sort(output.begin(), output.end(),
             [](const auto& a, const auto& b) { return a.key < b.key; });
   return output;
+}
+
+}  // namespace
+
+std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3(
+    const std::vector<KeyValue<ItemId, std::vector<UserRating>>>& candidates,
+    const std::vector<KeyValue<UserPairKey, double>>& similarities,
+    const Group& group, AggregationKind aggregation,
+    const MapReduceOptions& options, MapReduceStats* stats) {
+  // Side data (a Hadoop distributed-cache equivalent): each member's peer
+  // list in the serial PeerFinder order (descending similarity, ascending
+  // id), so the Eq. 1 accumulation adds terms in the exact order the serial
+  // RelevanceEstimator does.
+  std::unordered_map<UserId, size_t> member_index;
+  for (size_t m = 0; m < group.size(); ++m) member_index.emplace(group[m], m);
+  std::vector<std::vector<Peer>> peers(group.size());
+  for (const auto& kv : similarities) {
+    const auto it = member_index.find(kv.key.first);
+    if (it != member_index.end()) {
+      peers[it->second].push_back({kv.key.second, kv.value});
+    }
+  }
+  for (auto& list : peers) {
+    std::sort(list.begin(), list.end(), BetterPeer);
+  }
+  return RunJob3WithPeerLists(candidates, peers, group, aggregation, options,
+                              stats);
+}
+
+std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3(
+    const std::vector<KeyValue<ItemId, std::vector<UserRating>>>& candidates,
+    const PeerProvider& peers, const Group& group, AggregationKind aggregation,
+    const MapReduceOptions& options, MapReduceStats* stats) {
+  std::vector<std::vector<Peer>> lists(group.size());
+  for (size_t m = 0; m < group.size(); ++m) {
+    const auto span = peers.PeersOf(group[m]);
+    lists[m].assign(span.begin(), span.end());
+  }
+  return RunJob3WithPeerLists(candidates, lists, group, aggregation, options,
+                              stats);
 }
 
 }  // namespace fairrec

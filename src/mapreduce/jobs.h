@@ -9,6 +9,7 @@
 #include "core/aggregation.h"
 #include "mapreduce/engine.h"
 #include "ratings/types.h"
+#include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
 
 namespace fairrec {
@@ -67,6 +68,22 @@ std::vector<KeyValue<UserPairKey, double>> RunJob2(
     const RatingSimilarityOptions& sim_options, double delta,
     const MapReduceOptions& options = {}, MapReduceStats* stats = nullptr);
 
+/// Job 2, peer-list output mode: finishes simU exactly like RunJob2 but
+/// materializes the thresholded pairs as a sparse PeerIndex over
+/// [0, num_users) — the same artifact the in-memory path gets from
+/// PairwiseSimilarityEngine::BuildPeerIndex, so the §IV flow and the serial
+/// flow share one peer-graph structure. Only (member -> outside-user) edges
+/// exist in the Job 1 partial stream, so non-member rows are empty.
+/// max_peers_per_member bounds each member's list (0 = unlimited; bounded
+/// lists trade exact Def. 1 semantics for O(|G| * k) output, see
+/// PeerIndexOptions).
+Result<PeerIndex> RunJob2PeerIndex(
+    const std::vector<KeyValue<UserPairKey, PartialSimilarity>>& partials,
+    const std::vector<double>& user_means,
+    const RatingSimilarityOptions& sim_options, double delta,
+    int32_t num_users, int32_t max_peers_per_member = 0,
+    const MapReduceOptions& options = {}, MapReduceStats* stats = nullptr);
+
 /// Relevance scores of one candidate item for the group (Job 3 output).
 struct GroupItemRelevance {
   /// relevance(u, i) per member, aligned with the group order; NaN when
@@ -89,6 +106,15 @@ std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3(
     const std::vector<KeyValue<ItemId, std::vector<UserRating>>>& candidates,
     const std::vector<KeyValue<UserPairKey, double>>& similarities,
     const Group& group, AggregationKind aggregation,
+    const MapReduceOptions& options = {}, MapReduceStats* stats = nullptr);
+
+/// Job 3 over the peer-list artifact: each member's peer set comes from
+/// `peers.PeersOf(member)` (already thresholded and in the canonical
+/// descending-similarity order), skipping the per-pair re-sort the record
+/// stream needs.
+std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3(
+    const std::vector<KeyValue<ItemId, std::vector<UserRating>>>& candidates,
+    const PeerProvider& peers, const Group& group, AggregationKind aggregation,
     const MapReduceOptions& options = {}, MapReduceStats* stats = nullptr);
 
 }  // namespace fairrec

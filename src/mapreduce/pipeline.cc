@@ -26,37 +26,29 @@ Result<PipelineResult> GroupRecommendationPipeline::Run(
   result.job1_stats = job1.stats;
   result.num_candidate_items = static_cast<int64_t>(job1.candidate_items.size());
 
-  // Job 2: finish simU and apply the Def. 1 threshold.
-  const auto similarities =
-      RunJob2(job1.partial_similarities, means, options_.similarity,
-              options_.delta, options_.mapreduce, &result.job2_stats);
-  result.num_similarity_pairs = static_cast<int64_t>(similarities.size());
+  // Job 2, peer-list output mode: finish simU, apply the Def. 1 threshold,
+  // and materialize the group's peer graph as the shared PeerIndex artifact.
+  FAIRREC_ASSIGN_OR_RETURN(
+      result.peer_index,
+      RunJob2PeerIndex(job1.partial_similarities, means, options_.similarity,
+                       options_.delta, matrix.num_users(),
+                       /*max_peers_per_member=*/0, options_.mapreduce,
+                       &result.job2_stats));
+  result.num_similarity_pairs = result.peer_index.num_entries();
 
-  // Job 3: Eq. 1 per member + Def. 2 group relevance.
+  // Job 3: Eq. 1 per member + Def. 2 group relevance, straight off the
+  // peer-list artifact (no per-pair re-sort).
   const auto relevance =
-      RunJob3(job1.candidate_items, similarities, group, options_.aggregation,
-              options_.mapreduce, &result.job3_stats);
+      RunJob3(job1.candidate_items, result.peer_index, group,
+              options_.aggregation, options_.mapreduce, &result.job3_stats);
 
-  // Assemble the selector context in the same shape as the serial path.
+  // Assemble the selector context in the same shape as the serial path; the
+  // peer lists come out of the index already in the canonical order.
   std::vector<MemberRelevance> members(group.size());
   for (size_t m = 0; m < group.size(); ++m) {
     members[m].user = group[m];
-  }
-  for (const auto& kv : similarities) {
-    for (size_t m = 0; m < group.size(); ++m) {
-      if (kv.key.first == group[m]) {
-        members[m].peers.push_back({kv.key.second, kv.value});
-      }
-    }
-  }
-  for (MemberRelevance& member : members) {
-    std::sort(member.peers.begin(), member.peers.end(),
-              [](const Peer& a, const Peer& b) {
-                if (a.similarity != b.similarity) {
-                  return a.similarity > b.similarity;
-                }
-                return a.user < b.user;
-              });
+    const auto peers = result.peer_index.PeersOf(group[m]);
+    members[m].peers.assign(peers.begin(), peers.end());
   }
   // `relevance` is sorted by item id, so the per-member lists stay strictly
   // ascending as GroupContext::Build requires.

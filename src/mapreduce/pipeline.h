@@ -38,6 +38,11 @@ struct PipelineResult {
   GroupContext context;
   /// Algorithm 1 output, computed centralized as §IV prescribes.
   Selection selection;
+  /// Job 2's peer-list artifact: the thresholded peer graph of Def. 1 for
+  /// the group's members (non-member rows empty) — the same PeerIndex shape
+  /// the in-memory engine builds, reusable for follow-up queries against
+  /// this group.
+  PeerIndex peer_index;
 
   MapReduceStats job1_stats;
   MapReduceStats job2_stats;

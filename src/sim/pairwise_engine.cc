@@ -20,6 +20,46 @@ namespace {
 /// scale the smallest genuine nonzero variance is far above this threshold.
 constexpr double kRelativeVarianceEpsilon = 1e-12;
 
+/// Sink for ComputeAll: writes each finished pair into the packed triangle.
+/// Pairs arrive in row-major order within a tile, so the packed offset is
+/// usually the previous one plus one; the full index math runs only at row
+/// and tile boundaries.
+class TriangleSink {
+ public:
+  TriangleSink(std::span<double> out, int32_t num_users)
+      : out_(out), num_users_(num_users) {}
+
+  void operator()(UserId a, UserId b, double sim) {
+    if (a == prev_a_ && b == prev_b_ + 1) {
+      ++packed_;
+    } else {
+      packed_ = PairwiseSimilarityEngine::PackedTriangleIndex(a, b, num_users_);
+    }
+    prev_a_ = a;
+    prev_b_ = b;
+    out_[packed_] = sim;
+  }
+
+ private:
+  std::span<double> out_;
+  int32_t num_users_;
+  size_t packed_ = 0;
+  UserId prev_a_ = kInvalidUserId;
+  UserId prev_b_ = kInvalidUserId;
+};
+
+/// Sink for BuildPeerIndex: Def. 1's threshold, then both directions of the
+/// pair into the concurrent builder. Filtering before the builder keeps the
+/// lock stripes out of the (overwhelmingly common) non-qualifying case.
+struct PeerSink {
+  PeerIndex::Builder* builder;
+  double delta;
+
+  void operator()(UserId a, UserId b, double sim) const {
+    if (sim >= delta) builder->OfferPair(a, b, sim);
+  }
+};
+
 }  // namespace
 
 size_t PairwiseSimilarityEngine::PackedTriangleIndex(UserId a, UserId b,
@@ -86,21 +126,62 @@ double PairwiseSimilarityEngine::Finish(const PairStats& stats, UserId a,
   return options_.shift_to_unit_interval ? (r + 1.0) / 2.0 : r;
 }
 
+PairwiseSimilarityEngine::ColumnBlockIndex
+PairwiseSimilarityEngine::BuildColumnIndex(int32_t block,
+                                           ThreadPool& pool) const {
+  ColumnBlockIndex index;
+  index.block = block;
+  const int32_t num_users = matrix_->num_users();
+  const int32_t num_items = matrix_->num_items();
+  index.num_blocks =
+      static_cast<size_t>((num_users + block - 1) / block);
+  const size_t stride = index.num_blocks + 1;
+  index.offsets.assign(static_cast<size_t>(num_items) * stride, 0);
+  if (num_items == 0) return index;
+
+  // One merge of U(i) against the block boundaries per item: O(|U(i)| +
+  // num_blocks), versus a binary search per (item, tile) in the sweep.
+  const RatingMatrix* matrix = matrix_;
+  uint32_t* offsets = index.offsets.data();
+  const size_t num_blocks = index.num_blocks;
+  pool.ParallelFor(static_cast<size_t>(num_items), [matrix, offsets, stride,
+                                                    num_blocks, block,
+                                                    num_users](size_t item) {
+    const auto column = matrix->UsersWhoRated(static_cast<ItemId>(item));
+    uint32_t* row = offsets + item * stride;
+    size_t j = 0;
+    for (size_t b = 0; b <= num_blocks; ++b) {
+      const UserId boundary = static_cast<UserId>(
+          std::min<int64_t>(static_cast<int64_t>(b) * block, num_users));
+      while (j < column.size() && column[j].user < boundary) ++j;
+      row[b] = static_cast<uint32_t>(j);
+    }
+  });
+  return index;
+}
+
+template <typename Sink>
 void PairwiseSimilarityEngine::SweepTile(const Tile& tile,
+                                         const ColumnBlockIndex& columns,
                                          std::vector<PairStats>& acc,
-                                         std::span<double> out) const {
+                                         Sink& sink) const {
   const size_t cols = static_cast<size_t>(tile.col_last - tile.col_first);
   const bool diagonal = tile.row_first == tile.col_first;
+  const size_t stride = columns.num_blocks + 1;
+  const size_t rb = static_cast<size_t>(tile.row_first / columns.block);
+  const size_t cb = static_cast<size_t>(tile.col_first / columns.block);
 
   // ---- Accumulation: one pass over the item-inverted index. ----
   const int32_t num_items = matrix_->num_items();
   for (ItemId i = 0; i < num_items; ++i) {
-    const auto rows =
-        matrix_->UsersWhoRatedInRange(i, tile.row_first, tile.row_last);
-    if (rows.empty()) continue;
+    const uint32_t* off = &columns.offsets[static_cast<size_t>(i) * stride];
+    const uint32_t row_first = off[rb];
+    const uint32_t row_last = off[rb + 1];
+    if (row_first == row_last) continue;
+    const auto column = matrix_->UsersWhoRated(i);
+    const auto rows = column.subspan(row_first, row_last - row_first);
     const auto col_span =
-        diagonal ? rows
-                 : matrix_->UsersWhoRatedInRange(i, tile.col_first, tile.col_last);
+        diagonal ? rows : column.subspan(off[cb], off[cb + 1] - off[cb]);
     if (col_span.empty()) continue;
     for (size_t p = 0; p < rows.size(); ++p) {
       const size_t row_base =
@@ -111,40 +192,34 @@ void PairwiseSimilarityEngine::SweepTile(const Tile& tile,
       for (size_t q = diagonal ? p + 1 : 0; q < col_span.size(); ++q) {
         PairStats& cell =
             acc[row_base + static_cast<size_t>(col_span[q].user - tile.col_first)];
-        const double rb = col_span[q].value;
+        const double rb_value = col_span[q].value;
         cell.sum_a += ra;
-        cell.sum_b += rb;
+        cell.sum_b += rb_value;
         cell.sum_aa += ra * ra;
-        cell.sum_bb += rb * rb;
-        cell.sum_ab += ra * rb;
+        cell.sum_bb += rb_value * rb_value;
+        cell.sum_ab += ra * rb_value;
         cell.n += 1;
       }
     }
   }
 
   // ---- Finish: one allocation-free pass over the tile's pairs. ----
-  const int32_t num_users = matrix_->num_users();
   for (UserId a = tile.row_first; a < tile.row_last; ++a) {
     const UserId b_first = diagonal ? a + 1 : tile.col_first;
     const size_t row_base = static_cast<size_t>(a - tile.row_first) * cols;
-    size_t packed = PackedTriangleIndex(a, b_first, num_users);
-    for (UserId b = b_first; b < tile.col_last; ++b, ++packed) {
+    for (UserId b = b_first; b < tile.col_last; ++b) {
       PairStats& cell =
           acc[row_base + static_cast<size_t>(b - tile.col_first)];
-      out[packed] = Finish(cell, a, b);
+      sink(a, b, Finish(cell, a, b));
       cell = PairStats{};  // reset for the worker's next tile
     }
   }
 }
 
-Status PairwiseSimilarityEngine::ComputeAll(std::span<double> out) const {
+template <typename SinkFactory>
+Status PairwiseSimilarityEngine::SweepAllTiles(
+    const SinkFactory& make_sink) const {
   const int32_t num_users = matrix_->num_users();
-  if (out.size() != PackedTriangleSize(num_users)) {
-    return Status::InvalidArgument(
-        "output span holds " + std::to_string(out.size()) +
-        " entries; packed triangle needs " +
-        std::to_string(PackedTriangleSize(num_users)));
-  }
   if (engine_options_.block_users <= 0) {
     return Status::InvalidArgument("block_users must be positive");
   }
@@ -163,6 +238,7 @@ Status PairwiseSimilarityEngine::ComputeAll(std::span<double> out) const {
   }
 
   ThreadPool pool(engine_options_.num_threads);
+  const ColumnBlockIndex columns = BuildColumnIndex(block, pool);
   // Per-worker-slot accumulator blocks, allocated lazily on first tile. The
   // finish pass leaves every visited cell zeroed, so no per-tile memset is
   // needed: untouched cells stay default-constructed across tiles.
@@ -172,9 +248,32 @@ Status PairwiseSimilarityEngine::ComputeAll(std::span<double> out) const {
   pool.ParallelForIndexed(tiles.size(), [&](size_t worker, size_t t) {
     std::vector<PairStats>& acc = scratch[worker];
     if (acc.size() != cells) acc.assign(cells, PairStats{});
-    SweepTile(tiles[t], acc, out);
+    auto sink = make_sink();
+    SweepTile(tiles[t], columns, acc, sink);
   });
   return Status::OK();
+}
+
+Status PairwiseSimilarityEngine::ComputeAll(std::span<double> out) const {
+  const int32_t num_users = matrix_->num_users();
+  if (out.size() != PackedTriangleSize(num_users)) {
+    return Status::InvalidArgument(
+        "output span holds " + std::to_string(out.size()) +
+        " entries; packed triangle needs " +
+        std::to_string(PackedTriangleSize(num_users)));
+  }
+  return SweepAllTiles([&] { return TriangleSink(out, num_users); });
+}
+
+Result<PeerIndex> PairwiseSimilarityEngine::BuildPeerIndex(
+    const PeerIndexOptions& peer_options) const {
+  if (peer_options.max_peers_per_user < 0) {
+    return Status::InvalidArgument("max_peers_per_user must be >= 0");
+  }
+  PeerIndex::Builder builder(matrix_->num_users(), peer_options);
+  FAIRREC_RETURN_NOT_OK(SweepAllTiles(
+      [&] { return PeerSink{&builder, peer_options.delta}; }));
+  return std::move(builder).Build();
 }
 
 Result<std::vector<double>> PairwiseSimilarityEngine::ComputeAll() const {

@@ -7,9 +7,12 @@
 
 #include "common/result.h"
 #include "ratings/rating_matrix.h"
+#include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
 
 namespace fairrec {
+
+class ThreadPool;
 
 /// Tuning knobs for PairwiseSimilarityEngine.
 struct PairwiseEngineOptions {
@@ -42,7 +45,19 @@ struct PairwiseEngineOptions {
 /// Parallelism: the strict upper triangle of the pair matrix is tiled into
 /// user-range blocks; each ThreadPool worker slot owns one tile at a time
 /// plus a private accumulator block, so there are no locks and no shared
-/// cache lines. Output entries are written exactly once.
+/// cache lines. Output entries are written exactly once. A per-item-block
+/// column index (num_items x num_blocks offsets, built once per sweep)
+/// replaces the per-tile binary search into every item's column, so a tile
+/// locates its item sub-spans with two array loads.
+///
+/// Two output modes share the sweep:
+///
+///   * ComputeAll — the packed U^2/2 triangle, for callers that genuinely
+///     need every pair (SimilarityMatrix::Precompute);
+///   * BuildPeerIndex — each worker finishes its tile's pairs and feeds the
+///     qualifying ones (sim >= delta, per-user bounded top-k heaps) straight
+///     into PeerIndex::Builder, so the serving path's peer graph costs
+///     O(U * k) memory and the triangle is never materialized.
 ///
 /// Numerical note: finishing from raw moments is algebraically identical to
 /// FinishPearson's centered two-pass form but rounds differently, so results
@@ -79,6 +94,13 @@ class PairwiseSimilarityEngine {
   /// Allocating convenience wrapper around the span overload.
   Result<std::vector<double>> ComputeAll() const;
 
+  /// Runs the same tiled sweep but emits the sparse peer graph of Def. 1
+  /// directly: every pair with RS(a, b) >= peer_options.delta enters both
+  /// users' lists, bounded to the top max_peers_per_user by the BetterPeer
+  /// order. The packed triangle is never allocated; peak memory is the
+  /// per-worker accumulator tiles plus the peer lists themselves.
+  Result<PeerIndex> BuildPeerIndex(const PeerIndexOptions& peer_options) const;
+
   const RatingSimilarityOptions& options() const { return options_; }
   const PairwiseEngineOptions& engine_options() const { return engine_options_; }
 
@@ -102,8 +124,30 @@ class PairwiseSimilarityEngine {
     UserId col_last = 0;
   };
 
-  void SweepTile(const Tile& tile, std::vector<PairStats>& acc,
-                 std::span<double> out) const;
+  /// Per-item-block column offsets: offsets[i * (num_blocks + 1) + b] is the
+  /// index into U(i) of the first entry with user id >= b * block. Built once
+  /// per sweep so tiles slice their row/column sub-spans with two loads
+  /// instead of a binary search per (item, tile).
+  struct ColumnBlockIndex {
+    int32_t block = 0;
+    size_t num_blocks = 0;
+    std::vector<uint32_t> offsets;
+  };
+
+  ColumnBlockIndex BuildColumnIndex(int32_t block, ThreadPool& pool) const;
+
+  /// Accumulates one tile and finishes its pairs through `sink(a, b, sim)`,
+  /// called in (a asc, b asc) row-major order.
+  template <typename Sink>
+  void SweepTile(const Tile& tile, const ColumnBlockIndex& columns,
+                 std::vector<PairStats>& acc, Sink& sink) const;
+
+  /// Shared driver: validates options, tiles the triangle, builds the column
+  /// index, and sweeps every tile across the pool. `make_sink()` produces a
+  /// fresh sink per tile.
+  template <typename SinkFactory>
+  Status SweepAllTiles(const SinkFactory& make_sink) const;
+
   double Finish(const PairStats& stats, UserId a, UserId b) const;
 
   const RatingMatrix* matrix_;

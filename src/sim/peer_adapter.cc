@@ -1,0 +1,33 @@
+#include "sim/peer_adapter.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace fairrec {
+
+DensePeerAdapter::DensePeerAdapter(const UserSimilarity& similarity,
+                                   int32_t num_users, PeerIndexOptions options,
+                                   size_t num_threads)
+    : name_("peers(" + similarity.name() + ")") {
+  PeerIndex::Builder builder(num_users, options);
+  if (num_users > 1) {
+    ThreadPool pool(num_threads);
+    // One task per triangle row; symmetry means each pair is evaluated once
+    // and offered in both directions.
+    const UserSimilarity* base = &similarity;
+    PeerIndex::Builder* sink = &builder;
+    const double delta = options.delta;
+    pool.ParallelFor(static_cast<size_t>(num_users) - 1,
+                     [base, sink, delta, num_users](size_t row) {
+                       const auto a = static_cast<UserId>(row);
+                       for (UserId b = a + 1; b < num_users; ++b) {
+                         const double sim = base->Compute(a, b);
+                         if (sim >= delta) sink->OfferPair(a, b, sim);
+                       }
+                     });
+  }
+  index_ = std::move(builder).Build();
+}
+
+}  // namespace fairrec

@@ -1,0 +1,48 @@
+#ifndef FAIRREC_SIM_PEER_ADAPTER_H_
+#define FAIRREC_SIM_PEER_ADAPTER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "sim/peer_index.h"
+#include "sim/peer_provider.h"
+#include "sim/user_similarity.h"
+
+namespace fairrec {
+
+/// PeerProvider over an arbitrary dense similarity measure.
+///
+/// Rating-based (Pearson) peer graphs should come straight from
+/// PairwiseSimilarityEngine::BuildPeerIndex, which never materializes the
+/// pair triangle. This adapter covers every other simU — profile cosine,
+/// semantic, hybrid, or an already-precomputed SimilarityMatrix — by
+/// evaluating the measure once per pair at construction (parallelized over
+/// rows) and storing the thresholded top-k lists in the same CSR shape, so
+/// downstream layers see one interface regardless of the base.
+class DensePeerAdapter final : public PeerProvider {
+ public:
+  /// Evaluates `similarity` on all pairs of [0, num_users) with
+  /// `num_threads` workers (0 = hardware concurrency). The measure must be
+  /// symmetric and thread-safe (UserSimilarity contract); it is not retained
+  /// after construction.
+  DensePeerAdapter(const UserSimilarity& similarity, int32_t num_users,
+                   PeerIndexOptions options = {}, size_t num_threads = 0);
+
+  std::span<const Peer> PeersOf(UserId u) const override {
+    return index_.PeersOf(u);
+  }
+  int32_t num_users() const override { return index_.num_users(); }
+  std::string name() const override { return name_; }
+
+  const PeerIndexOptions& options() const { return index_.options(); }
+  int64_t num_entries() const { return index_.num_entries(); }
+
+ private:
+  PeerIndex index_;
+  std::string name_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_PEER_ADAPTER_H_

@@ -1,0 +1,120 @@
+#include "sim/peer_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+namespace {
+
+/// Stripe count for the builder's per-user locks. Power of two so the stripe
+/// of a user id is a mask, sized to keep contention negligible even when
+/// every hardware thread offers concurrently.
+constexpr size_t kLockStripes = 256;
+
+}  // namespace
+
+PeerIndex::Builder::Builder(int32_t num_users, PeerIndexOptions options)
+    : num_users_(num_users),
+      options_(options),
+      lists_(num_users > 0 ? static_cast<size_t>(num_users) : 0),
+      stripes_(kLockStripes) {
+  FAIRREC_CHECK(options.max_peers_per_user >= 0);
+}
+
+void PeerIndex::Builder::TrackBytes(int64_t delta) {
+  const size_t now =
+      current_bytes_.fetch_add(static_cast<size_t>(delta),
+                               std::memory_order_relaxed) +
+      static_cast<size_t>(delta);
+  size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (peak < now && !peak_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void PeerIndex::Builder::Offer(UserId u, UserId v, double similarity) {
+  if (u < 0 || u >= num_users_ || v < 0 || v >= num_users_ || u == v) return;
+  const Peer candidate{v, similarity};
+  const size_t cap = static_cast<size_t>(options_.max_peers_per_user);
+
+  std::lock_guard<std::mutex> lock(
+      stripes_[static_cast<size_t>(u) & (kLockStripes - 1)]);
+  std::vector<Peer>& list = lists_[static_cast<size_t>(u)];
+  const size_t capacity_before = list.capacity();
+  if (cap == 0) {
+    // Unlimited: collect now, order in Build().
+    list.push_back(candidate);
+  } else {
+    // Bounded min-heap under BetterPeer: the front is the worst retained
+    // peer (max-heap where "larger" means "worse"), so the eviction test is
+    // one comparison and ties at the boundary resolve by the same total
+    // order PeerFinder's nth_element uses.
+    if (list.empty()) list.reserve(cap);
+    if (list.size() < cap) {
+      list.push_back(candidate);
+      std::push_heap(list.begin(), list.end(), BetterPeer);
+    } else if (BetterPeer(candidate, list.front())) {
+      std::pop_heap(list.begin(), list.end(), BetterPeer);
+      list.back() = candidate;
+      std::push_heap(list.begin(), list.end(), BetterPeer);
+    }
+  }
+  if (list.capacity() != capacity_before) {
+    TrackBytes(static_cast<int64_t>(
+        (list.capacity() - capacity_before) * sizeof(Peer)));
+  }
+}
+
+void PeerIndex::Builder::OfferPair(UserId a, UserId b, double similarity) {
+  Offer(a, b, similarity);
+  Offer(b, a, similarity);
+}
+
+PeerIndex PeerIndex::Builder::Build() && {
+  PeerIndex index;
+  index.options_ = options_;
+  index.num_users_ = num_users_;
+  if (num_users_ <= 0) {
+    index.build_peak_bytes_ = peak_bytes();
+    return index;
+  }
+
+  index.offsets_.assign(static_cast<size_t>(num_users_) + 1, 0);
+  size_t total = 0;
+  for (size_t u = 0; u < lists_.size(); ++u) {
+    index.offsets_[u] = total;
+    total += lists_[u].size();
+  }
+  index.offsets_[lists_.size()] = total;
+
+  index.entries_.reserve(total);
+  TrackBytes(static_cast<int64_t>(total * sizeof(Peer) +
+                                  index.offsets_.size() * sizeof(size_t)));
+  for (std::vector<Peer>& list : lists_) {
+    std::sort(list.begin(), list.end(), BetterPeer);
+    index.entries_.insert(index.entries_.end(), list.begin(), list.end());
+    // Release each source list as soon as it is copied so the transient
+    // lists + CSR overlap stays one list wide, not the whole graph.
+    const size_t freed = list.capacity() * sizeof(Peer);
+    std::vector<Peer>().swap(list);
+    TrackBytes(-static_cast<int64_t>(freed));
+  }
+  index.build_peak_bytes_ = peak_bytes();
+  return index;
+}
+
+std::span<const Peer> PeerIndex::PeersOf(UserId u) const {
+  if (u < 0 || u >= num_users_) return {};
+  const size_t first = offsets_[static_cast<size_t>(u)];
+  const size_t last = offsets_[static_cast<size_t>(u) + 1];
+  return std::span<const Peer>(entries_).subspan(first, last - first);
+}
+
+size_t PeerIndex::StorageBytes() const {
+  return entries_.size() * sizeof(Peer) + offsets_.size() * sizeof(size_t);
+}
+
+}  // namespace fairrec

@@ -1,0 +1,107 @@
+#ifndef FAIRREC_SIM_PEER_INDEX_H_
+#define FAIRREC_SIM_PEER_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/peer_provider.h"
+
+namespace fairrec {
+
+/// Build-time knobs for the sparse peer graph.
+struct PeerIndexOptions {
+  /// The delta of Definition 1: pairs with simU >= delta enter the graph.
+  double delta = 0.1;
+  /// Bound on each user's stored list (0 = unlimited). When capped, each
+  /// user keeps the top max_peers_per_user qualifying peers under the
+  /// BetterPeer order, so memory is O(num_users * cap) no matter how dense
+  /// the similarity distribution is. Consumers that exclude users at query
+  /// time (group flows drop fellow members) should build with headroom:
+  /// cap >= query max_peers + the largest exclusion list, since discarded
+  /// entries cannot be recovered after the build.
+  int32_t max_peers_per_user = 0;
+};
+
+/// Sparse peer graph: per-user thresholded top-k peer lists in CSR form.
+///
+/// This is the serving-path replacement for the packed U^2 similarity
+/// triangle. PairwiseSimilarityEngine::BuildPeerIndex feeds qualifying pairs
+/// straight from its tile sweep into Builder, so peak memory is the peer
+/// lists plus one accumulator tile per worker — the triangle is never
+/// materialized. The MapReduce Job 2 peer-list output mode produces the same
+/// artifact, so the §IV flow and the in-memory flow share one structure.
+class PeerIndex final : public PeerProvider {
+ public:
+  /// Thread-safe accumulation of peer candidates into bounded per-user
+  /// lists. Offer/OfferPair may be called concurrently from any number of
+  /// threads; each user's list is guarded by a striped lock and maintained
+  /// as a bounded min-heap (worst retained peer on top) when capped, so an
+  /// insert is O(log cap) and never allocates after the list's first
+  /// reservation. Build() then sorts each list into the BetterPeer order and
+  /// compacts everything into the CSR arrays.
+  class Builder {
+   public:
+    Builder(int32_t num_users, PeerIndexOptions options);
+
+    /// Records v as a peer candidate of u (one direction; the similarity
+    /// must already satisfy the caller's threshold). Out-of-range ids and
+    /// self-pairs are ignored.
+    void Offer(UserId u, UserId v, double similarity);
+
+    /// Records both directions of the unordered pair (a, b).
+    void OfferPair(UserId a, UserId b, double similarity);
+
+    /// Sorts, compacts, and returns the finished index. The builder is left
+    /// empty.
+    PeerIndex Build() &&;
+
+    /// High-water mark of bytes held in peer storage (list capacities plus,
+    /// during Build(), the CSR arrays). Approximate to within allocator
+    /// slack; the point is the contrast with the packed triangle's
+    /// 8 * U * (U - 1) / 2.
+    size_t peak_bytes() const { return peak_bytes_.load(std::memory_order_relaxed); }
+
+   private:
+    void TrackBytes(int64_t delta);
+
+    int32_t num_users_ = 0;
+    PeerIndexOptions options_;
+    std::vector<std::vector<Peer>> lists_;
+    std::vector<std::mutex> stripes_;
+    std::atomic<size_t> current_bytes_{0};
+    std::atomic<size_t> peak_bytes_{0};
+  };
+
+  /// An empty index (no users, no peers). Replace via Builder.
+  PeerIndex() = default;
+
+  std::span<const Peer> PeersOf(UserId u) const override;
+  int32_t num_users() const override { return num_users_; }
+  std::string name() const override { return "peer-index"; }
+
+  const PeerIndexOptions& options() const { return options_; }
+  int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }
+
+  /// Bytes held by the finished CSR arrays.
+  size_t StorageBytes() const;
+
+  /// The builder's peak_bytes() at the time Build() finished — the peak
+  /// similarity-storage cost of constructing this index (reported by
+  /// bench_peer_index.cc as the sparse counterpart of the triangle bytes).
+  size_t build_peak_bytes() const { return build_peak_bytes_; }
+
+ private:
+  PeerIndexOptions options_;
+  int32_t num_users_ = 0;
+  std::vector<size_t> offsets_;  // size num_users_ + 1 (empty when no users)
+  std::vector<Peer> entries_;    // per-user runs in BetterPeer order
+  size_t build_peak_bytes_ = 0;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_PEER_INDEX_H_

@@ -1,0 +1,62 @@
+#ifndef FAIRREC_SIM_PEER_PROVIDER_H_
+#define FAIRREC_SIM_PEER_PROVIDER_H_
+
+#include <span>
+#include <string>
+
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// A peer of a user together with the similarity that qualified it (Def. 1).
+struct Peer {
+  UserId user = kInvalidUserId;
+  double similarity = 0.0;
+
+  friend bool operator==(const Peer&, const Peer&) = default;
+};
+
+/// The total order every peer list in the library uses: descending
+/// similarity, ties broken by ascending user id. Strict-weak and total, so
+/// top-k selection is deterministic regardless of how a list was produced.
+inline bool BetterPeer(const Peer& a, const Peer& b) {
+  if (a.similarity != b.similarity) return a.similarity > b.similarity;
+  return a.user < b.user;
+}
+
+/// Read seam for the peer graph of Definition 1.
+///
+/// Peer discovery only ever consumes pairs with simU >= delta, so the graph —
+/// per-user candidate lists, not the dense U x U similarity matrix — is the
+/// first-class serving artifact. Implementations store each user's
+/// qualifying peers contiguously (CSR-style) and hand them out as spans:
+///
+///   * PeerIndex — sparse, built directly by the sufficient-statistics
+///     engine's tile sweep (O(U * k) memory, no packed triangle) or by the
+///     MapReduce Job 2 peer-list output mode;
+///   * DensePeerAdapter — scans an arbitrary UserSimilarity (profile,
+///     semantic, hybrid, or a cached SimilarityMatrix) once at construction,
+///     for bases with no sufficient-statistics decomposition.
+///
+/// Implementations must be safe for concurrent PeersOf calls.
+class PeerProvider {
+ public:
+  virtual ~PeerProvider() = default;
+
+  /// The stored peer list of `u`: every retained peer with
+  /// simU(u, v) >= the provider's build threshold, sorted by BetterPeer
+  /// (descending similarity, ties ascending id) and never containing `u`
+  /// itself. The span stays valid as long as the provider. Out-of-range ids
+  /// yield an empty span.
+  virtual std::span<const Peer> PeersOf(UserId u) const = 0;
+
+  /// Size of the user population the provider indexes.
+  virtual int32_t num_users() const = 0;
+
+  /// Short diagnostic name ("peer-index", "peers(pearson)", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_PEER_PROVIDER_H_

@@ -1,6 +1,11 @@
 #include "cf/peer_finder.h"
 
+#include <utility>
+
 #include <gtest/gtest.h>
+
+#include "sim/peer_adapter.h"
+#include "sim/peer_index.h"
 
 namespace fairrec {
 namespace {
@@ -105,6 +110,87 @@ TEST(PeerFinderTest, OutOfRangeExcludeEntriesIgnored) {
   options.delta = 0.0;
   const PeerFinder finder(&sim, 4, options);
   EXPECT_EQ(finder.FindPeers(0, {-5, 99}).size(), 3u);
+}
+
+// ---- Sparse mode: the thin filter over PeerProvider::PeersOf ------------
+
+/// Every scan-mode expectation must hold verbatim when the same similarity
+/// is served through a provider built at (or below) the query delta.
+void ExpectModesAgree(const UserSimilarity& sim, int32_t num_users,
+                      PeerFinderOptions options, const Group& exclude = {}) {
+  const PeerFinder scan(&sim, num_users, options);
+  // Build the provider at the loosest threshold so the query delta filters.
+  PeerIndexOptions build_options;
+  build_options.delta = 0.0;
+  const DensePeerAdapter provider(sim, num_users, build_options);
+  const PeerFinder sparse(&provider, options);
+  for (UserId u = 0; u < num_users; ++u) {
+    EXPECT_EQ(sparse.FindPeers(u, exclude), scan.FindPeers(u, exclude))
+        << "u=" << u << " delta=" << options.delta
+        << " max_peers=" << options.max_peers;
+  }
+}
+
+TEST(PeerFinderSparseTest, AgreesWithScanModeAcrossOptions) {
+  const TableSimilarity sim = FourUsers();
+  for (const double delta : {0.0, 0.5, 0.9}) {
+    for (const int32_t max_peers : {0, 1, 2}) {
+      PeerFinderOptions options;
+      options.delta = delta;
+      options.max_peers = max_peers;
+      ExpectModesAgree(sim, 4, options);
+    }
+  }
+}
+
+TEST(PeerFinderSparseTest, ExclusionRefillsFromDeeperEntries) {
+  // With an unbounded provider, excluding the top peer must surface the next
+  // one, exactly like the scan path — max_peers applies after exclusion.
+  const TableSimilarity sim = FourUsers();
+  PeerFinderOptions options;
+  options.delta = 0.0;
+  options.max_peers = 2;
+  ExpectModesAgree(sim, 4, options, /*exclude=*/{1});
+
+  PeerIndexOptions build_options;
+  build_options.delta = 0.0;
+  const DensePeerAdapter provider(sim, 4, build_options);
+  const PeerFinder sparse(&provider, options);
+  const std::vector<Peer> peers = sparse.FindPeers(0, {1});
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[0].user, 2);  // 0.5
+  EXPECT_EQ(peers[1].user, 3);  // 0.1, promoted by the exclusion
+}
+
+TEST(PeerFinderSparseTest, QueryDeltaMayBeStricterThanBuildDelta) {
+  const TableSimilarity sim = FourUsers();
+  PeerIndexOptions build_options;
+  build_options.delta = 0.0;
+  const DensePeerAdapter provider(sim, 4, build_options);
+
+  PeerFinderOptions options;
+  options.delta = 0.6;  // stricter than the build threshold
+  const PeerFinder sparse(&provider, options);
+  const std::vector<Peer> peers = sparse.FindPeers(0);
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0], (Peer{1, 0.9}));
+}
+
+TEST(PeerFinderSparseTest, HandBuiltIndexServesDirectly) {
+  PeerIndex::Builder builder(3, {});
+  builder.OfferPair(0, 1, 0.8);
+  builder.OfferPair(0, 2, 0.3);
+  const PeerIndex index = std::move(builder).Build();
+
+  PeerFinderOptions options;
+  options.delta = 0.2;
+  const PeerFinder finder(&index, options);
+  EXPECT_EQ(finder.num_users(), 3);
+  const std::vector<Peer> peers = finder.FindPeers(0);
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[0], (Peer{1, 0.8}));
+  EXPECT_EQ(peers[1], (Peer{2, 0.3}));
+  EXPECT_EQ(finder.FindPeers(1), (std::vector<Peer>{{0, 0.8}}));
 }
 
 }  // namespace

@@ -1,11 +1,15 @@
 #include "cf/recommender.h"
 
 #include <algorithm>
+#include <utility>
 
 #include <gtest/gtest.h>
 
 #include "cf/top_k.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
+#include "sim/similarity_matrix.h"
 
 namespace fairrec {
 namespace {
@@ -137,6 +141,61 @@ TEST(RecommenderGroupTest, MemberTopKIsPrefixOfRelevanceOrdering) {
     reference.resize(std::min(reference.size(), member.top_k.size()));
     EXPECT_EQ(member.top_k, reference);
   }
+}
+
+TEST(RecommenderSparseTest, ProviderModeMatchesScanMode) {
+  // The engine-built peer graph and the O(U)-scan path must produce the same
+  // single-user lists and the same group relevance tables, exactly. The scan
+  // side reads the cached matrix (which delegates to the same engine), so
+  // every compared double is bit-identical by construction.
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity base(&m);
+  const auto sim =
+      std::move(SimilarityMatrix::Precompute(base, m.num_users())).ValueOrDie();
+  const Recommender scan(&m, sim.get(), DefaultOptions());
+
+  PeerIndexOptions peer_options;
+  peer_options.delta = DefaultOptions().peers.delta;
+  const PairwiseSimilarityEngine engine(&m, {});
+  const PeerIndex index =
+      std::move(engine.BuildPeerIndex(peer_options)).ValueOrDie();
+  const Recommender sparse(&m, &index, DefaultOptions());
+
+  for (UserId u = 0; u < m.num_users(); ++u) {
+    EXPECT_EQ(std::move(sparse.RecommendForUser(u)).ValueOrDie(),
+              std::move(scan.RecommendForUser(u)).ValueOrDie())
+        << "u=" << u;
+  }
+
+  const Group group{0, 3};
+  const auto scan_members = std::move(scan.RelevanceForGroup(group)).ValueOrDie();
+  const auto sparse_members =
+      std::move(sparse.RelevanceForGroup(group)).ValueOrDie();
+  ASSERT_EQ(sparse_members.size(), scan_members.size());
+  for (size_t i = 0; i < scan_members.size(); ++i) {
+    EXPECT_EQ(sparse_members[i].user, scan_members[i].user);
+    EXPECT_EQ(sparse_members[i].peers, scan_members[i].peers);
+    EXPECT_EQ(sparse_members[i].relevance, scan_members[i].relevance);
+    EXPECT_EQ(sparse_members[i].top_k, scan_members[i].top_k);
+  }
+}
+
+TEST(RecommenderSparseTest, PerQueryProviderOverridesTheBuiltInFinder) {
+  const RatingMatrix m = ClusteredMatrix();
+  const RatingSimilarity sim(&m);
+  const Recommender rec(&m, &sim, DefaultOptions());
+
+  // A provider that only knows user 0 <-> user 5 forces every other member's
+  // peer set empty, whatever the built-in finder would say.
+  PeerIndex::Builder builder(m.num_users(), {});
+  builder.OfferPair(0, 5, 0.9);
+  const PeerIndex index = std::move(builder).Build();
+
+  const auto members =
+      std::move(rec.RelevanceForGroup({0, 1}, index)).ValueOrDie();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].peers, (std::vector<Peer>{{5, 0.9}}));
+  EXPECT_TRUE(members[1].peers.empty());
 }
 
 TEST(RecommenderGroupTest, RelevanceListsAscendingByItem) {

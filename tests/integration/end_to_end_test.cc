@@ -12,6 +12,8 @@
 #include "eval/metrics.h"
 #include "mapreduce/pipeline.h"
 #include "sim/hybrid_similarity.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
 #include "sim/profile_similarity.h"
 #include "sim/rating_similarity.h"
 #include "sim/semantic_similarity.h"
@@ -155,6 +157,87 @@ TEST_F(EndToEndTest, PrecomputedMatrixAgreesWithDirectSimilarity) {
   const Selection b =
       std::move(cached_rec.RecommendFair(group, 4, heuristic)).ValueOrDie();
   EXPECT_EQ(a.items, b.items);
+}
+
+TEST_F(EndToEndTest, SparsePeerGraphServingPathMatchesDenseTriangle) {
+  // The retired path: precompute the full U^2 triangle, scan it per member.
+  // The serving path: the engine emits the thresholded peer graph directly.
+  // Both finish Pearson in the same engine, so contexts and selections must
+  // agree exactly.
+  RatingSimilarityOptions rs_options;
+  rs_options.shift_to_unit_interval = true;
+  const RecommenderOptions rec_options = DefaultRecOptions();
+
+  const RatingSimilarity base(&scenario().ratings, rs_options);
+  const auto cached =
+      std::move(SimilarityMatrix::Precompute(base,
+                                             scenario().ratings.num_users()))
+          .ValueOrDie();
+  const Recommender dense(&scenario().ratings, cached.get(), rec_options);
+  const GroupRecommender dense_rec(&dense, {});
+
+  PeerIndexOptions peer_options;
+  peer_options.delta = rec_options.peers.delta;
+  const PairwiseSimilarityEngine engine(&scenario().ratings, rs_options);
+  const PeerIndex peers =
+      std::move(engine.BuildPeerIndex(peer_options)).ValueOrDie();
+  const GroupRecommender sparse_rec(&scenario().ratings, &peers, rec_options);
+
+  const FairnessHeuristic heuristic;
+  for (const uint64_t seed : {5u, 42u, 99u}) {
+    const Group group = scenario().MakeRandomGroup(4, seed);
+    const GroupContext dense_ctx =
+        std::move(dense_rec.BuildContext(group)).ValueOrDie();
+    const GroupContext sparse_ctx =
+        std::move(sparse_rec.BuildContext(group)).ValueOrDie();
+    ASSERT_EQ(sparse_ctx.num_candidates(), dense_ctx.num_candidates());
+    for (int32_t c = 0; c < dense_ctx.num_candidates(); ++c) {
+      EXPECT_EQ(sparse_ctx.candidate(c).item, dense_ctx.candidate(c).item);
+      EXPECT_EQ(sparse_ctx.candidate(c).group_relevance,
+                dense_ctx.candidate(c).group_relevance);
+      EXPECT_EQ(sparse_ctx.candidate(c).member_relevance,
+                dense_ctx.candidate(c).member_relevance);
+    }
+    const Selection a =
+        std::move(heuristic.Select(sparse_ctx, 6)).ValueOrDie();
+    const Selection b = std::move(heuristic.Select(dense_ctx, 6)).ValueOrDie();
+    EXPECT_EQ(a.items, b.items) << "seed=" << seed;
+  }
+}
+
+TEST_F(EndToEndTest, PipelinePeerIndexServesFollowUpQueries) {
+  // The §IV flow's Job 2 artifact plugs straight back into the serial layer:
+  // a follow-up query for the same group through RelevanceForGroup(group,
+  // peer_index) must reproduce the pipeline's context.
+  const Group group = scenario().MakeCohesiveGroup(3, 123);
+  PipelineOptions options;
+  options.similarity.shift_to_unit_interval = true;
+  options.delta = 0.55;
+  options.top_k = 8;
+  const GroupRecommendationPipeline pipeline(options);
+  const PipelineResult mr =
+      std::move(pipeline.Run(scenario().ratings, group, 6)).ValueOrDie();
+  EXPECT_EQ(mr.peer_index.num_entries(), mr.num_similarity_pairs);
+
+  RatingSimilarityOptions rs_options;
+  rs_options.shift_to_unit_interval = true;
+  const RatingSimilarity rs(&scenario().ratings, rs_options);
+  RecommenderOptions rec_options;
+  rec_options.peers.delta = 0.55;
+  rec_options.top_k = 8;
+  const Recommender recommender(&scenario().ratings, &rs, rec_options);
+  GroupContextOptions ctx_options;
+  ctx_options.top_k = 8;
+  const GroupRecommender group_rec(&recommender, ctx_options);
+  const GroupContext replay =
+      std::move(group_rec.BuildContext(group, mr.peer_index)).ValueOrDie();
+
+  ASSERT_EQ(replay.num_candidates(), mr.context.num_candidates());
+  for (int32_t c = 0; c < replay.num_candidates(); ++c) {
+    EXPECT_EQ(replay.candidate(c).item, mr.context.candidate(c).item);
+    EXPECT_NEAR(replay.candidate(c).group_relevance,
+                mr.context.candidate(c).group_relevance, 1e-9);
+  }
 }
 
 TEST_F(EndToEndTest, MinVetoNeverExceedsAverageRelevance) {

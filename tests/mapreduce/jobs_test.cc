@@ -156,6 +156,83 @@ TEST(Job2Test, MatchesSerialRatingSimilarityAboveDelta) {
   }
 }
 
+TEST(Job2PeerIndexTest, PeerListModeMatchesRecordMode) {
+  const RatingMatrix m = RandomMatrix(21);
+  const Group group{0, 1};
+  const double delta = 0.2;
+  const Job1Output job1 =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), {})).ValueOrDie();
+  const std::vector<double> means =
+      RunUserMeanJob(m.ToTriples(), m.num_users(), {});
+  RatingSimilarityOptions sim_options;
+
+  const auto records =
+      RunJob2(job1.partial_similarities, means, sim_options, delta, {});
+  const PeerIndex index =
+      std::move(RunJob2PeerIndex(job1.partial_similarities, means, sim_options,
+                                 delta, m.num_users()))
+          .ValueOrDie();
+
+  // Same edges, same values, re-keyed per member in BetterPeer order.
+  EXPECT_EQ(index.num_entries(), static_cast<int64_t>(records.size()));
+  std::vector<std::vector<Peer>> expected(static_cast<size_t>(m.num_users()));
+  for (const auto& kv : records) {
+    expected[static_cast<size_t>(kv.key.first)].push_back(
+        {kv.key.second, kv.value});
+  }
+  for (auto& list : expected) std::sort(list.begin(), list.end(), BetterPeer);
+  for (UserId u = 0; u < m.num_users(); ++u) {
+    const auto span = index.PeersOf(u);
+    EXPECT_EQ(std::vector<Peer>(span.begin(), span.end()),
+              expected[static_cast<size_t>(u)])
+        << "u=" << u;
+  }
+
+  // Job 3 over the artifact must equal Job 3 over the record stream.
+  const auto from_records = RunJob3(job1.candidate_items, records, group,
+                                    AggregationKind::kAverage, {});
+  const auto from_index = RunJob3(job1.candidate_items, index, group,
+                                  AggregationKind::kAverage, {});
+  ASSERT_EQ(from_index.size(), from_records.size());
+  for (size_t i = 0; i < from_records.size(); ++i) {
+    EXPECT_EQ(from_index[i].key, from_records[i].key);
+    EXPECT_EQ(from_index[i].value.group_relevance,
+              from_records[i].value.group_relevance);
+    for (size_t g = 0; g < group.size(); ++g) {
+      const double a = from_index[i].value.member_relevance[g];
+      const double b = from_records[i].value.member_relevance[g];
+      EXPECT_TRUE((std::isnan(a) && std::isnan(b)) || a == b)
+          << "item " << from_index[i].key << " member " << g;
+    }
+  }
+}
+
+TEST(Job2PeerIndexTest, MemberCapKeepsBestPeers) {
+  const RatingMatrix m = RandomMatrix(22);
+  const Group group{3};
+  const double delta = 0.0;
+  const Job1Output job1 =
+      std::move(RunJob1(m.ToTriples(), group, m.num_users(), {})).ValueOrDie();
+  const std::vector<double> means =
+      RunUserMeanJob(m.ToTriples(), m.num_users(), {});
+
+  const PeerIndex unbounded =
+      std::move(RunJob2PeerIndex(job1.partial_similarities, means, {}, delta,
+                                 m.num_users()))
+          .ValueOrDie();
+  const PeerIndex capped =
+      std::move(RunJob2PeerIndex(job1.partial_similarities, means, {}, delta,
+                                 m.num_users(), /*max_peers_per_member=*/2))
+          .ValueOrDie();
+
+  const auto full = unbounded.PeersOf(3);
+  const auto top = capped.PeersOf(3);
+  ASSERT_GE(full.size(), top.size());
+  ASSERT_LE(top.size(), 2u);
+  // The capped list is exactly the prefix of the unbounded one.
+  for (size_t i = 0; i < top.size(); ++i) EXPECT_EQ(top[i], full[i]);
+}
+
 TEST(Job3Test, MatchesSerialRelevanceEstimator) {
   const RatingMatrix m = RandomMatrix(12);
   const Group group{0, 5};

@@ -30,6 +30,8 @@
 #include "data/scenario.h"
 #include "eval/table.h"
 #include "ratings/dataset.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
 
 namespace fairrec {
@@ -89,6 +91,18 @@ Result<Dataset> LoadRatings(const Args& args) {
   const std::string path = args.Get("ratings", "");
   if (path.empty()) return Status::InvalidArgument("--ratings is required");
   return LoadDatasetCsv(path);
+}
+
+/// The CLI's serving artifact: the sparse Def. 1 peer graph, emitted by the
+/// sufficient-statistics engine without ever materializing the dense U^2
+/// similarity triangle.
+Result<PeerIndex> BuildPeerGraph(const RatingMatrix& matrix, double delta) {
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  PeerIndexOptions peer_options;
+  peer_options.delta = delta;
+  const PairwiseSimilarityEngine engine(&matrix, sim_options);
+  return engine.BuildPeerIndex(peer_options);
 }
 
 int RunGenerate(const Args& args) {
@@ -156,12 +170,15 @@ int RunRecommend(const Args& args) {
     std::fprintf(stderr, "error: --user is required\n");
     return 1;
   }
-  RatingSimilarityOptions sim_options;
-  sim_options.shift_to_unit_interval = true;
-  const RatingSimilarity similarity(&dataset->matrix, sim_options);
   RecommenderOptions options;
   options.peers.delta = args.GetDouble("delta", 0.55);
   options.top_k = static_cast<int32_t>(args.GetInt("k", 10));
+  // One user, one query: the O(U) scan of this user's similarity row beats
+  // building the whole population's peer graph. The group command amortizes
+  // the sparse build across members; this command cannot.
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const RatingSimilarity similarity(&dataset->matrix, sim_options);
   const Recommender recommender(&dataset->matrix, &similarity, options);
   const auto recs =
       recommender.RecommendForUser(static_cast<UserId>(args.GetInt("user", -1)));
@@ -196,13 +213,15 @@ int RunGroup(const Args& args) {
   }
   const auto z = static_cast<int32_t>(args.GetInt("z", 6));
 
-  RatingSimilarityOptions sim_options;
-  sim_options.shift_to_unit_interval = true;
-  const RatingSimilarity similarity(&dataset->matrix, sim_options);
   RecommenderOptions rec_options;
   rec_options.peers.delta = args.GetDouble("delta", 0.55);
   rec_options.top_k = static_cast<int32_t>(args.GetInt("k", 10));
-  const Recommender recommender(&dataset->matrix, &similarity, rec_options);
+  const auto peers = BuildPeerGraph(dataset->matrix, rec_options.peers.delta);
+  if (!peers.ok()) {
+    std::fprintf(stderr, "error: %s\n", peers.status().ToString().c_str());
+    return 1;
+  }
+  const Recommender recommender(&dataset->matrix, &*peers, rec_options);
 
   GroupContextOptions ctx_options;
   ctx_options.top_k = rec_options.top_k;
