@@ -23,6 +23,8 @@
 #include "eval/table.h"
 #include "mf/matrix_factorization.h"
 #include "ratings/splits.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
 #include "text/tfidf.h"
 
@@ -65,12 +67,18 @@ int main() {
                            }));
 
   // ---- Eq. 1 collaborative filtering ----------------------------------
+  // Thresholded peers only -> the engine-built sparse peer graph over the
+  // train split; PeerFinder runs in thin-filter mode over the stored lists.
   RatingSimilarityOptions sim_options;
   sim_options.shift_to_unit_interval = true;
-  const RatingSimilarity similarity(&split.train, sim_options);
+  const PairwiseSimilarityEngine engine(&split.train, sim_options);
   PeerFinderOptions peer_options;
   peer_options.delta = 0.55;
-  const PeerFinder finder(&similarity, split.train.num_users(), peer_options);
+  PeerIndexOptions index_options;
+  index_options.delta = peer_options.delta;
+  const PeerIndex peer_graph =
+      std::move(engine.BuildPeerIndex(index_options)).ValueOrDie();
+  const PeerFinder finder(&peer_graph, peer_options);
   const RelevanceEstimator estimator(&split.train);
   std::unordered_map<UserId, std::vector<Peer>> peer_cache;
   report("Eq. 1 CF (Pearson peers, delta=0.55)",

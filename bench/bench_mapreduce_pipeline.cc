@@ -1,0 +1,316 @@
+// Moment-sharded MapReduce similarity pipeline: Job 1 (per-shard sufficient
+// statistics) + Job 2 (moment merge -> PeerIndex) vs the in-memory engine.
+//
+// Generates the same synthetic corpus family as bench_similarity_precompute,
+// forms a group, and runs the Job 1/2 flow at several simulated shard counts.
+// Each run's PeerIndex is checked byte-for-byte against the engine's (member
+// rows, fellow members excluded — the Job 1 stream is directional), and the
+// shuffle accounting (fixed-size moment records vs the retired per-co-rating
+// record stream) is written to a JSON file so the scaling trajectory is
+// tracked across PRs next to BENCH_similarity.json / BENCH_peer_index.json.
+//
+//   bench_mapreduce_pipeline [--users N] [--items N] [--density F] [--seed N]
+//                            [--group-size N] [--delta F]
+//                            [--check-compression-min F]
+//                            [--out BENCH_mapreduce.json]
+//
+// Exit status: 0 on success, 1 on argument/IO errors, 2 if any shard layout
+// produces a PeerIndex differing from the engine's, 3 if the shuffle
+// compression gate fails.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "mapreduce/jobs.h"
+#include "ratings/rating_matrix.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+namespace {
+
+struct BenchConfig {
+  // Unlike the similarity benches (10k x 2k at 1%, where most pairs share at
+  // most one item), the default corpus here is the deep-overlap regime the
+  // paper's MapReduce section is about: heavy per-user profiles over a
+  // compact catalog, so each pair co-rates many items and the per-co-rating
+  // record stream the moment refactor retired is genuinely larger than the
+  // moment stream.
+  int32_t num_users = 5000;
+  int32_t num_items = 200;
+  double density = 0.2;
+  uint64_t seed = 20170417;
+  int32_t group_size = 8;
+  double delta = 0.1;
+  /// Fail (exit 3) when co_rating_records / moment_records at one shard is
+  /// below this (0 = no gate). Record counts are corpus-deterministic, so
+  /// this gate is immune to CI timing noise.
+  double check_compression_min = 0.0;
+  std::string out_path = "BENCH_mapreduce.json";
+};
+
+RatingMatrix GenerateCorpus(const BenchConfig& config) {
+  Rng rng(config.seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(config.num_users, config.num_items);
+  for (UserId u = 0; u < config.num_users; ++u) {
+    for (ItemId i = 0; i < config.num_items; ++i) {
+      if (!rng.NextBool(config.density)) continue;
+      const auto status =
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5)));
+      if (!status.ok()) {
+        std::fprintf(stderr, "corpus generation failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+/// One shard layout's measurements.
+struct ShardResult {
+  int32_t moment_shards = 0;
+  double job1_seconds = 0.0;
+  double job2_seconds = 0.0;
+  int64_t moment_records = 0;
+  int64_t peer_entries = 0;
+  size_t mismatching_members = 0;
+};
+
+int Run(const BenchConfig& config) {
+  std::printf("generating corpus: %d users x %d items at %.2f%% density...\n",
+              config.num_users, config.num_items, 100.0 * config.density);
+  const RatingMatrix matrix = GenerateCorpus(config);
+  std::printf("  %lld ratings (density %.3f%%)\n",
+              static_cast<long long>(matrix.num_ratings()),
+              100.0 * matrix.Density());
+
+  // Deterministic spread of members across the id space.
+  Group group;
+  for (int32_t g = 0; g < config.group_size; ++g) {
+    group.push_back(static_cast<UserId>(
+        static_cast<int64_t>(g) * config.num_users / config.group_size));
+  }
+
+  RatingSimilarityOptions sim_options;  // paper defaults: global means, raw r
+  const std::vector<RatingTriple> triples = matrix.ToTriples();
+  const std::vector<double> means =
+      RunUserMeanJob(triples, matrix.num_users(), {});
+
+  // --- In-memory reference: the engine's peer graph. ---
+  PeerIndexOptions peer_options;
+  peer_options.delta = config.delta;
+  PairwiseEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  const PairwiseSimilarityEngine engine(&matrix, sim_options, engine_options);
+  Stopwatch engine_clock;
+  const auto engine_result = engine.BuildPeerIndex(peer_options);
+  const double engine_seconds = engine_clock.ElapsedSeconds();
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  const PeerIndex& reference = *engine_result;
+  std::printf("engine (in-memory reference):  %8.3f s  (%lld peer entries "
+              "across the whole population)\n",
+              engine_seconds, static_cast<long long>(reference.num_entries()));
+
+  // A member's expected row: the engine's, minus fellow members (the Job 1
+  // stream is member -> outside-user only).
+  const auto expected_row = [&](UserId u) {
+    std::vector<Peer> expected;
+    for (const Peer& p : reference.PeersOf(u)) {
+      if (std::find(group.begin(), group.end(), p.user) == group.end()) {
+        expected.push_back(p);
+      }
+    }
+    return expected;
+  };
+
+  // --- Sharded MapReduce flow, one run per simulated layout. ---
+  int64_t co_rating_records = 0;
+  std::vector<ShardResult> runs;
+  for (const int32_t shards : {1, 4, 16, 64}) {
+    ShardResult run;
+    run.moment_shards = shards;
+
+    Stopwatch job1_clock;
+    auto job1_result = RunJob1(triples, group, matrix.num_users(), {}, shards);
+    run.job1_seconds = job1_clock.ElapsedSeconds();
+    if (!job1_result.ok()) {
+      std::fprintf(stderr, "job 1 failed: %s\n",
+                   job1_result.status().ToString().c_str());
+      return 1;
+    }
+    const Job1Output& job1 = *job1_result;
+    run.moment_records = static_cast<int64_t>(job1.partial_moments.size());
+    co_rating_records = job1.co_rating_records;
+
+    Stopwatch job2_clock;
+    const auto index_result =
+        RunJob2PeerIndex(job1.partial_moments, means, sim_options,
+                         config.delta, matrix.num_users());
+    run.job2_seconds = job2_clock.ElapsedSeconds();
+    if (!index_result.ok()) {
+      std::fprintf(stderr, "job 2 failed: %s\n",
+                   index_result.status().ToString().c_str());
+      return 1;
+    }
+    const PeerIndex& sharded = *index_result;
+    run.peer_entries = sharded.num_entries();
+
+    // --- Parity: byte-identical member rows, empty everywhere else. ---
+    for (UserId u = 0; u < matrix.num_users(); ++u) {
+      const auto row = sharded.PeersOf(u);
+      const std::vector<Peer> actual(row.begin(), row.end());
+      const bool is_member =
+          std::find(group.begin(), group.end(), u) != group.end();
+      if (!is_member) {
+        if (!actual.empty()) ++run.mismatching_members;
+        continue;
+      }
+      if (actual != expected_row(u)) ++run.mismatching_members;
+    }
+
+    std::printf("shards %3d:  job1 %8.3f s  job2 %8.3f s  "
+                "%8lld moment records (%.1fx compressed)  parity %s\n",
+                shards, run.job1_seconds, run.job2_seconds,
+                static_cast<long long>(run.moment_records),
+                static_cast<double>(co_rating_records) /
+                    static_cast<double>(std::max<int64_t>(run.moment_records, 1)),
+                run.mismatching_members == 0 ? "ok" : "FAILED");
+    runs.push_back(run);
+  }
+
+  const double max_compression =
+      static_cast<double>(co_rating_records) /
+      static_cast<double>(std::max<int64_t>(runs.front().moment_records, 1));
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"mapreduce_pipeline\",\n"
+               "  \"corpus\": {\n"
+               "    \"num_users\": %d,\n"
+               "    \"num_items\": %d,\n"
+               "    \"num_ratings\": %lld,\n"
+               "    \"density\": %.6f,\n"
+               "    \"seed\": %llu\n"
+               "  },\n"
+               "  \"group_size\": %d,\n"
+               "  \"options\": {\n"
+               "    \"delta\": %.6f,\n"
+               "    \"min_overlap\": %d,\n"
+               "    \"intersection_means\": %s,\n"
+               "    \"shift_to_unit_interval\": %s\n"
+               "  },\n"
+               "  \"engine\": {\n"
+               "    \"build_seconds\": %.6f,\n"
+               "    \"peer_entries\": %lld\n"
+               "  },\n"
+               "  \"co_rating_records\": %lld,\n"
+               "  \"max_shuffle_compression\": %.3f,\n"
+               "  \"shards\": [\n",
+               matrix.num_users(), matrix.num_items(),
+               static_cast<long long>(matrix.num_ratings()), matrix.Density(),
+               static_cast<unsigned long long>(config.seed), config.group_size,
+               config.delta, sim_options.min_overlap,
+               sim_options.intersection_means ? "true" : "false",
+               sim_options.shift_to_unit_interval ? "true" : "false",
+               engine_seconds, static_cast<long long>(reference.num_entries()),
+               static_cast<long long>(co_rating_records), max_compression);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ShardResult& run = runs[i];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"moment_shards\": %d,\n"
+                 "      \"job1_seconds\": %.6f,\n"
+                 "      \"job2_seconds\": %.6f,\n"
+                 "      \"moment_records\": %lld,\n"
+                 "      \"peer_entries\": %lld,\n"
+                 "      \"mismatching_members\": %zu\n"
+                 "    }%s\n",
+                 run.moment_shards, run.job1_seconds, run.job2_seconds,
+                 static_cast<long long>(run.moment_records),
+                 static_cast<long long>(run.peer_entries),
+                 run.mismatching_members, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+
+  size_t total_mismatches = 0;
+  for (const ShardResult& run : runs) total_mismatches += run.mismatching_members;
+  if (total_mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: sharded PeerIndex differs from the engine's for %zu "
+                 "user rows across layouts\n",
+                 total_mismatches);
+    return 2;
+  }
+  if (config.check_compression_min > 0.0 &&
+      max_compression < config.check_compression_min) {
+    std::fprintf(stderr,
+                 "FAIL: shuffle compression %.2fx below the gate %.2fx\n",
+                 max_compression, config.check_compression_min);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairrec
+
+int main(int argc, char** argv) {
+  fairrec::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--users") {
+      config.num_users = std::atoi(next());
+    } else if (arg == "--items") {
+      config.num_items = std::atoi(next());
+    } else if (arg == "--density") {
+      config.density = std::atof(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--group-size") {
+      config.group_size = std::atoi(next());
+    } else if (arg == "--delta") {
+      config.delta = std::atof(next());
+    } else if (arg == "--check-compression-min") {
+      config.check_compression_min = std::atof(next());
+    } else if (arg == "--out") {
+      config.out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config.num_users < 2 || config.num_items < 1 || config.density <= 0.0 ||
+      config.density > 1.0 || config.group_size < 1 ||
+      config.group_size > config.num_users) {
+    std::fprintf(stderr, "invalid configuration\n");
+    return 1;
+  }
+  return fairrec::Run(config);
+}

@@ -10,10 +10,12 @@
 //
 //   bench_peer_index [--users N] [--items N] [--density F] [--seed N]
 //                    [--threads N] [--block N] [--delta F] [--max-peers N]
-//                    [--skip-dense] [--out BENCH_peer_index.json]
+//                    [--skip-dense] [--check-speedup-min F]
+//                    [--check-peak-bytes-max N]
+//                    [--out BENCH_peer_index.json]
 //
 // Exit status: 0 on success, 1 on argument/IO errors, 2 if the two paths
-// produce different peer sets.
+// produce different peer sets, 3 if a --check-* regression gate fails.
 
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +45,13 @@ struct BenchConfig {
   double delta = 0.1;
   int32_t max_peers = 64;
   bool skip_dense = false;
+  /// Fail (exit 3) when dense/sparse speedup drops below this (0 = no gate;
+  /// ignored under --skip-dense, which leaves nothing to compare against).
+  double check_speedup_min = 0.0;
+  /// Fail (exit 3) when the sparse build's peak similarity-storage bytes
+  /// exceed this (0 = no gate). The memory contract of the peer-graph
+  /// subsystem: O(U * k) lists, never the packed triangle.
+  size_t check_peak_bytes_max = 0;
   std::string out_path = "BENCH_peer_index.json";
 };
 
@@ -242,6 +251,19 @@ int Run(const BenchConfig& config) {
                  mismatches);
     return 2;
   }
+  if (config.check_peak_bytes_max > 0 &&
+      sparse.build_peak_bytes() > config.check_peak_bytes_max) {
+    std::fprintf(stderr,
+                 "FAIL: sparse peak %zu bytes above the gate %zu bytes\n",
+                 sparse.build_peak_bytes(), config.check_peak_bytes_max);
+    return 3;
+  }
+  if (!config.skip_dense && config.check_speedup_min > 0.0 &&
+      dense_seconds / sparse_seconds < config.check_speedup_min) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the gate %.2fx\n",
+                 dense_seconds / sparse_seconds, config.check_speedup_min);
+    return 3;
+  }
   return 0;
 }
 
@@ -277,6 +299,10 @@ int main(int argc, char** argv) {
       config.max_peers = std::atoi(next());
     } else if (arg == "--skip-dense") {
       config.skip_dense = true;
+    } else if (arg == "--check-speedup-min") {
+      config.check_speedup_min = std::atof(next());
+    } else if (arg == "--check-peak-bytes-max") {
+      config.check_peak_bytes_max = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--out") {
       config.out_path = next();
     } else {

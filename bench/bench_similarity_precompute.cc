@@ -8,10 +8,11 @@
 //
 //   bench_similarity_precompute [--users N] [--items N] [--density F]
 //                               [--seed N] [--threads N] [--block N]
+//                               [--check-speedup-min F]
 //                               [--out BENCH_similarity.json]
 //
 // Exit status: 0 on success, 1 on argument/IO errors, 2 if the two paths
-// disagree beyond 1e-9.
+// disagree beyond 1e-9, 3 if the --check-speedup-min regression gate fails.
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +37,10 @@ struct BenchConfig {
   uint64_t seed = 20170417;
   size_t threads = 1;
   int32_t block_users = 512;
+  /// Fail (exit 3) when naive/engine speedup drops below this (0 = no gate).
+  /// CI uses a conservative floor so the bench is a regression contract, not
+  /// just an uploaded artifact.
+  double check_speedup_min = 0.0;
   std::string out_path = "BENCH_similarity.json";
 };
 
@@ -160,6 +165,11 @@ int Run(const BenchConfig& config) {
     std::fprintf(stderr, "FAIL: paths disagree (max |diff| %.3e)\n", max_abs_diff);
     return 2;
   }
+  if (config.check_speedup_min > 0.0 && speedup < config.check_speedup_min) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the gate %.2fx\n", speedup,
+                 config.check_speedup_min);
+    return 3;
+  }
   return 0;
 }
 
@@ -189,6 +199,8 @@ int main(int argc, char** argv) {
       config.threads = static_cast<size_t>(std::atoi(next()));
     } else if (arg == "--block") {
       config.block_users = std::atoi(next());
+    } else if (arg == "--check-speedup-min") {
+      config.check_speedup_min = std::atof(next());
     } else if (arg == "--out") {
       config.out_path = next();
     } else {

@@ -17,6 +17,8 @@
 #include "data/scenario.h"
 #include "common/string_util.h"
 #include "eval/table.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
 
 using namespace fairrec;
@@ -30,13 +32,19 @@ int main() {
   config.seed = 99;
   const Scenario scenario = std::move(BuildScenario(config)).ValueOrDie();
 
+  // Thresholded peers only -> serve them from the engine-built sparse peer
+  // graph (no per-member O(U) similarity scans).
   RatingSimilarityOptions sim_options;
   sim_options.shift_to_unit_interval = true;
-  const RatingSimilarity similarity(&scenario.ratings, sim_options);
+  const PairwiseSimilarityEngine engine(&scenario.ratings, sim_options);
+  PeerIndexOptions peer_options;
+  peer_options.delta = 0.55;
+  const PeerIndex peers =
+      std::move(engine.BuildPeerIndex(peer_options)).ValueOrDie();
   RecommenderOptions rec_options;
   rec_options.peers.delta = 0.55;
   rec_options.top_k = 10;
-  const Recommender recommender(&scenario.ratings, &similarity, rec_options);
+  const Recommender recommender(&scenario.ratings, &peers, rec_options);
   const GroupRecommender group_rec(&recommender, {});
 
   const FairnessHeuristic heuristic;

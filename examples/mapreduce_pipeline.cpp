@@ -51,16 +51,20 @@ int main() {
                  std::to_string(s.intermediate_records),
                  std::to_string(s.output_records)});
   };
-  add_job("Job 1: partial sims + candidates", result.job1_stats);
-  add_job("Job 2: finish simU, threshold", result.job2_stats);
+  add_job("Job 1: moment stats + candidates", result.job1_stats);
+  add_job("Job 2: merge moments, threshold", result.job2_stats);
   add_job("Job 3: user & group relevance", result.job3_stats);
   std::printf("\n%s", jobs.ToString().c_str());
   std::printf(
       "\ncandidate items (unrated by all members): %lld\n"
       "qualifying (member, peer) pairs:            %lld\n"
+      "moment records shuffled to Job 2:           %lld (vs %lld rating-pair "
+      "records in the retired stream)\n"
       "pipeline wall time:                         %.1f ms\n",
       static_cast<long long>(result.num_candidate_items),
-      static_cast<long long>(result.num_similarity_pairs), total_ms);
+      static_cast<long long>(result.num_similarity_pairs),
+      static_cast<long long>(result.num_moment_records),
+      static_cast<long long>(result.num_co_rating_records), total_ms);
 
   std::printf("\nAlgorithm 1 (centralized, as §IV prescribes) selected:\n");
   for (const ItemId item : result.selection.items) {

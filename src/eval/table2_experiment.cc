@@ -9,6 +9,8 @@
 #include "core/group_recommender.h"
 #include "eval/table.h"
 #include "eval/timing.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
 
 namespace fairrec {
@@ -23,14 +25,22 @@ Result<Table2Result> RunTable2Experiment(const Table2Config& config) {
                                       std::to_string(config.group_size));
   }
 
+  // The experiment only ever consumes thresholded peers (Def. 1), so they
+  // come from the engine-built sparse PeerIndex instead of an O(U)
+  // similarity scan per member — the serving-path stack, with no dense
+  // similarity structure anywhere in the eval.
   RatingSimilarityOptions sim_options;
   sim_options.shift_to_unit_interval = true;
-  const RatingSimilarity similarity(&scenario.ratings, sim_options);
+  const PairwiseSimilarityEngine engine(&scenario.ratings, sim_options);
+  PeerIndexOptions peer_options;
+  peer_options.delta = config.delta;
+  FAIRREC_ASSIGN_OR_RETURN(const PeerIndex peers,
+                           engine.BuildPeerIndex(peer_options));
 
   RecommenderOptions rec_options;
   rec_options.peers.delta = config.delta;
   rec_options.top_k = config.top_k;
-  const Recommender recommender(&scenario.ratings, &similarity, rec_options);
+  const Recommender recommender(&scenario.ratings, &peers, rec_options);
 
   GroupContextOptions context_options;
   context_options.aggregation = AggregationKind::kAverage;

@@ -12,7 +12,38 @@
 namespace fairrec {
 
 namespace {
+
 constexpr double kUndefined = std::numeric_limits<double>::quiet_NaN();
+
+/// One co-rated item's sufficient-statistics contribution, tagged with the
+/// item so the Job 1 boundary can fold shards in the canonical ascending-item
+/// order. Internal to Job 1: the tag is dropped once the shard is combined.
+struct ItemMoment {
+  ItemId item = kInvalidItemId;
+  PairMoments moments;
+};
+
+/// Finishes a (member, outside-user) pair from its merged moments. Job 1
+/// accumulates with a = member, but the engine always accumulates with
+/// a < b, so orientation is canonicalized to ascending ids before the finish
+/// — Pearson is symmetric in exact arithmetic, not bit-for-bit in floating
+/// point, and the sharded path must match the in-memory artifact exactly.
+double FinishMemberPair(const UserPairKey& key, const PairMoments& moments,
+                        const std::vector<double>& user_means,
+                        const RatingSimilarityOptions& options) {
+  const auto mean_of = [&user_means](UserId u) {
+    return (u >= 0 && static_cast<size_t>(u) < user_means.size())
+               ? user_means[static_cast<size_t>(u)]
+               : 0.0;
+  };
+  if (key.first <= key.second) {
+    return FinishPearsonFromMoments(moments, mean_of(key.first),
+                                    mean_of(key.second), options);
+  }
+  return FinishPearsonFromMoments(moments.Swapped(), mean_of(key.second),
+                                  mean_of(key.first), options);
+}
+
 }  // namespace
 
 std::vector<double> RunUserMeanJob(const std::vector<RatingTriple>& ratings,
@@ -47,9 +78,13 @@ std::vector<double> RunUserMeanJob(const std::vector<RatingTriple>& ratings,
 
 Result<Job1Output> RunJob1(const std::vector<RatingTriple>& ratings,
                            const Group& group, int32_t num_users,
-                           const MapReduceOptions& options) {
+                           const MapReduceOptions& options,
+                           int32_t num_moment_shards) {
   if (group.empty()) {
     return Status::InvalidArgument("group must not be empty");
+  }
+  if (num_moment_shards < 1) {
+    return Status::InvalidArgument("num_moment_shards must be >= 1");
   }
   std::vector<uint8_t> is_member(static_cast<size_t>(num_users), 0);
   for (const UserId u : group) {
@@ -66,8 +101,8 @@ Result<Job1Output> RunJob1(const std::vector<RatingTriple>& ratings,
   for (const RatingTriple& t : ratings) input.push_back({index++, t});
 
   // Reducer output is a tagged stream: candidates keyed by (-1, item),
-  // partials keyed by (member, peer).
-  using Job1Value = std::variant<std::vector<UserRating>, PartialSimilarity>;
+  // single-item moment contributions keyed by (member, peer).
+  using Job1Value = std::variant<std::vector<UserRating>, ItemMoment>;
   constexpr UserId kCandidateTag = -1;
 
   Job1Output result;
@@ -79,7 +114,8 @@ Result<Job1Output> RunJob1(const std::vector<RatingTriple>& ratings,
          MapEmitter<ItemId, UserRating>& out) {
         out.Emit(t.item, {t.user, t.value});
       },
-      // Reduce per item: candidate stream or partial similarity pairs.
+      // Reduce per item: candidate stream, or one sufficient-statistics
+      // contribution per (member, outside-user) rater pair of i.
       [&is_member, kCandidateTag](const ItemId& item,
                                   std::span<const UserRating> raters,
                                   ReduceEmitter<UserPairKey, Job1Value>& out) {
@@ -99,69 +135,86 @@ Result<Job1Output> RunJob1(const std::vector<RatingTriple>& ratings,
           if (is_member[static_cast<size_t>(member.user)] == 0) continue;
           for (const UserRating& peer : raters) {
             if (is_member[static_cast<size_t>(peer.user)] != 0) continue;
-            out.Emit({member.user, peer.user},
-                     PartialSimilarity{item, member.value, peer.value});
+            ItemMoment contribution;
+            contribution.item = item;
+            contribution.moments.Add(member.value, peer.value);
+            out.Emit({member.user, peer.user}, contribution);
           }
         }
       },
       options, &result.stats);
 
+  std::vector<KeyValue<UserPairKey, ItemMoment>> raw;
   for (const auto& kv : output) {
     if (kv.key.first == kCandidateTag) {
       result.candidate_items.push_back(
           {kv.key.second, std::get<std::vector<UserRating>>(kv.value)});
     } else {
-      result.partial_similarities.push_back(
-          {kv.key, std::get<PartialSimilarity>(kv.value)});
+      raw.push_back({kv.key, std::get<ItemMoment>(kv.value)});
     }
   }
+  result.co_rating_records = static_cast<int64_t>(raw.size());
+
   // Deterministic downstream consumption regardless of partition layout.
   std::sort(result.candidate_items.begin(), result.candidate_items.end(),
             [](const auto& a, const auto& b) { return a.key < b.key; });
-  std::sort(result.partial_similarities.begin(),
-            result.partial_similarities.end(), [](const auto& a, const auto& b) {
+
+  // Map-side combine, simulated per item shard: canonical (pair, shard,
+  // item) order, then each (pair, shard) run folds into one PairMoments in
+  // ascending item order — the exact accumulation order of the engine's
+  // inverted-index sweep, so a single shard reproduces it bit-for-bit.
+  const int32_t shards = num_moment_shards;
+  const auto shard_of = [shards](ItemId item) {
+    return static_cast<int32_t>(item % shards);
+  };
+  std::sort(raw.begin(), raw.end(),
+            [&shard_of](const auto& a, const auto& b) {
               if (a.key != b.key) return a.key < b.key;
+              const int32_t sa = shard_of(a.value.item);
+              const int32_t sb = shard_of(b.value.item);
+              if (sa != sb) return sa < sb;
               return a.value.item < b.value.item;
             });
+  for (size_t i = 0; i < raw.size();) {
+    const UserPairKey pair = raw[i].key;
+    const int32_t shard = shard_of(raw[i].value.item);
+    PairMoments combined = raw[i].value.moments;
+    size_t j = i + 1;
+    while (j < raw.size() && raw[j].key == pair &&
+           shard_of(raw[j].value.item) == shard) {
+      combined.Merge(raw[j].value.moments);
+      ++j;
+    }
+    result.partial_moments.push_back({pair, combined});
+    i = j;
+  }
   return result;
 }
 
 std::vector<KeyValue<UserPairKey, double>> RunJob2(
-    const std::vector<KeyValue<UserPairKey, PartialSimilarity>>& partials,
+    const std::vector<KeyValue<UserPairKey, PairMoments>>& partial_moments,
     const std::vector<double>& user_means,
     const RatingSimilarityOptions& sim_options, double delta,
     const MapReduceOptions& options, MapReduceStats* stats) {
-  auto mean_of = [&user_means](UserId u) {
-    return (u >= 0 && static_cast<size_t>(u) < user_means.size())
-               ? user_means[static_cast<size_t>(u)]
-               : 0.0;
-  };
-
-  auto output = RunMapReduce<UserPairKey, PartialSimilarity, UserPairKey,
-                             PartialSimilarity, UserPairKey, double, PairHash>(
-      partials,
+  auto output = RunMapReduce<UserPairKey, PairMoments, UserPairKey,
+                             PairMoments, UserPairKey, double, PairHash>(
+      partial_moments,
       // Map: identity re-key (the pair key is already in place).
-      [](const UserPairKey& key, const PartialSimilarity& value,
-         MapEmitter<UserPairKey, PartialSimilarity, PairHash>& out) {
+      [](const UserPairKey& key, const PairMoments& value,
+         MapEmitter<UserPairKey, PairMoments, PairHash>& out) {
         out.Emit(key, value);
       },
-      // Reduce: restore the canonical co-rated item order, finish Eq. 2 via
-      // the shared FinishPearson, apply the Def. 1 threshold.
-      [&mean_of, &sim_options, delta](const UserPairKey& key,
-                                      std::span<const PartialSimilarity> values,
-                                      ReduceEmitter<UserPairKey, double>& out) {
-        std::vector<PartialSimilarity> sorted(values.begin(), values.end());
-        std::sort(sorted.begin(), sorted.end(),
-                  [](const PartialSimilarity& a, const PartialSimilarity& b) {
-                    return a.item < b.item;
-                  });
-        std::vector<std::pair<Rating, Rating>> shared;
-        shared.reserve(sorted.size());
-        for (const PartialSimilarity& p : sorted) {
-          shared.emplace_back(p.member_rating, p.peer_rating);
-        }
-        const double sim = FinishPearson(shared, mean_of(key.first),
-                                         mean_of(key.second), sim_options);
+      // Reduce: sum the per-shard moments (they arrive in the canonical
+      // ascending-shard order — the stable shuffle preserves the Job 1
+      // boundary sort), finish Eq. 2 via the engine's shared moment finish,
+      // apply the Def. 1 threshold. No buffering, no re-sort.
+      [&user_means, &sim_options, delta](const UserPairKey& key,
+                                         std::span<const PairMoments> values,
+                                         ReduceEmitter<UserPairKey, double>& out) {
+        PairMoments total;
+        for (const PairMoments& partial : values) total.Merge(partial);
+        const double sim =
+            FinishMemberPair(key, total, user_means, sim_options);
         if (sim >= delta) out.Emit(key, sim);
       },
       options, stats);
@@ -172,7 +225,7 @@ std::vector<KeyValue<UserPairKey, double>> RunJob2(
 }
 
 Result<PeerIndex> RunJob2PeerIndex(
-    const std::vector<KeyValue<UserPairKey, PartialSimilarity>>& partials,
+    const std::vector<KeyValue<UserPairKey, PairMoments>>& partial_moments,
     const std::vector<double>& user_means,
     const RatingSimilarityOptions& sim_options, double delta,
     int32_t num_users, int32_t max_peers_per_member,
@@ -183,20 +236,41 @@ Result<PeerIndex> RunJob2PeerIndex(
   if (max_peers_per_member < 0) {
     return Status::InvalidArgument("max_peers_per_member must be >= 0");
   }
-  const auto thresholded =
-      RunJob2(partials, user_means, sim_options, delta, options, stats);
 
   PeerIndexOptions index_options;
   index_options.delta = delta;
   index_options.max_peers_per_user = max_peers_per_member;
   PeerIndex::Builder builder(num_users, index_options);
-  // The Job 1 stream is directional (member -> outside user), so only the
-  // member side of each record gets a list entry; OfferPair would invent
-  // edges for non-members that a whole-population build wouldn't have.
-  for (const auto& kv : thresholded) {
-    builder.Offer(kv.key.first, kv.key.second, kv.value);
-  }
-  return std::move(builder).Build();
+
+  // Same shape as RunJob2, but the reducers feed qualifying pairs straight
+  // into the thread-safe builder instead of materializing a thresholded
+  // record stream. The Job 1 stream is directional (member -> outside user),
+  // so only the member side of each pair gets a list entry; OfferPair would
+  // invent edges for non-members that a whole-population build wouldn't
+  // have.
+  RunMapReduce<UserPairKey, PairMoments, UserPairKey, PairMoments,
+               UserPairKey, double, PairHash>(
+      partial_moments,
+      [](const UserPairKey& key, const PairMoments& value,
+         MapEmitter<UserPairKey, PairMoments, PairHash>& out) {
+        out.Emit(key, value);
+      },
+      [&user_means, &sim_options, delta, &builder](
+          const UserPairKey& key, std::span<const PairMoments> values,
+          ReduceEmitter<UserPairKey, double>&) {
+        PairMoments total;
+        for (const PairMoments& partial : values) total.Merge(partial);
+        const double sim =
+            FinishMemberPair(key, total, user_means, sim_options);
+        if (sim >= delta) builder.Offer(key.first, key.second, sim);
+      },
+      options, stats);
+
+  PeerIndex index = std::move(builder).Build();
+  // The reducers emit into the builder, not the record stream, so surface
+  // the artifact size where the record count would have been.
+  if (stats != nullptr) stats->output_records = index.num_entries();
+  return index;
 }
 
 namespace {

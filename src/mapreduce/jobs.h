@@ -9,6 +9,7 @@
 #include "core/aggregation.h"
 #include "mapreduce/engine.h"
 #include "ratings/types.h"
+#include "sim/pearson_finish.h"
 #include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
 
@@ -17,27 +18,31 @@ namespace fairrec {
 /// Key for the user-pair similarity records: (group member, outside user).
 using UserPairKey = std::pair<UserId, UserId>;
 
-/// One co-rated item's contribution to simU(member, peer): the raw rating
-/// pair, tagged with the item so Job 2 can restore the canonical (ascending
-/// item) accumulation order and finish Eq. 2 through the exact same
-/// FinishPearson the serial path uses — making the two paths agree
-/// bit-for-bit, not just within tolerance.
-struct PartialSimilarity {
-  ItemId item = kInvalidItemId;
-  Rating member_rating = 0.0;  // r(member, i)
-  Rating peer_rating = 0.0;    // r(peer, i)
-
-  friend bool operator==(const PartialSimilarity&,
-                         const PartialSimilarity&) = default;
-};
-
 /// The two outputs of Job 1 (Fig. 2): the candidate item stream (items that
 /// no group member has rated, with their full rater lists) and the partial
-/// similarity stream for (member, outside-user) pairs.
+/// sufficient-statistics stream for (member, outside-user) pairs.
+///
+/// The moment stream replaces the retired `PartialSimilarity` record stream
+/// (one tagged rating pair per co-rated item, re-sorted per pair in Job 2):
+/// each record now carries the six additive sufficient statistics
+/// (n, Σa, Σb, Σa², Σb², Σab) of one pair's co-ratings within one item
+/// shard, pre-combined map-side exactly like a Hadoop combiner would on the
+/// node owning that shard. Job 2 just sums moments per pair and finishes —
+/// the shuffle ships O(pairs · shards) fixed-size records instead of
+/// O(co-ratings) rating pairs.
 struct Job1Output {
   std::vector<KeyValue<ItemId, std::vector<UserRating>>> candidate_items;
-  std::vector<KeyValue<UserPairKey, PartialSimilarity>> partial_similarities;
+  /// Per-(pair, item-shard) partial moments, sorted by pair with each pair's
+  /// shard partials in ascending shard order (and each shard's co-ratings
+  /// folded in ascending item order — the engine's accumulation order, so
+  /// one shard reproduces the in-memory sweep bit-for-bit).
+  std::vector<KeyValue<UserPairKey, PairMoments>> partial_moments;
   MapReduceStats stats;
+  /// Size of the retired per-co-rating stream this run folded away: how many
+  /// (pair, item) rating-pair records the old Job 1 would have shipped to
+  /// Job 2. co_rating_records / partial_moments.size() is the shuffle
+  /// compression the moment refactor buys.
+  int64_t co_rating_records = 0;
 };
 
 /// Job 0 (supporting job, not drawn in Fig. 2): per-user mean ratings — the
@@ -52,33 +57,49 @@ std::vector<double> RunUserMeanJob(const std::vector<RatingTriple>& ratings,
 /// Job 1 — "Find partial users similarity score and the unrated items".
 /// Map:    (u, i, rating) -> key i, value (u, rating).
 /// Reduce: if no group member rated i, emit i into the candidate stream;
-///         otherwise emit one PartialSimilarity per (member, non-member)
-///         rater pair of i.
+///         otherwise fold one co-rating into the (member, non-member)
+///         pair's sufficient statistics for i's shard.
+///
+/// `num_moment_shards` simulates multi-node sharding in-process: shard s
+/// owns the items with i % num_moment_shards == s, and each shard's
+/// co-rating contributions are pre-combined into one PairMoments per local
+/// pair before the Job 1 / Job 2 boundary (a map-side combine). 1 — the
+/// single-node layout — yields exactly one moment record per co-rating pair,
+/// accumulated in the same ascending-item order as the in-memory engine's
+/// tile sweep. On integer rating scales every sharding finishes to
+/// bit-identical similarities (moments are exact); on non-representable
+/// rating values shards > 1 can differ from the engine by reassociation
+/// rounding (~1e-15).
 Result<Job1Output> RunJob1(const std::vector<RatingTriple>& ratings,
                            const Group& group, int32_t num_users,
-                           const MapReduceOptions& options = {});
+                           const MapReduceOptions& options = {},
+                           int32_t num_moment_shards = 1);
 
-/// Job 2 — "Calculate simU". Sums the partial components per (member, user)
-/// pair, finishes the Pearson correlation under `sim_options` (using
-/// `user_means` for the global-mean variant), and keeps pairs with
-/// simU >= delta (Def. 1's threshold).
+/// Job 2 — "Calculate simU". Merges each pair's per-shard moments (they
+/// arrive grouped and in shard order), finishes Eq. 2 through the engine's
+/// FinishPearsonFromMoments under `sim_options` (using `user_means` for the
+/// global-mean variant), and keeps pairs with simU >= delta (Def. 1's
+/// threshold). No per-pair buffering or re-sort: the reduce is one additive
+/// merge plus one finish per pair. Orientation is canonicalized to
+/// (min id, max id) before finishing so the value is bit-identical to the
+/// engine's, which always accumulates with a < b.
 std::vector<KeyValue<UserPairKey, double>> RunJob2(
-    const std::vector<KeyValue<UserPairKey, PartialSimilarity>>& partials,
+    const std::vector<KeyValue<UserPairKey, PairMoments>>& partial_moments,
     const std::vector<double>& user_means,
     const RatingSimilarityOptions& sim_options, double delta,
     const MapReduceOptions& options = {}, MapReduceStats* stats = nullptr);
 
-/// Job 2, peer-list output mode: finishes simU exactly like RunJob2 but
-/// materializes the thresholded pairs as a sparse PeerIndex over
-/// [0, num_users) — the same artifact the in-memory path gets from
-/// PairwiseSimilarityEngine::BuildPeerIndex, so the §IV flow and the serial
-/// flow share one peer-graph structure. Only (member -> outside-user) edges
-/// exist in the Job 1 partial stream, so non-member rows are empty.
+/// Job 2, peer-list output mode: finishes simU exactly like RunJob2 but the
+/// reducers feed qualifying pairs straight into a thread-safe
+/// PeerIndex::Builder — no thresholded record stream is materialized — and
+/// the result is the same sparse CSR artifact the in-memory path gets from
+/// PairwiseSimilarityEngine::BuildPeerIndex. Only (member -> outside-user)
+/// edges exist in the Job 1 moment stream, so non-member rows are empty.
 /// max_peers_per_member bounds each member's list (0 = unlimited; bounded
 /// lists trade exact Def. 1 semantics for O(|G| * k) output, see
-/// PeerIndexOptions).
+/// PeerIndexOptions). stats->output_records reports the stored entry count.
 Result<PeerIndex> RunJob2PeerIndex(
-    const std::vector<KeyValue<UserPairKey, PartialSimilarity>>& partials,
+    const std::vector<KeyValue<UserPairKey, PairMoments>>& partial_moments,
     const std::vector<double>& user_means,
     const RatingSimilarityOptions& sim_options, double delta,
     int32_t num_users, int32_t max_peers_per_member = 0,
@@ -110,8 +131,7 @@ std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3(
 
 /// Job 3 over the peer-list artifact: each member's peer set comes from
 /// `peers.PeersOf(member)` (already thresholded and in the canonical
-/// descending-similarity order), skipping the per-pair re-sort the record
-/// stream needs.
+/// descending-similarity order).
 std::vector<KeyValue<ItemId, GroupItemRelevance>> RunJob3(
     const std::vector<KeyValue<ItemId, std::vector<UserRating>>>& candidates,
     const PeerProvider& peers, const Group& group, AggregationKind aggregation,

@@ -19,18 +19,22 @@ Result<PipelineResult> GroupRecommendationPipeline::Run(
   const std::vector<double> means =
       RunUserMeanJob(triples, matrix.num_users(), options_.mapreduce);
 
-  // Job 1: candidates + partial similarity components.
+  // Job 1: candidates + per-shard partial sufficient statistics.
   FAIRREC_ASSIGN_OR_RETURN(
       Job1Output job1,
-      RunJob1(triples, group, matrix.num_users(), options_.mapreduce));
+      RunJob1(triples, group, matrix.num_users(), options_.mapreduce,
+              options_.moment_shards));
   result.job1_stats = job1.stats;
   result.num_candidate_items = static_cast<int64_t>(job1.candidate_items.size());
+  result.num_moment_records = static_cast<int64_t>(job1.partial_moments.size());
+  result.num_co_rating_records = job1.co_rating_records;
 
-  // Job 2, peer-list output mode: finish simU, apply the Def. 1 threshold,
-  // and materialize the group's peer graph as the shared PeerIndex artifact.
+  // Job 2, peer-list output mode: merge the shard moments, finish simU,
+  // apply the Def. 1 threshold, and feed the reducers straight into the
+  // shared PeerIndex artifact.
   FAIRREC_ASSIGN_OR_RETURN(
       result.peer_index,
-      RunJob2PeerIndex(job1.partial_similarities, means, options_.similarity,
+      RunJob2PeerIndex(job1.partial_moments, means, options_.similarity,
                        options_.delta, matrix.num_users(),
                        /*max_peers_per_member=*/0, options_.mapreduce,
                        &result.job2_stats));

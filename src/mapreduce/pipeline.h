@@ -27,6 +27,12 @@ struct PipelineOptions {
   AggregationKind aggregation = AggregationKind::kAverage;
   /// Candidate policy fed to GroupContext::Build.
   bool require_all_members = true;
+  /// Simulated multi-node item shards for the Job 1 moment combine (see
+  /// RunJob1): shard s owns items with i % moment_shards == s, and each
+  /// shard pre-combines its co-rating contributions into one PairMoments
+  /// per pair before the Job 1 / Job 2 boundary. 1 = single-node layout,
+  /// which reproduces the in-memory engine's accumulation order exactly.
+  int32_t moment_shards = 1;
   MapReduceOptions mapreduce;
   FairnessHeuristicOptions heuristic;
 };
@@ -49,6 +55,11 @@ struct PipelineResult {
   MapReduceStats job3_stats;
   int64_t num_candidate_items = 0;
   int64_t num_similarity_pairs = 0;
+  /// Shuffle accounting for the Job 1 -> Job 2 boundary: the moment records
+  /// actually shipped vs the per-co-rating records the retired
+  /// PartialSimilarity stream would have shipped.
+  int64_t num_moment_records = 0;
+  int64_t num_co_rating_records = 0;
 };
 
 /// The paper's §IV flow, end to end:

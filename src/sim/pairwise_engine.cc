@@ -11,15 +11,6 @@ namespace fairrec {
 
 namespace {
 
-/// Relative threshold below which a cancelled variance is treated as zero.
-/// The raw-moment expansion of sum((r - mean)^2) cancels a value of the order
-/// of sum(r^2) down to the true variance; when the result is this small
-/// relative to the cancelled magnitude it is rounding noise from an exactly
-/// constant row (e.g. every co-rating 3.1), not a real variance, and must
-/// yield 0 like FinishPearson's centered form does. On the paper's 1..5
-/// scale the smallest genuine nonzero variance is far above this threshold.
-constexpr double kRelativeVarianceEpsilon = 1e-12;
-
 /// Sink for ComputeAll: writes each finished pair into the packed triangle.
 /// Pairs arrive in row-major order within a tile, so the packed offset is
 /// usually the previous one plus one; the full index math runs only at row
@@ -85,45 +76,18 @@ size_t PairwiseSimilarityEngine::PackedTriangleSize(int32_t num_users) {
   return n * (n - 1) / 2;
 }
 
-double PairwiseSimilarityEngine::Finish(const PairStats& stats, UserId a,
+double PairwiseSimilarityEngine::Finish(const PairMoments& stats, UserId a,
                                         UserId b) const {
-  const int32_t n = stats.n;
-  // Mirrors FinishPearson: overlap guard first, then the undefined-variance
-  // guard. n == 0 (no co-ratings) is always "no evidence", even when
-  // min_overlap <= 0 disables the guard.
-  if (n < options_.min_overlap || n == 0) return 0.0;
-
-  double mean_a;
-  double mean_b;
-  if (options_.intersection_means) {
-    mean_a = stats.sum_a / static_cast<double>(n);
-    mean_b = stats.sum_b / static_cast<double>(n);
-  } else {
-    mean_a = matrix_->UserMean(a);
-    mean_b = matrix_->UserMean(b);
-  }
-
-  // Expanded centered sums: sum((ra - ma)(rb - mb)) etc. in raw moments.
-  const double nn = static_cast<double>(n);
-  const double num = stats.sum_ab - mean_b * stats.sum_a - mean_a * stats.sum_b +
-                     nn * mean_a * mean_b;
-  const double den_a =
-      stats.sum_aa - 2.0 * mean_a * stats.sum_a + nn * mean_a * mean_a;
-  const double den_b =
-      stats.sum_bb - 2.0 * mean_b * stats.sum_b + nn * mean_b * mean_b;
-  // <= rather than ==: the expansion can round an exactly-zero variance to a
-  // tiny value of either sign, which must not reach sqrt. The relative guard
-  // catches constant rows whose values are not exactly representable, where
-  // the cancellation leaves positive rounding noise instead of 0.
-  const double scale_a = stats.sum_aa + nn * mean_a * mean_a;
-  const double scale_b = stats.sum_bb + nn * mean_b * mean_b;
-  if (den_a <= kRelativeVarianceEpsilon * scale_a ||
-      den_b <= kRelativeVarianceEpsilon * scale_b) {
-    return 0.0;
-  }
-  double r = num / (std::sqrt(den_a) * std::sqrt(den_b));
-  r = std::clamp(r, -1.0, 1.0);
-  return options_.shift_to_unit_interval ? (r + 1.0) / 2.0 : r;
+  // Overlap guard before the mean lookups: most pairs in the O(U^2) finish
+  // pass have no co-ratings at all, and the shared finish would repeat the
+  // same guard only after two memory loads per pair.
+  if (stats.n < options_.min_overlap || stats.n == 0) return 0.0;
+  // The shared moment-finish (sim/pearson_finish.h) — the same function the
+  // MapReduce Job 2 reducers call, so the two flows agree bit-for-bit on
+  // identical moments. Global means come from the matrix's precomputed
+  // per-user means (ignored under intersection_means).
+  return FinishPearsonFromMoments(stats, matrix_->UserMean(a),
+                                  matrix_->UserMean(b), options_);
 }
 
 PairwiseSimilarityEngine::ColumnBlockIndex
@@ -163,7 +127,7 @@ PairwiseSimilarityEngine::BuildColumnIndex(int32_t block,
 template <typename Sink>
 void PairwiseSimilarityEngine::SweepTile(const Tile& tile,
                                          const ColumnBlockIndex& columns,
-                                         std::vector<PairStats>& acc,
+                                         std::vector<PairMoments>& acc,
                                          Sink& sink) const {
   const size_t cols = static_cast<size_t>(tile.col_last - tile.col_first);
   const bool diagonal = tile.row_first == tile.col_first;
@@ -190,15 +154,9 @@ void PairwiseSimilarityEngine::SweepTile(const Tile& tile,
       // On the diagonal only pairs a < b exist; off the diagonal every
       // (row user, col user) combination is a distinct pair.
       for (size_t q = diagonal ? p + 1 : 0; q < col_span.size(); ++q) {
-        PairStats& cell =
+        PairMoments& cell =
             acc[row_base + static_cast<size_t>(col_span[q].user - tile.col_first)];
-        const double rb_value = col_span[q].value;
-        cell.sum_a += ra;
-        cell.sum_b += rb_value;
-        cell.sum_aa += ra * ra;
-        cell.sum_bb += rb_value * rb_value;
-        cell.sum_ab += ra * rb_value;
-        cell.n += 1;
+        cell.Add(ra, col_span[q].value);
       }
     }
   }
@@ -208,10 +166,10 @@ void PairwiseSimilarityEngine::SweepTile(const Tile& tile,
     const UserId b_first = diagonal ? a + 1 : tile.col_first;
     const size_t row_base = static_cast<size_t>(a - tile.row_first) * cols;
     for (UserId b = b_first; b < tile.col_last; ++b) {
-      PairStats& cell =
+      PairMoments& cell =
           acc[row_base + static_cast<size_t>(b - tile.col_first)];
       sink(a, b, Finish(cell, a, b));
-      cell = PairStats{};  // reset for the worker's next tile
+      cell = PairMoments{};  // reset for the worker's next tile
     }
   }
 }
@@ -242,12 +200,12 @@ Status PairwiseSimilarityEngine::SweepAllTiles(
   // Per-worker-slot accumulator blocks, allocated lazily on first tile. The
   // finish pass leaves every visited cell zeroed, so no per-tile memset is
   // needed: untouched cells stay default-constructed across tiles.
-  std::vector<std::vector<PairStats>> scratch(
+  std::vector<std::vector<PairMoments>> scratch(
       std::min(pool.num_threads(), tiles.size()));
   const size_t cells = static_cast<size_t>(block) * static_cast<size_t>(block);
   pool.ParallelForIndexed(tiles.size(), [&](size_t worker, size_t t) {
-    std::vector<PairStats>& acc = scratch[worker];
-    if (acc.size() != cells) acc.assign(cells, PairStats{});
+    std::vector<PairMoments>& acc = scratch[worker];
+    if (acc.size() != cells) acc.assign(cells, PairMoments{});
     auto sink = make_sink();
     SweepTile(tiles[t], columns, acc, sink);
   });

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "ratings/rating_matrix.h"
+#include "sim/pearson_finish.h"
 #include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
 
@@ -38,7 +39,9 @@ struct PairwiseEngineOptions {
 /// touches each co-rating exactly once — total accumulation work
 /// O(sum_i |U(i)|^2), which for the sparse matrices of collaborative
 /// filtering is orders of magnitude below U^2 merges. Pearson is then
-/// finished from the statistics in a single allocation-free pass (both the
+/// finished from the statistics (PairMoments, shared with the MapReduce
+/// Job 2 reducers via sim/pearson_finish.h) in a single allocation-free
+/// pass (both the
 /// global-means form the paper prints and the GroupLens intersection-means
 /// variant, honouring min_overlap and shift_to_unit_interval).
 ///
@@ -105,16 +108,6 @@ class PairwiseSimilarityEngine {
   const PairwiseEngineOptions& engine_options() const { return engine_options_; }
 
  private:
-  /// Sufficient statistics of one user pair's co-ratings.
-  struct PairStats {
-    double sum_a = 0.0;
-    double sum_b = 0.0;
-    double sum_aa = 0.0;
-    double sum_bb = 0.0;
-    double sum_ab = 0.0;
-    int32_t n = 0;
-  };
-
   /// One tile of the pair triangle: rows [row_first, row_last) x
   /// cols [col_first, col_last), with col_first >= row_first.
   struct Tile {
@@ -140,7 +133,7 @@ class PairwiseSimilarityEngine {
   /// called in (a asc, b asc) row-major order.
   template <typename Sink>
   void SweepTile(const Tile& tile, const ColumnBlockIndex& columns,
-                 std::vector<PairStats>& acc, Sink& sink) const;
+                 std::vector<PairMoments>& acc, Sink& sink) const;
 
   /// Shared driver: validates options, tiles the triangle, builds the column
   /// index, and sweeps every tile across the pool. `make_sink()` produces a
@@ -148,7 +141,7 @@ class PairwiseSimilarityEngine {
   template <typename SinkFactory>
   Status SweepAllTiles(const SinkFactory& make_sink) const;
 
-  double Finish(const PairStats& stats, UserId a, UserId b) const;
+  double Finish(const PairMoments& stats, UserId a, UserId b) const;
 
   const RatingMatrix* matrix_;
   RatingSimilarityOptions options_;

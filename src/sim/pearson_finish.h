@@ -1,0 +1,130 @@
+#ifndef FAIRREC_SIM_PEARSON_FINISH_H_
+#define FAIRREC_SIM_PEARSON_FINISH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+
+/// Relative threshold below which a cancelled variance is treated as zero.
+/// The raw-moment expansion of sum((r - mean)^2) cancels a value of the order
+/// of sum(r^2) down to the true variance; when the result is this small
+/// relative to the cancelled magnitude it is rounding noise from an exactly
+/// constant row (e.g. every co-rating 3.1), not a real variance, and must
+/// yield 0 like FinishPearson's centered form does. On the paper's 1..5
+/// scale the smallest genuine nonzero variance is far above this threshold.
+constexpr double kPearsonRelativeVarianceEpsilon = 1e-12;
+
+/// The six sufficient statistics of one user pair's co-ratings:
+///
+///   n, sum(r_a), sum(r_b), sum(r_a^2), sum(r_b^2), sum(r_a * r_b)
+///
+/// This is the unit of accumulation shared by the in-memory
+/// PairwiseSimilarityEngine (one PairMoments per pair per tile) and the
+/// MapReduce similarity pipeline (one PairMoments per pair per item shard,
+/// merged by the Job 2 reducers). Moments are additive, so a pair's
+/// statistics can be accumulated anywhere co-ratings live and summed later —
+/// the property that lets the sharded flow ship 48-byte records instead of
+/// raw rating pairs. On integer rating scales (the paper's 1..5) every
+/// moment is exactly representable, so merge order does not affect the sums
+/// and any sharding finishes to bit-identical similarities.
+struct PairMoments {
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  double sum_aa = 0.0;
+  double sum_bb = 0.0;
+  double sum_ab = 0.0;
+  int32_t n = 0;
+
+  /// Folds one co-rating (r_a, r_b) into the statistics.
+  void Add(double ra, double rb) {
+    sum_a += ra;
+    sum_b += rb;
+    sum_aa += ra * ra;
+    sum_bb += rb * rb;
+    sum_ab += ra * rb;
+    n += 1;
+  }
+
+  /// Sums another pair's worth of statistics into this one (the reducer-side
+  /// merge of per-shard partials).
+  void Merge(const PairMoments& other) {
+    sum_a += other.sum_a;
+    sum_b += other.sum_b;
+    sum_aa += other.sum_aa;
+    sum_bb += other.sum_bb;
+    sum_ab += other.sum_ab;
+    n += other.n;
+  }
+
+  /// The same statistics with the a/b roles exchanged. Pearson is symmetric
+  /// in exact arithmetic but not bit-for-bit in floating point, so callers
+  /// that must match the engine (which always accumulates with a < b)
+  /// canonicalize orientation before finishing.
+  PairMoments Swapped() const {
+    return {sum_b, sum_a, sum_bb, sum_aa, sum_ab, n};
+  }
+
+  friend bool operator==(const PairMoments&, const PairMoments&) = default;
+};
+
+/// Finishes Eq. 2 from raw sufficient statistics — the single finish
+/// implementation behind both the engine's tile sweep and the MapReduce
+/// Job 2 reducers, so the two paths agree bit-for-bit on identical moments.
+///
+/// `global_mean_a` / `global_mean_b` are the users' means over their full
+/// rating rows (Eq. 2 as printed); they are ignored under
+/// options.intersection_means, where the means come from the moments
+/// themselves. Degenerate cases (overlap below min_overlap, no co-ratings,
+/// zero variance after the relative-epsilon guard) return 0 exactly, like
+/// FinishPearson's centered form.
+inline double FinishPearsonFromMoments(const PairMoments& stats,
+                                       double global_mean_a,
+                                       double global_mean_b,
+                                       const RatingSimilarityOptions& options) {
+  const int32_t n = stats.n;
+  // Overlap guard first, then the undefined-variance guard. n == 0 (no
+  // co-ratings) is always "no evidence", even when min_overlap <= 0 disables
+  // the guard.
+  if (n < options.min_overlap || n == 0) return 0.0;
+
+  double mean_a;
+  double mean_b;
+  if (options.intersection_means) {
+    mean_a = stats.sum_a / static_cast<double>(n);
+    mean_b = stats.sum_b / static_cast<double>(n);
+  } else {
+    mean_a = global_mean_a;
+    mean_b = global_mean_b;
+  }
+
+  // Expanded centered sums: sum((ra - ma)(rb - mb)) etc. in raw moments.
+  const double nn = static_cast<double>(n);
+  const double num = stats.sum_ab - mean_b * stats.sum_a -
+                     mean_a * stats.sum_b + nn * mean_a * mean_b;
+  const double den_a =
+      stats.sum_aa - 2.0 * mean_a * stats.sum_a + nn * mean_a * mean_a;
+  const double den_b =
+      stats.sum_bb - 2.0 * mean_b * stats.sum_b + nn * mean_b * mean_b;
+  // <= rather than ==: the expansion can round an exactly-zero variance to a
+  // tiny value of either sign, which must not reach sqrt. The relative guard
+  // catches constant rows whose values are not exactly representable, where
+  // the cancellation leaves positive rounding noise instead of 0.
+  const double scale_a = stats.sum_aa + nn * mean_a * mean_a;
+  const double scale_b = stats.sum_bb + nn * mean_b * mean_b;
+  if (den_a <= kPearsonRelativeVarianceEpsilon * scale_a ||
+      den_b <= kPearsonRelativeVarianceEpsilon * scale_b) {
+    return 0.0;
+  }
+  double r = num / (std::sqrt(den_a) * std::sqrt(den_b));
+  r = std::clamp(r, -1.0, 1.0);
+  return options.shift_to_unit_interval ? (r + 1.0) / 2.0 : r;
+}
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_PEARSON_FINISH_H_

@@ -1,0 +1,242 @@
+// Sharded-vs-in-memory parity: the moment-sharded MapReduce flow (Job 1
+// moment combine -> Job 2 moment merge -> PeerIndex) must reproduce the
+// in-memory engine's peer graph byte-for-byte, for every simulated shard
+// count. The Job 1 stream is directional (member -> outside user), so the
+// expected member row is the engine's row with fellow group members removed;
+// non-member rows must be empty.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mapreduce/jobs.h"
+#include "mapreduce/pipeline.h"
+#include "ratings/rating_matrix.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+
+namespace fairrec {
+namespace {
+
+RatingMatrix ParityCorpus(uint64_t seed, int32_t users = 40, int32_t items = 60,
+                          double density = 0.3) {
+  Rng rng(seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(users, items);
+  for (UserId u = 0; u < users; ++u) {
+    for (ItemId i = 0; i < items; ++i) {
+      if (rng.NextBool(density)) {
+        EXPECT_TRUE(
+            builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+/// The engine's peer row for `u`, with group members removed and (when
+/// cap > 0) truncated to the best cap entries — exactly what the
+/// member-directional sharded build must store for a group member.
+std::vector<Peer> ExpectedMemberRow(const PeerIndex& engine_index, UserId u,
+                                    const Group& group, int32_t cap) {
+  std::vector<Peer> expected;
+  for (const Peer& p : engine_index.PeersOf(u)) {
+    if (std::find(group.begin(), group.end(), p.user) == group.end()) {
+      expected.push_back(p);
+    }
+  }
+  if (cap > 0 && expected.size() > static_cast<size_t>(cap)) {
+    expected.resize(static_cast<size_t>(cap));
+  }
+  return expected;
+}
+
+void ExpectIndexMatchesEngine(const PeerIndex& sharded,
+                              const PeerIndex& engine_index,
+                              const Group& group, int32_t cap,
+                              int32_t num_users, int32_t shards) {
+  for (UserId u = 0; u < num_users; ++u) {
+    const auto row = sharded.PeersOf(u);
+    const std::vector<Peer> actual(row.begin(), row.end());
+    if (std::find(group.begin(), group.end(), u) == group.end()) {
+      EXPECT_TRUE(actual.empty())
+          << "non-member " << u << " has peers (shards=" << shards << ")";
+      continue;
+    }
+    // Byte-identical: same peers, same order, same similarity bits.
+    EXPECT_EQ(actual, ExpectedMemberRow(engine_index, u, group, cap))
+        << "member " << u << " shards=" << shards;
+  }
+}
+
+class ShardedParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    matrix_ = ParityCorpus(20170417);
+    group_ = {2, 11, 27};
+    means_ = RunUserMeanJob(matrix_.ToTriples(), matrix_.num_users(), {});
+  }
+
+  PeerIndex EngineIndex(const RatingSimilarityOptions& sim_options,
+                        double delta) const {
+    PeerIndexOptions peer_options;
+    peer_options.delta = delta;
+    const PairwiseSimilarityEngine engine(&matrix_, sim_options);
+    return std::move(engine.BuildPeerIndex(peer_options)).ValueOrDie();
+  }
+
+  RatingMatrix matrix_;
+  Group group_;
+  std::vector<double> means_;
+};
+
+TEST_F(ShardedParityTest, PeerIndexByteIdenticalAcrossShardCounts) {
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const double delta = 0.55;
+  const PeerIndex engine_index = EngineIndex(sim_options, delta);
+
+  for (const int32_t shards : {1, 2, 3, 5, 16}) {
+    const Job1Output job1 =
+        std::move(
+            RunJob1(matrix_.ToTriples(), group_, matrix_.num_users(), {}, shards))
+            .ValueOrDie();
+    const PeerIndex sharded =
+        std::move(RunJob2PeerIndex(job1.partial_moments, means_, sim_options,
+                                   delta, matrix_.num_users()))
+            .ValueOrDie();
+    ExpectIndexMatchesEngine(sharded, engine_index, group_, /*cap=*/0,
+                             matrix_.num_users(), shards);
+  }
+}
+
+TEST_F(ShardedParityTest, CappedPeerIndexByteIdenticalAcrossShardCounts) {
+  RatingSimilarityOptions sim_options;  // raw Pearson, global means
+  const double delta = 0.1;
+  const int32_t cap = 4;
+  const PeerIndex engine_index = EngineIndex(sim_options, delta);
+
+  for (const int32_t shards : {1, 3, 7}) {
+    const Job1Output job1 =
+        std::move(
+            RunJob1(matrix_.ToTriples(), group_, matrix_.num_users(), {}, shards))
+            .ValueOrDie();
+    const PeerIndex sharded =
+        std::move(RunJob2PeerIndex(job1.partial_moments, means_, sim_options,
+                                   delta, matrix_.num_users(), cap))
+            .ValueOrDie();
+    ExpectIndexMatchesEngine(sharded, engine_index, group_, cap,
+                             matrix_.num_users(), shards);
+  }
+}
+
+TEST_F(ShardedParityTest, DeltaBoundaryBehaviorMatchesEngine) {
+  // Def. 1 is an inclusive threshold. Both paths finish the same moments
+  // through the same math, so a delta set to a pair's exact similarity bits
+  // must include the pair in both, and the next representable double above
+  // it must exclude it in both.
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const UserId member = group_[0];
+
+  // Pick the member's strongest peer from an unthresholded engine build.
+  const PeerIndex open_index = EngineIndex(sim_options, /*delta=*/0.0);
+  const auto open_row = open_index.PeersOf(member);
+  ASSERT_FALSE(open_row.empty());
+  const double boundary = open_row.front().similarity;
+  ASSERT_GT(boundary, 0.0);
+
+  const Job1Output job1 =
+      std::move(RunJob1(matrix_.ToTriples(), group_, matrix_.num_users(), {}, 3))
+          .ValueOrDie();
+  for (const bool include : {true, false}) {
+    const double delta =
+        include ? boundary
+                : std::nextafter(boundary, std::numeric_limits<double>::max());
+    const PeerIndex engine_index = EngineIndex(sim_options, delta);
+    const PeerIndex sharded =
+        std::move(RunJob2PeerIndex(job1.partial_moments, means_, sim_options,
+                                   delta, matrix_.num_users()))
+            .ValueOrDie();
+    const auto engine_row = engine_index.PeersOf(member);
+    const auto sharded_row = sharded.PeersOf(member);
+    const auto has_boundary_peer = [&](std::span<const Peer> row) {
+      return std::any_of(row.begin(), row.end(), [&](const Peer& p) {
+        return p.similarity == boundary;
+      });
+    };
+    EXPECT_EQ(has_boundary_peer(engine_row), include) << "delta=" << delta;
+    EXPECT_EQ(has_boundary_peer(sharded_row), include) << "delta=" << delta;
+    EXPECT_EQ(std::vector<Peer>(sharded_row.begin(), sharded_row.end()),
+              ExpectedMemberRow(engine_index, member, group_, /*cap=*/0));
+  }
+}
+
+TEST_F(ShardedParityTest, PipelinePeerIndexInvariantToMomentShards) {
+  // The full §IV pipeline, end to end: the emitted CSR artifact, the
+  // assembled context, and the Algorithm 1 selection must be identical for
+  // every simulated shard layout.
+  PipelineOptions options;
+  options.similarity.shift_to_unit_interval = true;
+  options.delta = 0.55;
+  options.top_k = 5;
+
+  PipelineResult reference;
+  bool have_reference = false;
+  for (const int32_t shards : {1, 2, 6}) {
+    options.moment_shards = shards;
+    const GroupRecommendationPipeline pipeline(options);
+    PipelineResult result =
+        std::move(pipeline.Run(matrix_, group_, 4)).ValueOrDie();
+    EXPECT_GT(result.num_moment_records, 0);
+    EXPECT_GE(result.num_co_rating_records, result.num_moment_records);
+    if (!have_reference) {
+      reference = std::move(result);
+      have_reference = true;
+      continue;
+    }
+    EXPECT_EQ(result.selection.items, reference.selection.items)
+        << "shards=" << shards;
+    EXPECT_EQ(result.peer_index.num_entries(),
+              reference.peer_index.num_entries());
+    for (const UserId u : group_) {
+      const auto a = result.peer_index.PeersOf(u);
+      const auto b = reference.peer_index.PeersOf(u);
+      EXPECT_EQ(std::vector<Peer>(a.begin(), a.end()),
+                std::vector<Peer>(b.begin(), b.end()))
+          << "member " << u << " shards=" << shards;
+    }
+    ASSERT_EQ(result.context.num_candidates(), reference.context.num_candidates());
+    for (int32_t c = 0; c < reference.context.num_candidates(); ++c) {
+      EXPECT_EQ(result.context.candidate(c).item,
+                reference.context.candidate(c).item);
+      EXPECT_EQ(result.context.candidate(c).group_relevance,
+                reference.context.candidate(c).group_relevance);
+    }
+  }
+}
+
+TEST_F(ShardedParityTest, MomentShardsCompressTheShuffle) {
+  // The scaling story in numbers: the moment boundary ships at most
+  // min(pairs * shards, co-ratings) records, and with one shard exactly one
+  // record per pair.
+  const Job1Output one =
+      std::move(RunJob1(matrix_.ToTriples(), group_, matrix_.num_users(), {}, 1))
+          .ValueOrDie();
+  ASSERT_GT(one.co_rating_records, 0);
+  EXPECT_LT(static_cast<int64_t>(one.partial_moments.size()),
+            one.co_rating_records);
+  const Job1Output many =
+      std::move(RunJob1(matrix_.ToTriples(), group_, matrix_.num_users(), {}, 8))
+          .ValueOrDie();
+  EXPECT_LE(one.partial_moments.size(), many.partial_moments.size());
+  EXPECT_LE(static_cast<int64_t>(many.partial_moments.size()),
+            many.co_rating_records);
+}
+
+}  // namespace
+}  // namespace fairrec

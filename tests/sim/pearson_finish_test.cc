@@ -1,0 +1,149 @@
+#include "sim/pearson_finish.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fairrec {
+namespace {
+
+PairMoments MomentsOf(const std::vector<std::pair<Rating, Rating>>& shared) {
+  PairMoments m;
+  for (const auto& [ra, rb] : shared) m.Add(ra, rb);
+  return m;
+}
+
+double MeanOf(const std::vector<std::pair<Rating, Rating>>& shared, bool first) {
+  double sum = 0.0;
+  for (const auto& [ra, rb] : shared) sum += first ? ra : rb;
+  return shared.empty() ? 0.0 : sum / static_cast<double>(shared.size());
+}
+
+TEST(PairMomentsTest, AddAccumulatesAllSixStatistics) {
+  PairMoments m;
+  m.Add(2.0, 5.0);
+  m.Add(4.0, 1.0);
+  EXPECT_EQ(m.n, 2);
+  EXPECT_EQ(m.sum_a, 6.0);
+  EXPECT_EQ(m.sum_b, 6.0);
+  EXPECT_EQ(m.sum_aa, 20.0);
+  EXPECT_EQ(m.sum_bb, 26.0);
+  EXPECT_EQ(m.sum_ab, 14.0);
+}
+
+TEST(PairMomentsTest, MergeOfShardPartialsEqualsSequentialAccumulation) {
+  // Integer ratings: every moment is exactly representable, so any shard
+  // split merges to the same bits as the one-pass accumulation — the
+  // property the MapReduce Job 2 reducers rely on.
+  Rng rng(7);
+  std::vector<std::pair<Rating, Rating>> shared;
+  for (int i = 0; i < 23; ++i) {
+    shared.emplace_back(static_cast<Rating>(rng.UniformInt(1, 5)),
+                        static_cast<Rating>(rng.UniformInt(1, 5)));
+  }
+  const PairMoments whole = MomentsOf(shared);
+  for (const size_t split : {1u, 7u, 11u, 22u}) {
+    PairMoments left;
+    PairMoments right;
+    for (size_t i = 0; i < shared.size(); ++i) {
+      (i < split ? left : right).Add(shared[i].first, shared[i].second);
+    }
+    PairMoments merged = left;
+    merged.Merge(right);
+    EXPECT_EQ(merged, whole) << "split at " << split;
+  }
+}
+
+TEST(PairMomentsTest, SwappedExchangesTheUserRoles) {
+  PairMoments m;
+  m.Add(1.0, 4.0);
+  m.Add(3.0, 2.0);
+  const PairMoments s = m.Swapped();
+  EXPECT_EQ(s.sum_a, m.sum_b);
+  EXPECT_EQ(s.sum_b, m.sum_a);
+  EXPECT_EQ(s.sum_aa, m.sum_bb);
+  EXPECT_EQ(s.sum_bb, m.sum_aa);
+  EXPECT_EQ(s.sum_ab, m.sum_ab);
+  EXPECT_EQ(s.n, m.n);
+  EXPECT_EQ(s.Swapped(), m);
+}
+
+TEST(FinishPearsonFromMomentsTest, AgreesWithCenteredFinishPearson) {
+  Rng rng(20170417);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<Rating, Rating>> shared;
+    const int n = static_cast<int>(rng.UniformInt(2, 12));
+    for (int i = 0; i < n; ++i) {
+      shared.emplace_back(static_cast<Rating>(rng.UniformInt(1, 5)),
+                          static_cast<Rating>(rng.UniformInt(1, 5)));
+    }
+    // Global means drawn off the intersection, as Eq. 2 prescribes.
+    const double mean_a = MeanOf(shared, true) + 0.25;
+    const double mean_b = MeanOf(shared, false) - 0.5;
+    for (const bool intersection : {false, true}) {
+      for (const bool shift : {false, true}) {
+        RatingSimilarityOptions options;
+        options.intersection_means = intersection;
+        options.shift_to_unit_interval = shift;
+        const double centered = FinishPearson(
+            std::span<const std::pair<Rating, Rating>>(shared), mean_a, mean_b,
+            options);
+        const double from_moments = FinishPearsonFromMoments(
+            MomentsOf(shared), mean_a, mean_b, options);
+        EXPECT_NEAR(from_moments, centered, 1e-12)
+            << "trial " << trial << " intersection=" << intersection
+            << " shift=" << shift;
+      }
+    }
+  }
+}
+
+TEST(FinishPearsonFromMomentsTest, GuardsDegenerateCases) {
+  RatingSimilarityOptions options;  // min_overlap = 2
+  PairMoments one;
+  one.Add(3.0, 4.0);
+  EXPECT_EQ(FinishPearsonFromMoments(one, 3.0, 4.0, options), 0.0);
+
+  options.min_overlap = 0;
+  EXPECT_EQ(FinishPearsonFromMoments(PairMoments{}, 0.0, 0.0, options), 0.0);
+
+  // Constant co-rating rows have zero variance -> 0, including values whose
+  // sums are not exactly representable (the relative-epsilon guard).
+  options.min_overlap = 2;
+  options.intersection_means = true;
+  PairMoments constant;
+  for (int i = 0; i < 5; ++i) constant.Add(3.1, static_cast<Rating>(i + 1));
+  EXPECT_EQ(FinishPearsonFromMoments(constant, 0.0, 0.0, options), 0.0);
+}
+
+TEST(FinishPearsonFromMomentsTest, SwappedOrientationAgreesToRounding) {
+  // Pearson is symmetric in exact arithmetic but the finish expression is
+  // not evaluated symmetrically, so the two orientations may differ in the
+  // last ulps — the reason Job 2 canonicalizes to the engine's a < b
+  // orientation (an exact field swap) instead of relying on symmetry.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<Rating, Rating>> shared;
+    for (int i = 0; i < 6; ++i) {
+      shared.emplace_back(static_cast<Rating>(rng.UniformInt(1, 5)),
+                          static_cast<Rating>(rng.UniformInt(1, 5)));
+    }
+    const PairMoments m = MomentsOf(shared);
+    RatingSimilarityOptions options;
+    const double forward = FinishPearsonFromMoments(m, 2.75, 3.5, options);
+    const double backward =
+        FinishPearsonFromMoments(m.Swapped(), 3.5, 2.75, options);
+    EXPECT_NEAR(forward, backward, 1e-14) << "trial " << trial;
+    // The canonical field swap itself is exact: re-finishing the same
+    // orientation after a double swap is bit-identical.
+    EXPECT_EQ(FinishPearsonFromMoments(m.Swapped().Swapped(), 2.75, 3.5,
+                                       options),
+              forward);
+  }
+}
+
+}  // namespace
+}  // namespace fairrec
