@@ -1,0 +1,399 @@
+// Incremental peer-graph maintenance vs full rebuild: after a batch of
+// rating arrivals touching a given fraction of the item universe, compare
+//
+//   * delta-apply — IncrementalPeerGraph::ApplyDelta: corpus merge, a sweep
+//     of only the touched item columns, a moment-store fold, and a
+//     PeerIndex::PatchBuilder splice of the affected rows;
+//   * full rebuild — PairwiseSimilarityEngine::BuildPeerIndex on the
+//     post-delta corpus (the static pipeline's answer to any change).
+//
+// The run verifies the patched index is byte-identical to the rebuild after
+// every batch (exit 2 on any mismatch — the parity contract of
+// sim/incremental_peer_graph.h; the corpus uses the paper's integer scale,
+// so moments are exact) and writes the timings, patch accounting, and the
+// moment store's peak bytes to JSON. Defaults reproduce the acceptance
+// corpus (10k users x 2k items at ~1% density, delta 0.1, 64 peers/user)
+// with batches from a handful of active users at 1% and 5% touched-item
+// fractions, applied sequentially to the evolving graph.
+//
+//   bench_incremental_update [--users N] [--items N] [--density F]
+//                            [--seed N] [--threads N] [--block N]
+//                            [--delta F] [--max-peers N] [--tile-users N]
+//                            [--delta-users N]
+//                            [--check-speedup-min F]
+//                            [--check-peak-bytes-max N]
+//                            [--out BENCH_incremental.json]
+//
+// --check-speedup-min gates the speedup at the *first* (1%) fraction;
+// --check-peak-bytes-max gates the moment store's peak resident bytes
+// (deterministic for a fixed corpus). Exit status: 0 ok, 1 argument/IO
+// errors, 2 parity mismatch, 3 a --check-* regression gate failed.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "ratings/rating_delta.h"
+#include "ratings/rating_matrix.h"
+#include "sim/incremental_peer_graph.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+
+namespace fairrec {
+namespace {
+
+struct BenchConfig {
+  int32_t num_users = 10000;
+  int32_t num_items = 2000;
+  double density = 0.01;
+  uint64_t seed = 20170417;
+  size_t threads = 1;
+  int32_t block_users = 512;
+  double delta = 0.1;
+  int32_t max_peers = 64;
+  int32_t tile_users = 2048;
+  /// Existing users contributing to each batch (plus one brand-new user).
+  int32_t delta_users = 4;
+  /// Fail (exit 3) when the delta-apply speedup at the first fraction drops
+  /// below this (0 = no gate).
+  double check_speedup_min = 0.0;
+  /// Fail (exit 3) when the moment store's peak resident bytes exceed this
+  /// (0 = no gate). The memory contract of the store: O(co-rated pairs),
+  /// never the packed triangle.
+  size_t check_peak_bytes_max = 0;
+  std::string out_path = "BENCH_incremental.json";
+};
+
+/// Touched-item fractions, applied in order to the evolving graph. The
+/// first is the gated one.
+constexpr double kFractions[] = {0.01, 0.05};
+
+RatingMatrix GenerateCorpus(const BenchConfig& config) {
+  Rng rng(config.seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(config.num_users, config.num_items);
+  for (UserId u = 0; u < config.num_users; ++u) {
+    for (ItemId i = 0; i < config.num_items; ++i) {
+      if (!rng.NextBool(config.density)) continue;
+      const auto status =
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5)));
+      if (!status.ok()) {
+        std::fprintf(stderr, "corpus generation failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+/// One arrival batch: `delta_users` existing users plus one brand-new user
+/// spread upserts over ~`fraction` of the item universe. Roughly half the
+/// existing-user upserts are steered onto cells the writer already rated
+/// (updates — exercising the superseded-co-rating Remove path), the rest
+/// are appends; the brand-new user can only append.
+RatingDelta MakeDelta(const RatingMatrix& matrix, double fraction,
+                      int32_t delta_users, Rng& rng) {
+  const int32_t target_items = std::max<int32_t>(
+      1, static_cast<int32_t>(fraction * matrix.num_items() + 0.5));
+  const std::vector<int32_t> items =
+      rng.SampleWithoutReplacement(matrix.num_items(), target_items);
+  std::vector<UserId> writers;
+  for (int32_t k = 0; k < delta_users; ++k) {
+    writers.push_back(
+        static_cast<UserId>(rng.UniformInt(0, matrix.num_users() - 1)));
+  }
+  writers.push_back(matrix.num_users());  // one brand-new user per batch
+
+  RatingDelta delta;
+  for (size_t k = 0; k < items.size(); ++k) {
+    const UserId writer = writers[k % writers.size()];
+    ItemId item = static_cast<ItemId>(items[k]);
+    if (k % 2 == 1 && writer < matrix.num_users()) {
+      const auto row = matrix.ItemsRatedBy(writer);
+      if (!row.empty()) {
+        item = row[static_cast<size_t>(rng.UniformInt(
+                       0, static_cast<int64_t>(row.size()) - 1))]
+                   .item;
+      }
+    }
+    const auto value = static_cast<Rating>(rng.UniformInt(1, 5));
+    const auto status = delta.Add(writer, item, value);
+    if (!status.ok()) {
+      std::fprintf(stderr, "delta generation failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return delta;
+}
+
+size_t CountMismatches(const PeerIndex& patched, const PeerIndex& rebuilt) {
+  if (patched.num_users() != rebuilt.num_users()) {
+    return static_cast<size_t>(
+        std::max(patched.num_users(), rebuilt.num_users()));
+  }
+  size_t mismatches = 0;
+  for (UserId u = 0; u < rebuilt.num_users(); ++u) {
+    const auto a = patched.PeersOf(u);
+    const auto b = rebuilt.PeersOf(u);
+    if (a.size() != b.size() || !std::equal(a.begin(), a.end(), b.begin())) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+struct FractionResult {
+  double fraction = 0.0;
+  int64_t touched_items = 0;
+  int64_t upserts = 0;
+  double apply_seconds = 0.0;
+  double rebuild_seconds = 0.0;
+  DeltaApplyStats stats;
+  size_t mismatching_users = 0;
+};
+
+int Run(const BenchConfig& config) {
+  std::printf("generating corpus: %d users x %d items at %.2f%% density...\n",
+              config.num_users, config.num_items, 100.0 * config.density);
+  RatingMatrix matrix = GenerateCorpus(config);
+  std::printf("  %lld ratings (density %.3f%%)\n",
+              static_cast<long long>(matrix.num_ratings()),
+              100.0 * matrix.Density());
+
+  IncrementalPeerGraphOptions options;
+  options.engine.num_threads = config.threads;
+  options.engine.block_users = config.block_users;
+  options.peers.delta = config.delta;
+  options.peers.max_peers_per_user = config.max_peers;
+  options.store.tile_users = config.tile_users;
+
+  Stopwatch seed_clock;
+  auto graph_result = IncrementalPeerGraph::Build(std::move(matrix), options);
+  const double seed_seconds = seed_clock.ElapsedSeconds();
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "seed build failed: %s\n",
+                 graph_result.status().ToString().c_str());
+    return 1;
+  }
+  IncrementalPeerGraph graph = std::move(graph_result).ValueOrDie();
+  std::printf(
+      "seed build (store + index):     %8.3f s   store %8.2f MiB "
+      "(%lld pairs)   index %.2f MiB\n",
+      seed_seconds,
+      static_cast<double>(graph.store().ResidentBytes()) / (1024.0 * 1024.0),
+      static_cast<long long>(graph.store().num_pairs()),
+      static_cast<double>(graph.index()->StorageBytes()) / (1024.0 * 1024.0));
+
+  Rng delta_rng(config.seed ^ 0x5eed5eedull);
+  std::vector<FractionResult> results;
+  for (const double fraction : kFractions) {
+    FractionResult r;
+    r.fraction = fraction;
+    const RatingDelta delta =
+        MakeDelta(graph.matrix(), fraction, config.delta_users, delta_rng);
+    r.touched_items = static_cast<int64_t>(delta.TouchedItems().size());
+    r.upserts = delta.size();
+
+    Stopwatch apply_clock;
+    auto stats = graph.ApplyDelta(delta);
+    r.apply_seconds = apply_clock.ElapsedSeconds();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "delta apply failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    r.stats = *stats;
+
+    // The static answer to the same arrivals: a full engine sweep over the
+    // post-delta corpus.
+    const PairwiseSimilarityEngine engine(&graph.matrix(), options.similarity,
+                                          options.engine);
+    Stopwatch rebuild_clock;
+    auto rebuilt = engine.BuildPeerIndex(options.peers);
+    r.rebuild_seconds = rebuild_clock.ElapsedSeconds();
+    if (!rebuilt.ok()) {
+      std::fprintf(stderr, "full rebuild failed: %s\n",
+                   rebuilt.status().ToString().c_str());
+      return 1;
+    }
+    r.mismatching_users = CountMismatches(*graph.index(), *rebuilt);
+
+    std::printf(
+        "fraction %4.1f%%: apply %7.4f s  rebuild %7.4f s  speedup %6.1fx  "
+        "(%lld upserts, %lld pairs changed, %lld rows patched, %lld rows "
+        "refinished, %zu mismatches)\n",
+        100.0 * fraction, r.apply_seconds, r.rebuild_seconds,
+        r.rebuild_seconds / r.apply_seconds,
+        static_cast<long long>(r.upserts),
+        static_cast<long long>(r.stats.changed_pairs),
+        static_cast<long long>(r.stats.rows_patched),
+        static_cast<long long>(r.stats.rows_refinished),
+        r.mismatching_users);
+    results.push_back(r);
+  }
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"incremental_update\",\n"
+               "  \"corpus\": {\n"
+               "    \"num_users\": %d,\n"
+               "    \"num_items\": %d,\n"
+               "    \"density\": %.6f,\n"
+               "    \"seed\": %llu\n"
+               "  },\n"
+               "  \"options\": {\n"
+               "    \"delta\": %.6f,\n"
+               "    \"max_peers_per_user\": %d,\n"
+               "    \"min_overlap\": %d,\n"
+               "    \"intersection_means\": %s,\n"
+               "    \"shift_to_unit_interval\": %s,\n"
+               "    \"tile_users\": %d,\n"
+               "    \"delta_users\": %d\n"
+               "  },\n"
+               "  \"threads\": %zu,\n"
+               "  \"block_users\": %d,\n"
+               "  \"seed_build\": {\n"
+               "    \"seconds\": %.6f,\n"
+               "    \"store_bytes\": %zu,\n"
+               "    \"store_pairs\": %lld,\n"
+               "    \"index_entries\": %lld\n"
+               "  },\n"
+               "  \"store_peak_bytes\": %zu,\n",
+               config.num_users, config.num_items, config.density,
+               static_cast<unsigned long long>(config.seed), config.delta,
+               config.max_peers, options.similarity.min_overlap,
+               options.similarity.intersection_means ? "true" : "false",
+               options.similarity.shift_to_unit_interval ? "true" : "false",
+               config.tile_users, config.delta_users, config.threads,
+               config.block_users, seed_seconds,
+               graph.store().ResidentBytes(),
+               static_cast<long long>(graph.store().num_pairs()),
+               static_cast<long long>(graph.index()->num_entries()),
+               graph.store().peak_bytes());
+  std::fprintf(out, "  \"fractions\": [\n");
+  for (size_t k = 0; k < results.size(); ++k) {
+    const FractionResult& r = results[k];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"fraction\": %.4f,\n"
+                 "      \"touched_items\": %lld,\n"
+                 "      \"upserts\": %lld,\n"
+                 "      \"apply_seconds\": %.6f,\n"
+                 "      \"rebuild_seconds\": %.6f,\n"
+                 "      \"speedup\": %.3f,\n"
+                 "      \"changed_pairs\": %lld,\n"
+                 "      \"refinished_pairs\": %lld,\n"
+                 "      \"rows_patched\": %lld,\n"
+                 "      \"rows_refinished\": %lld,\n"
+                 "      \"mismatching_users\": %zu\n"
+                 "    }%s\n",
+                 r.fraction, static_cast<long long>(r.touched_items),
+                 static_cast<long long>(r.upserts), r.apply_seconds,
+                 r.rebuild_seconds, r.rebuild_seconds / r.apply_seconds,
+                 static_cast<long long>(r.stats.changed_pairs),
+                 static_cast<long long>(r.stats.refinished_pairs),
+                 static_cast<long long>(r.stats.rows_patched),
+                 static_cast<long long>(r.stats.rows_refinished),
+                 r.mismatching_users,
+                 k + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+
+  size_t total_mismatches = 0;
+  for (const FractionResult& r : results) {
+    total_mismatches += r.mismatching_users;
+  }
+  if (total_mismatches > 0) {
+    std::fprintf(stderr, "FAIL: patched index disagrees with rebuild for %zu "
+                         "user rows\n",
+                 total_mismatches);
+    return 2;
+  }
+  if (config.check_peak_bytes_max > 0 &&
+      graph.store().peak_bytes() > config.check_peak_bytes_max) {
+    std::fprintf(stderr,
+                 "FAIL: store peak %zu bytes above the gate %zu bytes\n",
+                 graph.store().peak_bytes(), config.check_peak_bytes_max);
+    return 3;
+  }
+  const double gated_speedup =
+      results[0].rebuild_seconds / results[0].apply_seconds;
+  if (config.check_speedup_min > 0.0 &&
+      gated_speedup < config.check_speedup_min) {
+    std::fprintf(stderr,
+                 "FAIL: speedup %.2fx at the %.1f%% fraction below the gate "
+                 "%.2fx\n",
+                 gated_speedup, 100.0 * results[0].fraction,
+                 config.check_speedup_min);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairrec
+
+int main(int argc, char** argv) {
+  fairrec::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--users") {
+      config.num_users = std::atoi(next());
+    } else if (arg == "--items") {
+      config.num_items = std::atoi(next());
+    } else if (arg == "--density") {
+      config.density = std::atof(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      config.threads = static_cast<size_t>(std::atoi(next()));
+    } else if (arg == "--block") {
+      config.block_users = std::atoi(next());
+    } else if (arg == "--delta") {
+      config.delta = std::atof(next());
+    } else if (arg == "--max-peers") {
+      config.max_peers = std::atoi(next());
+    } else if (arg == "--tile-users") {
+      config.tile_users = std::atoi(next());
+    } else if (arg == "--delta-users") {
+      config.delta_users = std::atoi(next());
+    } else if (arg == "--check-speedup-min") {
+      config.check_speedup_min = std::atof(next());
+    } else if (arg == "--check-peak-bytes-max") {
+      config.check_peak_bytes_max = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out") {
+      config.out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config.num_users < 2 || config.num_items < 1 || config.density <= 0.0 ||
+      config.density > 1.0 || config.max_peers < 0 || config.delta <= 0.0 ||
+      config.tile_users < 1 || config.delta_users < 1) {
+    std::fprintf(stderr, "invalid configuration\n");
+    return 1;
+  }
+  return fairrec::Run(config);
+}

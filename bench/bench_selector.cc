@@ -1,0 +1,336 @@
+// Selector-path benchmark: the top-z "most valuable recommendations"
+// selectors of §III-D head-to-head on one synthetic health scenario, with a
+// JSON record for the perf trajectory (the BENCH_selector.json companion of
+// the similarity / peer-index / mapreduce benches).
+//
+// For each (group kind, |G|, m, z) configuration the run builds the group's
+// candidate context once (sparse peer graph -> GroupRecommender ->
+// RestrictToTopM), then times each selector over --reps repetitions:
+//
+//   * algorithm1   — the paper's FairnessHeuristic (Algorithm 1);
+//   * greedy-value — marginal-value greedy baseline;
+//   * local-search — swap hill-climbing from the Algorithm 1 seed;
+//   * brute-force  — the exact §III-D optimum (ground truth; m stays small
+//                    enough that C(m, z) is enumerable).
+//
+// Quality is value(G, D) relative to the brute-force optimum. Value ratios
+// and selections are corpus-deterministic, so the two gates are immune to
+// runner noise except --check-speedup-min, which has orders-of-magnitude
+// headroom (exhaustive enumeration vs a polynomial heuristic):
+//
+//   --check-value-ratio-min F   exit 3 when Algorithm 1's worst value ratio
+//                               across configurations drops below F
+//   --check-speedup-min F       exit 3 when brute/algorithm1 speedup at the
+//                               largest configuration drops below F
+//
+// Exit status: 0 ok, 1 argument/IO errors, 2 if any heuristic beats the
+// exhaustive optimum (impossible unless a selector is broken), 3 if a
+// --check-* regression gate fails.
+//
+//   bench_selector [--patients N] [--documents N] [--density F] [--seed N]
+//                  [--reps N] [--check-value-ratio-min F]
+//                  [--check-speedup-min F] [--out BENCH_selector.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/brute_force.h"
+#include "core/fairness_heuristic.h"
+#include "core/greedy_selector.h"
+#include "core/group_recommender.h"
+#include "core/local_search.h"
+#include "data/scenario.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+namespace {
+
+struct BenchConfig {
+  int32_t num_patients = 300;
+  int32_t num_documents = 200;
+  double rating_density = 0.08;
+  uint64_t seed = 777;
+  int32_t reps = 10;
+  double check_value_ratio_min = 0.0;
+  double check_speedup_min = 0.0;
+  std::string out_path = "BENCH_selector.json";
+};
+
+struct SelectorRun {
+  std::string name;
+  double seconds_per_select = 0.0;
+  double value = 0.0;
+  double fairness = 0.0;
+  double relevance_sum = 0.0;
+  double value_ratio = 1.0;  // vs the brute-force optimum
+};
+
+struct ConfigResult {
+  std::string group_kind;
+  int32_t group_size = 0;
+  int32_t m = 0;
+  int32_t z = 0;
+  std::vector<SelectorRun> selectors;
+};
+
+double TimeSelect(const ItemSetSelector& selector, const GroupContext& pool,
+                  int32_t z, int32_t reps, Selection* out) {
+  // One warm-up select (also the returned Selection — selectors are
+  // deterministic), then the timed repetitions.
+  auto first = selector.Select(pool, z);
+  if (!first.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", selector.name().c_str(),
+                 first.status().ToString().c_str());
+    std::exit(1);
+  }
+  *out = *first;
+  Stopwatch clock;
+  for (int32_t r = 0; r < reps; ++r) {
+    auto result = selector.Select(pool, z);
+    if (!result.ok()) std::exit(1);
+  }
+  return clock.ElapsedSeconds() / std::max<int32_t>(reps, 1);
+}
+
+int Run(const BenchConfig& config) {
+  ScenarioConfig scenario_config;
+  scenario_config.num_patients = config.num_patients;
+  scenario_config.num_documents = config.num_documents;
+  scenario_config.num_clusters = 6;
+  scenario_config.rating_density = config.rating_density;
+  scenario_config.seed = config.seed;
+  const Scenario scenario =
+      std::move(BuildScenario(scenario_config)).ValueOrDie();
+  std::printf("scenario: %d patients x %d documents, %lld ratings\n",
+              config.num_patients, config.num_documents,
+              static_cast<long long>(scenario.ratings.num_ratings()));
+
+  // Serving-path context build: engine-built sparse peer graph.
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const PairwiseSimilarityEngine engine(&scenario.ratings, sim_options);
+  PeerIndexOptions peer_options;
+  peer_options.delta = 0.55;
+  const PeerIndex peers =
+      std::move(engine.BuildPeerIndex(peer_options)).ValueOrDie();
+  RecommenderOptions rec_options;
+  rec_options.peers.delta = 0.55;
+  rec_options.top_k = 10;
+  const GroupRecommender group_rec(&scenario.ratings, &peers, rec_options);
+
+  const FairnessHeuristic algorithm1;
+  const GreedyValueSelector greedy;
+  const LocalSearchSelector local_search;
+  const BruteForceSelector brute_force;
+
+  std::vector<ConfigResult> results;
+  double worst_alg1_ratio = 1.0;
+  double largest_config_speedup = 0.0;
+  uint64_t largest_config_combinations = 0;
+  bool heuristic_beat_optimum = false;
+  for (const bool cohesive : {true, false}) {
+    for (const int32_t g : {3, 5}) {
+      for (const auto& [m, z] : {std::pair<int32_t, int32_t>{14, 4},
+                                 std::pair<int32_t, int32_t>{20, 6}}) {
+        const Group group = cohesive
+                                ? scenario.MakeCohesiveGroup(g, 100 + g + m)
+                                : scenario.MakeRandomGroup(g, 200 + g + m);
+        const GroupContext full =
+            std::move(group_rec.BuildContext(group)).ValueOrDie();
+        const GroupContext pool = full.RestrictToTopM(m);
+
+        ConfigResult r;
+        r.group_kind = cohesive ? "cohesive" : "random";
+        r.group_size = g;
+        r.m = std::min(m, pool.num_candidates());
+        r.z = z;
+
+        Selection opt;
+        const double brute_seconds =
+            TimeSelect(brute_force, pool, z, std::max(1, config.reps / 5),
+                       &opt);
+        for (const ItemSetSelector* selector :
+             {static_cast<const ItemSetSelector*>(&algorithm1),
+              static_cast<const ItemSetSelector*>(&greedy),
+              static_cast<const ItemSetSelector*>(&local_search)}) {
+          SelectorRun run;
+          run.name = selector->name();
+          Selection selection;
+          run.seconds_per_select =
+              TimeSelect(*selector, pool, z, config.reps, &selection);
+          run.value = selection.score.value;
+          run.fairness = selection.score.fairness;
+          run.relevance_sum = selection.score.relevance_sum;
+          if (selection.score.value > opt.score.value + 1e-9) {
+            heuristic_beat_optimum = true;
+          }
+          run.value_ratio = opt.score.value > 0.0
+                                ? selection.score.value / opt.score.value
+                                : 1.0;
+          r.selectors.push_back(run);
+        }
+        SelectorRun brute_run;
+        brute_run.name = brute_force.name();
+        brute_run.seconds_per_select = brute_seconds;
+        brute_run.value = opt.score.value;
+        brute_run.fairness = opt.score.fairness;
+        brute_run.relevance_sum = opt.score.relevance_sum;
+        r.selectors.push_back(brute_run);
+
+        worst_alg1_ratio =
+            std::min(worst_alg1_ratio, r.selectors[0].value_ratio);
+        // "Largest configuration" = the one with the most brute-force
+        // enumerations, independent of loop order.
+        const uint64_t combinations =
+            BruteForceSelector::CountCombinations(r.m, z);
+        if (combinations >= largest_config_combinations) {
+          largest_config_combinations = combinations;
+          largest_config_speedup =
+              brute_seconds /
+              std::max(r.selectors[0].seconds_per_select, 1e-12);
+        }
+        std::printf(
+            "%-8s |G|=%d m=%2d z=%d: alg1 %8.1f us (ratio %.4f)  greedy "
+            "%8.1f us  swap %8.1f us  brute %10.1f us\n",
+            r.group_kind.c_str(), g, r.m, z,
+            1e6 * r.selectors[0].seconds_per_select, r.selectors[0].value_ratio,
+            1e6 * r.selectors[1].seconds_per_select,
+            1e6 * r.selectors[2].seconds_per_select, 1e6 * brute_seconds);
+        results.push_back(std::move(r));
+      }
+    }
+  }
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"selector\",\n"
+               "  \"scenario\": {\n"
+               "    \"num_patients\": %d,\n"
+               "    \"num_documents\": %d,\n"
+               "    \"num_ratings\": %lld,\n"
+               "    \"rating_density\": %.6f,\n"
+               "    \"seed\": %llu\n"
+               "  },\n"
+               "  \"options\": {\n"
+               "    \"delta\": %.6f,\n"
+               "    \"top_k\": %d,\n"
+               "    \"reps\": %d\n"
+               "  },\n",
+               config.num_patients, config.num_documents,
+               static_cast<long long>(scenario.ratings.num_ratings()),
+               config.rating_density,
+               static_cast<unsigned long long>(config.seed),
+               rec_options.peers.delta, rec_options.top_k, config.reps);
+  std::fprintf(out, "  \"configs\": [\n");
+  for (size_t k = 0; k < results.size(); ++k) {
+    const ConfigResult& r = results[k];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"group_kind\": \"%s\",\n"
+                 "      \"group_size\": %d,\n"
+                 "      \"m\": %d,\n"
+                 "      \"z\": %d,\n"
+                 "      \"selectors\": [\n",
+                 r.group_kind.c_str(), r.group_size, r.m, r.z);
+    for (size_t s = 0; s < r.selectors.size(); ++s) {
+      const SelectorRun& run = r.selectors[s];
+      std::fprintf(out,
+                   "        {\"name\": \"%s\", \"seconds_per_select\": %.9f, "
+                   "\"value\": %.6f, \"fairness\": %.6f, "
+                   "\"relevance_sum\": %.6f, \"value_ratio\": %.6f}%s\n",
+                   run.name.c_str(), run.seconds_per_select, run.value,
+                   run.fairness, run.relevance_sum, run.value_ratio,
+                   s + 1 < r.selectors.size() ? "," : "");
+    }
+    std::fprintf(out, "      ]\n    }%s\n",
+                 k + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"worst_algorithm1_value_ratio\": %.6f,\n"
+               "  \"brute_over_algorithm1_speedup\": %.3f\n"
+               "}\n",
+               worst_alg1_ratio, largest_config_speedup);
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+  std::printf("worst Algorithm 1 value ratio: %.4f   brute/alg1 speedup at "
+              "the largest config: %.0fx\n",
+              worst_alg1_ratio, largest_config_speedup);
+
+  if (heuristic_beat_optimum) {
+    std::fprintf(stderr,
+                 "FAIL: a heuristic exceeded the exhaustive optimum\n");
+    return 2;
+  }
+  if (config.check_value_ratio_min > 0.0 &&
+      worst_alg1_ratio < config.check_value_ratio_min) {
+    std::fprintf(stderr,
+                 "FAIL: Algorithm 1 value ratio %.4f below the gate %.4f\n",
+                 worst_alg1_ratio, config.check_value_ratio_min);
+    return 3;
+  }
+  if (config.check_speedup_min > 0.0 &&
+      largest_config_speedup < config.check_speedup_min) {
+    std::fprintf(stderr, "FAIL: brute/alg1 speedup %.1fx below the gate "
+                         "%.1fx\n",
+                 largest_config_speedup, config.check_speedup_min);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairrec
+
+int main(int argc, char** argv) {
+  fairrec::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--patients") {
+      config.num_patients = std::atoi(next());
+    } else if (arg == "--documents") {
+      config.num_documents = std::atoi(next());
+    } else if (arg == "--density") {
+      config.rating_density = std::atof(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--reps") {
+      config.reps = std::atoi(next());
+    } else if (arg == "--check-value-ratio-min") {
+      config.check_value_ratio_min = std::atof(next());
+    } else if (arg == "--check-speedup-min") {
+      config.check_speedup_min = std::atof(next());
+    } else if (arg == "--out") {
+      config.out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config.num_patients < 10 || config.num_documents < 10 ||
+      config.rating_density <= 0.0 || config.rating_density > 1.0 ||
+      config.reps < 1) {
+    std::fprintf(stderr, "invalid configuration\n");
+    return 1;
+  }
+  return fairrec::Run(config);
+}

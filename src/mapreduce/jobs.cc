@@ -224,6 +224,41 @@ std::vector<KeyValue<UserPairKey, double>> RunJob2(
   return output;
 }
 
+Result<MomentStore> BuildMomentStoreFromPartialMoments(
+    const std::vector<KeyValue<UserPairKey, PairMoments>>& partial_moments,
+    int32_t num_users, const MomentStoreOptions& store_options) {
+  if (num_users < 0) {
+    return Status::InvalidArgument("num_users must be non-negative");
+  }
+  if (store_options.tile_users <= 0) {
+    return Status::InvalidArgument("tile_users must be positive");
+  }
+  MomentStore::Builder builder(num_users, store_options);
+  // The stream is sorted by pair with each pair's shard partials in
+  // ascending shard order; merging in stream order therefore reproduces the
+  // Job 2 reducers' sums (and, at one shard, the engine's accumulation)
+  // deterministically.
+  for (size_t first = 0; first < partial_moments.size();) {
+    size_t last = first;
+    while (last < partial_moments.size() &&
+           partial_moments[last].key == partial_moments[first].key) {
+      ++last;
+    }
+    const UserPairKey& key = partial_moments[first].key;
+    PairMoments total;
+    for (size_t k = first; k < last; ++k) {
+      total.Merge(partial_moments[k].value);
+    }
+    if (key.first < key.second) {
+      builder.Add(key.first, key.second, total);
+    } else if (key.second < key.first) {
+      builder.Add(key.second, key.first, total.Swapped());
+    }
+    first = last;
+  }
+  return std::move(builder).Build();
+}
+
 Result<PeerIndex> RunJob2PeerIndex(
     const std::vector<KeyValue<UserPairKey, PairMoments>>& partial_moments,
     const std::vector<double>& user_means,

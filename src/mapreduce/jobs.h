@@ -9,6 +9,7 @@
 #include "core/aggregation.h"
 #include "mapreduce/engine.h"
 #include "ratings/types.h"
+#include "sim/moment_store.h"
 #include "sim/pearson_finish.h"
 #include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
@@ -104,6 +105,21 @@ Result<PeerIndex> RunJob2PeerIndex(
     const RatingSimilarityOptions& sim_options, double delta,
     int32_t num_users, int32_t max_peers_per_member = 0,
     const MapReduceOptions& options = {}, MapReduceStats* stats = nullptr);
+
+/// Folds the Job 1 moment stream into the persistent MomentStore the
+/// incremental peer-graph maintenance subsystem consumes
+/// (sim/incremental_peer_graph.h): per-shard partials of each pair are
+/// merged in their canonical ascending-shard order (exactly as the Job 2
+/// reducers sum them) and stored in the canonical (min id, max id)
+/// orientation the in-memory engine accumulates. On integer rating scales
+/// the stored statistics are bit-identical to
+/// PairwiseSimilarityEngine::BuildMomentStore restricted to the
+/// (member, outside-user) pairs the Job 1 stream covers — so a MapReduce
+/// deployment can seed the incremental subsystem without an in-memory
+/// re-sweep. `num_users` sizes the store's population.
+Result<MomentStore> BuildMomentStoreFromPartialMoments(
+    const std::vector<KeyValue<UserPairKey, PairMoments>>& partial_moments,
+    int32_t num_users, const MomentStoreOptions& store_options = {});
 
 /// Relevance scores of one candidate item for the group (Job 3 output).
 struct GroupItemRelevance {

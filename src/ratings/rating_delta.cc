@@ -1,0 +1,173 @@
+#include "ratings/rating_delta.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+RatingDelta& RatingDelta::allow_any_scale(bool allow) {
+  allow_any_scale_ = allow;
+  return *this;
+}
+
+Status RatingDelta::Add(UserId user, ItemId item, Rating value) {
+  if (user < 0) {
+    return Status::InvalidArgument("negative user id: " + std::to_string(user));
+  }
+  if (item < 0) {
+    return Status::InvalidArgument("negative item id: " + std::to_string(item));
+  }
+  if (!allow_any_scale_ && !IsValidRating(value)) {
+    return Status::InvalidArgument("rating outside [1,5]: " +
+                                   std::to_string(value));
+  }
+  upserts_.push_back({user, item, value});
+  finalized_ = upserts_.size() == 1;
+  return Status::OK();
+}
+
+Status RatingDelta::AddAll(std::span<const RatingTriple> triples) {
+  for (const RatingTriple& t : triples) {
+    FAIRREC_RETURN_NOT_OK(Add(t.user, t.item, t.value));
+  }
+  return Status::OK();
+}
+
+void RatingDelta::Finalize() const {
+  if (finalized_) return;
+  // Stable sort keeps insertion order within a (user, item) cell, so
+  // "last upsert wins" is the last element of each equal run.
+  std::stable_sort(upserts_.begin(), upserts_.end(),
+                   [](const RatingTriple& a, const RatingTriple& b) {
+                     return a.user != b.user ? a.user < b.user
+                                             : a.item < b.item;
+                   });
+  size_t out = 0;
+  for (size_t k = 0; k < upserts_.size(); ++k) {
+    if (k + 1 < upserts_.size() && upserts_[k + 1].user == upserts_[k].user &&
+        upserts_[k + 1].item == upserts_[k].item) {
+      continue;  // superseded by a later upsert of the same cell
+    }
+    upserts_[out++] = upserts_[k];
+  }
+  upserts_.resize(out);
+  finalized_ = true;
+}
+
+std::span<const RatingTriple> RatingDelta::upserts() const {
+  Finalize();
+  return upserts_;
+}
+
+std::vector<ItemId> RatingDelta::TouchedItems() const {
+  Finalize();
+  std::vector<ItemId> items;
+  items.reserve(upserts_.size());
+  for (const RatingTriple& t : upserts_) items.push_back(t.item);
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+std::vector<UserId> RatingDelta::TouchedUsers() const {
+  Finalize();
+  std::vector<UserId> users;
+  users.reserve(upserts_.size());
+  for (const RatingTriple& t : upserts_) {
+    // upserts_ is (user, item)-ordered, so users arrive grouped.
+    if (users.empty() || users.back() != t.user) users.push_back(t.user);
+  }
+  return users;
+}
+
+Result<RatingMatrix> RatingDelta::ApplyTo(const RatingMatrix& base) const {
+  Finalize();
+
+  int32_t num_users = base.num_users();
+  int32_t num_items = base.num_items();
+  for (const RatingTriple& t : upserts_) {
+    num_users = std::max(num_users, t.user + 1);
+    num_items = std::max(num_items, t.item + 1);
+  }
+
+  RatingMatrix m;
+  m.num_users_ = num_users;
+  m.num_items_ = num_items;
+
+  // ---- Rows: per-user sorted merge of the base row with the user's
+  // upserts (both item-ascending). Matching items overwrite in place. ----
+  m.by_user_offsets_.assign(static_cast<size_t>(num_users) + 1, 0);
+  m.by_user_entries_.reserve(static_cast<size_t>(base.num_ratings()) +
+                             upserts_.size());
+  size_t d = 0;  // cursor into upserts_
+  for (UserId u = 0; u < num_users; ++u) {
+    m.by_user_offsets_[static_cast<size_t>(u)] =
+        static_cast<int64_t>(m.by_user_entries_.size());
+    const std::span<const ItemRating> row =
+        u < base.num_users() ? base.ItemsRatedBy(u)
+                             : std::span<const ItemRating>();
+    size_t r = 0;
+    while (r < row.size() || (d < upserts_.size() && upserts_[d].user == u)) {
+      const bool has_upsert = d < upserts_.size() && upserts_[d].user == u;
+      if (!has_upsert || (r < row.size() && row[r].item < upserts_[d].item)) {
+        m.by_user_entries_.push_back(row[r++]);
+      } else {
+        if (r < row.size() && row[r].item == upserts_[d].item) ++r;  // update
+        m.by_user_entries_.push_back({upserts_[d].item, upserts_[d].value});
+        ++d;
+      }
+    }
+  }
+  m.by_user_offsets_[static_cast<size_t>(num_users)] =
+      static_cast<int64_t>(m.by_user_entries_.size());
+
+  // ---- Columns: the same merge item-major, against an (item, user)-sorted
+  // copy of the batch. ----
+  std::vector<RatingTriple> by_item(upserts_.begin(), upserts_.end());
+  std::sort(by_item.begin(), by_item.end(),
+            [](const RatingTriple& a, const RatingTriple& b) {
+              return a.item != b.item ? a.item < b.item : a.user < b.user;
+            });
+  m.by_item_offsets_.assign(static_cast<size_t>(num_items) + 1, 0);
+  m.by_item_entries_.reserve(m.by_user_entries_.size());
+  d = 0;
+  for (ItemId i = 0; i < num_items; ++i) {
+    m.by_item_offsets_[static_cast<size_t>(i)] =
+        static_cast<int64_t>(m.by_item_entries_.size());
+    const std::span<const UserRating> column =
+        i < base.num_items() ? base.UsersWhoRated(i)
+                             : std::span<const UserRating>();
+    size_t c = 0;
+    while (c < column.size() || (d < by_item.size() && by_item[d].item == i)) {
+      const bool has_upsert = d < by_item.size() && by_item[d].item == i;
+      if (!has_upsert ||
+          (c < column.size() && column[c].user < by_item[d].user)) {
+        m.by_item_entries_.push_back(column[c++]);
+      } else {
+        if (c < column.size() && column[c].user == by_item[d].user) ++c;
+        m.by_item_entries_.push_back({by_item[d].user, by_item[d].value});
+        ++d;
+      }
+    }
+  }
+  m.by_item_offsets_[static_cast<size_t>(num_items)] =
+      static_cast<int64_t>(m.by_item_entries_.size());
+
+  // ---- Means: copy, then recompute only the touched rows. ----
+  m.user_means_.assign(static_cast<size_t>(num_users), 0.0);
+  std::copy(base.user_means_.begin(), base.user_means_.end(),
+            m.user_means_.begin());
+  for (const UserId u : TouchedUsers()) {
+    const auto row = m.ItemsRatedBy(u);
+    double sum = 0.0;
+    for (const ItemRating& entry : row) sum += entry.value;
+    m.user_means_[static_cast<size_t>(u)] =
+        row.empty() ? 0.0 : sum / static_cast<double>(row.size());
+  }
+  return m;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,80 @@
+#ifndef FAIRREC_RATINGS_RATING_DELTA_H_
+#define FAIRREC_RATINGS_RATING_DELTA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "ratings/rating_matrix.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// One batch of rating arrivals against an existing corpus: brand-new
+/// ratings, updates of existing cells, and ratings from brand-new users
+/// (ids at or beyond the base matrix's num_users grow the population; new
+/// item ids grow the item universe the same way).
+///
+/// This is the unit of change the incremental peer-graph maintenance
+/// subsystem consumes (see sim/incremental_peer_graph.h): a delta names
+/// exactly which item columns moved, so the similarity refresh can re-sweep
+/// only those columns instead of the whole corpus. Semantics are upsert-only
+/// — a (user, item) cell is inserted or overwritten, never deleted — which
+/// matches the serving reality of continuously arriving ratings.
+///
+/// Thread-compatibility: unlike the library's read-only artifacts, the
+/// const accessors here finalize the batch lazily (sort + last-wins dedup
+/// of the mutable upsert list), so concurrent first reads of a shared delta
+/// race. Build a delta on one thread; if it must be shared, call upserts()
+/// once before publishing it.
+class RatingDelta {
+ public:
+  RatingDelta() = default;
+
+  /// Records one arrival. The last upsert wins when the same (user, item)
+  /// cell appears twice in one batch. Returns InvalidArgument for negative
+  /// ids or (unless allow_any_scale) off-scale values.
+  Status Add(UserId user, ItemId item, Rating value);
+
+  /// Adds a batch; stops at the first error.
+  Status AddAll(std::span<const RatingTriple> triples);
+
+  /// Accepts ratings outside the 1..5 scale (default false). Must match the
+  /// base matrix's scale policy.
+  RatingDelta& allow_any_scale(bool allow);
+
+  bool empty() const { return upserts_.empty(); }
+  int64_t size() const { return static_cast<int64_t>(upserts_.size()); }
+
+  /// The batch as deduplicated triples in (user, item) order.
+  /// Finalized lazily; calling Add afterwards re-finalizes.
+  std::span<const RatingTriple> upserts() const;
+
+  /// Distinct items with at least one upsert, ascending — the columns the
+  /// incremental sweep re-reads.
+  std::vector<ItemId> TouchedItems() const;
+
+  /// Distinct users with at least one upsert, ascending.
+  std::vector<UserId> TouchedUsers() const;
+
+  /// The batch folded into `base`: every upsert inserted or overwritten,
+  /// num_users/num_items grown to cover new ids. Rows, columns, and per-user
+  /// means are merged in O(ratings + batch) — no global re-sort — so
+  /// applying a small delta to a large corpus costs one linear pass, not a
+  /// from-scratch RatingMatrixBuilder::Build.
+  Result<RatingMatrix> ApplyTo(const RatingMatrix& base) const;
+
+ private:
+  void Finalize() const;
+
+  // Raw arrivals in insertion order; finalized (sorted, last-wins dedup)
+  // into a (user, item)-ordered batch on first read.
+  mutable std::vector<RatingTriple> upserts_;
+  mutable bool finalized_ = true;
+  bool allow_any_scale_ = false;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_RATINGS_RATING_DELTA_H_

@@ -72,6 +72,9 @@ class RatingMatrix {
 
  private:
   friend class RatingMatrixBuilder;
+  // RatingDelta::ApplyTo splices a batch of upserts into a copy of the CSR
+  // arrays in O(ratings + batch), bypassing the builder's global re-sort.
+  friend class RatingDelta;
 
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;

@@ -1,0 +1,368 @@
+#include "sim/incremental_peer_graph.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace fairrec {
+
+namespace {
+
+/// Canonical pair (a < b) packed into one map key.
+uint64_t PairKey(UserId a, UserId b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+UserId KeyA(uint64_t key) { return static_cast<UserId>(key >> 32); }
+UserId KeyB(uint64_t key) {
+  return static_cast<UserId>(key & 0xffffffffull);
+}
+
+/// One upsert with the value it supersedes (absent for brand-new cells).
+struct CellChange {
+  UserId user = kInvalidUserId;
+  ItemId item = kInvalidItemId;
+  double value = 0.0;
+  bool has_old = false;
+  double old_value = 0.0;
+};
+
+/// One similarity change delivered to a row: the neighbour whose entry
+/// moves and its freshly finished similarity.
+struct RowChange {
+  UserId row = kInvalidUserId;
+  UserId other = kInvalidUserId;
+  double sim = 0.0;
+};
+
+}  // namespace
+
+Result<IncrementalPeerGraph> IncrementalPeerGraph::Build(
+    RatingMatrix matrix, IncrementalPeerGraphOptions options) {
+  if (!(options.peers.delta > 0.0)) {
+    return Status::InvalidArgument(
+        "incremental maintenance requires a positive peer delta: with "
+        "delta <= 0 every no-co-rating pair qualifies and the graph has no "
+        "sparse form");
+  }
+  if (options.peers.max_peers_per_user < 0) {
+    return Status::InvalidArgument("max_peers_per_user must be >= 0");
+  }
+  if (options.store.tile_users <= 0) {
+    return Status::InvalidArgument("store.tile_users must be positive");
+  }
+
+  IncrementalPeerGraph graph;
+  graph.options_ = options;
+  graph.matrix_ = std::make_unique<RatingMatrix>(std::move(matrix));
+  const PairwiseSimilarityEngine engine(graph.matrix_.get(),
+                                        options.similarity, options.engine);
+  FAIRREC_ASSIGN_OR_RETURN(graph.store_,
+                           engine.BuildMomentStore(options.store));
+  FAIRREC_ASSIGN_OR_RETURN(PeerIndex index,
+                           engine.BuildPeerIndex(options.peers));
+  graph.index_ = std::make_shared<const PeerIndex>(std::move(index));
+  return graph;
+}
+
+std::vector<Peer> IncrementalPeerGraph::RefinishRow(
+    const PairwiseSimilarityEngine& engine, UserId v) const {
+  std::vector<Peer> row;
+  const auto entries = store_.RowOf(v);
+  row.reserve(entries.size());
+  for (const MomentEntry& entry : entries) {
+    // Stored moments are canonically oriented, so finish with (min, max) —
+    // the exact call the full sweep makes for this pair.
+    const UserId a = std::min(v, entry.other);
+    const UserId b = std::max(v, entry.other);
+    const double sim = engine.FinishPair(entry.moments, a, b);
+    if (sim >= options_.peers.delta) row.push_back({entry.other, sim});
+  }
+  const int32_t cap = options_.peers.max_peers_per_user;
+  if (cap > 0 && row.size() > static_cast<size_t>(cap)) {
+    std::nth_element(row.begin(), row.begin() + cap, row.end(), BetterPeer);
+    row.resize(static_cast<size_t>(cap));
+  }
+  std::sort(row.begin(), row.end(), BetterPeer);
+  return row;
+}
+
+Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
+    const RatingDelta& delta) {
+  DeltaApplyStats stats;
+  const std::span<const RatingTriple> upserts = delta.upserts();
+  stats.num_upserts = static_cast<int64_t>(upserts.size());
+  if (upserts.empty()) return stats;
+
+  // ---- 0. Superseded values, read against the pre-delta corpus. ----
+  std::vector<CellChange> cells;
+  cells.reserve(upserts.size());
+  for (const RatingTriple& t : upserts) {
+    const std::optional<Rating> old = matrix_->GetRating(t.user, t.item);
+    cells.push_back(
+        {t.user, t.item, t.value, old.has_value(), old.value_or(0.0)});
+  }
+
+  // ---- 1. Fold the batch into the corpus. ----
+  FAIRREC_ASSIGN_OR_RETURN(RatingMatrix new_matrix, delta.ApplyTo(*matrix_));
+  const std::vector<UserId> delta_users = delta.TouchedUsers();
+  std::vector<uint8_t> in_delta(static_cast<size_t>(new_matrix.num_users()), 0);
+  for (const UserId u : delta_users) in_delta[static_cast<size_t>(u)] = 1;
+  store_.EnsureNumUsers(new_matrix.num_users());
+
+  // ---- 2. Delta sweep: only the touched item columns. ----
+  // Each changed rating pairs against its item's post-delta column; the
+  // superseded value (if any) is removed from the same pairs. Pairs between
+  // two changed ratings of one item are handled once, on the canonical
+  // orientation.
+  std::vector<const CellChange*> by_item;
+  by_item.reserve(cells.size());
+  for (const CellChange& cell : cells) by_item.push_back(&cell);
+  std::sort(by_item.begin(), by_item.end(),
+            [](const CellChange* x, const CellChange* y) {
+              return x->item != y->item ? x->item < y->item
+                                        : x->user < y->user;
+            });
+
+  std::unordered_map<uint64_t, PairMoments> pair_deltas;
+  std::vector<int32_t> change_at;  // column position -> index into the group
+  for (size_t first = 0; first < by_item.size();) {
+    size_t last = first;
+    while (last < by_item.size() &&
+           by_item[last]->item == by_item[first]->item) {
+      ++last;
+    }
+    ++stats.touched_items;
+    const ItemId item = by_item[first]->item;
+    const auto column = new_matrix.UsersWhoRated(item);
+
+    // Mark which column entries belong to this item's changed cells (both
+    // are user-ascending, so one merge suffices).
+    change_at.assign(column.size(), -1);
+    {
+      size_t g = first;
+      for (size_t c = 0; c < column.size() && g < last; ++c) {
+        if (column[c].user == by_item[g]->user) {
+          change_at[c] = static_cast<int32_t>(g);
+          ++g;
+        }
+      }
+    }
+
+    for (size_t g = first; g < last; ++g) {
+      const CellChange& cell = *by_item[g];
+      for (size_t c = 0; c < column.size(); ++c) {
+        const UserId v = column[c].user;
+        if (v == cell.user) continue;
+        if (change_at[c] >= 0) {
+          // Both sides of the pair changed on this item: fold once, from
+          // the smaller user id.
+          if (cell.user > v) continue;
+          const CellChange& other = *by_item[static_cast<size_t>(change_at[c])];
+          PairMoments& d = pair_deltas[PairKey(cell.user, v)];
+          d.Add(cell.value, other.value);
+          if (cell.has_old && other.has_old) {
+            d.Remove(cell.old_value, other.old_value);
+          }
+        } else {
+          // The neighbour's rating is unchanged; orient the co-rating so
+          // the smaller user id is the 'a' role, as the full sweep does.
+          const double r_v = column[c].value;
+          if (cell.user < v) {
+            PairMoments& d = pair_deltas[PairKey(cell.user, v)];
+            d.Add(cell.value, r_v);
+            if (cell.has_old) d.Remove(cell.old_value, r_v);
+          } else {
+            PairMoments& d = pair_deltas[PairKey(v, cell.user)];
+            d.Add(r_v, cell.value);
+            if (cell.has_old) d.Remove(r_v, cell.old_value);
+          }
+        }
+      }
+    }
+    first = last;
+  }
+
+  std::vector<PairMomentsDelta> moment_deltas;
+  moment_deltas.reserve(pair_deltas.size());
+  for (const auto& [key, d] : pair_deltas) {
+    moment_deltas.push_back({KeyA(key), KeyB(key), d});
+  }
+  std::sort(moment_deltas.begin(), moment_deltas.end(),
+            [](const PairMomentsDelta& x, const PairMomentsDelta& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  stats.changed_pairs = static_cast<int64_t>(moment_deltas.size());
+
+  // ---- 3. The pairs whose similarity must be re-finished, gathered
+  // *before* the fold (erased pairs must still reach their rows as
+  // removals). Under global means a delta user's µ_u moved, so every stored
+  // pair of that user re-finishes; under intersection means only changed
+  // moments matter. ----
+  std::vector<uint64_t> changed_sim;
+  changed_sim.reserve(moment_deltas.size());
+  for (const PairMomentsDelta& d : moment_deltas) {
+    const PairMoments* existing = store_.FindPair(d.a, d.b);
+    if (existing != nullptr && existing->n + d.delta.n == 0) {
+      ++stats.erased_pairs;
+    }
+    changed_sim.push_back(PairKey(d.a, d.b));
+  }
+  if (!options_.similarity.intersection_means) {
+    for (const UserId u : delta_users) {
+      for (const MomentEntry& entry : store_.RowOf(u)) {
+        changed_sim.push_back(u < entry.other ? PairKey(u, entry.other)
+                                              : PairKey(entry.other, u));
+      }
+    }
+  }
+  std::sort(changed_sim.begin(), changed_sim.end());
+  changed_sim.erase(std::unique(changed_sim.begin(), changed_sim.end()),
+                    changed_sim.end());
+
+  // ---- 4. Fold the moment deltas and swap in the new corpus. ----
+  store_.ApplyPairDeltas(moment_deltas);
+  *matrix_ = std::move(new_matrix);
+  const PairwiseSimilarityEngine engine(matrix_.get(), options_.similarity,
+                                        options_.engine);
+
+  // ---- 5. Re-finish the changed pairs through the full build's finish. ----
+  std::vector<RowChange> row_changes;
+  row_changes.reserve(changed_sim.size() * 2);
+  for (const uint64_t key : changed_sim) {
+    const UserId a = KeyA(key);
+    const UserId b = KeyB(key);
+    const PairMoments* moments = store_.FindPair(a, b);
+    const double sim =
+        moments == nullptr ? 0.0 : engine.FinishPair(*moments, a, b);
+    row_changes.push_back({a, b, sim});
+    row_changes.push_back({b, a, sim});
+  }
+  stats.refinished_pairs = static_cast<int64_t>(changed_sim.size());
+  std::sort(row_changes.begin(), row_changes.end(),
+            [](const RowChange& x, const RowChange& y) {
+              return x.row != y.row ? x.row < y.row : x.other < y.other;
+            });
+
+  // ---- 6. Partition affected rows: delta users rebuild from the store
+  // (their whole row moved); capped rows that lost or demoted an entry
+  // rebuild too (the stored top-k cannot name the next-best candidate);
+  // everything else takes an O(k) entry edit. ----
+  const std::shared_ptr<const PeerIndex> base = index_;
+  const int32_t cap = options_.peers.max_peers_per_user;
+  const double threshold = options_.peers.delta;
+
+  struct RowTask {
+    UserId row = kInvalidUserId;
+    size_t first = 0;
+    size_t last = 0;
+    bool full_refinish = false;
+  };
+  std::vector<RowTask> tasks;
+  for (size_t first = 0; first < row_changes.size();) {
+    size_t last = first;
+    while (last < row_changes.size() &&
+           row_changes[last].row == row_changes[first].row) {
+      ++last;
+    }
+    const UserId v = row_changes[first].row;
+    bool full_refinish = in_delta[static_cast<size_t>(v)] != 0;
+    if (!full_refinish && cap > 0) {
+      const auto old_row = base->PeersOf(v);
+      if (old_row.size() == static_cast<size_t>(cap)) {
+        for (size_t k = first; k < last && !full_refinish; ++k) {
+          for (const Peer& entry : old_row) {
+            if (entry.user != row_changes[k].other) continue;
+            const Peer updated{row_changes[k].other, row_changes[k].sim};
+            // A removal or demotion opens a slot the evicted candidates
+            // would compete for — only the store row knows who wins.
+            if (row_changes[k].sim < threshold || BetterPeer(entry, updated)) {
+              full_refinish = true;
+            }
+            break;
+          }
+        }
+      }
+    }
+    tasks.push_back({v, first, last, full_refinish});
+    first = last;
+  }
+
+  // ---- 7. Build the replacement rows (rows are independent; the result
+  // does not depend on scheduling). ----
+  std::vector<std::vector<Peer>> new_rows(tasks.size());
+  std::vector<uint8_t> replace(tasks.size(), 0);
+  ThreadPool pool(options_.engine.num_threads);
+  pool.ParallelFor(tasks.size(), [&](size_t t) {
+    const RowTask& task = tasks[t];
+    if (task.full_refinish) {
+      new_rows[t] = RefinishRow(engine, task.row);
+      replace[t] = 1;
+      return;
+    }
+    const auto old_row = base->PeersOf(task.row);
+    const bool was_full =
+        cap > 0 && old_row.size() == static_cast<size_t>(cap);
+    const auto changed_entry = [&](UserId user) -> const RowChange* {
+      for (size_t k = task.first; k < task.last; ++k) {
+        if (row_changes[k].other == user) return &row_changes[k];
+      }
+      return nullptr;
+    };
+
+    std::vector<Peer> row;
+    row.reserve(old_row.size() + (task.last - task.first));
+    for (const Peer& entry : old_row) {
+      if (changed_entry(entry.user) == nullptr) row.push_back(entry);
+    }
+    for (size_t k = task.first; k < task.last; ++k) {
+      const Peer candidate{row_changes[k].other, row_changes[k].sim};
+      if (candidate.similarity < threshold) continue;  // removed / never in
+      // A full row only admits new candidates that beat its worst kept
+      // peer: anything else lost to the cap before the delta and still
+      // loses now (insertions can only raise the cap-th best). Demotions
+      // never reach this path — they force a full re-finish above.
+      if (was_full && !BetterPeer(candidate, old_row.back()) &&
+          std::find_if(old_row.begin(), old_row.end(), [&](const Peer& p) {
+            return p.user == candidate.user;
+          }) == old_row.end()) {
+        continue;
+      }
+      row.push_back(candidate);
+    }
+    std::sort(row.begin(), row.end(), BetterPeer);
+    if (cap > 0 && row.size() > static_cast<size_t>(cap)) {
+      row.resize(static_cast<size_t>(cap));
+    }
+    const bool unchanged =
+        row.size() == old_row.size() &&
+        std::equal(row.begin(), row.end(), old_row.begin());
+    if (!unchanged) {
+      new_rows[t] = std::move(row);
+      replace[t] = 1;
+    }
+  });
+
+  // ---- 8. Splice and swap the served index. ----
+  PeerIndex::PatchBuilder patch(base.get(), matrix_->num_users());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (replace[t] == 0) continue;
+    patch.ReplaceRow(tasks[t].row, std::move(new_rows[t]));
+    if (tasks[t].full_refinish) {
+      ++stats.rows_refinished;
+    } else {
+      ++stats.rows_patched;
+    }
+  }
+  index_ = std::make_shared<const PeerIndex>(std::move(patch).Build());
+  return stats;
+}
+
+}  // namespace fairrec

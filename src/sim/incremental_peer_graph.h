@@ -1,0 +1,146 @@
+#ifndef FAIRREC_SIM_INCREMENTAL_PEER_GRAPH_H_
+#define FAIRREC_SIM_INCREMENTAL_PEER_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "ratings/rating_delta.h"
+#include "ratings/rating_matrix.h"
+#include "sim/moment_store.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+
+/// Configuration of the incremental peer-graph maintenance subsystem.
+struct IncrementalPeerGraphOptions {
+  /// Similarity semantics (Eq. 2 variant, min_overlap, ...) shared by the
+  /// seeding sweep and every incremental re-finish.
+  RatingSimilarityOptions similarity;
+  /// Sweep tuning for the seeding full build.
+  PairwiseEngineOptions engine;
+  /// Def. 1 threshold and per-user cap of the maintained index. delta must
+  /// be positive: with delta <= 0 every pair — co-rated or not — qualifies,
+  /// and a graph dense in no-evidence pairs has no sparse incremental form.
+  PeerIndexOptions peers;
+  /// Spill/accounting granularity of the persistent moment store.
+  MomentStoreOptions store;
+};
+
+/// Counters of one ApplyDelta, for observability and the incremental bench.
+struct DeltaApplyStats {
+  /// Upserts in the batch after last-wins dedup.
+  int64_t num_upserts = 0;
+  /// Distinct item columns the delta sweep re-read.
+  int64_t touched_items = 0;
+  /// Pairs whose sufficient statistics changed (moment-store folds).
+  int64_t changed_pairs = 0;
+  /// Pairs erased from the store (overlap count returned to zero).
+  int64_t erased_pairs = 0;
+  /// Pairs re-finished through Eq. 2 (changed moments, plus — under global
+  /// means — every stored pair of a delta user, whose µ_u moved).
+  int64_t refinished_pairs = 0;
+  /// Rows rebuilt in full from the moment store (delta users, and capped
+  /// rows where an entry was demoted or evicted so the stored top-k no
+  /// longer determines the next-best candidate).
+  int64_t rows_refinished = 0;
+  /// Rows patched at entry level (insert / replace / remove against the
+  /// stored list, no store row scan).
+  int64_t rows_patched = 0;
+};
+
+/// Incremental maintenance of the Def. 1 peer graph under continuously
+/// arriving ratings.
+///
+/// The static pipeline (PairwiseSimilarityEngine::BuildPeerIndex) re-sweeps
+/// every co-rating on any change. This subsystem keeps, alongside the served
+/// PeerIndex, the persistent per-pair sufficient statistics (MomentStore)
+/// that the index was finished from. A RatingDelta batch then costs work
+/// proportional to the change, not the corpus:
+///
+///   1. the base RatingMatrix absorbs the upserts in O(ratings + batch)
+///      (RatingDelta::ApplyTo — no global re-sort);
+///   2. only the item columns the batch touched are re-swept, pairing each
+///      changed rating against the column's raters to produce additive
+///      PairMoments deltas (updated ratings Remove the superseded co-rating
+///      and Add the new one);
+///   3. the deltas fold into the MomentStore (pairs whose overlap drops to
+///      zero are erased);
+///   4. affected pairs are re-finished through the engine's FinishPair — the
+///      byte-identical finish path of the full build. Under the paper's
+///      global-means Eq. 2 a delta user's µ_u moves, so *all* of that user's
+///      stored pairs re-finish; under intersection means only pairs with
+///      changed moments do;
+///   5. affected rows are patched: delta users (and capped rows where an
+///      entry was demoted or evicted — the stored top-k cannot reveal the
+///      next-best candidate, the store row can) are rebuilt in full from
+///      their MomentStore row; every other affected row takes an O(k)
+///      entry-level edit. PeerIndex::PatchBuilder splices the new rows into
+///      a fresh CSR without re-finishing untouched users;
+///   6. the served index is swapped: index() hands out a
+///      shared_ptr<const PeerIndex>, so in-flight readers (Recommender /
+///      GroupRecommender hold PeerProvider pointers) keep the snapshot they
+///      started with and new queries see the refreshed graph.
+///
+/// Parity contract: after any sequence of ApplyDelta calls, index() is
+/// byte-identical to PairwiseSimilarityEngine::BuildPeerIndex run from
+/// scratch on the post-delta corpus — same pairs, same similarities, same
+/// order — on integer rating scales (where the additive moments are exact;
+/// tests/sim/incremental_peer_graph_test.cc asserts this for every delta
+/// shape). On non-representable rating values the two can differ by
+/// reassociation rounding, the same ~1e-15 caveat the sharded MapReduce
+/// flow documents.
+///
+/// Thread-compatibility: ApplyDelta is exclusive; PeersOf on a snapshot is
+/// freely concurrent with it (snapshots are immutable).
+class IncrementalPeerGraph {
+ public:
+  /// Seeds the subsystem with one full sweep: the moment store and the
+  /// initial peer index. `matrix` is taken by value (the subsystem owns the
+  /// evolving corpus).
+  static Result<IncrementalPeerGraph> Build(
+      RatingMatrix matrix, IncrementalPeerGraphOptions options);
+
+  IncrementalPeerGraph(IncrementalPeerGraph&&) = default;
+  IncrementalPeerGraph& operator=(IncrementalPeerGraph&&) = default;
+
+  /// Folds one batch of rating arrivals into the corpus, the moment store,
+  /// and the served index. Returns the patch accounting, or InvalidArgument
+  /// when the batch is malformed.
+  Result<DeltaApplyStats> ApplyDelta(const RatingDelta& delta);
+
+  /// The served peer graph. The snapshot is immutable; ApplyDelta replaces
+  /// the pointer, so long-lived readers re-fetch per query (or keep their
+  /// snapshot for a consistent view).
+  std::shared_ptr<const PeerIndex> index() const { return index_; }
+
+  /// The evolving corpus. Valid until the next ApplyDelta.
+  const RatingMatrix& matrix() const { return *matrix_; }
+
+  /// The persistent sufficient-statistics store backing the patches.
+  const MomentStore& store() const { return store_; }
+
+  const IncrementalPeerGraphOptions& options() const { return options_; }
+
+ private:
+  IncrementalPeerGraph() = default;
+
+  /// Rebuilds user `v`'s full peer list from its MomentStore row.
+  std::vector<Peer> RefinishRow(const PairwiseSimilarityEngine& engine,
+                                UserId v) const;
+
+  IncrementalPeerGraphOptions options_;
+  // unique_ptr so the matrix's address is stable across moves of the graph
+  // (PairwiseSimilarityEngine instances hold a pointer to it during a call,
+  // and callers hold matrix() references).
+  std::unique_ptr<RatingMatrix> matrix_;
+  MomentStore store_;
+  std::shared_ptr<const PeerIndex> index_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_INCREMENTAL_PEER_GRAPH_H_

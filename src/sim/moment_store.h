@@ -1,0 +1,177 @@
+#ifndef FAIRREC_SIM_MOMENT_STORE_H_
+#define FAIRREC_SIM_MOMENT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ratings/types.h"
+#include "sim/pearson_finish.h"
+
+namespace fairrec {
+
+/// One neighbour of a user in the moment store: the other user of the pair
+/// and the pair's six sufficient statistics. `moments` is always stored in
+/// the canonical (min id = a, max id = b) orientation — the orientation the
+/// engine's tile sweep accumulates — so finishing through
+/// FinishPearsonFromMoments(moments, mean(min), mean(max), ...) reproduces
+/// the engine's similarity bit-for-bit on identical moments.
+struct MomentEntry {
+  UserId other = kInvalidUserId;
+  PairMoments moments;
+
+  friend bool operator==(const MomentEntry&, const MomentEntry&) = default;
+};
+
+/// One canonical pair delta for MomentStore::ApplyPairDeltas: the additive
+/// change of pair (a, b)'s sufficient statistics (a < b required). Negative
+/// sums / negative n express removal of superseded co-ratings (an updated
+/// rating folds in as "subtract the old co-rating, add the new one").
+struct PairMomentsDelta {
+  UserId a = kInvalidUserId;
+  UserId b = kInvalidUserId;
+  PairMoments delta;
+};
+
+/// Build-time knobs for MomentStore.
+struct MomentStoreOptions {
+  /// Rows per tile — the spill/accounting granularity. Each tile owns the
+  /// rows of one contiguous user-id range and is independently serializable,
+  /// evictable, and restorable, so a corpus whose pair moments exceed RAM
+  /// can keep only the tiles under maintenance resident.
+  int32_t tile_users = 2048;
+};
+
+/// Persistent sparse per-pair sufficient-statistics store: for every
+/// co-rated user pair, the six additive Pearson moments of
+/// sim/pearson_finish.h, held across rating arrivals so a delta batch can be
+/// folded in without re-sweeping the corpus.
+///
+/// Storage is a bidirectional adjacency: pair (a, b) appears in row a (entry
+/// `other == b`) and in row b (entry `other == a`), both carrying the same
+/// canonically-oriented moments. The 2x constant buys O(degree) access to
+/// *all* of one user's pairs — exactly what the incremental peer-graph patch
+/// needs to re-finish an affected user's peer list without scanning the
+/// store (see sim/incremental_peer_graph.h). Total memory stays
+/// O(co-rated pairs); pairs whose overlap count returns to zero are erased.
+///
+/// Rows are grouped into user-range tiles (MomentStoreOptions::tile_users).
+/// A tile is the spill unit: SerializeTile/EvictTile/RestoreTile move one
+/// tile between resident rows and a compact byte blob, and byte accounting
+/// is tracked per tile, so callers can bound residency for corpora whose
+/// moment set exceeds memory.
+///
+/// Writers: either the thread-safe Builder (one full engine sweep or the
+/// MapReduce Job 1 moment stream — see
+/// PairwiseSimilarityEngine::BuildMomentStore and
+/// BuildMomentStoreFromPartialMoments), or ApplyPairDeltas for incremental
+/// folds. Readers may call RowOf/FindPair concurrently with each other but
+/// not with writers.
+class MomentStore {
+ public:
+  /// Thread-safe accumulation of canonical pair moments. Add may be called
+  /// concurrently; rows are striped-locked and sorted by Build().
+  class Builder {
+   public:
+    Builder(int32_t num_users, MomentStoreOptions options = {});
+
+    /// Records the moments of pair (a, b); a < b and the canonical
+    /// orientation are required. Each pair must be added exactly once —
+    /// callers holding per-shard partials merge them (in a deterministic
+    /// order) before Add, so stored moments never depend on builder thread
+    /// interleaving. Pairs with n == 0 are ignored.
+    void Add(UserId a, UserId b, const PairMoments& moments);
+
+    /// Sorts rows, merges per-pair partials, and returns the finished
+    /// store. The builder is left empty.
+    MomentStore Build() &&;
+
+   private:
+    int32_t num_users_ = 0;
+    MomentStoreOptions options_;
+    std::vector<std::vector<MomentEntry>> rows_;
+    std::vector<std::mutex> stripes_;
+  };
+
+  /// An empty store (no users). Replace via Builder or EnsureNumUsers.
+  MomentStore() = default;
+
+  int32_t num_users() const { return num_users_; }
+  const MomentStoreOptions& options() const { return options_; }
+
+  /// Number of stored pairs (each counted once, not per direction).
+  int64_t num_pairs() const { return num_pairs_; }
+
+  /// All pairs of user `u`, sorted by ascending `other` id. Precondition:
+  /// the row's tile is resident. Out-of-range ids yield an empty span.
+  std::span<const MomentEntry> RowOf(UserId u) const;
+
+  /// The canonical moments of pair (a, b), or nullptr when the pair has no
+  /// co-ratings. Order of a/b does not matter. O(log degree).
+  const PairMoments* FindPair(UserId a, UserId b) const;
+
+  /// Grows the population to at least `num_users` (new rows empty). Existing
+  /// rows and tiles are untouched; new tiles start resident.
+  void EnsureNumUsers(int32_t num_users);
+
+  /// Folds a batch of canonical pair deltas into the store: existing pairs
+  /// are additively merged (and erased when their overlap count reaches
+  /// zero), unknown pairs are inserted. `deltas` must be sorted by (a, b)
+  /// with no duplicate pair and a < b, and every referenced row's tile must
+  /// be resident. Cost: O(sum of affected rows' degrees + batch).
+  void ApplyPairDeltas(std::span<const PairMomentsDelta> deltas);
+
+  // --- Tiles: the spill granularity. ---
+
+  size_t num_tiles() const { return tiles_.size(); }
+  /// The user-id range [first, last) of tile `t`.
+  std::pair<UserId, UserId> TileUserRange(size_t t) const;
+  /// True when tile `t`'s rows are in memory (queryable / foldable).
+  bool TileResident(size_t t) const;
+  /// Resident heap bytes of tile `t` (0 when evicted).
+  size_t TileBytes(size_t t) const;
+
+  /// Serializes tile `t`'s rows into a compact blob (row lengths + entries).
+  /// The tile stays resident; pair with EvictTile to spill.
+  std::string SerializeTile(size_t t) const;
+  /// Releases tile `t`'s rows. Reads and folds touching the tile are invalid
+  /// until RestoreTile. Returns the bytes freed.
+  size_t EvictTile(size_t t);
+  /// Re-materializes tile `t` from a SerializeTile blob. Returns
+  /// InvalidArgument on a malformed or wrong-shape blob.
+  Status RestoreTile(size_t t, const std::string& blob);
+
+  /// Resident heap bytes across all tiles (entry storage only).
+  size_t ResidentBytes() const;
+  /// High-water mark of ResidentBytes() over the store's lifetime — the
+  /// metric bench_incremental_update gates with --check-peak-bytes-max.
+  size_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  struct Tile {
+    /// One vector per user id in the tile's range, sorted by `other`.
+    std::vector<std::vector<MomentEntry>> rows;
+    bool resident = true;
+    size_t bytes = 0;
+  };
+
+  Tile& TileOf(UserId u);
+  const Tile& TileOf(UserId u) const;
+  std::vector<MomentEntry>& MutableRow(UserId u);
+  void RecomputeTileBytes(size_t t);
+  void NotePeak();
+
+  MomentStoreOptions options_;
+  int32_t num_users_ = 0;
+  int64_t num_pairs_ = 0;
+  std::vector<Tile> tiles_;
+  size_t peak_bytes_ = 0;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_MOMENT_STORE_H_

@@ -11,16 +11,17 @@ namespace fairrec {
 
 namespace {
 
-/// Sink for ComputeAll: writes each finished pair into the packed triangle.
-/// Pairs arrive in row-major order within a tile, so the packed offset is
-/// usually the previous one plus one; the full index math runs only at row
-/// and tile boundaries.
+/// Sink for ComputeAll: finishes each pair and writes it into the packed
+/// triangle. Pairs arrive in row-major order within a tile, so the packed
+/// offset is usually the previous one plus one; the full index math runs
+/// only at row and tile boundaries.
 class TriangleSink {
  public:
-  TriangleSink(std::span<double> out, int32_t num_users)
-      : out_(out), num_users_(num_users) {}
+  TriangleSink(const PairwiseSimilarityEngine* engine, std::span<double> out,
+               int32_t num_users)
+      : engine_(engine), out_(out), num_users_(num_users) {}
 
-  void operator()(UserId a, UserId b, double sim) {
+  void operator()(UserId a, UserId b, const PairMoments& stats) {
     if (a == prev_a_ && b == prev_b_ + 1) {
       ++packed_;
     } else {
@@ -28,10 +29,11 @@ class TriangleSink {
     }
     prev_a_ = a;
     prev_b_ = b;
-    out_[packed_] = sim;
+    out_[packed_] = engine_->FinishPair(stats, a, b);
   }
 
  private:
+  const PairwiseSimilarityEngine* engine_;
   std::span<double> out_;
   int32_t num_users_;
   size_t packed_ = 0;
@@ -39,15 +41,29 @@ class TriangleSink {
   UserId prev_b_ = kInvalidUserId;
 };
 
-/// Sink for BuildPeerIndex: Def. 1's threshold, then both directions of the
-/// pair into the concurrent builder. Filtering before the builder keeps the
-/// lock stripes out of the (overwhelmingly common) non-qualifying case.
+/// Sink for BuildPeerIndex: finish, Def. 1's threshold, then both directions
+/// of the pair into the concurrent builder. Filtering before the builder
+/// keeps the lock stripes out of the (overwhelmingly common) non-qualifying
+/// case.
 struct PeerSink {
+  const PairwiseSimilarityEngine* engine;
   PeerIndex::Builder* builder;
   double delta;
 
-  void operator()(UserId a, UserId b, double sim) const {
+  void operator()(UserId a, UserId b, const PairMoments& stats) const {
+    const double sim = engine->FinishPair(stats, a, b);
     if (sim >= delta) builder->OfferPair(a, b, sim);
+  }
+};
+
+/// Sink for BuildMomentStore: keeps the raw statistics of co-rated pairs.
+/// The n == 0 filter makes the store O(co-rated pairs); pairs without
+/// co-ratings finish to 0 from an empty PairMoments anyway.
+struct MomentSink {
+  MomentStore::Builder* builder;
+
+  void operator()(UserId a, UserId b, const PairMoments& stats) const {
+    if (stats.n > 0) builder->Add(a, b, stats);
   }
 };
 
@@ -76,8 +92,8 @@ size_t PairwiseSimilarityEngine::PackedTriangleSize(int32_t num_users) {
   return n * (n - 1) / 2;
 }
 
-double PairwiseSimilarityEngine::Finish(const PairMoments& stats, UserId a,
-                                        UserId b) const {
+double PairwiseSimilarityEngine::FinishPair(const PairMoments& stats, UserId a,
+                                            UserId b) const {
   // Overlap guard before the mean lookups: most pairs in the O(U^2) finish
   // pass have no co-ratings at all, and the shared finish would repeat the
   // same guard only after two memory loads per pair.
@@ -161,14 +177,14 @@ void PairwiseSimilarityEngine::SweepTile(const Tile& tile,
     }
   }
 
-  // ---- Finish: one allocation-free pass over the tile's pairs. ----
+  // ---- Drain: one allocation-free pass over the tile's pairs. ----
   for (UserId a = tile.row_first; a < tile.row_last; ++a) {
     const UserId b_first = diagonal ? a + 1 : tile.col_first;
     const size_t row_base = static_cast<size_t>(a - tile.row_first) * cols;
     for (UserId b = b_first; b < tile.col_last; ++b) {
       PairMoments& cell =
           acc[row_base + static_cast<size_t>(b - tile.col_first)];
-      sink(a, b, Finish(cell, a, b));
+      sink(a, b, cell);
       cell = PairMoments{};  // reset for the worker's next tile
     }
   }
@@ -220,7 +236,7 @@ Status PairwiseSimilarityEngine::ComputeAll(std::span<double> out) const {
         " entries; packed triangle needs " +
         std::to_string(PackedTriangleSize(num_users)));
   }
-  return SweepAllTiles([&] { return TriangleSink(out, num_users); });
+  return SweepAllTiles([&] { return TriangleSink(this, out, num_users); });
 }
 
 Result<PeerIndex> PairwiseSimilarityEngine::BuildPeerIndex(
@@ -230,7 +246,17 @@ Result<PeerIndex> PairwiseSimilarityEngine::BuildPeerIndex(
   }
   PeerIndex::Builder builder(matrix_->num_users(), peer_options);
   FAIRREC_RETURN_NOT_OK(SweepAllTiles(
-      [&] { return PeerSink{&builder, peer_options.delta}; }));
+      [&] { return PeerSink{this, &builder, peer_options.delta}; }));
+  return std::move(builder).Build();
+}
+
+Result<MomentStore> PairwiseSimilarityEngine::BuildMomentStore(
+    const MomentStoreOptions& store_options) const {
+  if (store_options.tile_users <= 0) {
+    return Status::InvalidArgument("tile_users must be positive");
+  }
+  MomentStore::Builder builder(matrix_->num_users(), store_options);
+  FAIRREC_RETURN_NOT_OK(SweepAllTiles([&] { return MomentSink{&builder}; }));
   return std::move(builder).Build();
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "ratings/rating_matrix.h"
+#include "sim/moment_store.h"
 #include "sim/pearson_finish.h"
 #include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
@@ -104,6 +105,22 @@ class PairwiseSimilarityEngine {
   /// per-worker accumulator tiles plus the peer lists themselves.
   Result<PeerIndex> BuildPeerIndex(const PeerIndexOptions& peer_options) const;
 
+  /// Runs the sweep once more, but captures the raw per-pair sufficient
+  /// statistics of every co-rated pair (n > 0) instead of finishing them:
+  /// the persistent MomentStore that seeds incremental peer-graph
+  /// maintenance (sim/incremental_peer_graph.h). Each pair's moments come
+  /// from exactly one tile, so the stored statistics are identical to what
+  /// the triangle and peer-index modes finish from.
+  Result<MomentStore> BuildMomentStore(
+      const MomentStoreOptions& store_options = {}) const;
+
+  /// Finishes Eq. 2 for pair (a, b) from its raw moments — the exact finish
+  /// the sweep applies (shared guard order, global means from the matrix).
+  /// `stats` must be accumulated in (a, b) orientation with a < b. Public so
+  /// the incremental maintenance path re-finishes patched pairs through the
+  /// byte-identical code path the full build used.
+  double FinishPair(const PairMoments& stats, UserId a, UserId b) const;
+
   const RatingSimilarityOptions& options() const { return options_; }
   const PairwiseEngineOptions& engine_options() const { return engine_options_; }
 
@@ -129,8 +146,10 @@ class PairwiseSimilarityEngine {
 
   ColumnBlockIndex BuildColumnIndex(int32_t block, ThreadPool& pool) const;
 
-  /// Accumulates one tile and finishes its pairs through `sink(a, b, sim)`,
-  /// called in (a asc, b asc) row-major order.
+  /// Accumulates one tile and hands each pair's raw statistics to
+  /// `sink(a, b, stats)`, called in (a asc, b asc) row-major order. Sinks
+  /// finish (or store) the moments themselves — TriangleSink/PeerSink call
+  /// FinishPair, the moment-store sink keeps the statistics raw.
   template <typename Sink>
   void SweepTile(const Tile& tile, const ColumnBlockIndex& columns,
                  std::vector<PairMoments>& acc, Sink& sink) const;
@@ -140,8 +159,6 @@ class PairwiseSimilarityEngine {
   /// fresh sink per tile.
   template <typename SinkFactory>
   Status SweepAllTiles(const SinkFactory& make_sink) const;
-
-  double Finish(const PairMoments& stats, UserId a, UserId b) const;
 
   const RatingMatrix* matrix_;
   RatingSimilarityOptions options_;

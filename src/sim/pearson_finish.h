@@ -50,6 +50,20 @@ struct PairMoments {
     n += 1;
   }
 
+  /// Removes one co-rating (r_a, r_b) — the inverse of Add, used when an
+  /// updated rating supersedes the value a previous accumulation folded in.
+  /// On integer rating scales every moment is exactly representable, so a
+  /// Remove exactly cancels the matching Add regardless of what was folded
+  /// in between.
+  void Remove(double ra, double rb) {
+    sum_a -= ra;
+    sum_b -= rb;
+    sum_aa -= ra * ra;
+    sum_bb -= rb * rb;
+    sum_ab -= ra * rb;
+    n -= 1;
+  }
+
   /// Sums another pair's worth of statistics into this one (the reducer-side
   /// merge of per-shard partials).
   void Merge(const PairMoments& other) {

@@ -106,6 +106,74 @@ PeerIndex PeerIndex::Builder::Build() && {
   return index;
 }
 
+PeerIndex::PatchBuilder::PatchBuilder(const PeerIndex* base, int32_t num_users)
+    : base_(base), num_users_(num_users) {
+  FAIRREC_CHECK(base != nullptr);
+  FAIRREC_CHECK(num_users >= base->num_users());
+  replaced_slot_.assign(static_cast<size_t>(num_users), -1);
+}
+
+void PeerIndex::PatchBuilder::ReplaceRow(UserId u, std::vector<Peer> row) {
+  FAIRREC_CHECK(u >= 0 && u < num_users_);
+#ifndef NDEBUG
+  for (size_t k = 1; k < row.size(); ++k) {
+    FAIRREC_DCHECK(BetterPeer(row[k - 1], row[k]));
+  }
+#endif
+  int32_t& slot = replaced_slot_[static_cast<size_t>(u)];
+  if (slot >= 0) {
+    rows_[static_cast<size_t>(slot)] = std::move(row);
+    return;
+  }
+  slot = static_cast<int32_t>(rows_.size());
+  rows_.push_back(std::move(row));
+}
+
+PeerIndex PeerIndex::PatchBuilder::Build() && {
+  PeerIndex index;
+  index.options_ = base_->options_;
+  index.num_users_ = num_users_;
+  if (num_users_ <= 0) {
+    index.build_peak_bytes_ = base_->build_peak_bytes_;
+    return index;
+  }
+
+  index.offsets_.assign(static_cast<size_t>(num_users_) + 1, 0);
+  size_t total = 0;
+  for (UserId u = 0; u < num_users_; ++u) {
+    index.offsets_[static_cast<size_t>(u)] = total;
+    const int32_t slot = replaced_slot_[static_cast<size_t>(u)];
+    total += slot >= 0 ? rows_[static_cast<size_t>(slot)].size()
+                       : base_->PeersOf(u).size();
+  }
+  index.offsets_[static_cast<size_t>(num_users_)] = total;
+
+  index.entries_.reserve(total);
+  for (UserId u = 0; u < num_users_; ++u) {
+    const int32_t slot = replaced_slot_[static_cast<size_t>(u)];
+    if (slot >= 0) {
+      const std::vector<Peer>& row = rows_[static_cast<size_t>(slot)];
+      index.entries_.insert(index.entries_.end(), row.begin(), row.end());
+    } else {
+      const auto row = base_->PeersOf(u);
+      index.entries_.insert(index.entries_.end(), row.begin(), row.end());
+    }
+  }
+  // The patch's transient cost: the base CSR plus the new CSR plus the
+  // replacement rows coexist until the swap. Report it the same way
+  // Builder::Build reports its high-water mark so the incremental bench can
+  // contrast the two.
+  size_t replacement_bytes = 0;
+  for (const std::vector<Peer>& row : rows_) {
+    replacement_bytes += row.capacity() * sizeof(Peer);
+  }
+  index.build_peak_bytes_ = base_->StorageBytes() + index.StorageBytes() +
+                            replacement_bytes;
+  rows_.clear();
+  replaced_slot_.clear();
+  return index;
+}
+
 std::span<const Peer> PeerIndex::PeersOf(UserId u) const {
   if (u < 0 || u >= num_users_) return {};
   const size_t first = offsets_[static_cast<size_t>(u)];

@@ -76,6 +76,39 @@ class PeerIndex final : public PeerProvider {
     std::atomic<size_t> peak_bytes_{0};
   };
 
+  /// Splices replacement rows into an existing index without re-finishing
+  /// the untouched ones — the output stage of incremental peer-graph
+  /// maintenance (sim/incremental_peer_graph.h). ReplaceRow hands over the
+  /// fully re-finished list of one affected user (already thresholded,
+  /// capped, and in BetterPeer order, exactly as Builder would have stored
+  /// it); Build() assembles a fresh CSR whose untouched rows are byte copies
+  /// of the base and whose patched rows are the replacements. The population
+  /// may grow (new users' rows default to empty), never shrink.
+  class PatchBuilder {
+   public:
+    /// `base` must outlive Build(). num_users >= base->num_users().
+    PatchBuilder(const PeerIndex* base, int32_t num_users);
+
+    /// Replaces user `u`'s peer list wholesale. `row` must be sorted by
+    /// BetterPeer and obey the index's delta / max_peers_per_user contract;
+    /// replacing the same row twice keeps the last call.
+    void ReplaceRow(UserId u, std::vector<Peer> row);
+
+    /// Number of rows replaced so far.
+    int64_t num_replaced() const { return static_cast<int64_t>(rows_.size()); }
+
+    /// Assembles the patched index. The builder is left empty.
+    PeerIndex Build() &&;
+
+   private:
+    const PeerIndex* base_;
+    int32_t num_users_ = 0;
+    /// Replacement rows, indexed into by replaced_slot_: one slot per user,
+    /// -1 = keep the base row.
+    std::vector<std::vector<Peer>> rows_;
+    std::vector<int32_t> replaced_slot_;
+  };
+
   /// An empty index (no users, no peers). Replace via Builder.
   PeerIndex() = default;
 

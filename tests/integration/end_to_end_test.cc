@@ -11,7 +11,9 @@
 #include "data/scenario.h"
 #include "eval/metrics.h"
 #include "mapreduce/pipeline.h"
+#include "ratings/rating_delta.h"
 #include "sim/hybrid_similarity.h"
+#include "sim/incremental_peer_graph.h"
 #include "sim/pairwise_engine.h"
 #include "sim/peer_index.h"
 #include "sim/profile_similarity.h"
@@ -203,6 +205,75 @@ TEST_F(EndToEndTest, SparsePeerGraphServingPathMatchesDenseTriangle) {
     const Selection b = std::move(heuristic.Select(dense_ctx, 6)).ValueOrDie();
     EXPECT_EQ(a.items, b.items) << "seed=" << seed;
   }
+}
+
+TEST_F(EndToEndTest, IncrementalDeltaRefreshesTheServedPeerGraph) {
+  // The serving wiring of incremental maintenance: GroupRecommender holds
+  // whatever index() snapshot it was given; after an ApplyDelta the next
+  // snapshot must serve exactly what a from-scratch build on the post-delta
+  // corpus would, while the old snapshot stays valid for in-flight queries.
+  RatingSimilarityOptions rs_options;
+  rs_options.shift_to_unit_interval = true;
+  const RecommenderOptions rec_options = DefaultRecOptions();
+
+  IncrementalPeerGraphOptions inc_options;
+  inc_options.similarity = rs_options;
+  inc_options.peers.delta = rec_options.peers.delta;
+  IncrementalPeerGraph graph =
+      std::move(IncrementalPeerGraph::Build(scenario().ratings, inc_options))
+          .ValueOrDie();
+  const std::shared_ptr<const PeerIndex> before = graph.index();
+
+  // A burst of arrivals: fresh ratings from existing patients plus one
+  // brand-new patient who co-rates popular documents.
+  RatingDelta delta;
+  const UserId newcomer = scenario().ratings.num_users();
+  int added = 0;
+  for (ItemId i = 0; i < scenario().ratings.num_items() && added < 12; ++i) {
+    if (scenario().ratings.ItemDegree(i) < 3) continue;
+    ASSERT_TRUE(delta.Add(newcomer, i, static_cast<Rating>(1 + added % 5)).ok());
+    const auto column = scenario().ratings.UsersWhoRated(i);
+    const UserId existing = column[0].user;
+    const Rating flipped =
+        scenario().ratings.GetRating(existing, i).value() < 3 ? 5 : 1;
+    ASSERT_TRUE(delta.Add(existing, i, flipped).ok());  // an update
+    ++added;
+  }
+  ASSERT_TRUE(graph.ApplyDelta(delta).ok());
+  const std::shared_ptr<const PeerIndex> after = graph.index();
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(after->num_users(), scenario().ratings.num_users() + 1);
+
+  // From-scratch reference on the post-delta corpus.
+  const PairwiseSimilarityEngine engine(&graph.matrix(), rs_options);
+  PeerIndexOptions peer_options;
+  peer_options.delta = rec_options.peers.delta;
+  const PeerIndex rebuilt =
+      std::move(engine.BuildPeerIndex(peer_options)).ValueOrDie();
+
+  const GroupRecommender served(&graph.matrix(), after.get(), rec_options);
+  const GroupRecommender reference(&graph.matrix(), &rebuilt, rec_options);
+  const FairnessHeuristic heuristic;
+  for (const uint64_t seed : {7u, 21u}) {
+    const Group group = scenario().MakeRandomGroup(4, seed);
+    const GroupContext served_ctx =
+        std::move(served.BuildContext(group)).ValueOrDie();
+    const GroupContext reference_ctx =
+        std::move(reference.BuildContext(group)).ValueOrDie();
+    ASSERT_EQ(served_ctx.num_candidates(), reference_ctx.num_candidates());
+    for (int32_t c = 0; c < reference_ctx.num_candidates(); ++c) {
+      EXPECT_EQ(served_ctx.candidate(c).item, reference_ctx.candidate(c).item);
+      EXPECT_EQ(served_ctx.candidate(c).group_relevance,
+                reference_ctx.candidate(c).group_relevance);
+    }
+    const Selection a =
+        std::move(heuristic.Select(served_ctx, 6)).ValueOrDie();
+    const Selection b =
+        std::move(heuristic.Select(reference_ctx, 6)).ValueOrDie();
+    EXPECT_EQ(a.items, b.items) << "seed=" << seed;
+  }
+  // The pre-delta snapshot still answers (old population, old lists).
+  EXPECT_EQ(before->num_users(), scenario().ratings.num_users());
 }
 
 TEST_F(EndToEndTest, PipelinePeerIndexServesFollowUpQueries) {

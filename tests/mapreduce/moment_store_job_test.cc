@@ -1,0 +1,99 @@
+// The MapReduce seeding path of the incremental peer-graph subsystem:
+// Job 1's per-shard partial moments, folded through
+// BuildMomentStoreFromPartialMoments, must reproduce the in-memory engine's
+// MomentStore exactly on the pairs the Job 1 stream covers — (member,
+// outside-user) pairs — for every simulated shard count. Integer rating
+// scales make the additive moments exact, so equality is bitwise.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mapreduce/jobs.h"
+#include "ratings/rating_matrix.h"
+#include "sim/moment_store.h"
+#include "sim/pairwise_engine.h"
+
+namespace fairrec {
+namespace {
+
+RatingMatrix Corpus(uint64_t seed, int32_t users = 36, int32_t items = 40,
+                    double density = 0.3) {
+  Rng rng(seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(users, items);
+  for (UserId u = 0; u < users; ++u) {
+    for (ItemId i = 0; i < items; ++i) {
+      if (rng.NextBool(density)) {
+        EXPECT_TRUE(
+            builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+TEST(MomentStoreJobTest, MatchesEngineStoreOnMemberPairsAcrossShardCounts) {
+  const RatingMatrix matrix = Corpus(20170417);
+  const Group group = {3, 14, 29};
+  const auto is_member = [&group](UserId u) {
+    return std::find(group.begin(), group.end(), u) != group.end();
+  };
+
+  const PairwiseSimilarityEngine engine(&matrix);
+  const MomentStore engine_store =
+      std::move(engine.BuildMomentStore(MomentStoreOptions{.tile_users = 10}))
+          .ValueOrDie();
+
+  for (const int32_t shards : {1, 3, 8}) {
+    const Job1Output job1 =
+        std::move(RunJob1(matrix.ToTriples(), group, matrix.num_users(), {},
+                          shards))
+            .ValueOrDie();
+    const MomentStore store =
+        std::move(BuildMomentStoreFromPartialMoments(
+                      job1.partial_moments, matrix.num_users(),
+                      MomentStoreOptions{.tile_users = 10}))
+            .ValueOrDie();
+
+    ASSERT_EQ(store.num_users(), matrix.num_users());
+    int64_t expected_pairs = 0;
+    for (UserId a = 0; a < matrix.num_users(); ++a) {
+      for (UserId b = a + 1; b < matrix.num_users(); ++b) {
+        // Job 1 covers exactly the member/outside pairs.
+        const bool covered = is_member(a) != is_member(b);
+        const PairMoments* expected =
+            covered ? engine_store.FindPair(a, b) : nullptr;
+        const PairMoments* actual = store.FindPair(a, b);
+        if (expected == nullptr) {
+          EXPECT_EQ(actual, nullptr)
+              << "pair (" << a << ", " << b << ") shards=" << shards;
+          continue;
+        }
+        ++expected_pairs;
+        ASSERT_NE(actual, nullptr)
+            << "pair (" << a << ", " << b << ") shards=" << shards;
+        EXPECT_EQ(*actual, *expected)
+            << "pair (" << a << ", " << b << ") shards=" << shards;
+      }
+    }
+    EXPECT_EQ(store.num_pairs(), expected_pairs) << "shards=" << shards;
+  }
+}
+
+TEST(MomentStoreJobTest, RejectsInvalidConfiguration) {
+  EXPECT_FALSE(BuildMomentStoreFromPartialMoments({}, -1).ok());
+  EXPECT_FALSE(
+      BuildMomentStoreFromPartialMoments({}, 4,
+                                         MomentStoreOptions{.tile_users = 0})
+          .ok());
+  const MomentStore empty =
+      std::move(BuildMomentStoreFromPartialMoments({}, 4)).ValueOrDie();
+  EXPECT_EQ(empty.num_pairs(), 0);
+  EXPECT_EQ(empty.num_users(), 4);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,172 @@
+#include "ratings/rating_delta.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "ratings/rating_matrix.h"
+
+namespace fairrec {
+namespace {
+
+RatingMatrix SmallMatrix() {
+  // Users 0..2, items 0..3:
+  //        i0   i1   i2   i3
+  //  u0     5    3    -    1
+  //  u1     4    -    2    -
+  //  u2     -    -    -    5
+  RatingMatrixBuilder builder;
+  EXPECT_TRUE(builder.Add(0, 0, 5).ok());
+  EXPECT_TRUE(builder.Add(0, 1, 3).ok());
+  EXPECT_TRUE(builder.Add(0, 3, 1).ok());
+  EXPECT_TRUE(builder.Add(1, 0, 4).ok());
+  EXPECT_TRUE(builder.Add(1, 2, 2).ok());
+  EXPECT_TRUE(builder.Add(2, 3, 5).ok());
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+/// The reference semantics: rebuild from scratch with the upserts folded in.
+RatingMatrix RebuildWith(const RatingMatrix& base,
+                         const std::vector<RatingTriple>& upserts) {
+  RatingMatrixBuilder builder;
+  builder.Reserve(base.num_users(), base.num_items());
+  for (const RatingTriple& t : base.ToTriples()) {
+    bool overridden = false;
+    for (const RatingTriple& up : upserts) {
+      if (up.user == t.user && up.item == t.item) overridden = true;
+    }
+    if (!overridden) EXPECT_TRUE(builder.Add(t.user, t.item, t.value).ok());
+  }
+  for (const RatingTriple& up : upserts) {
+    EXPECT_TRUE(builder.Add(up.user, up.item, up.value).ok());
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+void ExpectSameMatrix(const RatingMatrix& a, const RatingMatrix& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_items(), b.num_items());
+  ASSERT_EQ(a.num_ratings(), b.num_ratings());
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    const auto row_a = a.ItemsRatedBy(u);
+    const auto row_b = b.ItemsRatedBy(u);
+    ASSERT_EQ(row_a.size(), row_b.size()) << "user " << u;
+    for (size_t k = 0; k < row_a.size(); ++k) {
+      EXPECT_EQ(row_a[k], row_b[k]) << "user " << u << " entry " << k;
+    }
+    EXPECT_EQ(a.UserMean(u), b.UserMean(u)) << "user " << u;
+  }
+  for (ItemId i = 0; i < a.num_items(); ++i) {
+    const auto col_a = a.UsersWhoRated(i);
+    const auto col_b = b.UsersWhoRated(i);
+    ASSERT_EQ(col_a.size(), col_b.size()) << "item " << i;
+    for (size_t k = 0; k < col_a.size(); ++k) {
+      EXPECT_EQ(col_a[k], col_b[k]) << "item " << i << " entry " << k;
+    }
+  }
+}
+
+TEST(RatingDeltaTest, RejectsInvalidInput) {
+  RatingDelta delta;
+  EXPECT_FALSE(delta.Add(-1, 0, 3).ok());
+  EXPECT_FALSE(delta.Add(0, -2, 3).ok());
+  EXPECT_FALSE(delta.Add(0, 0, 7).ok());
+  EXPECT_TRUE(delta.empty());
+  EXPECT_TRUE(delta.allow_any_scale(true).Add(0, 0, 7).ok());
+}
+
+TEST(RatingDeltaTest, LastUpsertOfACellWins) {
+  RatingDelta delta;
+  ASSERT_TRUE(delta.Add(1, 1, 2).ok());
+  ASSERT_TRUE(delta.Add(0, 2, 4).ok());
+  ASSERT_TRUE(delta.Add(1, 1, 5).ok());
+  const auto upserts = delta.upserts();
+  ASSERT_EQ(upserts.size(), 2u);
+  EXPECT_EQ(upserts[0], (RatingTriple{0, 2, 4}));
+  EXPECT_EQ(upserts[1], (RatingTriple{1, 1, 5}));
+}
+
+TEST(RatingDeltaTest, TouchedItemsAndUsers) {
+  RatingDelta delta;
+  ASSERT_TRUE(delta.Add(2, 3, 1).ok());
+  ASSERT_TRUE(delta.Add(0, 1, 2).ok());
+  ASSERT_TRUE(delta.Add(2, 1, 3).ok());
+  EXPECT_EQ(delta.TouchedItems(), (std::vector<ItemId>{1, 3}));
+  EXPECT_EQ(delta.TouchedUsers(), (std::vector<UserId>{0, 2}));
+}
+
+TEST(RatingDeltaTest, AppendsNewRatings) {
+  const RatingMatrix base = SmallMatrix();
+  RatingDelta delta;
+  ASSERT_TRUE(delta.Add(1, 1, 3).ok());
+  ASSERT_TRUE(delta.Add(2, 0, 2).ok());
+  const RatingMatrix merged = std::move(delta.ApplyTo(base)).ValueOrDie();
+  ExpectSameMatrix(merged, RebuildWith(base, {{1, 1, 3}, {2, 0, 2}}));
+  EXPECT_EQ(merged.num_ratings(), 8);
+}
+
+TEST(RatingDeltaTest, OverwritesExistingCell) {
+  const RatingMatrix base = SmallMatrix();
+  RatingDelta delta;
+  ASSERT_TRUE(delta.Add(0, 1, 5).ok());
+  const RatingMatrix merged = std::move(delta.ApplyTo(base)).ValueOrDie();
+  ExpectSameMatrix(merged, RebuildWith(base, {{0, 1, 5}}));
+  EXPECT_EQ(merged.num_ratings(), base.num_ratings());
+  EXPECT_EQ(merged.GetRating(0, 1), 5.0);
+}
+
+TEST(RatingDeltaTest, GrowsUsersAndItems) {
+  const RatingMatrix base = SmallMatrix();
+  RatingDelta delta;
+  ASSERT_TRUE(delta.Add(5, 6, 4).ok());  // brand-new user, brand-new item
+  const RatingMatrix merged = std::move(delta.ApplyTo(base)).ValueOrDie();
+  EXPECT_EQ(merged.num_users(), 6);
+  EXPECT_EQ(merged.num_items(), 7);
+  ExpectSameMatrix(merged, RebuildWith(base, {{5, 6, 4}}));
+  EXPECT_TRUE(merged.ItemsRatedBy(3).empty());  // gap user has no ratings
+  EXPECT_DOUBLE_EQ(merged.UserMean(5), 4.0);
+}
+
+TEST(RatingDeltaTest, EmptyDeltaIsIdentity) {
+  const RatingMatrix base = SmallMatrix();
+  const RatingDelta delta;
+  ExpectSameMatrix(std::move(delta.ApplyTo(base)).ValueOrDie(), base);
+}
+
+TEST(RatingDeltaTest, RandomizedMergeMatchesRebuild) {
+  Rng rng(20260728);
+  RatingMatrixBuilder builder;
+  builder.Reserve(40, 25);
+  for (UserId u = 0; u < 40; ++u) {
+    for (ItemId i = 0; i < 25; ++i) {
+      if (!rng.NextBool(0.15)) continue;
+      ASSERT_TRUE(
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+    }
+  }
+  const RatingMatrix base = std::move(builder.Build()).ValueOrDie();
+
+  for (int round = 0; round < 10; ++round) {
+    RatingDelta delta;
+    std::vector<RatingTriple> upserts;
+    const int batch = static_cast<int>(rng.UniformInt(1, 30));
+    for (int k = 0; k < batch; ++k) {
+      const auto u = static_cast<UserId>(rng.UniformInt(0, 45));  // may grow
+      const auto i = static_cast<ItemId>(rng.UniformInt(0, 28));
+      const auto value = static_cast<Rating>(rng.UniformInt(1, 5));
+      bool duplicate = false;
+      for (const RatingTriple& prev : upserts) {
+        if (prev.user == u && prev.item == i) duplicate = true;
+      }
+      if (duplicate) continue;
+      upserts.push_back({u, i, value});
+      ASSERT_TRUE(delta.Add(u, i, value).ok());
+    }
+    ExpectSameMatrix(std::move(delta.ApplyTo(base)).ValueOrDie(),
+                     RebuildWith(base, upserts));
+  }
+}
+
+}  // namespace
+}  // namespace fairrec

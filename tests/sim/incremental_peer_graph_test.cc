@@ -1,0 +1,321 @@
+#include "sim/incremental_peer_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "ratings/rating_delta.h"
+#include "ratings/rating_matrix.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+
+namespace fairrec {
+namespace {
+
+/// Byte-identical index comparison: same population, same peers, same
+/// similarities (exact double equality), same order.
+void ExpectIdenticalIndex(const PeerIndex& actual, const PeerIndex& expected) {
+  ASSERT_EQ(actual.num_users(), expected.num_users());
+  ASSERT_EQ(actual.num_entries(), expected.num_entries());
+  for (UserId u = 0; u < expected.num_users(); ++u) {
+    const auto got = actual.PeersOf(u);
+    const auto want = expected.PeersOf(u);
+    ASSERT_EQ(got.size(), want.size()) << "user " << u;
+    for (size_t k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(got[k], want[k]) << "user " << u << " entry " << k;
+    }
+  }
+}
+
+/// The from-scratch reference on the post-delta corpus.
+PeerIndex RebuildFromScratch(const RatingMatrix& matrix,
+                             const IncrementalPeerGraphOptions& options) {
+  const PairwiseSimilarityEngine engine(&matrix, options.similarity,
+                                        options.engine);
+  return std::move(engine.BuildPeerIndex(options.peers)).ValueOrDie();
+}
+
+/// The incremental store must also stay byte-identical to a fresh sweep —
+/// index parity alone could mask moment corruption hidden below delta.
+void ExpectStoreMatchesFreshSweep(const IncrementalPeerGraph& graph) {
+  const PairwiseSimilarityEngine engine(&graph.matrix(),
+                                        graph.options().similarity,
+                                        graph.options().engine);
+  const MomentStore fresh =
+      std::move(engine.BuildMomentStore(graph.options().store)).ValueOrDie();
+  ASSERT_EQ(graph.store().num_users(), fresh.num_users());
+  ASSERT_EQ(graph.store().num_pairs(), fresh.num_pairs());
+  for (UserId u = 0; u < fresh.num_users(); ++u) {
+    const auto got = graph.store().RowOf(u);
+    const auto want = fresh.RowOf(u);
+    ASSERT_EQ(got.size(), want.size()) << "user " << u;
+    for (size_t k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(got[k], want[k]) << "user " << u << " entry " << k;
+    }
+  }
+}
+
+RatingMatrix MatrixFromTriples(const std::vector<RatingTriple>& triples) {
+  RatingMatrixBuilder builder;
+  EXPECT_TRUE(builder.AddAll(triples).ok());
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+IncrementalPeerGraph BuildGraph(const RatingMatrix& matrix,
+                                IncrementalPeerGraphOptions options) {
+  auto result = IncrementalPeerGraph::Build(matrix, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+TEST(IncrementalPeerGraphTest, BuildRejectsNonPositiveDelta) {
+  const RatingMatrix matrix = MatrixFromTriples({{0, 0, 3}, {1, 0, 4}});
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.0;
+  EXPECT_FALSE(IncrementalPeerGraph::Build(matrix, options).ok());
+  options.peers.delta = -0.5;
+  EXPECT_FALSE(IncrementalPeerGraph::Build(matrix, options).ok());
+}
+
+TEST(IncrementalPeerGraphTest, SeedMatchesFullBuild) {
+  const RatingMatrix matrix = MatrixFromTriples({
+      {0, 0, 1}, {0, 1, 2}, {0, 2, 3},
+      {1, 0, 1}, {1, 1, 2}, {1, 2, 3},
+      {2, 0, 3}, {2, 1, 2}, {2, 2, 1},
+  });
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.5;
+  const IncrementalPeerGraph graph = BuildGraph(matrix, options);
+  ExpectIdenticalIndex(*graph.index(), RebuildFromScratch(matrix, options));
+  EXPECT_GT(graph.store().num_pairs(), 0);
+}
+
+TEST(IncrementalPeerGraphTest, DeltaDroppingPairBelowThresholdEvictsIt) {
+  // Users 0 and 1 co-rate items 0..2 in perfect agreement; nothing else.
+  const RatingMatrix matrix = MatrixFromTriples({
+      {0, 0, 1}, {0, 1, 2}, {0, 2, 3},
+      {1, 0, 1}, {1, 1, 2}, {1, 2, 3},
+  });
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.5;
+  IncrementalPeerGraph graph = BuildGraph(matrix, options);
+  ASSERT_EQ(graph.index()->PeersOf(0).size(), 1u);
+  ASSERT_EQ(graph.index()->PeersOf(0)[0].user, 1);
+
+  // Updating user 1 to perfect disagreement sends the correlation to -1,
+  // far below delta: both directions of the pair must leave the index.
+  RatingDelta delta;
+  ASSERT_TRUE(delta.Add(1, 0, 3).ok());
+  ASSERT_TRUE(delta.Add(1, 2, 1).ok());
+  const auto stats = graph.ApplyDelta(delta);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->changed_pairs, 1);
+
+  EXPECT_TRUE(graph.index()->PeersOf(0).empty());
+  EXPECT_TRUE(graph.index()->PeersOf(1).empty());
+  ExpectIdenticalIndex(*graph.index(),
+                       RebuildFromScratch(graph.matrix(), options));
+  ExpectStoreMatchesFreshSweep(graph);
+}
+
+TEST(IncrementalPeerGraphTest, BrandNewUserWithZeroCoRatings) {
+  const RatingMatrix matrix = MatrixFromTriples({
+      {0, 0, 1}, {0, 1, 2},
+      {1, 0, 1}, {1, 1, 2},
+  });
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.3;
+  IncrementalPeerGraph graph = BuildGraph(matrix, options);
+
+  // User 5 arrives rating only a brand-new item: no co-ratings with anyone.
+  RatingDelta delta;
+  ASSERT_TRUE(delta.Add(5, 7, 4).ok());
+  const auto stats = graph.ApplyDelta(delta);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->changed_pairs, 0);
+  EXPECT_EQ(stats->rows_refinished, 0);
+
+  EXPECT_EQ(graph.index()->num_users(), 6);
+  EXPECT_TRUE(graph.index()->PeersOf(5).empty());
+  // The pre-existing peers are untouched.
+  ASSERT_EQ(graph.index()->PeersOf(0).size(), 1u);
+  ExpectIdenticalIndex(*graph.index(),
+                       RebuildFromScratch(graph.matrix(), options));
+  ExpectStoreMatchesFreshSweep(graph);
+}
+
+TEST(IncrementalPeerGraphTest, UpdatedRatingRefinishesExactly) {
+  // The updated-not-appended case: the superseded co-rating must be removed
+  // from the pair's statistics, not merely overlaid.
+  const RatingMatrix matrix = MatrixFromTriples({
+      {0, 0, 1}, {0, 1, 2}, {0, 2, 3}, {0, 3, 4},
+      {1, 0, 2}, {1, 1, 2}, {1, 2, 3}, {1, 3, 5},
+  });
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.1;
+  IncrementalPeerGraph graph = BuildGraph(matrix, options);
+  const double before = graph.index()->PeersOf(0)[0].similarity;
+
+  RatingDelta delta;
+  ASSERT_TRUE(delta.Add(1, 0, 1).ok());  // 2 -> 1 on a co-rated item
+  ASSERT_TRUE(graph.ApplyDelta(delta).ok());
+
+  ASSERT_EQ(graph.index()->PeersOf(0).size(), 1u);
+  EXPECT_NE(graph.index()->PeersOf(0)[0].similarity, before);
+  ExpectIdenticalIndex(*graph.index(),
+                       RebuildFromScratch(graph.matrix(), options));
+  ExpectStoreMatchesFreshSweep(graph);
+}
+
+TEST(IncrementalPeerGraphTest, CappedRowRecoversEvictedCandidate) {
+  // cap = 1: user 0's list holds only user 1 (ties break to the smaller
+  // id); user 2, equally similar, was evicted at build time. When the
+  // delta demotes pair (0, 1), the patched row must surface user 2 — only
+  // the moment store can name it.
+  const RatingMatrix matrix = MatrixFromTriples({
+      {0, 0, 1}, {0, 1, 2}, {0, 2, 1}, {0, 3, 2},
+      {1, 0, 1}, {1, 1, 2},
+      {2, 2, 1}, {2, 3, 2},
+  });
+  IncrementalPeerGraphOptions options;
+  options.similarity.intersection_means = true;
+  options.peers.delta = 0.5;
+  options.peers.max_peers_per_user = 1;
+  IncrementalPeerGraph graph = BuildGraph(matrix, options);
+  ASSERT_EQ(graph.index()->PeersOf(0).size(), 1u);
+  ASSERT_EQ(graph.index()->PeersOf(0)[0].user, 1);
+
+  RatingDelta delta;
+  ASSERT_TRUE(delta.Add(1, 1, 1).ok());  // kills the (0, 1) correlation
+  const auto stats = graph.ApplyDelta(delta);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->rows_refinished, 1);
+
+  ASSERT_EQ(graph.index()->PeersOf(0).size(), 1u);
+  EXPECT_EQ(graph.index()->PeersOf(0)[0].user, 2);
+  ExpectIdenticalIndex(*graph.index(),
+                       RebuildFromScratch(graph.matrix(), options));
+  ExpectStoreMatchesFreshSweep(graph);
+}
+
+TEST(IncrementalPeerGraphTest, SnapshotSurvivesSwap) {
+  const RatingMatrix matrix = MatrixFromTriples({
+      {0, 0, 1}, {0, 1, 2}, {0, 2, 3},
+      {1, 0, 1}, {1, 1, 2}, {1, 2, 3},
+  });
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.5;
+  IncrementalPeerGraph graph = BuildGraph(matrix, options);
+  const std::shared_ptr<const PeerIndex> snapshot = graph.index();
+  ASSERT_EQ(snapshot->PeersOf(0).size(), 1u);
+
+  RatingDelta delta;
+  ASSERT_TRUE(delta.Add(1, 0, 3).ok());
+  ASSERT_TRUE(delta.Add(1, 2, 1).ok());
+  ASSERT_TRUE(graph.ApplyDelta(delta).ok());
+
+  // In-flight readers keep the pre-delta view; new fetches see the patch.
+  EXPECT_EQ(snapshot->PeersOf(0).size(), 1u);
+  EXPECT_NE(graph.index().get(), snapshot.get());
+  EXPECT_TRUE(graph.index()->PeersOf(0).empty());
+}
+
+TEST(IncrementalPeerGraphTest, EmptyDeltaIsANoOp) {
+  const RatingMatrix matrix = MatrixFromTriples({{0, 0, 3}, {1, 0, 4}});
+  IncrementalPeerGraphOptions options;
+  IncrementalPeerGraph graph = BuildGraph(matrix, options);
+  const std::shared_ptr<const PeerIndex> before = graph.index();
+  const auto stats = graph.ApplyDelta(RatingDelta());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_upserts, 0);
+  EXPECT_EQ(graph.index().get(), before.get());
+}
+
+/// The workhorse: random corpora, random delta batches (appends, updates,
+/// brand-new users), every cap / means combination — after every apply the
+/// incremental index must be byte-identical to the from-scratch build and
+/// the store to a fresh sweep. Integer ratings keep the moments exact, so
+/// "identical" really is bitwise (see the class parity contract).
+struct ParityCase {
+  int32_t max_peers = 0;
+  bool intersection_means = false;
+  double delta = 0.1;
+};
+
+class IncrementalParityTest : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(IncrementalParityTest, SequentialDeltasMatchFullRebuild) {
+  const ParityCase param = GetParam();
+  Rng rng(0xfa15ec0de + static_cast<uint64_t>(param.max_peers) * 131 +
+          (param.intersection_means ? 7 : 0));
+
+  RatingMatrixBuilder builder;
+  const int32_t seed_users = 50;
+  const int32_t seed_items = 24;
+  builder.Reserve(seed_users, seed_items);
+  for (UserId u = 0; u < seed_users; ++u) {
+    for (ItemId i = 0; i < seed_items; ++i) {
+      if (!rng.NextBool(0.25)) continue;
+      ASSERT_TRUE(
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+    }
+  }
+  const RatingMatrix seed = std::move(builder.Build()).ValueOrDie();
+
+  IncrementalPeerGraphOptions options;
+  options.similarity.intersection_means = param.intersection_means;
+  options.peers.delta = param.delta;
+  options.peers.max_peers_per_user = param.max_peers;
+  options.store.tile_users = 16;  // several tiles at this population
+  IncrementalPeerGraph graph = BuildGraph(seed, options);
+  ExpectIdenticalIndex(*graph.index(), RebuildFromScratch(seed, options));
+
+  int32_t next_new_user = seed_users;
+  for (int round = 0; round < 6; ++round) {
+    RatingDelta delta;
+    const int batch = static_cast<int>(rng.UniformInt(1, 20));
+    for (int k = 0; k < batch; ++k) {
+      const double kind = rng.NextDouble();
+      UserId user;
+      if (kind < 0.2) {
+        user = next_new_user++;  // brand-new user (some get co-ratings)
+      } else {
+        user = static_cast<UserId>(
+            rng.UniformInt(0, graph.matrix().num_users() - 1));
+      }
+      // ~Half of existing-user upserts hit already-rated cells (updates).
+      ItemId item = static_cast<ItemId>(rng.UniformInt(0, seed_items - 1));
+      if (kind >= 0.2 && kind < 0.6 && user < graph.matrix().num_users()) {
+        const auto row = graph.matrix().ItemsRatedBy(user);
+        if (!row.empty()) {
+          item = row[static_cast<size_t>(rng.UniformInt(
+                         0, static_cast<int64_t>(row.size()) - 1))]
+                     .item;
+        }
+      }
+      ASSERT_TRUE(
+          delta.Add(user, item, static_cast<Rating>(rng.UniformInt(1, 5)))
+              .ok());
+    }
+    const auto stats = graph.ApplyDelta(delta);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ExpectIdenticalIndex(*graph.index(),
+                         RebuildFromScratch(graph.matrix(), options));
+    ExpectStoreMatchesFreshSweep(graph);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapsAndMeans, IncrementalParityTest,
+    ::testing::Values(ParityCase{0, false, 0.1}, ParityCase{0, true, 0.1},
+                      ParityCase{3, false, 0.1}, ParityCase{3, true, 0.1},
+                      ParityCase{8, false, 0.05}, ParityCase{8, true, 0.3}),
+    [](const ::testing::TestParamInfo<ParityCase>& info) {
+      return "cap" + std::to_string(info.param.max_peers) +
+             (info.param.intersection_means ? "_intersection" : "_global");
+    });
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,193 @@
+#include "sim/moment_store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "ratings/rating_matrix.h"
+#include "sim/pairwise_engine.h"
+
+namespace fairrec {
+namespace {
+
+PairMoments MomentsOf(std::vector<std::pair<double, double>> co_ratings) {
+  PairMoments m;
+  for (const auto& [ra, rb] : co_ratings) m.Add(ra, rb);
+  return m;
+}
+
+TEST(MomentStoreBuilderTest, StoresBothDirectionsSorted) {
+  MomentStore::Builder builder(4, {});
+  builder.Add(1, 3, MomentsOf({{1, 2}}));
+  builder.Add(0, 3, MomentsOf({{4, 5}, {2, 2}}));
+  builder.Add(0, 1, MomentsOf({{3, 3}}));
+  const MomentStore store = std::move(builder).Build();
+
+  EXPECT_EQ(store.num_users(), 4);
+  EXPECT_EQ(store.num_pairs(), 3);
+  ASSERT_EQ(store.RowOf(0).size(), 2u);
+  EXPECT_EQ(store.RowOf(0)[0].other, 1);
+  EXPECT_EQ(store.RowOf(0)[1].other, 3);
+  ASSERT_EQ(store.RowOf(3).size(), 2u);
+  EXPECT_EQ(store.RowOf(3)[0].other, 0);
+  EXPECT_EQ(store.RowOf(3)[1].other, 1);
+  EXPECT_TRUE(store.RowOf(2).empty());
+
+  // Both directions hold the same canonical moments.
+  ASSERT_NE(store.FindPair(0, 3), nullptr);
+  ASSERT_NE(store.FindPair(3, 0), nullptr);
+  EXPECT_EQ(*store.FindPair(0, 3), *store.FindPair(3, 0));
+  EXPECT_EQ(store.FindPair(0, 3)->n, 2);
+  EXPECT_EQ(store.FindPair(0, 2), nullptr);
+  EXPECT_EQ(store.FindPair(2, 0), nullptr);
+}
+
+TEST(MomentStoreBuilderTest, IgnoresEmptyMoments) {
+  MomentStore::Builder builder(3, {});
+  builder.Add(0, 1, PairMoments{});
+  const MomentStore store = std::move(builder).Build();
+  EXPECT_EQ(store.num_pairs(), 0);
+  EXPECT_TRUE(store.RowOf(0).empty());
+}
+
+TEST(MomentStoreTest, EnsureNumUsersGrowsEmptyRows) {
+  MomentStore::Builder builder(2, MomentStoreOptions{.tile_users = 2});
+  builder.Add(0, 1, MomentsOf({{1, 1}}));
+  MomentStore store = std::move(builder).Build();
+  EXPECT_EQ(store.num_tiles(), 1u);
+
+  store.EnsureNumUsers(5);
+  EXPECT_EQ(store.num_users(), 5);
+  EXPECT_EQ(store.num_tiles(), 3u);
+  EXPECT_TRUE(store.RowOf(4).empty());
+  EXPECT_EQ(store.TileUserRange(2), (std::pair<UserId, UserId>{4, 5}));
+  EXPECT_EQ(store.num_pairs(), 1);
+}
+
+TEST(MomentStoreTest, ApplyPairDeltasMergesInsertsAndErases) {
+  MomentStore::Builder builder(4, {});
+  builder.Add(0, 1, MomentsOf({{2, 3}}));
+  builder.Add(1, 2, MomentsOf({{4, 4}}));
+  MomentStore store = std::move(builder).Build();
+
+  // Merge one more co-rating into (0, 1); insert (0, 2); erase (1, 2).
+  PairMoments erase_1_2;
+  erase_1_2.Remove(4, 4);
+  const std::vector<PairMomentsDelta> deltas = {
+      {0, 1, MomentsOf({{5, 1}})},
+      {0, 2, MomentsOf({{1, 2}})},
+      {1, 2, erase_1_2},
+  };
+  store.ApplyPairDeltas(deltas);
+
+  EXPECT_EQ(store.num_pairs(), 2);
+  ASSERT_NE(store.FindPair(0, 1), nullptr);
+  EXPECT_EQ(*store.FindPair(0, 1), MomentsOf({{2, 3}, {5, 1}}));
+  ASSERT_NE(store.FindPair(0, 2), nullptr);
+  EXPECT_EQ(*store.FindPair(0, 2), MomentsOf({{1, 2}}));
+  EXPECT_EQ(store.FindPair(1, 2), nullptr);
+  EXPECT_EQ(store.FindPair(2, 1), nullptr);
+  EXPECT_TRUE(store.RowOf(1).size() == 1 && store.RowOf(1)[0].other == 0);
+}
+
+TEST(MomentStoreTest, TileRoundTripAndEviction) {
+  MomentStore::Builder builder(6, MomentStoreOptions{.tile_users = 2});
+  builder.Add(0, 1, MomentsOf({{1, 2}}));
+  builder.Add(2, 5, MomentsOf({{3, 4}, {5, 5}}));
+  builder.Add(3, 4, MomentsOf({{2, 2}}));
+  MomentStore store = std::move(builder).Build();
+  ASSERT_EQ(store.num_tiles(), 3u);
+  const size_t resident_before = store.ResidentBytes();
+  EXPECT_GT(resident_before, 0u);
+  EXPECT_GE(store.peak_bytes(), resident_before);
+
+  const std::vector<MomentEntry> row2(store.RowOf(2).begin(),
+                                      store.RowOf(2).end());
+  const std::string blob = store.SerializeTile(1);
+  const size_t freed = store.EvictTile(1);
+  EXPECT_GT(freed, 0u);
+  EXPECT_FALSE(store.TileResident(1));
+  EXPECT_EQ(store.TileBytes(1), 0u);
+  EXPECT_LT(store.ResidentBytes(), resident_before);
+  // Other tiles stay queryable while tile 1 is spilled.
+  EXPECT_EQ(store.RowOf(0).size(), 1u);
+  EXPECT_EQ(store.RowOf(4).size(), 1u);
+
+  ASSERT_TRUE(store.RestoreTile(1, blob).ok());
+  EXPECT_TRUE(store.TileResident(1));
+  ASSERT_EQ(store.RowOf(2).size(), row2.size());
+  EXPECT_EQ(store.RowOf(2)[0], row2[0]);
+  EXPECT_EQ(store.ResidentBytes(), resident_before);
+}
+
+TEST(MomentStoreTest, RestoreRejectsMalformedBlobs) {
+  MomentStore::Builder builder(2, {});
+  builder.Add(0, 1, MomentsOf({{1, 1}}));
+  MomentStore store = std::move(builder).Build();
+  const std::string blob = store.SerializeTile(0);
+
+  EXPECT_FALSE(store.RestoreTile(7, blob).ok());
+  EXPECT_FALSE(store.RestoreTile(0, blob.substr(0, blob.size() - 3)).ok());
+  EXPECT_FALSE(store.RestoreTile(0, blob + "x").ok());
+  EXPECT_FALSE(store.RestoreTile(0, "").ok());
+  // The well-formed blob still restores after the failed attempts.
+  EXPECT_TRUE(store.RestoreTile(0, blob).ok());
+  EXPECT_EQ(store.RowOf(0).size(), 1u);
+}
+
+TEST(MomentStoreTest, EngineBuildMatchesDirectAccumulation) {
+  Rng rng(97531);
+  RatingMatrixBuilder matrix_builder;
+  matrix_builder.Reserve(30, 20);
+  for (UserId u = 0; u < 30; ++u) {
+    for (ItemId i = 0; i < 20; ++i) {
+      if (!rng.NextBool(0.3)) continue;
+      ASSERT_TRUE(
+          matrix_builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5)))
+              .ok());
+    }
+  }
+  const RatingMatrix matrix = std::move(matrix_builder.Build()).ValueOrDie();
+  const PairwiseSimilarityEngine engine(&matrix);
+  const auto store_result =
+      engine.BuildMomentStore(MomentStoreOptions{.tile_users = 7});
+  ASSERT_TRUE(store_result.ok());
+  const MomentStore& store = *store_result;
+
+  // Reference: accumulate every pair's moments by a direct sorted merge of
+  // the two rows, in ascending item order (the sweep's order).
+  int64_t pairs = 0;
+  for (UserId a = 0; a < matrix.num_users(); ++a) {
+    for (UserId b = a + 1; b < matrix.num_users(); ++b) {
+      PairMoments expected;
+      const auto row_a = matrix.ItemsRatedBy(a);
+      const auto row_b = matrix.ItemsRatedBy(b);
+      size_t x = 0;
+      size_t y = 0;
+      while (x < row_a.size() && y < row_b.size()) {
+        if (row_a[x].item < row_b[y].item) {
+          ++x;
+        } else if (row_b[y].item < row_a[x].item) {
+          ++y;
+        } else {
+          expected.Add(row_a[x].value, row_b[y].value);
+          ++x;
+          ++y;
+        }
+      }
+      const PairMoments* stored = store.FindPair(a, b);
+      if (expected.n == 0) {
+        EXPECT_EQ(stored, nullptr) << "pair (" << a << ", " << b << ")";
+      } else {
+        ++pairs;
+        ASSERT_NE(stored, nullptr) << "pair (" << a << ", " << b << ")";
+        EXPECT_EQ(*stored, expected) << "pair (" << a << ", " << b << ")";
+      }
+    }
+  }
+  EXPECT_EQ(store.num_pairs(), pairs);
+}
+
+}  // namespace
+}  // namespace fairrec
