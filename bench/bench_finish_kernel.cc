@@ -1,0 +1,399 @@
+// Pearson finish kernel microbench: the scalar per-pair finish
+// (FinishPearsonFromMoments, the pre-batch code path) vs the batched kernel
+// of sim/pearson_finish_batch.h in both its portable-scalar and AVX2 forms.
+//
+// The finish is the O(U^2) constant every similarity artifact pays — the
+// packed triangle, the PeerIndex build, the incremental re-finish, and the
+// MapReduce Job 2 reducers all funnel through it — so this bench isolates
+// exactly that constant: a pool of synthetic sufficient statistics is
+// finished repeatedly until the requested number of pair finishes is
+// reached. Batch timings include the staging cost (FinishBatch::Push),
+// i.e. they measure the kernel as its callers experience it.
+//
+// The default pool is the population the kernel actually sees: pairs that
+// *passed* the overlap guard (every caller short-circuits guard-failed
+// pairs to a literal 0 before staging — PairwiseSimilarityEngine::
+// SkipsFinish and the mapreduce/incremental equivalents), plus the
+// constant-row pairs whose zero-variance cancellation the kernel's mask
+// pass must catch. --mix-empty / --mix-below-overlap re-add guard-failed
+// pairs for exploring the pre-staging regime.
+//
+// The run also self-checks the bit-parity contract: all available paths
+// must produce identical bits for every pool element (`max_bit_diff` is the
+// largest absolute difference between the 64-bit patterns of any two
+// paths' outputs — 0 on any conforming build; exit 2 otherwise).
+//
+//   bench_finish_kernel [--pool N] [--finishes N] [--seed N]
+//                       [--intersection-means] [--shift]
+//                       [--mix-empty F] [--mix-below-overlap F]
+//                       [--mix-constant F]
+//                       [--check-speedup-min F]
+//                       [--out BENCH_finish.json]
+//
+// Exit status: 0 ok, 1 argument/IO errors, 2 bit-parity mismatch, 3 the
+// --check-speedup-min gate (best batch kernel vs the scalar loop) failed.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "sim/pearson_finish.h"
+#include "sim/pearson_finish_batch.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+namespace {
+
+struct BenchConfig {
+  /// Distinct synthetic pairs in the working set. The default (~768 KiB of
+  /// moments + 256 KiB of means) stays L2-resident so the bench measures
+  /// the finish constant itself, not L3/DRAM streaming — the regime of the
+  /// engine's drain, which finishes accumulator cells the sweep just
+  /// wrote. Raise it to measure the memory-bound regime.
+  int64_t pool = 1 << 14;
+  /// Total pair finishes per timed path (the pool is swept repeatedly).
+  int64_t finishes = 50'000'000;
+  uint64_t seed = 20170417;
+  bool intersection_means = false;
+  bool shift = false;
+  /// Fail (exit 3) when best-batch/scalar-loop speedup drops below this
+  /// (0 = no gate).
+  double check_speedup_min = 0.0;
+  std::string out_path = "BENCH_finish.json";
+
+  /// Pool composition (fractions; the remainder is regular co-rating
+  /// runs). Defaults model the post-guard population — see the header
+  /// comment.
+  double mix_empty = 0.0;          // n == 0: no co-ratings
+  double mix_below_overlap = 0.0;  // n == 1 < default min_overlap
+  double mix_constant = 0.05;      // constant co-ratings -> variance guard
+};
+
+struct Pool {
+  std::vector<PairMoments> moments;
+  std::vector<double> mean_a;
+  std::vector<double> mean_b;
+};
+
+Pool GeneratePool(const BenchConfig& config) {
+  Rng rng(config.seed);
+  Pool pool;
+  pool.moments.resize(static_cast<size_t>(config.pool));
+  pool.mean_a.resize(static_cast<size_t>(config.pool));
+  pool.mean_b.resize(static_cast<size_t>(config.pool));
+  for (int64_t k = 0; k < config.pool; ++k) {
+    PairMoments m;
+    const double regime = rng.NextDouble();
+    if (regime < config.mix_empty) {
+      // no co-ratings
+    } else if (regime < config.mix_empty + config.mix_below_overlap) {
+      m.Add(static_cast<double>(rng.UniformInt(1, 5)),
+            static_cast<double>(rng.UniformInt(1, 5)));
+    } else if (regime <
+               config.mix_empty + config.mix_below_overlap + config.mix_constant) {
+      // A constant row whose value is not exactly representable: the raw
+      // expansion cancels to rounding noise and must hit the relative
+      // epsilon guard.
+      const int32_t n = static_cast<int32_t>(rng.UniformInt(2, 8));
+      for (int32_t i = 0; i < n; ++i) m.Add(3.1, 3.1);
+    } else {
+      const int32_t n = static_cast<int32_t>(rng.UniformInt(2, 32));
+      for (int32_t i = 0; i < n; ++i) {
+        m.Add(static_cast<double>(rng.UniformInt(1, 5)),
+              static_cast<double>(rng.UniformInt(1, 5)));
+      }
+    }
+    pool.moments[static_cast<size_t>(k)] = m;
+    pool.mean_a[static_cast<size_t>(k)] = rng.UniformReal(1.0, 5.0);
+    pool.mean_b[static_cast<size_t>(k)] = rng.UniformReal(1.0, 5.0);
+  }
+  return pool;
+}
+
+/// One pass of the pre-batch code path: the scalar finish per pair. Four
+/// independent checksum chains keep the harness's accumulation off the
+/// critical path (a single serial addsd chain would bound both paths).
+double ScalarLoopPass(const Pool& pool, const RatingSimilarityOptions& options,
+                      std::vector<double>* out) {
+  double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  for (size_t k = 0; k < pool.moments.size(); ++k) {
+    const double sim = FinishPearsonFromMoments(
+        pool.moments[k], pool.mean_a[k], pool.mean_b[k], options);
+    switch (k & 3) {
+      case 0: c0 += sim; break;
+      case 1: c1 += sim; break;
+      case 2: c2 += sim; break;
+      default: c3 += sim; break;
+    }
+    if (out != nullptr) (*out)[k] = sim;
+  }
+  return (c0 + c1) + (c2 + c3);
+}
+
+using KernelFn = void (*)(const FinishBatch&, const RatingSimilarityOptions&,
+                          double*);
+
+/// One pass through a pinned batch kernel, staging included. The checksum
+/// consumes lanes through four independent chains, like ScalarLoopPass.
+double BatchPass(const Pool& pool, const RatingSimilarityOptions& options,
+                 KernelFn kernel, std::vector<double>* out) {
+  double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  FinishBatch batch;
+  double finished[FinishBatch::kCapacity];
+  size_t flushed = 0;
+  const auto flush = [&] {
+    kernel(batch, options, finished);
+    const int32_t size = batch.size();
+    int32_t i = 0;
+    for (; i + 4 <= size; i += 4) {
+      c0 += finished[i];
+      c1 += finished[i + 1];
+      c2 += finished[i + 2];
+      c3 += finished[i + 3];
+    }
+    for (; i < size; ++i) c0 += finished[i];
+    if (out != nullptr) {
+      for (int32_t j = 0; j < size; ++j) {
+        (*out)[flushed + static_cast<size_t>(j)] = finished[j];
+      }
+    }
+    flushed += static_cast<size_t>(size);
+    batch.Clear();
+  };
+  for (size_t k = 0; k < pool.moments.size(); ++k) {
+    batch.Push(pool.moments[k], pool.mean_a[k], pool.mean_b[k]);
+    if (batch.full()) flush();
+  }
+  flush();
+  return (c0 + c1) + (c2 + c3);
+}
+
+/// Largest absolute difference between the 64-bit patterns of two outputs.
+/// 0 iff the paths are bit-identical on every pool element.
+uint64_t MaxBitDiff(const std::vector<double>& x, const std::vector<double>& y) {
+  uint64_t max_diff = 0;
+  for (size_t k = 0; k < x.size(); ++k) {
+    const int64_t xb = static_cast<int64_t>(std::bit_cast<uint64_t>(x[k]));
+    const int64_t yb = static_cast<int64_t>(std::bit_cast<uint64_t>(y[k]));
+    const uint64_t diff =
+        xb >= yb ? static_cast<uint64_t>(xb - yb) : static_cast<uint64_t>(yb - xb);
+    if (diff > max_diff) max_diff = diff;
+  }
+  return max_diff;
+}
+
+struct PathResult {
+  bool ran = false;
+  double seconds = 0.0;
+  double pairs_per_sec = 0.0;
+  double checksum = 0.0;
+};
+
+int Run(const BenchConfig& config) {
+  RatingSimilarityOptions options;  // paper defaults: min_overlap 2, global µ
+  options.intersection_means = config.intersection_means;
+  options.shift_to_unit_interval = config.shift;
+
+  std::printf("generating pool: %lld pairs (%.1f MiB of moments)...\n",
+              static_cast<long long>(config.pool),
+              static_cast<double>(config.pool) * sizeof(PairMoments) /
+                  (1024.0 * 1024.0));
+  const Pool pool = GeneratePool(config);
+  const int64_t passes =
+      std::max<int64_t>(1, (config.finishes + config.pool - 1) / config.pool);
+  const int64_t total = passes * config.pool;
+  [[maybe_unused]] const bool has_avx2 = internal::FinishPearsonBatchHasAvx2();
+  std::printf("  %lld passes -> %lld finishes per path; dispatch kernel: %s\n",
+              static_cast<long long>(passes), static_cast<long long>(total),
+              FinishPearsonBatchKernel());
+
+  // ---- Bit-parity self-check (one pass per path, outputs kept). ----
+  std::vector<double> out_scalar(pool.moments.size());
+  std::vector<double> out_batch_scalar(pool.moments.size());
+  ScalarLoopPass(pool, options, &out_scalar);
+  BatchPass(pool, options, internal::FinishPearsonBatchScalar,
+            &out_batch_scalar);
+  uint64_t max_bit_diff = MaxBitDiff(out_scalar, out_batch_scalar);
+#if defined(FAIRREC_ENABLE_AVX2)
+  if (has_avx2) {
+    std::vector<double> out_avx2(pool.moments.size());
+    BatchPass(pool, options, internal::FinishPearsonBatchAvx2, &out_avx2);
+    max_bit_diff = std::max(max_bit_diff, MaxBitDiff(out_scalar, out_avx2));
+  }
+#endif
+  std::printf("bit-parity self-check: max_bit_diff %llu\n",
+              static_cast<unsigned long long>(max_bit_diff));
+
+  // ---- Timed passes. ----
+  PathResult scalar_loop;
+  PathResult batch_scalar;
+  PathResult batch_avx2;
+  {
+    Stopwatch clock;
+    for (int64_t p = 0; p < passes; ++p) {
+      scalar_loop.checksum += ScalarLoopPass(pool, options, nullptr);
+    }
+    scalar_loop.seconds = clock.ElapsedSeconds();
+    scalar_loop.ran = true;
+  }
+  {
+    Stopwatch clock;
+    for (int64_t p = 0; p < passes; ++p) {
+      batch_scalar.checksum +=
+          BatchPass(pool, options, internal::FinishPearsonBatchScalar, nullptr);
+    }
+    batch_scalar.seconds = clock.ElapsedSeconds();
+    batch_scalar.ran = true;
+  }
+#if defined(FAIRREC_ENABLE_AVX2)
+  if (has_avx2) {
+    Stopwatch clock;
+    for (int64_t p = 0; p < passes; ++p) {
+      batch_avx2.checksum +=
+          BatchPass(pool, options, internal::FinishPearsonBatchAvx2, nullptr);
+    }
+    batch_avx2.seconds = clock.ElapsedSeconds();
+    batch_avx2.ran = true;
+  }
+#endif
+
+  const auto report = [total](const char* name, PathResult& r) {
+    if (!r.ran) {
+      std::printf("%-22s      (not available on this build/host)\n", name);
+      return;
+    }
+    r.pairs_per_sec = static_cast<double>(total) / r.seconds;
+    std::printf("%-22s %8.3f s  (%7.2fM pairs/s)\n", name, r.seconds,
+                r.pairs_per_sec / 1e6);
+  };
+  report("scalar loop:", scalar_loop);
+  report("batch kernel (scalar):", batch_scalar);
+  report("batch kernel (avx2):", batch_avx2);
+
+  const double speedup_batch_scalar =
+      scalar_loop.seconds / batch_scalar.seconds;
+  const double best_batch_seconds =
+      batch_avx2.ran ? std::min(batch_scalar.seconds, batch_avx2.seconds)
+                     : batch_scalar.seconds;
+  const double speedup_best = scalar_loop.seconds / best_batch_seconds;
+  std::printf("speedup: batch-scalar %.2fx   best batch %.2fx\n",
+              speedup_batch_scalar, speedup_best);
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"finish_kernel\",\n"
+               "  \"pool\": %lld,\n"
+               "  \"finishes_per_path\": %lld,\n"
+               "  \"seed\": %llu,\n"
+               "  \"mixture\": {\n"
+               "    \"empty\": %.3f,\n"
+               "    \"below_overlap\": %.3f,\n"
+               "    \"constant_row\": %.3f\n"
+               "  },\n"
+               "  \"options\": {\n"
+               "    \"min_overlap\": %d,\n"
+               "    \"intersection_means\": %s,\n"
+               "    \"shift_to_unit_interval\": %s\n"
+               "  },\n"
+               "  \"dispatch_kernel\": \"%s\",\n"
+               "  \"scalar_loop_seconds\": %.6f,\n"
+               "  \"batch_scalar_seconds\": %.6f,\n",
+               static_cast<long long>(config.pool),
+               static_cast<long long>(total),
+               static_cast<unsigned long long>(config.seed), config.mix_empty,
+               config.mix_below_overlap, config.mix_constant,
+               options.min_overlap,
+               options.intersection_means ? "true" : "false",
+               options.shift_to_unit_interval ? "true" : "false",
+               FinishPearsonBatchKernel(), scalar_loop.seconds,
+               batch_scalar.seconds);
+  if (batch_avx2.ran) {
+    std::fprintf(out, "  \"batch_avx2_seconds\": %.6f,\n", batch_avx2.seconds);
+  } else {
+    std::fprintf(out, "  \"batch_avx2_seconds\": null,\n");
+  }
+  std::fprintf(out,
+               "  \"speedup_batch_scalar\": %.3f,\n"
+               "  \"speedup_batch_best\": %.3f,\n"
+               "  \"max_bit_diff\": %llu\n"
+               "}\n",
+               speedup_batch_scalar, speedup_best,
+               static_cast<unsigned long long>(max_bit_diff));
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+
+  if (max_bit_diff != 0) {
+    std::fprintf(stderr,
+                 "FAIL: batch kernels are not bit-identical to the scalar "
+                 "finish (max_bit_diff %llu)\n",
+                 static_cast<unsigned long long>(max_bit_diff));
+    return 2;
+  }
+  if (config.check_speedup_min > 0.0 &&
+      speedup_best < config.check_speedup_min) {
+    std::fprintf(stderr, "FAIL: best batch speedup %.2fx below the gate %.2fx\n",
+                 speedup_best, config.check_speedup_min);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairrec
+
+int main(int argc, char** argv) {
+  fairrec::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--pool") {
+      config.pool = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--finishes") {
+      config.finishes = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--intersection-means") {
+      config.intersection_means = true;
+    } else if (arg == "--shift") {
+      config.shift = true;
+    } else if (arg == "--mix-empty") {
+      config.mix_empty = std::atof(next());
+    } else if (arg == "--mix-below-overlap") {
+      config.mix_below_overlap = std::atof(next());
+    } else if (arg == "--mix-constant") {
+      config.mix_constant = std::atof(next());
+    } else if (arg == "--check-speedup-min") {
+      config.check_speedup_min = std::atof(next());
+    } else if (arg == "--out") {
+      config.out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config.pool < 1 || config.finishes < 1 || config.mix_empty < 0.0 ||
+      config.mix_below_overlap < 0.0 || config.mix_constant < 0.0 ||
+      config.mix_empty + config.mix_below_overlap + config.mix_constant >
+          1.0) {
+    std::fprintf(stderr, "invalid configuration\n");
+    return 1;
+  }
+  return fairrec::Run(config);
+}

@@ -99,8 +99,10 @@ int Run(const BenchConfig& config) {
   engine_options.block_users = config.block_users;
   const PairwiseSimilarityEngine engine(&matrix, sim_options, engine_options);
   std::vector<double> engine_out(num_pairs, 0.0);
+  PairwiseEngineStats engine_stats;
   Stopwatch engine_clock;
-  const Status status = engine.ComputeAll(std::span<double>(engine_out));
+  const Status status =
+      engine.ComputeAll(std::span<double>(engine_out), &engine_stats);
   const double engine_seconds = engine_clock.ElapsedSeconds();
   if (!status.ok()) {
     std::fprintf(stderr, "engine failed: %s\n", status.ToString().c_str());
@@ -109,6 +111,14 @@ int Run(const BenchConfig& config) {
   std::printf("sufficient-stats engine:    %8.3f s  (%.2fM pairs/s)\n",
               engine_seconds,
               static_cast<double>(num_pairs) / engine_seconds / 1e6);
+  // The phase split isolates the batched-finish-kernel win from the
+  // accumulation sweep (seconds are summed across workers; equal to the
+  // wall split at --threads 1).
+  std::printf("  phase split: accumulate  %8.3f s   finish %8.3f s  "
+              "(%.2fM finishes/s)\n",
+              engine_stats.accumulate_seconds, engine_stats.finish_seconds,
+              static_cast<double>(engine_stats.pairs_finished) /
+                  engine_stats.finish_seconds / 1e6);
 
   // --- Agreement check. ---
   double max_abs_diff = 0.0;
@@ -147,6 +157,8 @@ int Run(const BenchConfig& config) {
                "  \"nonzero_pairs\": %zu,\n"
                "  \"naive_seconds\": %.6f,\n"
                "  \"engine_seconds\": %.6f,\n"
+               "  \"accumulate_seconds\": %.6f,\n"
+               "  \"finish_seconds\": %.6f,\n"
                "  \"speedup\": %.3f,\n"
                "  \"max_abs_diff\": %.3e\n"
                "}\n",
@@ -157,7 +169,8 @@ int Run(const BenchConfig& config) {
                naive.options().intersection_means ? "true" : "false",
                naive.options().shift_to_unit_interval ? "true" : "false",
                config.threads, config.block_users, num_pairs, nonzero,
-               naive_seconds, engine_seconds, speedup, max_abs_diff);
+               naive_seconds, engine_seconds, engine_stats.accumulate_seconds,
+               engine_stats.finish_seconds, speedup, max_abs_diff);
   std::fclose(out);
   std::printf("wrote %s\n", config.out_path.c_str());
 

@@ -8,6 +8,7 @@
 
 #include "cf/peer_finder.h"
 #include "common/logging.h"
+#include "sim/pearson_finish_batch.h"
 
 namespace fairrec {
 
@@ -23,25 +24,69 @@ struct ItemMoment {
   PairMoments moments;
 };
 
-/// Finishes a (member, outside-user) pair from its merged moments. Job 1
-/// accumulates with a = member, but the engine always accumulates with
-/// a < b, so orientation is canonicalized to ascending ids before the finish
-/// — Pearson is symmetric in exact arithmetic, not bit-for-bit in floating
+/// Batched finish over a merged (pair, moments) stream — the Job 2 finish,
+/// routed through the same vectorized kernel as the engine's tile drain
+/// (sim/pearson_finish_batch.h), so all four similarity flows share one
+/// finish implementation with one bit-parity contract. Job 1 accumulates
+/// with a = member, but the engine always accumulates with a < b, so each
+/// pair's moments are canonicalized to ascending ids before staging —
+/// Pearson is symmetric in exact arithmetic, not bit-for-bit in floating
 /// point, and the sharded path must match the in-memory artifact exactly.
-double FinishMemberPair(const UserPairKey& key, const PairMoments& moments,
-                        const std::vector<double>& user_means,
-                        const RatingSimilarityOptions& options) {
+/// Pairs failing the overlap guard short-circuit to the literal 0 the
+/// kernel's mask pass would produce. `consume(key, sim)` is called once per
+/// input record, in batch-flush order (not stream order).
+template <typename Consume>
+void FinishMergedPairs(
+    const std::vector<KeyValue<UserPairKey, PairMoments>>& merged,
+    const std::vector<double>& user_means,
+    const RatingSimilarityOptions& options, const Consume& consume) {
   const auto mean_of = [&user_means](UserId u) {
     return (u >= 0 && static_cast<size_t>(u) < user_means.size())
                ? user_means[static_cast<size_t>(u)]
                : 0.0;
   };
-  if (key.first <= key.second) {
-    return FinishPearsonFromMoments(moments, mean_of(key.first),
-                                    mean_of(key.second), options);
+  auto stream = MakePearsonFinishStream<const UserPairKey*>(
+      options, [&consume](const UserPairKey* key, double sim) {
+        consume(*key, sim);
+      });
+  for (const auto& kv : merged) {
+    if (PearsonOverlapGuardFails(kv.value.n, options)) {
+      consume(kv.key, 0.0);
+      continue;
+    }
+    if (kv.key.first <= kv.key.second) {
+      stream.Stage(kv.value, mean_of(kv.key.first), mean_of(kv.key.second),
+                   &kv.key);
+    } else {
+      stream.Stage(kv.value.Swapped(), mean_of(kv.key.second),
+                   mean_of(kv.key.first), &kv.key);
+    }
   }
-  return FinishPearsonFromMoments(moments.Swapped(), mean_of(key.second),
-                                  mean_of(key.first), options);
+  // Falling off the scope flushes the stream's ragged tail.
+}
+
+/// The merge-only Job 2 reduce shared by both output modes: sums each
+/// pair's per-shard moments in the canonical ascending-shard order the
+/// stable shuffle preserves from the Job 1 boundary sort, and emits the
+/// merged statistics. The finish happens downstream in one batched pass.
+std::vector<KeyValue<UserPairKey, PairMoments>> MergeJob2Moments(
+    const std::vector<KeyValue<UserPairKey, PairMoments>>& partial_moments,
+    const MapReduceOptions& options, MapReduceStats* stats) {
+  return RunMapReduce<UserPairKey, PairMoments, UserPairKey, PairMoments,
+                      UserPairKey, PairMoments, PairHash>(
+      partial_moments,
+      // Map: identity re-key (the pair key is already in place).
+      [](const UserPairKey& key, const PairMoments& value,
+         MapEmitter<UserPairKey, PairMoments, PairHash>& out) {
+        out.Emit(key, value);
+      },
+      [](const UserPairKey& key, std::span<const PairMoments> values,
+         ReduceEmitter<UserPairKey, PairMoments>& out) {
+        PairMoments total;
+        for (const PairMoments& partial : values) total.Merge(partial);
+        out.Emit(key, total);
+      },
+      options, stats);
 }
 
 }  // namespace
@@ -196,29 +241,19 @@ std::vector<KeyValue<UserPairKey, double>> RunJob2(
     const std::vector<double>& user_means,
     const RatingSimilarityOptions& sim_options, double delta,
     const MapReduceOptions& options, MapReduceStats* stats) {
-  auto output = RunMapReduce<UserPairKey, PairMoments, UserPairKey,
-                             PairMoments, UserPairKey, double, PairHash>(
-      partial_moments,
-      // Map: identity re-key (the pair key is already in place).
-      [](const UserPairKey& key, const PairMoments& value,
-         MapEmitter<UserPairKey, PairMoments, PairHash>& out) {
-        out.Emit(key, value);
-      },
-      // Reduce: sum the per-shard moments (they arrive in the canonical
-      // ascending-shard order — the stable shuffle preserves the Job 1
-      // boundary sort), finish Eq. 2 via the engine's shared moment finish,
-      // apply the Def. 1 threshold. No buffering, no re-sort.
-      [&user_means, &sim_options, delta](const UserPairKey& key,
-                                         std::span<const PairMoments> values,
-                                         ReduceEmitter<UserPairKey, double>& out) {
-        PairMoments total;
-        for (const PairMoments& partial : values) total.Merge(partial);
-        const double sim =
-            FinishMemberPair(key, total, user_means, sim_options);
-        if (sim >= delta) out.Emit(key, sim);
-      },
-      options, stats);
-
+  // Merge-only reduce, then one batched finish + Def. 1 threshold pass over
+  // the merged stream (O(member pairs) records — no larger than the input).
+  const auto merged = MergeJob2Moments(partial_moments, options, stats);
+  std::vector<KeyValue<UserPairKey, double>> output;
+  FinishMergedPairs(merged, user_means, sim_options,
+                    [&output, delta](const UserPairKey& key, double sim) {
+                      if (sim >= delta) output.push_back({key, sim});
+                    });
+  if (stats != nullptr) {
+    // The thresholded record stream is the job's output, not the merged
+    // moments RunMapReduce counted.
+    stats->output_records = static_cast<int64_t>(output.size());
+  }
   std::sort(output.begin(), output.end(),
             [](const auto& a, const auto& b) { return a.key < b.key; });
   return output;
@@ -277,29 +312,19 @@ Result<PeerIndex> RunJob2PeerIndex(
   index_options.max_peers_per_user = max_peers_per_member;
   PeerIndex::Builder builder(num_users, index_options);
 
-  // Same shape as RunJob2, but the reducers feed qualifying pairs straight
-  // into the thread-safe builder instead of materializing a thresholded
-  // record stream. The Job 1 stream is directional (member -> outside user),
-  // so only the member side of each pair gets a list entry; OfferPair would
-  // invent edges for non-members that a whole-population build wouldn't
-  // have.
-  RunMapReduce<UserPairKey, PairMoments, UserPairKey, PairMoments,
-               UserPairKey, double, PairHash>(
-      partial_moments,
-      [](const UserPairKey& key, const PairMoments& value,
-         MapEmitter<UserPairKey, PairMoments, PairHash>& out) {
-        out.Emit(key, value);
-      },
-      [&user_means, &sim_options, delta, &builder](
-          const UserPairKey& key, std::span<const PairMoments> values,
-          ReduceEmitter<UserPairKey, double>&) {
-        PairMoments total;
-        for (const PairMoments& partial : values) total.Merge(partial);
-        const double sim =
-            FinishMemberPair(key, total, user_means, sim_options);
-        if (sim >= delta) builder.Offer(key.first, key.second, sim);
-      },
-      options, stats);
+  // Same shape as RunJob2 — merge-only reduce, one batched finish pass —
+  // but qualifying pairs feed straight into the builder instead of a
+  // thresholded record stream. The Job 1 stream is directional (member ->
+  // outside user), so only the member side of each pair gets a list entry;
+  // OfferPair would invent edges for non-members that a whole-population
+  // build wouldn't have.
+  const auto merged = MergeJob2Moments(partial_moments, options, stats);
+  FinishMergedPairs(merged, user_means, sim_options,
+                    [&builder, delta](const UserPairKey& key, double sim) {
+                      if (sim >= delta) {
+                        builder.Offer(key.first, key.second, sim);
+                      }
+                    });
 
   PeerIndex index = std::move(builder).Build();
   // The reducers emit into the builder, not the record stream, so surface

@@ -77,14 +77,26 @@ std::vector<Peer> IncrementalPeerGraph::RefinishRow(
   std::vector<Peer> row;
   const auto entries = store_.RowOf(v);
   row.reserve(entries.size());
-  for (const MomentEntry& entry : entries) {
-    // Stored moments are canonically oriented, so finish with (min, max) —
-    // the exact call the full sweep makes for this pair.
-    const UserId a = std::min(v, entry.other);
-    const UserId b = std::max(v, entry.other);
-    const double sim = engine.FinishPair(entry.moments, a, b);
-    if (sim >= options_.peers.delta) row.push_back({entry.other, sim});
-  }
+  // Stage the row's stored moments into the batched kernel — the
+  // bit-identical vectorized form of the finish the full sweep applies.
+  // Stored moments are canonically oriented, so each stages as (min, max)
+  // with the matching global means, the exact call the full sweep makes.
+  // Guarded pairs finish to 0 exactly and delta > 0 (validated in Build),
+  // so they are dropped without occupying a lane.
+  {
+    const double threshold = options_.peers.delta;
+    auto stream = MakePearsonFinishStream<UserId>(
+        engine.options(), [&row, threshold](UserId other, double sim) {
+          if (sim >= threshold) row.push_back({other, sim});
+        });
+    for (const MomentEntry& entry : entries) {
+      if (engine.SkipsFinish(entry.moments)) continue;
+      const UserId a = std::min(v, entry.other);
+      const UserId b = std::max(v, entry.other);
+      stream.Stage(entry.moments, matrix_->UserMean(a), matrix_->UserMean(b),
+                   entry.other);
+    }
+  }  // stream destruction flushes the tail
   const int32_t cap = options_.peers.max_peers_per_user;
   if (cap > 0 && row.size() > static_cast<size_t>(cap)) {
     std::nth_element(row.begin(), row.begin() + cap, row.end(), BetterPeer);
@@ -92,6 +104,20 @@ std::vector<Peer> IncrementalPeerGraph::RefinishRow(
   }
   std::sort(row.begin(), row.end(), BetterPeer);
   return row;
+}
+
+Status IncrementalPeerGraph::RebuildFromScratch(RatingMatrix new_matrix) {
+  // The planner's fallback is exactly the seeding build: swap the corpus,
+  // re-sweep store and index. The result *is* the parity reference the
+  // patch path is tested against, so the contract holds trivially here.
+  *matrix_ = std::move(new_matrix);
+  const PairwiseSimilarityEngine engine(matrix_.get(), options_.similarity,
+                                        options_.engine);
+  FAIRREC_ASSIGN_OR_RETURN(store_, engine.BuildMomentStore(options_.store));
+  FAIRREC_ASSIGN_OR_RETURN(PeerIndex index,
+                           engine.BuildPeerIndex(options_.peers));
+  index_ = std::make_shared<const PeerIndex>(std::move(index));
+  return Status::OK();
 }
 
 Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
@@ -108,6 +134,49 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
     const std::optional<Rating> old = matrix_->GetRating(t.user, t.item);
     cells.push_back(
         {t.user, t.item, t.value, old.has_value(), old.value_or(0.0)});
+  }
+
+  // ---- 0.5. Batch-size-aware planning: patch or rebuild? The patch cost
+  // scales with the touched-item column mass (each changed cell pairs
+  // against its whole column, and each such pair pays the hash-map fold /
+  // store merge / re-finish constants); the rebuild cost is the full
+  // sweep's co-rating accumulation plus its vectorized finish pass. Past
+  // the crossover, patching does strictly more expensive work than
+  // re-sweeping — fall back to Build. With planning disabled the O(items)
+  // estimate scan is skipped entirely and the stats estimates stay 0.
+  if (options_.rebuild_fallback_ratio > 0.0) {
+    double touched_mass = 0.0;
+    for (const CellChange& cell : cells) {
+      // Brand-new items have no pre-delta column (their first raters pair
+      // only against the batch itself, a negligible mass).
+      if (cell.item < 0 || cell.item >= matrix_->num_items()) continue;
+      touched_mass +=
+          static_cast<double>(matrix_->UsersWhoRated(cell.item).size());
+    }
+    stats.estimated_patch_cost = touched_mass * options_.patch_pair_cost;
+    double co_rating_mass = 0.0;
+    for (ItemId i = 0; i < matrix_->num_items(); ++i) {
+      const double column =
+          static_cast<double>(matrix_->UsersWhoRated(i).size());
+      co_rating_mass += column * (column - 1.0) / 2.0;
+    }
+    // The finish pass touches every pair, but the batched kernel plus the
+    // overlap fast path make it ~an order of magnitude cheaper per pair
+    // than a patch-side touch.
+    stats.estimated_rebuild_cost =
+        co_rating_mass +
+        static_cast<double>(PairwiseSimilarityEngine::PackedTriangleSize(
+            matrix_->num_users())) /
+            8.0;
+    if (stats.estimated_rebuild_cost >= options_.planner_min_rebuild_cost &&
+        stats.estimated_patch_cost >
+            options_.rebuild_fallback_ratio * stats.estimated_rebuild_cost) {
+      FAIRREC_ASSIGN_OR_RETURN(RatingMatrix new_matrix,
+                               delta.ApplyTo(*matrix_));
+      FAIRREC_RETURN_NOT_OK(RebuildFromScratch(std::move(new_matrix)));
+      stats.used_full_rebuild = true;
+      return stats;
+    }
   }
 
   // ---- 1. Fold the batch into the corpus. ----
@@ -233,18 +302,34 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
   const PairwiseSimilarityEngine engine(matrix_.get(), options_.similarity,
                                         options_.engine);
 
-  // ---- 5. Re-finish the changed pairs through the full build's finish. ----
+  // ---- 5. Re-finish the changed pairs through the full build's finish:
+  // stage into the batched kernel (bit-identical to FinishPair), with
+  // erased and guarded pairs short-circuiting to the literal 0 the kernel's
+  // mask pass would produce. ----
   std::vector<RowChange> row_changes;
   row_changes.reserve(changed_sim.size() * 2);
-  for (const uint64_t key : changed_sim) {
-    const UserId a = KeyA(key);
-    const UserId b = KeyB(key);
-    const PairMoments* moments = store_.FindPair(a, b);
-    const double sim =
-        moments == nullptr ? 0.0 : engine.FinishPair(*moments, a, b);
-    row_changes.push_back({a, b, sim});
-    row_changes.push_back({b, a, sim});
-  }
+  {
+    struct PairRef {
+      UserId a, b;
+    };
+    auto stream = MakePearsonFinishStream<PairRef>(
+        engine.options(), [&row_changes](PairRef pair, double sim) {
+          row_changes.push_back({pair.a, pair.b, sim});
+          row_changes.push_back({pair.b, pair.a, sim});
+        });
+    for (const uint64_t key : changed_sim) {
+      const UserId a = KeyA(key);
+      const UserId b = KeyB(key);
+      const PairMoments* moments = store_.FindPair(a, b);
+      if (moments == nullptr || engine.SkipsFinish(*moments)) {
+        row_changes.push_back({a, b, 0.0});
+        row_changes.push_back({b, a, 0.0});
+        continue;
+      }
+      stream.Stage(*moments, matrix_->UserMean(a), matrix_->UserMean(b),
+                   {a, b});
+    }
+  }  // stream destruction flushes the tail
   stats.refinished_pairs = static_cast<int64_t>(changed_sim.size());
   std::sort(row_changes.begin(), row_changes.end(),
             [](const RowChange& x, const RowChange& y) {

@@ -28,6 +28,29 @@ struct IncrementalPeerGraphOptions {
   PeerIndexOptions peers;
   /// Spill/accounting granularity of the persistent moment store.
   MomentStoreOptions store;
+
+  // --- Batch-size-aware delta planning. ---
+  // Past some touched fraction of the item universe a from-scratch engine
+  // sweep beats patching (the patch path pays hash-map folds, store merges,
+  // and row splices per touched pair; the sweep pays ~one fused
+  // multiply-add per co-rating). ApplyDelta estimates both costs from the
+  // batch shape and falls back to a full rebuild past the crossover; the
+  // decision and both estimates surface in DeltaApplyStats.
+
+  /// Relative cost of touching one (changed cell, column rater) pair on the
+  /// patch path versus sweeping one co-rating in a full rebuild. Calibrated
+  /// on the 10k-user/2k-item/1% bench shape, where the measured crossover
+  /// sits around half the item universe touched.
+  double patch_pair_cost = 150.0;
+  /// Fall back to a full rebuild when
+  /// estimated_patch_cost > rebuild_fallback_ratio * estimated_rebuild_cost.
+  /// <= 0 disables planning (always patch).
+  double rebuild_fallback_ratio = 1.0;
+  /// Planning engages only when the estimated rebuild cost exceeds this
+  /// floor. Below it a rebuild completes in microseconds and the patch
+  /// path's correctness coverage (unit-scale corpora, the parity suites)
+  /// matters more than the planner's choice.
+  double planner_min_rebuild_cost = 1.0e6;
 };
 
 /// Counters of one ApplyDelta, for observability and the incremental bench.
@@ -50,6 +73,17 @@ struct DeltaApplyStats {
   /// Rows patched at entry level (insert / replace / remove against the
   /// stored list, no store row scan).
   int64_t rows_patched = 0;
+  /// The planner's cost estimates for this batch: touched-item column mass
+  /// times patch_pair_cost, versus total co-rating accumulation plus the
+  /// vectorized finish pass of a from-scratch sweep. Unitless relative
+  /// work, comparable only to each other; both stay 0 when planning is
+  /// disabled (rebuild_fallback_ratio <= 0 skips the estimate scan).
+  double estimated_patch_cost = 0.0;
+  double estimated_rebuild_cost = 0.0;
+  /// True when the planner chose a from-scratch Build over patching (the
+  /// patch counters above are then all zero; the rebuilt artifacts are the
+  /// parity reference itself).
+  bool used_full_rebuild = false;
 };
 
 /// Incremental maintenance of the Def. 1 peer graph under continuously
@@ -61,6 +95,12 @@ struct DeltaApplyStats {
 /// that the index was finished from. A RatingDelta batch then costs work
 /// proportional to the change, not the corpus:
 ///
+///   0. the batch-size-aware planner estimates the patch cost (touched-item
+///      column mass x patch_pair_cost) against a from-scratch sweep and
+///      falls back to a full rebuild past the crossover (see the planning
+///      fields of IncrementalPeerGraphOptions; the decision is reported in
+///      DeltaApplyStats::used_full_rebuild). The steps below are the patch
+///      path;
 ///   1. the base RatingMatrix absorbs the upserts in O(ratings + batch)
 ///      (RatingDelta::ApplyTo — no global re-sort);
 ///   2. only the item columns the batch touched are re-swept, pairing each
@@ -128,9 +168,14 @@ class IncrementalPeerGraph {
  private:
   IncrementalPeerGraph() = default;
 
-  /// Rebuilds user `v`'s full peer list from its MomentStore row.
+  /// Rebuilds user `v`'s full peer list from its MomentStore row, finishing
+  /// the stored moments through the batched kernel.
   std::vector<Peer> RefinishRow(const PairwiseSimilarityEngine& engine,
                                 UserId v) const;
+
+  /// The planner's fallback: swaps in `new_matrix` and rebuilds the moment
+  /// store and peer index with a from-scratch engine sweep.
+  Status RebuildFromScratch(RatingMatrix new_matrix);
 
   IncrementalPeerGraphOptions options_;
   // unique_ptr so the matrix's address is stable across moves of the graph

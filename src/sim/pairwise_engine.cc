@@ -5,61 +5,65 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
 namespace fairrec {
 
 namespace {
 
-/// Sink for ComputeAll: finishes each pair and writes it into the packed
-/// triangle. Pairs arrive in row-major order within a tile, so the packed
-/// offset is usually the previous one plus one; the full index math runs
-/// only at row and tile boundaries.
+/// Sink for ComputeAll: writes each finished pair into the packed triangle.
+/// The drain delivers row runs out of strict order (guarded pairs emit
+/// immediately, staged pairs on batch flush), so the sink caches the row
+/// base offset and re-derives it only when the row changes — a handful of
+/// times per flush.
 class TriangleSink {
  public:
-  TriangleSink(const PairwiseSimilarityEngine* engine, std::span<double> out,
-               int32_t num_users)
-      : engine_(engine), out_(out), num_users_(num_users) {}
+  static constexpr bool kFinishesPairs = true;
 
-  void operator()(UserId a, UserId b, const PairMoments& stats) {
-    if (a == prev_a_ && b == prev_b_ + 1) {
-      ++packed_;
-    } else {
-      packed_ = PairwiseSimilarityEngine::PackedTriangleIndex(a, b, num_users_);
+  TriangleSink(std::span<double> out, int32_t num_users)
+      : out_(out), num_users_(num_users) {}
+
+  void OnFinished(UserId a, UserId b, double sim) {
+    if (a != row_) {
+      row_ = a;
+      const int64_t n = num_users_;
+      const int64_t r = a;
+      // PackedTriangleIndex(a, b) == row_base_ + b for this row; the base
+      // is negative for row 0 (b >= 1 restores a valid offset).
+      row_base_ = r * (n - 1) - r * (r - 1) / 2 - r - 1;
     }
-    prev_a_ = a;
-    prev_b_ = b;
-    out_[packed_] = engine_->FinishPair(stats, a, b);
+    out_[static_cast<size_t>(row_base_ + b)] = sim;
   }
 
  private:
-  const PairwiseSimilarityEngine* engine_;
   std::span<double> out_;
   int32_t num_users_;
-  size_t packed_ = 0;
-  UserId prev_a_ = kInvalidUserId;
-  UserId prev_b_ = kInvalidUserId;
+  UserId row_ = kInvalidUserId;
+  int64_t row_base_ = 0;
 };
 
-/// Sink for BuildPeerIndex: finish, Def. 1's threshold, then both directions
-/// of the pair into the concurrent builder. Filtering before the builder
-/// keeps the lock stripes out of the (overwhelmingly common) non-qualifying
-/// case.
+/// Sink for BuildPeerIndex: Def. 1's threshold, then both directions of the
+/// pair into the concurrent builder. Filtering before the builder keeps the
+/// lock stripes out of the (overwhelmingly common) non-qualifying case.
 struct PeerSink {
-  const PairwiseSimilarityEngine* engine;
+  static constexpr bool kFinishesPairs = true;
+
   PeerIndex::Builder* builder;
   double delta;
 
-  void operator()(UserId a, UserId b, const PairMoments& stats) const {
-    const double sim = engine->FinishPair(stats, a, b);
+  void OnFinished(UserId a, UserId b, double sim) const {
     if (sim >= delta) builder->OfferPair(a, b, sim);
   }
 };
 
-/// Sink for BuildMomentStore: keeps the raw statistics of co-rated pairs.
-/// The n == 0 filter makes the store O(co-rated pairs); pairs without
-/// co-ratings finish to 0 from an empty PairMoments anyway.
+/// Sink for BuildMomentStore: keeps the raw statistics of co-rated pairs —
+/// the one sweep mode that does not finish, so it bypasses the batch
+/// kernel. The n == 0 filter makes the store O(co-rated pairs); pairs
+/// without co-ratings finish to 0 from an empty PairMoments anyway.
 struct MomentSink {
+  static constexpr bool kFinishesPairs = false;
+
   MomentStore::Builder* builder;
 
   void operator()(UserId a, UserId b, const PairMoments& stats) const {
@@ -84,6 +88,11 @@ PairwiseSimilarityEngine::PairwiseSimilarityEngine(
       options_(options),
       engine_options_(engine_options) {
   FAIRREC_CHECK(matrix != nullptr);
+  // The invariant every finish path relies on: with min_overlap >= 1 the
+  // overlap guard subsumes the n == 0 no-evidence case, so FinishPair /
+  // SkipsFinish are a single comparison. min_overlap <= 0 would not widen
+  // semantics anyway (1 already disables the guard).
+  FAIRREC_CHECK(options.min_overlap >= 1);
 }
 
 size_t PairwiseSimilarityEngine::PackedTriangleSize(int32_t num_users) {
@@ -96,8 +105,9 @@ double PairwiseSimilarityEngine::FinishPair(const PairMoments& stats, UserId a,
                                             UserId b) const {
   // Overlap guard before the mean lookups: most pairs in the O(U^2) finish
   // pass have no co-ratings at all, and the shared finish would repeat the
-  // same guard only after two memory loads per pair.
-  if (stats.n < options_.min_overlap || stats.n == 0) return 0.0;
+  // same guard only after two memory loads per pair. min_overlap >= 1 is
+  // validated at construction, so this single comparison also covers n == 0.
+  if (SkipsFinish(stats)) return 0.0;
   // The shared moment-finish (sim/pearson_finish.h) — the same function the
   // MapReduce Job 2 reducers call, so the two flows agree bit-for-bit on
   // identical moments. Global means come from the matrix's precomputed
@@ -144,7 +154,8 @@ template <typename Sink>
 void PairwiseSimilarityEngine::SweepTile(const Tile& tile,
                                          const ColumnBlockIndex& columns,
                                          std::vector<PairMoments>& acc,
-                                         Sink& sink) const {
+                                         Sink& sink,
+                                         PairwiseEngineStats& stats) const {
   const size_t cols = static_cast<size_t>(tile.col_last - tile.col_first);
   const bool diagonal = tile.row_first == tile.col_first;
   const size_t stride = columns.num_blocks + 1;
@@ -152,6 +163,7 @@ void PairwiseSimilarityEngine::SweepTile(const Tile& tile,
   const size_t cb = static_cast<size_t>(tile.col_first / columns.block);
 
   // ---- Accumulation: one pass over the item-inverted index. ----
+  Stopwatch clock;
   const int32_t num_items = matrix_->num_items();
   for (ItemId i = 0; i < num_items; ++i) {
     const uint32_t* off = &columns.offsets[static_cast<size_t>(i) * stride];
@@ -176,23 +188,67 @@ void PairwiseSimilarityEngine::SweepTile(const Tile& tile,
       }
     }
   }
+  stats.accumulate_seconds += clock.ElapsedSeconds();
 
   // ---- Drain: one allocation-free pass over the tile's pairs. ----
-  for (UserId a = tile.row_first; a < tile.row_last; ++a) {
-    const UserId b_first = diagonal ? a + 1 : tile.col_first;
-    const size_t row_base = static_cast<size_t>(a - tile.row_first) * cols;
-    for (UserId b = b_first; b < tile.col_last; ++b) {
-      PairMoments& cell =
-          acc[row_base + static_cast<size_t>(b - tile.col_first)];
-      sink(a, b, cell);
-      cell = PairMoments{};  // reset for the worker's next tile
+  clock.Restart();
+  if constexpr (Sink::kFinishesPairs) {
+    // Stage pairs that pass the overlap guard into the batched kernel;
+    // guarded pairs (the overwhelming majority on sparse corpora)
+    // short-circuit to a literal 0 — the exact value the kernel's mask
+    // pass would produce for them.
+    struct PairRef {
+      UserId a, b;
+    };
+    auto stream = MakePearsonFinishStream<PairRef>(
+        options_,
+        [&sink](PairRef pair, double sim) {
+          sink.OnFinished(pair.a, pair.b, sim);
+        });
+    for (UserId a = tile.row_first; a < tile.row_last; ++a) {
+      const UserId b_first = diagonal ? a + 1 : tile.col_first;
+      const size_t row_base = static_cast<size_t>(a - tile.row_first) * cols;
+      const double mean_a = matrix_->UserMean(a);
+      for (UserId b = b_first; b < tile.col_last; ++b) {
+        PairMoments& cell =
+            acc[row_base + static_cast<size_t>(b - tile.col_first)];
+        if (SkipsFinish(cell)) {
+          sink.OnFinished(a, b, 0.0);
+        } else {
+          stream.Stage(cell, mean_a, matrix_->UserMean(b), {a, b});
+        }
+        cell = PairMoments{};  // reset for the worker's next tile
+      }
     }
+    stream.Flush();  // the tile's ragged tail, inside the timed drain
+  } else {
+    for (UserId a = tile.row_first; a < tile.row_last; ++a) {
+      const UserId b_first = diagonal ? a + 1 : tile.col_first;
+      const size_t row_base = static_cast<size_t>(a - tile.row_first) * cols;
+      for (UserId b = b_first; b < tile.col_last; ++b) {
+        PairMoments& cell =
+            acc[row_base + static_cast<size_t>(b - tile.col_first)];
+        sink(a, b, cell);
+        cell = PairMoments{};  // reset for the worker's next tile
+      }
+    }
+  }
+  stats.finish_seconds += clock.ElapsedSeconds();
+
+  // Drained pair count, from the tile shape (no per-pair counter).
+  if (diagonal) {
+    const int64_t edge = tile.row_last - tile.row_first;
+    stats.pairs_finished += edge * (edge - 1) / 2;
+  } else {
+    stats.pairs_finished +=
+        static_cast<int64_t>(tile.row_last - tile.row_first) *
+        static_cast<int64_t>(tile.col_last - tile.col_first);
   }
 }
 
 template <typename SinkFactory>
 Status PairwiseSimilarityEngine::SweepAllTiles(
-    const SinkFactory& make_sink) const {
+    const SinkFactory& make_sink, PairwiseEngineStats* stats) const {
   const int32_t num_users = matrix_->num_users();
   if (engine_options_.block_users <= 0) {
     return Status::InvalidArgument("block_users must be positive");
@@ -216,19 +272,28 @@ Status PairwiseSimilarityEngine::SweepAllTiles(
   // Per-worker-slot accumulator blocks, allocated lazily on first tile. The
   // finish pass leaves every visited cell zeroed, so no per-tile memset is
   // needed: untouched cells stay default-constructed across tiles.
-  std::vector<std::vector<PairMoments>> scratch(
-      std::min(pool.num_threads(), tiles.size()));
+  const size_t num_slots = std::min(pool.num_threads(), tiles.size());
+  std::vector<std::vector<PairMoments>> scratch(num_slots);
+  std::vector<PairwiseEngineStats> worker_stats(num_slots);
   const size_t cells = static_cast<size_t>(block) * static_cast<size_t>(block);
   pool.ParallelForIndexed(tiles.size(), [&](size_t worker, size_t t) {
     std::vector<PairMoments>& acc = scratch[worker];
     if (acc.size() != cells) acc.assign(cells, PairMoments{});
     auto sink = make_sink();
-    SweepTile(tiles[t], columns, acc, sink);
+    SweepTile(tiles[t], columns, acc, sink, worker_stats[worker]);
   });
+  if (stats != nullptr) {
+    for (const PairwiseEngineStats& w : worker_stats) {
+      stats->accumulate_seconds += w.accumulate_seconds;
+      stats->finish_seconds += w.finish_seconds;
+      stats->pairs_finished += w.pairs_finished;
+    }
+  }
   return Status::OK();
 }
 
-Status PairwiseSimilarityEngine::ComputeAll(std::span<double> out) const {
+Status PairwiseSimilarityEngine::ComputeAll(std::span<double> out,
+                                            PairwiseEngineStats* stats) const {
   const int32_t num_users = matrix_->num_users();
   if (out.size() != PackedTriangleSize(num_users)) {
     return Status::InvalidArgument(
@@ -236,27 +301,29 @@ Status PairwiseSimilarityEngine::ComputeAll(std::span<double> out) const {
         " entries; packed triangle needs " +
         std::to_string(PackedTriangleSize(num_users)));
   }
-  return SweepAllTiles([&] { return TriangleSink(this, out, num_users); });
+  return SweepAllTiles([&] { return TriangleSink(out, num_users); }, stats);
 }
 
 Result<PeerIndex> PairwiseSimilarityEngine::BuildPeerIndex(
-    const PeerIndexOptions& peer_options) const {
+    const PeerIndexOptions& peer_options, PairwiseEngineStats* stats) const {
   if (peer_options.max_peers_per_user < 0) {
     return Status::InvalidArgument("max_peers_per_user must be >= 0");
   }
   PeerIndex::Builder builder(matrix_->num_users(), peer_options);
   FAIRREC_RETURN_NOT_OK(SweepAllTiles(
-      [&] { return PeerSink{this, &builder, peer_options.delta}; }));
+      [&] { return PeerSink{&builder, peer_options.delta}; }, stats));
   return std::move(builder).Build();
 }
 
 Result<MomentStore> PairwiseSimilarityEngine::BuildMomentStore(
-    const MomentStoreOptions& store_options) const {
+    const MomentStoreOptions& store_options,
+    PairwiseEngineStats* stats) const {
   if (store_options.tile_users <= 0) {
     return Status::InvalidArgument("tile_users must be positive");
   }
   MomentStore::Builder builder(matrix_->num_users(), store_options);
-  FAIRREC_RETURN_NOT_OK(SweepAllTiles([&] { return MomentSink{&builder}; }));
+  FAIRREC_RETURN_NOT_OK(
+      SweepAllTiles([&] { return MomentSink{&builder}; }, stats));
   return std::move(builder).Build();
 }
 

@@ -9,6 +9,7 @@
 #include "ratings/rating_matrix.h"
 #include "sim/moment_store.h"
 #include "sim/pearson_finish.h"
+#include "sim/pearson_finish_batch.h"
 #include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
 
@@ -27,6 +28,22 @@ struct PairwiseEngineOptions {
   int32_t block_users = 512;
 };
 
+/// Phase split of one sweep, for the perf trajectory
+/// (bench_similarity_precompute reports it as accumulate_seconds /
+/// finish_seconds). Seconds are summed across workers' tile loops: with one
+/// worker they are the wall split; with N workers divide by the achieved
+/// parallelism for a wall estimate.
+struct PairwiseEngineStats {
+  /// Item-inverted-index accumulation (the O(co-ratings) phase).
+  double accumulate_seconds = 0.0;
+  /// Drain of the accumulated tiles through the batched Pearson finish
+  /// kernel and the sink (the O(pairs) phase).
+  double finish_seconds = 0.0;
+  /// Pairs drained (every pair of the strict upper triangle, guarded or
+  /// not).
+  int64_t pairs_finished = 0;
+};
+
 /// All-pairs Pearson (Eq. 2) in O(co-ratings), not O(pairs).
 ///
 /// The naive precompute evaluates RS(a, b) for every user pair via a sorted
@@ -42,9 +59,12 @@ struct PairwiseEngineOptions {
 /// filtering is orders of magnitude below U^2 merges. Pearson is then
 /// finished from the statistics (PairMoments, shared with the MapReduce
 /// Job 2 reducers via sim/pearson_finish.h) in a single allocation-free
-/// pass (both the
-/// global-means form the paper prints and the GroupLens intersection-means
-/// variant, honouring min_overlap and shift_to_unit_interval).
+/// pass: pairs passing the overlap guard are staged into a FinishBatch and
+/// flushed through the vectorized FinishPearsonBatch kernel
+/// (sim/pearson_finish_batch.h — bit-identical to the scalar finish), the
+/// rest short-circuit to 0. Both the global-means form the paper prints and
+/// the GroupLens intersection-means variant are honoured, along with
+/// min_overlap and shift_to_unit_interval.
 ///
 /// Parallelism: the strict upper triangle of the pair matrix is tiled into
 /// user-range blocks; each ThreadPool worker slot owns one tile at a time
@@ -76,7 +96,11 @@ struct PairwiseEngineOptions {
 /// correlation of +-1.
 class PairwiseSimilarityEngine {
  public:
-  /// `matrix` must outlive the engine.
+  /// `matrix` must outlive the engine. options.min_overlap must be >= 1
+  /// (checked here, where the options are validated): 1 already disables
+  /// the guard, since a pair with no co-ratings is "no evidence"
+  /// regardless, and the invariant lets every finish path collapse the
+  /// overlap and no-co-ratings guards into one comparison.
   explicit PairwiseSimilarityEngine(const RatingMatrix* matrix,
                                     RatingSimilarityOptions options = {},
                                     PairwiseEngineOptions engine_options = {});
@@ -92,8 +116,10 @@ class PairwiseSimilarityEngine {
   /// Computes RS(a, b) for every pair a < b of the matrix's users into `out`,
   /// the packed row-major strict upper triangle (entry (a, b) at
   /// a*(n-1) - a*(a-1)/2 + b - a - 1). `out.size()` must equal
-  /// PackedTriangleSize(matrix->num_users()).
-  Status ComputeAll(std::span<double> out) const;
+  /// PackedTriangleSize(matrix->num_users()). `stats`, when non-null,
+  /// receives the sweep's accumulate/finish phase split.
+  Status ComputeAll(std::span<double> out,
+                    PairwiseEngineStats* stats = nullptr) const;
 
   /// Allocating convenience wrapper around the span overload.
   Result<std::vector<double>> ComputeAll() const;
@@ -103,7 +129,8 @@ class PairwiseSimilarityEngine {
   /// users' lists, bounded to the top max_peers_per_user by the BetterPeer
   /// order. The packed triangle is never allocated; peak memory is the
   /// per-worker accumulator tiles plus the peer lists themselves.
-  Result<PeerIndex> BuildPeerIndex(const PeerIndexOptions& peer_options) const;
+  Result<PeerIndex> BuildPeerIndex(const PeerIndexOptions& peer_options,
+                                   PairwiseEngineStats* stats = nullptr) const;
 
   /// Runs the sweep once more, but captures the raw per-pair sufficient
   /// statistics of every co-rated pair (n > 0) instead of finishing them:
@@ -112,14 +139,26 @@ class PairwiseSimilarityEngine {
   /// from exactly one tile, so the stored statistics are identical to what
   /// the triangle and peer-index modes finish from.
   Result<MomentStore> BuildMomentStore(
-      const MomentStoreOptions& store_options = {}) const;
+      const MomentStoreOptions& store_options = {},
+      PairwiseEngineStats* stats = nullptr) const;
 
   /// Finishes Eq. 2 for pair (a, b) from its raw moments — the exact finish
   /// the sweep applies (shared guard order, global means from the matrix).
   /// `stats` must be accumulated in (a, b) orientation with a < b. Public so
   /// the incremental maintenance path re-finishes patched pairs through the
-  /// byte-identical code path the full build used.
+  /// byte-identical code path the full build used. Batch-heavy callers use
+  /// SkipsFinish + StagePair instead and flush through FinishPearsonBatch —
+  /// the kernel is bit-identical to this scalar path.
   double FinishPair(const PairMoments& stats, UserId a, UserId b) const;
+
+  /// True when FinishPair would return 0 at the overlap guard without
+  /// evaluating Eq. 2 — the staging fast path: callers drop such pairs (or
+  /// record a literal 0) instead of occupying a batch lane. min_overlap >= 1
+  /// is validated at construction, so the single comparison also covers the
+  /// no-co-ratings case.
+  bool SkipsFinish(const PairMoments& stats) const {
+    return stats.n < options_.min_overlap;
+  }
 
   const RatingSimilarityOptions& options() const { return options_; }
   const PairwiseEngineOptions& engine_options() const { return engine_options_; }
@@ -146,19 +185,32 @@ class PairwiseSimilarityEngine {
 
   ColumnBlockIndex BuildColumnIndex(int32_t block, ThreadPool& pool) const;
 
-  /// Accumulates one tile and hands each pair's raw statistics to
-  /// `sink(a, b, stats)`, called in (a asc, b asc) row-major order. Sinks
-  /// finish (or store) the moments themselves — TriangleSink/PeerSink call
-  /// FinishPair, the moment-store sink keeps the statistics raw.
+  /// Accumulates one tile, then drains it. Sinks come in two shapes,
+  /// selected at compile time by Sink::kFinishesPairs:
+  ///
+  ///   * finishing sinks (triangle writer, peer-index offers) receive
+  ///     `sink.OnFinished(a, b, sim)`: the drain stages each pair that
+  ///     passes the overlap guard into a FinishBatch and flushes through
+  ///     the vectorized FinishPearsonBatch kernel, emitting guarded pairs
+  ///     as literal 0 immediately (so OnFinished calls are not globally
+  ///     ordered — only batches of them are);
+  ///   * raw sinks (the moment store) receive `sink(a, b, stats)` with the
+  ///     untouched statistics in (a asc, b asc) row-major order.
+  ///
+  /// `stats` (never null; per-worker) accrues the accumulate/finish phase
+  /// split and the drained pair count.
   template <typename Sink>
   void SweepTile(const Tile& tile, const ColumnBlockIndex& columns,
-                 std::vector<PairMoments>& acc, Sink& sink) const;
+                 std::vector<PairMoments>& acc, Sink& sink,
+                 PairwiseEngineStats& stats) const;
 
   /// Shared driver: validates options, tiles the triangle, builds the column
   /// index, and sweeps every tile across the pool. `make_sink()` produces a
-  /// fresh sink per tile.
+  /// fresh sink per tile. `stats`, when non-null, receives the per-worker
+  /// phase splits summed over the whole sweep.
   template <typename SinkFactory>
-  Status SweepAllTiles(const SinkFactory& make_sink) const;
+  Status SweepAllTiles(const SinkFactory& make_sink,
+                       PairwiseEngineStats* stats) const;
 
   const RatingMatrix* matrix_;
   RatingSimilarityOptions options_;

@@ -86,9 +86,23 @@ struct PairMoments {
   friend bool operator==(const PairMoments&, const PairMoments&) = default;
 };
 
+/// The overlap guard of the moment finish: true when pair statistics with
+/// `n` co-ratings must finish to 0 without evaluating Eq. 2. n == 0 (no
+/// co-ratings) is always "no evidence", even when min_overlap <= 0 disables
+/// the guard. Shared by the scalar finish below, its batched counterpart
+/// (sim/pearson_finish_batch.h), and callers that skip staging guarded
+/// pairs into a batch.
+inline bool PearsonOverlapGuardFails(int32_t n,
+                                     const RatingSimilarityOptions& options) {
+  return n < options.min_overlap || n == 0;
+}
+
 /// Finishes Eq. 2 from raw sufficient statistics — the single finish
 /// implementation behind both the engine's tile sweep and the MapReduce
 /// Job 2 reducers, so the two paths agree bit-for-bit on identical moments.
+/// The batched kernel (sim/pearson_finish_batch.h) reproduces this function
+/// bit-for-bit, lane by lane; any edit to the arithmetic below must be
+/// mirrored there (the batch parity suite fails otherwise).
 ///
 /// `global_mean_a` / `global_mean_b` are the users' means over their full
 /// rating rows (Eq. 2 as printed); they are ignored under
@@ -101,10 +115,8 @@ inline double FinishPearsonFromMoments(const PairMoments& stats,
                                        double global_mean_b,
                                        const RatingSimilarityOptions& options) {
   const int32_t n = stats.n;
-  // Overlap guard first, then the undefined-variance guard. n == 0 (no
-  // co-ratings) is always "no evidence", even when min_overlap <= 0 disables
-  // the guard.
-  if (n < options.min_overlap || n == 0) return 0.0;
+  // Overlap guard first, then the undefined-variance guard.
+  if (PearsonOverlapGuardFails(n, options)) return 0.0;
 
   double mean_a;
   double mean_b;

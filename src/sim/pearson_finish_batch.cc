@@ -1,0 +1,67 @@
+#include "sim/pearson_finish_batch.h"
+
+namespace fairrec {
+
+namespace internal {
+
+void FinishPearsonBatchScalar(const FinishBatch& batch,
+                              const RatingSimilarityOptions& options,
+                              double* out) {
+  const int32_t size = batch.size();
+  // Unrolled by four to mirror the AVX2 kernel's lane groups: the four
+  // chains are independent, so the divide/sqrt latencies overlap even
+  // without packed instructions.
+  int32_t i = 0;
+  for (; i + 4 <= size; i += 4) {
+    out[i] = FinishPearsonLane(batch, i, options);
+    out[i + 1] = FinishPearsonLane(batch, i + 1, options);
+    out[i + 2] = FinishPearsonLane(batch, i + 2, options);
+    out[i + 3] = FinishPearsonLane(batch, i + 3, options);
+  }
+  for (; i < size; ++i) {
+    out[i] = FinishPearsonLane(batch, i, options);
+  }
+}
+
+bool FinishPearsonBatchHasAvx2() {
+#if defined(FAIRREC_ENABLE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace internal
+
+namespace {
+
+using FinishKernelFn = void (*)(const FinishBatch&,
+                                const RatingSimilarityOptions&, double*);
+
+/// Resolved once per process: the compiled-in AVX2 kernel when the host
+/// cpuid reports AVX2, else the portable scalar kernel. Both are
+/// bit-identical, so the choice is invisible to everything but the clock.
+FinishKernelFn ResolveFinishKernel() {
+#if defined(FAIRREC_ENABLE_AVX2)
+  if (internal::FinishPearsonBatchHasAvx2()) {
+    return internal::FinishPearsonBatchAvx2;
+  }
+#endif
+  return internal::FinishPearsonBatchScalar;
+}
+
+const FinishKernelFn kFinishKernel = ResolveFinishKernel();
+
+}  // namespace
+
+void FinishPearsonBatch(const FinishBatch& batch,
+                        const RatingSimilarityOptions& options, double* out) {
+  kFinishKernel(batch, options, out);
+}
+
+const char* FinishPearsonBatchKernel() {
+  return kFinishKernel == internal::FinishPearsonBatchScalar ? "scalar"
+                                                             : "avx2";
+}
+
+}  // namespace fairrec

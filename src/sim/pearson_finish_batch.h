@@ -1,0 +1,217 @@
+#ifndef FAIRREC_SIM_PEARSON_FINISH_BATCH_H_
+#define FAIRREC_SIM_PEARSON_FINISH_BATCH_H_
+
+#include <cstdint>
+
+#include "sim/pearson_finish.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+
+/// Batched, vectorizable counterpart of FinishPearsonFromMoments.
+///
+/// Every similarity artifact the system serves funnels through the O(U^2)
+/// per-pair finish: the packed triangle, the PeerIndex top-k lists, the
+/// incremental re-finish, and the MapReduce Job 2 reducers. This kernel cuts
+/// that constant by finishing many staged pairs at once — the overlap and
+/// zero-variance guards become a branch-free mask pass and the arithmetic
+/// runs four lanes per iteration on AVX2 hosts.
+///
+/// Bit-parity contract: FinishPearsonBatch reproduces
+/// FinishPearsonFromMoments *bit-for-bit* on every lane, for every option
+/// combination (min_overlap, intersection_means, shift_to_unit_interval, the
+/// kPearsonRelativeVarianceEpsilon cancellation guard). Both the AVX2 path
+/// and the portable fallback execute the exact operation sequence of the
+/// scalar expansion — every multiply, subtract, divide, and sqrt is a single
+/// correctly-rounded IEEE-754 operation in both scalar and packed form, so
+/// evaluating the same expression tree yields the same bits. The one thing
+/// that would break this is floating-point contraction: fusing a*b + c into
+/// an FMA skips the intermediate rounding and changes the result, so the
+/// build disables contraction project-wide (`-ffp-contract=off` — the
+/// scalar finish is header-inline and compiles into every TU, so the flag
+/// must cover them all) and the AVX2 kernel uses no FMA intrinsics. The
+/// parity suite
+/// (tests/sim/pearson_finish_batch_test.cc) asserts bit equality of both
+/// kernels against the scalar finish; artifacts built through the batch
+/// (triangle, peer index, incremental patches, sharded Job 2) therefore stay
+/// byte-identical to their scalar-finished counterparts.
+///
+/// Staging buffer: per-lane sufficient statistics plus the two per-lane
+/// global means (ignored under intersection_means, where the kernel derives
+/// means from the sums). Lanes are staged as whole PairMoments records —
+/// Push is a handful of wide stores, which matters because every caller
+/// stages pair-by-pair from scalar control flow — and the AVX2 kernel
+/// transposes four records at a time into structure-of-arrays registers
+/// with shuffles that hide under the divide/sqrt latency.
+///
+/// Callers that finish a stream of pairs should not drive this directly —
+/// PearsonFinishStream (below) owns the stage/flush lifecycle, including
+/// the ragged-tail flush.
+class FinishBatch {
+ public:
+  /// Lanes per flush. 128 keeps the whole buffer (8 arrays x 1 KiB) inside
+  /// L1 while amortizing the per-flush loop overhead; must be a multiple of
+  /// the AVX2 lane width (4).
+  static constexpr int32_t kCapacity = 128;
+
+  int32_t size() const { return size_; }
+  bool full() const { return size_ == kCapacity; }
+  bool empty() const { return size_ == 0; }
+  void Clear() { size_ = 0; }
+
+  /// The two global means of one lane, staged as a single 16-byte record
+  /// (one wide store instead of two scattered ones).
+  struct Means {
+    double a;
+    double b;
+  };
+
+  /// Stages one pair's statistics and the two users' global means into the
+  /// next lane. Precondition: !full(). Returns the lane index so callers
+  /// can keep per-lane metadata (pair ids, output offsets) alongside.
+  int32_t Push(const PairMoments& m, double global_mean_a,
+               double global_mean_b) {
+    const int32_t lane = size_++;
+    moments[lane] = m;
+    means[lane] = {global_mean_a, global_mean_b};
+    return lane;
+  }
+
+  // The lanes, public for the kernels (and the parity tests).
+  alignas(32) PairMoments moments[kCapacity];
+  alignas(32) Means means[kCapacity];
+
+ private:
+  int32_t size_ = 0;
+};
+
+/// Finishes every staged lane: out[i] receives the Eq. 2 similarity of lane
+/// i for i in [0, batch.size()). Dispatches once per process (cpuid) to the
+/// AVX2 kernel when it was compiled in (FAIRREC_ENABLE_AVX2) and the host
+/// supports it, else to the portable scalar kernel; both produce bits
+/// identical to FinishPearsonFromMoments per lane. `out` must hold at least
+/// batch.size() entries. Does not clear the batch.
+void FinishPearsonBatch(const FinishBatch& batch,
+                        const RatingSimilarityOptions& options, double* out);
+
+/// Owns the stage -> flush lifecycle every batch caller otherwise
+/// hand-rolls: the batch, a parallel per-lane metadata array (pair ids,
+/// output slots — whatever the caller needs back per similarity), and the
+/// flush that finishes full batches through FinishPearsonBatch and hands
+/// each lane to `consume(meta, sim)`. The ragged-tail flush is structural:
+/// the destructor flushes whatever is still staged, so a caller cannot
+/// silently drop the tail (Flush() may also be called explicitly, e.g.
+/// before reading results; flushing an empty stream is a no-op). Construct
+/// via MakePearsonFinishStream<Meta>(options, consume).
+template <typename Meta, typename Consume>
+class PearsonFinishStream {
+ public:
+  PearsonFinishStream(const RatingSimilarityOptions& options, Consume consume)
+      : options_(options), consume_(std::move(consume)) {}
+  PearsonFinishStream(const PearsonFinishStream&) = delete;
+  PearsonFinishStream& operator=(const PearsonFinishStream&) = delete;
+  ~PearsonFinishStream() { Flush(); }
+
+  /// Stages one pair plus the metadata to return with its similarity;
+  /// flushes automatically when the batch fills.
+  void Stage(const PairMoments& moments, double mean_a, double mean_b,
+             Meta meta) {
+    const int32_t lane = batch_.Push(moments, mean_a, mean_b);
+    meta_[lane] = meta;
+    if (batch_.full()) Flush();
+  }
+
+  /// Finishes every staged lane and delivers (meta, sim) in staging order.
+  void Flush() {
+    if (batch_.empty()) return;
+    double out[FinishBatch::kCapacity];
+    FinishPearsonBatch(batch_, options_, out);
+    for (int32_t i = 0; i < batch_.size(); ++i) consume_(meta_[i], out[i]);
+    batch_.Clear();
+  }
+
+ private:
+  RatingSimilarityOptions options_;
+  Consume consume_;
+  FinishBatch batch_;
+  Meta meta_[FinishBatch::kCapacity];
+};
+
+/// Deduction helper: the metadata type is explicit, the consumer deduced.
+template <typename Meta, typename Consume>
+PearsonFinishStream<Meta, Consume> MakePearsonFinishStream(
+    const RatingSimilarityOptions& options, Consume consume) {
+  return {options, std::move(consume)};
+}
+
+/// Name of the kernel FinishPearsonBatch dispatches to on this host:
+/// "avx2" or "scalar".
+const char* FinishPearsonBatchKernel();
+
+namespace internal {
+
+/// The portable kernel: an unrolled scalar loop executing the exact
+/// operation sequence of the vector path (and of
+/// FinishPearsonFromMoments). Public-in-internal so the bench and the
+/// parity tests can pin a specific kernel regardless of dispatch.
+void FinishPearsonBatchScalar(const FinishBatch& batch,
+                              const RatingSimilarityOptions& options,
+                              double* out);
+
+/// True when the AVX2 kernel is compiled in and the host cpuid reports
+/// AVX2. The dispatcher and the tests/bench share this one predicate.
+bool FinishPearsonBatchHasAvx2();
+
+#if defined(FAIRREC_ENABLE_AVX2)
+/// The AVX2 kernel (4 lanes per iteration, no FMA contraction). Only call
+/// when FinishPearsonBatchHasAvx2() is true.
+void FinishPearsonBatchAvx2(const FinishBatch& batch,
+                            const RatingSimilarityOptions& options,
+                            double* out);
+#endif
+
+/// Finishes one staged lane with the shared scalar operation sequence —
+/// the single definition both kernels use (the scalar kernel for every
+/// lane, the AVX2 kernel for the ragged tail after its 4-wide groups).
+///
+/// The expression tree below is FinishPearsonFromMoments's, term for term;
+/// the guards are evaluated as masks instead of early returns so the
+/// sequence matches the vector path. std::max(den, 0.0) before sqrt only
+/// rewrites lanes the variance mask already forces to 0 (a passing lane has
+/// den > eps * scale >= 0), keeping negative rounding noise out of sqrt.
+inline double FinishPearsonLane(const FinishBatch& batch, int32_t lane,
+                                const RatingSimilarityOptions& options) {
+  const PairMoments& m = batch.moments[lane];
+  const double nn = static_cast<double>(m.n);
+  const bool overlap_ok =
+      nn >= static_cast<double>(options.min_overlap) && nn != 0.0;
+  const double mean_a =
+      options.intersection_means ? m.sum_a / nn : batch.means[lane].a;
+  const double mean_b =
+      options.intersection_means ? m.sum_b / nn : batch.means[lane].b;
+  const double n_mean_a = nn * mean_a;
+  const double n_mean_b = nn * mean_b;
+  const double n_mean_aa = n_mean_a * mean_a;
+  const double n_mean_bb = n_mean_b * mean_b;
+  const double num =
+      m.sum_ab - mean_b * m.sum_a - mean_a * m.sum_b + n_mean_a * mean_b;
+  const double den_a = m.sum_aa - 2.0 * mean_a * m.sum_a + n_mean_aa;
+  const double den_b = m.sum_bb - 2.0 * mean_b * m.sum_b + n_mean_bb;
+  const double scale_a = m.sum_aa + n_mean_aa;
+  const double scale_b = m.sum_bb + n_mean_bb;
+  const bool variance_ok =
+      den_a > kPearsonRelativeVarianceEpsilon * scale_a &&
+      den_b > kPearsonRelativeVarianceEpsilon * scale_b;
+  const double sd = std::sqrt(std::max(den_a, 0.0)) *
+                    std::sqrt(std::max(den_b, 0.0));
+  double r = num / sd;
+  r = std::clamp(r, -1.0, 1.0);
+  if (options.shift_to_unit_interval) r = (r + 1.0) / 2.0;
+  return (overlap_ok && variance_ok) ? r : 0.0;
+}
+
+}  // namespace internal
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_PEARSON_FINISH_BATCH_H_

@@ -1,0 +1,170 @@
+// AVX2 Pearson finish kernel: four lanes per iteration over the
+// FinishBatch staging buffer. Compiled only when FAIRREC_ENABLE_AVX2 is
+// on, with `-mavx2` (see CMakeLists.txt): the flag pins the target for
+// this one TU so the intrinsics build inside a portable baseline binary.
+// Floating-point contraction is disabled project-wide, so no mul/add pair
+// fuses into an FMA here or in the scalar finish — fusing would skip an
+// intermediate rounding and break the bit-parity contract with
+// FinishPearsonFromMoments (sim/pearson_finish_batch.h documents the
+// contract; tests/sim/pearson_finish_batch_test.cc enforces it).
+//
+// Lanes are staged as whole PairMoments records (cheap wide stores on the
+// caller's scalar side); this kernel transposes four records at a time
+// into structure-of-arrays registers. The shuffles run on ports the
+// divide/sqrt unit leaves idle, so the transpose hides under the finish
+// arithmetic instead of adding to it.
+//
+// Callers never reach this TU directly: FinishPearsonBatch dispatches here
+// after a runtime cpuid check, so the binary stays runnable on pre-AVX2
+// hosts.
+
+#include "sim/pearson_finish_batch.h"
+
+#if defined(FAIRREC_ENABLE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace fairrec {
+namespace internal {
+
+namespace {
+
+// The transpose below addresses PairMoments as six 8-byte slots (the sixth
+// holds the int32 n plus padding).
+static_assert(sizeof(PairMoments) == 48);
+static_assert(offsetof(PairMoments, sum_a) == 0);
+static_assert(offsetof(PairMoments, sum_ab) == 32);
+static_assert(offsetof(PairMoments, n) == 40);
+static_assert(sizeof(FinishBatch::Means) == 16);
+
+}  // namespace
+
+void FinishPearsonBatchAvx2(const FinishBatch& batch,
+                            const RatingSimilarityOptions& options,
+                            double* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg_one = _mm256_set1_pd(-1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d epsilon = _mm256_set1_pd(kPearsonRelativeVarianceEpsilon);
+  const __m256d min_overlap =
+      _mm256_set1_pd(static_cast<double>(options.min_overlap));
+  // Dword positions of the four int32 n fields inside the transposed
+  // [n | padding] vector (upper four positions are don't-care).
+  const __m256i n_dwords = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const bool intersection = options.intersection_means;
+  const bool shift = options.shift_to_unit_interval;
+
+  const int32_t size = batch.size();
+  const auto finish4 = [&](int32_t i) {
+    // ---- Transpose four 6-slot records into SoA registers. The rows of
+    // record pairs (0,2) and (1,3) line up 128-bit-lane-wise, so six
+    // vperm2f128 + six vunpck moves produce the six field vectors in lane
+    // order [l0 l1 l2 l3]. ----
+    const double* p = reinterpret_cast<const double*>(batch.moments + i);
+    const __m256d r0 = _mm256_loadu_pd(p + 0);    // l0: sa sb saa sbb
+    const __m256d r1 = _mm256_loadu_pd(p + 4);    // l0: sab n | l1: sa sb
+    const __m256d r2 = _mm256_loadu_pd(p + 8);    // l1: saa sbb sab n
+    const __m256d r3 = _mm256_loadu_pd(p + 12);   // l2: sa sb saa sbb
+    const __m256d r4 = _mm256_loadu_pd(p + 16);   // l2: sab n | l3: sa sb
+    const __m256d r5 = _mm256_loadu_pd(p + 20);   // l3: saa sbb sab n
+    const __m256d t01 = _mm256_permute2f128_pd(r0, r3, 0x20);
+    const __m256d t23 = _mm256_permute2f128_pd(r0, r3, 0x31);
+    const __m256d u01 = _mm256_permute2f128_pd(r1, r4, 0x20);
+    const __m256d u23 = _mm256_permute2f128_pd(r1, r4, 0x31);
+    const __m256d v01 = _mm256_permute2f128_pd(r2, r5, 0x20);
+    const __m256d v23 = _mm256_permute2f128_pd(r2, r5, 0x31);
+    const __m256d sa = _mm256_unpacklo_pd(t01, u23);
+    const __m256d sb = _mm256_unpackhi_pd(t01, u23);
+    const __m256d saa = _mm256_unpacklo_pd(t23, v01);
+    const __m256d sbb = _mm256_unpackhi_pd(t23, v01);
+    const __m256d sab = _mm256_unpacklo_pd(u01, v23);
+    const __m256d n_raw = _mm256_unpackhi_pd(u01, v23);  // [n | pad] per lane
+    const __m256i n_ints = _mm256_permutevar8x32_epi32(
+        _mm256_castpd_si256(n_raw), n_dwords);
+    const __m256d nn =
+        _mm256_cvtepi32_pd(_mm256_castsi256_si128(n_ints));  // exact
+
+    // ---- Branch-free guard pass #1: the overlap guard. Guarded lanes
+    // still flow through the arithmetic (their intermediate NaN/inf never
+    // escapes the final mask), exactly like the scalar lane sequence. ----
+    const __m256d overlap_ok =
+        _mm256_and_pd(_mm256_cmp_pd(nn, min_overlap, _CMP_GE_OQ),
+                      _mm256_cmp_pd(nn, zero, _CMP_NEQ_OQ));
+
+    __m256d mean_a;
+    __m256d mean_b;
+    if (intersection) {
+      mean_a = _mm256_div_pd(sa, nn);
+      mean_b = _mm256_div_pd(sb, nn);
+    } else {
+      const double* q = reinterpret_cast<const double*>(batch.means + i);
+      const __m256d m01 = _mm256_loadu_pd(q + 0);  // l0.a l0.b l1.a l1.b
+      const __m256d m23 = _mm256_loadu_pd(q + 4);  // l2.a l2.b l3.a l3.b
+      const __m256d lo = _mm256_unpacklo_pd(m01, m23);  // l0.a l2.a l1.a l3.a
+      const __m256d hi = _mm256_unpackhi_pd(m01, m23);  // l0.b l2.b l1.b l3.b
+      mean_a = _mm256_permute4x64_pd(lo, _MM_SHUFFLE(3, 1, 2, 0));
+      mean_b = _mm256_permute4x64_pd(hi, _MM_SHUFFLE(3, 1, 2, 0));
+    }
+
+    // The scalar expansion's expression tree, term for term; every
+    // intrinsic is one correctly-rounded operation and nothing fuses.
+    const __m256d n_mean_a = _mm256_mul_pd(nn, mean_a);
+    const __m256d n_mean_b = _mm256_mul_pd(nn, mean_b);
+    const __m256d n_mean_aa = _mm256_mul_pd(n_mean_a, mean_a);
+    const __m256d n_mean_bb = _mm256_mul_pd(n_mean_b, mean_b);
+    const __m256d num = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_sub_pd(sab, _mm256_mul_pd(mean_b, sa)),
+                      _mm256_mul_pd(mean_a, sb)),
+        _mm256_mul_pd(n_mean_a, mean_b));
+    const __m256d den_a = _mm256_add_pd(
+        _mm256_sub_pd(saa, _mm256_mul_pd(_mm256_mul_pd(two, mean_a), sa)),
+        n_mean_aa);
+    const __m256d den_b = _mm256_add_pd(
+        _mm256_sub_pd(sbb, _mm256_mul_pd(_mm256_mul_pd(two, mean_b), sb)),
+        n_mean_bb);
+    const __m256d scale_a = _mm256_add_pd(saa, n_mean_aa);
+    const __m256d scale_b = _mm256_add_pd(sbb, n_mean_bb);
+
+    // ---- Guard pass #2: the relative-epsilon cancellation guard. ----
+    const __m256d variance_ok = _mm256_and_pd(
+        _mm256_cmp_pd(den_a, _mm256_mul_pd(epsilon, scale_a), _CMP_GT_OQ),
+        _mm256_cmp_pd(den_b, _mm256_mul_pd(epsilon, scale_b), _CMP_GT_OQ));
+
+    // max(den, 0) only rewrites lanes variance_ok already masks off (a
+    // passing lane has den > eps * scale >= 0), keeping negative rounding
+    // noise out of sqrt — the same guard the scalar lane applies.
+    const __m256d sd =
+        _mm256_mul_pd(_mm256_sqrt_pd(_mm256_max_pd(den_a, zero)),
+                      _mm256_sqrt_pd(_mm256_max_pd(den_b, zero)));
+    __m256d r = _mm256_div_pd(num, sd);
+    r = _mm256_max_pd(_mm256_min_pd(r, one), neg_one);
+    if (shift) r = _mm256_div_pd(_mm256_add_pd(r, one), two);
+
+    // Masked lanes collapse to +0.0 — the exact value the scalar guards
+    // return.
+    const __m256d result =
+        _mm256_and_pd(r, _mm256_and_pd(overlap_ok, variance_ok));
+    _mm256_storeu_pd(out + i, result);
+  };
+  // Two independent 4-lane groups per iteration keep a second divide/sqrt
+  // chain in flight while the first drains.
+  int32_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    finish4(i);
+    finish4(i + 4);
+  }
+  for (; i + 4 <= size; i += 4) finish4(i);
+  // Ragged tail: the shared scalar lane sequence, so out[] is written only
+  // up to size() and the tail bits still match the packed lanes.
+  for (; i < size; ++i) {
+    out[i] = FinishPearsonLane(batch, i, options);
+  }
+}
+
+}  // namespace internal
+}  // namespace fairrec
+
+#endif  // FAIRREC_ENABLE_AVX2 && __AVX2__

@@ -307,6 +307,104 @@ TEST_P(IncrementalParityTest, SequentialDeltasMatchFullRebuild) {
   }
 }
 
+/// A corpus past the planner's minimum-work floor: ~500 users x 40 items at
+/// ~50% density puts the estimated rebuild cost (sum of per-column
+/// co-rating pairs) above planner_min_rebuild_cost, so the batch-size-aware
+/// planner actually engages.
+RatingMatrix PlannerScaleCorpus() {
+  Rng rng(99);
+  std::vector<RatingTriple> triples;
+  for (UserId u = 0; u < 500; ++u) {
+    for (ItemId i = 0; i < 40; ++i) {
+      if (!rng.NextBool(0.5)) continue;
+      triples.push_back({u, i, static_cast<Rating>(rng.UniformInt(1, 5))});
+    }
+  }
+  return MatrixFromTriples(triples);
+}
+
+/// One upsert per item of the universe — the whole-corpus-touching batch
+/// shape whose patch cost exceeds a from-scratch sweep.
+RatingDelta WholeCorpusDelta(const RatingMatrix& matrix) {
+  RatingDelta delta;
+  for (ItemId i = 0; i < matrix.num_items(); ++i) {
+    EXPECT_TRUE(delta
+                    .Add(static_cast<UserId>(i % 7), i,
+                         static_cast<Rating>(1 + (i % 5)))
+                    .ok());
+  }
+  return delta;
+}
+
+TEST(IncrementalPeerGraphTest, PlannerFallsBackToFullRebuildPastCrossover) {
+  const RatingMatrix matrix = PlannerScaleCorpus();
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.1;
+  options.peers.max_peers_per_user = 8;
+  // Pinned rather than defaulted so the test stays a crossover test if the
+  // default calibration moves.
+  options.patch_pair_cost = 300.0;
+  options.rebuild_fallback_ratio = 1.0;
+  IncrementalPeerGraph graph = BuildGraph(matrix, options);
+
+  // A single-cell batch sits far below the crossover: the patch path runs.
+  RatingDelta small;
+  ASSERT_TRUE(small.Add(0, 0, 5).ok());
+  const auto small_stats = graph.ApplyDelta(small);
+  ASSERT_TRUE(small_stats.ok()) << small_stats.status().ToString();
+  EXPECT_FALSE(small_stats->used_full_rebuild);
+  EXPECT_GT(small_stats->estimated_rebuild_cost, 0.0);
+  EXPECT_LT(small_stats->estimated_patch_cost,
+            small_stats->estimated_rebuild_cost);
+  ExpectIdenticalIndex(*graph.index(),
+                       RebuildFromScratch(graph.matrix(), options));
+
+  // A batch touching every item column costs more to patch than to
+  // re-sweep: the planner must fall back, with zero patch-side work, and
+  // the rebuilt artifacts must match the from-scratch reference (index and
+  // store alike).
+  const RatingDelta big = WholeCorpusDelta(graph.matrix());
+  const auto big_stats = graph.ApplyDelta(big);
+  ASSERT_TRUE(big_stats.ok()) << big_stats.status().ToString();
+  EXPECT_TRUE(big_stats->used_full_rebuild);
+  EXPECT_GT(big_stats->estimated_patch_cost,
+            big_stats->estimated_rebuild_cost);
+  EXPECT_EQ(big_stats->rows_patched, 0);
+  EXPECT_EQ(big_stats->rows_refinished, 0);
+  EXPECT_EQ(big_stats->changed_pairs, 0);
+  ExpectIdenticalIndex(*graph.index(),
+                       RebuildFromScratch(graph.matrix(), options));
+  ExpectStoreMatchesFreshSweep(graph);
+
+  // The graph keeps absorbing deltas through the patch path afterwards.
+  RatingDelta after;
+  ASSERT_TRUE(after.Add(1, 1, 4).ok());
+  const auto after_stats = graph.ApplyDelta(after);
+  ASSERT_TRUE(after_stats.ok()) << after_stats.status().ToString();
+  EXPECT_FALSE(after_stats->used_full_rebuild);
+  ExpectIdenticalIndex(*graph.index(),
+                       RebuildFromScratch(graph.matrix(), options));
+}
+
+TEST(IncrementalPeerGraphTest, PlannerDisabledAlwaysPatches) {
+  const RatingMatrix matrix = PlannerScaleCorpus();
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.1;
+  options.patch_pair_cost = 300.0;
+  options.rebuild_fallback_ratio = 0.0;  // planning off
+  IncrementalPeerGraph graph = BuildGraph(matrix, options);
+  const RatingDelta big = WholeCorpusDelta(graph.matrix());
+  const auto stats = graph.ApplyDelta(big);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_FALSE(stats->used_full_rebuild);
+  EXPECT_GT(stats->changed_pairs, 0);
+  // The patch path must land on the same artifacts the planner's rebuild
+  // would have produced.
+  ExpectIdenticalIndex(*graph.index(),
+                       RebuildFromScratch(graph.matrix(), options));
+  ExpectStoreMatchesFreshSweep(graph);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     CapsAndMeans, IncrementalParityTest,
     ::testing::Values(ParityCase{0, false, 0.1}, ParityCase{0, true, 0.1},

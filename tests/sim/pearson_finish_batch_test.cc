@@ -1,0 +1,296 @@
+#include "sim/pearson_finish_batch.h"
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/pearson_finish.h"
+
+namespace fairrec {
+namespace {
+
+/// One staged input: the pair's statistics plus the two global means the
+/// caller would stage alongside.
+struct Sample {
+  PairMoments moments;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+};
+
+/// The contract is *bit* equality, not numeric closeness: compare the
+/// 64-bit patterns so that +0.0 vs -0.0 (or any rounding divergence the
+/// kernels could introduce) fails loudly.
+::testing::AssertionResult BitEqual(double actual, double expected) {
+  if (std::bit_cast<uint64_t>(actual) == std::bit_cast<uint64_t>(expected)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "bits differ: got " << actual << " (0x" << std::hex
+         << std::bit_cast<uint64_t>(actual) << "), want " << expected
+         << " (0x" << std::bit_cast<uint64_t>(expected) << ")";
+}
+
+/// A randomized sample cycling through every guard regime: empty pairs,
+/// single co-ratings (below the default min_overlap), constant rows on
+/// representable (3.0 — exact zero variance) and non-representable (3.1 —
+/// cancellation noise at the epsilon guard) values, perfectly
+/// anti-correlated rows (negative correlations, exercising the clamp and
+/// shift), integer-rating runs, and arbitrary-real runs.
+Sample RandomSample(Rng& rng, int category) {
+  Sample s;
+  switch (category % 7) {
+    case 0:
+      break;  // no co-ratings
+    case 1:
+      s.moments.Add(static_cast<double>(rng.UniformInt(1, 5)),
+                    static_cast<double>(rng.UniformInt(1, 5)));
+      break;
+    case 2: {
+      const double value = rng.NextBool() ? 3.0 : 3.1;
+      const int32_t n = static_cast<int32_t>(rng.UniformInt(2, 9));
+      for (int32_t i = 0; i < n; ++i) s.moments.Add(value, value);
+      break;
+    }
+    case 3: {
+      // r_b = 6 - r_a: exactly anti-correlated co-ratings.
+      const int32_t n = static_cast<int32_t>(rng.UniformInt(2, 9));
+      for (int32_t i = 0; i < n; ++i) {
+        const double ra = static_cast<double>(rng.UniformInt(1, 5));
+        s.moments.Add(ra, 6.0 - ra);
+      }
+      break;
+    }
+    case 4: {
+      // Perfect agreement: the correlation finishes at (or clamps to) 1.
+      const int32_t n = static_cast<int32_t>(rng.UniformInt(2, 9));
+      for (int32_t i = 0; i < n; ++i) {
+        const double ra = static_cast<double>(rng.UniformInt(1, 5));
+        s.moments.Add(ra, ra);
+      }
+      break;
+    }
+    case 5: {
+      const int32_t n = static_cast<int32_t>(rng.UniformInt(2, 40));
+      for (int32_t i = 0; i < n; ++i) {
+        s.moments.Add(static_cast<double>(rng.UniformInt(1, 5)),
+                      static_cast<double>(rng.UniformInt(1, 5)));
+      }
+      break;
+    }
+    default: {
+      const int32_t n = static_cast<int32_t>(rng.UniformInt(2, 12));
+      for (int32_t i = 0; i < n; ++i) {
+        s.moments.Add(rng.UniformReal(1.0, 5.0), rng.UniformReal(1.0, 5.0));
+      }
+      break;
+    }
+  }
+  s.mean_a = rng.UniformReal(1.0, 5.0);
+  s.mean_b = rng.UniformReal(1.0, 5.0);
+  return s;
+}
+
+std::vector<Sample> RandomSamples(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<Sample> samples;
+  samples.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    samples.push_back(RandomSample(rng, static_cast<int>(k)));
+  }
+  return samples;
+}
+
+using KernelFn = void (*)(const FinishBatch&, const RatingSimilarityOptions&,
+                          double*);
+
+/// Pushes `samples` through `kernel` in batches of `batch_size` (ragged
+/// tails included) and asserts every lane is bit-identical to
+/// FinishPearsonFromMoments on the same inputs.
+void ExpectKernelMatchesScalarFinish(const std::vector<Sample>& samples,
+                                     const RatingSimilarityOptions& options,
+                                     KernelFn kernel, int32_t batch_size,
+                                     const std::string& label) {
+  ASSERT_GE(batch_size, 1);
+  ASSERT_LE(batch_size, FinishBatch::kCapacity);
+  FinishBatch batch;
+  double out[FinishBatch::kCapacity];
+  size_t flushed = 0;
+  const auto flush = [&] {
+    kernel(batch, options, out);
+    for (int32_t i = 0; i < batch.size(); ++i) {
+      const Sample& s = samples[flushed + static_cast<size_t>(i)];
+      const double expected = FinishPearsonFromMoments(s.moments, s.mean_a,
+                                                       s.mean_b, options);
+      EXPECT_TRUE(BitEqual(out[i], expected))
+          << label << " sample " << flushed + static_cast<size_t>(i)
+          << " (batch size " << batch_size << ", n = " << s.moments.n
+          << ", min_overlap = " << options.min_overlap
+          << ", intersection_means = " << options.intersection_means
+          << ", shift = " << options.shift_to_unit_interval << ")";
+    }
+    flushed += static_cast<size_t>(batch.size());
+    batch.Clear();
+  };
+  for (const Sample& s : samples) {
+    batch.Push(s.moments, s.mean_a, s.mean_b);
+    if (batch.size() == batch_size) flush();
+  }
+  flush();
+  ASSERT_EQ(flushed, samples.size());
+}
+
+/// Runs the full option grid (min_overlap including 0 — the engine forbids
+/// it, but the kernel contract covers the raw finish semantics — both mean
+/// conventions, both output ranges) against one kernel.
+void RunOptionGrid(KernelFn kernel, const std::string& label) {
+  const std::vector<Sample> samples = RandomSamples(20170417, 700);
+  for (const int32_t min_overlap : {0, 1, 2, 4}) {
+    for (const bool intersection : {false, true}) {
+      for (const bool shift : {false, true}) {
+        RatingSimilarityOptions options;
+        options.min_overlap = min_overlap;
+        options.intersection_means = intersection;
+        options.shift_to_unit_interval = shift;
+        ExpectKernelMatchesScalarFinish(samples, options, kernel,
+                                        FinishBatch::kCapacity, label);
+      }
+    }
+  }
+}
+
+TEST(FinishBatchTest, PushStagesLanesAndClearResets) {
+  FinishBatch batch;
+  EXPECT_TRUE(batch.empty());
+  PairMoments m;
+  m.Add(2.0, 5.0);
+  m.Add(4.0, 1.0);
+  EXPECT_EQ(batch.Push(m, 2.5, 3.5), 0);
+  EXPECT_EQ(batch.Push(m, 1.5, 4.5), 1);
+  EXPECT_EQ(batch.size(), 2);
+  EXPECT_EQ(batch.moments[0], m);
+  EXPECT_EQ(batch.means[1].a, 1.5);
+  EXPECT_EQ(batch.means[1].b, 4.5);
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_FALSE(batch.full());
+}
+
+TEST(PearsonFinishBatchTest, ScalarKernelBitParityAcrossOptionGrid) {
+  RunOptionGrid(internal::FinishPearsonBatchScalar, "scalar");
+}
+
+TEST(PearsonFinishBatchTest, ScalarKernelBitParityOnRaggedBatchSizes) {
+  const std::vector<Sample> samples = RandomSamples(7, 300);
+  RatingSimilarityOptions options;
+  for (const int32_t batch_size :
+       {1, 2, 3, 4, 5, 7, 63, FinishBatch::kCapacity - 1,
+        FinishBatch::kCapacity}) {
+    ExpectKernelMatchesScalarFinish(samples, options,
+                                    internal::FinishPearsonBatchScalar,
+                                    batch_size, "scalar ragged");
+  }
+}
+
+#if defined(FAIRREC_ENABLE_AVX2)
+TEST(PearsonFinishBatchTest, Avx2KernelBitParityAcrossOptionGrid) {
+  if (!internal::FinishPearsonBatchHasAvx2()) {
+    GTEST_SKIP() << "host cpuid reports no AVX2";
+  }
+  RunOptionGrid(internal::FinishPearsonBatchAvx2, "avx2");
+}
+
+TEST(PearsonFinishBatchTest, Avx2KernelBitParityOnRaggedBatchSizes) {
+  if (!internal::FinishPearsonBatchHasAvx2()) {
+    GTEST_SKIP() << "host cpuid reports no AVX2";
+  }
+  // Ragged sizes exercise both the 8-lane unrolled groups, the single
+  // 4-lane group, and the scalar tail of the vector kernel.
+  const std::vector<Sample> samples = RandomSamples(11, 300);
+  RatingSimilarityOptions options;
+  for (const int32_t batch_size :
+       {1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13, 63,
+        FinishBatch::kCapacity - 1, FinishBatch::kCapacity}) {
+    ExpectKernelMatchesScalarFinish(samples, options,
+                                    internal::FinishPearsonBatchAvx2,
+                                    batch_size, "avx2 ragged");
+  }
+}
+#endif  // FAIRREC_ENABLE_AVX2
+
+TEST(PearsonFinishBatchTest, DispatchedKernelMatchesScalarFinish) {
+  const std::vector<Sample> samples = RandomSamples(23, 300);
+  RatingSimilarityOptions options;
+  ExpectKernelMatchesScalarFinish(samples, options, &FinishPearsonBatch,
+                                  FinishBatch::kCapacity, "dispatch");
+  const std::string kernel = FinishPearsonBatchKernel();
+  if (internal::FinishPearsonBatchHasAvx2()) {
+    EXPECT_EQ(kernel, "avx2");
+  } else {
+    EXPECT_EQ(kernel, "scalar");
+  }
+}
+
+TEST(PearsonFinishBatchTest, GuardedLanesFinishToExactZero) {
+  RatingSimilarityOptions options;  // min_overlap 2
+  FinishBatch batch;
+  // Lane 0: no co-ratings. Lane 1: one co-rating (below min_overlap).
+  // Lane 2: constant representable row (variance exactly 0). Lane 3:
+  // constant non-representable row (cancellation noise at the epsilon
+  // guard). Lane 4: a real correlation, as a positive control.
+  PairMoments empty;
+  PairMoments single;
+  single.Add(4.0, 2.0);
+  PairMoments constant_exact;
+  PairMoments constant_noise;
+  for (int i = 0; i < 4; ++i) {
+    constant_exact.Add(3.0, 3.0);
+    constant_noise.Add(3.1, 3.1);
+  }
+  PairMoments real;
+  real.Add(1.0, 2.0);
+  real.Add(4.0, 5.0);
+  real.Add(2.0, 2.0);
+  batch.Push(empty, 3.0, 3.0);
+  batch.Push(single, 3.0, 3.0);
+  batch.Push(constant_exact, 3.0, 3.0);
+  // The cancellation regime needs the mean to sit on the constant value:
+  // sum((3.1 - 3.1)^2) is exactly 0, but its raw-moment expansion leaves
+  // rounding noise of order sum(r^2) * ulp that only the relative epsilon
+  // guard maps back to 0.
+  batch.Push(constant_noise, 3.1, 3.1);
+  batch.Push(real, 3.0, 3.0);
+  double out[FinishBatch::kCapacity];
+  FinishPearsonBatch(batch, options, out);
+  EXPECT_TRUE(BitEqual(out[0], 0.0));
+  EXPECT_TRUE(BitEqual(out[1], 0.0));
+  EXPECT_TRUE(BitEqual(out[2], 0.0));
+  EXPECT_TRUE(BitEqual(out[3], 0.0));
+  EXPECT_NE(out[4], 0.0);
+  EXPECT_TRUE(BitEqual(
+      out[4], FinishPearsonFromMoments(real, 3.0, 3.0, options)));
+}
+
+TEST(PearsonFinishBatchTest, NegativeCorrelationShiftsIntoUnitInterval) {
+  RatingSimilarityOptions options;
+  options.shift_to_unit_interval = true;
+  // Exactly anti-correlated co-ratings: r = -1, shifted to 0.
+  PairMoments anti;
+  anti.Add(1.0, 5.0);
+  anti.Add(5.0, 1.0);
+  anti.Add(3.0, 3.0);
+  FinishBatch batch;
+  batch.Push(anti, 3.0, 3.0);
+  double out[FinishBatch::kCapacity];
+  FinishPearsonBatch(batch, options, out);
+  EXPECT_TRUE(BitEqual(
+      out[0], FinishPearsonFromMoments(anti, 3.0, 3.0, options)));
+  EXPECT_GE(out[0], 0.0);
+  EXPECT_LT(out[0], 0.5);  // negative correlations land below the midpoint
+}
+
+}  // namespace
+}  // namespace fairrec
