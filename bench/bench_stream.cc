@@ -1,0 +1,426 @@
+// Continuous-stream soak harness for the durable incremental peer-graph
+// pipeline: Poisson-sized batches of rating arrivals flow through
+// DurablePeerGraph::ApplyDelta (journal-append-then-apply) with periodic
+// checkpoints, and the process "crashes" on a schedule — the in-memory state
+// is dropped and Open() recovers from checkpoint + journal tail, exactly the
+// code path a kill would exercise. (Failpoint-driven torn writes live in the
+// kill-point test suite; this bench runs in Release builds, where failpoints
+// are compiled away, so its faults are whole-process crashes.)
+//
+// An uninterrupted twin (plain IncrementalPeerGraph, same stream) runs
+// alongside; after every recovery the recovered state must match the twin
+// bit for bit (integer rating scale, so patch/rebuild parity is exact).
+// The run reports sustained updates/sec through the durability layer,
+// checkpoint cost, recovery time, and replay accounting to JSON.
+//
+//   bench_stream [--users N] [--items N] [--density F] [--seed N]
+//                [--threads N] [--block N] [--delta F] [--max-peers N]
+//                [--tile-users N] [--batches N] [--mean-batch F]
+//                [--checkpoint-every N] [--crash-every N] [--dir PATH]
+//                [--check-updates-per-sec-min F] [--check-recovery-parity]
+//                [--out BENCH_stream.json]
+//
+// Exit status: 0 ok, 1 argument/IO errors, 2 recovery parity mismatch (only
+// fatal under --check-recovery-parity; always reported in the JSON), 3 the
+// --check-updates-per-sec-min floor failed.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/blob_io.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "ratings/rating_delta.h"
+#include "ratings/rating_matrix.h"
+#include "sim/durable_peer_graph.h"
+#include "sim/incremental_peer_graph.h"
+
+namespace fairrec {
+namespace {
+
+struct BenchConfig {
+  int32_t num_users = 5000;
+  int32_t num_items = 1000;
+  double density = 0.01;
+  uint64_t seed = 20170417;
+  size_t threads = 1;
+  int32_t block_users = 512;
+  double delta = 0.1;
+  int32_t max_peers = 64;
+  int32_t tile_users = 2048;
+  /// Batches streamed through the durable pipeline.
+  int32_t batches = 120;
+  /// Mean Poisson batch size, in upserts.
+  double mean_batch = 8.0;
+  /// Checkpoint after every N applied batches.
+  int32_t checkpoint_every = 20;
+  /// Simulated crash (drop + recover) after every N applied batches.
+  int32_t crash_every = 50;
+  std::string dir;  // default: under TMPDIR
+  /// Fail (exit 3) when sustained updates/sec drops below this (0 = off).
+  double check_updates_per_sec_min = 0.0;
+  /// Make a recovery parity mismatch fatal (exit 2). Always reported.
+  bool check_recovery_parity = false;
+  std::string out_path = "BENCH_stream.json";
+};
+
+RatingMatrix GenerateCorpus(const BenchConfig& config) {
+  Rng rng(config.seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(config.num_users, config.num_items);
+  for (UserId u = 0; u < config.num_users; ++u) {
+    for (ItemId i = 0; i < config.num_items; ++i) {
+      if (!rng.NextBool(config.density)) continue;
+      const auto status =
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5)));
+      if (!status.ok()) {
+        std::fprintf(stderr, "corpus generation failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+/// Poisson sample via Knuth's product-of-uniforms (fine at soak-sized means).
+int64_t SamplePoisson(double mean, Rng& rng) {
+  const double limit = std::exp(-mean);
+  int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+/// One arrival batch: Poisson-many upserts from a handful of active users
+/// (integer ratings — the exact-parity regime).
+RatingDelta MakeBatch(const RatingMatrix& matrix, double mean_batch,
+                      Rng& rng) {
+  const int64_t upserts = std::max<int64_t>(1, SamplePoisson(mean_batch, rng));
+  RatingDelta delta;
+  for (int64_t k = 0; k < upserts; ++k) {
+    const auto user =
+        static_cast<UserId>(rng.UniformInt(0, matrix.num_users() - 1));
+    const auto item =
+        static_cast<ItemId>(rng.UniformInt(0, matrix.num_items() - 1));
+    const auto status =
+        delta.Add(user, item, static_cast<Rating>(rng.UniformInt(1, 5)));
+    if (!status.ok()) {
+      std::fprintf(stderr, "batch generation failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return delta;
+}
+
+bool SameState(const DurablePeerGraph& durable,
+               const IncrementalPeerGraph& twin) {
+  return durable.graph().matrix() == twin.matrix() &&
+         durable.graph().store() == twin.store() &&
+         *durable.graph().index() == *twin.index();
+}
+
+struct RecoveryEvent {
+  int32_t at_batch = 0;
+  double seconds = 0.0;
+  int64_t replayed = 0;
+  int64_t skipped = 0;
+  bool parity_ok = false;
+};
+
+int Run(const BenchConfig& config) {
+  std::printf("generating corpus: %d users x %d items at %.2f%% density...\n",
+              config.num_users, config.num_items, 100.0 * config.density);
+  const RatingMatrix seed_matrix = GenerateCorpus(config);
+  std::printf("  %lld ratings\n",
+              static_cast<long long>(seed_matrix.num_ratings()));
+
+  IncrementalPeerGraphOptions options;
+  options.engine.num_threads = config.threads;
+  options.engine.block_users = config.block_users;
+  options.peers.delta = config.delta;
+  options.peers.max_peers_per_user = config.max_peers;
+  options.store.tile_users = config.tile_users;
+
+  const std::string dir =
+      config.dir.empty() ? std::string("bench_stream_state") : config.dir;
+  if (const auto status = EnsureDirectory(dir); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  // A soak run always starts from its own seed, never a stale state dir.
+  (void)RemovePath(DurablePeerGraph::CheckpointPathOf(dir));
+  (void)RemovePath(DurablePeerGraph::JournalPathOf(dir));
+
+  Stopwatch seed_clock;
+  auto durable_result = DurablePeerGraph::Open(dir, seed_matrix, options);
+  const double seed_seconds = seed_clock.ElapsedSeconds();
+  if (!durable_result.ok()) {
+    std::fprintf(stderr, "seed open failed: %s\n",
+                 durable_result.status().ToString().c_str());
+    return 1;
+  }
+  std::optional<DurablePeerGraph> durable =
+      std::move(durable_result).ValueOrDie();
+  auto twin_result = IncrementalPeerGraph::Build(seed_matrix, options);
+  if (!twin_result.ok()) {
+    std::fprintf(stderr, "twin build failed: %s\n",
+                 twin_result.status().ToString().c_str());
+    return 1;
+  }
+  IncrementalPeerGraph twin = std::move(twin_result).ValueOrDie();
+  std::printf("seed open (build + initial checkpoint): %.3f s\n",
+              seed_seconds);
+
+  Rng stream_rng(config.seed ^ 0x5eed5eedull);
+  int64_t total_upserts = 0;
+  double apply_seconds = 0.0;
+  double checkpoint_seconds = 0.0;
+  int32_t checkpoints = 0;
+  uint64_t max_journal_bytes = 0;
+  std::vector<RecoveryEvent> recoveries;
+
+  for (int32_t b = 1; b <= config.batches; ++b) {
+    const RatingDelta batch = MakeBatch(durable->graph().matrix(),
+                                        config.mean_batch, stream_rng);
+    total_upserts += batch.size();
+
+    Stopwatch apply_clock;
+    const auto stats = durable->ApplyDelta(batch);
+    apply_seconds += apply_clock.ElapsedSeconds();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "apply failed at batch %d: %s\n", b,
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    const auto twin_stats = twin.ApplyDelta(batch);
+    if (!twin_stats.ok()) {
+      std::fprintf(stderr, "twin apply failed at batch %d: %s\n", b,
+                   twin_stats.status().ToString().c_str());
+      return 1;
+    }
+    max_journal_bytes = std::max(max_journal_bytes, durable->journal_bytes());
+
+    if (config.checkpoint_every > 0 && b % config.checkpoint_every == 0) {
+      Stopwatch checkpoint_clock;
+      if (const auto status = durable->Checkpoint(); !status.ok()) {
+        std::fprintf(stderr, "checkpoint failed at batch %d: %s\n", b,
+                     status.ToString().c_str());
+        return 1;
+      }
+      checkpoint_seconds += checkpoint_clock.ElapsedSeconds();
+      ++checkpoints;
+    }
+
+    const bool last = b == config.batches;
+    if ((config.crash_every > 0 && b % config.crash_every == 0) || last) {
+      // The simulated kill: the in-memory state vanishes, disk is truth.
+      durable.reset();
+      Stopwatch recover_clock;
+      auto recovered = DurablePeerGraph::Open(dir, seed_matrix, options);
+      RecoveryEvent event;
+      event.at_batch = b;
+      event.seconds = recover_clock.ElapsedSeconds();
+      if (!recovered.ok()) {
+        std::fprintf(stderr, "recovery failed at batch %d: %s\n", b,
+                     recovered.status().ToString().c_str());
+        return 1;
+      }
+      durable = std::move(recovered).ValueOrDie();
+      event.replayed = durable->recovery_info().replayed_batches;
+      event.skipped = durable->recovery_info().skipped_batches;
+      event.parity_ok = SameState(*durable, twin);
+      std::printf(
+          "batch %4d: recovered in %.3f s (replayed %lld, skipped %lld, "
+          "parity %s)\n",
+          b, event.seconds, static_cast<long long>(event.replayed),
+          static_cast<long long>(event.skipped),
+          event.parity_ok ? "ok" : "MISMATCH");
+      recoveries.push_back(event);
+    }
+  }
+
+  const double updates_per_sec =
+      apply_seconds > 0.0 ? static_cast<double>(total_upserts) / apply_seconds
+                          : 0.0;
+  double recovery_seconds_max = 0.0;
+  double recovery_seconds_sum = 0.0;
+  int64_t replayed_total = 0;
+  bool parity_ok = true;
+  for (const RecoveryEvent& event : recoveries) {
+    recovery_seconds_max = std::max(recovery_seconds_max, event.seconds);
+    recovery_seconds_sum += event.seconds;
+    replayed_total += event.replayed;
+    parity_ok = parity_ok && event.parity_ok;
+  }
+  std::printf(
+      "stream: %lld upserts in %d batches, %.0f updates/sec sustained, "
+      "%d checkpoints (%.3f s total), %zu recoveries (max %.3f s), "
+      "parity %s\n",
+      static_cast<long long>(total_upserts), config.batches, updates_per_sec,
+      checkpoints, checkpoint_seconds, recoveries.size(),
+      recovery_seconds_max, parity_ok ? "ok" : "MISMATCH");
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"stream\",\n"
+               "  \"corpus\": {\n"
+               "    \"num_users\": %d,\n"
+               "    \"num_items\": %d,\n"
+               "    \"density\": %.6f,\n"
+               "    \"seed\": %llu\n"
+               "  },\n"
+               "  \"options\": {\n"
+               "    \"delta\": %.6f,\n"
+               "    \"max_peers_per_user\": %d,\n"
+               "    \"tile_users\": %d,\n"
+               "    \"mean_batch\": %.3f,\n"
+               "    \"checkpoint_every\": %d,\n"
+               "    \"crash_every\": %d\n"
+               "  },\n"
+               "  \"threads\": %zu,\n"
+               "  \"seed_open_seconds\": %.6f,\n"
+               "  \"stream\": {\n"
+               "    \"batches\": %d,\n"
+               "    \"upserts\": %lld,\n"
+               "    \"apply_seconds\": %.6f,\n"
+               "    \"updates_per_sec\": %.3f,\n"
+               "    \"checkpoints\": %d,\n"
+               "    \"checkpoint_seconds\": %.6f,\n"
+               "    \"max_journal_bytes\": %llu\n"
+               "  },\n",
+               config.num_users, config.num_items, config.density,
+               static_cast<unsigned long long>(config.seed), config.delta,
+               config.max_peers, config.tile_users, config.mean_batch,
+               config.checkpoint_every, config.crash_every, config.threads,
+               seed_seconds, config.batches,
+               static_cast<long long>(total_upserts), apply_seconds,
+               updates_per_sec, checkpoints, checkpoint_seconds,
+               static_cast<unsigned long long>(max_journal_bytes));
+  std::fprintf(out,
+               "  \"recovery\": {\n"
+               "    \"count\": %zu,\n"
+               "    \"seconds_max\": %.6f,\n"
+               "    \"seconds_mean\": %.6f,\n"
+               "    \"replayed_batches\": %lld,\n"
+               "    \"parity_ok\": %s\n"
+               "  },\n",
+               recoveries.size(), recovery_seconds_max,
+               recoveries.empty() ? 0.0
+                                  : recovery_seconds_sum /
+                                        static_cast<double>(recoveries.size()),
+               static_cast<long long>(replayed_total),
+               parity_ok ? "true" : "false");
+  std::fprintf(out, "  \"recoveries\": [\n");
+  for (size_t k = 0; k < recoveries.size(); ++k) {
+    const RecoveryEvent& event = recoveries[k];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"at_batch\": %d,\n"
+                 "      \"seconds\": %.6f,\n"
+                 "      \"replayed\": %lld,\n"
+                 "      \"skipped\": %lld,\n"
+                 "      \"parity_ok\": %s\n"
+                 "    }%s\n",
+                 event.at_batch, event.seconds,
+                 static_cast<long long>(event.replayed),
+                 static_cast<long long>(event.skipped),
+                 event.parity_ok ? "true" : "false",
+                 k + 1 < recoveries.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+
+  if (!parity_ok && config.check_recovery_parity) {
+    std::fprintf(stderr, "FAIL: recovered state diverged from the "
+                         "uninterrupted twin\n");
+    return 2;
+  }
+  if (config.check_updates_per_sec_min > 0.0 &&
+      updates_per_sec < config.check_updates_per_sec_min) {
+    std::fprintf(stderr,
+                 "FAIL: %.0f updates/sec below the %.0f floor\n",
+                 updates_per_sec, config.check_updates_per_sec_min);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairrec
+
+int main(int argc, char** argv) {
+  fairrec::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--users") {
+      config.num_users = std::atoi(next());
+    } else if (arg == "--items") {
+      config.num_items = std::atoi(next());
+    } else if (arg == "--density") {
+      config.density = std::atof(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      config.threads = static_cast<size_t>(std::atoi(next()));
+    } else if (arg == "--block") {
+      config.block_users = std::atoi(next());
+    } else if (arg == "--delta") {
+      config.delta = std::atof(next());
+    } else if (arg == "--max-peers") {
+      config.max_peers = std::atoi(next());
+    } else if (arg == "--tile-users") {
+      config.tile_users = std::atoi(next());
+    } else if (arg == "--batches") {
+      config.batches = std::atoi(next());
+    } else if (arg == "--mean-batch") {
+      config.mean_batch = std::atof(next());
+    } else if (arg == "--checkpoint-every") {
+      config.checkpoint_every = std::atoi(next());
+    } else if (arg == "--crash-every") {
+      config.crash_every = std::atoi(next());
+    } else if (arg == "--dir") {
+      config.dir = next();
+    } else if (arg == "--check-updates-per-sec-min") {
+      config.check_updates_per_sec_min = std::atof(next());
+    } else if (arg == "--check-recovery-parity") {
+      config.check_recovery_parity = true;
+    } else if (arg == "--out") {
+      config.out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config.num_users < 2 || config.num_items < 1 || config.density <= 0.0 ||
+      config.density > 1.0 || config.max_peers < 0 || config.delta <= 0.0 ||
+      config.tile_users < 1 || config.batches < 1 ||
+      config.mean_batch <= 0.0) {
+    std::fprintf(stderr, "invalid configuration\n");
+    return 1;
+  }
+  return fairrec::Run(config);
+}

@@ -1,0 +1,134 @@
+#ifndef FAIRREC_COMMON_BLOB_IO_H_
+#define FAIRREC_COMMON_BLOB_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fairrec {
+
+/// Checksummed binary container I/O — the framing every durable artifact in
+/// the tree goes through (MomentStore / PeerIndex / RatingMatrix snapshots,
+/// the checkpoint container, the delta journal's records).
+///
+/// Two layers:
+///
+///   * BlobWriter / BlobReader: raw little-endian field primitives over a
+///     byte string, plus CRC32C-framed sections (u64 length + masked CRC +
+///     bytes) so a multi-part payload can localize corruption to one
+///     section. Readers never trust a length field: every read is bounded
+///     by the bytes actually present, so a corrupt count fails cleanly
+///     instead of reaching an allocation or a memcpy overrun.
+///
+///   * the blob file container: magic + version + caller type tag +
+///     payload length + payload CRC32C + header CRC32C, then the payload.
+///     WriteBlobFileAtomic writes a temp sibling, fsyncs it, renames it
+///     over the target, and fsyncs the directory — so a crash at any point
+///     leaves either the old file or the new file, never a torn mix — and
+///     ReadBlobFile verifies the full chain before handing bytes back
+///     (DataLoss on any mismatch; a half-written temp file is invisible by
+///     construction).
+///
+/// Fault injection (debug builds only — see common/failpoint.h) hooks the
+/// file path at the sites named kFailpoint* below.
+
+/// Failpoint sites of the atomic write path. A "crash" site abandons the
+/// operation returning failpoint::InjectedCrash, leaving the filesystem
+/// exactly as a process kill at that instant would; the bit-flip site
+/// corrupts one payload byte of the *final* file and reports success,
+/// modelling silent media corruption that only the CRC layer can catch.
+inline constexpr std::string_view kFailpointBlobWriteBegin = "blob.write.begin";
+inline constexpr std::string_view kFailpointBlobWriteTorn = "blob.write.torn";
+inline constexpr std::string_view kFailpointBlobWriteBeforeRename =
+    "blob.write.before_rename";
+inline constexpr std::string_view kFailpointBlobWriteBitFlip =
+    "blob.write.bit_flip";
+
+// ---------------------------------------------------------------------------
+// Field primitives.
+// ---------------------------------------------------------------------------
+
+/// Appends little-endian fields to a growing byte string. All artifact
+/// serializers write through this so the wire layout never inherits struct
+/// padding or host struct order.
+class BlobWriter {
+ public:
+  explicit BlobWriter(std::string* out) : out_(out) {}
+
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Bytes(std::string_view bytes) { Raw(bytes.data(), bytes.size()); }
+
+  /// Appends a CRC32C-framed section: u64 length, u32 masked CRC of the
+  /// bytes, the bytes. Readers pair with BlobReader::FramedSection.
+  void Framed(std::string_view payload);
+
+ private:
+  void Raw(const void* data, size_t bytes);
+
+  std::string* out_;
+};
+
+/// Bounded cursor over serialized bytes. Every accessor returns false (and
+/// moves nothing) when fewer bytes remain than the field needs, so callers
+/// turn truncation into a clean Status instead of UB.
+class BlobReader {
+ public:
+  explicit BlobReader(std::string_view data) : data_(data) {}
+
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool I32(int32_t* v) { return Raw(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+
+  /// Reads a Framed section: bounds-checks the length against the bytes
+  /// present, verifies the CRC, and yields a view into the underlying
+  /// buffer (valid while the buffer lives). DataLoss on truncation or
+  /// checksum mismatch.
+  Status FramedSection(std::string_view* payload);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  bool Raw(void* out, size_t bytes);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// File container.
+// ---------------------------------------------------------------------------
+
+/// Writes `payload` to `path` under the checksummed container header,
+/// atomically (temp sibling + fsync + rename + directory fsync). `type_tag`
+/// is the caller's artifact discriminator, verified on read so a journal
+/// can never be loaded as a checkpoint.
+Status WriteBlobFileAtomic(const std::string& path, uint32_t type_tag,
+                           std::string_view payload);
+
+/// Reads and fully verifies a container written by WriteBlobFileAtomic:
+/// NotFound when the file does not exist, DataLoss on any framing/CRC/type
+/// mismatch, the payload bytes otherwise.
+Result<std::string> ReadBlobFile(const std::string& path, uint32_t type_tag);
+
+/// True when `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// Removes `path` if it exists; OK when already absent.
+Status RemovePath(const std::string& path);
+
+/// Creates directory `path` (one level); OK when it already exists.
+Status EnsureDirectory(const std::string& path);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_COMMON_BLOB_IO_H_

@@ -1,0 +1,103 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace fairrec {
+namespace failpoint {
+
+namespace {
+
+constexpr std::string_view kCrashPrefix = "injected crash at ";
+
+}  // namespace
+
+Status InjectedCrash(std::string_view site) {
+  return Status::Internal(std::string(kCrashPrefix) + std::string(site));
+}
+
+bool IsInjectedCrash(const Status& status) {
+  return status.IsInternal() &&
+         status.message().substr(0, kCrashPrefix.size()) == kCrashPrefix;
+}
+
+#if FAIRREC_FAILPOINTS_ENABLED
+
+namespace {
+
+struct SiteState {
+  int64_t hits = 0;
+  bool armed = false;
+  int64_t skip_remaining = 0;
+};
+
+// Transparent comparator: Triggered looks up by string_view without
+// materializing a std::string per hit.
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, SiteState, std::less<>>& Registry() {
+  static auto* registry = new std::map<std::string, SiteState, std::less<>>();
+  return *registry;
+}
+
+}  // namespace
+
+void Arm(std::string_view site, int64_t skip) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  SiteState& state = Registry()[std::string(site)];
+  state.armed = true;
+  state.skip_remaining = skip;
+}
+
+void Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(site);
+  if (it != Registry().end()) it->second.armed = false;
+}
+
+void Reset() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().clear();
+}
+
+bool Triggered(std::string_view site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(site);
+  if (it == Registry().end()) {
+    it = Registry().emplace(std::string(site), SiteState{}).first;
+  }
+  SiteState& state = it->second;
+  ++state.hits;
+  if (!state.armed) return false;
+  if (state.skip_remaining > 0) {
+    --state.skip_remaining;
+    return false;
+  }
+  state.armed = false;  // one-shot
+  return true;
+}
+
+int64_t HitCount(std::string_view site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> HitSites() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> sites;
+  sites.reserve(Registry().size());
+  for (const auto& [name, state] : Registry()) {
+    if (state.hits > 0) sites.push_back(name);
+  }
+  return sites;
+}
+
+#endif  // FAIRREC_FAILPOINTS_ENABLED
+
+}  // namespace failpoint
+}  // namespace fairrec

@@ -1,0 +1,82 @@
+#ifndef FAIRREC_COMMON_FAILPOINT_H_
+#define FAIRREC_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// Fault-injection points for the durability layer, compiled away in release
+/// builds (NDEBUG): a Release binary contains no registry, no string
+/// compares, and no branches at the sites — `failpoint::Triggered` folds to
+/// a constant false. Debug and RelWithDebInfo-with-assertions builds (the
+/// configurations CI runs the kill-point recovery suite under) keep the real
+/// registry.
+///
+/// Sites are fixed, named places in blob_io / delta_journal /
+/// durable_peer_graph where a crash, a torn write, or a bit flip can be
+/// injected (the site decides what its fault *means*; the registry only
+/// answers "fire here, now?"). Tests arm a site one-shot — optionally after
+/// skipping the first k hits, which is how the kill-point suite walks every
+/// boundary of a scripted run — and treat the resulting
+/// `failpoint::InjectedCrash` status as the process death: the in-memory
+/// object is abandoned and recovery runs from disk, exactly like a real
+/// kill.
+#ifndef NDEBUG
+#define FAIRREC_FAILPOINTS_ENABLED 1
+#else
+#define FAIRREC_FAILPOINTS_ENABLED 0
+#endif
+
+namespace fairrec {
+namespace failpoint {
+
+/// The Status a site returns when an armed crash fires. Callers that script
+/// fault injection recognize it via IsInjectedCrash and discard the
+/// in-memory state, as a real crash would.
+Status InjectedCrash(std::string_view site);
+bool IsInjectedCrash(const Status& status);
+
+#if FAIRREC_FAILPOINTS_ENABLED
+
+/// Arms `site` to fire exactly once, after skipping its next `skip` hits.
+/// Re-arming an armed site replaces the previous arming.
+void Arm(std::string_view site, int64_t skip = 0);
+
+/// Removes the arming of `site` (hit counting continues).
+void Disarm(std::string_view site);
+
+/// Removes every arming and zeroes every hit counter.
+void Reset();
+
+/// Hits `site`: increments its counter and reports whether an arming fired
+/// (firing disarms). Sites call this; tests never need to.
+bool Triggered(std::string_view site);
+
+/// Hits of `site` since the last Reset, armed or not. The kill-point suite
+/// dry-runs a script with counting alone to enumerate how many kill
+/// opportunities each site offers.
+int64_t HitCount(std::string_view site);
+
+/// Every site hit since the last Reset, sorted. With HitCount this is the
+/// kill-point enumeration: the suite asserts the set is nonempty and walks
+/// (site, k) for k in [0, HitCount(site)).
+std::vector<std::string> HitSites();
+
+#else  // !FAIRREC_FAILPOINTS_ENABLED
+
+inline void Arm(std::string_view, int64_t = 0) {}
+inline void Disarm(std::string_view) {}
+inline void Reset() {}
+inline bool Triggered(std::string_view) { return false; }
+inline int64_t HitCount(std::string_view) { return 0; }
+inline std::vector<std::string> HitSites() { return {}; }
+
+#endif  // FAIRREC_FAILPOINTS_ENABLED
+
+}  // namespace failpoint
+}  // namespace fairrec
+
+#endif  // FAIRREC_COMMON_FAILPOINT_H_

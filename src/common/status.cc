@@ -23,6 +23,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -64,6 +66,9 @@ Status Status::IOError(std::string message) {
 }
 Status Status::Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status Status::DataLoss(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 std::string Status::ToString() const {

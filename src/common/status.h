@@ -18,6 +18,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kIOError,
   kInternal,
+  /// Persisted bytes fail an integrity check (CRC mismatch, torn frame,
+  /// impossible field value). Distinct from kIOError (the filesystem refused
+  /// the operation) and kInvalidArgument (the caller misused the API): data
+  /// loss means the artifact itself can no longer be trusted.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a status code (e.g. "InvalidArgument").
@@ -49,6 +54,7 @@ class Status {
   static Status FailedPrecondition(std::string message);
   static Status IOError(std::string message);
   static Status Internal(std::string message);
+  static Status DataLoss(std::string message);
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
@@ -64,6 +70,7 @@ class Status {
   bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

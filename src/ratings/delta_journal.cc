@@ -1,0 +1,277 @@
+#include "ratings/delta_journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/blob_io.h"
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+
+namespace fairrec {
+
+namespace {
+
+/// Record magic: "FRJ1" little-endian.
+constexpr uint32_t kRecordMagic = 0x314a5246u;
+/// magic + payload_len + seq + payload_crc; the header CRC follows.
+constexpr size_t kRecordHeaderBytes =
+    sizeof(uint32_t) * 2 + sizeof(uint64_t) + sizeof(uint32_t);
+constexpr size_t kRecordFrameBytes = kRecordHeaderBytes + sizeof(uint32_t);
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t written = ::write(fd, data, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("write", path));
+    }
+    data += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(int fd, const std::string& path) {
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    return Status::IOError(ErrnoMessage("fstat", path));
+  }
+  std::string bytes;
+  bytes.resize(static_cast<size_t>(st.st_size));
+  size_t read_so_far = 0;
+  while (read_so_far < bytes.size()) {
+    const ssize_t got = ::pread(fd, bytes.data() + read_so_far,
+                                bytes.size() - read_so_far,
+                                static_cast<off_t>(read_so_far));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pread", path));
+    }
+    if (got == 0) break;
+    read_so_far += static_cast<size_t>(got);
+  }
+  bytes.resize(read_so_far);
+  return bytes;
+}
+
+void AppendRecordBytes(std::string& out, uint64_t seq,
+                       std::string_view payload) {
+  const size_t header_at = out.size();
+  BlobWriter writer(&out);
+  writer.U32(kRecordMagic);
+  writer.U32(static_cast<uint32_t>(payload.size()));
+  writer.U64(seq);
+  writer.U32(MaskCrc32c(Crc32c(payload.data(), payload.size())));
+  writer.U32(MaskCrc32c(Crc32c(out.data() + header_at, kRecordHeaderBytes)));
+  writer.Bytes(payload);
+}
+
+}  // namespace
+
+Result<DeltaJournal> DeltaJournal::Open(std::string path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+
+  auto bytes = ReadWholeFile(fd, path);
+  if (!bytes.ok()) {
+    ::close(fd);
+    return bytes.status();
+  }
+  auto parsed = ParseBytes(*bytes);
+  if (!parsed.ok()) {
+    ::close(fd);
+    return parsed.status();
+  }
+
+  DeltaJournal journal(std::move(path), fd, parsed->valid_bytes,
+                       parsed->records.empty() ? 0
+                                               : parsed->records.back().seq);
+  if (parsed->torn_tail_bytes > 0) {
+    // A crash mid-append left a partial record; drop it so the next append
+    // starts on a clean boundary.
+    FAIRREC_RETURN_NOT_OK(journal.TruncateToBytes(parsed->valid_bytes));
+    journal.recovered_torn_bytes_ = parsed->torn_tail_bytes;
+  }
+  return journal;
+}
+
+DeltaJournal::DeltaJournal(DeltaJournal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      size_bytes_(other.size_bytes_),
+      last_seq_(other.last_seq_),
+      recovered_torn_bytes_(other.recovered_torn_bytes_),
+      pre_append_bytes_(other.pre_append_bytes_),
+      pre_append_seq_(other.pre_append_seq_) {
+  other.fd_ = -1;
+}
+
+DeltaJournal& DeltaJournal::operator=(DeltaJournal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    size_bytes_ = other.size_bytes_;
+    last_seq_ = other.last_seq_;
+    recovered_torn_bytes_ = other.recovered_torn_bytes_;
+    pre_append_bytes_ = other.pre_append_bytes_;
+    pre_append_seq_ = other.pre_append_seq_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+DeltaJournal::~DeltaJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DeltaJournal::Append(uint64_t seq, const RatingDelta& delta) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal moved-from");
+  if (seq <= last_seq_) {
+    return Status::InvalidArgument("journal seq not increasing: " +
+                                   std::to_string(seq) + " after " +
+                                   std::to_string(last_seq_));
+  }
+  if (failpoint::Triggered(kFailpointJournalAppendBegin)) {
+    return failpoint::InjectedCrash(kFailpointJournalAppendBegin);
+  }
+
+  std::string payload;
+  delta.SerializeTo(payload);
+  if (payload.size() > UINT32_MAX) {
+    return Status::InvalidArgument("delta batch too large for one record");
+  }
+  std::string record;
+  record.reserve(kRecordFrameBytes + payload.size());
+  AppendRecordBytes(record, seq, payload);
+
+  // A torn append is the kill mid-write: a prefix reaches the disk and
+  // Open must truncate it away on recovery.
+  const bool torn = failpoint::Triggered(kFailpointJournalAppendTorn);
+  const size_t to_write = torn ? record.size() / 2 : record.size();
+  FAIRREC_RETURN_NOT_OK(WriteAll(fd_, record.data(), to_write, path_));
+  if (torn) {
+    size_bytes_ += to_write;  // torn bytes are on disk until truncated
+    return failpoint::InjectedCrash(kFailpointJournalAppendTorn);
+  }
+  if (failpoint::Triggered(kFailpointJournalAppendBeforeFsync)) {
+    size_bytes_ += record.size();
+    return failpoint::InjectedCrash(kFailpointJournalAppendBeforeFsync);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fsync", path_));
+  }
+  pre_append_bytes_ = size_bytes_;
+  pre_append_seq_ = last_seq_;
+  size_bytes_ += record.size();
+  last_seq_ = seq;
+  return Status::OK();
+}
+
+Status DeltaJournal::RollbackLastAppend() {
+  FAIRREC_RETURN_NOT_OK(TruncateToBytes(pre_append_bytes_));
+  last_seq_ = pre_append_seq_;
+  return Status::OK();
+}
+
+Status DeltaJournal::Clear() {
+  FAIRREC_RETURN_NOT_OK(TruncateToBytes(0));
+  pre_append_bytes_ = 0;
+  // The seq floor resets with the records: cross-checkpoint monotonicity is
+  // the facade's job (it appends at applied_seq + 1, which always exceeds
+  // the checkpoint it just wrote), and an emptied file holds nothing a
+  // fresh record could alias.
+  last_seq_ = 0;
+  pre_append_seq_ = 0;
+  return Status::OK();
+}
+
+Status DeltaJournal::TruncateToBytes(uint64_t bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal moved-from");
+  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+    return Status::IOError(ErrnoMessage("ftruncate", path_));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fsync", path_));
+  }
+  size_bytes_ = bytes;
+  return Status::OK();
+}
+
+Result<DeltaJournal::ReplayResult> DeltaJournal::Replay() const {
+  if (fd_ < 0) return Status::FailedPrecondition("journal moved-from");
+  FAIRREC_ASSIGN_OR_RETURN(const std::string bytes,
+                           ReadWholeFile(fd_, path_));
+  return ParseBytes(bytes);
+}
+
+Result<DeltaJournal::ReplayResult> DeltaJournal::ParseBytes(
+    std::string_view bytes) {
+  ReplayResult result;
+  size_t pos = 0;
+  uint64_t prev_seq = 0;
+  while (pos < bytes.size()) {
+    const size_t remaining = bytes.size() - pos;
+    if (remaining < kRecordFrameBytes) {
+      // Not even a full frame: the classic torn tail.
+      result.torn_tail_bytes = remaining;
+      break;
+    }
+    BlobReader reader(bytes.substr(pos, kRecordFrameBytes));
+    uint32_t magic = 0;
+    uint32_t payload_len = 0;
+    uint64_t seq = 0;
+    uint32_t payload_crc = 0;
+    uint32_t header_crc = 0;
+    reader.U32(&magic);
+    reader.U32(&payload_len);
+    reader.U64(&seq);
+    reader.U32(&payload_crc);
+    reader.U32(&header_crc);
+    // The header CRC is what distinguishes corruption from tearing: a bit
+    // flip anywhere in the frame (including the length, which would
+    // otherwise misdirect the scan) fails here.
+    if (Crc32c(bytes.data() + pos, kRecordHeaderBytes) !=
+        UnmaskCrc32c(header_crc)) {
+      return Status::DataLoss("journal record header checksum mismatch at " +
+                              std::to_string(pos));
+    }
+    if (magic != kRecordMagic) {
+      return Status::DataLoss("bad journal record magic at " +
+                              std::to_string(pos));
+    }
+    if (remaining - kRecordFrameBytes < payload_len) {
+      // Valid header, incomplete payload: the append died mid-payload.
+      result.torn_tail_bytes = remaining;
+      break;
+    }
+    const std::string_view payload =
+        bytes.substr(pos + kRecordFrameBytes, payload_len);
+    if (Crc32c(payload.data(), payload.size()) != UnmaskCrc32c(payload_crc)) {
+      return Status::DataLoss("journal record payload checksum mismatch at " +
+                              std::to_string(pos));
+    }
+    if (seq <= prev_seq) {
+      return Status::DataLoss("journal seq not increasing at " +
+                              std::to_string(pos));
+    }
+    auto delta = RatingDelta::Deserialize(payload);
+    if (!delta.ok()) return delta.status();
+    prev_seq = seq;
+    result.records.push_back({seq, std::move(*delta)});
+    pos += kRecordFrameBytes + payload_len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+}  // namespace fairrec

@@ -1,0 +1,131 @@
+#ifndef FAIRREC_RATINGS_DELTA_JOURNAL_H_
+#define FAIRREC_RATINGS_DELTA_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ratings/rating_delta.h"
+
+namespace fairrec {
+
+/// Failpoint sites of the journal append path (see common/failpoint.h).
+/// "begin" dies before any byte is written (the record is simply lost, as
+/// when the process is killed before the write syscall); "torn" writes a
+/// prefix of the record and dies (recovery must truncate the tail);
+/// "before_fsync" dies after the write but before fsync — on a real kernel
+/// the bytes may or may not survive, and the torn/begin cases already cover
+/// both outcomes, so this site models the "bytes survived" one.
+inline constexpr std::string_view kFailpointJournalAppendBegin =
+    "journal.append.begin";
+inline constexpr std::string_view kFailpointJournalAppendTorn =
+    "journal.append.torn";
+inline constexpr std::string_view kFailpointJournalAppendBeforeFsync =
+    "journal.append.before_fsync";
+
+/// Write-ahead log of RatingDelta batches, the durability half of the
+/// incremental peer-graph pipeline (the other half is the checkpoint
+/// container in sim/durable_peer_graph.h).
+///
+/// Protocol: every batch is appended — checksummed and fsync'd — *before*
+/// IncrementalPeerGraph::ApplyDelta consumes it. A checkpoint snapshots the
+/// full in-memory state and clears the journal; recovery loads the last
+/// checkpoint and replays the journal tail in sequence order, which by the
+/// engine's determinism reproduces the never-crashed state byte for byte.
+///
+/// Record wire form (little-endian):
+///   u32 magic  u32 payload_len  u64 seq  u32 masked payload CRC32C
+///   u32 masked header CRC32C (over the preceding 20 bytes)  payload
+/// where the payload is RatingDelta::SerializeTo bytes.
+///
+/// Torn tail vs corruption: a record whose bytes are *incomplete* at end of
+/// file is the normal signature of a crash mid-append — replay stops there
+/// and Open truncates it away. A record whose bytes are all present but fail
+/// a CRC (or whose header fields are impossible) is corruption, reported as
+/// DataLoss and never silently skipped. The header carries its own CRC so a
+/// bit flip in the length field cannot masquerade as a torn tail.
+///
+/// Not thread-safe; the owning DurablePeerGraph serializes access.
+class DeltaJournal {
+ public:
+  /// One replayed record: the batch plus the monotone sequence number the
+  /// writer stamped it with.
+  struct Record {
+    uint64_t seq = 0;
+    RatingDelta delta;
+  };
+
+  /// The parse of a journal byte stream: the complete, checksum-verified
+  /// records, and how many trailing bytes formed an incomplete record
+  /// (torn tail).
+  struct ReplayResult {
+    std::vector<Record> records;
+    uint64_t valid_bytes = 0;
+    uint64_t torn_tail_bytes = 0;
+  };
+
+  /// Opens (creating if absent) the journal at `path`. Scans the existing
+  /// bytes: a torn tail is truncated away (a crash mid-append is normal);
+  /// any corruption among the complete records fails the open with
+  /// DataLoss. The next Append continues after the highest stored seq.
+  static Result<DeltaJournal> Open(std::string path);
+
+  DeltaJournal(DeltaJournal&& other) noexcept;
+  DeltaJournal& operator=(DeltaJournal&& other) noexcept;
+  DeltaJournal(const DeltaJournal&) = delete;
+  DeltaJournal& operator=(const DeltaJournal&) = delete;
+  ~DeltaJournal();
+
+  /// Appends `delta` under sequence number `seq` (must exceed every seq
+  /// already in the file) and fsyncs. On return the record is durable.
+  Status Append(uint64_t seq, const RatingDelta& delta);
+
+  /// Undoes the most recent successful Append (used when the in-memory
+  /// apply the record was written ahead of fails: the journal must not
+  /// replay a batch the state never absorbed).
+  Status RollbackLastAppend();
+
+  /// Empties the journal (checkpoint took ownership of everything in it).
+  Status Clear();
+
+  /// Parses all complete records currently in the file. Torn tails are
+  /// reported, not errors; corruption is DataLoss.
+  Result<ReplayResult> Replay() const;
+
+  /// Parses journal bytes without touching the filesystem (the engine of
+  /// both Open and Replay; exposed for the corruption test suite).
+  static Result<ReplayResult> ParseBytes(std::string_view bytes);
+
+  const std::string& path() const { return path_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+  /// Highest seq appended or recovered; 0 when the journal is empty.
+  uint64_t last_seq() const { return last_seq_; }
+  /// Bytes of torn tail Open() found and truncated (0 on a clean open).
+  uint64_t recovered_torn_bytes() const { return recovered_torn_bytes_; }
+
+ private:
+  DeltaJournal(std::string path, int fd, uint64_t size_bytes,
+               uint64_t last_seq)
+      : path_(std::move(path)),
+        fd_(fd),
+        size_bytes_(size_bytes),
+        last_seq_(last_seq) {}
+
+  Status TruncateToBytes(uint64_t bytes);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t size_bytes_ = 0;
+  uint64_t last_seq_ = 0;
+  uint64_t recovered_torn_bytes_ = 0;
+  // Byte size before the last successful Append, for RollbackLastAppend.
+  uint64_t pre_append_bytes_ = 0;
+  uint64_t pre_append_seq_ = 0;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_RATINGS_DELTA_JOURNAL_H_

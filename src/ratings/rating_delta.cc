@@ -1,9 +1,11 @@
 #include "ratings/rating_delta.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
+#include "common/blob_io.h"
 #include "common/logging.h"
 
 namespace fairrec {
@@ -81,6 +83,55 @@ std::vector<UserId> RatingDelta::TouchedUsers() const {
     if (users.empty() || users.back() != t.user) users.push_back(t.user);
   }
   return users;
+}
+
+void RatingDelta::SerializeTo(std::string& out) const {
+  Finalize();
+  BlobWriter writer(&out);
+  writer.U32(allow_any_scale_ ? 1 : 0);
+  writer.U64(static_cast<uint64_t>(upserts_.size()));
+  for (const RatingTriple& t : upserts_) {
+    writer.I32(t.user);
+    writer.I32(t.item);
+    writer.F64(t.value);
+  }
+}
+
+Result<RatingDelta> RatingDelta::Deserialize(std::string_view bytes) {
+  BlobReader reader(bytes);
+  uint32_t scale_flag = 0;
+  uint64_t count = 0;
+  if (!reader.U32(&scale_flag) || !reader.U64(&count)) {
+    return Status::DataLoss("truncated delta header");
+  }
+  if (scale_flag > 1) {
+    return Status::DataLoss("invalid delta scale flag");
+  }
+  constexpr size_t kTripleBytes = sizeof(int32_t) * 2 + sizeof(double);
+  if (count * kTripleBytes != reader.remaining()) {
+    return Status::DataLoss("delta upsert count disagrees with bytes present");
+  }
+  RatingDelta delta;
+  delta.allow_any_scale(scale_flag == 1);
+  for (uint64_t k = 0; k < count; ++k) {
+    int32_t user = 0;
+    int32_t item = 0;
+    double value = 0.0;
+    if (!reader.I32(&user) || !reader.I32(&item) || !reader.F64(&value)) {
+      return Status::DataLoss("truncated delta upsert");
+    }
+    if (!std::isfinite(value)) {
+      return Status::DataLoss("non-finite delta rating");
+    }
+    // Re-validate through Add so a corrupted payload that still frames
+    // correctly (negative id, off-scale or non-finite value) is rejected.
+    const Status added = delta.Add(user, item, value);
+    if (!added.ok()) {
+      return Status::DataLoss("invalid delta upsert: " +
+                              std::string(added.message()));
+    }
+  }
+  return delta;
 }
 
 Result<RatingMatrix> RatingDelta::ApplyTo(const RatingMatrix& base) const {

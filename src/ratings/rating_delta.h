@@ -43,6 +43,7 @@ class RatingDelta {
   /// Accepts ratings outside the 1..5 scale (default false). Must match the
   /// base matrix's scale policy.
   RatingDelta& allow_any_scale(bool allow);
+  bool allows_any_scale() const { return allow_any_scale_; }
 
   bool empty() const { return upserts_.empty(); }
   int64_t size() const { return static_cast<int64_t>(upserts_.size()); }
@@ -64,6 +65,16 @@ class RatingDelta {
   /// applying a small delta to a large corpus costs one linear pass, not a
   /// from-scratch RatingMatrixBuilder::Build.
   Result<RatingMatrix> ApplyTo(const RatingMatrix& base) const;
+
+  /// Appends the batch in the journal wire form (scale flag, count, then
+  /// the finalized triples) — the payload of one DeltaJournal record.
+  void SerializeTo(std::string& out) const;
+
+  /// Rebuilds a batch from SerializeTo bytes, re-validating every triple
+  /// (ids, scale) on the way in, so a corrupted-but-well-framed journal
+  /// payload is rejected with a clean error instead of poisoning the
+  /// replay. DataLoss on truncation or an invalid triple.
+  static Result<RatingDelta> Deserialize(std::string_view bytes);
 
  private:
   void Finalize() const;

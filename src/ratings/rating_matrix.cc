@@ -1,8 +1,10 @@
 #include "ratings/rating_matrix.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
+#include "common/blob_io.h"
 #include "common/logging.h"
 
 namespace fairrec {
@@ -92,6 +94,115 @@ std::vector<RatingTriple> RatingMatrix::ToTriples() const {
     }
   }
   return out;
+}
+
+void RatingMatrix::SerializeTo(std::string& out) const {
+  BlobWriter writer(&out);
+  writer.I32(num_users_);
+  writer.I32(num_items_);
+  writer.U64(static_cast<uint64_t>(by_user_entries_.size()));
+  for (UserId u = 0; u < num_users_; ++u) {
+    const auto row = ItemsRatedBy(u);
+    writer.U64(static_cast<uint64_t>(row.size()));
+    for (const ItemRating& entry : row) {
+      writer.I32(entry.item);
+      writer.F64(entry.value);
+    }
+  }
+  for (const double mean : user_means_) writer.F64(mean);
+}
+
+Result<RatingMatrix> RatingMatrix::Deserialize(std::string_view bytes) {
+  BlobReader reader(bytes);
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  uint64_t num_ratings = 0;
+  if (!reader.I32(&num_users) || !reader.I32(&num_items) ||
+      !reader.U64(&num_ratings)) {
+    return Status::DataLoss("truncated rating matrix header");
+  }
+  if (num_users < 0 || num_items < 0) {
+    return Status::DataLoss("impossible rating matrix grid");
+  }
+  constexpr size_t kCellBytes = sizeof(int32_t) + sizeof(double);
+  if (num_ratings > reader.remaining() / kCellBytes) {
+    return Status::DataLoss("rating count exceeds the bytes present");
+  }
+
+  RatingMatrix m;
+  m.num_users_ = num_users;
+  m.num_items_ = num_items;
+  m.by_user_offsets_.assign(static_cast<size_t>(num_users) + 1, 0);
+  m.by_user_entries_.reserve(static_cast<size_t>(num_ratings));
+  for (UserId u = 0; u < num_users; ++u) {
+    uint64_t row_len = 0;
+    if (!reader.U64(&row_len)) {
+      return Status::DataLoss("truncated rating matrix row");
+    }
+    ItemId prev_item = kInvalidItemId;
+    for (uint64_t k = 0; k < row_len; ++k) {
+      int32_t item = 0;
+      double value = 0.0;
+      if (!reader.I32(&item) || !reader.F64(&value)) {
+        return Status::DataLoss("truncated rating matrix row");
+      }
+      if (item < 0 || item >= num_items || item <= prev_item) {
+        return Status::DataLoss("rating matrix row not sorted in range");
+      }
+      if (!std::isfinite(value)) {
+        return Status::DataLoss("non-finite rating value");
+      }
+      prev_item = item;
+      m.by_user_entries_.push_back({item, value});
+    }
+    m.by_user_offsets_[static_cast<size_t>(u) + 1] =
+        static_cast<int64_t>(m.by_user_entries_.size());
+  }
+  if (m.by_user_entries_.size() != num_ratings) {
+    return Status::DataLoss("rating matrix row lengths disagree with total");
+  }
+  m.user_means_.assign(static_cast<size_t>(num_users), 0.0);
+  for (double& mean : m.user_means_) {
+    if (!reader.F64(&mean)) {
+      return Status::DataLoss("truncated rating matrix means");
+    }
+    if (!std::isfinite(mean)) {
+      return Status::DataLoss("non-finite user mean");
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::DataLoss("trailing bytes in rating matrix");
+  }
+
+  // The by-item CSR is not stored: every construction path (builder sort,
+  // ApplyTo merge) leaves columns ascending in user id, so the stable
+  // counting-sort transpose reproduces it exactly.
+  m.by_item_offsets_.assign(static_cast<size_t>(num_items) + 1, 0);
+  for (const ItemRating& entry : m.by_user_entries_) {
+    m.by_item_offsets_[static_cast<size_t>(entry.item) + 1]++;
+  }
+  for (size_t i = 0; i < static_cast<size_t>(num_items); ++i) {
+    m.by_item_offsets_[i + 1] += m.by_item_offsets_[i];
+  }
+  m.by_item_entries_.resize(m.by_user_entries_.size());
+  {
+    std::vector<int64_t> cursor(m.by_item_offsets_.begin(),
+                                m.by_item_offsets_.end() - 1);
+    for (UserId u = 0; u < num_users; ++u) {
+      for (const ItemRating& entry : m.ItemsRatedBy(u)) {
+        m.by_item_entries_[static_cast<size_t>(
+            cursor[static_cast<size_t>(entry.item)]++)] = {u, entry.value};
+      }
+    }
+  }
+  return m;
+}
+
+bool operator==(const RatingMatrix& a, const RatingMatrix& b) {
+  return a.num_users_ == b.num_users_ && a.num_items_ == b.num_items_ &&
+         a.by_user_offsets_ == b.by_user_offsets_ &&
+         a.by_user_entries_ == b.by_user_entries_ &&
+         a.user_means_ == b.user_means_;
 }
 
 RatingMatrixBuilder& RatingMatrixBuilder::Reserve(int32_t num_users,

@@ -3,6 +3,8 @@
 
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -69,6 +71,24 @@ class RatingMatrix {
 
   bool IsValidUser(UserId u) const { return u >= 0 && u < num_users_; }
   bool IsValidItem(ItemId i) const { return i >= 0 && i < num_items_; }
+
+  /// Appends the matrix in snapshot wire form: grid size, the by-user CSR,
+  /// and the stored per-user means. The by-item CSR is *not* written — it is
+  /// a deterministic transpose (columns ascend in user id in every
+  /// construction path) and is rebuilt on load. The means are written
+  /// verbatim, never recomputed, because their exact bits are
+  /// summation-order-dependent and the recovery parity guarantee is bitwise.
+  void SerializeTo(std::string& out) const;
+
+  /// Rebuilds a matrix from SerializeTo bytes, validating the CSR shape
+  /// (monotone offsets, ids in range, rows sorted strictly ascending) and
+  /// every value finite. DataLoss on anything a builder could not have
+  /// produced.
+  static Result<RatingMatrix> Deserialize(std::string_view bytes);
+
+  /// Bitwise logical equality: same grid, same cells, identical rating and
+  /// mean bits.
+  friend bool operator==(const RatingMatrix& a, const RatingMatrix& b);
 
  private:
   friend class RatingMatrixBuilder;

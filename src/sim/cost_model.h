@@ -1,0 +1,78 @@
+#ifndef FAIRREC_SIM_COST_MODEL_H_
+#define FAIRREC_SIM_COST_MODEL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace fairrec {
+
+/// Self-tuning estimate of IncrementalPeerGraphOptions::patch_pair_cost —
+/// the planner's exchange rate between one (changed cell, column rater)
+/// touch on the patch path and one co-rating swept by a full rebuild.
+///
+/// The hand-fit constant (150, calibrated on one bench shape) is kept only
+/// as the cold-start prior. Every ApplyDelta that patches reports its
+/// touched-mass and wall time; every full rebuild (the planner's fallback,
+/// or the seeding Build) reports its rebuild-unit count and wall time. Each
+/// side maintains a decaying average of seconds-per-unit, and the ratio of
+/// the two *is* the machine's actual exchange rate — so the crossover tracks
+/// the hardware and corpus shape instead of the shape the constant was fit
+/// on. Until both sides have been observed the prior is returned unchanged.
+class PatchCostModel {
+ public:
+  explicit PatchCostModel(double prior_pair_cost = 150.0)
+      : prior_(prior_pair_cost) {}
+
+  /// Records one patch-path ApplyDelta: `touched_mass` planner units
+  /// (touched-item column mass) completed in `seconds`. Degenerate samples
+  /// (empty mass, unmeasurably fast) are dropped — they carry timer noise,
+  /// not signal.
+  void ObservePatch(double touched_mass, double seconds) {
+    if (touched_mass <= 0.0 || seconds <= 0.0) return;
+    Fold(patch_sec_per_unit_, patch_samples_, seconds / touched_mass);
+  }
+
+  /// Records one full rebuild: `rebuild_units` planner units (co-rating
+  /// mass plus the finish-pass term) swept in `seconds`.
+  void ObserveRebuild(double rebuild_units, double seconds) {
+    if (rebuild_units <= 0.0 || seconds <= 0.0) return;
+    Fold(rebuild_sec_per_unit_, rebuild_samples_, seconds / rebuild_units);
+  }
+
+  /// The calibrated patch_pair_cost: observed patch seconds-per-mass over
+  /// observed rebuild seconds-per-unit, clamped to a sane band; the prior
+  /// until both sides have at least one sample.
+  double pair_cost() const {
+    if (!calibrated()) return prior_;
+    return std::clamp(patch_sec_per_unit_ / rebuild_sec_per_unit_, 1e-2,
+                      1e7);
+  }
+
+  bool calibrated() const {
+    return patch_samples_ > 0 && rebuild_samples_ > 0;
+  }
+
+  double prior() const { return prior_; }
+  int64_t patch_samples() const { return patch_samples_; }
+  int64_t rebuild_samples() const { return rebuild_samples_; }
+
+ private:
+  /// Exponential decay: recent batches dominate (the corpus grows and cache
+  /// behaviour shifts), old ones fade with weight (1 - kAlpha)^age.
+  static constexpr double kAlpha = 0.3;
+
+  static void Fold(double& average, int64_t& samples, double value) {
+    average = samples == 0 ? value : kAlpha * value + (1.0 - kAlpha) * average;
+    ++samples;
+  }
+
+  double prior_ = 150.0;
+  double patch_sec_per_unit_ = 0.0;
+  double rebuild_sec_per_unit_ = 0.0;
+  int64_t patch_samples_ = 0;
+  int64_t rebuild_samples_ = 0;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_COST_MODEL_H_

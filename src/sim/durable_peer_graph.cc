@@ -1,0 +1,161 @@
+#include "sim/durable_peer_graph.h"
+
+#include <utility>
+
+#include "common/blob_io.h"
+#include "common/failpoint.h"
+
+namespace fairrec {
+
+namespace {
+
+/// Container type tag of the checkpoint blob ("PC" for peer checkpoint).
+constexpr uint32_t kCheckpointTypeTag = 0x43500001u;
+
+}  // namespace
+
+std::string DurablePeerGraph::CheckpointPathOf(const std::string& dir) {
+  return dir + "/checkpoint.frb";
+}
+
+std::string DurablePeerGraph::JournalPathOf(const std::string& dir) {
+  return dir + "/journal.frj";
+}
+
+Result<DurablePeerGraph> DurablePeerGraph::Open(
+    std::string dir, RatingMatrix seed, IncrementalPeerGraphOptions options) {
+  FAIRREC_RETURN_NOT_OK(EnsureDirectory(dir));
+  const std::string checkpoint_path = CheckpointPathOf(dir);
+
+  // Recovery branch: a checkpoint on disk is the state of record.
+  if (PathExists(checkpoint_path)) {
+    FAIRREC_ASSIGN_OR_RETURN(
+        const std::string payload,
+        ReadBlobFile(checkpoint_path, kCheckpointTypeTag));
+    BlobReader reader(payload);
+    uint64_t checkpoint_seq = 0;
+    if (!reader.U64(&checkpoint_seq)) {
+      return Status::DataLoss("truncated checkpoint payload");
+    }
+    std::string_view matrix_bytes;
+    std::string_view store_bytes;
+    std::string_view index_bytes;
+    FAIRREC_RETURN_NOT_OK(reader.FramedSection(&matrix_bytes));
+    FAIRREC_RETURN_NOT_OK(reader.FramedSection(&store_bytes));
+    FAIRREC_RETURN_NOT_OK(reader.FramedSection(&index_bytes));
+    if (!reader.exhausted()) {
+      return Status::DataLoss("trailing bytes in checkpoint payload");
+    }
+    FAIRREC_ASSIGN_OR_RETURN(RatingMatrix matrix,
+                             RatingMatrix::Deserialize(matrix_bytes));
+    FAIRREC_ASSIGN_OR_RETURN(MomentStore store,
+                             MomentStore::Deserialize(store_bytes));
+    FAIRREC_ASSIGN_OR_RETURN(PeerIndex index,
+                             PeerIndex::Deserialize(index_bytes));
+    FAIRREC_ASSIGN_OR_RETURN(
+        IncrementalPeerGraph graph,
+        IncrementalPeerGraph::FromArtifacts(
+            std::move(matrix), std::move(store), std::move(index), options));
+
+    // Journal tail: Open truncates any torn tail; complete records replay
+    // in sequence order. Records at or below the checkpoint seq were
+    // already folded into the checkpoint — the signature of a crash between
+    // checkpoint write and journal truncation — and are skipped.
+    FAIRREC_ASSIGN_OR_RETURN(DeltaJournal journal,
+                             DeltaJournal::Open(JournalPathOf(dir)));
+    FAIRREC_ASSIGN_OR_RETURN(DeltaJournal::ReplayResult replay,
+                             journal.Replay());
+
+    DurablePeerGraph durable(std::move(dir), std::move(graph),
+                             std::move(journal));
+    durable.recovery_info_.recovered = true;
+    durable.recovery_info_.checkpoint_seq = checkpoint_seq;
+    durable.applied_seq_ = checkpoint_seq;
+    for (DeltaJournal::Record& record : replay.records) {
+      if (record.seq <= checkpoint_seq) {
+        ++durable.recovery_info_.skipped_batches;
+        continue;
+      }
+      const auto applied = durable.graph_.ApplyDelta(record.delta);
+      if (!applied.ok()) return applied.status();
+      durable.applied_seq_ = record.seq;
+      ++durable.recovery_info_.replayed_batches;
+    }
+    durable.recovery_info_.torn_tail_bytes =
+        durable.journal_.recovered_torn_bytes();
+    return durable;
+  }
+
+  // Seeding branch: full build, then the initial checkpoint, so every
+  // later crash has a state of record to recover to.
+  FAIRREC_ASSIGN_OR_RETURN(
+      IncrementalPeerGraph graph,
+      IncrementalPeerGraph::Build(std::move(seed), options));
+  FAIRREC_ASSIGN_OR_RETURN(DeltaJournal journal,
+                           DeltaJournal::Open(JournalPathOf(dir)));
+  DurablePeerGraph durable(std::move(dir), std::move(graph),
+                           std::move(journal));
+  FAIRREC_RETURN_NOT_OK(durable.WriteCheckpoint());
+  // A pre-existing journal without a checkpoint can only be the residue of
+  // a crash before the *initial* checkpoint landed; those batches were
+  // never acknowledged against any recoverable state, and the fresh seed
+  // supersedes them.
+  FAIRREC_RETURN_NOT_OK(durable.journal_.Clear());
+  return durable;
+}
+
+Result<DeltaApplyStats> DurablePeerGraph::ApplyDelta(
+    const RatingDelta& delta) {
+  const uint64_t seq = applied_seq_ + 1;
+  // WAL first: the batch must be durable before any in-memory state moves.
+  FAIRREC_RETURN_NOT_OK(journal_.Append(seq, delta));
+  if (failpoint::Triggered(kFailpointDurableApplyAfterJournal)) {
+    // Journaled but never applied: recovery replays it, and the caller —
+    // who was never told the apply succeeded — observes exactly-once.
+    return failpoint::InjectedCrash(kFailpointDurableApplyAfterJournal);
+  }
+  auto stats = graph_.ApplyDelta(delta);
+  if (!stats.ok()) {
+    // The apply rejected the batch (malformed delta, ...). Take it back out
+    // of the journal or recovery would replay a batch the state never
+    // absorbed.
+    FAIRREC_RETURN_NOT_OK(journal_.RollbackLastAppend());
+    return stats.status();
+  }
+  applied_seq_ = seq;
+  return stats;
+}
+
+Status DurablePeerGraph::Checkpoint() {
+  if (failpoint::Triggered(kFailpointDurableCheckpointBegin)) {
+    return failpoint::InjectedCrash(kFailpointDurableCheckpointBegin);
+  }
+  FAIRREC_RETURN_NOT_OK(WriteCheckpoint());
+  if (failpoint::Triggered(kFailpointDurableCheckpointBeforeTruncate)) {
+    // The new checkpoint is durable but the journal still holds its
+    // records; recovery skips them by seq.
+    return failpoint::InjectedCrash(kFailpointDurableCheckpointBeforeTruncate);
+  }
+  return journal_.Clear();
+}
+
+Status DurablePeerGraph::WriteCheckpoint() {
+  std::string payload;
+  {
+    BlobWriter writer(&payload);
+    writer.U64(applied_seq_);
+    std::string section;
+    graph_.matrix().SerializeTo(section);
+    writer.Framed(section);
+    section.clear();
+    graph_.store().SerializeTo(section);
+    writer.Framed(section);
+    section.clear();
+    graph_.index()->SerializeTo(section);
+    writer.Framed(section);
+  }
+  return WriteBlobFileAtomic(CheckpointPathOf(dir_), kCheckpointTypeTag,
+                             payload);
+}
+
+}  // namespace fairrec

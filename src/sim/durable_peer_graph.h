@@ -1,0 +1,136 @@
+#ifndef FAIRREC_SIM_DURABLE_PEER_GRAPH_H_
+#define FAIRREC_SIM_DURABLE_PEER_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "ratings/delta_journal.h"
+#include "ratings/rating_delta.h"
+#include "ratings/rating_matrix.h"
+#include "sim/incremental_peer_graph.h"
+
+namespace fairrec {
+
+/// Failpoint sites of the durable facade (see common/failpoint.h).
+/// "apply.after_journal" dies between the WAL append and the in-memory
+/// apply — the batch is durable but unapplied, and recovery must replay it.
+/// "checkpoint.begin" dies before the checkpoint write starts (the old
+/// checkpoint plus the full journal remain the truth). "checkpoint.
+/// before_truncate" dies after the new checkpoint is durable but before the
+/// journal is cleared — recovery must skip journal records the checkpoint
+/// already contains.
+inline constexpr std::string_view kFailpointDurableApplyAfterJournal =
+    "durable.apply.after_journal";
+inline constexpr std::string_view kFailpointDurableCheckpointBegin =
+    "durable.checkpoint.begin";
+inline constexpr std::string_view kFailpointDurableCheckpointBeforeTruncate =
+    "durable.checkpoint.before_truncate";
+
+/// Crash-safe wrapper around IncrementalPeerGraph: the write-ahead
+/// DeltaJournal plus a checksummed full-state checkpoint, both under `dir`.
+///
+/// Protocol (docs/durability.md walks the invariants):
+///
+///   * ApplyDelta appends the batch to the journal — checksummed, fsync'd —
+///     *before* the in-memory apply runs. A crash at any instant loses at
+///     most work the caller was never told succeeded.
+///   * Checkpoint() snapshots matrix + moment store + peer index into one
+///     atomic blob container (write temp, fsync, rename, fsync dir), then
+///     clears the journal. A crash between the two leaves both the new
+///     checkpoint and the stale journal; recovery skips records whose seq
+///     the checkpoint already covers.
+///   * Open() recovers: load the checkpoint (or seed from the provided
+///     matrix when none exists — writing the initial checkpoint before
+///     returning), then replay the journal tail in sequence order. Because
+///     the incremental engine is deterministic and its patch path is
+///     byte-identical to a rebuild on integer rating scales, the recovered
+///     state equals the never-crashed state bit for bit.
+///
+/// Torn journal tails (a crash mid-append) are truncated silently — that is
+/// the normal crash signature. Anything else that fails a checksum is
+/// DataLoss and never silently skipped.
+///
+/// Not thread-safe: ApplyDelta / Checkpoint are exclusive, like the
+/// underlying graph's ApplyDelta. Served snapshots (graph().index()) remain
+/// freely concurrent.
+class DurablePeerGraph {
+ public:
+  /// What Open() found on disk, for observability and the recovery tests.
+  struct RecoveryInfo {
+    /// False when no checkpoint existed and the graph was seeded fresh.
+    bool recovered = false;
+    /// The sequence number stored in the loaded checkpoint (0 when seeded).
+    uint64_t checkpoint_seq = 0;
+    /// Journal records replayed on top of the checkpoint.
+    int64_t replayed_batches = 0;
+    /// Journal records the checkpoint already covered (a crash landed
+    /// between checkpoint write and journal truncation).
+    int64_t skipped_batches = 0;
+    /// Bytes of torn journal tail truncated away (crash mid-append).
+    uint64_t torn_tail_bytes = 0;
+  };
+
+  /// Opens the durable state under directory `dir` (created if missing).
+  /// With a checkpoint present, `seed` is ignored and the state is
+  /// recovered (checkpoint + journal tail). Without one, the graph is
+  /// seeded by a full Build on `seed` and the initial checkpoint is written
+  /// before Open returns, so a crash at any later instant recovers.
+  /// DataLoss when the checkpoint or a complete journal record fails its
+  /// integrity checks.
+  static Result<DurablePeerGraph> Open(std::string dir, RatingMatrix seed,
+                                       IncrementalPeerGraphOptions options);
+
+  DurablePeerGraph(DurablePeerGraph&&) noexcept = default;
+  DurablePeerGraph& operator=(DurablePeerGraph&&) noexcept = default;
+
+  /// Journals the batch (fsync'd), then folds it into the in-memory graph.
+  /// On an apply failure the journal append is rolled back, so the journal
+  /// never replays a batch the state never absorbed. On an injected crash
+  /// the in-memory object must be abandoned and Open() run again — exactly
+  /// like a process kill.
+  Result<DeltaApplyStats> ApplyDelta(const RatingDelta& delta);
+
+  /// Snapshots the full state atomically and clears the journal. Recovery
+  /// cost drops to the checkpoint load; the journal restarts empty.
+  Status Checkpoint();
+
+  const IncrementalPeerGraph& graph() const { return graph_; }
+  /// Mutable access (cost-model injection in tests/benches). Mutating the
+  /// graph's *state* outside ApplyDelta would desynchronize the journal.
+  IncrementalPeerGraph& graph() { return graph_; }
+
+  /// Sequence number of the last batch applied in memory (journaled batches
+  /// that crashed before applying do not count until recovery replays them).
+  uint64_t applied_seq() const { return applied_seq_; }
+
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+  const std::string& dir() const { return dir_; }
+  uint64_t journal_bytes() const { return journal_.size_bytes(); }
+
+  static std::string CheckpointPathOf(const std::string& dir);
+  static std::string JournalPathOf(const std::string& dir);
+
+ private:
+  DurablePeerGraph(std::string dir, IncrementalPeerGraph graph,
+                   DeltaJournal journal)
+      : dir_(std::move(dir)),
+        graph_(std::move(graph)),
+        journal_(std::move(journal)) {}
+
+  /// Serializes seq + matrix + store + index into the checkpoint container
+  /// and atomically replaces the checkpoint file.
+  Status WriteCheckpoint();
+
+  std::string dir_;
+  IncrementalPeerGraph graph_;
+  DeltaJournal journal_;
+  uint64_t applied_seq_ = 0;
+  RecoveryInfo recovery_info_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_SIM_DURABLE_PEER_GRAPH_H_

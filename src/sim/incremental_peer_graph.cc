@@ -1,6 +1,7 @@
 #include "sim/incremental_peer_graph.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -42,10 +43,13 @@ struct RowChange {
   double sim = 0.0;
 };
 
-}  // namespace
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
-Result<IncrementalPeerGraph> IncrementalPeerGraph::Build(
-    RatingMatrix matrix, IncrementalPeerGraphOptions options) {
+Status ValidateOptions(const IncrementalPeerGraphOptions& options) {
   if (!(options.peers.delta > 0.0)) {
     return Status::InvalidArgument(
         "incremental maintenance requires a positive peer delta: with "
@@ -58,16 +62,53 @@ Result<IncrementalPeerGraph> IncrementalPeerGraph::Build(
   if (options.store.tile_users <= 0) {
     return Status::InvalidArgument("store.tile_users must be positive");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<IncrementalPeerGraph> IncrementalPeerGraph::Build(
+    RatingMatrix matrix, IncrementalPeerGraphOptions options) {
+  FAIRREC_RETURN_NOT_OK(ValidateOptions(options));
 
   IncrementalPeerGraph graph;
   graph.options_ = options;
+  graph.cost_model_ = PatchCostModel(options.patch_pair_cost);
   graph.matrix_ = std::make_unique<RatingMatrix>(std::move(matrix));
   const PairwiseSimilarityEngine engine(graph.matrix_.get(),
                                         options.similarity, options.engine);
+  const auto start = std::chrono::steady_clock::now();
   FAIRREC_ASSIGN_OR_RETURN(graph.store_,
                            engine.BuildMomentStore(options.store));
   FAIRREC_ASSIGN_OR_RETURN(PeerIndex index,
                            engine.BuildPeerIndex(options.peers));
+  if (options.calibrate_planner) {
+    // The seeding sweep is a free rebuild sample: the cost model's rebuild
+    // side is primed before the first delta ever arrives.
+    graph.cost_model_.ObserveRebuild(graph.RebuildCostUnits(),
+                                     SecondsSince(start));
+  }
+  graph.index_ = std::make_shared<const PeerIndex>(std::move(index));
+  return graph;
+}
+
+Result<IncrementalPeerGraph> IncrementalPeerGraph::FromArtifacts(
+    RatingMatrix matrix, MomentStore store, PeerIndex index,
+    IncrementalPeerGraphOptions options) {
+  FAIRREC_RETURN_NOT_OK(ValidateOptions(options));
+  if (store.num_users() != matrix.num_users() ||
+      index.num_users() != matrix.num_users()) {
+    return Status::InvalidArgument(
+        "artifact population mismatch: matrix " +
+        std::to_string(matrix.num_users()) + " users, store " +
+        std::to_string(store.num_users()) + ", index " +
+        std::to_string(index.num_users()));
+  }
+  IncrementalPeerGraph graph;
+  graph.options_ = options;
+  graph.cost_model_ = PatchCostModel(options.patch_pair_cost);
+  graph.matrix_ = std::make_unique<RatingMatrix>(std::move(matrix));
+  graph.store_ = std::move(store);
   graph.index_ = std::make_shared<const PeerIndex>(std::move(index));
   return graph;
 }
@@ -113,11 +154,30 @@ Status IncrementalPeerGraph::RebuildFromScratch(RatingMatrix new_matrix) {
   *matrix_ = std::move(new_matrix);
   const PairwiseSimilarityEngine engine(matrix_.get(), options_.similarity,
                                         options_.engine);
+  const auto start = std::chrono::steady_clock::now();
   FAIRREC_ASSIGN_OR_RETURN(store_, engine.BuildMomentStore(options_.store));
   FAIRREC_ASSIGN_OR_RETURN(PeerIndex index,
                            engine.BuildPeerIndex(options_.peers));
+  if (options_.calibrate_planner) {
+    cost_model_.ObserveRebuild(RebuildCostUnits(), SecondsSince(start));
+  }
   index_ = std::make_shared<const PeerIndex>(std::move(index));
   return Status::OK();
+}
+
+double IncrementalPeerGraph::RebuildCostUnits() const {
+  double co_rating_mass = 0.0;
+  for (ItemId i = 0; i < matrix_->num_items(); ++i) {
+    const double column = static_cast<double>(matrix_->UsersWhoRated(i).size());
+    co_rating_mass += column * (column - 1.0) / 2.0;
+  }
+  // The finish pass touches every pair, but the batched kernel plus the
+  // overlap fast path make it ~an order of magnitude cheaper per pair than
+  // a patch-side touch.
+  return co_rating_mass +
+         static_cast<double>(PairwiseSimilarityEngine::PackedTriangleSize(
+             matrix_->num_users())) /
+             8.0;
 }
 
 Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
@@ -144,8 +204,8 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
   // the crossover, patching does strictly more expensive work than
   // re-sweeping — fall back to Build. With planning disabled the O(items)
   // estimate scan is skipped entirely and the stats estimates stay 0.
+  double touched_mass = 0.0;
   if (options_.rebuild_fallback_ratio > 0.0) {
-    double touched_mass = 0.0;
     for (const CellChange& cell : cells) {
       // Brand-new items have no pre-delta column (their first raters pair
       // only against the batch itself, a negligible mass).
@@ -153,21 +213,15 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
       touched_mass +=
           static_cast<double>(matrix_->UsersWhoRated(cell.item).size());
     }
-    stats.estimated_patch_cost = touched_mass * options_.patch_pair_cost;
-    double co_rating_mass = 0.0;
-    for (ItemId i = 0; i < matrix_->num_items(); ++i) {
-      const double column =
-          static_cast<double>(matrix_->UsersWhoRated(i).size());
-      co_rating_mass += column * (column - 1.0) / 2.0;
-    }
-    // The finish pass touches every pair, but the batched kernel plus the
-    // overlap fast path make it ~an order of magnitude cheaper per pair
-    // than a patch-side touch.
-    stats.estimated_rebuild_cost =
-        co_rating_mass +
-        static_cast<double>(PairwiseSimilarityEngine::PackedTriangleSize(
-            matrix_->num_users())) /
-            8.0;
+    // The exchange rate: the cost model's calibrated ratio once it has
+    // timed at least one patch and one rebuild, the configured prior until
+    // then (and always, when calibration is off).
+    const double pair_cost = options_.calibrate_planner
+                                 ? cost_model_.pair_cost()
+                                 : options_.patch_pair_cost;
+    stats.patch_pair_cost_used = pair_cost;
+    stats.estimated_patch_cost = touched_mass * pair_cost;
+    stats.estimated_rebuild_cost = RebuildCostUnits();
     if (stats.estimated_rebuild_cost >= options_.planner_min_rebuild_cost &&
         stats.estimated_patch_cost >
             options_.rebuild_fallback_ratio * stats.estimated_rebuild_cost) {
@@ -178,6 +232,7 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
       return stats;
     }
   }
+  const auto patch_start = std::chrono::steady_clock::now();
 
   // ---- 1. Fold the batch into the corpus. ----
   FAIRREC_ASSIGN_OR_RETURN(RatingMatrix new_matrix, delta.ApplyTo(*matrix_));
@@ -447,6 +502,12 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
     }
   }
   index_ = std::make_shared<const PeerIndex>(std::move(patch).Build());
+
+  // Close the calibration loop: this patch's wall time, normalized by the
+  // planner units it was predicted with, feeds the next decision.
+  if (options_.calibrate_planner && options_.rebuild_fallback_ratio > 0.0) {
+    cost_model_.ObservePatch(touched_mass, SecondsSince(patch_start));
+  }
   return stats;
 }
 

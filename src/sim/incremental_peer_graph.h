@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "ratings/rating_delta.h"
 #include "ratings/rating_matrix.h"
+#include "sim/cost_model.h"
 #include "sim/moment_store.h"
 #include "sim/pairwise_engine.h"
 #include "sim/peer_index.h"
@@ -38,10 +39,17 @@ struct IncrementalPeerGraphOptions {
   // decision and both estimates surface in DeltaApplyStats.
 
   /// Relative cost of touching one (changed cell, column rater) pair on the
-  /// patch path versus sweeping one co-rating in a full rebuild. Calibrated
-  /// on the 10k-user/2k-item/1% bench shape, where the measured crossover
-  /// sits around half the item universe touched.
+  /// patch path versus sweeping one co-rating in a full rebuild. Hand-fit on
+  /// the 10k-user/2k-item/1% bench shape (measured crossover around half
+  /// the item universe touched) — but only the *cold-start prior*: the
+  /// subsystem re-calibrates it from the wall time of its own patches and
+  /// rebuilds (see sim/cost_model.h), so the planner's crossover tracks the
+  /// actual machine. Set calibrate_planner = false to pin this value.
   double patch_pair_cost = 150.0;
+  /// Feed observed patch/rebuild timings into the cost model and plan with
+  /// the calibrated exchange rate. Off, the hand-fit patch_pair_cost is
+  /// used verbatim (deterministic planning for tests and benches).
+  bool calibrate_planner = true;
   /// Fall back to a full rebuild when
   /// estimated_patch_cost > rebuild_fallback_ratio * estimated_rebuild_cost.
   /// <= 0 disables planning (always patch).
@@ -80,6 +88,11 @@ struct DeltaApplyStats {
   /// disabled (rebuild_fallback_ratio <= 0 skips the estimate scan).
   double estimated_patch_cost = 0.0;
   double estimated_rebuild_cost = 0.0;
+  /// The patch_pair_cost the planner actually multiplied by this batch: the
+  /// cost model's calibrated exchange rate once both a patch and a rebuild
+  /// have been timed, the configured prior before that (0 when planning is
+  /// disabled).
+  double patch_pair_cost_used = 0.0;
   /// True when the planner chose a from-scratch Build over patching (the
   /// patch counters above are then all zero; the rebuilt artifacts are the
   /// parity reference itself).
@@ -144,6 +157,16 @@ class IncrementalPeerGraph {
   static Result<IncrementalPeerGraph> Build(
       RatingMatrix matrix, IncrementalPeerGraphOptions options);
 
+  /// Assembles the subsystem from already-built artifacts without any
+  /// sweep — the recovery path of sim/durable_peer_graph.h, which loads the
+  /// three from a checkpoint. The artifacts must be mutually consistent
+  /// (same population; the store and index derived from this matrix under
+  /// these options) — population mismatches are rejected, deeper
+  /// inconsistencies are the caller's contract.
+  static Result<IncrementalPeerGraph> FromArtifacts(
+      RatingMatrix matrix, MomentStore store, PeerIndex index,
+      IncrementalPeerGraphOptions options);
+
   IncrementalPeerGraph(IncrementalPeerGraph&&) = default;
   IncrementalPeerGraph& operator=(IncrementalPeerGraph&&) = default;
 
@@ -165,6 +188,12 @@ class IncrementalPeerGraph {
 
   const IncrementalPeerGraphOptions& options() const { return options_; }
 
+  /// The self-tuning planner calibration (see sim/cost_model.h). The
+  /// mutable overload lets tests and harnesses inject deterministic
+  /// observations instead of depending on wall-clock noise.
+  const PatchCostModel& cost_model() const { return cost_model_; }
+  PatchCostModel& cost_model() { return cost_model_; }
+
  private:
   IncrementalPeerGraph() = default;
 
@@ -177,7 +206,13 @@ class IncrementalPeerGraph {
   /// store and peer index with a from-scratch engine sweep.
   Status RebuildFromScratch(RatingMatrix new_matrix);
 
+  /// The planner's rebuild-cost estimate for the current corpus: co-rating
+  /// mass plus the finish-pass term (also the unit count rebuild timings
+  /// are normalized by).
+  double RebuildCostUnits() const;
+
   IncrementalPeerGraphOptions options_;
+  PatchCostModel cost_model_;
   // unique_ptr so the matrix's address is stable across moves of the graph
   // (PairwiseSimilarityEngine instances hold a pointer to it during a call,
   // and callers hold matrix() references).

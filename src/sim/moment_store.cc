@@ -1,9 +1,11 @@
 #include "sim/moment_store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
+#include "common/blob_io.h"
 #include "common/logging.h"
 
 namespace fairrec {
@@ -29,7 +31,7 @@ void AppendRaw(std::string& out, const void* data, size_t bytes) {
   out.append(static_cast<const char*>(data), bytes);
 }
 
-bool ReadRaw(const std::string& in, size_t& cursor, void* data, size_t bytes) {
+bool ReadRaw(std::string_view in, size_t& cursor, void* data, size_t bytes) {
   if (cursor + bytes > in.size()) return false;
   std::memcpy(data, in.data() + cursor, bytes);
   cursor += bytes;
@@ -367,11 +369,18 @@ size_t MomentStore::EvictTile(size_t t) {
   return freed;
 }
 
-Status MomentStore::RestoreTile(size_t t, const std::string& blob) {
+Status MomentStore::RestoreTile(size_t t, std::string_view blob) {
   if (t >= tiles_.size()) {
     return Status::InvalidArgument("tile index out of range");
   }
   Tile& tile = tiles_[t];
+  if (tile.resident) {
+    // Restoring over live rows would silently discard any fold applied
+    // since the blob was serialized.
+    return Status::FailedPrecondition(
+        "restore into a resident tile; evict it first");
+  }
+  const auto [first_user, last_user] = TileUserRange(t);
   size_t cursor = 0;
   uint32_t num_rows = 0;
   if (!ReadRaw(blob, cursor, &num_rows, sizeof(num_rows)) ||
@@ -387,11 +396,13 @@ Status MomentStore::RestoreTile(size_t t, const std::string& blob) {
         count > (blob.size() - cursor) / kEntryWireBytes) {
       return Status::InvalidArgument("truncated moment tile blob");
     }
+    const UserId row_user = first_user + static_cast<UserId>(row_index);
     std::vector<MomentEntry>& row = rows[row_index];
     // Same capacity policy as Builder's compaction, so evict + restore is
     // byte-accounting neutral and restored rows keep the insert headroom.
     row.reserve(static_cast<size_t>(count) + kRowSlackEntries);
     row.resize(static_cast<size_t>(count));
+    UserId prev_other = kInvalidUserId;
     for (MomentEntry& entry : row) {
       if (!ReadRaw(blob, cursor, &entry.other, sizeof(entry.other)) ||
           !ReadRaw(blob, cursor, &entry.moments.n, sizeof(entry.moments.n)) ||
@@ -402,16 +413,112 @@ Status MomentStore::RestoreTile(size_t t, const std::string& blob) {
           !ReadRaw(blob, cursor, &entry.moments.sum_ab, sizeof(double))) {
         return Status::InvalidArgument("truncated moment tile blob");
       }
+      // A blob that frames correctly can still carry flipped bits in its
+      // values; reject anything the store could never have produced.
+      if (entry.other < 0 || entry.other >= num_users_ ||
+          entry.other == row_user) {
+        return Status::InvalidArgument("moment tile entry id out of range");
+      }
+      if (prev_other != kInvalidUserId && entry.other <= prev_other) {
+        return Status::InvalidArgument("moment tile row not sorted");
+      }
+      prev_other = entry.other;
+      if (entry.moments.n <= 0) {
+        return Status::InvalidArgument(
+            "moment tile entry with non-positive overlap");
+      }
+      if (!std::isfinite(entry.moments.sum_a) ||
+          !std::isfinite(entry.moments.sum_b) ||
+          !std::isfinite(entry.moments.sum_aa) ||
+          !std::isfinite(entry.moments.sum_bb) ||
+          !std::isfinite(entry.moments.sum_ab)) {
+        return Status::InvalidArgument("non-finite moment in tile blob");
+      }
     }
   }
   if (cursor != blob.size()) {
     return Status::InvalidArgument("trailing bytes in moment tile blob");
   }
+  (void)last_user;
   tile.rows = std::move(rows);
   tile.resident = true;
   RecomputeTileBytes(t);
   NotePeak();
   return Status::OK();
+}
+
+void MomentStore::SerializeTo(std::string& out) const {
+  BlobWriter writer(&out);
+  writer.I32(options_.tile_users);
+  writer.I32(num_users_);
+  writer.U64(static_cast<uint64_t>(num_pairs_));
+  writer.U64(static_cast<uint64_t>(tiles_.size()));
+  for (size_t t = 0; t < tiles_.size(); ++t) {
+    FAIRREC_CHECK(tiles_[t].resident);
+    writer.Framed(SerializeTile(t));
+  }
+}
+
+Result<MomentStore> MomentStore::Deserialize(std::string_view bytes) {
+  BlobReader reader(bytes);
+  int32_t tile_users = 0;
+  int32_t num_users = 0;
+  uint64_t num_pairs = 0;
+  uint64_t num_tiles = 0;
+  if (!reader.I32(&tile_users) || !reader.I32(&num_users) ||
+      !reader.U64(&num_pairs) || !reader.U64(&num_tiles)) {
+    return Status::DataLoss("truncated moment store header");
+  }
+  if (tile_users <= 0 || num_users < 0) {
+    return Status::DataLoss("impossible moment store header");
+  }
+  MomentStore store;
+  store.options_.tile_users = tile_users;
+  store.EnsureNumUsers(num_users);
+  if (num_tiles != store.tiles_.size()) {
+    return Status::DataLoss("moment store tile count mismatch");
+  }
+  int64_t counted_pairs = 0;
+  for (size_t t = 0; t < store.tiles_.size(); ++t) {
+    std::string_view tile_blob;
+    FAIRREC_RETURN_NOT_OK(reader.FramedSection(&tile_blob));
+    store.EvictTile(t);  // EnsureNumUsers created the tile resident-empty
+    const Status restored = store.RestoreTile(t, tile_blob);
+    if (!restored.ok()) {
+      // Framing was intact but the values were not; surface it as the
+      // integrity failure it is.
+      return Status::DataLoss(std::string(restored.message()));
+    }
+    const auto [first_user, last_user] = store.TileUserRange(t);
+    for (UserId u = first_user; u < last_user; ++u) {
+      for (const MomentEntry& entry : store.RowOf(u)) {
+        if (u < entry.other) ++counted_pairs;
+      }
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::DataLoss("trailing bytes in moment store");
+  }
+  if (counted_pairs != static_cast<int64_t>(num_pairs)) {
+    return Status::DataLoss("moment store pair count mismatch");
+  }
+  store.num_pairs_ = counted_pairs;
+  return store;
+}
+
+bool operator==(const MomentStore& a, const MomentStore& b) {
+  if (a.num_users_ != b.num_users_ || a.num_pairs_ != b.num_pairs_ ||
+      a.options_.tile_users != b.options_.tile_users) {
+    return false;
+  }
+  for (UserId u = 0; u < a.num_users_; ++u) {
+    const auto row_a = a.RowOf(u);
+    const auto row_b = b.RowOf(u);
+    if (!std::equal(row_a.begin(), row_a.end(), row_b.begin(), row_b.end())) {
+      return false;
+    }
+  }
+  return true;
 }
 
 size_t MomentStore::ResidentBytes() const {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -141,9 +142,32 @@ class MomentStore {
   /// Releases tile `t`'s rows. Reads and folds touching the tile are invalid
   /// until RestoreTile. Returns the bytes freed.
   size_t EvictTile(size_t t);
-  /// Re-materializes tile `t` from a SerializeTile blob. Returns
-  /// InvalidArgument on a malformed or wrong-shape blob.
-  Status RestoreTile(size_t t, const std::string& blob);
+  /// Re-materializes tile `t` from a SerializeTile blob. The tile must be
+  /// evicted (restoring over live rows would silently drop updates —
+  /// FailedPrecondition). Beyond shape checks, every entry is validated:
+  /// `other` in range and strictly ascending within its row, never the row's
+  /// own user, overlap count positive, all six moments finite. Returns
+  /// InvalidArgument on a malformed blob; the tile stays evicted on error.
+  Status RestoreTile(size_t t, std::string_view blob);
+
+  // --- Full-artifact snapshot (checkpointing). ---
+
+  /// Serializes the whole store — options, population, and every tile as an
+  /// independently CRC-framed section — for the durable checkpoint
+  /// container (see sim/durable_peer_graph.h). Precondition: every tile
+  /// resident.
+  void SerializeTo(std::string& out) const;
+
+  /// Rebuilds a store from SerializeTo bytes. Each tile section's CRC is
+  /// verified and its entries re-validated through the hardened RestoreTile,
+  /// and the recomputed pair count must match the stored one. DataLoss on
+  /// any mismatch.
+  static Result<MomentStore> Deserialize(std::string_view bytes);
+
+  /// Logical equality: same population, same pairs, bitwise-identical
+  /// moments. Precondition: every tile of both stores resident. Byte
+  /// accounting (peak_bytes) is excluded — it is telemetry, not state.
+  friend bool operator==(const MomentStore& a, const MomentStore& b);
 
   /// Resident heap bytes across all tiles (entry storage only).
   size_t ResidentBytes() const;

@@ -1,8 +1,10 @@
 #include "sim/peer_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "common/blob_io.h"
 #include "common/logging.h"
 
 namespace fairrec {
@@ -183,6 +185,95 @@ std::span<const Peer> PeerIndex::PeersOf(UserId u) const {
 
 size_t PeerIndex::StorageBytes() const {
   return entries_.size() * sizeof(Peer) + offsets_.size() * sizeof(size_t);
+}
+
+void PeerIndex::SerializeTo(std::string& out) const {
+  BlobWriter writer(&out);
+  writer.F64(options_.delta);
+  writer.I32(options_.max_peers_per_user);
+  writer.I32(num_users_);
+  writer.U64(static_cast<uint64_t>(entries_.size()));
+  for (UserId u = 0; u < num_users_; ++u) {
+    const auto row = PeersOf(u);
+    writer.U64(static_cast<uint64_t>(row.size()));
+    for (const Peer& peer : row) {
+      writer.I32(peer.user);
+      writer.F64(peer.similarity);
+    }
+  }
+}
+
+Result<PeerIndex> PeerIndex::Deserialize(std::string_view bytes) {
+  BlobReader reader(bytes);
+  PeerIndexOptions options;
+  int32_t num_users = 0;
+  uint64_t num_entries = 0;
+  if (!reader.F64(&options.delta) || !reader.I32(&options.max_peers_per_user) ||
+      !reader.I32(&num_users) || !reader.U64(&num_entries)) {
+    return Status::DataLoss("truncated peer index header");
+  }
+  if (!std::isfinite(options.delta) || options.max_peers_per_user < 0 ||
+      num_users < 0) {
+    return Status::DataLoss("impossible peer index header");
+  }
+  constexpr size_t kPeerWireBytes = sizeof(int32_t) + sizeof(double);
+  if (num_entries > reader.remaining() / kPeerWireBytes) {
+    return Status::DataLoss("peer count exceeds the bytes present");
+  }
+
+  PeerIndex index;
+  index.options_ = options;
+  index.num_users_ = num_users;
+  if (num_users > 0) {
+    index.offsets_.assign(static_cast<size_t>(num_users) + 1, 0);
+    index.entries_.reserve(static_cast<size_t>(num_entries));
+  }
+  for (UserId u = 0; u < num_users; ++u) {
+    uint64_t row_len = 0;
+    if (!reader.U64(&row_len)) {
+      return Status::DataLoss("truncated peer index row");
+    }
+    if (options.max_peers_per_user > 0 &&
+        row_len > static_cast<uint64_t>(options.max_peers_per_user)) {
+      return Status::DataLoss("peer row exceeds the index cap");
+    }
+    Peer prev{kInvalidUserId, 0.0};
+    for (uint64_t k = 0; k < row_len; ++k) {
+      Peer peer;
+      if (!reader.I32(&peer.user) || !reader.F64(&peer.similarity)) {
+        return Status::DataLoss("truncated peer index row");
+      }
+      if (peer.user < 0 || peer.user >= num_users || peer.user == u) {
+        return Status::DataLoss("peer id out of range");
+      }
+      if (!std::isfinite(peer.similarity) ||
+          peer.similarity < options.delta) {
+        return Status::DataLoss("peer similarity below the index threshold");
+      }
+      // Strict BetterPeer order: equal (similarity, user) duplicates are
+      // impossible too.
+      if (k > 0 && !BetterPeer(prev, peer)) {
+        return Status::DataLoss("peer row not in BetterPeer order");
+      }
+      prev = peer;
+      index.entries_.push_back(peer);
+    }
+    index.offsets_[static_cast<size_t>(u) + 1] = index.entries_.size();
+  }
+  if (index.entries_.size() != num_entries) {
+    return Status::DataLoss("peer row lengths disagree with total");
+  }
+  if (!reader.exhausted()) {
+    return Status::DataLoss("trailing bytes in peer index");
+  }
+  return index;
+}
+
+bool operator==(const PeerIndex& a, const PeerIndex& b) {
+  return a.num_users_ == b.num_users_ &&
+         a.options_.delta == b.options_.delta &&
+         a.options_.max_peers_per_user == b.options_.max_peers_per_user &&
+         a.offsets_ == b.offsets_ && a.entries_ == b.entries_;
 }
 
 }  // namespace fairrec

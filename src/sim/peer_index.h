@@ -6,8 +6,10 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/result.h"
 #include "sim/peer_provider.h"
 
 namespace fairrec {
@@ -126,6 +128,20 @@ class PeerIndex final : public PeerProvider {
   /// similarity-storage cost of constructing this index (reported by
   /// bench_peer_index.cc as the sparse counterpart of the triangle bytes).
   size_t build_peak_bytes() const { return build_peak_bytes_; }
+
+  /// Appends the index in snapshot wire form: options, population, and the
+  /// CSR arrays, for the durable checkpoint container.
+  void SerializeTo(std::string& out) const;
+
+  /// Rebuilds an index from SerializeTo bytes, validating everything a
+  /// Builder guarantees: row lengths within the cap, peers in range and
+  /// never the row's own user, each row in strict BetterPeer order, every
+  /// similarity finite and at or above delta. DataLoss on any violation.
+  static Result<PeerIndex> Deserialize(std::string_view bytes);
+
+  /// Logical equality: same options, population, and bitwise-identical peer
+  /// lists. build_peak_bytes is excluded — telemetry, not state.
+  friend bool operator==(const PeerIndex& a, const PeerIndex& b);
 
  private:
   PeerIndexOptions options_;

@@ -1,0 +1,89 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fairrec {
+namespace {
+
+TEST(FailpointTest, InjectedCrashIsRecognizable) {
+  const Status crash = failpoint::InjectedCrash("some.site");
+  EXPECT_FALSE(crash.ok());
+  EXPECT_TRUE(failpoint::IsInjectedCrash(crash));
+  EXPECT_FALSE(failpoint::IsInjectedCrash(Status::OK()));
+  EXPECT_FALSE(failpoint::IsInjectedCrash(Status::Internal("unrelated")));
+}
+
+#if FAIRREC_FAILPOINTS_ENABLED
+
+class FailpointRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::Reset(); }
+  void TearDown() override { failpoint::Reset(); }
+};
+
+TEST_F(FailpointRegistryTest, UnarmedSiteNeverFiresButCounts) {
+  EXPECT_FALSE(failpoint::Triggered("fp.test.a"));
+  EXPECT_FALSE(failpoint::Triggered("fp.test.a"));
+  EXPECT_EQ(failpoint::HitCount("fp.test.a"), 2);
+  EXPECT_EQ(failpoint::HitCount("fp.test.never_hit"), 0);
+}
+
+TEST_F(FailpointRegistryTest, ArmFiresExactlyOnce) {
+  failpoint::Arm("fp.test.a");
+  EXPECT_TRUE(failpoint::Triggered("fp.test.a"));
+  // Firing disarms: the site goes back to counting silently.
+  EXPECT_FALSE(failpoint::Triggered("fp.test.a"));
+  EXPECT_EQ(failpoint::HitCount("fp.test.a"), 2);
+}
+
+TEST_F(FailpointRegistryTest, SkipCountDelaysTheFiring) {
+  failpoint::Arm("fp.test.a", /*skip=*/2);
+  EXPECT_FALSE(failpoint::Triggered("fp.test.a"));
+  EXPECT_FALSE(failpoint::Triggered("fp.test.a"));
+  EXPECT_TRUE(failpoint::Triggered("fp.test.a"));
+  EXPECT_FALSE(failpoint::Triggered("fp.test.a"));
+}
+
+TEST_F(FailpointRegistryTest, DisarmCancelsWithoutClearingCounts) {
+  failpoint::Arm("fp.test.a");
+  failpoint::Disarm("fp.test.a");
+  EXPECT_FALSE(failpoint::Triggered("fp.test.a"));
+  EXPECT_EQ(failpoint::HitCount("fp.test.a"), 1);
+}
+
+TEST_F(FailpointRegistryTest, RearmingReplacesThePreviousArming) {
+  failpoint::Arm("fp.test.a", /*skip=*/5);
+  failpoint::Arm("fp.test.a", /*skip=*/0);
+  EXPECT_TRUE(failpoint::Triggered("fp.test.a"));
+}
+
+TEST_F(FailpointRegistryTest, HitSitesEnumeratesEverySiteTouched) {
+  failpoint::Triggered("fp.test.b");
+  failpoint::Triggered("fp.test.a");
+  failpoint::Triggered("fp.test.a");
+  const std::vector<std::string> sites = failpoint::HitSites();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_EQ(sites[0], "fp.test.a");
+  EXPECT_EQ(sites[1], "fp.test.b");
+
+  failpoint::Reset();
+  EXPECT_TRUE(failpoint::HitSites().empty());
+  EXPECT_EQ(failpoint::HitCount("fp.test.a"), 0);
+}
+
+#else  // !FAIRREC_FAILPOINTS_ENABLED
+
+TEST(FailpointTest, ReleaseStubsAreInertNoOps) {
+  failpoint::Arm("fp.test.a");
+  EXPECT_FALSE(failpoint::Triggered("fp.test.a"));
+  EXPECT_EQ(failpoint::HitCount("fp.test.a"), 0);
+  EXPECT_TRUE(failpoint::HitSites().empty());
+}
+
+#endif  // FAIRREC_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,275 @@
+// Fuzz-style corruption suite: every durable byte stream in the tree is
+// systematically truncated, bit-flipped, and extended with garbage, and every
+// reader must answer with a clean Status — never UB. CI runs this suite (ctest
+// label `robustness`) under ASan/UBSan, which is what turns "never UB" from a
+// review claim into a checked property.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/blob_io.h"
+#include "common/random.h"
+#include "ratings/delta_journal.h"
+#include "ratings/rating_delta.h"
+#include "ratings/rating_matrix.h"
+#include "sim/durable_peer_graph.h"
+#include "sim/moment_store.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+
+namespace fairrec {
+namespace {
+
+std::string ReadRawFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteRawFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+RatingMatrix CorpusMatrix() {
+  RatingMatrixBuilder builder;
+  Rng rng(0xc0ffee);
+  for (UserId u = 0; u < 12; ++u) {
+    for (ItemId i = 0; i < 9; ++i) {
+      if (rng.NextBool(0.6)) {
+        EXPECT_TRUE(
+            builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+/// Deterministic sample of positions to mutate: endpoints, field-boundary
+/// neighborhoods, and a pseudo-random spread. Exhaustive per-byte loops are
+/// kept for the small streams; big artifacts get this sample.
+std::vector<size_t> SamplePositions(size_t size, size_t want) {
+  std::vector<size_t> positions;
+  if (size == 0) return positions;
+  for (size_t p = 0; p < size && p < 32; ++p) positions.push_back(p);
+  Rng rng(0x5eed);
+  for (size_t i = 0; i < want; ++i) {
+    positions.push_back(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(size) - 1)));
+  }
+  positions.push_back(size - 1);
+  return positions;
+}
+
+// ---------------------------------------------------------------------------
+// Naked artifact deserializers (no container CRC of their own): corruption
+// must never be UB, and truncation must always be detected.
+// ---------------------------------------------------------------------------
+
+template <typename Deserialize>
+void ProbeNakedArtifact(const std::string& clean, Deserialize deserialize) {
+  // Every strict prefix must fail: the formats are self-delimiting and end
+  // with an exhaustion check, so missing bytes are always detectable.
+  for (const size_t len : SamplePositions(clean.size(), 200)) {
+    const auto parsed = deserialize(std::string_view(clean.data(), len));
+    EXPECT_FALSE(parsed.ok()) << "prefix " << len << " parsed";
+  }
+  // Bit flips may parse (a flipped double can be a different valid value —
+  // naked artifacts rely on the container CRC for integrity); the property
+  // under test is that whatever happens is a clean Status or a valid
+  // object, with every read bounds-checked (ASan enforces).
+  for (const size_t pos : SamplePositions(clean.size(), 400)) {
+    for (const uint8_t mask : {0x01, 0x80}) {
+      std::string flipped = clean;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ mask);
+      (void)deserialize(flipped);
+    }
+  }
+  // Trailing garbage must be rejected (exhaustion check).
+  EXPECT_FALSE(deserialize(clean + std::string(7, '\x5a')).ok());
+  // And the pristine bytes still parse, proving the probes above exercised
+  // the real format.
+  EXPECT_TRUE(deserialize(clean).ok());
+}
+
+TEST(CorruptBlobTest, RatingMatrixDeserializeIsCorruptionSafe) {
+  const RatingMatrix matrix = CorpusMatrix();
+  std::string bytes;
+  matrix.SerializeTo(bytes);
+  ProbeNakedArtifact(
+      bytes, [](std::string_view b) { return RatingMatrix::Deserialize(b); });
+}
+
+TEST(CorruptBlobTest, MomentStoreDeserializeIsCorruptionSafe) {
+  const RatingMatrix matrix = CorpusMatrix();
+  const PairwiseSimilarityEngine engine(&matrix, {}, {});
+  MomentStoreOptions store_options;
+  store_options.tile_users = 4;
+  const MomentStore store =
+      std::move(engine.BuildMomentStore(store_options)).ValueOrDie();
+  std::string bytes;
+  store.SerializeTo(bytes);
+  ProbeNakedArtifact(
+      bytes, [](std::string_view b) { return MomentStore::Deserialize(b); });
+}
+
+TEST(CorruptBlobTest, PeerIndexDeserializeIsCorruptionSafe) {
+  const RatingMatrix matrix = CorpusMatrix();
+  const PairwiseSimilarityEngine engine(&matrix, {}, {});
+  PeerIndexOptions peer_options;
+  peer_options.delta = 0.05;
+  peer_options.max_peers_per_user = 6;
+  const PeerIndex index =
+      std::move(engine.BuildPeerIndex(peer_options)).ValueOrDie();
+  std::string bytes;
+  index.SerializeTo(bytes);
+  ProbeNakedArtifact(
+      bytes, [](std::string_view b) { return PeerIndex::Deserialize(b); });
+}
+
+TEST(CorruptBlobTest, RatingDeltaDeserializeIsCorruptionSafe) {
+  RatingDelta delta;
+  Rng rng(0xd31a);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(delta
+                    .Add(static_cast<UserId>(rng.UniformInt(0, 30)),
+                         static_cast<ItemId>(rng.UniformInt(0, 30)),
+                         static_cast<Rating>(rng.UniformInt(1, 5)))
+                    .ok());
+  }
+  std::string bytes;
+  delta.SerializeTo(bytes);
+  ProbeNakedArtifact(
+      bytes, [](std::string_view b) { return RatingDelta::Deserialize(b); });
+}
+
+// ---------------------------------------------------------------------------
+// Tile blobs: RestoreTile re-validates every entry, so even semantic
+// corruption (not just framing damage) is caught.
+// ---------------------------------------------------------------------------
+
+TEST(CorruptBlobTest, TileRestoreIsCorruptionSafe) {
+  const RatingMatrix matrix = CorpusMatrix();
+  const PairwiseSimilarityEngine engine(&matrix, {}, {});
+  MomentStoreOptions store_options;
+  store_options.tile_users = 4;
+  MomentStore store =
+      std::move(engine.BuildMomentStore(store_options)).ValueOrDie();
+  const std::string blob = store.SerializeTile(0);
+  store.EvictTile(0);
+
+  for (const size_t len : SamplePositions(blob.size(), 100)) {
+    EXPECT_FALSE(store.RestoreTile(0, blob.substr(0, len)).ok())
+        << "prefix " << len;
+  }
+  for (const size_t pos : SamplePositions(blob.size(), 300)) {
+    std::string flipped = blob;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x40);
+    const Status status = store.RestoreTile(0, flipped);
+    if (status.ok()) {
+      // The flip landed somewhere inert for framing AND passed semantic
+      // validation — possible only for a moment-sum mantissa. The tile is
+      // resident with finite moments; evict it again for the next probe.
+      store.EvictTile(0);
+    }
+  }
+  EXPECT_TRUE(store.RestoreTile(0, blob).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The two on-disk files, attacked end to end through their top-level opens.
+// ---------------------------------------------------------------------------
+
+TEST(CorruptBlobTest, CheckpointFileCorruptionAlwaysSurfacesAsDataLoss) {
+  const std::string dir = testing::TempDir() + "/fairrec_robust_ckpt";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = DurablePeerGraph::CheckpointPathOf(dir);
+  ASSERT_TRUE(RemovePath(path).ok());
+  ASSERT_TRUE(RemovePath(DurablePeerGraph::JournalPathOf(dir)).ok());
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.05;
+  {
+    auto seeded = DurablePeerGraph::Open(dir, CorpusMatrix(), options);
+    ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+  }
+  const std::string clean = ReadRawFile(path);
+
+  const auto expect_refused = [&](const std::string& label) {
+    const auto opened = DurablePeerGraph::Open(dir, CorpusMatrix(), options);
+    EXPECT_TRUE(opened.status().IsDataLoss())
+        << label << ": " << opened.status().ToString();
+  };
+  for (const size_t len : SamplePositions(clean.size(), 150)) {
+    WriteRawFile(path, clean.substr(0, len));
+    expect_refused("truncated to " + std::to_string(len));
+  }
+  for (const size_t pos : SamplePositions(clean.size(), 300)) {
+    std::string flipped = clean;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x02);
+    WriteRawFile(path, flipped);
+    expect_refused("bit flip at " + std::to_string(pos));
+  }
+  WriteRawFile(path, clean + "trailing garbage");
+  expect_refused("trailing garbage");
+
+  WriteRawFile(path, clean);
+  const auto recovered = DurablePeerGraph::Open(dir, CorpusMatrix(), options);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+}
+
+TEST(CorruptBlobTest, JournalCorruptionIsDataLossTearingIsNot) {
+  const std::string path = testing::TempDir() + "/fairrec_robust_journal.frj";
+  ASSERT_TRUE(RemovePath(path).ok());
+  {
+    auto journal = DeltaJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    Rng rng(0x10a1);
+    for (uint64_t seq = 1; seq <= 5; ++seq) {
+      RatingDelta delta;
+      for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(delta
+                        .Add(static_cast<UserId>(rng.UniformInt(0, 20)),
+                             static_cast<ItemId>(rng.UniformInt(0, 20)),
+                             static_cast<Rating>(rng.UniformInt(1, 5)))
+                        .ok());
+      }
+      ASSERT_TRUE(journal->Append(seq, delta).ok());
+    }
+  }
+  const std::string clean = ReadRawFile(path);
+
+  // Truncation anywhere is a torn tail: Open succeeds and keeps exactly the
+  // complete prefix.
+  for (const size_t len : SamplePositions(clean.size(), 150)) {
+    WriteRawFile(path, clean.substr(0, len));
+    auto journal = DeltaJournal::Open(path);
+    ASSERT_TRUE(journal.ok()) << "truncated to " << len << ": "
+                              << journal.status().ToString();
+    EXPECT_LE(journal->size_bytes(), len);
+  }
+  // A flip in any complete byte is corruption, exhaustively.
+  for (size_t pos = 0; pos < clean.size(); ++pos) {
+    std::string flipped = clean;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x10);
+    WriteRawFile(path, flipped);
+    EXPECT_TRUE(DeltaJournal::Open(path).status().IsDataLoss())
+        << "bit flip at " << pos;
+  }
+  // Garbage appended after the last record: an incomplete "next record" —
+  // torn tail, truncated away.
+  WriteRawFile(path, clean + std::string(10, '\x7f'));
+  {
+    auto journal = DeltaJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    EXPECT_EQ(journal->size_bytes(), clean.size());
+    EXPECT_EQ(journal->recovered_torn_bytes(), 10u);
+  }
+  ASSERT_TRUE(RemovePath(path).ok());
+}
+
+}  // namespace
+}  // namespace fairrec

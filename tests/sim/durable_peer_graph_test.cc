@@ -1,0 +1,219 @@
+#include "sim/durable_peer_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/blob_io.h"
+#include "common/failpoint.h"
+#include "ratings/rating_delta.h"
+#include "ratings/rating_matrix.h"
+
+namespace fairrec {
+namespace {
+
+/// Integer ratings throughout: the patch/rebuild parity contract is exact on
+/// integer scales, which is what makes recovery byte-identical even though
+/// the replay's planner choices (wall-clock calibrated) may differ from the
+/// original run's.
+RatingMatrix SeedMatrix() {
+  RatingMatrixBuilder builder;
+  EXPECT_TRUE(builder
+                  .AddAll({{0, 0, 5}, {0, 1, 3}, {0, 2, 1},
+                           {1, 0, 5}, {1, 1, 3}, {1, 2, 1},
+                           {2, 0, 1}, {2, 1, 3}, {2, 2, 5},
+                           {3, 0, 2}, {3, 1, 4}, {3, 3, 4}})
+                  .ok());
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+IncrementalPeerGraphOptions Options() {
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.1;
+  options.peers.max_peers_per_user = 8;
+  return options;
+}
+
+/// A deterministic stream of integer-rating batches.
+std::vector<RatingDelta> DeltaStream(int count) {
+  std::vector<RatingDelta> stream;
+  for (int i = 0; i < count; ++i) {
+    RatingDelta delta;
+    EXPECT_TRUE(delta.Add(i % 5, (i * 3) % 4, 1 + (i * 7) % 5).ok());
+    EXPECT_TRUE(delta.Add((i + 2) % 5, (i + 1) % 4, 1 + (i * 2) % 5).ok());
+    stream.push_back(std::move(delta));
+  }
+  return stream;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/fairrec_durable_" + name;
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  EXPECT_TRUE(RemovePath(DurablePeerGraph::CheckpointPathOf(dir)).ok());
+  EXPECT_TRUE(RemovePath(DurablePeerGraph::JournalPathOf(dir)).ok());
+  return dir;
+}
+
+DurablePeerGraph OpenOrDie(const std::string& dir) {
+  auto opened = DurablePeerGraph::Open(dir, SeedMatrix(), Options());
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return std::move(opened).ValueOrDie();
+}
+
+/// Full-state equality against a reference graph: matrix, moment store, and
+/// peer index, all through their exact (bitwise on doubles) operator==.
+void ExpectSameState(const DurablePeerGraph& got,
+                     const IncrementalPeerGraph& want) {
+  EXPECT_TRUE(got.graph().matrix() == want.matrix());
+  EXPECT_TRUE(got.graph().store() == want.store());
+  EXPECT_TRUE(*got.graph().index() == *want.index());
+}
+
+/// The uninterrupted twin: the same seed and delta prefix with no
+/// durability layer and no crash in sight.
+IncrementalPeerGraph TwinAfter(const std::vector<RatingDelta>& stream,
+                               size_t count) {
+  auto twin = IncrementalPeerGraph::Build(SeedMatrix(), Options());
+  EXPECT_TRUE(twin.ok()) << twin.status().ToString();
+  for (size_t i = 0; i < count; ++i) {
+    const auto stats = twin->ApplyDelta(stream[i]);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  }
+  return std::move(twin).ValueOrDie();
+}
+
+TEST(DurablePeerGraphTest, SeedOpenWritesTheInitialCheckpoint) {
+  const std::string dir = FreshDir("seed");
+  const DurablePeerGraph durable = OpenOrDie(dir);
+  EXPECT_FALSE(durable.recovery_info().recovered);
+  EXPECT_EQ(durable.applied_seq(), 0u);
+  EXPECT_EQ(durable.journal_bytes(), 0u);
+  // The checkpoint is already on disk: a crash right now recovers.
+  EXPECT_TRUE(PathExists(DurablePeerGraph::CheckpointPathOf(dir)));
+}
+
+TEST(DurablePeerGraphTest, RecoveryReplaysTheJournalTail) {
+  const std::string dir = FreshDir("replay");
+  const std::vector<RatingDelta> stream = DeltaStream(6);
+  {
+    DurablePeerGraph durable = OpenOrDie(dir);
+    for (const RatingDelta& delta : stream) {
+      const auto stats = durable.ApplyDelta(delta);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    }
+    EXPECT_EQ(durable.applied_seq(), 6u);
+    EXPECT_GT(durable.journal_bytes(), 0u);
+    // The durable object goes out of scope un-checkpointed: the crash.
+  }
+  const DurablePeerGraph recovered = OpenOrDie(dir);
+  EXPECT_TRUE(recovered.recovery_info().recovered);
+  EXPECT_EQ(recovered.recovery_info().checkpoint_seq, 0u);
+  EXPECT_EQ(recovered.recovery_info().replayed_batches, 6);
+  EXPECT_EQ(recovered.recovery_info().skipped_batches, 0);
+  EXPECT_EQ(recovered.recovery_info().torn_tail_bytes, 0u);
+  EXPECT_EQ(recovered.applied_seq(), 6u);
+  ExpectSameState(recovered, TwinAfter(stream, 6));
+}
+
+TEST(DurablePeerGraphTest, CheckpointResetsRecoveryToTheSnapshot) {
+  const std::string dir = FreshDir("checkpoint");
+  const std::vector<RatingDelta> stream = DeltaStream(5);
+  {
+    DurablePeerGraph durable = OpenOrDie(dir);
+    for (size_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(durable.ApplyDelta(stream[i]).ok());
+    }
+    ASSERT_TRUE(durable.Checkpoint().ok());
+    EXPECT_EQ(durable.journal_bytes(), 0u);
+    for (size_t i = 3; i < 5; ++i) {
+      ASSERT_TRUE(durable.ApplyDelta(stream[i]).ok());
+    }
+  }
+  const DurablePeerGraph recovered = OpenOrDie(dir);
+  EXPECT_EQ(recovered.recovery_info().checkpoint_seq, 3u);
+  EXPECT_EQ(recovered.recovery_info().replayed_batches, 2);
+  EXPECT_EQ(recovered.recovery_info().skipped_batches, 0);
+  EXPECT_EQ(recovered.applied_seq(), 5u);
+  ExpectSameState(recovered, TwinAfter(stream, 5));
+  // And the sequence continues from where the stream left off.
+  DurablePeerGraph continued = OpenOrDie(dir);
+  RatingDelta next;
+  ASSERT_TRUE(next.Add(4, 3, 2).ok());
+  ASSERT_TRUE(continued.ApplyDelta(next).ok());
+  EXPECT_EQ(continued.applied_seq(), 6u);
+}
+
+TEST(DurablePeerGraphTest, CorruptedCheckpointIsRefusedNotMisread) {
+  const std::string dir = FreshDir("corrupt");
+  { OpenOrDie(dir); }
+  const std::string path = DurablePeerGraph::CheckpointPathOf(dir);
+  // Flip one byte mid-file; every layer above must surface DataLoss.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[40] = static_cast<char>(bytes[40] ^ 0x08);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+  const auto reopened = DurablePeerGraph::Open(dir, SeedMatrix(), Options());
+  EXPECT_TRUE(reopened.status().IsDataLoss()) << reopened.status().ToString();
+}
+
+#if FAIRREC_FAILPOINTS_ENABLED
+
+TEST(DurablePeerGraphTest, CrashAfterJournalAppendReplaysTheBatch) {
+  const std::string dir = FreshDir("after_journal");
+  const std::vector<RatingDelta> stream = DeltaStream(2);
+  failpoint::Reset();
+  {
+    DurablePeerGraph durable = OpenOrDie(dir);
+    ASSERT_TRUE(durable.ApplyDelta(stream[0]).ok());
+    failpoint::Arm(kFailpointDurableApplyAfterJournal);
+    const auto crashed = durable.ApplyDelta(stream[1]);
+    ASSERT_TRUE(failpoint::IsInjectedCrash(crashed.status()));
+    // Journaled but unapplied; the caller was never told it succeeded.
+    EXPECT_EQ(durable.applied_seq(), 1u);
+  }
+  const DurablePeerGraph recovered = OpenOrDie(dir);
+  EXPECT_EQ(recovered.recovery_info().replayed_batches, 2);
+  EXPECT_EQ(recovered.applied_seq(), 2u);
+  ExpectSameState(recovered, TwinAfter(stream, 2));
+  failpoint::Reset();
+}
+
+TEST(DurablePeerGraphTest, CrashBetweenCheckpointAndTruncateSkipsBySeq) {
+  const std::string dir = FreshDir("before_truncate");
+  const std::vector<RatingDelta> stream = DeltaStream(3);
+  failpoint::Reset();
+  {
+    DurablePeerGraph durable = OpenOrDie(dir);
+    for (const RatingDelta& delta : stream) {
+      ASSERT_TRUE(durable.ApplyDelta(delta).ok());
+    }
+    failpoint::Arm(kFailpointDurableCheckpointBeforeTruncate);
+    const Status crashed = durable.Checkpoint();
+    ASSERT_TRUE(failpoint::IsInjectedCrash(crashed));
+    // The new checkpoint is durable; the journal still holds seqs 1..3.
+    EXPECT_GT(durable.journal_bytes(), 0u);
+  }
+  const DurablePeerGraph recovered = OpenOrDie(dir);
+  EXPECT_EQ(recovered.recovery_info().checkpoint_seq, 3u);
+  EXPECT_EQ(recovered.recovery_info().skipped_batches, 3);
+  EXPECT_EQ(recovered.recovery_info().replayed_batches, 0);
+  EXPECT_EQ(recovered.applied_seq(), 3u);
+  ExpectSameState(recovered, TwinAfter(stream, 3));
+  failpoint::Reset();
+}
+
+#endif  // FAIRREC_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace fairrec

@@ -341,9 +341,11 @@ TEST(IncrementalPeerGraphTest, PlannerFallsBackToFullRebuildPastCrossover) {
   IncrementalPeerGraphOptions options;
   options.peers.delta = 0.1;
   options.peers.max_peers_per_user = 8;
-  // Pinned rather than defaulted so the test stays a crossover test if the
-  // default calibration moves.
+  // Pinned rather than defaulted, and with self-tuning off, so the test
+  // stays a deterministic crossover test no matter what this machine's
+  // measured exchange rate is.
   options.patch_pair_cost = 300.0;
+  options.calibrate_planner = false;
   options.rebuild_fallback_ratio = 1.0;
   IncrementalPeerGraph graph = BuildGraph(matrix, options);
 
@@ -400,6 +402,62 @@ TEST(IncrementalPeerGraphTest, PlannerDisabledAlwaysPatches) {
   EXPECT_GT(stats->changed_pairs, 0);
   // The patch path must land on the same artifacts the planner's rebuild
   // would have produced.
+  ExpectIdenticalIndex(*graph.index(),
+                       RebuildFromScratch(graph.matrix(), options));
+  ExpectStoreMatchesFreshSweep(graph);
+}
+
+TEST(IncrementalPeerGraphTest, CalibratedCostModelFlipsThePlanner) {
+  const RatingMatrix matrix = PlannerScaleCorpus();
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.1;
+  options.peers.max_peers_per_user = 8;
+  options.patch_pair_cost = 300.0;  // the cold-start prior
+  options.rebuild_fallback_ratio = 1.0;
+  ASSERT_TRUE(options.calibrate_planner);  // the default under test
+  IncrementalPeerGraph graph = BuildGraph(matrix, options);
+
+  // The seeding Build primed only the rebuild side; until a patch has been
+  // timed too, the planner must run on the prior, verbatim.
+  EXPECT_FALSE(graph.cost_model().calibrated());
+  EXPECT_GT(graph.cost_model().rebuild_samples(), 0);
+  EXPECT_EQ(graph.cost_model().pair_cost(), 300.0);
+  RatingDelta first;
+  ASSERT_TRUE(first.Add(0, 0, 5).ok());
+  const auto first_stats = graph.ApplyDelta(first);
+  ASSERT_TRUE(first_stats.ok()) << first_stats.status().ToString();
+  EXPECT_FALSE(first_stats->used_full_rebuild);
+  EXPECT_EQ(first_stats->patch_pair_cost_used, 300.0);
+  // That patch closed the loop: both sides observed.
+  EXPECT_TRUE(graph.cost_model().calibrated());
+
+  // Teach the model that patching is ruinously slow on "this machine"
+  // (injected observations, so the flip is deterministic, not wall-clock
+  // luck): 1000 s per unit pins the ratio at the upper clamp on any
+  // plausible rebuild timing, and even a one-cell batch must now fall back
+  // to a rebuild.
+  graph.cost_model().ObservePatch(1.0, 1.0e3);
+  RatingDelta tiny;
+  ASSERT_TRUE(tiny.Add(1, 1, 4).ok());
+  const auto flipped = graph.ApplyDelta(tiny);
+  ASSERT_TRUE(flipped.ok()) << flipped.status().ToString();
+  EXPECT_TRUE(flipped->used_full_rebuild);
+  EXPECT_EQ(flipped->patch_pair_cost_used, 1.0e7);  // the upper clamp
+  ExpectIdenticalIndex(*graph.index(),
+                       RebuildFromScratch(graph.matrix(), options));
+
+  // Teach it the opposite — patching is nearly free — and the planner must
+  // patch even the whole-corpus batch the pinned-constant test rebuilds.
+  // Folded repeatedly because the average decays the poison above at
+  // (1 - alpha)^k; 120 folds push it far past the lower clamp.
+  for (int k = 0; k < 120; ++k) {
+    graph.cost_model().ObservePatch(1.0e9, 1.0e-6);
+  }
+  const RatingDelta big = WholeCorpusDelta(graph.matrix());
+  const auto patched = graph.ApplyDelta(big);
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  EXPECT_FALSE(patched->used_full_rebuild);
+  EXPECT_EQ(patched->patch_pair_cost_used, 1.0e-2);  // the lower clamp
   ExpectIdenticalIndex(*graph.index(),
                        RebuildFromScratch(graph.matrix(), options));
   ExpectStoreMatchesFreshSweep(graph);

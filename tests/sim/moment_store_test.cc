@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -127,6 +130,11 @@ TEST(MomentStoreTest, RestoreRejectsMalformedBlobs) {
   MomentStore store = std::move(builder).Build();
   const std::string blob = store.SerializeTile(0);
 
+  // Restoring over live rows is refused outright: it would silently drop
+  // any fold applied since the blob was taken.
+  EXPECT_TRUE(store.RestoreTile(0, blob).IsFailedPrecondition());
+  store.EvictTile(0);
+
   EXPECT_FALSE(store.RestoreTile(7, blob).ok());
   EXPECT_FALSE(store.RestoreTile(0, blob.substr(0, blob.size() - 3)).ok());
   EXPECT_FALSE(store.RestoreTile(0, blob + "x").ok());
@@ -134,6 +142,78 @@ TEST(MomentStoreTest, RestoreRejectsMalformedBlobs) {
   // The well-formed blob still restores after the failed attempts.
   EXPECT_TRUE(store.RestoreTile(0, blob).ok());
   EXPECT_EQ(store.RowOf(0).size(), 1u);
+}
+
+TEST(MomentStoreTest, RestoreRejectsPoisonedValues) {
+  MomentStore::Builder builder(2, {});
+  builder.Add(0, 1, MomentsOf({{1, 1}, {4, 2}}));
+  MomentStore store = std::move(builder).Build();
+  const std::string blob = store.SerializeTile(0);
+  store.EvictTile(0);
+
+  // Entry layout after the u32 row-count and row 0's u64 length: other id
+  // (i32), n (i32), then the five moment sums (f64 each).
+  const size_t entry0 = sizeof(uint32_t) + sizeof(uint64_t);
+  const size_t sums0 = entry0 + 2 * sizeof(int32_t);
+
+  {  // `other` beyond the population
+    std::string bad = blob;
+    const int32_t other = 9;
+    std::memcpy(bad.data() + entry0, &other, sizeof(other));
+    EXPECT_TRUE(store.RestoreTile(0, bad).IsInvalidArgument());
+  }
+  {  // self-pair
+    std::string bad = blob;
+    const int32_t other = 0;
+    std::memcpy(bad.data() + entry0, &other, sizeof(other));
+    EXPECT_TRUE(store.RestoreTile(0, bad).IsInvalidArgument());
+  }
+  {  // zero overlap count
+    std::string bad = blob;
+    const int32_t n = 0;
+    std::memcpy(bad.data() + entry0 + sizeof(int32_t), &n, sizeof(n));
+    EXPECT_TRUE(store.RestoreTile(0, bad).IsInvalidArgument());
+  }
+  {  // NaN moment
+    std::string bad = blob;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(bad.data() + sums0, &nan, sizeof(nan));
+    EXPECT_TRUE(store.RestoreTile(0, bad).IsInvalidArgument());
+  }
+  {  // Inf moment
+    std::string bad = blob;
+    const double inf = std::numeric_limits<double>::infinity();
+    std::memcpy(bad.data() + sums0 + sizeof(double), &inf, sizeof(inf));
+    EXPECT_TRUE(store.RestoreTile(0, bad).IsInvalidArgument());
+  }
+  // The pristine blob still restores.
+  EXPECT_TRUE(store.RestoreTile(0, blob).ok());
+  ASSERT_EQ(store.RowOf(0).size(), 1u);
+}
+
+TEST(MomentStoreTest, FullArtifactRoundTrip) {
+  MomentStore::Builder builder(6, MomentStoreOptions{.tile_users = 2});
+  builder.Add(0, 1, MomentsOf({{1, 2}}));
+  builder.Add(2, 5, MomentsOf({{3, 4}, {5, 5}}));
+  builder.Add(3, 4, MomentsOf({{2, 2}}));
+  MomentStore store = std::move(builder).Build();
+
+  std::string bytes;
+  store.SerializeTo(bytes);
+  auto loaded = MomentStore::Deserialize(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == store);
+  EXPECT_EQ(loaded->num_pairs(), store.num_pairs());
+  EXPECT_EQ(loaded->num_tiles(), store.num_tiles());
+
+  // Any framing damage is DataLoss, never a half-loaded store.
+  EXPECT_TRUE(MomentStore::Deserialize(bytes.substr(0, bytes.size() / 2))
+                  .status()
+                  .IsDataLoss());
+  EXPECT_TRUE(MomentStore::Deserialize(bytes + "zz").status().IsDataLoss());
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x04;
+  EXPECT_TRUE(MomentStore::Deserialize(flipped).status().IsDataLoss());
 }
 
 TEST(MomentStoreTest, EngineBuildMatchesDirectAccumulation) {
