@@ -1,0 +1,96 @@
+#ifndef FAIRREC_COMMON_RUN_FILE_H_
+#define FAIRREC_COMMON_RUN_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fairrec {
+
+/// Streaming CRC-framed chunk files — the spill format of the external-sort
+/// shuffle (sim/moment_shuffle.h).
+///
+/// WriteBlobFileAtomic buffers its whole payload before the rename, which is
+/// exactly wrong for a sorted run that exists *because* the payload does not
+/// fit in memory. A run file is instead an append-only sequence of
+/// independently framed chunks (u64 length + masked CRC32C + bytes, the
+/// BlobWriter::Framed layout), written and read through a bounded buffer: at
+/// no point does either side hold more than one chunk. Runs are temporary
+/// files — they live for one shuffle and are deleted after the merge — so
+/// they trade the atomic-rename ceremony for streaming, but keep the CRC
+/// framing: a torn or bit-flipped run surfaces as DataLoss at merge time,
+/// never as silently wrong moments.
+class RunFileWriter {
+ public:
+  /// Creates (truncates) `path` for writing.
+  static Result<RunFileWriter> Create(const std::string& path);
+
+  RunFileWriter(RunFileWriter&&) noexcept = default;
+  RunFileWriter& operator=(RunFileWriter&&) noexcept = default;
+
+  /// Appends one framed chunk. The payload is the caller's record block;
+  /// framing (length + masked CRC) is added here.
+  Status AppendChunk(std::string_view payload);
+
+  /// Flushes and closes the file. Idempotent; the destructor closes without
+  /// error reporting, so finished runs should Close explicitly.
+  Status Close();
+
+  const std::string& path() const { return path_; }
+  /// Framed bytes written so far (payloads + chunk headers).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  RunFileWriter(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::string frame_;  // reused framing scratch
+  uint64_t bytes_written_ = 0;
+};
+
+/// Sequential reader over a RunFileWriter file: one framed chunk at a time,
+/// CRC-verified. DataLoss on truncation or checksum mismatch.
+class RunFileReader {
+ public:
+  static Result<RunFileReader> Open(const std::string& path);
+
+  RunFileReader(RunFileReader&&) noexcept = default;
+  RunFileReader& operator=(RunFileReader&&) noexcept = default;
+
+  /// Reads the next chunk's payload into `payload` (replacing its
+  /// contents). Sets *eof = true (payload untouched) at a clean end of
+  /// file; a partial chunk header or body is DataLoss, not EOF.
+  Status NextChunk(std::string* payload, bool* eof);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  RunFileReader(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::unique_ptr<std::FILE, FileCloser> file_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_COMMON_RUN_FILE_H_

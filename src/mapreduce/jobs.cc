@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <unordered_map>
 #include <variant>
 
@@ -236,6 +237,97 @@ Result<Job1Output> RunJob1(const std::vector<RatingTriple>& ratings,
   return result;
 }
 
+Result<Job1SpilledOutput> RunJob1Spilled(
+    const std::vector<RatingTriple>& ratings, const Group& group,
+    int32_t num_users, const MomentShuffleOptions& shuffle_options,
+    const MapReduceOptions& options, int32_t num_moment_shards) {
+  if (group.empty()) {
+    return Status::InvalidArgument("group must not be empty");
+  }
+  if (num_moment_shards < 1) {
+    return Status::InvalidArgument("num_moment_shards must be >= 1");
+  }
+  std::vector<uint8_t> is_member(static_cast<size_t>(num_users), 0);
+  for (const UserId u : group) {
+    if (u < 0 || u >= num_users) {
+      return Status::InvalidArgument("group member out of range: " +
+                                     std::to_string(u));
+    }
+    is_member[static_cast<size_t>(u)] = 1;
+  }
+
+  // The shuffle owns the order (global sort on drain), so reducer emission
+  // interleaving never reaches the artifact — but in-run pre-combining
+  // would fold in emission order, so it stays off regardless of what the
+  // caller asked for.
+  MomentShuffleOptions resolved_shuffle = shuffle_options;
+  resolved_shuffle.combine_on_spill = false;
+  FAIRREC_ASSIGN_OR_RETURN(PairMomentShuffle moments,
+                           PairMomentShuffle::Create(resolved_shuffle));
+
+  std::vector<KeyValue<int64_t, RatingTriple>> input;
+  input.reserve(ratings.size());
+  int64_t index = 0;
+  for (const RatingTriple& t : ratings) input.push_back({index++, t});
+
+  const int32_t shards = num_moment_shards;
+  // Reducers run concurrently but the shuffle is single-writer; the first
+  // spill failure latches and stops further Adds.
+  std::mutex shuffle_mutex;
+  Status shuffle_status = Status::OK();
+
+  MapReduceStats stats;
+  auto candidates = RunMapReduce<int64_t, RatingTriple, ItemId, UserRating,
+                                 ItemId, std::vector<UserRating>>(
+      input,
+      [](const int64_t&, const RatingTriple& t,
+         MapEmitter<ItemId, UserRating>& out) {
+        out.Emit(t.item, {t.user, t.value});
+      },
+      [&is_member, &moments, &shuffle_mutex, &shuffle_status, shards](
+          const ItemId& item, std::span<const UserRating> raters,
+          ReduceEmitter<ItemId, std::vector<UserRating>>& out) {
+        bool any_member = false;
+        for (const UserRating& r : raters) {
+          if (is_member[static_cast<size_t>(r.user)] != 0) {
+            any_member = true;
+            break;
+          }
+        }
+        if (!any_member) {
+          out.Emit(item, std::vector<UserRating>(raters.begin(), raters.end()));
+          return;
+        }
+        const int32_t shard = static_cast<int32_t>(item % shards);
+        std::lock_guard<std::mutex> lock(shuffle_mutex);
+        if (!shuffle_status.ok()) return;
+        for (const UserRating& member : raters) {
+          if (is_member[static_cast<size_t>(member.user)] == 0) continue;
+          for (const UserRating& peer : raters) {
+            if (is_member[static_cast<size_t>(peer.user)] != 0) continue;
+            PairMoments contribution;
+            contribution.Add(member.value, peer.value);
+            Status added =
+                moments.Add(member.user, peer.user, shard, item, contribution);
+            if (!added.ok()) {
+              shuffle_status = std::move(added);
+              return;
+            }
+          }
+        }
+      },
+      options, &stats);
+  FAIRREC_RETURN_NOT_OK(shuffle_status);
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+
+  Job1SpilledOutput result{std::move(candidates), std::move(moments), stats,
+                           /*co_rating_records=*/0};
+  result.co_rating_records = result.moments.stats().records_in;
+  return result;
+}
+
 std::vector<KeyValue<UserPairKey, double>> RunJob2(
     const std::vector<KeyValue<UserPairKey, PairMoments>>& partial_moments,
     const std::vector<double>& user_means,
@@ -330,6 +422,87 @@ Result<PeerIndex> RunJob2PeerIndex(
   // The reducers emit into the builder, not the record stream, so surface
   // the artifact size where the record count would have been.
   if (stats != nullptr) stats->output_records = index.num_entries();
+  return index;
+}
+
+Result<PeerIndex> RunJob2PeerIndex(PairMomentShuffle& moments,
+                                   const std::vector<double>& user_means,
+                                   const RatingSimilarityOptions& sim_options,
+                                   double delta, int32_t num_users,
+                                   int32_t max_peers_per_member,
+                                   MapReduceStats* stats) {
+  if (num_users < 0) {
+    return Status::InvalidArgument("num_users must be >= 0");
+  }
+  if (max_peers_per_member < 0) {
+    return Status::InvalidArgument("max_peers_per_member must be >= 0");
+  }
+
+  PeerIndexOptions index_options;
+  index_options.delta = delta;
+  index_options.max_peers_per_user = max_peers_per_member;
+  PeerIndex::Builder builder(num_users, index_options);
+
+  const int64_t records_in = moments.stats().records_in;
+  const auto mean_of = [&user_means](UserId u) {
+    return (u >= 0 && static_cast<size_t>(u) < user_means.size())
+               ? user_means[static_cast<size_t>(u)]
+               : 0.0;
+  };
+
+  // The drain delivers (pair, shard) groups in ascending key order, so each
+  // pair's shard partials arrive consecutively in ascending shard order —
+  // the exact association MergeJob2Moments' reducers use. Merge them
+  // pair-locally and finish through the shared batched kernel; the guarded
+  // short-circuit to literal 0 mirrors FinishMergedPairs.
+  {
+    auto stream = MakePearsonFinishStream<UserPairKey>(
+        sim_options, [&builder, delta](const UserPairKey& key, double sim) {
+          if (sim >= delta) builder.Offer(key.first, key.second, sim);
+        });
+    bool have_pair = false;
+    UserPairKey current{};
+    PairMoments total;
+    const auto finish_current = [&] {
+      if (!have_pair) return;
+      if (PearsonOverlapGuardFails(total.n, sim_options)) {
+        if (0.0 >= delta) builder.Offer(current.first, current.second, 0.0);
+      } else if (current.first <= current.second) {
+        stream.Stage(total, mean_of(current.first), mean_of(current.second),
+                     current);
+      } else {
+        stream.Stage(total.Swapped(), mean_of(current.second),
+                     mean_of(current.first), current);
+      }
+    };
+    FAIRREC_RETURN_NOT_OK(moments.Drain(
+        [&](UserId a, UserId b, int32_t /*shard*/,
+            const PairMoments& group_moments) -> Status {
+          const UserPairKey key{a, b};
+          if (have_pair && key == current) {
+            total.Merge(group_moments);
+          } else {
+            finish_current();
+            current = key;
+            // Zero-then-merge, not copy: the vector overload's reducers
+            // fold each pair's first partial into a default PairMoments.
+            total = PairMoments();
+            total.Merge(group_moments);
+            have_pair = true;
+          }
+          return Status::OK();
+        }));
+    finish_current();
+    // Falling off the scope flushes the stream's ragged tail into the
+    // builder before Build() freezes it.
+  }
+
+  PeerIndex index = std::move(builder).Build();
+  if (stats != nullptr) {
+    stats->input_records = records_in;
+    stats->intermediate_records = moments.stats().groups_out;
+    stats->output_records = index.num_entries();
+  }
   return index;
 }
 

@@ -9,6 +9,7 @@
 #include "core/aggregation.h"
 #include "mapreduce/engine.h"
 #include "ratings/types.h"
+#include "sim/moment_shuffle.h"
 #include "sim/moment_store.h"
 #include "sim/pearson_finish.h"
 #include "sim/peer_index.h"
@@ -76,6 +77,37 @@ Result<Job1Output> RunJob1(const std::vector<RatingTriple>& ratings,
                            const MapReduceOptions& options = {},
                            int32_t num_moment_shards = 1);
 
+/// Job 1 output in the memory-bounded shuffle layout: the candidate stream
+/// is materialized as usual, but the moment records live inside a
+/// PairMomentShuffle — buffered up to its byte budget, spilled to sorted
+/// run files beyond it — instead of the in-memory partial_moments vector.
+/// Job 2 consumes it with the shuffle overload of RunJob2PeerIndex, which
+/// k-way-merges the runs back into the exact global (pair, shard, item)
+/// order the unspilled sort produces.
+struct Job1SpilledOutput {
+  std::vector<KeyValue<ItemId, std::vector<UserRating>>> candidate_items;
+  /// The undrained shuffle holding every per-co-rating moment record. Pass
+  /// it to RunJob2PeerIndex; read stats() afterwards for spill accounting.
+  PairMomentShuffle moments;
+  MapReduceStats stats;
+  /// Records offered to the shuffle — the same per-co-rating count
+  /// Job1Output::co_rating_records reports.
+  int64_t co_rating_records = 0;
+};
+
+/// RunJob1 under a shuffle byte budget: identical map and reduce logic, but
+/// each (member, outside-user, shard, item) moment contribution goes
+/// straight into a PairMomentShuffle configured by `shuffle_options`
+/// (combine_on_spill is forced off — reducer emission order follows
+/// partition scheduling, not items, and in-run pre-combining would change
+/// the fold order). The per-(pair, shard) groups the shuffle's Drain later
+/// delivers are bit-identical to Job1Output::partial_moments at every
+/// budget, including 0 (unbounded buffer, no temp files).
+Result<Job1SpilledOutput> RunJob1Spilled(
+    const std::vector<RatingTriple>& ratings, const Group& group,
+    int32_t num_users, const MomentShuffleOptions& shuffle_options,
+    const MapReduceOptions& options = {}, int32_t num_moment_shards = 1);
+
 /// Job 2 — "Calculate simU". Merges each pair's per-shard moments (they
 /// arrive grouped and in shard order), finishes Eq. 2 through the engine's
 /// FinishPearsonFromMoments under `sim_options` (using `user_means` for the
@@ -105,6 +137,24 @@ Result<PeerIndex> RunJob2PeerIndex(
     const RatingSimilarityOptions& sim_options, double delta,
     int32_t num_users, int32_t max_peers_per_member = 0,
     const MapReduceOptions& options = {}, MapReduceStats* stats = nullptr);
+
+/// Job 2 over a RunJob1Spilled boundary: a k-way merge-reduce. Drains the
+/// shuffle (merging its sorted runs), sums each pair's per-shard groups in
+/// the ascending shard order the merge delivers — the same association the
+/// vector overload's reducers use — and finishes through the identical
+/// batched kernel into the same PeerIndex artifact. Because the shuffle's
+/// merge reproduces the unspilled sort's global record order bit-for-bit,
+/// the returned index is byte-identical to the vector overload's at every
+/// (shard layout x budget) combination. The shuffle is spent afterwards;
+/// its stats() survive for spill accounting. `stats`, when non-null, gets
+/// input_records = shuffle records, intermediate_records = merged
+/// (pair, shard) groups, output_records = stored index entries.
+Result<PeerIndex> RunJob2PeerIndex(PairMomentShuffle& moments,
+                                   const std::vector<double>& user_means,
+                                   const RatingSimilarityOptions& sim_options,
+                                   double delta, int32_t num_users,
+                                   int32_t max_peers_per_member = 0,
+                                   MapReduceStats* stats = nullptr);
 
 /// Folds the Job 1 moment stream into the persistent MomentStore the
 /// incremental peer-graph maintenance subsystem consumes

@@ -19,31 +19,57 @@ Result<PipelineResult> GroupRecommendationPipeline::Run(
   const std::vector<double> means =
       RunUserMeanJob(triples, matrix.num_users(), options_.mapreduce);
 
-  // Job 1: candidates + per-shard partial sufficient statistics.
-  FAIRREC_ASSIGN_OR_RETURN(
-      Job1Output job1,
-      RunJob1(triples, group, matrix.num_users(), options_.mapreduce,
-              options_.moment_shards));
-  result.job1_stats = job1.stats;
-  result.num_candidate_items = static_cast<int64_t>(job1.candidate_items.size());
-  result.num_moment_records = static_cast<int64_t>(job1.partial_moments.size());
-  result.num_co_rating_records = job1.co_rating_records;
-
-  // Job 2, peer-list output mode: merge the shard moments, finish simU,
-  // apply the Def. 1 threshold, and feed the reducers straight into the
-  // shared PeerIndex artifact.
-  FAIRREC_ASSIGN_OR_RETURN(
-      result.peer_index,
-      RunJob2PeerIndex(job1.partial_moments, means, options_.similarity,
-                       options_.delta, matrix.num_users(),
-                       /*max_peers_per_member=*/0, options_.mapreduce,
-                       &result.job2_stats));
+  // Jobs 1 + 2: candidates, the partial sufficient statistics, and the
+  // peer-list artifact. Two layouts of the Job 1 -> Job 2 boundary share
+  // the byte-identical-artifact contract: the classic in-memory moment
+  // vector, and (under max_shuffle_bytes) the external-sort shuffle whose
+  // runs Job 2 k-way-merge-reduces.
+  std::vector<KeyValue<ItemId, std::vector<UserRating>>> candidate_items;
+  if (options_.max_shuffle_bytes > 0) {
+    MomentShuffleOptions shuffle_options;
+    shuffle_options.max_buffer_bytes = options_.max_shuffle_bytes;
+    shuffle_options.temp_dir = options_.shuffle_spill_dir;
+    FAIRREC_ASSIGN_OR_RETURN(
+        Job1SpilledOutput job1,
+        RunJob1Spilled(triples, group, matrix.num_users(), shuffle_options,
+                       options_.mapreduce, options_.moment_shards));
+    result.job1_stats = job1.stats;
+    result.num_candidate_items =
+        static_cast<int64_t>(job1.candidate_items.size());
+    result.num_co_rating_records = job1.co_rating_records;
+    FAIRREC_ASSIGN_OR_RETURN(
+        result.peer_index,
+        RunJob2PeerIndex(job1.moments, means, options_.similarity,
+                         options_.delta, matrix.num_users(),
+                         /*max_peers_per_member=*/0, &result.job2_stats));
+    result.shuffle_stats = job1.moments.stats();
+    result.num_moment_records = result.shuffle_stats.groups_out;
+    candidate_items = std::move(job1.candidate_items);
+  } else {
+    FAIRREC_ASSIGN_OR_RETURN(
+        Job1Output job1,
+        RunJob1(triples, group, matrix.num_users(), options_.mapreduce,
+                options_.moment_shards));
+    result.job1_stats = job1.stats;
+    result.num_candidate_items =
+        static_cast<int64_t>(job1.candidate_items.size());
+    result.num_moment_records =
+        static_cast<int64_t>(job1.partial_moments.size());
+    result.num_co_rating_records = job1.co_rating_records;
+    FAIRREC_ASSIGN_OR_RETURN(
+        result.peer_index,
+        RunJob2PeerIndex(job1.partial_moments, means, options_.similarity,
+                         options_.delta, matrix.num_users(),
+                         /*max_peers_per_member=*/0, options_.mapreduce,
+                         &result.job2_stats));
+    candidate_items = std::move(job1.candidate_items);
+  }
   result.num_similarity_pairs = result.peer_index.num_entries();
 
   // Job 3: Eq. 1 per member + Def. 2 group relevance, straight off the
   // peer-list artifact (no per-pair re-sort).
   const auto relevance =
-      RunJob3(job1.candidate_items, result.peer_index, group,
+      RunJob3(candidate_items, result.peer_index, group,
               options_.aggregation, options_.mapreduce, &result.job3_stats);
 
   // Assemble the selector context in the same shape as the serial path; the

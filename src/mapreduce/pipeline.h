@@ -33,6 +33,16 @@ struct PipelineOptions {
   /// per pair before the Job 1 / Job 2 boundary. 1 = single-node layout,
   /// which reproduces the in-memory engine's accumulation order exactly.
   int32_t moment_shards = 1;
+  /// Byte budget of the Job 1 -> Job 2 moment shuffle. 0 (the default)
+  /// keeps the boundary fully in memory (the classic layout). > 0 routes
+  /// it through RunJob1Spilled / the shuffle overload of RunJob2PeerIndex:
+  /// moment records buffer up to this many bytes, overflow to sorted run
+  /// files under `shuffle_spill_dir`, and Job 2 k-way-merge-reduces the
+  /// runs — the peer index is byte-identical at every budget.
+  size_t max_shuffle_bytes = 0;
+  /// Directory for spilled shuffle runs (created if missing). Required when
+  /// max_shuffle_bytes > 0.
+  std::string shuffle_spill_dir;
   MapReduceOptions mapreduce;
   FairnessHeuristicOptions heuristic;
 };
@@ -60,6 +70,9 @@ struct PipelineResult {
   /// PartialSimilarity stream would have shipped.
   int64_t num_moment_records = 0;
   int64_t num_co_rating_records = 0;
+  /// External-sort accounting of the budgeted boundary (all zeros when
+  /// max_shuffle_bytes == 0 and the classic in-memory layout ran).
+  MomentShuffleStats shuffle_stats;
 };
 
 /// The paper's §IV flow, end to end:

@@ -140,6 +140,10 @@ Status DurablePeerGraph::Checkpoint() {
 }
 
 Status DurablePeerGraph::WriteCheckpoint() {
+  // A budgeted store may hold spilled tiles; the checkpoint serializes the
+  // whole artifact, so fault everything back in first (the budget is
+  // re-enforced by the next apply).
+  FAIRREC_RETURN_NOT_OK(graph_.EnsureStoreResident());
   std::string payload;
   {
     BlobWriter writer(&payload);

@@ -62,6 +62,10 @@ Status ValidateOptions(const IncrementalPeerGraphOptions& options) {
   if (options.store.tile_users <= 0) {
     return Status::InvalidArgument("store.tile_users must be positive");
   }
+  if (options.store_budget_bytes > 0 && options.store_spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "store_budget_bytes needs a store_spill_dir to evict tiles into");
+  }
   return Status::OK();
 }
 
@@ -78,8 +82,9 @@ Result<IncrementalPeerGraph> IncrementalPeerGraph::Build(
   const PairwiseSimilarityEngine engine(graph.matrix_.get(),
                                         options.similarity, options.engine);
   const auto start = std::chrono::steady_clock::now();
-  FAIRREC_ASSIGN_OR_RETURN(graph.store_,
+  FAIRREC_ASSIGN_OR_RETURN(MomentStore store,
                            engine.BuildMomentStore(options.store));
+  graph.store_ = std::make_unique<MomentStore>(std::move(store));
   FAIRREC_ASSIGN_OR_RETURN(PeerIndex index,
                            engine.BuildPeerIndex(options.peers));
   if (options.calibrate_planner) {
@@ -89,6 +94,7 @@ Result<IncrementalPeerGraph> IncrementalPeerGraph::Build(
                                      SecondsSince(start));
   }
   graph.index_ = std::make_shared<const PeerIndex>(std::move(index));
+  FAIRREC_RETURN_NOT_OK(graph.AttachResidency());
   return graph;
 }
 
@@ -108,15 +114,31 @@ Result<IncrementalPeerGraph> IncrementalPeerGraph::FromArtifacts(
   graph.options_ = options;
   graph.cost_model_ = PatchCostModel(options.patch_pair_cost);
   graph.matrix_ = std::make_unique<RatingMatrix>(std::move(matrix));
-  graph.store_ = std::move(store);
+  graph.store_ = std::make_unique<MomentStore>(std::move(store));
   graph.index_ = std::make_shared<const PeerIndex>(std::move(index));
+  FAIRREC_RETURN_NOT_OK(graph.AttachResidency());
   return graph;
+}
+
+Status IncrementalPeerGraph::AttachResidency() {
+  if (options_.store_budget_bytes == 0) return Status::OK();
+  FAIRREC_ASSIGN_OR_RETURN(
+      TileResidencyManager manager,
+      store_->WithBudget(options_.store_budget_bytes,
+                         options_.store_spill_dir));
+  residency_ = std::make_unique<TileResidencyManager>(std::move(manager));
+  return residency_->EnforceBudget();
+}
+
+Status IncrementalPeerGraph::EnsureStoreResident() {
+  if (residency_ == nullptr) return Status::OK();
+  return residency_->RestoreAll();
 }
 
 std::vector<Peer> IncrementalPeerGraph::RefinishRow(
     const PairwiseSimilarityEngine& engine, UserId v) const {
   std::vector<Peer> row;
-  const auto entries = store_.RowOf(v);
+  const auto entries = store_->RowOf(v);
   row.reserve(entries.size());
   // Stage the row's stored moments into the batched kernel — the
   // bit-identical vectorized form of the finish the full sweep applies.
@@ -155,14 +177,18 @@ Status IncrementalPeerGraph::RebuildFromScratch(RatingMatrix new_matrix) {
   const PairwiseSimilarityEngine engine(matrix_.get(), options_.similarity,
                                         options_.engine);
   const auto start = std::chrono::steady_clock::now();
-  FAIRREC_ASSIGN_OR_RETURN(store_, engine.BuildMomentStore(options_.store));
+  // The rebuild replaces every tile, so the old manager's spill blobs are
+  // all stale: drop the manager (its destructor removes the blobs) before
+  // assigning through the stable store address, then re-attach.
+  residency_.reset();
+  FAIRREC_ASSIGN_OR_RETURN(*store_, engine.BuildMomentStore(options_.store));
   FAIRREC_ASSIGN_OR_RETURN(PeerIndex index,
                            engine.BuildPeerIndex(options_.peers));
   if (options_.calibrate_planner) {
     cost_model_.ObserveRebuild(RebuildCostUnits(), SecondsSince(start));
   }
   index_ = std::make_shared<const PeerIndex>(std::move(index));
-  return Status::OK();
+  return AttachResidency();
 }
 
 double IncrementalPeerGraph::RebuildCostUnits() const {
@@ -229,6 +255,7 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
                                delta.ApplyTo(*matrix_));
       FAIRREC_RETURN_NOT_OK(RebuildFromScratch(std::move(new_matrix)));
       stats.used_full_rebuild = true;
+      if (residency_ != nullptr) stats.resident_bytes = store_->ResidentBytes();
       return stats;
     }
   }
@@ -239,7 +266,19 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
   const std::vector<UserId> delta_users = delta.TouchedUsers();
   std::vector<uint8_t> in_delta(static_cast<size_t>(new_matrix.num_users()), 0);
   for (const UserId u : delta_users) in_delta[static_cast<size_t>(u)] = 1;
-  store_.EnsureNumUsers(new_matrix.num_users());
+  if (residency_ != nullptr && new_matrix.num_users() > store_->num_users() &&
+      store_->num_tiles() > 0) {
+    // Growing the population resizes the tail tile's row vector, which
+    // requires it resident — and stales any spill blob of its old shape.
+    const size_t tail = store_->num_tiles() - 1;
+    FAIRREC_RETURN_NOT_OK(residency_->EnsureResident(tail));
+    store_->EnsureNumUsers(new_matrix.num_users());
+    residency_->SyncShape();
+    residency_->NoteTileDirty(tail);
+  } else {
+    store_->EnsureNumUsers(new_matrix.num_users());
+    if (residency_ != nullptr) residency_->SyncShape();
+  }
 
   // ---- 2. Delta sweep: only the touched item columns. ----
   // Each changed rating pairs against its item's post-delta column; the
@@ -325,6 +364,34 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
             });
   stats.changed_pairs = static_cast<int64_t>(moment_deltas.size());
 
+  // ---- 2.5. Under a residency budget, fault in and pin every tile the
+  // patch reads or writes: the delta users' rows (the changed_sim expansion
+  // below), and both rows of every changed pair (the store fold and the
+  // re-finish reads). Pinned tiles cannot be evicted mid-patch; the budget
+  // is re-enforced once the pins drop after the index swap. ----
+  std::vector<size_t> pinned_tiles;
+  std::vector<uint8_t> pin_mark;
+  TileResidencyStats residency_before;
+  const auto pin_user_tile = [&](UserId u) -> Status {
+    const size_t t = residency_->TileOfUser(u);
+    if (pin_mark[t] != 0) return Status::OK();
+    pin_mark[t] = 1;
+    FAIRREC_RETURN_NOT_OK(residency_->Pin(t));
+    pinned_tiles.push_back(t);
+    return Status::OK();
+  };
+  if (residency_ != nullptr) {
+    residency_before = residency_->stats();
+    pin_mark.assign(store_->num_tiles(), 0);
+    for (const PairMomentsDelta& d : moment_deltas) {
+      FAIRREC_RETURN_NOT_OK(pin_user_tile(d.a));
+      FAIRREC_RETURN_NOT_OK(pin_user_tile(d.b));
+    }
+    for (const UserId u : delta_users) {
+      FAIRREC_RETURN_NOT_OK(pin_user_tile(u));
+    }
+  }
+
   // ---- 3. The pairs whose similarity must be re-finished, gathered
   // *before* the fold (erased pairs must still reach their rows as
   // removals). Under global means a delta user's µ_u moved, so every stored
@@ -333,7 +400,7 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
   std::vector<uint64_t> changed_sim;
   changed_sim.reserve(moment_deltas.size());
   for (const PairMomentsDelta& d : moment_deltas) {
-    const PairMoments* existing = store_.FindPair(d.a, d.b);
+    const PairMoments* existing = store_->FindPair(d.a, d.b);
     if (existing != nullptr && existing->n + d.delta.n == 0) {
       ++stats.erased_pairs;
     }
@@ -341,7 +408,7 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
   }
   if (!options_.similarity.intersection_means) {
     for (const UserId u : delta_users) {
-      for (const MomentEntry& entry : store_.RowOf(u)) {
+      for (const MomentEntry& entry : store_->RowOf(u)) {
         changed_sim.push_back(u < entry.other ? PairKey(u, entry.other)
                                               : PairKey(entry.other, u));
       }
@@ -350,9 +417,26 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
   std::sort(changed_sim.begin(), changed_sim.end());
   changed_sim.erase(std::unique(changed_sim.begin(), changed_sim.end()),
                     changed_sim.end());
+  if (residency_ != nullptr) {
+    // The re-finish also reads the *partner* rows of changed pairs (their
+    // peer lists absorb the new similarities, and capped partners may
+    // rebuild in full from their store row): pin those tiles too.
+    for (const uint64_t key : changed_sim) {
+      FAIRREC_RETURN_NOT_OK(pin_user_tile(KeyA(key)));
+      FAIRREC_RETURN_NOT_OK(pin_user_tile(KeyB(key)));
+    }
+  }
 
   // ---- 4. Fold the moment deltas and swap in the new corpus. ----
-  store_.ApplyPairDeltas(moment_deltas);
+  store_->ApplyPairDeltas(moment_deltas);
+  if (residency_ != nullptr) {
+    // The fold rewrote rows in both tiles of every changed pair: their
+    // spill blobs (if any) predate the fold and must never be restored.
+    for (const PairMomentsDelta& d : moment_deltas) {
+      residency_->NoteTileDirty(residency_->TileOfUser(d.a));
+      residency_->NoteTileDirty(residency_->TileOfUser(d.b));
+    }
+  }
   *matrix_ = std::move(new_matrix);
   const PairwiseSimilarityEngine engine(matrix_.get(), options_.similarity,
                                         options_.engine);
@@ -375,7 +459,7 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
     for (const uint64_t key : changed_sim) {
       const UserId a = KeyA(key);
       const UserId b = KeyB(key);
-      const PairMoments* moments = store_.FindPair(a, b);
+      const PairMoments* moments = store_->FindPair(a, b);
       if (moments == nullptr || engine.SkipsFinish(*moments)) {
         row_changes.push_back({a, b, 0.0});
         row_changes.push_back({b, a, 0.0});
@@ -502,6 +586,19 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
     }
   }
   index_ = std::make_shared<const PeerIndex>(std::move(patch).Build());
+
+  // ---- 9. Drop the pins, re-enforce the budget, and report the apply's
+  // residency traffic. ----
+  if (residency_ != nullptr) {
+    for (const size_t t : pinned_tiles) residency_->Unpin(t);
+    FAIRREC_RETURN_NOT_OK(residency_->EnforceBudget());
+    const TileResidencyStats& after = residency_->stats();
+    stats.tile_restores = after.restores - residency_before.restores;
+    stats.tile_spills = after.evictions - residency_before.evictions;
+    stats.spill_bytes_written =
+        after.spill_bytes_written - residency_before.spill_bytes_written;
+    stats.resident_bytes = store_->ResidentBytes();
+  }
 
   // Close the calibration loop: this patch's wall time, normalized by the
   // planner units it was predicted with, feeds the next decision.

@@ -13,6 +13,7 @@
 #include "sim/pairwise_engine.h"
 #include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
+#include "sim/tile_residency.h"
 
 namespace fairrec {
 
@@ -29,6 +30,20 @@ struct IncrementalPeerGraphOptions {
   PeerIndexOptions peers;
   /// Spill/accounting granularity of the persistent moment store.
   MomentStoreOptions store;
+
+  // --- Memory-budgeted residency (sim/tile_residency.h). ---
+
+  /// Byte budget over the moment store's resident tiles. 0 (the default)
+  /// keeps the whole store in memory, exactly as before budgets existed.
+  /// With a budget, ApplyDelta pins the tiles its touched rows live in,
+  /// faults spilled ones back from disk, and re-enforces the budget after
+  /// the patch — so a corpus whose pair moments exceed RAM still maintains
+  /// its peer graph incrementally. Note the seeding Build still sweeps the
+  /// dense engine path; to *build* beyond RAM, seed via
+  /// BuildMomentStoreOutOfCore + FromArtifacts.
+  size_t store_budget_bytes = 0;
+  /// Directory for spilled tile blobs. Required when store_budget_bytes > 0.
+  std::string store_spill_dir;
 
   // --- Batch-size-aware delta planning. ---
   // Past some touched fraction of the item universe a from-scratch engine
@@ -97,6 +112,18 @@ struct DeltaApplyStats {
   /// patch counters above are then all zero; the rebuilt artifacts are the
   /// parity reference itself).
   bool used_full_rebuild = false;
+
+  // --- Residency traffic of a budgeted apply (store_budget_bytes > 0;
+  // all zero when unbounded). ---
+
+  /// Tiles faulted in from spill blobs for this batch's touched rows.
+  int64_t tile_restores = 0;
+  /// Tiles evicted re-enforcing the budget after the patch.
+  int64_t tile_spills = 0;
+  /// Spill blob bytes written during this apply.
+  uint64_t spill_bytes_written = 0;
+  /// The store's resident bytes after the apply (post-enforcement).
+  size_t resident_bytes = 0;
 };
 
 /// Incremental maintenance of the Def. 1 peer graph under continuously
@@ -183,8 +210,21 @@ class IncrementalPeerGraph {
   /// The evolving corpus. Valid until the next ApplyDelta.
   const RatingMatrix& matrix() const { return *matrix_; }
 
-  /// The persistent sufficient-statistics store backing the patches.
-  const MomentStore& store() const { return store_; }
+  /// The persistent sufficient-statistics store backing the patches. Under
+  /// a residency budget, spilled tiles are not readable until
+  /// EnsureStoreResident (whole-store consumers) or the next ApplyDelta
+  /// pins them (row consumers).
+  const MomentStore& store() const { return *store_; }
+
+  /// The residency manager enforcing options().store_budget_bytes, or null
+  /// when unbounded.
+  const TileResidencyManager* residency() const { return residency_.get(); }
+
+  /// Restores every spilled tile — the precondition of whole-store reads
+  /// (checkpoint serialization, operator== against a reference store).
+  /// The budget is re-enforced by the next ApplyDelta. No-op when
+  /// unbounded.
+  Status EnsureStoreResident();
 
   const IncrementalPeerGraphOptions& options() const { return options_; }
 
@@ -211,13 +251,20 @@ class IncrementalPeerGraph {
   /// are normalized by).
   double RebuildCostUnits() const;
 
+  /// Creates the residency manager when a budget is configured (store_ must
+  /// already hold the final store) and brings residency under the budget.
+  Status AttachResidency();
+
   IncrementalPeerGraphOptions options_;
   PatchCostModel cost_model_;
   // unique_ptr so the matrix's address is stable across moves of the graph
   // (PairwiseSimilarityEngine instances hold a pointer to it during a call,
   // and callers hold matrix() references).
   std::unique_ptr<RatingMatrix> matrix_;
-  MomentStore store_;
+  // unique_ptr for the same address stability: the residency manager holds
+  // a pointer to the store across moves of the graph.
+  std::unique_ptr<MomentStore> store_;
+  std::unique_ptr<TileResidencyManager> residency_;
   std::shared_ptr<const PeerIndex> index_;
 };
 

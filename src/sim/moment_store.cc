@@ -167,6 +167,36 @@ void MomentStore::EnsureNumUsers(int32_t num_users) {
   }
 }
 
+void MomentStore::AppendRowEntry(UserId u, UserId other,
+                                 const PairMoments& moments) {
+  FAIRREC_DCHECK(u >= 0 && u < num_users_);
+  FAIRREC_DCHECK(other >= 0 && other < num_users_ && other != u);
+  FAIRREC_DCHECK(moments.n > 0);
+  std::vector<MomentEntry>& row = MutableRow(u);
+  FAIRREC_DCHECK(row.empty() || row.back().other < other);
+  row.push_back({other, moments});
+  if (u < other) ++num_pairs_;
+}
+
+void MomentStore::FinalizeAssembledTile(size_t t) {
+  FAIRREC_DCHECK(t < tiles_.size());
+  Tile& tile = tiles_[t];
+  FAIRREC_CHECK(tile.resident);
+  for (std::vector<MomentEntry>& row : tile.rows) {
+    // push_back growth leaves geometric capacity; compact to the Builder's
+    // size + slack policy so evict/restore is byte-accounting neutral and
+    // the resident budget reflects real entry mass, not growth slack.
+    if (row.capacity() > row.size() + kRowSlackEntries) {
+      std::vector<MomentEntry> compact;
+      compact.reserve(row.size() + kRowSlackEntries);
+      compact.assign(row.begin(), row.end());
+      row = std::move(compact);
+    }
+  }
+  RecomputeTileBytes(t);
+  NotePeak();
+}
+
 void MomentStore::ApplyPairDeltas(std::span<const PairMomentsDelta> deltas) {
   if (deltas.empty()) return;
 
@@ -353,6 +383,9 @@ std::string MomentStore::SerializeTile(size_t t) const {
       AppendRaw(blob, &entry.moments.sum_ab, sizeof(double));
     }
   }
+  // While the caller holds this blob the process carries both the resident
+  // rows and their serialized copy — the spill path's transient footprint.
+  NoteTransientPeak(blob.size());
   return blob;
 }
 
@@ -440,6 +473,15 @@ Status MomentStore::RestoreTile(size_t t, std::string_view blob) {
     return Status::InvalidArgument("trailing bytes in moment tile blob");
   }
   (void)last_user;
+  // The re-materialization high-water: the freshly decoded rows and the
+  // caller's blob coexist with everything already resident before the
+  // install below — the footprint an evict→restore cycle actually reaches.
+  // Noting only the post-install residency would under-report it.
+  {
+    size_t incoming = 0;
+    for (const std::vector<MomentEntry>& row : rows) incoming += RowBytes(row);
+    NoteTransientPeak(incoming + blob.size());
+  }
   tile.rows = std::move(rows);
   tile.resident = true;
   RecomputeTileBytes(t);
@@ -536,6 +578,10 @@ void MomentStore::RecomputeTileBytes(size_t t) {
 
 void MomentStore::NotePeak() {
   peak_bytes_ = std::max(peak_bytes_, ResidentBytes());
+}
+
+void MomentStore::NoteTransientPeak(size_t extra_bytes) const {
+  peak_bytes_ = std::max(peak_bytes_, ResidentBytes() + extra_bytes);
 }
 
 }  // namespace fairrec

@@ -15,6 +15,8 @@
 
 namespace fairrec {
 
+class TileResidencyManager;
+
 /// One neighbour of a user in the moment store: the other user of the pair
 /// and the pair's six sufficient statistics. `moments` is always stored in
 /// the canonical (min id = a, max id = b) orientation — the orientation the
@@ -101,6 +103,12 @@ class MomentStore {
   /// An empty store (no users). Replace via Builder or EnsureNumUsers.
   MomentStore() = default;
 
+  /// An empty store with the given tile granularity; grow via
+  /// EnsureNumUsers. The streaming-assembly entry point (the out-of-core
+  /// build fills rows with AppendRowEntry instead of a Builder, whose
+  /// per-row slack reservation would charge every empty row up front).
+  explicit MomentStore(MomentStoreOptions options) : options_(options) {}
+
   int32_t num_users() const { return num_users_; }
   const MomentStoreOptions& options() const { return options_; }
 
@@ -118,6 +126,19 @@ class MomentStore {
   /// Grows the population to at least `num_users` (new rows empty). Existing
   /// rows and tiles are untouched; new tiles start resident.
   void EnsureNumUsers(int32_t num_users);
+
+  /// Appends one entry to the end of row `u` — the streaming assembly path
+  /// of the out-of-core build (sim/tile_residency.h), which fills rows in
+  /// ascending (row, other) order from a merged spill stream instead of
+  /// holding a whole Builder's worth of rows. `other` must exceed the row's
+  /// current last entry and the row's tile must be resident. Byte accounting
+  /// is deferred to FinalizeAssembledTile, called once per completed tile.
+  void AppendRowEntry(UserId u, UserId other, const PairMoments& moments);
+
+  /// Compacts every row of tile `t` to the Builder's size-plus-slack
+  /// capacity policy (so evict/restore stays byte-accounting neutral) and
+  /// recomputes the tile's bytes. Pairs with AppendRowEntry.
+  void FinalizeAssembledTile(size_t t);
 
   /// Folds a batch of canonical pair deltas into the store: existing pairs
   /// are additively merged (and erased when their overlap count reaches
@@ -169,13 +190,31 @@ class MomentStore {
   /// accounting (peak_bytes) is excluded — it is telemetry, not state.
   friend bool operator==(const MomentStore& a, const MomentStore& b);
 
+  /// Budget-aware facade: a TileResidencyManager enforcing `budget_bytes`
+  /// of residency over this store's tiles, spilling least-recently-used
+  /// tiles to checksummed blob files under `spill_dir` (created if missing)
+  /// and faulting them back on access. The store must outlive the manager
+  /// and must not move while it exists (the manager holds a pointer).
+  /// Defined in sim/tile_residency.cc.
+  Result<TileResidencyManager> WithBudget(size_t budget_bytes,
+                                          std::string spill_dir);
+
   /// Resident heap bytes across all tiles (entry storage only).
   size_t ResidentBytes() const;
-  /// High-water mark of ResidentBytes() over the store's lifetime — the
-  /// metric bench_incremental_update gates with --check-peak-bytes-max.
+  /// High-water mark of the store's memory footprint over its lifetime —
+  /// the metric bench_incremental_update gates with --check-peak-bytes-max.
+  /// Includes the transient cost of spill traffic: while SerializeTile
+  /// holds a tile's blob the footprint is resident + blob, and while
+  /// RestoreTile re-materializes rows next to the caller's blob it is
+  /// resident + blob + incoming rows — evict→restore cycles would otherwise
+  /// under-report the true high-water mark.
   size_t peak_bytes() const { return peak_bytes_; }
 
  private:
+  /// The residency manager recomputes tile accounting mid-assembly and
+  /// drives the spill lifecycle through the private tile internals.
+  friend class TileResidencyManager;
+
   struct Tile {
     /// One vector per user id in the tile's range, sorted by `other`.
     std::vector<std::vector<MomentEntry>> rows;
@@ -188,12 +227,16 @@ class MomentStore {
   std::vector<MomentEntry>& MutableRow(UserId u);
   void RecomputeTileBytes(size_t t);
   void NotePeak();
+  /// Notes ResidentBytes() + `extra_bytes` as a footprint high-water —
+  /// the spill paths' transient blob/row buffers (const: SerializeTile is
+  /// logically read-only; the peak is telemetry, not state).
+  void NoteTransientPeak(size_t extra_bytes) const;
 
   MomentStoreOptions options_;
   int32_t num_users_ = 0;
   int64_t num_pairs_ = 0;
   std::vector<Tile> tiles_;
-  size_t peak_bytes_ = 0;
+  mutable size_t peak_bytes_ = 0;
 };
 
 }  // namespace fairrec

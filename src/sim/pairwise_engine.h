@@ -40,8 +40,23 @@ struct PairwiseEngineStats {
   /// kernel and the sink (the O(pairs) phase).
   double finish_seconds = 0.0;
   /// Pairs drained (every pair of the strict upper triangle, guarded or
-  /// not).
+  /// not; for the store-backed sweep of sim/tile_residency.h, every stored
+  /// pair).
   int64_t pairs_finished = 0;
+
+  // --- Residency traffic of a budgeted store-backed sweep
+  // (BuildPeerIndexFromStore over a TileResidencyManager). The in-memory
+  // engine paths never touch these; they stay zero there. ---
+
+  /// Tiles faulted in from spill blobs during the sweep.
+  int64_t tile_restores = 0;
+  /// Tiles evicted to stay under the residency budget.
+  int64_t tile_spills = 0;
+  /// Spill blob bytes written during the sweep.
+  uint64_t spill_bytes_written = 0;
+  /// High-water of the moment store's resident bytes — the figure
+  /// bench_outofcore gates against the configured budget.
+  size_t peak_resident_bytes = 0;
 };
 
 /// All-pairs Pearson (Eq. 2) in O(co-ratings), not O(pairs).

@@ -1,0 +1,448 @@
+#include "sim/tile_residency.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/blob_io.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "sim/pearson_finish_batch.h"
+
+namespace fairrec {
+
+namespace {
+
+/// Container type tag of a spilled moment tile ("TS" + version), so a spill
+/// blob can never be loaded as a checkpoint or journal and vice versa.
+constexpr uint32_t kTileSpillTypeTag = 0x53540001u;
+
+/// Appends between budget re-checks during out-of-core assembly: small
+/// enough that the fill overshoots the budget by at most a few hundred KiB
+/// of fresh entries, large enough that the re-accounting walk (one pass over
+/// the tile's row capacities) stays negligible against the appends.
+constexpr int64_t kAppendsPerBudgetCheck = 4096;
+
+/// Headroom each assembly budget check reserves for the appends until the
+/// next one: the entries themselves plus the worst-case push_back capacity
+/// doubling (capacity <= 2 x size), so resident bytes stay under the budget
+/// *between* checks, not only at them.
+constexpr size_t kAssemblyHeadroomBytes =
+    2 * static_cast<size_t>(kAppendsPerBudgetCheck) * sizeof(MomentEntry);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TileResidencyManager
+// ---------------------------------------------------------------------------
+
+Result<TileResidencyManager> TileResidencyManager::Create(
+    MomentStore* store, TileResidencyOptions options) {
+  FAIRREC_CHECK(store != nullptr);
+  if (options.budget_bytes > 0) {
+    if (options.spill_dir.empty()) {
+      return Status::InvalidArgument(
+          "a residency budget needs a spill_dir to evict tiles into");
+    }
+    FAIRREC_RETURN_NOT_OK(EnsureDirectory(options.spill_dir));
+  }
+  return TileResidencyManager(store, std::move(options));
+}
+
+TileResidencyManager::TileResidencyManager(MomentStore* store,
+                                           TileResidencyOptions options)
+    : store_(store), options_(std::move(options)) {
+  SyncShape();
+  NoteResidentPeak();
+}
+
+TileResidencyManager::~TileResidencyManager() {
+  for (size_t t = 0; t < tiles_.size(); ++t) {
+    if (tiles_[t].spill_valid) RemovePath(SpillPath(t)).ok();
+  }
+}
+
+Result<TileResidencyManager> MomentStore::WithBudget(size_t budget_bytes,
+                                                     std::string spill_dir) {
+  return TileResidencyManager::Create(
+      this, {budget_bytes, std::move(spill_dir), /*prefetch_tiles=*/1});
+}
+
+void TileResidencyManager::SyncShape() {
+  if (tiles_.size() < store_->num_tiles()) tiles_.resize(store_->num_tiles());
+}
+
+size_t TileResidencyManager::TileOfUser(UserId u) const {
+  return static_cast<size_t>(u) /
+         static_cast<size_t>(store_->options().tile_users);
+}
+
+std::string TileResidencyManager::SpillPath(size_t t) const {
+  return options_.spill_dir + "/tile_" + std::to_string(t) + ".spill";
+}
+
+void TileResidencyManager::Touch(size_t t) { tiles_[t].last_use = ++clock_; }
+
+void TileResidencyManager::NoteResidentPeak() {
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, store_->ResidentBytes());
+}
+
+Status TileResidencyManager::EnsureResident(size_t t) {
+  FAIRREC_CHECK(t < tiles_.size());
+  Touch(t);
+  if (store_->TileResident(t)) return Status::OK();
+  TileState& state = tiles_[t];
+  if (!state.spill_valid) {
+    return Status::FailedPrecondition(
+        "tile " + std::to_string(t) +
+        " was evicted outside the residency manager; no spill blob to "
+        "restore from");
+  }
+  FAIRREC_ASSIGN_OR_RETURN(std::string blob,
+                           ReadBlobFile(SpillPath(t), kTileSpillTypeTag));
+  // Make room *before* re-materializing, so the budget holds through the
+  // restore, not just after it — resident bytes never overshoot while
+  // unpinned victims remain. Blob bytes are wire entries (48 each); 3/2
+  // over-approximates the resident inflation (sizeof entry + row slack).
+  FAIRREC_RETURN_NOT_OK(
+      EnforceBudgetExcept(t, state.blob_bytes + state.blob_bytes / 2));
+  const Status restored = store_->RestoreTile(t, blob);
+  if (!restored.ok()) {
+    // The container CRC passed but the tile payload failed validation:
+    // integrity loss, not caller error.
+    return Status::DataLoss("spilled tile " + std::to_string(t) +
+                            " failed restore: " +
+                            std::string(restored.message()));
+  }
+  ++stats_.restores;
+  stats_.restore_bytes_read += blob.size();
+  NoteResidentPeak();
+  // The blob still matches the rows (restores do not dirty); a future clean
+  // eviction reuses it without rewriting.
+  return EnforceBudgetExcept(t, 0);
+}
+
+Status TileResidencyManager::EnsureRowResident(UserId u) {
+  return EnsureResident(TileOfUser(u));
+}
+
+Status TileResidencyManager::Pin(size_t t) {
+  FAIRREC_RETURN_NOT_OK(EnsureResident(t));
+  ++tiles_[t].pins;
+  return Status::OK();
+}
+
+void TileResidencyManager::Unpin(size_t t) {
+  FAIRREC_CHECK(t < tiles_.size());
+  FAIRREC_CHECK(tiles_[t].pins > 0);
+  --tiles_[t].pins;
+}
+
+Status TileResidencyManager::Prefetch(size_t t) {
+  if (t >= tiles_.size() || options_.budget_bytes == 0) return Status::OK();
+  if (store_->TileResident(t)) {
+    Touch(t);  // keep the upcoming tile off the eviction list
+    return Status::OK();
+  }
+  const TileState& state = tiles_[t];
+  if (!state.spill_valid) return Status::OK();
+  // Blob bytes are wire entries (48 each); resident rows cost
+  // sizeof(MomentEntry) plus slack per entry. 3/2 over-approximates the
+  // inflation so a prefetch never lands the sweep over budget.
+  const size_t resident_estimate = state.blob_bytes + state.blob_bytes / 2;
+  if (store_->ResidentBytes() + resident_estimate > options_.budget_bytes) {
+    return Status::OK();  // lookahead never displaces anything
+  }
+  return EnsureResident(t);
+}
+
+void TileResidencyManager::NoteTileDirty(size_t t) {
+  FAIRREC_CHECK(t < tiles_.size());
+  TileState& state = tiles_[t];
+  if (!state.spill_valid) return;
+  state.spill_valid = false;
+  stats_.spilled_blob_bytes -= state.blob_bytes;
+  state.blob_bytes = 0;
+  // The stale file is left in place; the next spill atomically replaces it.
+}
+
+Status TileResidencyManager::SpillTile(size_t t) {
+  TileState& state = tiles_[t];
+  if (!store_->TileResident(t)) return Status::OK();
+  if (!state.spill_valid) {
+#if FAIRREC_FAILPOINTS_ENABLED
+    // The mid-spill crash window: the tile is serialized (or about to be)
+    // but its blob has not landed. A real kill here must leave recovery
+    // working from the previous durable state — the killpoint suite walks
+    // this site like the blob-write ones.
+    if (failpoint::Triggered(kFailpointResidencySpill)) {
+      return failpoint::InjectedCrash(kFailpointResidencySpill);
+    }
+#endif
+    const std::string blob = store_->SerializeTile(t);
+    FAIRREC_RETURN_NOT_OK(
+        WriteBlobFileAtomic(SpillPath(t), kTileSpillTypeTag, blob));
+    state.spill_valid = true;
+    state.blob_bytes = blob.size();
+    ++stats_.spill_writes;
+    stats_.spill_bytes_written += blob.size();
+    stats_.spilled_blob_bytes += blob.size();
+  }
+  store_->EvictTile(t);
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Status TileResidencyManager::EnforceBudget(size_t headroom_bytes) {
+  return EnforceBudgetExcept(std::numeric_limits<size_t>::max(),
+                             headroom_bytes);
+}
+
+Status TileResidencyManager::EnforceBudgetExcept(size_t keep,
+                                                 size_t headroom_bytes) {
+  if (options_.budget_bytes == 0) return Status::OK();
+  NoteResidentPeak();
+  while (store_->ResidentBytes() + headroom_bytes > options_.budget_bytes) {
+    size_t victim = tiles_.size();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (size_t t = 0; t < tiles_.size(); ++t) {
+      if (t == keep || tiles_[t].pins > 0) continue;
+      if (!store_->TileResident(t) || store_->TileBytes(t) == 0) continue;
+      if (tiles_[t].last_use < oldest) {
+        oldest = tiles_[t].last_use;
+        victim = t;
+      }
+    }
+    if (victim == tiles_.size()) break;  // only pinned/empty left: best-effort
+    FAIRREC_RETURN_NOT_OK(SpillTile(victim));
+  }
+  return Status::OK();
+}
+
+Status TileResidencyManager::RestoreAll() {
+  for (size_t t = 0; t < tiles_.size(); ++t) {
+    if (store_->TileResident(t)) continue;
+    Touch(t);
+    TileState& state = tiles_[t];
+    if (!state.spill_valid) {
+      return Status::FailedPrecondition(
+          "tile " + std::to_string(t) +
+          " was evicted outside the residency manager");
+    }
+    FAIRREC_ASSIGN_OR_RETURN(std::string blob,
+                             ReadBlobFile(SpillPath(t), kTileSpillTypeTag));
+    const Status restored = store_->RestoreTile(t, blob);
+    if (!restored.ok()) {
+      return Status::DataLoss("spilled tile " + std::to_string(t) +
+                              " failed restore: " +
+                              std::string(restored.message()));
+    }
+    ++stats_.restores;
+    stats_.restore_bytes_read += blob.size();
+  }
+  NoteResidentPeak();
+  return Status::OK();
+}
+
+void TileResidencyManager::RecomputeTileBytes(size_t t) {
+  FAIRREC_CHECK(t < tiles_.size());
+  store_->RecomputeTileBytes(t);
+  store_->NotePeak();
+  NoteResidentPeak();
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core build
+// ---------------------------------------------------------------------------
+
+Result<OutOfCoreStore> BuildMomentStoreOutOfCore(
+    const RatingMatrix& matrix, const OutOfCoreBuildOptions& options,
+    OutOfCoreBuildStats* stats) {
+  if (options.store.tile_users <= 0) {
+    return Status::InvalidArgument("store.tile_users must be positive");
+  }
+  size_t shuffle_buffer = options.shuffle_buffer_bytes;
+  if (shuffle_buffer == 0 && options.budget_bytes > 0) {
+    shuffle_buffer = options.budget_bytes / 4;
+  }
+  if ((options.budget_bytes > 0 || shuffle_buffer > 0) &&
+      options.spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "an out-of-core build needs a spill_dir for tiles and shuffle runs");
+  }
+
+  OutOfCoreStore out;
+  out.store = std::make_unique<MomentStore>(options.store);
+  out.store->EnsureNumUsers(matrix.num_users());
+  if (options.budget_bytes > 0) {
+    FAIRREC_ASSIGN_OR_RETURN(
+        TileResidencyManager manager,
+        out.store->WithBudget(options.budget_bytes, options.spill_dir));
+    out.residency = std::make_unique<TileResidencyManager>(std::move(manager));
+  }
+
+  MomentShuffleOptions shuffle_options;
+  shuffle_options.max_buffer_bytes = shuffle_buffer;
+  shuffle_options.temp_dir = options.spill_dir;
+  // The item sweep below emits each group's records in ascending item
+  // order, which is exactly the precondition that makes the map-side
+  // combine sound (see MomentShuffleOptions::combine_on_spill).
+  shuffle_options.combine_on_spill = true;
+  FAIRREC_ASSIGN_OR_RETURN(PairMomentShuffle shuffle,
+                           PairMomentShuffle::Create(shuffle_options));
+
+  // Emit: the engine's item-inverted accumulation, flattened into streamed
+  // per-item singleton moments. Both row orientations of a pair carry the
+  // *canonical* (min-id as a) moments — the store's bidirectional adjacency
+  // invariant — so the merged fold reproduces the engine's accumulation
+  // exactly (bit-identical on integer scales, where every partial sum is
+  // exactly representable regardless of fold association).
+  Stopwatch emit_watch;
+  for (ItemId item = 0; item < matrix.num_items(); ++item) {
+    const auto column = matrix.UsersWhoRated(item);
+    for (size_t x = 0; x < column.size(); ++x) {
+      for (size_t y = x + 1; y < column.size(); ++y) {
+        // Columns ascend in user id, so column[x].user is the canonical a.
+        PairMoments m;
+        m.Add(column[x].value, column[y].value);
+        FAIRREC_RETURN_NOT_OK(
+            shuffle.Add(column[x].user, column[y].user, 0, item, m));
+        FAIRREC_RETURN_NOT_OK(
+            shuffle.Add(column[y].user, column[x].user, 0, item, m));
+      }
+    }
+  }
+  if (stats != nullptr) stats->emit_seconds = emit_watch.ElapsedSeconds();
+
+  // Assemble: the drain delivers (row, other) groups in ascending order, so
+  // rows fill front-to-back and tiles complete one at a time. The tile
+  // being filled is pinned; finished tiles are dirtied (their blob, if any,
+  // predates the fill) and become eviction candidates as the budget
+  // demands.
+  Stopwatch assemble_watch;
+  MomentStore& store = *out.store;
+  TileResidencyManager* residency = out.residency.get();
+  const auto tile_users = static_cast<size_t>(options.store.tile_users);
+  size_t current_tile = std::numeric_limits<size_t>::max();
+  int64_t appends_since_check = 0;
+  const auto close_tile = [&]() -> Status {
+    if (current_tile == std::numeric_limits<size_t>::max()) {
+      return Status::OK();
+    }
+    store.FinalizeAssembledTile(current_tile);
+    if (residency != nullptr) {
+      residency->NoteTileDirty(current_tile);
+      residency->Unpin(current_tile);
+      FAIRREC_RETURN_NOT_OK(residency->EnforceBudget(0));
+    }
+    return Status::OK();
+  };
+  FAIRREC_RETURN_NOT_OK(shuffle.Drain(
+      [&](UserId row, UserId other, int32_t /*shard*/,
+          const PairMoments& total) -> Status {
+        const size_t t = static_cast<size_t>(row) / tile_users;
+        if (t != current_tile) {
+          FAIRREC_RETURN_NOT_OK(close_tile());
+          if (residency != nullptr) {
+            FAIRREC_RETURN_NOT_OK(residency->Pin(t));
+            FAIRREC_RETURN_NOT_OK(
+                residency->EnforceBudget(kAssemblyHeadroomBytes));
+          }
+          current_tile = t;
+          appends_since_check = 0;
+        }
+        store.AppendRowEntry(row, other, total);
+        if (residency != nullptr &&
+            ++appends_since_check >= kAppendsPerBudgetCheck) {
+          appends_since_check = 0;
+          residency->RecomputeTileBytes(t);
+          FAIRREC_RETURN_NOT_OK(
+              residency->EnforceBudget(kAssemblyHeadroomBytes));
+        }
+        return Status::OK();
+      }));
+  FAIRREC_RETURN_NOT_OK(close_tile());
+  if (stats != nullptr) {
+    stats->assemble_seconds = assemble_watch.ElapsedSeconds();
+    stats->shuffle = shuffle.stats();
+  }
+  return out;
+}
+
+Result<PeerIndex> BuildPeerIndexFromStore(
+    const RatingMatrix& matrix, const MomentStore& store,
+    TileResidencyManager* residency,
+    const RatingSimilarityOptions& sim_options,
+    const PeerIndexOptions& peer_options, PairwiseEngineStats* stats) {
+  if (store.num_users() != matrix.num_users()) {
+    return Status::InvalidArgument(
+        "store/matrix population mismatch: store " +
+        std::to_string(store.num_users()) + " users, matrix " +
+        std::to_string(matrix.num_users()));
+  }
+  // The engine validates the similarity options and supplies the exact
+  // finish semantics (SkipsFinish guard + the batched kernel) the full
+  // sweep uses, so the finished index is byte-identical to its output.
+  const PairwiseSimilarityEngine engine(&matrix, sim_options);
+  const TileResidencyStats residency_before =
+      residency != nullptr ? residency->stats() : TileResidencyStats{};
+
+  Stopwatch finish_watch;
+  PeerIndex::Builder builder(store.num_users(), peer_options);
+  int64_t pairs_finished = 0;
+  const double threshold = peer_options.delta;
+  struct RowPeer {
+    UserId row;
+    UserId other;
+  };
+  for (size_t t = 0; t < store.num_tiles(); ++t) {
+    if (residency != nullptr) {
+      FAIRREC_RETURN_NOT_OK(residency->Pin(t));
+      for (size_t ahead = 1; ahead <= residency->options().prefetch_tiles;
+           ++ahead) {
+        FAIRREC_RETURN_NOT_OK(residency->Prefetch(t + ahead));
+      }
+    }
+    {
+      auto stream = MakePearsonFinishStream<RowPeer>(
+          engine.options(), [&builder, threshold](RowPeer rp, double sim) {
+            if (sim >= threshold) builder.Offer(rp.row, rp.other, sim);
+          });
+      const auto [first_user, last_user] = store.TileUserRange(t);
+      for (UserId u = first_user; u < last_user; ++u) {
+        for (const MomentEntry& entry : store.RowOf(u)) {
+          if (u < entry.other) ++pairs_finished;
+          if (engine.SkipsFinish(entry.moments)) continue;
+          // Stored moments are canonically oriented: stage with the
+          // matching (min, max) global means, the full sweep's exact call.
+          const UserId a = std::min(u, entry.other);
+          const UserId b = std::max(u, entry.other);
+          stream.Stage(entry.moments, matrix.UserMean(a), matrix.UserMean(b),
+                       {u, entry.other});
+        }
+      }
+    }  // stream destruction flushes the tail
+    if (residency != nullptr) {
+      residency->Unpin(t);
+      FAIRREC_RETURN_NOT_OK(residency->EnforceBudget(0));
+    }
+  }
+  if (stats != nullptr) {
+    stats->finish_seconds += finish_watch.ElapsedSeconds();
+    stats->pairs_finished += pairs_finished;
+    if (residency != nullptr) {
+      const TileResidencyStats& after = residency->stats();
+      stats->tile_restores += after.restores - residency_before.restores;
+      stats->tile_spills += after.evictions - residency_before.evictions;
+      stats->spill_bytes_written +=
+          after.spill_bytes_written - residency_before.spill_bytes_written;
+      stats->peak_resident_bytes =
+          std::max(stats->peak_resident_bytes, after.peak_resident_bytes);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace fairrec

@@ -1,0 +1,149 @@
+// Spilling-shuffle parity suite for the MapReduce boundary: at every
+// (shard layout x shuffle budget) combination, the budgeted Job 1 ->
+// k-way-merge Job 2 path must produce a PeerIndex byte-identical to the
+// classic in-memory boundary's — and the whole pipeline must return the
+// same selection. The unique (pair, shard, item) record keys make the
+// merged run order reproduce the unspilled sort exactly; this suite is the
+// executable form of that argument.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/blob_io.h"
+#include "common/random.h"
+#include "mapreduce/jobs.h"
+#include "mapreduce/pipeline.h"
+#include "ratings/rating_matrix.h"
+#include "sim/peer_index.h"
+
+namespace fairrec {
+namespace {
+
+RatingMatrix CorpusMatrix() {
+  RatingMatrixBuilder builder;
+  Rng rng(0xfa1afe1);
+  for (UserId u = 0; u < 40; ++u) {
+    for (ItemId i = 0; i < 30; ++i) {
+      if (rng.NextBool(0.35)) {
+        EXPECT_TRUE(
+            builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+std::string SpillDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/fairrec_mr_spill_" + tag;
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  return dir;
+}
+
+TEST(ShuffleSpillTest, SpilledBoundaryIsByteIdenticalAcrossShardsAndBudgets) {
+  const RatingMatrix matrix = CorpusMatrix();
+  const std::vector<RatingTriple> triples = matrix.ToTriples();
+  const Group group = {1, 4, 9};
+  const std::vector<double> means =
+      RunUserMeanJob(triples, matrix.num_users());
+  RatingSimilarityOptions sim_options;
+  sim_options.shift_to_unit_interval = true;
+  const double delta = 0.5;
+
+  const size_t record_bytes = sizeof(PairMomentShuffle::Record);
+  int probe = 0;
+  for (const int32_t shards : {1, 2, 3, 5, 16}) {
+    // The in-memory boundary at this shard layout is the reference.
+    auto job1 = RunJob1(triples, group, matrix.num_users(), {}, shards);
+    ASSERT_TRUE(job1.ok()) << job1.status().ToString();
+    auto reference =
+        RunJob2PeerIndex(job1->partial_moments, means, sim_options, delta,
+                         matrix.num_users());
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    for (const size_t budget :
+         {static_cast<size_t>(0), record_bytes * 3, record_bytes * 200,
+          static_cast<size_t>(16) << 20}) {
+      const std::string label = "shards " + std::to_string(shards) +
+                                " budget " + std::to_string(budget);
+      MomentShuffleOptions shuffle_options;
+      shuffle_options.max_buffer_bytes = budget;
+      if (budget > 0) {
+        shuffle_options.temp_dir = SpillDir(std::to_string(probe++));
+      }
+      auto spilled = RunJob1Spilled(triples, group, matrix.num_users(),
+                                    shuffle_options, {}, shards);
+      ASSERT_TRUE(spilled.ok()) << label << ": " << spilled.status().ToString();
+      // Identical candidate stream and co-rating accounting.
+      EXPECT_TRUE(spilled->candidate_items == job1->candidate_items) << label;
+      EXPECT_EQ(spilled->co_rating_records, job1->co_rating_records) << label;
+
+      MapReduceStats job2_stats;
+      auto index = RunJob2PeerIndex(spilled->moments, means, sim_options,
+                                    delta, matrix.num_users(),
+                                    /*max_peers_per_member=*/0, &job2_stats);
+      ASSERT_TRUE(index.ok()) << label << ": " << index.status().ToString();
+      EXPECT_TRUE(*index == *reference) << label;
+      // The merged group count equals the in-memory boundary's moment
+      // record count — the shuffle ships the same logical stream.
+      EXPECT_EQ(spilled->moments.stats().groups_out,
+                static_cast<int64_t>(job1->partial_moments.size()))
+          << label;
+      if (budget > 0 && budget < record_bytes * 100) {
+        EXPECT_GT(spilled->moments.stats().runs_spilled, 0) << label;
+      }
+    }
+  }
+}
+
+TEST(ShuffleSpillTest, BudgetedPipelineMatchesTheInMemoryPipeline) {
+  const RatingMatrix matrix = CorpusMatrix();
+  const Group group = {2, 7, 11};
+
+  PipelineOptions base;
+  base.similarity.shift_to_unit_interval = true;
+  base.delta = 0.5;
+  base.top_k = 8;
+
+  for (const int32_t shards : {1, 3, 16}) {
+    PipelineOptions reference_options = base;
+    reference_options.moment_shards = shards;
+    const GroupRecommendationPipeline reference_pipeline(reference_options);
+    auto reference = reference_pipeline.Run(matrix, group, 5);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    for (const size_t budget :
+         {sizeof(PairMomentShuffle::Record) * 5, static_cast<size_t>(1) << 22}) {
+      PipelineOptions budgeted = reference_options;
+      budgeted.max_shuffle_bytes = budget;
+      budgeted.shuffle_spill_dir =
+          SpillDir("pipe_" + std::to_string(shards) + "_" +
+                   std::to_string(budget));
+      const GroupRecommendationPipeline pipeline(budgeted);
+      auto result = pipeline.Run(matrix, group, 5);
+      const std::string label = "shards " + std::to_string(shards) +
+                                " budget " + std::to_string(budget);
+      ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+      EXPECT_TRUE(result->peer_index == reference->peer_index) << label;
+      EXPECT_EQ(result->selection.items, reference->selection.items) << label;
+      EXPECT_EQ(result->num_moment_records, reference->num_moment_records)
+          << label;
+      EXPECT_EQ(result->num_co_rating_records,
+                reference->num_co_rating_records)
+          << label;
+      EXPECT_EQ(result->shuffle_stats.records_in,
+                reference->num_co_rating_records)
+          << label;
+    }
+  }
+
+  // A budget without a spill dir is refused, not silently unbounded.
+  PipelineOptions bad = base;
+  bad.max_shuffle_bytes = 4096;
+  const GroupRecommendationPipeline pipeline(bad);
+  EXPECT_TRUE(pipeline.Run(matrix, group, 5).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -19,6 +19,7 @@
 #include "sim/moment_store.h"
 #include "sim/pairwise_engine.h"
 #include "sim/peer_index.h"
+#include "sim/tile_residency.h"
 
 namespace fairrec {
 namespace {
@@ -178,6 +179,65 @@ TEST(CorruptBlobTest, TileRestoreIsCorruptionSafe) {
     }
   }
   EXPECT_TRUE(store.RestoreTile(0, blob).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Residency spill files: damage to an on-disk spilled tile must surface as
+// DataLoss when the tile is faulted back in — never a silently wrong restore,
+// never UB.
+// ---------------------------------------------------------------------------
+
+TEST(CorruptBlobTest, SpilledTileCorruptionSurfacesAsDataLossOnRestore) {
+  const std::string dir = testing::TempDir() + "/fairrec_robust_spill";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const RatingMatrix matrix = CorpusMatrix();
+  const PairwiseSimilarityEngine engine(&matrix, {}, {});
+  MomentStoreOptions store_options;
+  store_options.tile_users = 4;
+  MomentStore store =
+      std::move(engine.BuildMomentStore(store_options)).ValueOrDie();
+  // A budget of one tile forces everything else onto disk.
+  auto manager = store.WithBudget(store.TileBytes(0) + 1, dir);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  ASSERT_TRUE(manager->EnforceBudget().ok());
+  ASSERT_GT(manager->stats().spill_writes, 0);
+
+  // Locate one spilled tile's blob file.
+  size_t spilled = store.num_tiles();
+  for (size_t t = 0; t < store.num_tiles(); ++t) {
+    if (!store.TileResident(t)) {
+      spilled = t;
+      break;
+    }
+  }
+  ASSERT_LT(spilled, store.num_tiles());
+  const std::string path = dir + "/tile_" + std::to_string(spilled) + ".spill";
+  const std::string clean = ReadRawFile(path);
+
+  for (const size_t len : SamplePositions(clean.size(), 100)) {
+    WriteRawFile(path, clean.substr(0, len));
+    const Status faulted = manager->EnsureResident(spilled);
+    EXPECT_TRUE(faulted.IsDataLoss())
+        << "prefix " << len << ": " << faulted.ToString();
+  }
+  for (const size_t pos : SamplePositions(clean.size(), 300)) {
+    std::string flipped = clean;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x20);
+    WriteRawFile(path, flipped);
+    const Status faulted = manager->EnsureResident(spilled);
+    EXPECT_TRUE(faulted.IsDataLoss())
+        << "bit flip at " << pos << ": " << faulted.ToString();
+  }
+  WriteRawFile(path, clean + std::string(5, '\x33'));
+  EXPECT_TRUE(manager->EnsureResident(spilled).IsDataLoss());
+
+  // The pristine blob still restores, and the whole store comes back.
+  WriteRawFile(path, clean);
+  ASSERT_TRUE(manager->EnsureResident(spilled).ok());
+  ASSERT_TRUE(manager->RestoreAll().ok());
+  const MomentStore reference =
+      std::move(engine.BuildMomentStore(store_options)).ValueOrDie();
+  EXPECT_TRUE(store == reference);
 }
 
 // ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@
 #include "ratings/rating_delta.h"
 #include "ratings/rating_matrix.h"
 #include "sim/durable_peer_graph.h"
+#include "sim/tile_residency.h"
 
 namespace fairrec {
 namespace {
@@ -94,10 +95,11 @@ std::string FreshDir(const std::string& name) {
 /// acknowledged batch, checkpoint on schedule. Returns the final state, or
 /// the injected-crash status when the armed site fired.
 Result<DurablePeerGraph> RunScript(const std::string& dir, uint64_t seed,
-                                   const std::vector<RatingDelta>& stream) {
+                                   const std::vector<RatingDelta>& stream,
+                                   const IncrementalPeerGraphOptions& options) {
   FAIRREC_ASSIGN_OR_RETURN(
       DurablePeerGraph durable,
-      DurablePeerGraph::Open(dir, SeedMatrix(seed), Options()));
+      DurablePeerGraph::Open(dir, SeedMatrix(seed), options));
   // applied_seq is the count of acknowledged batches: the crashed apply (if
   // any) was never acknowledged, so resuming here re-submits exactly the
   // batches the "client" never got an answer for.
@@ -126,7 +128,7 @@ TEST(KillpointRecoveryTest, EveryKillPointRecoversToTheReferenceState) {
   // ---- Dry run: count the kill opportunities per site. ----
   failpoint::Reset();
   const std::string reference_dir = FreshDir("reference");
-  auto reference = RunScript(reference_dir, seed, stream);
+  auto reference = RunScript(reference_dir, seed, stream, Options());
   ASSERT_TRUE(reference.ok()) << reference.status().ToString();
   struct KillPoint {
     std::string site;
@@ -172,13 +174,13 @@ TEST(KillpointRecoveryTest, EveryKillPointRecoversToTheReferenceState) {
       failpoint::Reset();
       failpoint::Arm(kp.site, k);
       int crashes = 0;
-      Result<DurablePeerGraph> finished = RunScript(dir, seed, stream);
+      Result<DurablePeerGraph> finished = RunScript(dir, seed, stream, Options());
       while (!finished.ok()) {
         // Anything but the injected crash is a real durability bug.
         ASSERT_TRUE(failpoint::IsInjectedCrash(finished.status()))
             << label << ": " << finished.status().ToString();
         ASSERT_LT(++crashes, 4) << label;  // one arming = at most one crash
-        finished = RunScript(dir, seed, stream);
+        finished = RunScript(dir, seed, stream, Options());
       }
       ASSERT_GE(crashes, 1) << label << ": armed site never fired";
       ExpectSameState(*finished, *reference, label);
@@ -196,9 +198,77 @@ TEST(KillpointRecoveryTest, EveryKillPointRecoversToTheReferenceState) {
   failpoint::Reset();
 }
 
+/// A residency budget adds one more place a process can die: mid-spill,
+/// while a tile is being written to its blob. The spill file is written
+/// atomically (tmp + rename) and carries no durability obligation — the
+/// checkpoint/journal pair alone defines the recoverable state — so a crash
+/// at the spill boundary must recover exactly like any other kill.
+IncrementalPeerGraphOptions BudgetedOptions(const std::string& dir) {
+  IncrementalPeerGraphOptions options = Options();
+  options.store_budget_bytes = 6 * 1024;
+  options.store_spill_dir = dir + "/spill";
+  return options;
+}
+
+TEST(KillpointRecoveryTest, MidSpillCrashesRecoverUnderABudget) {
+  const uint64_t seed = ScriptSeed();
+  const std::vector<RatingDelta> stream = ScriptStream(seed, kBatches);
+
+  // ---- Dry run under the budget: the script must actually spill. ----
+  failpoint::Reset();
+  const std::string reference_dir = FreshDir("budget_reference");
+  auto reference =
+      RunScript(reference_dir, seed, stream, BudgetedOptions(reference_dir));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const int64_t spill_hits =
+      failpoint::HitCount(std::string(kFailpointResidencySpill));
+  ASSERT_GT(spill_hits, 0)
+      << "the budgeted script never spilled a tile; the walk would be vacuous";
+  // Whole-store comparisons need every tile resident.
+  ASSERT_TRUE(reference->graph().EnsureStoreResident().ok());
+
+  // ---- Crash at the k-th spill for every k, recover, resume, compare. ----
+  for (int64_t k = 0; k < spill_hits; ++k) {
+    const std::string label = std::string(kFailpointResidencySpill) + "@" +
+                              std::to_string(k) + " seed " +
+                              std::to_string(seed);
+    const std::string dir = FreshDir("budget_walk_" + std::to_string(k));
+    failpoint::Reset();
+    failpoint::Arm(std::string(kFailpointResidencySpill), k);
+    int crashes = 0;
+    Result<DurablePeerGraph> finished =
+        RunScript(dir, seed, stream, BudgetedOptions(dir));
+    while (!finished.ok()) {
+      ASSERT_TRUE(failpoint::IsInjectedCrash(finished.status()))
+          << label << ": " << finished.status().ToString();
+      ASSERT_LT(++crashes, 4) << label;
+      finished = RunScript(dir, seed, stream, BudgetedOptions(dir));
+    }
+    ASSERT_GE(crashes, 1) << label << ": armed site never fired";
+    ASSERT_TRUE(finished->graph().EnsureStoreResident().ok()) << label;
+    ExpectSameState(*finished, *reference, label);
+
+    // The surviving disk state (including any stale spill blobs from the
+    // crashed attempt) must recover clean on a fresh open.
+    failpoint::Reset();
+    auto reopened =
+        DurablePeerGraph::Open(dir, SeedMatrix(seed), BudgetedOptions(dir));
+    ASSERT_TRUE(reopened.ok()) << label << ": " << reopened.status().ToString();
+    EXPECT_TRUE(reopened->recovery_info().recovered) << label;
+    ASSERT_TRUE(reopened->graph().EnsureStoreResident().ok()) << label;
+    ExpectSameState(*reopened, *reference, label + " reopened");
+  }
+  failpoint::Reset();
+}
+
 #else  // !FAIRREC_FAILPOINTS_ENABLED
 
 TEST(KillpointRecoveryTest, EveryKillPointRecoversToTheReferenceState) {
+  GTEST_SKIP() << "failpoints are compiled away in this build (NDEBUG); the "
+                  "kill-point walk needs an assertion-enabled build";
+}
+
+TEST(KillpointRecoveryTest, MidSpillCrashesRecoverUnderABudget) {
   GTEST_SKIP() << "failpoints are compiled away in this build (NDEBUG); the "
                   "kill-point walk needs an assertion-enabled build";
 }

@@ -9,7 +9,7 @@
 //   fairrec_cli group     --ratings ratings.csv --members 1,2,3 --z 6
 //                         [--selector algorithm1|greedy|bruteforce|localsearch]
 //                         [--aggregation min|avg|max|median] [--k 10]
-//                         [--delta 0.55]
+//                         [--delta 0.55] [--max-memory-mb 256 --spill-dir /tmp/x]
 //
 // Exit status: 0 on success, 1 on usage/runtime errors.
 
@@ -33,6 +33,7 @@
 #include "sim/pairwise_engine.h"
 #include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
+#include "sim/tile_residency.h"
 
 namespace fairrec {
 namespace {
@@ -83,7 +84,7 @@ int Usage() {
                "  fairrec_cli group     --ratings FILE --members a,b,c --z N\n"
                "                        [--selector algorithm1|greedy|bruteforce|localsearch]\n"
                "                        [--aggregation min|avg|max|median] [--k N] [--delta X]\n"
-               "                        [--any-member]\n");
+               "                        [--any-member] [--max-memory-mb N --spill-dir DIR]\n");
   return 1;
 }
 
@@ -95,14 +96,28 @@ Result<Dataset> LoadRatings(const Args& args) {
 
 /// The CLI's serving artifact: the sparse Def. 1 peer graph, emitted by the
 /// sufficient-statistics engine without ever materializing the dense U^2
-/// similarity triangle.
-Result<PeerIndex> BuildPeerGraph(const RatingMatrix& matrix, double delta) {
+/// similarity triangle. A non-zero `budget_bytes` routes the build through
+/// the out-of-core path instead (sim/tile_residency.h): the moment store is
+/// assembled via the spilling shuffle and swept under the byte budget, with
+/// overflow tiles paged to `spill_dir` — same artifact, bounded memory.
+Result<PeerIndex> BuildPeerGraph(const RatingMatrix& matrix, double delta,
+                                 size_t budget_bytes,
+                                 const std::string& spill_dir) {
   RatingSimilarityOptions sim_options;
   sim_options.shift_to_unit_interval = true;
   PeerIndexOptions peer_options;
   peer_options.delta = delta;
-  const PairwiseSimilarityEngine engine(&matrix, sim_options);
-  return engine.BuildPeerIndex(peer_options);
+  if (budget_bytes == 0) {
+    const PairwiseSimilarityEngine engine(&matrix, sim_options);
+    return engine.BuildPeerIndex(peer_options);
+  }
+  OutOfCoreBuildOptions build_options;
+  build_options.budget_bytes = budget_bytes;
+  build_options.spill_dir = spill_dir;
+  FAIRREC_ASSIGN_OR_RETURN(OutOfCoreStore store,
+                           BuildMomentStoreOutOfCore(matrix, build_options));
+  return BuildPeerIndexFromStore(matrix, *store.store, store.residency.get(),
+                                 sim_options, peer_options);
 }
 
 int RunGenerate(const Args& args) {
@@ -216,7 +231,21 @@ int RunGroup(const Args& args) {
   RecommenderOptions rec_options;
   rec_options.peers.delta = args.GetDouble("delta", 0.55);
   rec_options.top_k = static_cast<int32_t>(args.GetInt("k", 10));
-  const auto peers = BuildPeerGraph(dataset->matrix, rec_options.peers.delta);
+  // --max-memory-mb caps the peer-graph build's resident moment bytes (the
+  // laptop-budget knob); overflow tiles page to --spill-dir.
+  const int64_t max_memory_mb = args.GetInt("max-memory-mb", 0);
+  const std::string spill_dir = args.Get("spill-dir", "");
+  if (max_memory_mb < 0) {
+    std::fprintf(stderr, "error: --max-memory-mb must be >= 0\n");
+    return 1;
+  }
+  if (max_memory_mb > 0 && spill_dir.empty()) {
+    std::fprintf(stderr, "error: --max-memory-mb requires --spill-dir\n");
+    return 1;
+  }
+  const auto peers =
+      BuildPeerGraph(dataset->matrix, rec_options.peers.delta,
+                     static_cast<size_t>(max_memory_mb) << 20, spill_dir);
   if (!peers.ok()) {
     std::fprintf(stderr, "error: %s\n", peers.status().ToString().c_str());
     return 1;
