@@ -1,0 +1,563 @@
+// Load harness for the online serving layer: closed-loop client threads
+// drive mixed single-user / group traffic through ServingServer while an
+// updater thread publishes rating-delta generations through LivePeerGraph —
+// the serving tentpole's claim measured end to end: sustained QPS and tail
+// latency with index swaps happening underneath.
+//
+// Each client also retains a sample of (snapshot, request, response)
+// triples taken directly against acquired snapshots; after the run
+// quiesces, every sample is replayed on its retained snapshot and must come
+// back bit-identical. That is the torn-generation detector: a query that
+// had observed a half-published generation (or an artifact mutated in
+// place) cannot replay identically from the one consistent pair the
+// snapshot holds.
+//
+//   bench_serving [--users N] [--items N] [--density F] [--seed N]
+//                 [--seconds F] [--clients N] [--workers N] [--queue N]
+//                 [--group-fraction F] [--group-size N] [--z N]
+//                 [--top-k N] [--delta F] [--max-peers N]
+//                 [--update-batch F] [--updates N]
+//                 [--check-qps-min F] [--check-p99-max-ms F]
+//                 [--check-replay-parity] [--out BENCH_serving.json]
+//
+// Exit status: 0 ok, 1 argument errors, 2 replay parity mismatch (fatal
+// only under --check-replay-parity; always reported), 3 a --check-* floor
+// failed.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "ratings/rating_delta.h"
+#include "ratings/rating_matrix.h"
+#include "serve/recommendation_service.h"
+#include "serve/server.h"
+#include "serve/snapshot_source.h"
+#include "sim/incremental_peer_graph.h"
+
+namespace fairrec {
+namespace {
+
+using serve::GroupRecRequest;
+using serve::GroupRecResponse;
+using serve::LivePeerGraph;
+using serve::RecommendationService;
+using serve::ServingServer;
+using serve::ServingServerOptions;
+using serve::ServingServerStats;
+using serve::ServingSnapshot;
+using serve::UserRecRequest;
+using serve::UserRecResponse;
+
+struct BenchConfig {
+  int32_t num_users = 2000;
+  int32_t num_items = 400;
+  // Dense enough that 4-member groups usually have >= z predictable
+  // candidates at delta = 0.1 — the group path should succeed, not
+  // short-circuit into OutOfRange.
+  double density = 0.05;
+  uint64_t seed = 20170417;
+  double seconds = 5.0;
+  int32_t clients = 4;
+  int32_t workers = 4;
+  int32_t max_queue = 256;
+  double group_fraction = 0.3;
+  int32_t group_size = 4;
+  int32_t z = 5;
+  int32_t top_k = 10;
+  double delta = 0.1;
+  int32_t max_peers = 64;
+  /// Mean Poisson size of each published delta batch.
+  double update_batch = 16.0;
+  /// Delta batches to publish, spread evenly over the run.
+  int32_t updates = 20;
+  double check_qps_min = 0.0;
+  double check_p99_max_ms = 0.0;
+  bool check_replay_parity = false;
+  std::string out_path = "BENCH_serving.json";
+};
+
+RatingMatrix GenerateCorpus(const BenchConfig& config) {
+  Rng rng(config.seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(config.num_users, config.num_items);
+  for (UserId u = 0; u < config.num_users; ++u) {
+    for (ItemId i = 0; i < config.num_items; ++i) {
+      if (!rng.NextBool(config.density)) continue;
+      const auto status =
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5)));
+      if (!status.ok()) {
+        std::fprintf(stderr, "corpus generation failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+int64_t SamplePoisson(double mean, Rng& rng) {
+  const double limit = std::exp(-mean);
+  int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+RatingDelta MakeBatch(int32_t num_users, int32_t num_items, double mean_batch,
+                      Rng& rng) {
+  const int64_t upserts = std::max<int64_t>(1, SamplePoisson(mean_batch, rng));
+  RatingDelta delta;
+  for (int64_t k = 0; k < upserts; ++k) {
+    const auto user = static_cast<UserId>(rng.UniformInt(0, num_users - 1));
+    const auto item = static_cast<ItemId>(rng.UniformInt(0, num_items - 1));
+    const auto status =
+        delta.Add(user, item, static_cast<Rating>(rng.UniformInt(1, 5)));
+    if (!status.ok()) {
+      std::fprintf(stderr, "batch generation failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return delta;
+}
+
+/// Retained replay material: the exact generation a sampled query ran on.
+struct GroupSample {
+  ServingSnapshot snapshot;
+  GroupRecRequest request;
+  GroupRecResponse response;
+};
+
+struct UserSample {
+  ServingSnapshot snapshot;
+  UserRecRequest request;
+  UserRecResponse response;
+};
+
+struct ClientResult {
+  std::vector<double> latencies_ms;
+  int64_t user_requests = 0;
+  int64_t group_requests = 0;
+  int64_t shed = 0;
+  int64_t out_of_range = 0;
+  std::vector<UserSample> user_samples;
+  std::vector<GroupSample> group_samples;
+};
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+bool SameItems(const std::vector<ScoredItem>& a,
+               const std::vector<ScoredItem>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (!(a[k] == b[k])) return false;
+  }
+  return true;
+}
+
+int Run(const BenchConfig& config) {
+  std::printf("generating corpus: %d users x %d items at %.2f%% density...\n",
+              config.num_users, config.num_items, 100.0 * config.density);
+  const RatingMatrix corpus = GenerateCorpus(config);
+  std::printf("  %lld ratings\n",
+              static_cast<long long>(corpus.num_ratings()));
+
+  IncrementalPeerGraphOptions graph_options;
+  graph_options.peers.delta = config.delta;
+  graph_options.peers.max_peers_per_user = config.max_peers;
+
+  Stopwatch seed_clock;
+  auto graph = IncrementalPeerGraph::Build(corpus, graph_options);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "seed build failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("seed peer-graph build: %.3f s\n", seed_clock.ElapsedSeconds());
+  LivePeerGraph live(std::move(graph).ValueOrDie());
+
+  serve::RecommendationServiceOptions service_options;
+  service_options.recommender.peers.delta = config.delta;
+  service_options.recommender.top_k = config.top_k;
+  service_options.context.top_k = config.top_k;
+  const RecommendationService service(&live, service_options);
+
+  ServingServerOptions server_options;
+  server_options.num_workers = config.workers;
+  server_options.max_queue = config.max_queue;
+  ServingServer server(&service, server_options);
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientResult> results(static_cast<size_t>(config.clients));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(config.clients));
+  Stopwatch run_clock;
+
+  for (int32_t c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(config.seed ^ (0xc11e47ull + static_cast<uint64_t>(c)));
+      ClientResult& mine = results[static_cast<size_t>(c)];
+      // Direct-path scratch for the sampled (retained-snapshot) queries.
+      RecommendationService::Scratch scratch;
+      int64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ++n;
+        // Every 64th request bypasses the server to retain a replay sample
+        // against an explicitly acquired snapshot.
+        const bool sample = (n % 64) == 0;
+        if (rng.NextDouble() < config.group_fraction) {
+          GroupRecRequest request;
+          const std::vector<int32_t> picks = rng.SampleWithoutReplacement(
+              config.num_users, config.group_size);
+          for (const int32_t u : picks) {
+            request.members.push_back(static_cast<UserId>(u));
+          }
+          request.z = config.z;
+          ++mine.group_requests;
+          if (sample) {
+            const ServingSnapshot snapshot = live.Acquire();
+            auto response =
+                service.RecommendGroupOn(snapshot, request, scratch);
+            if (response.ok()) {
+              mine.group_samples.push_back(
+                  {snapshot, request, std::move(response).ValueOrDie()});
+            } else if (response.status().IsOutOfRange()) {
+              ++mine.out_of_range;
+            }
+            continue;
+          }
+          Stopwatch latency;
+          const auto response = server.CallGroup(request);
+          if (response.ok()) {
+            mine.latencies_ms.push_back(latency.ElapsedSeconds() * 1e3);
+          } else if (response.status().IsResourceExhausted()) {
+            ++mine.shed;
+            std::this_thread::yield();
+          } else if (response.status().IsOutOfRange()) {
+            ++mine.out_of_range;
+          } else {
+            std::fprintf(stderr, "group request failed: %s\n",
+                         response.status().ToString().c_str());
+            std::exit(1);
+          }
+        } else {
+          UserRecRequest request;
+          request.user =
+              static_cast<UserId>(rng.UniformInt(0, config.num_users - 1));
+          ++mine.user_requests;
+          if (sample) {
+            const ServingSnapshot snapshot = live.Acquire();
+            auto response = service.RecommendUserOn(snapshot, request, scratch);
+            if (response.ok()) {
+              mine.user_samples.push_back(
+                  {snapshot, request, std::move(response).ValueOrDie()});
+            }
+            continue;
+          }
+          Stopwatch latency;
+          const auto response = server.CallUser(request);
+          if (response.ok()) {
+            mine.latencies_ms.push_back(latency.ElapsedSeconds() * 1e3);
+          } else if (response.status().IsResourceExhausted()) {
+            ++mine.shed;
+            std::this_thread::yield();
+          } else {
+            std::fprintf(stderr, "user request failed: %s\n",
+                         response.status().ToString().c_str());
+            std::exit(1);
+          }
+        }
+      }
+    });
+  }
+
+  // The updater: publish config.updates generations, evenly spread.
+  int64_t update_upserts = 0;
+  double update_seconds = 0.0;
+  int32_t updates_applied = 0;
+  {
+    Rng update_rng(config.seed ^ 0xde17a5ull);
+    const double interval = config.seconds / (config.updates + 1);
+    for (int32_t d = 0; d < config.updates; ++d) {
+      const double due = interval * (d + 1);
+      while (run_clock.ElapsedSeconds() < due &&
+             run_clock.ElapsedSeconds() < config.seconds) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (run_clock.ElapsedSeconds() >= config.seconds) break;
+      const RatingDelta batch = MakeBatch(config.num_users, config.num_items,
+                                          config.update_batch, update_rng);
+      update_upserts += batch.size();
+      Stopwatch apply_clock;
+      const auto stats = live.ApplyDelta(batch);
+      update_seconds += apply_clock.ElapsedSeconds();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "delta apply failed: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      ++updates_applied;
+    }
+    while (run_clock.ElapsedSeconds() < config.seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+  const double elapsed = run_clock.ElapsedSeconds();
+  server.Shutdown();
+
+  // ---- Quiesced replay: every retained sample, bit for bit. ----
+  RecommendationService::Scratch scratch;
+  int64_t replayed = 0;
+  int64_t mismatches = 0;
+  for (const ClientResult& result : results) {
+    for (const UserSample& sample : result.user_samples) {
+      const auto replay =
+          service.RecommendUserOn(sample.snapshot, sample.request, scratch);
+      ++replayed;
+      if (!replay.ok() || replay->generation != sample.response.generation ||
+          !SameItems(replay->items, sample.response.items)) {
+        ++mismatches;
+      }
+    }
+    for (const GroupSample& sample : result.group_samples) {
+      const auto replay =
+          service.RecommendGroupOn(sample.snapshot, sample.request, scratch);
+      ++replayed;
+      if (!replay.ok() || replay->generation != sample.response.generation ||
+          !SameItems(replay->items, sample.response.items) ||
+          replay->score.value != sample.response.score.value) {
+        ++mismatches;
+      }
+    }
+  }
+  const bool replay_parity_ok = mismatches == 0;
+
+  // ---- Aggregate. ----
+  std::vector<double> latencies;
+  int64_t user_requests = 0;
+  int64_t group_requests = 0;
+  int64_t shed_seen = 0;
+  int64_t out_of_range = 0;
+  for (ClientResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+    user_requests += result.user_requests;
+    group_requests += result.group_requests;
+    shed_seen += result.shed;
+    out_of_range += result.out_of_range;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto completed = static_cast<int64_t>(latencies.size());
+  const double qps =
+      elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
+  const double p50 = Percentile(latencies, 0.50);
+  const double p90 = Percentile(latencies, 0.90);
+  const double p99 = Percentile(latencies, 0.99);
+  const double max_ms = latencies.empty() ? 0.0 : latencies.back();
+  const ServingServerStats stats = server.stats();
+
+  std::printf(
+      "serving: %lld completed (%lld user + %lld group issued) in %.2f s "
+      "= %.0f QPS; p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, max %.2f ms\n",
+      static_cast<long long>(completed),
+      static_cast<long long>(user_requests),
+      static_cast<long long>(group_requests), elapsed, qps, p50, p90, p99,
+      max_ms);
+  std::printf(
+      "updates: %d generations (%lld upserts, %.3f s applying); shed %lld; "
+      "replay %lld samples, parity %s\n",
+      updates_applied, static_cast<long long>(update_upserts), update_seconds,
+      static_cast<long long>(shed_seen), static_cast<long long>(replayed),
+      replay_parity_ok ? "ok" : "MISMATCH");
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"serving\",\n"
+               "  \"corpus\": {\n"
+               "    \"num_users\": %d,\n"
+               "    \"num_items\": %d,\n"
+               "    \"density\": %.6f,\n"
+               "    \"seed\": %llu\n"
+               "  },\n"
+               "  \"options\": {\n"
+               "    \"clients\": %d,\n"
+               "    \"workers\": %d,\n"
+               "    \"max_queue\": %d,\n"
+               "    \"group_fraction\": %.3f,\n"
+               "    \"group_size\": %d,\n"
+               "    \"z\": %d,\n"
+               "    \"top_k\": %d,\n"
+               "    \"delta\": %.6f,\n"
+               "    \"max_peers_per_user\": %d,\n"
+               "    \"update_batch\": %.3f\n"
+               "  },\n",
+               config.num_users, config.num_items, config.density,
+               static_cast<unsigned long long>(config.seed), config.clients,
+               config.workers, config.max_queue, config.group_fraction,
+               config.group_size, config.z, config.top_k, config.delta,
+               config.max_peers, config.update_batch);
+  std::fprintf(out,
+               "  \"traffic\": {\n"
+               "    \"seconds\": %.6f,\n"
+               "    \"completed\": %lld,\n"
+               "    \"user_requests\": %lld,\n"
+               "    \"group_requests\": %lld,\n"
+               "    \"qps\": %.3f,\n"
+               "    \"latency_ms\": {\n"
+               "      \"p50\": %.4f,\n"
+               "      \"p90\": %.4f,\n"
+               "      \"p99\": %.4f,\n"
+               "      \"max\": %.4f\n"
+               "    },\n"
+               "    \"shed\": %lld,\n"
+               "    \"out_of_range\": %lld,\n"
+               "    \"accepted\": %llu,\n"
+               "    \"completed_ok\": %llu,\n"
+               "    \"completed_error\": %llu,\n"
+               "    \"queue_peak\": %llu\n"
+               "  },\n"
+               "  \"updates\": {\n"
+               "    \"generations\": %d,\n"
+               "    \"upserts\": %lld,\n"
+               "    \"apply_seconds\": %.6f\n"
+               "  },\n"
+               "  \"replay\": {\n"
+               "    \"samples\": %lld,\n"
+               "    \"mismatches\": %lld,\n"
+               "    \"parity_ok\": %s\n"
+               "  }\n"
+               "}\n",
+               elapsed, static_cast<long long>(completed),
+               static_cast<long long>(user_requests),
+               static_cast<long long>(group_requests), qps, p50, p90, p99,
+               max_ms, static_cast<long long>(shed_seen),
+               static_cast<long long>(out_of_range),
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.completed_ok),
+               static_cast<unsigned long long>(stats.completed_error),
+               static_cast<unsigned long long>(stats.queue_peak),
+               updates_applied, static_cast<long long>(update_upserts),
+               update_seconds, static_cast<long long>(replayed),
+               static_cast<long long>(mismatches),
+               replay_parity_ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+
+  if (!replay_parity_ok && config.check_replay_parity) {
+    std::fprintf(stderr,
+                 "FAIL: %lld of %lld retained samples did not replay "
+                 "bit-identically\n",
+                 static_cast<long long>(mismatches),
+                 static_cast<long long>(replayed));
+    return 2;
+  }
+  if (config.check_qps_min > 0.0 && qps < config.check_qps_min) {
+    std::fprintf(stderr, "FAIL: %.0f QPS below the %.0f floor\n", qps,
+                 config.check_qps_min);
+    return 3;
+  }
+  if (config.check_p99_max_ms > 0.0 && p99 > config.check_p99_max_ms) {
+    std::fprintf(stderr, "FAIL: p99 %.2f ms above the %.2f ms ceiling\n", p99,
+                 config.check_p99_max_ms);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairrec
+
+int main(int argc, char** argv) {
+  fairrec::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--users") {
+      config.num_users = std::atoi(next());
+    } else if (arg == "--items") {
+      config.num_items = std::atoi(next());
+    } else if (arg == "--density") {
+      config.density = std::atof(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seconds") {
+      config.seconds = std::atof(next());
+    } else if (arg == "--clients") {
+      config.clients = std::atoi(next());
+    } else if (arg == "--workers") {
+      config.workers = std::atoi(next());
+    } else if (arg == "--queue") {
+      config.max_queue = std::atoi(next());
+    } else if (arg == "--group-fraction") {
+      config.group_fraction = std::atof(next());
+    } else if (arg == "--group-size") {
+      config.group_size = std::atoi(next());
+    } else if (arg == "--z") {
+      config.z = std::atoi(next());
+    } else if (arg == "--top-k") {
+      config.top_k = std::atoi(next());
+    } else if (arg == "--delta") {
+      config.delta = std::atof(next());
+    } else if (arg == "--max-peers") {
+      config.max_peers = std::atoi(next());
+    } else if (arg == "--update-batch") {
+      config.update_batch = std::atof(next());
+    } else if (arg == "--updates") {
+      config.updates = std::atoi(next());
+    } else if (arg == "--check-qps-min") {
+      config.check_qps_min = std::atof(next());
+    } else if (arg == "--check-p99-max-ms") {
+      config.check_p99_max_ms = std::atof(next());
+    } else if (arg == "--check-replay-parity") {
+      config.check_replay_parity = true;
+    } else if (arg == "--out") {
+      config.out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config.num_users < 2 || config.num_items < 1 || config.density <= 0.0 ||
+      config.density > 1.0 || config.seconds <= 0.0 || config.clients < 1 ||
+      config.workers < 1 || config.max_queue < 1 ||
+      config.group_fraction < 0.0 || config.group_fraction > 1.0 ||
+      config.group_size < 1 || config.group_size > config.num_users ||
+      config.z < 1 || config.top_k < 1 || config.delta <= 0.0 ||
+      config.max_peers < 0 || config.update_batch <= 0.0 ||
+      config.updates < 0) {
+    std::fprintf(stderr, "invalid configuration\n");
+    return 1;
+  }
+  return fairrec::Run(config);
+}

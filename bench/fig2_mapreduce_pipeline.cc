@@ -28,7 +28,8 @@ Selection SerialSelection(const Scenario& scenario, const Group& group,
   RecommenderOptions rec_options;
   rec_options.peers.delta = options.delta;
   rec_options.top_k = options.top_k;
-  const Recommender recommender(&scenario.ratings, &similarity, rec_options);
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario.ratings, &similarity, rec_options);
   GroupContextOptions ctx_options;
   ctx_options.top_k = options.top_k;
   ctx_options.aggregation = options.aggregation;

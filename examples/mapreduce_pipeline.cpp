@@ -81,7 +81,8 @@ int main() {
   RecommenderOptions rec_options;
   rec_options.peers.delta = options.delta;
   rec_options.top_k = options.top_k;
-  const Recommender recommender(&scenario.ratings, &similarity, rec_options);
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario.ratings, &similarity, rec_options);
   GroupContextOptions ctx_options;
   ctx_options.top_k = options.top_k;
   const GroupRecommender group_rec(&recommender, ctx_options);

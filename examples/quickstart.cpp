@@ -42,7 +42,8 @@ int main() {
   RecommenderOptions rec_options;
   rec_options.peers.delta = 0.55;  // Def. 1 threshold
   rec_options.top_k = 5;           // |A_u|
-  const Recommender recommender(&scenario.ratings, &similarity, rec_options);
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario.ratings, &similarity, rec_options);
 
   const UserId patient = 3;
   const auto personal = std::move(recommender.RecommendForUser(patient)).ValueOrDie();

@@ -19,6 +19,12 @@ Recommender::Recommender(const RatingMatrix* matrix,
   FAIRREC_CHECK(matrix != nullptr);
 }
 
+Recommender Recommender::ForSimilarityScan(const RatingMatrix* matrix,
+                                           const UserSimilarity* similarity,
+                                           RecommenderOptions options) {
+  return Recommender(matrix, similarity, options);
+}
+
 Recommender::Recommender(const RatingMatrix* matrix, const PeerProvider* peers,
                          RecommenderOptions options)
     : matrix_(matrix),
@@ -41,19 +47,46 @@ Result<std::vector<ScoredItem>> Recommender::RecommendForUser(UserId u) const {
   return SelectTopK(scored, options_.top_k);
 }
 
+Result<std::vector<ScoredItem>> Recommender::RecommendForUser(
+    UserId u, RelevanceEstimator::Scratch& scratch) const {
+  if (!matrix_->IsValidUser(u)) {
+    return Status::InvalidArgument("unknown user id: " + std::to_string(u));
+  }
+  const std::vector<Peer> peers = peer_finder_.FindPeers(u);
+  const std::vector<ItemId> unrated = matrix_->ItemsUnratedBy(u);
+  const std::vector<ScoredItem> scored =
+      estimator_.EstimateAll(peers, unrated, scratch);
+  return SelectTopK(scored, options_.top_k);
+}
+
 Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroup(
     const Group& group) const {
-  return RelevanceForGroupWith(group, peer_finder_);
+  RelevanceEstimator::Scratch scratch;
+  return RelevanceForGroupWith(group, peer_finder_, scratch);
+}
+
+Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroup(
+    const Group& group, RelevanceEstimator::Scratch& scratch) const {
+  return RelevanceForGroupWith(group, peer_finder_, scratch);
 }
 
 Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroup(
     const Group& group, const PeerProvider& peers) const {
+  RelevanceEstimator::Scratch scratch;
+  return RelevanceForGroup(group, peers, scratch);
+}
+
+Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroup(
+    const Group& group, const PeerProvider& peers,
+    RelevanceEstimator::Scratch& scratch) const {
   FAIRREC_CHECK(peers.num_users() == matrix_->num_users());
-  return RelevanceForGroupWith(group, PeerFinder(&peers, options_.peers));
+  return RelevanceForGroupWith(group, PeerFinder(&peers, options_.peers),
+                               scratch);
 }
 
 Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroupWith(
-    const Group& group, const PeerFinder& finder) const {
+    const Group& group, const PeerFinder& finder,
+    RelevanceEstimator::Scratch& scratch) const {
   if (group.empty()) {
     return Status::InvalidArgument("group must not be empty");
   }
@@ -73,9 +106,8 @@ Result<std::vector<MemberRelevance>> Recommender::RelevanceForGroupWith(
   const std::vector<ItemId> candidates = matrix_->ItemsUnratedByAll(group);
 
   // One caregiver query = one scratch: every member's Eq. 1 accumulation
-  // reuses the same dense buffers instead of leaning on the estimator's
-  // thread-local fallback.
-  RelevanceEstimator::Scratch scratch;
+  // reuses the same dense buffers (the serving layer passes a per-worker
+  // scratch so even consecutive queries share them).
   std::vector<MemberRelevance> out;
   out.reserve(group.size());
   for (const UserId u : group) {

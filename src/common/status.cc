@@ -25,6 +25,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -69,6 +71,9 @@ Status Status::Internal(std::string message) {
 }
 Status Status::DataLoss(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
+}
+Status Status::ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 std::string Status::ToString() const {

@@ -23,6 +23,11 @@ enum class StatusCode {
   /// the operation) and kInvalidArgument (the caller misused the API): data
   /// loss means the artifact itself can no longer be trusted.
   kDataLoss,
+  /// A bounded resource is saturated and the operation was declined rather
+  /// than queued — the serving layer's overload-shedding verdict (request
+  /// queue full). Unlike kInvalidArgument, the identical call is expected to
+  /// succeed once load subsides: it is the one retryable code.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code (e.g. "InvalidArgument").
@@ -55,6 +60,7 @@ class Status {
   static Status IOError(std::string message);
   static Status Internal(std::string message);
   static Status DataLoss(std::string message);
+  static Status ResourceExhausted(std::string message);
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
@@ -71,6 +77,9 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -15,13 +15,20 @@ GroupRecommender::GroupRecommender(const RatingMatrix* matrix,
                                    const PeerProvider* peers,
                                    RecommenderOptions rec_options,
                                    GroupContextOptions options)
-    : owned_recommender_(std::in_place, matrix, peers, rec_options),
-      recommender_(&*owned_recommender_),
+    : owned_recommender_(
+          std::make_unique<Recommender>(matrix, peers, rec_options)),
+      recommender_(owned_recommender_.get()),
       options_(options) {}
 
 Result<GroupContext> GroupRecommender::BuildContext(const Group& group) const {
+  RelevanceEstimator::Scratch scratch;
+  return BuildContext(group, scratch);
+}
+
+Result<GroupContext> GroupRecommender::BuildContext(
+    const Group& group, RelevanceEstimator::Scratch& scratch) const {
   FAIRREC_ASSIGN_OR_RETURN(std::vector<MemberRelevance> members,
-                           recommender_->RelevanceForGroup(group));
+                           recommender_->RelevanceForGroup(group, scratch));
   return GroupContext::Build(members, options_);
 }
 
@@ -46,6 +53,13 @@ Result<std::vector<ScoredItem>> GroupRecommender::TopKForGroup(const Group& grou
 Result<Selection> GroupRecommender::RecommendFair(
     const Group& group, int32_t z, const ItemSetSelector& selector) const {
   FAIRREC_ASSIGN_OR_RETURN(GroupContext context, BuildContext(group));
+  return selector.Select(context, z);
+}
+
+Result<Selection> GroupRecommender::RecommendFair(
+    const Group& group, int32_t z, const ItemSetSelector& selector,
+    RelevanceEstimator::Scratch& scratch) const {
+  FAIRREC_ASSIGN_OR_RETURN(GroupContext context, BuildContext(group, scratch));
   return selector.Select(context, z);
 }
 

@@ -1,7 +1,7 @@
 #ifndef FAIRREC_CORE_GROUP_RECOMMENDER_H_
 #define FAIRREC_CORE_GROUP_RECOMMENDER_H_
 
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "cf/recommender.h"
@@ -17,6 +17,9 @@ namespace fairrec {
 /// relevance (via cf::Recommender), aggregation into group relevance
 /// (Def. 2), plain group top-k, and fairness-aware top-z selection (§III-C/D)
 /// through a pluggable ItemSetSelector.
+///
+/// Queries are const and freely concurrent; the Scratch overloads let a
+/// serving worker reuse one relevance scratch across requests.
 class GroupRecommender {
  public:
   /// `recommender` must outlive this object.
@@ -30,13 +33,21 @@ class GroupRecommender {
                    RecommenderOptions rec_options = {},
                    GroupContextOptions options = {});
 
-  // recommender_ may point into owned_recommender_, so a copied/moved object
-  // would dangle into its source.
+  // The owned recommender sits behind a unique_ptr, so moves transfer the
+  // heap object and recommender_ stays valid in the destination; copying
+  // would need a deep clone plus pointer fixup nobody asked for, so it
+  // stays deleted.
   GroupRecommender(const GroupRecommender&) = delete;
   GroupRecommender& operator=(const GroupRecommender&) = delete;
+  GroupRecommender(GroupRecommender&&) noexcept = default;
+  GroupRecommender& operator=(GroupRecommender&&) noexcept = default;
 
   /// Runs the CF pipeline for the group and assembles the selector context.
   Result<GroupContext> BuildContext(const Group& group) const;
+
+  /// Same, through a caller-owned relevance scratch (one per serving worker).
+  Result<GroupContext> BuildContext(const Group& group,
+                                    RelevanceEstimator::Scratch& scratch) const;
 
   /// Same, with the group's peers drawn from `peers` for this query only —
   /// e.g. the PeerIndex the MapReduce Job 2 emitted for exactly this group.
@@ -51,11 +62,18 @@ class GroupRecommender {
   Result<Selection> RecommendFair(const Group& group, int32_t z,
                                   const ItemSetSelector& selector) const;
 
+  /// Same, through a caller-owned relevance scratch.
+  Result<Selection> RecommendFair(const Group& group, int32_t z,
+                                  const ItemSetSelector& selector,
+                                  RelevanceEstimator::Scratch& scratch) const;
+
   const GroupContextOptions& options() const { return options_; }
+  const Recommender& recommender() const { return *recommender_; }
 
  private:
-  /// Set only by the (matrix, peers) constructor; recommender_ points at it.
-  std::optional<Recommender> owned_recommender_;
+  /// Set only by the (matrix, peers) constructor; recommender_ points at the
+  /// heap object, whose address survives moves of this facade.
+  std::unique_ptr<Recommender> owned_recommender_;
   const Recommender* recommender_;
   GroupContextOptions options_;
 };

@@ -1,0 +1,172 @@
+#include "serve/recommendation_service.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fairrec {
+namespace serve {
+
+std::string SelectorKindName(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kAlgorithm1:
+      return "algorithm1";
+    case SelectorKind::kGreedyValue:
+      return "greedy-value";
+    case SelectorKind::kLocalSearch:
+      return "local-search";
+  }
+  FAIRREC_CHECK(false);
+  return "";
+}
+
+Result<SelectorKind> ParseSelectorKind(std::string_view name) {
+  if (name == "algorithm1") return SelectorKind::kAlgorithm1;
+  if (name == "greedy-value") return SelectorKind::kGreedyValue;
+  if (name == "local-search") return SelectorKind::kLocalSearch;
+  return Status::InvalidArgument("unknown selector: " + std::string(name));
+}
+
+RecommendationService::RecommendationService(
+    const SnapshotSource* source, RecommendationServiceOptions options)
+    : source_(source),
+      options_(options),
+      algorithm1_(options.algorithm1),
+      local_search_(options.local_search) {
+  FAIRREC_CHECK(source != nullptr);
+}
+
+const ItemSetSelector& RecommendationService::selector(SelectorKind kind) const {
+  switch (kind) {
+    case SelectorKind::kAlgorithm1:
+      return algorithm1_;
+    case SelectorKind::kGreedyValue:
+      return greedy_;
+    case SelectorKind::kLocalSearch:
+      return local_search_;
+  }
+  FAIRREC_CHECK(false);
+  return algorithm1_;
+}
+
+Result<UserRecResponse> RecommendationService::RecommendUser(
+    const UserRecRequest& request) const {
+  Scratch scratch;
+  return RecommendUser(request, scratch);
+}
+
+Result<UserRecResponse> RecommendationService::RecommendUser(
+    const UserRecRequest& request, Scratch& scratch) const {
+  return RecommendUserOn(source_->Acquire(), request, scratch);
+}
+
+Result<UserRecResponse> RecommendationService::RecommendUserOn(
+    const ServingSnapshot& snapshot, const UserRecRequest& request,
+    Scratch& scratch) const {
+  FAIRREC_CHECK(snapshot.valid());
+  if (request.top_k < 0) {
+    return Status::InvalidArgument("top_k override must be >= 0, got " +
+                                   std::to_string(request.top_k));
+  }
+  // NotFound, not InvalidArgument: the request is well-formed, the corpus
+  // has no such user. (The Recommender beneath reports its own population
+  // check as InvalidArgument; the service pre-empts it to keep the code
+  // distinct from malformed-request errors.)
+  if (!snapshot.matrix->IsValidUser(request.user)) {
+    return Status::NotFound("unknown user id: " + std::to_string(request.user));
+  }
+  RecommenderOptions rec_options = options_.recommender;
+  if (request.top_k > 0) rec_options.top_k = request.top_k;
+  const Recommender recommender = snapshot.MakeRecommender(rec_options);
+
+  UserRecResponse response;
+  response.generation = snapshot.generation;
+  FAIRREC_ASSIGN_OR_RETURN(response.items,
+                           recommender.RecommendForUser(request.user, scratch));
+  return response;
+}
+
+Result<GroupRecResponse> RecommendationService::RecommendGroup(
+    const GroupRecRequest& request) const {
+  Scratch scratch;
+  return RecommendGroup(request, scratch);
+}
+
+Result<GroupRecResponse> RecommendationService::RecommendGroup(
+    const GroupRecRequest& request, Scratch& scratch) const {
+  return RecommendGroupOn(source_->Acquire(), request, scratch);
+}
+
+Result<GroupRecResponse> RecommendationService::RecommendGroupOn(
+    const ServingSnapshot& snapshot, const GroupRecRequest& request,
+    Scratch& scratch) const {
+  FAIRREC_CHECK(snapshot.valid());
+  if (request.members.empty()) {
+    return Status::InvalidArgument("group must not be empty");
+  }
+  if (request.z <= 0) {
+    return Status::InvalidArgument("z must be positive, got " +
+                                   std::to_string(request.z));
+  }
+  std::unordered_set<UserId> seen;
+  for (const UserId u : request.members) {
+    if (!snapshot.matrix->IsValidUser(u)) {
+      return Status::NotFound("unknown user id in group: " + std::to_string(u));
+    }
+    if (!seen.insert(u).second) {
+      return Status::InvalidArgument("duplicate user id in group: " +
+                                     std::to_string(u));
+    }
+  }
+
+  const Recommender recommender =
+      snapshot.MakeRecommender(options_.recommender);
+  FAIRREC_ASSIGN_OR_RETURN(
+      const std::vector<MemberRelevance> members,
+      recommender.RelevanceForGroup(request.members, scratch));
+  FAIRREC_ASSIGN_OR_RETURN(const GroupContext context,
+                           GroupContext::Build(members, options_.context));
+  // OutOfRange, not InvalidArgument: z was a legal request, this corpus
+  // just cannot seat it — the group has fewer candidate items (items no
+  // member rated, with a defined group relevance) than z. Retry with a
+  // smaller z.
+  if (request.z > context.num_candidates()) {
+    return Status::OutOfRange(
+        "z = " + std::to_string(request.z) + " exceeds the group's " +
+        std::to_string(context.num_candidates()) + " candidate items");
+  }
+  FAIRREC_ASSIGN_OR_RETURN(const Selection selection,
+                           selector(request.selector).Select(context, request.z));
+
+  GroupRecResponse response;
+  response.generation = snapshot.generation;
+  response.score = selection.score;
+
+  std::vector<int32_t> selected_indexes;
+  selected_indexes.reserve(selection.items.size());
+  response.items.reserve(selection.items.size());
+  for (const ItemId item : selection.items) {
+    const int32_t index = context.CandidateIndexOf(item);
+    FAIRREC_CHECK(index >= 0);
+    selected_indexes.push_back(index);
+    response.items.push_back({item, context.candidate(index).group_relevance});
+  }
+
+  response.members.reserve(request.members.size());
+  for (int32_t m = 0; m < context.group_size(); ++m) {
+    MemberSatisfaction sat;
+    sat.user = context.members()[static_cast<size_t>(m)];
+    sat.satisfied = IsFairToMember(context, m, selected_indexes);
+    for (const int32_t index : selected_indexes) {
+      sat.relevance_sum +=
+          context.candidate(index).member_relevance[static_cast<size_t>(m)];
+    }
+    response.members.push_back(sat);
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace fairrec

@@ -1,0 +1,149 @@
+#ifndef FAIRREC_SERVE_RECOMMENDATION_SERVICE_H_
+#define FAIRREC_SERVE_RECOMMENDATION_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cf/recommender.h"
+#include "common/result.h"
+#include "core/fairness.h"
+#include "core/fairness_heuristic.h"
+#include "core/greedy_selector.h"
+#include "core/group_context.h"
+#include "core/local_search.h"
+#include "ratings/types.h"
+#include "serve/serving_snapshot.h"
+#include "serve/snapshot_source.h"
+
+namespace fairrec {
+namespace serve {
+
+/// The selectors a request can name. Each service instance owns one
+/// configured instance of each, so requests just pick.
+enum class SelectorKind {
+  /// The paper's Algorithm 1 (core/fairness_heuristic.h).
+  kAlgorithm1,
+  /// Greedy marginal-value baseline (core/greedy_selector.h).
+  kGreedyValue,
+  /// Swap hill-climbing seeded from Algorithm 1 (core/local_search.h).
+  kLocalSearch,
+};
+
+/// "algorithm1", "greedy-value", "local-search".
+std::string SelectorKindName(SelectorKind kind);
+
+/// Inverse of SelectorKindName; InvalidArgument on anything else.
+Result<SelectorKind> ParseSelectorKind(std::string_view name);
+
+/// One single-user query: the member's A_u against the current corpus.
+struct UserRecRequest {
+  UserId user = kInvalidUserId;
+  /// Length of the returned list; 0 uses the service's configured top_k.
+  int32_t top_k = 0;
+};
+
+/// One group query: fairness-aware top-z for an ad-hoc group.
+struct GroupRecRequest {
+  Group members;
+  /// Size of the recommended set D. Must be positive and at most the size
+  /// of the group's candidate set (items unrated by every member).
+  int32_t z = 0;
+  SelectorKind selector = SelectorKind::kAlgorithm1;
+};
+
+struct UserRecResponse {
+  /// Generation of the snapshot the query ran against.
+  uint64_t generation = 0;
+  /// A_u, descending relevance.
+  std::vector<ScoredItem> items;
+};
+
+/// How one member fared under the returned D.
+struct MemberSatisfaction {
+  UserId user = kInvalidUserId;
+  /// Def. 3: D contains at least one item of the member's A_u.
+  bool satisfied = false;
+  /// The member's summed relevance over D.
+  double relevance_sum = 0.0;
+};
+
+struct GroupRecResponse {
+  uint64_t generation = 0;
+  /// D in selection order; each item's score is its group relevance
+  /// (Def. 2 under the service's configured aggregation).
+  std::vector<ScoredItem> items;
+  /// value(G, D) and its fairness x relevance decomposition.
+  ValueBreakdown score;
+  /// Aligned with GroupRecRequest::members.
+  std::vector<MemberSatisfaction> members;
+};
+
+struct RecommendationServiceOptions {
+  RecommenderOptions recommender;
+  GroupContextOptions context;
+  FairnessHeuristicOptions algorithm1;
+  LocalSearchOptions local_search;
+};
+
+/// The online facade over the whole query side of the library: plain
+/// request/response structs in, one snapshot acquisition per request, every
+/// pipeline stage (peers -> Eq. 1 -> Def. 2 -> selector) run against that
+/// snapshot.
+///
+/// Error taxonomy of the query path — one distinct, documented code per
+/// caller mistake, so a transport can map them without parsing messages:
+///   * NotFound          — a user id (single-user query or group member)
+///                         beyond the corpus's population;
+///   * InvalidArgument   — a malformed request: empty group, duplicate
+///                         member, non-positive z or top_k override < 0;
+///   * OutOfRange        — z exceeds the group's candidate set (the request
+///                         was well-formed, the corpus cannot satisfy it;
+///                         retrying with smaller z works);
+///   * ResourceExhausted — not produced here: the ServingServer's verdict
+///                         when its queue is full (serve/server.h).
+///
+/// Queries are const and freely concurrent. The Scratch overloads let a
+/// serving worker reuse one set of Eq. 1 accumulators across requests; the
+/// ...On overloads run against a caller-held snapshot instead of acquiring
+/// one, which is what replay/parity harnesses use to re-ask a question of a
+/// specific retained generation.
+class RecommendationService {
+ public:
+  using Scratch = RelevanceEstimator::Scratch;
+
+  /// `source` must outlive the service.
+  explicit RecommendationService(const SnapshotSource* source,
+                                 RecommendationServiceOptions options = {});
+
+  Result<UserRecResponse> RecommendUser(const UserRecRequest& request) const;
+  Result<UserRecResponse> RecommendUser(const UserRecRequest& request,
+                                        Scratch& scratch) const;
+  Result<UserRecResponse> RecommendUserOn(const ServingSnapshot& snapshot,
+                                          const UserRecRequest& request,
+                                          Scratch& scratch) const;
+
+  Result<GroupRecResponse> RecommendGroup(const GroupRecRequest& request) const;
+  Result<GroupRecResponse> RecommendGroup(const GroupRecRequest& request,
+                                          Scratch& scratch) const;
+  Result<GroupRecResponse> RecommendGroupOn(const ServingSnapshot& snapshot,
+                                            const GroupRecRequest& request,
+                                            Scratch& scratch) const;
+
+  const ItemSetSelector& selector(SelectorKind kind) const;
+  const RecommendationServiceOptions& options() const { return options_; }
+  const SnapshotSource& source() const { return *source_; }
+
+ private:
+  const SnapshotSource* source_;
+  RecommendationServiceOptions options_;
+  FairnessHeuristic algorithm1_;
+  GreedyValueSelector greedy_;
+  LocalSearchSelector local_search_;
+};
+
+}  // namespace serve
+}  // namespace fairrec
+
+#endif  // FAIRREC_SERVE_RECOMMENDATION_SERVICE_H_

@@ -1,0 +1,129 @@
+#include "serve/server.h"
+
+#include <future>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fairrec {
+namespace serve {
+
+ServingServer::ServingServer(const RecommendationService* service,
+                             ServingServerOptions options)
+    : service_(service), options_(options) {
+  FAIRREC_CHECK(service != nullptr);
+  FAIRREC_CHECK(options_.num_workers > 0);
+  FAIRREC_CHECK(options_.max_queue > 0);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingServer::~ServingServer() { Shutdown(); }
+
+Status ServingServer::Enqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("server is shut down");
+    }
+    if (queue_.size() >= static_cast<size_t>(options_.max_queue)) {
+      ++stats_.shed;
+      return Status::ResourceExhausted(
+          "request queue full (" + std::to_string(options_.max_queue) +
+          " waiting)");
+    }
+    queue_.push_back(std::move(job));
+    ++stats_.accepted;
+    if (queue_.size() > stats_.queue_peak) stats_.queue_peak = queue_.size();
+  }
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+Status ServingServer::SubmitUser(UserRecRequest request, UserCallback done) {
+  FAIRREC_CHECK(done != nullptr);
+  return Enqueue([this, request = std::move(request), done = std::move(done)](
+                     RecommendationService::Scratch& scratch) {
+    Result<UserRecResponse> result = service_->RecommendUser(request, scratch);
+    RecordCompletion(result.ok());
+    done(std::move(result));
+  });
+}
+
+Status ServingServer::SubmitGroup(GroupRecRequest request, GroupCallback done) {
+  FAIRREC_CHECK(done != nullptr);
+  return Enqueue([this, request = std::move(request), done = std::move(done)](
+                     RecommendationService::Scratch& scratch) {
+    Result<GroupRecResponse> result = service_->RecommendGroup(request, scratch);
+    RecordCompletion(result.ok());
+    done(std::move(result));
+  });
+}
+
+void ServingServer::RecordCompletion(bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ++stats_.completed_ok;
+  } else {
+    ++stats_.completed_error;
+  }
+}
+
+Result<UserRecResponse> ServingServer::CallUser(UserRecRequest request) {
+  std::promise<Result<UserRecResponse>> promise;
+  std::future<Result<UserRecResponse>> future = promise.get_future();
+  FAIRREC_RETURN_NOT_OK(SubmitUser(
+      std::move(request),
+      [&promise](Result<UserRecResponse> r) { promise.set_value(std::move(r)); }));
+  return future.get();
+}
+
+Result<GroupRecResponse> ServingServer::CallGroup(GroupRecRequest request) {
+  std::promise<Result<GroupRecResponse>> promise;
+  std::future<Result<GroupRecResponse>> future = promise.get_future();
+  FAIRREC_RETURN_NOT_OK(SubmitGroup(
+      std::move(request),
+      [&promise](Result<GroupRecResponse> r) { promise.set_value(std::move(r)); }));
+  return future.get();
+}
+
+void ServingServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServingServerStats ServingServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ServingServer::WorkerLoop() {
+  // One scratch per worker for its whole lifetime: consecutive requests on
+  // this thread reuse the same dense Eq. 1 accumulators.
+  RecommendationService::Scratch scratch;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job(scratch);
+  }
+}
+
+}  // namespace serve
+}  // namespace fairrec

@@ -1,0 +1,113 @@
+#ifndef FAIRREC_SERVE_SERVER_H_
+#define FAIRREC_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/recommendation_service.h"
+
+namespace fairrec {
+namespace serve {
+
+struct ServingServerOptions {
+  /// Worker threads executing requests. Each owns one reusable Eq. 1
+  /// scratch for its whole lifetime.
+  int32_t num_workers = 4;
+  /// Admission bound: a Submit arriving while this many requests are
+  /// already queued (not yet picked up by a worker) is shed with
+  /// ResourceExhausted instead of queued. In-flight requests do not count.
+  int32_t max_queue = 256;
+};
+
+/// Counters since construction. Monotonic; read at any time.
+struct ServingServerStats {
+  /// Requests admitted to the queue.
+  uint64_t accepted = 0;
+  /// Requests declined with ResourceExhausted at Submit.
+  uint64_t shed = 0;
+  /// Completed requests whose response was ok.
+  uint64_t completed_ok = 0;
+  /// Completed requests that returned an error status to their callback.
+  uint64_t completed_error = 0;
+  /// High-water mark of the queue depth.
+  uint64_t queue_peak = 0;
+};
+
+/// The request loop of the serving layer: a bounded queue in front of a
+/// fixed worker pool, each worker draining requests through one
+/// RecommendationService with a per-worker relevance scratch.
+///
+/// Admission policy is shed-on-full: a full queue means the pool is already
+/// saturated past its bound, and queuing deeper would only grow latency
+/// without growing throughput — so Submit returns ResourceExhausted
+/// immediately (the one retryable code; see common/status.h) and the caller
+/// decides whether to back off or drop. Submitted callbacks run on worker
+/// threads, exactly once each, including during shutdown.
+///
+/// Shutdown is graceful: Shutdown() stops admissions (further Submits get
+/// FailedPrecondition), lets the workers drain every accepted request, then
+/// joins them. The destructor calls Shutdown().
+class ServingServer {
+ public:
+  using UserCallback = std::function<void(Result<UserRecResponse>)>;
+  using GroupCallback = std::function<void(Result<GroupRecResponse>)>;
+
+  /// `service` must outlive the server.
+  ServingServer(const RecommendationService* service,
+                ServingServerOptions options = {});
+  ~ServingServer();
+
+  ServingServer(const ServingServer&) = delete;
+  ServingServer& operator=(const ServingServer&) = delete;
+
+  /// Enqueues a single-user query. OK means `done` will run exactly once on
+  /// a worker thread; ResourceExhausted means the request was shed and
+  /// `done` will never run; FailedPrecondition means the server is shut
+  /// down.
+  Status SubmitUser(UserRecRequest request, UserCallback done);
+
+  /// Enqueues a group query. Same admission contract as SubmitUser.
+  Status SubmitGroup(GroupRecRequest request, GroupCallback done);
+
+  /// Blocking conveniences for callers without their own completion
+  /// plumbing: Submit + wait. Shed/shutdown verdicts come back directly.
+  Result<UserRecResponse> CallUser(UserRecRequest request);
+  Result<GroupRecResponse> CallGroup(GroupRecRequest request);
+
+  /// Stops admissions, drains the queue, joins the workers. Idempotent.
+  void Shutdown();
+
+  ServingServerStats stats() const;
+  const ServingServerOptions& options() const { return options_; }
+
+ private:
+  /// A queued request, already bound to its request payload and callback;
+  /// the worker just supplies its scratch.
+  using Job = std::function<void(RecommendationService::Scratch&)>;
+
+  Status Enqueue(Job job);
+  void RecordCompletion(bool ok);
+  void WorkerLoop();
+
+  const RecommendationService* service_;
+  ServingServerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool shutdown_ = false;
+  ServingServerStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace fairrec
+
+#endif  // FAIRREC_SERVE_SERVER_H_

@@ -1,0 +1,66 @@
+#include "serve/snapshot_source.h"
+
+#include "common/logging.h"
+#include "sim/pairwise_engine.h"
+
+namespace fairrec {
+namespace serve {
+
+StaticSnapshotSource::StaticSnapshotSource(
+    std::shared_ptr<const RatingMatrix> matrix,
+    std::shared_ptr<const PeerProvider> peers) {
+  FAIRREC_CHECK(matrix != nullptr);
+  FAIRREC_CHECK(peers != nullptr);
+  FAIRREC_CHECK(peers->num_users() == matrix->num_users());
+  snapshot_.generation = 1;
+  snapshot_.matrix = std::move(matrix);
+  snapshot_.peers = std::move(peers);
+}
+
+Result<StaticSnapshotSource> StaticSnapshotSource::FromMatrix(
+    RatingMatrix matrix, RatingSimilarityOptions similarity,
+    PeerIndexOptions peers) {
+  auto owned = std::make_shared<const RatingMatrix>(std::move(matrix));
+  const PairwiseSimilarityEngine engine(owned.get(), similarity);
+  FAIRREC_ASSIGN_OR_RETURN(PeerIndex index, engine.BuildPeerIndex(peers));
+  return StaticSnapshotSource(
+      std::move(owned), std::make_shared<const PeerIndex>(std::move(index)));
+}
+
+LivePeerGraph::LivePeerGraph(IncrementalPeerGraph graph)
+    : graph_(std::move(graph)) {
+  current_.generation = 1;
+  current_.matrix = graph_.matrix_snapshot();
+  current_.peers = graph_.index();
+}
+
+ServingSnapshot LivePeerGraph::Acquire() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return current_;
+}
+
+Result<DeltaApplyStats> LivePeerGraph::ApplyDelta(const RatingDelta& delta) {
+  // One writer at a time through the graph; readers are not blocked by this
+  // mutex — they only contend on publish_mu_, held below for two pointer
+  // copies.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  FAIRREC_ASSIGN_OR_RETURN(DeltaApplyStats stats, graph_.ApplyDelta(delta));
+
+  ServingSnapshot next;
+  next.matrix = graph_.matrix_snapshot();
+  next.peers = graph_.index();
+  {
+    std::lock_guard<std::mutex> publish_lock(publish_mu_);
+    next.generation = current_.generation + 1;
+    current_ = std::move(next);
+  }
+  return stats;
+}
+
+uint64_t LivePeerGraph::generation() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return current_.generation;
+}
+
+}  // namespace serve
+}  // namespace fairrec

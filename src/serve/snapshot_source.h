@@ -1,0 +1,100 @@
+#ifndef FAIRREC_SERVE_SNAPSHOT_SOURCE_H_
+#define FAIRREC_SERVE_SNAPSHOT_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/result.h"
+#include "ratings/rating_delta.h"
+#include "ratings/rating_matrix.h"
+#include "serve/serving_snapshot.h"
+#include "sim/incremental_peer_graph.h"
+#include "sim/peer_index.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+namespace serve {
+
+/// Where the serving layer gets its generations from. Acquire must be safe
+/// to call concurrently from any number of request threads, and every
+/// returned snapshot must be internally consistent (matrix and peers from
+/// the same publication).
+class SnapshotSource {
+ public:
+  virtual ~SnapshotSource() = default;
+
+  /// The current generation. The snapshot is acquired once per request; the
+  /// caller keeps it for the whole query and drops it when done.
+  virtual ServingSnapshot Acquire() const = 0;
+};
+
+/// Fixed artifacts, generation 1 forever — the source for evaluation runs,
+/// tests, and any deployment without live rating traffic.
+class StaticSnapshotSource final : public SnapshotSource {
+ public:
+  /// Both pointers must be non-null; `peers` must index the same user
+  /// population as `matrix`.
+  StaticSnapshotSource(std::shared_ptr<const RatingMatrix> matrix,
+                       std::shared_ptr<const PeerProvider> peers);
+
+  /// Convenience: builds the Def. 1 peer graph from the corpus with one
+  /// engine sweep and wraps both as a source.
+  static Result<StaticSnapshotSource> FromMatrix(
+      RatingMatrix matrix, RatingSimilarityOptions similarity = {},
+      PeerIndexOptions peers = {});
+
+  ServingSnapshot Acquire() const override { return snapshot_; }
+
+ private:
+  ServingSnapshot snapshot_;
+};
+
+/// The live source: wraps an IncrementalPeerGraph and republishes its
+/// artifacts as a fresh generation after every delta batch.
+///
+/// Concurrency contract:
+///   * ApplyDelta calls are serialized among themselves (update mutex) —
+///     writers queue, they do not interleave;
+///   * Acquire is a mutex-guarded copy of two shared_ptrs and the generation
+///     counter, so readers never observe a half-published generation (a new
+///     matrix with the old index, or vice versa);
+///   * published generations are immutable: ApplyDelta builds the merged
+///     corpus and patched index as new objects and swaps pointers
+///     (sim/incremental_peer_graph.h), so snapshots acquired before a delta
+///     remain fully readable during and after it.
+class LivePeerGraph final : public SnapshotSource {
+ public:
+  /// Takes ownership of a seeded graph and publishes its artifacts as
+  /// generation 1.
+  explicit LivePeerGraph(IncrementalPeerGraph graph);
+
+  ServingSnapshot Acquire() const override;
+
+  /// Folds one rating batch into the graph and publishes the result as the
+  /// next generation. Returns the patch accounting. On error nothing is
+  /// published and the current generation stays served.
+  Result<DeltaApplyStats> ApplyDelta(const RatingDelta& delta);
+
+  /// The generation currently being handed out.
+  uint64_t generation() const;
+
+  /// The wrapped subsystem, for checkpointing and inspection. Not
+  /// synchronized against ApplyDelta — quiesce updates first.
+  const IncrementalPeerGraph& graph() const { return graph_; }
+
+ private:
+  /// Serializes ApplyDelta callers.
+  std::mutex update_mu_;
+  /// Guards current_: held for the pointer swap on publish and the pointer
+  /// copy in Acquire, never across a build.
+  mutable std::mutex publish_mu_;
+  IncrementalPeerGraph graph_;
+  ServingSnapshot current_;
+};
+
+}  // namespace serve
+}  // namespace fairrec
+
+#endif  // FAIRREC_SERVE_SNAPSHOT_SOURCE_H_

@@ -78,7 +78,7 @@ Result<IncrementalPeerGraph> IncrementalPeerGraph::Build(
   IncrementalPeerGraph graph;
   graph.options_ = options;
   graph.cost_model_ = PatchCostModel(options.patch_pair_cost);
-  graph.matrix_ = std::make_unique<RatingMatrix>(std::move(matrix));
+  graph.matrix_ = std::make_shared<const RatingMatrix>(std::move(matrix));
   const PairwiseSimilarityEngine engine(graph.matrix_.get(),
                                         options.similarity, options.engine);
   const auto start = std::chrono::steady_clock::now();
@@ -113,7 +113,7 @@ Result<IncrementalPeerGraph> IncrementalPeerGraph::FromArtifacts(
   IncrementalPeerGraph graph;
   graph.options_ = options;
   graph.cost_model_ = PatchCostModel(options.patch_pair_cost);
-  graph.matrix_ = std::make_unique<RatingMatrix>(std::move(matrix));
+  graph.matrix_ = std::make_shared<const RatingMatrix>(std::move(matrix));
   graph.store_ = std::make_unique<MomentStore>(std::move(store));
   graph.index_ = std::make_shared<const PeerIndex>(std::move(index));
   FAIRREC_RETURN_NOT_OK(graph.AttachResidency());
@@ -173,7 +173,9 @@ Status IncrementalPeerGraph::RebuildFromScratch(RatingMatrix new_matrix) {
   // The planner's fallback is exactly the seeding build: swap the corpus,
   // re-sweep store and index. The result *is* the parity reference the
   // patch path is tested against, so the contract holds trivially here.
-  *matrix_ = std::move(new_matrix);
+  // A fresh shared_ptr, not assignment through the old one: published
+  // matrix snapshots stay immutable.
+  matrix_ = std::make_shared<const RatingMatrix>(std::move(new_matrix));
   const PairwiseSimilarityEngine engine(matrix_.get(), options_.similarity,
                                         options_.engine);
   const auto start = std::chrono::steady_clock::now();
@@ -437,7 +439,9 @@ Result<DeltaApplyStats> IncrementalPeerGraph::ApplyDelta(
       residency_->NoteTileDirty(residency_->TileOfUser(d.b));
     }
   }
-  *matrix_ = std::move(new_matrix);
+  // A fresh shared_ptr, not assignment through the old one: holders of the
+  // previous matrix_snapshot() keep their generation.
+  matrix_ = std::make_shared<const RatingMatrix>(std::move(new_matrix));
   const PairwiseSimilarityEngine engine(matrix_.get(), options_.similarity,
                                         options_.engine);
 

@@ -207,8 +207,23 @@ class IncrementalPeerGraph {
   /// snapshot for a consistent view).
   std::shared_ptr<const PeerIndex> index() const { return index_; }
 
-  /// The evolving corpus. Valid until the next ApplyDelta.
+  /// The evolving corpus. The reference tracks the latest generation: after
+  /// the next ApplyDelta it names a *different* matrix. Callers that must
+  /// not observe a swap mid-query hold matrix_snapshot() instead.
   const RatingMatrix& matrix() const { return *matrix_; }
+
+  /// The corpus as an immutable snapshot, paired with index(): ApplyDelta
+  /// never mutates a published matrix in place — it builds the merged corpus
+  /// and swaps the pointer — so a holder keeps a self-consistent generation
+  /// for as long as it keeps the pointer. This is what the serving layer's
+  /// ServingSnapshot is assembled from (serve/snapshot_source.h).
+  ///
+  /// Note the accessor itself is unsynchronized, like index(): callers that
+  /// read while another thread is inside ApplyDelta must order the two
+  /// (the serving layer publishes under its own lock).
+  std::shared_ptr<const RatingMatrix> matrix_snapshot() const {
+    return matrix_;
+  }
 
   /// The persistent sufficient-statistics store backing the patches. Under
   /// a residency budget, spilled tiles are not readable until
@@ -257,10 +272,12 @@ class IncrementalPeerGraph {
 
   IncrementalPeerGraphOptions options_;
   PatchCostModel cost_model_;
-  // unique_ptr so the matrix's address is stable across moves of the graph
-  // (PairwiseSimilarityEngine instances hold a pointer to it during a call,
-  // and callers hold matrix() references).
-  std::unique_ptr<RatingMatrix> matrix_;
+  // shared_ptr, const payload: the address is stable across moves of the
+  // graph (PairwiseSimilarityEngine instances hold a pointer to it during a
+  // call), and each generation is immutable once published — ApplyDelta
+  // swaps in the merged corpus instead of assigning through the pointer, so
+  // matrix_snapshot() holders never see a matrix change under them.
+  std::shared_ptr<const RatingMatrix> matrix_;
   // unique_ptr for the same address stability: the residency manager holds
   // a pointer to the store across moves of the graph.
   std::unique_ptr<MomentStore> store_;

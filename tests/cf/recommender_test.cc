@@ -48,7 +48,8 @@ RecommenderOptions DefaultOptions() {
 TEST(RecommenderTest, RejectsUnknownUser) {
   const RatingMatrix m = ClusteredMatrix();
   const RatingSimilarity sim(&m);
-  const Recommender rec(&m, &sim, DefaultOptions());
+  const Recommender rec =
+      Recommender::ForSimilarityScan(&m, &sim, DefaultOptions());
   EXPECT_TRUE(rec.RecommendForUser(99).status().IsInvalidArgument());
   EXPECT_TRUE(rec.RecommendForUser(-1).status().IsInvalidArgument());
 }
@@ -56,7 +57,8 @@ TEST(RecommenderTest, RejectsUnknownUser) {
 TEST(RecommenderTest, RecommendsOnlyUnratedItems) {
   const RatingMatrix m = ClusteredMatrix();
   const RatingSimilarity sim(&m);
-  const Recommender rec(&m, &sim, DefaultOptions());
+  const Recommender rec =
+      Recommender::ForSimilarityScan(&m, &sim, DefaultOptions());
   const auto recs = rec.RecommendForUser(0);
   ASSERT_TRUE(recs.ok());
   for (const ScoredItem& s : *recs) {
@@ -67,7 +69,8 @@ TEST(RecommenderTest, RecommendsOnlyUnratedItems) {
 TEST(RecommenderTest, ClusterTasteDrivesTopRecommendation) {
   const RatingMatrix m = ClusteredMatrix();
   const RatingSimilarity sim(&m);
-  const Recommender rec(&m, &sim, DefaultOptions());
+  const Recommender rec =
+      Recommender::ForSimilarityScan(&m, &sim, DefaultOptions());
   // User 0's only unrated item is 0 (even => loved by the cluster).
   const auto recs = rec.RecommendForUser(0);
   ASSERT_TRUE(recs.ok());
@@ -81,7 +84,8 @@ TEST(RecommenderTest, TopKIsBounded) {
   const RatingSimilarity sim(&m);
   RecommenderOptions options = DefaultOptions();
   options.top_k = 1;
-  const Recommender rec(&m, &sim, options);
+  const Recommender rec =
+      Recommender::ForSimilarityScan(&m, &sim, options);
   const auto recs = rec.RecommendForUser(1);
   ASSERT_TRUE(recs.ok());
   EXPECT_LE(recs->size(), 1u);
@@ -90,7 +94,8 @@ TEST(RecommenderTest, TopKIsBounded) {
 TEST(RecommenderGroupTest, RejectsBadGroups) {
   const RatingMatrix m = ClusteredMatrix();
   const RatingSimilarity sim(&m);
-  const Recommender rec(&m, &sim, DefaultOptions());
+  const Recommender rec =
+      Recommender::ForSimilarityScan(&m, &sim, DefaultOptions());
   EXPECT_TRUE(rec.RelevanceForGroup({}).status().IsInvalidArgument());
   EXPECT_TRUE(rec.RelevanceForGroup({0, 0}).status().IsInvalidArgument());
   EXPECT_TRUE(rec.RelevanceForGroup({0, 42}).status().IsInvalidArgument());
@@ -99,7 +104,8 @@ TEST(RecommenderGroupTest, RejectsBadGroups) {
 TEST(RecommenderGroupTest, CandidatesAreUnratedByEveryMember) {
   const RatingMatrix m = ClusteredMatrix();
   const RatingSimilarity sim(&m);
-  const Recommender rec(&m, &sim, DefaultOptions());
+  const Recommender rec =
+      Recommender::ForSimilarityScan(&m, &sim, DefaultOptions());
   const Group group{0, 1};
   const auto members = rec.RelevanceForGroup(group);
   ASSERT_TRUE(members.ok());
@@ -116,7 +122,8 @@ TEST(RecommenderGroupTest, CandidatesAreUnratedByEveryMember) {
 TEST(RecommenderGroupTest, PeersExcludeGroupMembers) {
   const RatingMatrix m = ClusteredMatrix();
   const RatingSimilarity sim(&m);
-  const Recommender rec(&m, &sim, DefaultOptions());
+  const Recommender rec =
+      Recommender::ForSimilarityScan(&m, &sim, DefaultOptions());
   const Group group{0, 1, 2};
   const auto members = rec.RelevanceForGroup(group);
   ASSERT_TRUE(members.ok());
@@ -132,7 +139,8 @@ TEST(RecommenderGroupTest, PeersExcludeGroupMembers) {
 TEST(RecommenderGroupTest, MemberTopKIsPrefixOfRelevanceOrdering) {
   const RatingMatrix m = ClusteredMatrix();
   const RatingSimilarity sim(&m);
-  const Recommender rec(&m, &sim, DefaultOptions());
+  const Recommender rec =
+      Recommender::ForSimilarityScan(&m, &sim, DefaultOptions());
   const auto members = rec.RelevanceForGroup({0, 3});
   ASSERT_TRUE(members.ok());
   for (const MemberRelevance& member : *members) {
@@ -152,7 +160,8 @@ TEST(RecommenderSparseTest, ProviderModeMatchesScanMode) {
   const RatingSimilarity base(&m);
   const auto sim =
       std::move(SimilarityMatrix::Precompute(base, m.num_users())).ValueOrDie();
-  const Recommender scan(&m, sim.get(), DefaultOptions());
+  const Recommender scan =
+      Recommender::ForSimilarityScan(&m, sim.get(), DefaultOptions());
 
   PeerIndexOptions peer_options;
   peer_options.delta = DefaultOptions().peers.delta;
@@ -183,7 +192,8 @@ TEST(RecommenderSparseTest, ProviderModeMatchesScanMode) {
 TEST(RecommenderSparseTest, PerQueryProviderOverridesTheBuiltInFinder) {
   const RatingMatrix m = ClusteredMatrix();
   const RatingSimilarity sim(&m);
-  const Recommender rec(&m, &sim, DefaultOptions());
+  const Recommender rec =
+      Recommender::ForSimilarityScan(&m, &sim, DefaultOptions());
 
   // A provider that only knows user 0 <-> user 5 forces every other member's
   // peer set empty, whatever the built-in finder would say.
@@ -201,7 +211,8 @@ TEST(RecommenderSparseTest, PerQueryProviderOverridesTheBuiltInFinder) {
 TEST(RecommenderGroupTest, RelevanceListsAscendingByItem) {
   const RatingMatrix m = ClusteredMatrix();
   const RatingSimilarity sim(&m);
-  const Recommender rec(&m, &sim, DefaultOptions());
+  const Recommender rec =
+      Recommender::ForSimilarityScan(&m, &sim, DefaultOptions());
   const auto members = rec.RelevanceForGroup({0, 4});
   ASSERT_TRUE(members.ok());
   for (const MemberRelevance& member : *members) {

@@ -1,0 +1,97 @@
+#include "core/group_recommender.h"
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fairness_heuristic.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+#include "sim/rating_similarity.h"
+
+namespace fairrec {
+namespace {
+
+RatingMatrix SmallMatrix() {
+  RatingMatrixBuilder builder;
+  // 6 users x 8 items. Everyone rates items 0-5 with the same alternating
+  // pattern (so every pair is a Pearson peer at delta = 0.1); items 6-7 are
+  // rated only by odd users, leaving all-even groups a candidate pool that
+  // their odd peers can predict into.
+  for (UserId u = 0; u < 6; ++u) {
+    for (ItemId i = 0; i < 6; ++i) {
+      EXPECT_TRUE(builder.Add(u, i, i % 2 == 0 ? 5 : 2).ok());
+    }
+    if (u % 2 == 1) {
+      EXPECT_TRUE(builder.Add(u, 6, 4).ok());
+      EXPECT_TRUE(builder.Add(u, 7, 3).ok());
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+PeerIndex BuildPeers(const RatingMatrix& matrix) {
+  const PairwiseSimilarityEngine engine(&matrix);
+  PeerIndexOptions options;
+  options.delta = 0.1;
+  return std::move(engine.BuildPeerIndex(options)).ValueOrDie();
+}
+
+TEST(GroupRecommenderTest, IsMovableButNotCopyable) {
+  EXPECT_TRUE(std::is_move_constructible_v<GroupRecommender>);
+  EXPECT_TRUE(std::is_move_assignable_v<GroupRecommender>);
+  EXPECT_FALSE(std::is_copy_constructible_v<GroupRecommender>);
+  EXPECT_FALSE(std::is_copy_assignable_v<GroupRecommender>);
+}
+
+TEST(GroupRecommenderTest, OwnedRecommenderSurvivesMove) {
+  const RatingMatrix matrix = SmallMatrix();
+  const PeerIndex peers = BuildPeers(matrix);
+  RecommenderOptions rec_options;
+  rec_options.peers.delta = 0.1;
+  rec_options.top_k = 3;
+
+  GroupRecommender original(&matrix, &peers, rec_options, {});
+  const Group group{0, 2, 4};
+  const auto before = original.BuildContext(group);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  // Move-construct, then move-assign: the owned recommender rides along on
+  // the heap, so the internal pointer stays valid in every destination.
+  GroupRecommender moved(std::move(original));
+  GroupRecommender assigned(&matrix, &peers, rec_options, {});
+  assigned = std::move(moved);
+
+  const auto after = assigned.BuildContext(group);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after->num_candidates(), before->num_candidates());
+  for (int32_t c = 0; c < after->num_candidates(); ++c) {
+    EXPECT_EQ(after->candidate(c).item, before->candidate(c).item);
+    EXPECT_EQ(after->candidate(c).group_relevance,
+              before->candidate(c).group_relevance);
+  }
+
+  const FairnessHeuristic heuristic;
+  const auto selection = assigned.RecommendFair(group, 2, heuristic);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_EQ(selection->items.size(), 2u);
+}
+
+TEST(GroupRecommenderTest, MovedFacadeOverBorrowedRecommenderStillWorks) {
+  const RatingMatrix matrix = SmallMatrix();
+  const PeerIndex peers = BuildPeers(matrix);
+  RecommenderOptions rec_options;
+  rec_options.peers.delta = 0.1;
+  const Recommender recommender(&matrix, &peers, rec_options);
+
+  GroupRecommender original(&recommender, {});
+  GroupRecommender moved(std::move(original));
+  const auto context = moved.BuildContext({0, 2});
+  ASSERT_TRUE(context.ok()) << context.status().ToString();
+  EXPECT_GT(context->num_candidates(), 0);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -59,8 +59,9 @@ TEST_F(EndToEndTest, RatingsPathProducesFairSelection) {
   RatingSimilarityOptions sim_options;
   sim_options.shift_to_unit_interval = true;
   const RatingSimilarity similarity(&scenario().ratings, sim_options);
-  const Recommender recommender(&scenario().ratings, &similarity,
-                                DefaultRecOptions());
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario().ratings, &similarity,
+                                     DefaultRecOptions());
   const GroupRecommender group_rec(&recommender, {});
   const Group group = scenario().MakeCohesiveGroup(4, 42);
 
@@ -100,7 +101,8 @@ TEST_F(EndToEndTest, AllThreeSimilarityMeasuresDriveTheSamePipeline) {
   for (const Case& c : cases) {
     RecommenderOptions options = DefaultRecOptions();
     options.peers.delta = c.delta;
-    const Recommender recommender(&scenario().ratings, c.sim, options);
+    const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario().ratings, c.sim, options);
     const GroupRecommender group_rec(&recommender, {});
     const auto context = group_rec.BuildContext(group);
     ASSERT_TRUE(context.ok()) << c.sim->name();
@@ -129,7 +131,8 @@ TEST_F(EndToEndTest, HybridSimilarityEndToEnd) {
 
   RecommenderOptions options = DefaultRecOptions();
   options.peers.delta = 0.35;
-  const Recommender recommender(&scenario().ratings, hybrid.get(), options);
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario().ratings, hybrid.get(), options);
   const GroupRecommender group_rec(&recommender, {});
   const Group group = scenario().MakeCohesiveGroup(3, 99);
   const FairnessHeuristic heuristic;
@@ -149,8 +152,10 @@ TEST_F(EndToEndTest, PrecomputedMatrixAgreesWithDirectSimilarity) {
   options.peers.delta = 0.15;
   const Group group = scenario().MakeRandomGroup(3, 5);
 
-  const Recommender direct(&scenario().ratings, &ss, options);
-  const Recommender precomputed(&scenario().ratings, cached.get(), options);
+  const Recommender direct =
+      Recommender::ForSimilarityScan(&scenario().ratings, &ss, options);
+  const Recommender precomputed =
+      Recommender::ForSimilarityScan(&scenario().ratings, cached.get(), options);
   const GroupRecommender direct_rec(&direct, {});
   const GroupRecommender cached_rec(&precomputed, {});
   const FairnessHeuristic heuristic;
@@ -175,7 +180,8 @@ TEST_F(EndToEndTest, SparsePeerGraphServingPathMatchesDenseTriangle) {
       std::move(SimilarityMatrix::Precompute(base,
                                              scenario().ratings.num_users()))
           .ValueOrDie();
-  const Recommender dense(&scenario().ratings, cached.get(), rec_options);
+  const Recommender dense =
+      Recommender::ForSimilarityScan(&scenario().ratings, cached.get(), rec_options);
   const GroupRecommender dense_rec(&dense, {});
 
   PeerIndexOptions peer_options;
@@ -296,7 +302,8 @@ TEST_F(EndToEndTest, PipelinePeerIndexServesFollowUpQueries) {
   RecommenderOptions rec_options;
   rec_options.peers.delta = 0.55;
   rec_options.top_k = 8;
-  const Recommender recommender(&scenario().ratings, &rs, rec_options);
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario().ratings, &rs, rec_options);
   GroupContextOptions ctx_options;
   ctx_options.top_k = 8;
   const GroupRecommender group_rec(&recommender, ctx_options);
@@ -315,7 +322,8 @@ TEST_F(EndToEndTest, MinVetoNeverExceedsAverageRelevance) {
   RatingSimilarityOptions rs_options;
   rs_options.shift_to_unit_interval = true;
   const RatingSimilarity rs(&scenario().ratings, rs_options);
-  const Recommender recommender(&scenario().ratings, &rs, DefaultRecOptions());
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario().ratings, &rs, DefaultRecOptions());
   const Group group = scenario().MakeRandomGroup(4, 17);
 
   GroupContextOptions min_options;
@@ -337,7 +345,8 @@ TEST_F(EndToEndTest, CohesiveGroupsAreEasierToSatisfyThanRandom) {
   RatingSimilarityOptions rs_options;
   rs_options.shift_to_unit_interval = true;
   const RatingSimilarity rs(&scenario().ratings, rs_options);
-  const Recommender recommender(&scenario().ratings, &rs, DefaultRecOptions());
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario().ratings, &rs, DefaultRecOptions());
   const GroupRecommender group_rec(&recommender, {});
   const FairnessHeuristic heuristic;
 
@@ -382,7 +391,8 @@ TEST_F(EndToEndTest, MapReducePipelineAgreesWithSerialOnScenario) {
   RecommenderOptions rec_options;
   rec_options.peers.delta = 0.55;
   rec_options.top_k = 8;
-  const Recommender recommender(&scenario().ratings, &rs, rec_options);
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario().ratings, &rs, rec_options);
   GroupContextOptions ctx_options;
   ctx_options.top_k = 8;  // must match PipelineOptions::top_k
   const GroupRecommender group_rec(&recommender, ctx_options);
@@ -397,7 +407,8 @@ TEST_F(EndToEndTest, SelectorsRankedByValueOnRealScenario) {
   RatingSimilarityOptions rs_options;
   rs_options.shift_to_unit_interval = true;
   const RatingSimilarity rs(&scenario().ratings, rs_options);
-  const Recommender recommender(&scenario().ratings, &rs, DefaultRecOptions());
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&scenario().ratings, &rs, DefaultRecOptions());
   const GroupRecommender group_rec(&recommender, {});
   const GroupContext full_ctx =
       std::move(group_rec.BuildContext(scenario().MakeRandomGroup(4, 31)))

@@ -39,7 +39,8 @@ GroupContext SerialContext(const RatingMatrix& matrix, const Group& group,
   RecommenderOptions rec_options;
   rec_options.peers.delta = options.delta;
   rec_options.top_k = options.top_k;
-  const Recommender recommender(&matrix, &similarity, rec_options);
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&matrix, &similarity, rec_options);
   GroupContextOptions ctx_options;
   ctx_options.aggregation = options.aggregation;
   ctx_options.top_k = options.top_k;

@@ -1,0 +1,98 @@
+#ifndef FAIRREC_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define FAIRREC_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ratings/rating_delta.h"
+#include "ratings/rating_matrix.h"
+#include "serve/recommendation_service.h"
+#include "sim/incremental_peer_graph.h"
+
+namespace fairrec {
+namespace serve_testing {
+
+/// A random corpus on the integer 1..5 scale (integer so the incremental
+/// graph's byte-parity contract holds exactly under deltas).
+inline RatingMatrix SyntheticMatrix(int32_t num_users, int32_t num_items,
+                                    uint64_t seed, double density = 0.4) {
+  RatingMatrixBuilder builder;
+  Rng rng(seed);
+  for (UserId u = 0; u < num_users; ++u) {
+    for (ItemId i = 0; i < num_items; ++i) {
+      if (rng.NextDouble() >= density) continue;
+      EXPECT_TRUE(
+          builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+/// A batch of random upserts over the existing population.
+inline RatingDelta RandomDelta(const RatingMatrix& matrix, int32_t size,
+                               uint64_t seed) {
+  RatingDelta delta;
+  Rng rng(seed);
+  for (int32_t n = 0; n < size; ++n) {
+    const UserId u =
+        static_cast<UserId>(rng.UniformInt(0, matrix.num_users() - 1));
+    const ItemId i =
+        static_cast<ItemId>(rng.UniformInt(0, matrix.num_items() - 1));
+    EXPECT_TRUE(delta.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+  }
+  return delta;
+}
+
+inline IncrementalPeerGraphOptions GraphOptions() {
+  IncrementalPeerGraphOptions options;
+  options.peers.delta = 0.1;
+  // Deterministic planning for the parity assertions: never calibrate from
+  // wall time, always patch.
+  options.calibrate_planner = false;
+  options.rebuild_fallback_ratio = 0.0;
+  return options;
+}
+
+inline serve::RecommendationServiceOptions ServiceOptions() {
+  serve::RecommendationServiceOptions options;
+  options.recommender.peers.delta = 0.1;
+  options.recommender.top_k = 5;
+  options.context.top_k = 5;
+  return options;
+}
+
+/// Bit-identical response comparison: same generation, same items, exactly
+/// the same doubles.
+inline void ExpectIdentical(const serve::UserRecResponse& a,
+                            const serve::UserRecResponse& b) {
+  EXPECT_EQ(a.generation, b.generation);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (size_t k = 0; k < a.items.size(); ++k) {
+    EXPECT_EQ(a.items[k], b.items[k]) << "item " << k;
+  }
+}
+
+inline void ExpectIdentical(const serve::GroupRecResponse& a,
+                            const serve::GroupRecResponse& b) {
+  EXPECT_EQ(a.generation, b.generation);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (size_t k = 0; k < a.items.size(); ++k) {
+    EXPECT_EQ(a.items[k], b.items[k]) << "item " << k;
+  }
+  EXPECT_EQ(a.score.fairness, b.score.fairness);
+  EXPECT_EQ(a.score.relevance_sum, b.score.relevance_sum);
+  EXPECT_EQ(a.score.value, b.score.value);
+  ASSERT_EQ(a.members.size(), b.members.size());
+  for (size_t m = 0; m < a.members.size(); ++m) {
+    EXPECT_EQ(a.members[m].user, b.members[m].user);
+    EXPECT_EQ(a.members[m].satisfied, b.members[m].satisfied);
+    EXPECT_EQ(a.members[m].relevance_sum, b.members[m].relevance_sum);
+  }
+}
+
+}  // namespace serve_testing
+}  // namespace fairrec
+
+#endif  // FAIRREC_TESTS_SERVE_SERVE_TEST_UTIL_H_

@@ -1,0 +1,167 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/recommendation_service.h"
+#include "serve/snapshot_source.h"
+#include "tests/serve/serve_test_util.h"
+
+namespace fairrec {
+namespace serve {
+namespace {
+
+using serve_testing::ServiceOptions;
+using serve_testing::SyntheticMatrix;
+
+class ServingServerTest : public ::testing::Test {
+ protected:
+  ServingServerTest()
+      : source_(std::move(StaticSnapshotSource::FromMatrix(
+                              SyntheticMatrix(30, 20, 3), {}, PeerOptions()))
+                    .ValueOrDie()),
+        service_(&source_, ServiceOptions()) {}
+
+  static PeerIndexOptions PeerOptions() {
+    PeerIndexOptions peers;
+    peers.delta = 0.1;
+    return peers;
+  }
+
+  StaticSnapshotSource source_;
+  RecommendationService service_;
+};
+
+TEST_F(ServingServerTest, CallPathsMatchDirectServiceCalls) {
+  ServingServer server(&service_, {});
+
+  const UserRecResponse user =
+      std::move(server.CallUser({5, 0})).ValueOrDie();
+  const UserRecResponse direct_user =
+      std::move(service_.RecommendUser({5, 0})).ValueOrDie();
+  EXPECT_EQ(user.items, direct_user.items);
+
+  GroupRecRequest request;
+  request.members = {1, 4, 7};
+  request.z = 3;
+  const GroupRecResponse group =
+      std::move(server.CallGroup(request)).ValueOrDie();
+  const GroupRecResponse direct_group =
+      std::move(service_.RecommendGroup(request)).ValueOrDie();
+  ASSERT_EQ(group.items.size(), direct_group.items.size());
+  EXPECT_EQ(group.score.value, direct_group.score.value);
+}
+
+TEST_F(ServingServerTest, ServiceErrorsReachTheCallback) {
+  ServingServer server(&service_, {});
+  const auto result = server.CallUser({9999, 0});
+  EXPECT_TRUE(result.status().IsNotFound());
+
+  const ServingServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed_error, 1u);
+}
+
+TEST_F(ServingServerTest, ConcurrentSubmissionsAllComplete) {
+  ServingServerOptions options;
+  options.num_workers = 3;
+  options.max_queue = 1024;
+  ServingServer server(&service_, options);
+
+  constexpr int kRequests = 60;
+  std::atomic<int> ok{0};
+  std::vector<std::future<void>> done;
+  done.reserve(kRequests);
+  for (int n = 0; n < kRequests; ++n) {
+    auto latch = std::make_shared<std::promise<void>>();
+    done.push_back(latch->get_future());
+    const UserId u = static_cast<UserId>(n % 30);
+    ASSERT_TRUE(server
+                    .SubmitUser({u, 0},
+                                [&ok, latch](Result<UserRecResponse> r) {
+                                  if (r.ok()) ok.fetch_add(1);
+                                  latch->set_value();
+                                })
+                    .ok());
+  }
+  for (auto& f : done) f.get();
+  EXPECT_EQ(ok.load(), kRequests);
+
+  const ServingServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(stats.completed_ok, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST_F(ServingServerTest, FullQueueShedsWithResourceExhausted) {
+  ServingServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 1;
+  ServingServer server(&service_, options);
+
+  // Block the single worker inside the first request's callback, so the
+  // admission decisions below are deterministic: slot 2 queues, slot 3 sheds.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> entered;
+  ASSERT_TRUE(server
+                  .SubmitUser({0, 0},
+                              [&entered, gate](Result<UserRecResponse>) {
+                                entered.set_value();
+                                gate.wait();
+                              })
+                  .ok());
+  entered.get_future().get();
+
+  std::promise<void> queued_done;
+  ASSERT_TRUE(server
+                  .SubmitUser({1, 0},
+                              [&queued_done](Result<UserRecResponse>) {
+                                queued_done.set_value();
+                              })
+                  .ok());
+
+  const Status shed = server.SubmitUser({2, 0}, [](Result<UserRecResponse>) {});
+  EXPECT_TRUE(shed.IsResourceExhausted()) << shed.ToString();
+
+  release.set_value();
+  queued_done.get_future().get();
+
+  const ServingServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.queue_peak, 1u);
+}
+
+TEST_F(ServingServerTest, ShutdownDrainsAcceptedRequestsThenRefuses) {
+  ServingServerOptions options;
+  options.num_workers = 2;
+  options.max_queue = 256;
+  auto server = std::make_unique<ServingServer>(&service_, options);
+
+  constexpr int kRequests = 20;
+  std::atomic<int> completed{0};
+  for (int n = 0; n < kRequests; ++n) {
+    ASSERT_TRUE(server
+                    ->SubmitUser({static_cast<UserId>(n % 30), 0},
+                                 [&completed](Result<UserRecResponse>) {
+                                   completed.fetch_add(1);
+                                 })
+                    .ok());
+  }
+  server->Shutdown();
+  // Graceful: every accepted request ran its callback before Shutdown
+  // returned.
+  EXPECT_EQ(completed.load(), kRequests);
+
+  const Status refused =
+      server->SubmitUser({0, 0}, [](Result<UserRecResponse>) {});
+  EXPECT_TRUE(refused.IsFailedPrecondition()) << refused.ToString();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace fairrec

@@ -1,0 +1,120 @@
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "serve/recommendation_service.h"
+#include "serve/server.h"
+#include "serve/snapshot_source.h"
+#include "tests/serve/serve_test_util.h"
+
+namespace fairrec {
+namespace serve {
+namespace {
+
+using serve_testing::ServiceOptions;
+using serve_testing::SyntheticMatrix;
+
+// The query path's error taxonomy: each caller mistake has one distinct,
+// documented code (see serve/recommendation_service.h), so a transport can
+// map failures without parsing messages.
+class ServiceErrorTest : public ::testing::Test {
+ protected:
+  ServiceErrorTest()
+      : source_(std::move(StaticSnapshotSource::FromMatrix(
+                              SyntheticMatrix(30, 20, 3), {}, PeerOptions()))
+                    .ValueOrDie()),
+        service_(&source_, ServiceOptions()) {}
+
+  static PeerIndexOptions PeerOptions() {
+    PeerIndexOptions peers;
+    peers.delta = 0.1;
+    return peers;
+  }
+
+  StaticSnapshotSource source_;
+  RecommendationService service_;
+};
+
+TEST_F(ServiceErrorTest, UnknownUserIsNotFound) {
+  EXPECT_TRUE(service_.RecommendUser({999, 0}).status().IsNotFound());
+  EXPECT_TRUE(service_.RecommendUser({-1, 0}).status().IsNotFound());
+}
+
+TEST_F(ServiceErrorTest, UnknownGroupMemberIsNotFound) {
+  GroupRecRequest request;
+  request.members = {1, 2, 999};
+  request.z = 2;
+  EXPECT_TRUE(service_.RecommendGroup(request).status().IsNotFound());
+}
+
+TEST_F(ServiceErrorTest, EmptyGroupIsInvalidArgument) {
+  GroupRecRequest request;
+  request.z = 2;
+  EXPECT_TRUE(service_.RecommendGroup(request).status().IsInvalidArgument());
+}
+
+TEST_F(ServiceErrorTest, DuplicateMemberIsInvalidArgument) {
+  GroupRecRequest request;
+  request.members = {1, 2, 1};
+  request.z = 2;
+  EXPECT_TRUE(service_.RecommendGroup(request).status().IsInvalidArgument());
+}
+
+TEST_F(ServiceErrorTest, NonPositiveZIsInvalidArgument) {
+  GroupRecRequest request;
+  request.members = {1, 2};
+  request.z = 0;
+  EXPECT_TRUE(service_.RecommendGroup(request).status().IsInvalidArgument());
+  request.z = -3;
+  EXPECT_TRUE(service_.RecommendGroup(request).status().IsInvalidArgument());
+}
+
+TEST_F(ServiceErrorTest, NegativeTopKOverrideIsInvalidArgument) {
+  EXPECT_TRUE(service_.RecommendUser({1, -2}).status().IsInvalidArgument());
+}
+
+TEST_F(ServiceErrorTest, OversizedZIsOutOfRange) {
+  GroupRecRequest request;
+  request.members = {1, 2, 3};
+  // More than the item universe, so certainly more than the candidate set.
+  request.z = 10000;
+  const Status status = service_.RecommendGroup(request).status();
+  EXPECT_TRUE(status.IsOutOfRange()) << status.ToString();
+}
+
+TEST_F(ServiceErrorTest, ValidRequestRightAtTheCandidateBoundSucceeds) {
+  GroupRecRequest request;
+  request.members = {1, 2, 3};
+  request.z = 1;
+  // Find the exact candidate count, then ask for exactly that many.
+  RecommendationService::Scratch scratch;
+  const ServingSnapshot snapshot = source_.Acquire();
+  const auto probe = service_.RecommendGroupOn(snapshot, request, scratch);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  // Grow z until OutOfRange; the last OK z is the candidate count.
+  int32_t z = 1;
+  while (true) {
+    request.z = z + 1;
+    const auto r = service_.RecommendGroupOn(snapshot, request, scratch);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsOutOfRange()) << r.status().ToString();
+      break;
+    }
+    ++z;
+    ASSERT_LT(z, 10000);
+  }
+  request.z = z;
+  EXPECT_TRUE(service_.RecommendGroupOn(snapshot, request, scratch).ok());
+}
+
+TEST_F(ServiceErrorTest, ShedRequestIsResourceExhaustedAndRetryable) {
+  // Overload shedding is the server's verdict, not the service's — but it
+  // completes the taxonomy, so it is asserted here alongside the others.
+  const Status shed = Status::ResourceExhausted("queue full");
+  EXPECT_TRUE(shed.IsResourceExhausted());
+  EXPECT_FALSE(shed.IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace fairrec

@@ -194,7 +194,8 @@ int RunRecommend(const Args& args) {
   RatingSimilarityOptions sim_options;
   sim_options.shift_to_unit_interval = true;
   const RatingSimilarity similarity(&dataset->matrix, sim_options);
-  const Recommender recommender(&dataset->matrix, &similarity, options);
+  const Recommender recommender =
+      Recommender::ForSimilarityScan(&dataset->matrix, &similarity, options);
   const auto recs =
       recommender.RecommendForUser(static_cast<UserId>(args.GetInt("user", -1)));
   if (!recs.ok()) {
