@@ -1,27 +1,29 @@
-// Selector-path benchmark: the top-z "most valuable recommendations"
-// selectors of §III-D head-to-head on one synthetic health scenario, with a
-// JSON record for the perf trajectory (the BENCH_selector.json companion of
-// the similarity / peer-index / mapreduce benches).
+// Selector-path benchmark: every selector the SelectorRegistry knows,
+// head-to-head on one synthetic health scenario, with a JSON record for the
+// perf trajectory (the BENCH_selector.json companion of the similarity /
+// peer-index / mapreduce benches).
 //
-// For each (group kind, |G|, m, z) configuration the run builds the group's
+// For each (group shape, |G|, m, z) configuration the run builds the group's
 // candidate context once (sparse peer graph -> GroupRecommender ->
-// RestrictToTopM), then times each selector over --reps repetitions:
+// RestrictToTopM), then times each registered selector over --reps
+// repetitions. Group shapes come from data/scenario.h: cohesive and random
+// (the original sweep) plus the fairness stress shapes — skewed (one
+// minority member), coldstart (half the group are the corpus's thinnest
+// raters), and adversarial (an even two-cluster taste split).
 //
-//   * algorithm1   — the paper's FairnessHeuristic (Algorithm 1);
-//   * greedy-value — marginal-value greedy baseline;
-//   * local-search — swap hill-climbing from the Algorithm 1 seed;
-//   * brute-force  — the exact §III-D optimum (ground truth; m stays small
-//                    enough that C(m, z) is enumerable).
+// Quality is value(G, D) relative to the brute-force optimum, plus the
+// per-member fairness metrics of eval/fairness_metrics.h (min/max
+// satisfaction ratio, satisfaction spread, mean pairwise envy, package
+// feasibility). Value ratios, selections, and fairness metrics are
+// corpus-deterministic, so all gates except --check-speedup-min are immune
+// to runner noise (and that one has orders-of-magnitude headroom):
 //
-// Quality is value(G, D) relative to the brute-force optimum. Value ratios
-// and selections are corpus-deterministic, so the two gates are immune to
-// runner noise except --check-speedup-min, which has orders-of-magnitude
-// headroom (exhaustive enumeration vs a polynomial heuristic):
-//
-//   --check-value-ratio-min F   exit 3 when Algorithm 1's worst value ratio
-//                               across configurations drops below F
-//   --check-speedup-min F       exit 3 when brute/algorithm1 speedup at the
-//                               largest configuration drops below F
+//   --check-value-ratio-min F    exit 3 when Algorithm 1's worst value ratio
+//                                across configurations drops below F
+//   --check-speedup-min F        exit 3 when brute/algorithm1 speedup at the
+//                                largest configuration drops below F
+//   --check-min-max-ratio-min F  exit 3 when Algorithm 1's worst min/max
+//                                satisfaction ratio drops below F
 //
 // Exit status: 0 ok, 1 argument/IO errors, 2 if any heuristic beats the
 // exhaustive optimum (impossible unless a selector is broken), 3 if a
@@ -29,22 +31,24 @@
 //
 //   bench_selector [--patients N] [--documents N] [--density F] [--seed N]
 //                  [--reps N] [--check-value-ratio-min F]
-//                  [--check-speedup-min F] [--out BENCH_selector.json]
+//                  [--check-speedup-min F] [--check-min-max-ratio-min F]
+//                  [--out BENCH_selector.json]
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "core/brute_force.h"
-#include "core/fairness_heuristic.h"
-#include "core/greedy_selector.h"
 #include "core/group_recommender.h"
-#include "core/local_search.h"
+#include "core/selector_registry.h"
 #include "data/scenario.h"
+#include "eval/fairness_metrics.h"
 #include "sim/pairwise_engine.h"
 #include "sim/peer_index.h"
 #include "sim/rating_similarity.h"
@@ -60,6 +64,7 @@ struct BenchConfig {
   int32_t reps = 10;
   double check_value_ratio_min = 0.0;
   double check_speedup_min = 0.0;
+  double check_min_max_ratio_min = 0.0;
   std::string out_path = "BENCH_selector.json";
 };
 
@@ -70,10 +75,15 @@ struct SelectorRun {
   double fairness = 0.0;
   double relevance_sum = 0.0;
   double value_ratio = 1.0;  // vs the brute-force optimum
+  // Per-member fairness of the selection (eval/fairness_metrics.h).
+  double min_max_ratio = 1.0;
+  double satisfaction_spread = 0.0;
+  double envy_mean = 0.0;
+  double package_feasibility = 0.0;
 };
 
 struct ConfigResult {
-  std::string group_kind;
+  std::string group_shape;
   int32_t group_size = 0;
   int32_t m = 0;
   int32_t z = 0;
@@ -97,6 +107,26 @@ double TimeSelect(const ItemSetSelector& selector, const GroupContext& pool,
     if (!result.ok()) std::exit(1);
   }
   return clock.ElapsedSeconds() / std::max<int32_t>(reps, 1);
+}
+
+SelectorRun MakeRun(const ItemSetSelector& selector, const GroupContext& pool,
+                    const Selection& selection, double seconds,
+                    const Selection& opt) {
+  SelectorRun run;
+  run.name = selector.name();
+  run.seconds_per_select = seconds;
+  run.value = selection.score.value;
+  run.fairness = selection.score.fairness;
+  run.relevance_sum = selection.score.relevance_sum;
+  run.value_ratio = opt.score.value > 0.0
+                        ? selection.score.value / opt.score.value
+                        : 1.0;
+  const FairnessReport report = ComputeFairnessReport(pool, selection);
+  run.min_max_ratio = report.min_max_ratio;
+  run.satisfaction_spread = report.satisfaction_spread;
+  run.envy_mean = report.envy_mean;
+  run.package_feasibility = report.package_feasibility;
+  return run;
 }
 
 int Run(const BenchConfig& config) {
@@ -123,31 +153,48 @@ int Run(const BenchConfig& config) {
   RecommenderOptions rec_options;
   rec_options.peers.delta = 0.55;
   rec_options.top_k = 10;
-  const GroupRecommender group_rec(&scenario.ratings, &peers, rec_options);
+  // Cold-start members rarely have peer evidence on every candidate; keeping
+  // items any member can score is what makes the coldstart shape a fairness
+  // stress instead of an empty candidate pool.
+  GroupContextOptions context_options;
+  context_options.top_k = rec_options.top_k;
+  context_options.require_all_members = false;
+  const GroupRecommender group_rec(&scenario.ratings, &peers, rec_options,
+                                   context_options);
 
-  const FairnessHeuristic algorithm1;
-  const GreedyValueSelector greedy;
-  const LocalSearchSelector local_search;
+  // The zoo under test: every registered selector except the exhaustive
+  // enumerator, which runs separately as ground truth.
+  const SelectorRegistry& registry = SelectorRegistry::Global();
+  std::vector<std::unique_ptr<ItemSetSelector>> zoo;
+  for (const std::string& name : registry.Names()) {
+    if (name == "brute-force") continue;
+    zoo.push_back(std::move(registry.Create(name)).ValueOrDie());
+  }
   const BruteForceSelector brute_force;
+
+  const GroupShape shapes[] = {GroupShape::kCohesive, GroupShape::kRandom,
+                               GroupShape::kSkewed, GroupShape::kColdStart,
+                               GroupShape::kAdversarial};
 
   std::vector<ConfigResult> results;
   double worst_alg1_ratio = 1.0;
+  double worst_alg1_min_max_ratio = 1.0;
   double largest_config_speedup = 0.0;
   uint64_t largest_config_combinations = 0;
   bool heuristic_beat_optimum = false;
-  for (const bool cohesive : {true, false}) {
+  for (size_t shape_index = 0; shape_index < std::size(shapes); ++shape_index) {
+    const GroupShape shape = shapes[shape_index];
     for (const int32_t g : {3, 5}) {
       for (const auto& [m, z] : {std::pair<int32_t, int32_t>{14, 4},
                                  std::pair<int32_t, int32_t>{20, 6}}) {
-        const Group group = cohesive
-                                ? scenario.MakeCohesiveGroup(g, 100 + g + m)
-                                : scenario.MakeRandomGroup(g, 200 + g + m);
+        const Group group = scenario.MakeGroup(
+            shape, g, 100 * (shape_index + 1) + static_cast<uint64_t>(g + m));
         const GroupContext full =
             std::move(group_rec.BuildContext(group)).ValueOrDie();
         const GroupContext pool = full.RestrictToTopM(m);
 
         ConfigResult r;
-        r.group_kind = cohesive ? "cohesive" : "random";
+        r.group_shape = GroupShapeName(shape);
         r.group_size = g;
         r.m = std::min(m, pool.num_candidates());
         r.z = z;
@@ -156,36 +203,27 @@ int Run(const BenchConfig& config) {
         const double brute_seconds =
             TimeSelect(brute_force, pool, z, std::max(1, config.reps / 5),
                        &opt);
-        for (const ItemSetSelector* selector :
-             {static_cast<const ItemSetSelector*>(&algorithm1),
-              static_cast<const ItemSetSelector*>(&greedy),
-              static_cast<const ItemSetSelector*>(&local_search)}) {
-          SelectorRun run;
-          run.name = selector->name();
+        double alg1_seconds = 0.0;
+        for (const std::unique_ptr<ItemSetSelector>& selector : zoo) {
           Selection selection;
-          run.seconds_per_select =
+          const double seconds =
               TimeSelect(*selector, pool, z, config.reps, &selection);
-          run.value = selection.score.value;
-          run.fairness = selection.score.fairness;
-          run.relevance_sum = selection.score.relevance_sum;
           if (selection.score.value > opt.score.value + 1e-9) {
             heuristic_beat_optimum = true;
           }
-          run.value_ratio = opt.score.value > 0.0
-                                ? selection.score.value / opt.score.value
-                                : 1.0;
+          const SelectorRun run =
+              MakeRun(*selector, pool, selection, seconds, opt);
+          if (run.name == "algorithm1") {
+            alg1_seconds = seconds;
+            worst_alg1_ratio = std::min(worst_alg1_ratio, run.value_ratio);
+            worst_alg1_min_max_ratio =
+                std::min(worst_alg1_min_max_ratio, run.min_max_ratio);
+          }
           r.selectors.push_back(run);
         }
-        SelectorRun brute_run;
-        brute_run.name = brute_force.name();
-        brute_run.seconds_per_select = brute_seconds;
-        brute_run.value = opt.score.value;
-        brute_run.fairness = opt.score.fairness;
-        brute_run.relevance_sum = opt.score.relevance_sum;
-        r.selectors.push_back(brute_run);
+        r.selectors.push_back(
+            MakeRun(brute_force, pool, opt, brute_seconds, opt));
 
-        worst_alg1_ratio =
-            std::min(worst_alg1_ratio, r.selectors[0].value_ratio);
         // "Largest configuration" = the one with the most brute-force
         // enumerations, independent of loop order.
         const uint64_t combinations =
@@ -193,16 +231,15 @@ int Run(const BenchConfig& config) {
         if (combinations >= largest_config_combinations) {
           largest_config_combinations = combinations;
           largest_config_speedup =
-              brute_seconds /
-              std::max(r.selectors[0].seconds_per_select, 1e-12);
+              brute_seconds / std::max(alg1_seconds, 1e-12);
         }
+        const SelectorRun& alg1 = r.selectors.front();
         std::printf(
-            "%-8s |G|=%d m=%2d z=%d: alg1 %8.1f us (ratio %.4f)  greedy "
-            "%8.1f us  swap %8.1f us  brute %10.1f us\n",
-            r.group_kind.c_str(), g, r.m, z,
-            1e6 * r.selectors[0].seconds_per_select, r.selectors[0].value_ratio,
-            1e6 * r.selectors[1].seconds_per_select,
-            1e6 * r.selectors[2].seconds_per_select, 1e6 * brute_seconds);
+            "%-11s |G|=%d m=%2d z=%d: alg1 %8.1f us (ratio %.4f, min/max "
+            "%.3f)  brute %10.1f us  [%zu selectors]\n",
+            r.group_shape.c_str(), g, r.m, z, 1e6 * alg1.seconds_per_select,
+            alg1.value_ratio, alg1.min_max_ratio, 1e6 * brute_seconds,
+            r.selectors.size());
         results.push_back(std::move(r));
       }
     }
@@ -216,6 +253,7 @@ int Run(const BenchConfig& config) {
   std::fprintf(out,
                "{\n"
                "  \"bench\": \"selector\",\n"
+               "  \"schema_version\": 2,\n"
                "  \"scenario\": {\n"
                "    \"num_patients\": %d,\n"
                "    \"num_documents\": %d,\n"
@@ -238,20 +276,24 @@ int Run(const BenchConfig& config) {
     const ConfigResult& r = results[k];
     std::fprintf(out,
                  "    {\n"
-                 "      \"group_kind\": \"%s\",\n"
+                 "      \"group_shape\": \"%s\",\n"
                  "      \"group_size\": %d,\n"
                  "      \"m\": %d,\n"
                  "      \"z\": %d,\n"
                  "      \"selectors\": [\n",
-                 r.group_kind.c_str(), r.group_size, r.m, r.z);
+                 r.group_shape.c_str(), r.group_size, r.m, r.z);
     for (size_t s = 0; s < r.selectors.size(); ++s) {
       const SelectorRun& run = r.selectors[s];
       std::fprintf(out,
                    "        {\"name\": \"%s\", \"seconds_per_select\": %.9f, "
                    "\"value\": %.6f, \"fairness\": %.6f, "
-                   "\"relevance_sum\": %.6f, \"value_ratio\": %.6f}%s\n",
+                   "\"relevance_sum\": %.6f, \"value_ratio\": %.6f, "
+                   "\"min_max_ratio\": %.6f, \"satisfaction_spread\": %.6f, "
+                   "\"envy_mean\": %.6f, \"package_feasibility\": %.6f}%s\n",
                    run.name.c_str(), run.seconds_per_select, run.value,
                    run.fairness, run.relevance_sum, run.value_ratio,
+                   run.min_max_ratio, run.satisfaction_spread, run.envy_mean,
+                   run.package_feasibility,
                    s + 1 < r.selectors.size() ? "," : "");
     }
     std::fprintf(out, "      ]\n    }%s\n",
@@ -260,14 +302,18 @@ int Run(const BenchConfig& config) {
   std::fprintf(out,
                "  ],\n"
                "  \"worst_algorithm1_value_ratio\": %.6f,\n"
+               "  \"worst_algorithm1_min_max_ratio\": %.6f,\n"
                "  \"brute_over_algorithm1_speedup\": %.3f\n"
                "}\n",
-               worst_alg1_ratio, largest_config_speedup);
+               worst_alg1_ratio, worst_alg1_min_max_ratio,
+               largest_config_speedup);
   std::fclose(out);
   std::printf("wrote %s\n", config.out_path.c_str());
-  std::printf("worst Algorithm 1 value ratio: %.4f   brute/alg1 speedup at "
-              "the largest config: %.0fx\n",
-              worst_alg1_ratio, largest_config_speedup);
+  std::printf("worst Algorithm 1 value ratio: %.4f   min/max satisfaction "
+              "ratio: %.4f   brute/alg1 speedup at the largest config: "
+              "%.0fx\n",
+              worst_alg1_ratio, worst_alg1_min_max_ratio,
+              largest_config_speedup);
 
   if (heuristic_beat_optimum) {
     std::fprintf(stderr,
@@ -286,6 +332,14 @@ int Run(const BenchConfig& config) {
     std::fprintf(stderr, "FAIL: brute/alg1 speedup %.1fx below the gate "
                          "%.1fx\n",
                  largest_config_speedup, config.check_speedup_min);
+    return 3;
+  }
+  if (config.check_min_max_ratio_min > 0.0 &&
+      worst_alg1_min_max_ratio < config.check_min_max_ratio_min) {
+    std::fprintf(stderr,
+                 "FAIL: Algorithm 1 min/max satisfaction ratio %.4f below "
+                 "the gate %.4f\n",
+                 worst_alg1_min_max_ratio, config.check_min_max_ratio_min);
     return 3;
   }
   return 0;
@@ -319,6 +373,8 @@ int main(int argc, char** argv) {
       config.check_value_ratio_min = std::atof(next());
     } else if (arg == "--check-speedup-min") {
       config.check_speedup_min = std::atof(next());
+    } else if (arg == "--check-min-max-ratio-min") {
+      config.check_min_max_ratio_min = std::atof(next());
     } else if (arg == "--out") {
       config.out_path = next();
     } else {

@@ -33,10 +33,7 @@ Result<Selection> BruteForceSelector::Select(const GroupContext& context,
     // Only one subset exists: everything.
     std::vector<int32_t> all(static_cast<size_t>(m));
     for (int32_t c = 0; c < m; ++c) all[static_cast<size_t>(c)] = c;
-    Selection out;
-    out.score = EvaluateSelection(context, all);
-    for (const int32_t c : all) out.items.push_back(context.candidate(c).item);
-    return out;
+    return FinalizeSelection(context, all);
   }
 
   const uint64_t combos = CountCombinations(m, z);
@@ -116,13 +113,7 @@ Result<Selection> BruteForceSelector::Select(const GroupContext& context,
     evaluate();
   }
 
-  Selection out;
-  out.score = EvaluateSelection(context, best_combo);
-  out.items.reserve(best_combo.size());
-  for (const int32_t c : best_combo) {
-    out.items.push_back(context.candidate(c).item);
-  }
-  return out;
+  return FinalizeSelection(context, best_combo);
 }
 
 }  // namespace fairrec

@@ -1,0 +1,45 @@
+#ifndef FAIRREC_CORE_ENVY_SWAP_SELECTOR_H_
+#define FAIRREC_CORE_ENVY_SWAP_SELECTOR_H_
+
+#include <string>
+
+#include "core/selector.h"
+
+namespace fairrec {
+
+/// Controls for EnvySwapSelector.
+struct EnvySwapOptions {
+  /// Hard cap on improving swaps (each scans O(z * (m - z)) pairs).
+  int32_t max_swaps = 1000;
+};
+
+/// Envy-minimizing swap local search (EXT: the within-group-harm view of
+/// Pellegrini et al. — a member "envies" another when D serves the other
+/// member strictly better than them). Member u's satisfaction is the
+/// normalized best relevance D offers them (eval/metrics.h's measure:
+/// best-in-D / best-any-candidate, so 1.0 = D contains their favourite);
+/// the envy of u toward v is max(0, s_v - s_u) and the objective is the
+/// total pairwise envy
+///
+///   envy(D) = sum_{u != v} max(0, s_v(D) - s_u(D))
+///
+/// minimized by best-improvement single swaps from a best-z-by-group-
+/// relevance seed. Equal-envy swaps are taken only when they improve
+/// value(G, D), so the search trades no group value away for free. Stops at
+/// a local optimum or after max_swaps. Deterministic.
+class EnvySwapSelector final : public ItemSetSelector {
+ public:
+  explicit EnvySwapSelector(EnvySwapOptions options = {});
+
+  Result<Selection> Select(const GroupContext& context, int32_t z) const override;
+  std::string name() const override { return "envy-swap"; }
+
+  const EnvySwapOptions& options() const { return options_; }
+
+ private:
+  EnvySwapOptions options_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CORE_ENVY_SWAP_SELECTOR_H_

@@ -1,0 +1,56 @@
+#ifndef FAIRREC_CORE_FAIR_PACKAGE_SELECTOR_H_
+#define FAIRREC_CORE_FAIR_PACKAGE_SELECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/selector.h"
+
+namespace fairrec {
+
+/// Controls for FairPackageSelector.
+struct FairPackageOptions {
+  /// The package quota: every member must find at least this many of their
+  /// A_u items in D for the package to count as feasible. Members whose A_u
+  /// is smaller than the quota have it capped at |A_u|, so feasibility is
+  /// always attainable in principle.
+  int32_t min_per_member = 1;
+  /// Hard cap on DFS nodes. When exhausted the search stops and the best
+  /// package found so far is returned (still deterministic: the cap cuts
+  /// the same prefix of the enumeration every run).
+  int64_t max_nodes = 2'000'000;
+};
+
+/// Package-feasibility enumeration selector, after Sato ("Enumerating Fair
+/// Packages for Group Recommendations"): treat D as a package that is *fair*
+/// only when every member gets at least `min_per_member` of their A_u items,
+/// and search the C(m, z) space for the feasible package with the maximum
+/// group relevance sum. The objective is lexicographic
+///
+///   maximize (#members meeting their quota, sum_i relevanceG(G, i))
+///
+/// so on instances where no fully feasible package exists the selector still
+/// returns the closest-to-feasible package instead of failing.
+///
+/// The search is a DFS over candidates in descending group-relevance order
+/// with two admissible prunes: a per-member suffix count of remaining A_u
+/// items (a branch that can no longer seat every member's quota better than
+/// the incumbent dies), and a prefix-sum relevance bound (a branch that
+/// cannot beat the incumbent's sum at equal coverage dies). First maximum in
+/// enumeration order wins — deterministic.
+class FairPackageSelector final : public ItemSetSelector {
+ public:
+  explicit FairPackageSelector(FairPackageOptions options = {});
+
+  Result<Selection> Select(const GroupContext& context, int32_t z) const override;
+  std::string name() const override { return "fair-package"; }
+
+  const FairPackageOptions& options() const { return options_; }
+
+ private:
+  FairPackageOptions options_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CORE_FAIR_PACKAGE_SELECTOR_H_

@@ -1,6 +1,10 @@
 #include "core/fairness.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/logging.h"
+#include "core/selector.h"
 
 namespace fairrec {
 
@@ -26,6 +30,50 @@ ValueBreakdown EvaluateSelection(const GroupContext& context,
     out.relevance_sum += context.candidate(c).group_relevance;
   }
   out.value = out.fairness * out.relevance_sum;
+  return out;
+}
+
+std::vector<MemberBreakdown> ComputeMemberBreakdowns(
+    const GroupContext& context, const std::vector<int32_t>& candidate_indexes) {
+  const int32_t n = context.group_size();
+  std::vector<MemberBreakdown> out(static_cast<size_t>(n));
+  for (int32_t m = 0; m < n; ++m) {
+    MemberBreakdown& row = out[static_cast<size_t>(m)];
+    const auto mem = static_cast<size_t>(m);
+    double best_possible = 0.0;
+    bool any_defined = false;
+    for (const GroupCandidate& c : context.candidates()) {
+      const double score = c.member_relevance[mem];
+      if (std::isnan(score)) continue;
+      best_possible = any_defined ? std::max(best_possible, score) : score;
+      any_defined = true;
+    }
+    for (const int32_t c : candidate_indexes) {
+      if (context.InMemberTopK(m, c)) {
+        row.satisfied = true;
+        ++row.top_k_hits;
+      }
+      const double score = context.candidate(c).member_relevance[mem];
+      if (std::isnan(score)) continue;
+      row.relevance_sum += score;
+      row.best_relevance = std::max(row.best_relevance, score);
+    }
+    if (any_defined && best_possible > 0.0) {
+      row.satisfaction = row.best_relevance / best_possible;
+    }
+  }
+  return out;
+}
+
+Selection FinalizeSelection(const GroupContext& context,
+                            const std::vector<int32_t>& candidate_indexes) {
+  Selection out;
+  out.score = EvaluateSelection(context, candidate_indexes);
+  out.members = ComputeMemberBreakdowns(context, candidate_indexes);
+  out.items.reserve(candidate_indexes.size());
+  for (const int32_t c : candidate_indexes) {
+    out.items.push_back(context.candidate(c).item);
+  }
   return out;
 }
 

@@ -19,6 +19,30 @@ struct ValueBreakdown {
   double value = 0.0;
 };
 
+/// How one member fares under a selection D — the per-member row of the
+/// group-level ValueBreakdown. The offline fairness metrics (eval/
+/// fairness_metrics.h) and the serving responses are both derived from it.
+struct MemberBreakdown {
+  /// Def. 3's per-member test: D contains at least one item of A_u.
+  bool satisfied = false;
+  /// How many of the member's A_u items D contains (the Sato-style package
+  /// coverage count; satisfied == (top_k_hits >= 1)).
+  int32_t top_k_hits = 0;
+  /// Sum of the member's relevance over D (undefined scores contribute 0).
+  double relevance_sum = 0.0;
+  /// The single best relevance D offers the member (0 when none defined).
+  double best_relevance = 0.0;
+  /// best_relevance normalized by the best relevance ANY candidate offers
+  /// the member — 1.0 means D contains their favourite candidate. -1.0 when
+  /// the member has no defined relevance anywhere (nothing to satisfy).
+  double satisfaction = -1.0;
+};
+
+/// Per-member decomposition of a selection over candidate indexes, aligned
+/// with GroupContext::members().
+std::vector<MemberBreakdown> ComputeMemberBreakdowns(
+    const GroupContext& context, const std::vector<int32_t>& candidate_indexes);
+
 /// True iff D (given as candidate indexes) is fair to `member_index`: it
 /// contains at least one item of the member's A_u (Def. 3's G_D test).
 bool IsFairToMember(const GroupContext& context, int32_t member_index,

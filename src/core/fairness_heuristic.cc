@@ -81,11 +81,7 @@ Result<Selection> FairnessHeuristic::Select(const GroupContext& context,
     }
   }
 
-  Selection out;
-  out.score = EvaluateSelection(context, picked);
-  out.items.reserve(picked.size());
-  for (const int32_t c : picked) out.items.push_back(context.candidate(c).item);
-  return out;
+  return FinalizeSelection(context, picked);
 }
 
 }  // namespace fairrec

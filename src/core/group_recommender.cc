@@ -2,6 +2,7 @@
 
 #include "cf/top_k.h"
 #include "common/logging.h"
+#include "core/selector_registry.h"
 
 namespace fairrec {
 
@@ -61,6 +62,14 @@ Result<Selection> GroupRecommender::RecommendFair(
     RelevanceEstimator::Scratch& scratch) const {
   FAIRREC_ASSIGN_OR_RETURN(GroupContext context, BuildContext(group, scratch));
   return selector.Select(context, z);
+}
+
+Result<Selection> GroupRecommender::RecommendFair(
+    const Group& group, int32_t z, std::string_view selector_spec) const {
+  FAIRREC_ASSIGN_OR_RETURN(
+      std::unique_ptr<ItemSetSelector> selector,
+      SelectorRegistry::Global().CreateFromSpec(selector_spec));
+  return RecommendFair(group, z, *selector);
 }
 
 }  // namespace fairrec

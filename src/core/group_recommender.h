@@ -2,6 +2,7 @@
 #define FAIRREC_CORE_GROUP_RECOMMENDER_H_
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "cf/recommender.h"
@@ -66,6 +67,12 @@ class GroupRecommender {
   Result<Selection> RecommendFair(const Group& group, int32_t z,
                                   const ItemSetSelector& selector,
                                   RelevanceEstimator::Scratch& scratch) const;
+
+  /// Same, with the selector resolved from the global SelectorRegistry by
+  /// spec ("algorithm1", "local-search:max_swaps=50", ...). InvalidArgument
+  /// on unknown names or options.
+  Result<Selection> RecommendFair(const Group& group, int32_t z,
+                                  std::string_view selector_spec) const;
 
   const GroupContextOptions& options() const { return options_; }
   const Recommender& recommender() const { return *recommender_; }

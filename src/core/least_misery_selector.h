@@ -1,0 +1,33 @@
+#ifndef FAIRREC_CORE_LEAST_MISERY_SELECTOR_H_
+#define FAIRREC_CORE_LEAST_MISERY_SELECTOR_H_
+
+#include <string>
+
+#include "core/selector.h"
+
+namespace fairrec {
+
+/// Least-misery fairness selector (EXT: the individual-fairness end of the
+/// group-vs-individual spectrum Rampisela et al. map out in "Stairway to
+/// Fairness"): grow D one item at a time, always adding the candidate that
+/// maximizes the *minimum* per-member relevance mass
+///
+///   min_u sum_{i in D} relevance(u, i)
+///
+/// i.e. the worst-off member's haul, instead of the paper's group-aggregate
+/// value. Undefined (NaN) relevance contributes nothing. Ties break toward
+/// the larger total member relevance, then the larger group relevance, then
+/// the smaller item id — all deterministic.
+///
+/// Complexity: O(z * m * |G|), the same shape as the greedy-value baseline.
+class LeastMiserySelector final : public ItemSetSelector {
+ public:
+  LeastMiserySelector() = default;
+
+  Result<Selection> Select(const GroupContext& context, int32_t z) const override;
+  std::string name() const override { return "least-misery"; }
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CORE_LEAST_MISERY_SELECTOR_H_

@@ -108,13 +108,7 @@ Result<Selection> LocalSearchSelector::Select(const GroupContext& context,
   }
 
   std::sort(selected_indexes.begin(), selected_indexes.end());
-  Selection out;
-  out.score = EvaluateSelection(context, selected_indexes);
-  out.items.reserve(selected_indexes.size());
-  for (const int32_t c : selected_indexes) {
-    out.items.push_back(context.candidate(c).item);
-  }
-  return out;
+  return FinalizeSelection(context, selected_indexes);
 }
 
 }  // namespace fairrec

@@ -11,13 +11,24 @@
 
 namespace fairrec {
 
-/// The output of a top-z selector: D, with its value decomposition.
+/// The output of a top-z selector: D, with its value decomposition and the
+/// per-member satisfaction decomposition behind it.
 struct Selection {
   /// The selected items, in selection order (|items| <= z; smaller only when
   /// the candidate pool is exhausted).
   std::vector<ItemId> items;
   ValueBreakdown score;
+  /// One row per group member, aligned with GroupContext::members(): how D
+  /// treats each individual, not just the group aggregate.
+  std::vector<MemberBreakdown> members;
 };
+
+/// Assembles a Selection from candidate indexes (kept in the given order):
+/// items, the group-level score, and the per-member breakdowns. Every
+/// selector funnels its picks through here so all three views stay
+/// consistent by construction.
+Selection FinalizeSelection(const GroupContext& context,
+                            const std::vector<int32_t>& candidate_indexes);
 
 /// Interface for the top-z "most valuable recommendations" selectors of
 /// §III-D: given the group's candidate context and a budget z, produce the

@@ -1,0 +1,118 @@
+#ifndef FAIRREC_CORE_SELECTOR_REGISTRY_H_
+#define FAIRREC_CORE_SELECTOR_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/selector.h"
+
+namespace fairrec {
+
+/// A parsed selector option bag: the `key=value,key=value` tail of a selector
+/// spec, with typed accessors. Factories consume keys through the getters;
+/// SelectorRegistry::Create rejects a bag with keys no getter ever read, so a
+/// typoed option is an InvalidArgument instead of a silent default.
+class SelectorOptionBag {
+ public:
+  SelectorOptionBag() = default;
+
+  /// Parses "k1=v1,k2=v2" (empty spec = empty bag). Duplicate or malformed
+  /// (no '=', empty key) entries are InvalidArgument.
+  static Result<SelectorOptionBag> Parse(std::string_view spec);
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+  bool empty() const { return values_.empty(); }
+
+  /// Typed getters: the default when the key is absent, InvalidArgument when
+  /// present but unparsable. Reading a key marks it consumed.
+  Result<int64_t> GetInt(const std::string& key, int64_t default_value) const;
+  Result<double> GetDouble(const std::string& key, double default_value) const;
+  /// Accepts true/false/1/0 (case-insensitive).
+  Result<bool> GetBool(const std::string& key, bool default_value) const;
+  std::string GetString(const std::string& key,
+                        std::string default_value) const;
+
+  /// Keys present in the bag that no getter has read yet (sorted).
+  std::vector<std::string> UnconsumedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  // Consumption is observational bookkeeping over a logically-const bag.
+  mutable std::map<std::string, bool> consumed_;
+};
+
+/// Self-describing selector metadata, the registry's `--list-selectors` and
+/// docs surface.
+struct SelectorInfo {
+  /// Canonical registry name; must equal the constructed selector's name().
+  std::string name;
+  /// One-line human description.
+  std::string summary;
+  /// The objective the selector optimizes, for docs/UI.
+  std::string objective;
+  /// Accepted option keys as "key (type, default)" strings.
+  std::vector<std::string> option_keys;
+  /// Alternate lookup names (legacy CLI spellings).
+  std::vector<std::string> aliases;
+};
+
+/// The single construction path for ItemSetSelector implementations: every
+/// consumer (CLI, serving, eval, benches) resolves selectors by name here,
+/// so adding a selector is one file plus one registration — no call-site
+/// edits. Thread-safe; the global instance self-registers the built-in zoo
+/// on first use.
+class SelectorRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<ItemSetSelector>>(
+      const SelectorOptionBag& options)>;
+
+  /// The process-wide registry, with all built-in selectors registered.
+  static SelectorRegistry& Global();
+
+  /// Registers a selector. AlreadyExists when the name or an alias collides.
+  Status Register(SelectorInfo info, Factory factory);
+
+  /// Constructs by canonical name or alias. Unknown names and unconsumed
+  /// (typoed) option keys are InvalidArgument.
+  Result<std::unique_ptr<ItemSetSelector>> Create(
+      std::string_view name, const SelectorOptionBag& options = {}) const;
+
+  /// Constructs from a spec string: "name" or "name:k1=v1,k2=v2".
+  Result<std::unique_ptr<ItemSetSelector>> CreateFromSpec(
+      std::string_view spec) const;
+
+  /// True when `name` resolves (canonical or alias).
+  bool Has(std::string_view name) const;
+
+  /// Metadata of one selector; InvalidArgument when unknown.
+  Result<SelectorInfo> Describe(std::string_view name) const;
+
+  /// All registered selectors, sorted by canonical name.
+  std::vector<SelectorInfo> List() const;
+
+  /// Canonical names only, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  SelectorRegistry() = default;
+
+  struct Entry {
+    SelectorInfo info;
+    Factory factory;
+  };
+  const Entry* Find(std::string_view name) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;  // by canonical name
+  std::map<std::string, std::string, std::less<>> aliases_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_CORE_SELECTOR_REGISTRY_H_

@@ -90,4 +90,156 @@ Group Scenario::MakeRandomGroup(int32_t size, uint64_t seed) const {
   return group;
 }
 
+namespace {
+
+/// Users of one cluster, ascending id.
+std::vector<UserId> ClusterPool(const Cohort& cohort, int32_t cluster) {
+  std::vector<UserId> pool;
+  for (size_t u = 0; u < cohort.cluster_of_user.size(); ++u) {
+    if (cohort.cluster_of_user[u] == cluster) {
+      pool.push_back(static_cast<UserId>(u));
+    }
+  }
+  return pool;
+}
+
+/// Samples `count` members from `pool` into `group`.
+void SampleInto(Rng& rng, const std::vector<UserId>& pool, int32_t count,
+                Group* group) {
+  for (const int32_t index : rng.SampleWithoutReplacement(
+           static_cast<int32_t>(pool.size()), count)) {
+    group->push_back(pool[static_cast<size_t>(index)]);
+  }
+}
+
+}  // namespace
+
+Group Scenario::MakeSkewedGroup(int32_t size, uint64_t seed) const {
+  if (size < 2) return MakeCohesiveGroup(size, seed);
+  Rng rng(seed ^ 0x9e3779b9u);
+  const int32_t num_clusters = cohort.num_clusters;
+  const auto start =
+      static_cast<int32_t>(rng.UniformInt(0, std::max(0, num_clusters - 1)));
+  for (int32_t offset = 0; offset < num_clusters; ++offset) {
+    const int32_t majority = (start + offset) % num_clusters;
+    const std::vector<UserId> majority_pool = ClusterPool(cohort, majority);
+    if (static_cast<int32_t>(majority_pool.size()) < size - 1) continue;
+    for (int32_t other = 1; other < num_clusters; ++other) {
+      const int32_t minority = (majority + other) % num_clusters;
+      const std::vector<UserId> minority_pool = ClusterPool(cohort, minority);
+      if (minority_pool.empty()) continue;
+      Group group;
+      SampleInto(rng, majority_pool, size - 1, &group);
+      SampleInto(rng, minority_pool, 1, &group);
+      std::sort(group.begin(), group.end());
+      return group;
+    }
+  }
+  return MakeRandomGroup(size, seed);
+}
+
+Group Scenario::MakeColdStartGroup(int32_t size, uint64_t seed) const {
+  const auto num_users = static_cast<int32_t>(cohort.cluster_of_user.size());
+  const int32_t cold_count = std::min((size + 1) / 2, num_users);
+  // The coldest raters: fewest ratings, ties toward the smaller id.
+  std::vector<UserId> by_degree(static_cast<size_t>(num_users));
+  for (int32_t u = 0; u < num_users; ++u) {
+    by_degree[static_cast<size_t>(u)] = u;
+  }
+  std::sort(by_degree.begin(), by_degree.end(), [this](UserId a, UserId b) {
+    const size_t da = ratings.ItemsRatedBy(a).size();
+    const size_t db = ratings.ItemsRatedBy(b).size();
+    if (da != db) return da < db;
+    return a < b;
+  });
+  Group group(by_degree.begin(), by_degree.begin() + cold_count);
+
+  // Seat the remainder in one cluster, skipping already-picked users.
+  Rng rng(seed ^ 0xc2b2ae35u);
+  const int32_t warm_count = size - cold_count;
+  if (warm_count > 0) {
+    const Group warm = MakeCohesiveGroup(
+        std::min(warm_count + cold_count, num_users), seed ^ 0x85ebca6bu);
+    for (const UserId u : warm) {
+      if (static_cast<int32_t>(group.size()) >= size) break;
+      if (std::find(group.begin(), group.end(), u) == group.end()) {
+        group.push_back(u);
+      }
+    }
+    // Cohesive overlap with the cold set can leave a shortfall; top up
+    // uniformly.
+    while (static_cast<int32_t>(group.size()) < std::min(size, num_users)) {
+      const auto u =
+          static_cast<UserId>(rng.UniformInt(0, num_users - 1));
+      if (std::find(group.begin(), group.end(), u) == group.end()) {
+        group.push_back(u);
+      }
+    }
+  }
+  std::sort(group.begin(), group.end());
+  return group;
+}
+
+Group Scenario::MakeAdversarialGroup(int32_t size, uint64_t seed) const {
+  if (size < 2) return MakeCohesiveGroup(size, seed);
+  Rng rng(seed ^ 0x27d4eb2fu);
+  const int32_t num_clusters = cohort.num_clusters;
+  const int32_t half_a = (size + 1) / 2;
+  const int32_t half_b = size - half_a;
+  const auto start =
+      static_cast<int32_t>(rng.UniformInt(0, std::max(0, num_clusters - 1)));
+  for (int32_t offset = 0; offset < num_clusters; ++offset) {
+    const int32_t a = (start + offset) % num_clusters;
+    const std::vector<UserId> pool_a = ClusterPool(cohort, a);
+    if (static_cast<int32_t>(pool_a.size()) < half_a) continue;
+    // The "farthest" cluster stand-in: the most distant index in the ring,
+    // then closer ones, so the two halves are maximally unrelated.
+    for (int32_t dist = num_clusters / 2; dist >= 1; --dist) {
+      const int32_t b = (a + dist) % num_clusters;
+      if (b == a) continue;
+      const std::vector<UserId> pool_b = ClusterPool(cohort, b);
+      if (static_cast<int32_t>(pool_b.size()) < half_b) continue;
+      Group group;
+      SampleInto(rng, pool_a, half_a, &group);
+      SampleInto(rng, pool_b, half_b, &group);
+      std::sort(group.begin(), group.end());
+      return group;
+    }
+  }
+  return MakeRandomGroup(size, seed);
+}
+
+Group Scenario::MakeGroup(GroupShape shape, int32_t size,
+                          uint64_t seed) const {
+  switch (shape) {
+    case GroupShape::kCohesive:
+      return MakeCohesiveGroup(size, seed);
+    case GroupShape::kRandom:
+      return MakeRandomGroup(size, seed);
+    case GroupShape::kSkewed:
+      return MakeSkewedGroup(size, seed);
+    case GroupShape::kColdStart:
+      return MakeColdStartGroup(size, seed);
+    case GroupShape::kAdversarial:
+      return MakeAdversarialGroup(size, seed);
+  }
+  return MakeRandomGroup(size, seed);
+}
+
+const char* GroupShapeName(GroupShape shape) {
+  switch (shape) {
+    case GroupShape::kCohesive:
+      return "cohesive";
+    case GroupShape::kRandom:
+      return "random";
+    case GroupShape::kSkewed:
+      return "skewed";
+    case GroupShape::kColdStart:
+      return "coldstart";
+    case GroupShape::kAdversarial:
+      return "adversarial";
+  }
+  return "unknown";
+}
+
 }  // namespace fairrec

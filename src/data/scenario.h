@@ -15,6 +15,27 @@
 
 namespace fairrec {
 
+/// The group-composition shapes the fairness evaluation sweeps: who sits in
+/// the group determines how hard fair selection is.
+enum class GroupShape {
+  /// One condition cluster (the natural caregiver workload).
+  kCohesive,
+  /// Uniform draw (heterogeneous needs).
+  kRandom,
+  /// A majority cluster plus a single minority-cluster member — the member
+  /// a group-aggregate objective most easily sacrifices.
+  kSkewed,
+  /// Half the members are the corpus's coldest raters (fewest ratings), so
+  /// their relevance estimates rest on the thinnest peer evidence.
+  kColdStart,
+  /// An even split across two different clusters: the adversarial taste
+  /// split where every item serves at most half the group well.
+  kAdversarial,
+};
+
+/// "cohesive", "random", "skewed", "coldstart", "adversarial".
+const char* GroupShapeName(GroupShape shape);
+
 /// One fully materialized synthetic world: ontology, cohort, corpus, and
 /// ratings, all generated from a single master seed. The benchmarks, tests,
 /// and examples all start here.
@@ -31,6 +52,24 @@ struct Scenario {
   /// A group of `size` patients drawn uniformly (the stress case for
   /// fairness: heterogeneous needs). Deterministic in `seed`.
   Group MakeRandomGroup(int32_t size, uint64_t seed) const;
+
+  /// A skewed group: size - 1 members from one cluster plus one member from
+  /// a different cluster. Falls back to MakeRandomGroup when the cohort
+  /// cannot seat the majority. Deterministic in `seed`.
+  Group MakeSkewedGroup(int32_t size, uint64_t seed) const;
+
+  /// A group where ceil(size / 2) members are the users with the fewest
+  /// ratings (ties toward the smaller id) and the rest come from one
+  /// cluster. Deterministic in `seed`.
+  Group MakeColdStartGroup(int32_t size, uint64_t seed) const;
+
+  /// An adversarial taste split: members drawn half from one cluster, half
+  /// from another. Falls back to MakeRandomGroup when two clusters cannot
+  /// seat the halves. Deterministic in `seed`.
+  Group MakeAdversarialGroup(int32_t size, uint64_t seed) const;
+
+  /// Shape-dispatched construction, the sweep entry point.
+  Group MakeGroup(GroupShape shape, int32_t size, uint64_t seed) const;
 };
 
 /// Master configuration; sub-configs inherit the master seed (offset so the

@@ -1,0 +1,92 @@
+#include "eval/fairness_metrics.h"
+
+#include <algorithm>
+
+#include "core/fairness.h"
+
+namespace fairrec {
+namespace {
+
+FairnessReport ReportFromBreakdowns(const GroupContext& context,
+                                    const std::vector<MemberBreakdown>& members,
+                                    int32_t package_quota) {
+  FairnessReport report;
+  report.package_quota = package_quota;
+  const int32_t n = context.group_size();
+
+  double total = 0.0;
+  int32_t feasible = 0;
+  std::vector<double> satisfactions;
+  satisfactions.reserve(members.size());
+  for (int32_t m = 0; m < n; ++m) {
+    const MemberBreakdown& row = members[static_cast<size_t>(m)];
+    if (row.satisfied) ++report.satisfied_members;
+    // The member's personal quota: they cannot be asked for more A_u items
+    // than they have.
+    const int32_t quota = std::min(
+        package_quota,
+        static_cast<int32_t>(context.MemberTopK(m).size()));
+    if (row.top_k_hits >= quota) ++feasible;
+    if (row.satisfaction < 0.0) continue;  // nothing defined for this member
+    satisfactions.push_back(row.satisfaction);
+    total += row.satisfaction;
+  }
+  report.members_counted = static_cast<int32_t>(satisfactions.size());
+  report.proportion_satisfied =
+      n > 0 ? static_cast<double>(report.satisfied_members) /
+                  static_cast<double>(n)
+            : 0.0;
+  report.package_feasibility =
+      n > 0 ? static_cast<double>(feasible) / static_cast<double>(n) : 0.0;
+  if (satisfactions.empty()) return report;
+
+  const auto [min_it, max_it] =
+      std::minmax_element(satisfactions.begin(), satisfactions.end());
+  report.satisfaction_min = *min_it;
+  report.satisfaction_max = *max_it;
+  report.satisfaction_mean = total / static_cast<double>(satisfactions.size());
+  report.satisfaction_spread = *max_it - *min_it;
+  report.min_max_ratio = *max_it > 0.0 ? *min_it / *max_it : 1.0;
+
+  for (const double su : satisfactions) {
+    for (const double sv : satisfactions) {
+      if (sv > su) {
+        report.envy_total += sv - su;
+        report.envy_max = std::max(report.envy_max, sv - su);
+      }
+    }
+  }
+  const auto counted = static_cast<double>(report.members_counted);
+  if (report.members_counted > 1) {
+    report.envy_mean = report.envy_total / (counted * (counted - 1.0));
+  }
+  return report;
+}
+
+}  // namespace
+
+FairnessReport ComputeFairnessReport(const GroupContext& context,
+                                     const Selection& selection,
+                                     int32_t package_quota) {
+  if (static_cast<int32_t>(selection.members.size()) == context.group_size()) {
+    return ReportFromBreakdowns(context, selection.members, package_quota);
+  }
+  // A hand-built Selection without breakdowns: derive them from the items.
+  std::vector<int32_t> indexes;
+  indexes.reserve(selection.items.size());
+  for (const ItemId item : selection.items) {
+    const int32_t index = context.CandidateIndexOf(item);
+    if (index >= 0) indexes.push_back(index);
+  }
+  return ComputeFairnessReportFromIndexes(context, indexes, package_quota);
+}
+
+FairnessReport ComputeFairnessReportFromIndexes(
+    const GroupContext& context, const std::vector<int32_t>& candidate_indexes,
+    int32_t package_quota) {
+  return ReportFromBreakdowns(
+      context, ComputeMemberBreakdowns(context, candidate_indexes),
+      package_quota);
+}
+
+}  // namespace fairrec

@@ -1,0 +1,66 @@
+#ifndef FAIRREC_EVAL_FAIRNESS_METRICS_H_
+#define FAIRREC_EVAL_FAIRNESS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/group_context.h"
+#include "core/selector.h"
+#include "ratings/types.h"
+
+namespace fairrec {
+
+/// Offline fairness metrics of a selection D beyond the paper's single
+/// Def. 3 proportion — the group-vs-individual measures the related work
+/// maps out (Rampisela et al., "Stairway to Fairness"; Sato, "Enumerating
+/// Fair Packages"; Pellegrini et al. on within-group harm). All satisfaction
+/// figures use the normalized per-member measure of eval/metrics.h: the best
+/// relevance D offers the member divided by the best relevance any candidate
+/// could offer them (1.0 = D contains their favourite candidate). Members
+/// with no defined relevance anywhere are excluded from every statistic.
+struct FairnessReport {
+  /// Members with at least one defined relevance (the statistic population).
+  int32_t members_counted = 0;
+  /// Def. 3 hits: members with at least one A_u item in D.
+  int32_t satisfied_members = 0;
+  /// satisfied_members / group size — the paper's fairness(G, D).
+  double proportion_satisfied = 0.0;
+
+  /// Distribution of normalized per-member satisfaction over D.
+  double satisfaction_min = 0.0;
+  double satisfaction_max = 0.0;
+  double satisfaction_mean = 0.0;
+  /// max - min: the individual-fairness spread (0 = perfectly even).
+  double satisfaction_spread = 0.0;
+  /// min / max satisfaction (Rampisela et al.'s min-max group fairness;
+  /// 1.0 when the group is perfectly even or empty, 0.0 when someone gets
+  /// nothing while another member is served).
+  double min_max_ratio = 1.0;
+
+  /// Pairwise envy over normalized satisfaction: e(u, v) = max(0, s_v - s_u).
+  double envy_total = 0.0;  // sum over ordered pairs u != v
+  double envy_max = 0.0;    // the worst single member-to-member envy
+  double envy_mean = 0.0;   // envy_total / (counted * (counted - 1))
+
+  /// Sato-style package feasibility at `package_quota`: the fraction of
+  /// members with at least quota of their A_u items in D (quota capped at
+  /// |A_u| per member, so an impossible demand does not mark the member
+  /// infeasible forever). 1.0 = the package is fair to everyone.
+  int32_t package_quota = 1;
+  double package_feasibility = 0.0;
+};
+
+/// Computes the report from a finalized Selection (uses Selection::members
+/// when populated and consistent, recomputing otherwise).
+FairnessReport ComputeFairnessReport(const GroupContext& context,
+                                     const Selection& selection,
+                                     int32_t package_quota = 1);
+
+/// Same, from raw candidate indexes.
+FairnessReport ComputeFairnessReportFromIndexes(
+    const GroupContext& context, const std::vector<int32_t>& candidate_indexes,
+    int32_t package_quota = 1);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_EVAL_FAIRNESS_METRICS_H_

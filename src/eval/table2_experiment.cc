@@ -1,12 +1,15 @@
 #include "eval/table2_experiment.h"
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "cf/recommender.h"
 #include "common/string_util.h"
 #include "core/brute_force.h"
-#include "core/fairness_heuristic.h"
 #include "core/group_recommender.h"
+#include "core/selector_registry.h"
+#include "eval/fairness_metrics.h"
 #include "eval/table.h"
 #include "eval/timing.h"
 #include "sim/pairwise_engine.h"
@@ -18,8 +21,8 @@ namespace fairrec {
 Result<Table2Result> RunTable2Experiment(const Table2Config& config) {
   FAIRREC_ASSIGN_OR_RETURN(const Scenario scenario,
                            BuildScenario(config.scenario));
-  const Group group =
-      scenario.MakeCohesiveGroup(config.group_size, config.scenario.seed + 99);
+  const Group group = scenario.MakeGroup(config.group_shape, config.group_size,
+                                         config.scenario.seed + 99);
   if (static_cast<int32_t>(group.size()) != config.group_size) {
     return Status::FailedPrecondition("could not form a group of size " +
                                       std::to_string(config.group_size));
@@ -52,7 +55,9 @@ Result<Table2Result> RunTable2Experiment(const Table2Config& config) {
   Table2Result result;
   result.candidate_pool_size = full_context.num_candidates();
 
-  const FairnessHeuristic heuristic;
+  FAIRREC_ASSIGN_OR_RETURN(
+      const std::unique_ptr<ItemSetSelector> heuristic,
+      SelectorRegistry::Global().CreateFromSpec(config.heuristic_selector));
   const BruteForceSelector brute_force;
 
   for (const int32_t m : config.m_values) {
@@ -73,12 +78,19 @@ Result<Table2Result> RunTable2Experiment(const Table2Config& config) {
       const TimingResult heuristic_time = MeasureMs(
           [&] {
             heuristic_selection =
-                heuristic.Select(context, z).ValueOrDie();
+                heuristic->Select(context, z).ValueOrDie();
           },
           config.heuristic_repetitions);
       row.heuristic_ms = heuristic_time.min_ms;
       row.heuristic_value = heuristic_selection.score.value;
       row.heuristic_fairness = heuristic_selection.score.fairness;
+
+      const FairnessReport report =
+          ComputeFairnessReport(context, heuristic_selection);
+      row.heuristic_min_max_ratio = report.min_max_ratio;
+      row.heuristic_satisfaction_spread = report.satisfaction_spread;
+      row.heuristic_envy_mean = report.envy_mean;
+      row.heuristic_package_feasibility = report.package_feasibility;
 
       const bool run_bf =
           config.run_brute_force &&
@@ -102,7 +114,7 @@ Result<Table2Result> RunTable2Experiment(const Table2Config& config) {
 std::string FormatTable2(const Table2Result& result) {
   AsciiTable table({"m", "z", "C(m,z)", "Brute-force (ms)", "Heuristic (ms)",
                     "BF fairness", "H fairness", "BF value", "H value",
-                    "Paper BF (ms)", "Paper H (ms)"});
+                    "H min/max", "H envy", "Paper BF (ms)", "Paper H (ms)"});
   for (const Table2Row& row : result.rows) {
     const double paper_bf = PaperTable2BruteForceMs(row.m, row.z);
     const double paper_h = PaperTable2HeuristicMs(row.m, row.z);
@@ -116,6 +128,8 @@ std::string FormatTable2(const Table2Result& result) {
          FormatDouble(row.heuristic_fairness, 2),
          row.brute_force_ms < 0 ? "-" : FormatDouble(row.brute_force_value, 3),
          FormatDouble(row.heuristic_value, 3),
+         FormatDouble(row.heuristic_min_max_ratio, 2),
+         FormatDouble(row.heuristic_envy_mean, 3),
          paper_bf < 0 ? "-" : FormatWithThousands(static_cast<int64_t>(paper_bf)),
          paper_h < 0 ? "-" : FormatDouble(paper_h, 0)});
   }

@@ -22,6 +22,11 @@ struct Table2Row {
   double heuristic_value = 0.0;
   double brute_force_fairness = -1.0;
   double heuristic_fairness = 0.0;
+  /// Per-member fairness of the heuristic's selection (eval/fairness_metrics.h).
+  double heuristic_min_max_ratio = 1.0;
+  double heuristic_satisfaction_spread = 0.0;
+  double heuristic_envy_mean = 0.0;
+  double heuristic_package_feasibility = 0.0;
 };
 
 /// Configuration of the Table II reproduction ("§VI Preliminary Evaluation").
@@ -34,6 +39,14 @@ struct Table2Config {
   /// reported cell, which is what makes "fairness identical in both cases"
   /// (Prop. 1) observable.
   int32_t group_size = 4;
+  /// Who sits in the group (data/scenario.h): cohesive is the paper's
+  /// caregiver setting; skewed/coldstart/adversarial stress the fairness
+  /// metrics.
+  GroupShape group_shape = GroupShape::kCohesive;
+  /// SelectorRegistry spec of the heuristic under test ("algorithm1",
+  /// "least-misery", "local-search:max_swaps=50", ...). The brute force
+  /// column always runs the exact enumerator.
+  std::string heuristic_selector = "algorithm1";
   /// The synthetic world the candidates come from.
   ScenarioConfig scenario;
   /// A_u size for the fairness sets.

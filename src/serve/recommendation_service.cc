@@ -5,50 +5,68 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/selector_registry.h"
 
 namespace fairrec {
 namespace serve {
+namespace {
 
-std::string SelectorKindName(SelectorKind kind) {
-  switch (kind) {
-    case SelectorKind::kAlgorithm1:
-      return "algorithm1";
-    case SelectorKind::kGreedyValue:
-      return "greedy-value";
-    case SelectorKind::kLocalSearch:
-      return "local-search";
+/// The option-bag spec carrying the service's typed options into the registry
+/// factory for `name`; empty (factory defaults) for the rest of the zoo.
+std::string ConfiguredSpec(const std::string& name,
+                           const RecommendationServiceOptions& options) {
+  const auto flag = [](bool b) { return b ? std::string("true") : std::string("false"); };
+  if (name == "algorithm1") {
+    return "pick_from_a_ux=" + flag(options.algorithm1.pick_from_a_ux) +
+           ",fill_shortfall=" + flag(options.algorithm1.fill_shortfall);
   }
-  FAIRREC_CHECK(false);
+  if (name == "local-search") {
+    return "seed_with_algorithm1=" + flag(options.local_search.seed_with_algorithm1) +
+           ",max_swaps=" + std::to_string(options.local_search.max_swaps) +
+           ",pick_from_a_ux=" + flag(options.local_search.heuristic.pick_from_a_ux) +
+           ",fill_shortfall=" + flag(options.local_search.heuristic.fill_shortfall);
+  }
   return "";
 }
 
-Result<SelectorKind> ParseSelectorKind(std::string_view name) {
-  if (name == "algorithm1") return SelectorKind::kAlgorithm1;
-  if (name == "greedy-value") return SelectorKind::kGreedyValue;
-  if (name == "local-search") return SelectorKind::kLocalSearch;
-  return Status::InvalidArgument("unknown selector: " + std::string(name));
-}
+}  // namespace
 
 RecommendationService::RecommendationService(
     const SnapshotSource* source, RecommendationServiceOptions options)
-    : source_(source),
-      options_(options),
-      algorithm1_(options.algorithm1),
-      local_search_(options.local_search) {
+    : source_(source), options_(options) {
   FAIRREC_CHECK(source != nullptr);
+  const SelectorRegistry& registry = SelectorRegistry::Global();
+  for (const SelectorInfo& info : registry.List()) {
+    Result<SelectorOptionBag> bag =
+        SelectorOptionBag::Parse(ConfiguredSpec(info.name, options_));
+    FAIRREC_CHECK(bag.ok());
+    Result<std::unique_ptr<ItemSetSelector>> created =
+        registry.Create(info.name, *bag);
+    FAIRREC_CHECK(created.ok());
+    owned_selectors_.push_back(std::move(created).value());
+    const ItemSetSelector* instance = owned_selectors_.back().get();
+    selectors_.emplace(info.name, instance);
+    for (const std::string& alias : info.aliases) {
+      selectors_.emplace(alias, instance);
+    }
+  }
 }
 
-const ItemSetSelector& RecommendationService::selector(SelectorKind kind) const {
-  switch (kind) {
-    case SelectorKind::kAlgorithm1:
-      return algorithm1_;
-    case SelectorKind::kGreedyValue:
-      return greedy_;
-    case SelectorKind::kLocalSearch:
-      return local_search_;
+Result<const ItemSetSelector*> RecommendationService::selector(
+    std::string_view name) const {
+  const auto it = selectors_.find(name);
+  if (it == selectors_.end()) {
+    return Status::InvalidArgument("unknown selector: " + std::string(name));
   }
-  FAIRREC_CHECK(false);
-  return algorithm1_;
+  return it->second;
+}
+
+std::vector<std::string> RecommendationService::selector_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, instance] : selectors_) {
+    if (name == instance->name()) names.push_back(name);
+  }
+  return names;
 }
 
 Result<UserRecResponse> RecommendationService::RecommendUser(
@@ -110,6 +128,8 @@ Result<GroupRecResponse> RecommendationService::RecommendGroupOn(
     return Status::InvalidArgument("z must be positive, got " +
                                    std::to_string(request.z));
   }
+  FAIRREC_ASSIGN_OR_RETURN(const ItemSetSelector* selector_impl,
+                           selector(request.selector));
   std::unordered_set<UserId> seen;
   for (const UserId u : request.members) {
     if (!snapshot.matrix->IsValidUser(u)) {
@@ -138,31 +158,30 @@ Result<GroupRecResponse> RecommendationService::RecommendGroupOn(
         std::to_string(context.num_candidates()) + " candidate items");
   }
   FAIRREC_ASSIGN_OR_RETURN(const Selection selection,
-                           selector(request.selector).Select(context, request.z));
+                           selector_impl->Select(context, request.z));
 
   GroupRecResponse response;
   response.generation = snapshot.generation;
+  response.selector = selector_impl->name();
   response.score = selection.score;
 
-  std::vector<int32_t> selected_indexes;
-  selected_indexes.reserve(selection.items.size());
   response.items.reserve(selection.items.size());
   for (const ItemId item : selection.items) {
     const int32_t index = context.CandidateIndexOf(item);
     FAIRREC_CHECK(index >= 0);
-    selected_indexes.push_back(index);
     response.items.push_back({item, context.candidate(index).group_relevance});
   }
 
+  FAIRREC_CHECK(static_cast<int32_t>(selection.members.size()) ==
+                context.group_size());
   response.members.reserve(request.members.size());
   for (int32_t m = 0; m < context.group_size(); ++m) {
+    const MemberBreakdown& row = selection.members[static_cast<size_t>(m)];
     MemberSatisfaction sat;
     sat.user = context.members()[static_cast<size_t>(m)];
-    sat.satisfied = IsFairToMember(context, m, selected_indexes);
-    for (const int32_t index : selected_indexes) {
-      sat.relevance_sum +=
-          context.candidate(index).member_relevance[static_cast<size_t>(m)];
-    }
+    sat.satisfied = row.satisfied;
+    sat.relevance_sum = row.relevance_sum;
+    sat.satisfaction = row.satisfaction;
     response.members.push_back(sat);
   }
   return response;

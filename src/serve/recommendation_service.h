@@ -2,6 +2,8 @@
 #define FAIRREC_SERVE_RECOMMENDATION_SERVICE_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,32 +12,15 @@
 #include "common/result.h"
 #include "core/fairness.h"
 #include "core/fairness_heuristic.h"
-#include "core/greedy_selector.h"
 #include "core/group_context.h"
 #include "core/local_search.h"
+#include "core/selector.h"
 #include "ratings/types.h"
 #include "serve/serving_snapshot.h"
 #include "serve/snapshot_source.h"
 
 namespace fairrec {
 namespace serve {
-
-/// The selectors a request can name. Each service instance owns one
-/// configured instance of each, so requests just pick.
-enum class SelectorKind {
-  /// The paper's Algorithm 1 (core/fairness_heuristic.h).
-  kAlgorithm1,
-  /// Greedy marginal-value baseline (core/greedy_selector.h).
-  kGreedyValue,
-  /// Swap hill-climbing seeded from Algorithm 1 (core/local_search.h).
-  kLocalSearch,
-};
-
-/// "algorithm1", "greedy-value", "local-search".
-std::string SelectorKindName(SelectorKind kind);
-
-/// Inverse of SelectorKindName; InvalidArgument on anything else.
-Result<SelectorKind> ParseSelectorKind(std::string_view name);
 
 /// One single-user query: the member's A_u against the current corpus.
 struct UserRecRequest {
@@ -50,7 +35,10 @@ struct GroupRecRequest {
   /// Size of the recommended set D. Must be positive and at most the size
   /// of the group's candidate set (items unrated by every member).
   int32_t z = 0;
-  SelectorKind selector = SelectorKind::kAlgorithm1;
+  /// SelectorRegistry name (canonical or alias) of the selector to run.
+  /// The service pre-builds one instance of every registered selector at
+  /// construction; an unknown name is InvalidArgument.
+  std::string selector = "algorithm1";
 };
 
 struct UserRecResponse {
@@ -65,12 +53,18 @@ struct MemberSatisfaction {
   UserId user = kInvalidUserId;
   /// Def. 3: D contains at least one item of the member's A_u.
   bool satisfied = false;
-  /// The member's summed relevance over D.
+  /// The member's summed relevance over D (NaN entries skipped).
   double relevance_sum = 0.0;
+  /// Normalized satisfaction: the member's best relevance in D divided by
+  /// their best over all candidates; -1 when the member has no defined
+  /// relevance anywhere.
+  double satisfaction = -1.0;
 };
 
 struct GroupRecResponse {
   uint64_t generation = 0;
+  /// Canonical name of the selector that produced this response.
+  std::string selector;
   /// D in selection order; each item's score is its group relevance
   /// (Def. 2 under the service's configured aggregation).
   std::vector<ScoredItem> items;
@@ -97,7 +91,8 @@ struct RecommendationServiceOptions {
 ///   * NotFound          — a user id (single-user query or group member)
 ///                         beyond the corpus's population;
 ///   * InvalidArgument   — a malformed request: empty group, duplicate
-///                         member, non-positive z or top_k override < 0;
+///                         member, non-positive z, top_k override < 0, or a
+///                         selector name no registry entry answers to;
 ///   * OutOfRange        — z exceeds the group's candidate set (the request
 ///                         was well-formed, the corpus cannot satisfy it;
 ///                         retrying with smaller z works);
@@ -131,16 +126,24 @@ class RecommendationService {
                                             const GroupRecRequest& request,
                                             Scratch& scratch) const;
 
-  const ItemSetSelector& selector(SelectorKind kind) const;
+  /// The pre-built selector answering to `name` (canonical or alias);
+  /// InvalidArgument when unknown.
+  Result<const ItemSetSelector*> selector(std::string_view name) const;
+
+  /// Canonical names of every selector this service can run, sorted.
+  std::vector<std::string> selector_names() const;
+
   const RecommendationServiceOptions& options() const { return options_; }
   const SnapshotSource& source() const { return *source_; }
 
  private:
   const SnapshotSource* source_;
   RecommendationServiceOptions options_;
-  FairnessHeuristic algorithm1_;
-  GreedyValueSelector greedy_;
-  LocalSearchSelector local_search_;
+  /// One instance of every registered selector, built at construction with
+  /// the service's configured options; selectors_ maps every canonical name
+  /// and alias onto them.
+  std::vector<std::unique_ptr<ItemSetSelector>> owned_selectors_;
+  std::map<std::string, const ItemSetSelector*, std::less<>> selectors_;
 };
 
 }  // namespace serve

@@ -1,16 +1,30 @@
 #include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/brute_force.h"
 #include "core/fairness_heuristic.h"
 #include "core/greedy_selector.h"
+#include "core/selector_registry.h"
 #include "tests/core/test_fixtures.h"
 
 namespace fairrec {
 namespace {
 
 using testing_fixtures::RandomContext;
+
+/// One instance of every registered selector, default options.
+std::vector<std::unique_ptr<ItemSetSelector>> WholeZoo() {
+  std::vector<std::unique_ptr<ItemSetSelector>> zoo;
+  for (const std::string& name : SelectorRegistry::Global().Names()) {
+    zoo.push_back(
+        std::move(SelectorRegistry::Global().Create(name)).ValueOrDie());
+  }
+  return zoo;
+}
 
 // Cross-selector invariants on randomized instances:
 //  * the brute force is an upper bound on every heuristic's value;
@@ -37,15 +51,11 @@ TEST_P(SelectorProperties, BruteForceDominatesHeuristics) {
       RandomContext(rng, p.group_size, p.num_candidates, options);
 
   const BruteForceSelector brute_force;
-  const FairnessHeuristic heuristic;
-  const GreedyValueSelector greedy;
-
   const Selection exact = std::move(brute_force.Select(ctx, p.z)).ValueOrDie();
-  const Selection approx = std::move(heuristic.Select(ctx, p.z)).ValueOrDie();
-  const Selection greedy_pick = std::move(greedy.Select(ctx, p.z)).ValueOrDie();
-
-  EXPECT_GE(exact.score.value, approx.score.value - 1e-9);
-  EXPECT_GE(exact.score.value, greedy_pick.score.value - 1e-9);
+  for (const std::unique_ptr<ItemSetSelector>& selector : WholeZoo()) {
+    const Selection s = std::move(selector->Select(ctx, p.z)).ValueOrDie();
+    EXPECT_GE(exact.score.value, s.score.value - 1e-9) << selector->name();
+  }
 }
 
 TEST_P(SelectorProperties, AllSelectorsReturnConsistentSelections) {
@@ -57,14 +67,9 @@ TEST_P(SelectorProperties, AllSelectorsReturnConsistentSelections) {
   const GroupContext ctx =
       RandomContext(rng, p.group_size, p.num_candidates, options);
 
-  const BruteForceSelector brute_force;
-  const FairnessHeuristic heuristic;
-  const GreedyValueSelector greedy;
-  const std::vector<const ItemSetSelector*> selectors{&brute_force, &heuristic,
-                                                      &greedy};
   const size_t expected =
       static_cast<size_t>(std::min(p.z, p.num_candidates));
-  for (const ItemSetSelector* selector : selectors) {
+  for (const std::unique_ptr<ItemSetSelector>& selector : WholeZoo()) {
     const Selection s = std::move(selector->Select(ctx, p.z)).ValueOrDie();
     EXPECT_EQ(s.items.size(), expected) << selector->name();
     const ValueBreakdown recomputed = EvaluateSelectionByItems(ctx, s.items);
@@ -74,6 +79,21 @@ TEST_P(SelectorProperties, AllSelectorsReturnConsistentSelections) {
     for (const ItemId item : s.items) {
       EXPECT_GE(ctx.CandidateIndexOf(item), 0) << selector->name();
     }
+    // The per-member decomposition covers the whole group and agrees with
+    // the fairness factor.
+    ASSERT_EQ(static_cast<int32_t>(s.members.size()), ctx.group_size())
+        << selector->name();
+    int32_t satisfied = 0;
+    for (const MemberBreakdown& row : s.members) {
+      if (row.satisfied) ++satisfied;
+    }
+    EXPECT_DOUBLE_EQ(static_cast<double>(satisfied) /
+                         static_cast<double>(ctx.group_size()),
+                     s.score.fairness)
+        << selector->name();
+    // Selectors are deterministic: a second call returns the same set.
+    const Selection again = std::move(selector->Select(ctx, p.z)).ValueOrDie();
+    EXPECT_EQ(again.items, s.items) << selector->name();
   }
 }
 

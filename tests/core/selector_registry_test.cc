@@ -1,0 +1,145 @@
+#include "core/selector_registry.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.h"
+
+namespace fairrec {
+namespace {
+
+using testing_fixtures::RandomContext;
+
+TEST(SelectorOptionBagTest, ParsesTypedValues) {
+  const SelectorOptionBag bag =
+      std::move(SelectorOptionBag::Parse("a=3,b=0.5,c=true,d=text"))
+          .ValueOrDie();
+  EXPECT_EQ(std::move(bag.GetInt("a", 0)).ValueOrDie(), 3);
+  EXPECT_DOUBLE_EQ(std::move(bag.GetDouble("b", 0.0)).ValueOrDie(), 0.5);
+  EXPECT_TRUE(std::move(bag.GetBool("c", false)).ValueOrDie());
+  EXPECT_EQ(bag.GetString("d", ""), "text");
+  EXPECT_TRUE(bag.UnconsumedKeys().empty());
+}
+
+TEST(SelectorOptionBagTest, AbsentKeysYieldDefaults) {
+  const SelectorOptionBag bag;
+  EXPECT_EQ(std::move(bag.GetInt("missing", 42)).ValueOrDie(), 42);
+  EXPECT_FALSE(std::move(bag.GetBool("missing", false)).ValueOrDie());
+  EXPECT_TRUE(bag.empty());
+}
+
+TEST(SelectorOptionBagTest, RejectsMalformedSpecs) {
+  EXPECT_TRUE(SelectorOptionBag::Parse("novalue").status().IsInvalidArgument());
+  EXPECT_TRUE(SelectorOptionBag::Parse("=3").status().IsInvalidArgument());
+  EXPECT_TRUE(SelectorOptionBag::Parse("a=1,a=2").status().IsInvalidArgument());
+}
+
+TEST(SelectorOptionBagTest, UnparsableValuesAreInvalidArgument) {
+  const SelectorOptionBag bag =
+      std::move(SelectorOptionBag::Parse("a=abc,b=maybe")).ValueOrDie();
+  EXPECT_TRUE(bag.GetInt("a", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(bag.GetBool("b", false).status().IsInvalidArgument());
+}
+
+TEST(SelectorOptionBagTest, TracksUnconsumedKeys) {
+  const SelectorOptionBag bag =
+      std::move(SelectorOptionBag::Parse("used=1,typo=2")).ValueOrDie();
+  EXPECT_EQ(std::move(bag.GetInt("used", 0)).ValueOrDie(), 1);
+  EXPECT_EQ(bag.UnconsumedKeys(), std::vector<std::string>{"typo"});
+}
+
+TEST(SelectorRegistryTest, ListsTheBuiltinZoo) {
+  const std::vector<std::string> names = SelectorRegistry::Global().Names();
+  for (const char* expected :
+       {"algorithm1", "brute-force", "envy-swap", "fair-package",
+        "greedy-value", "least-misery", "local-search"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
+        << expected;
+  }
+}
+
+TEST(SelectorRegistryTest, CreatedSelectorsAnswerToTheirRegisteredName) {
+  // The registry round trip: every listed name constructs a selector whose
+  // name() is the canonical registration, and whose metadata is coherent.
+  for (const SelectorInfo& info : SelectorRegistry::Global().List()) {
+    const std::unique_ptr<ItemSetSelector> selector =
+        std::move(SelectorRegistry::Global().Create(info.name)).ValueOrDie();
+    EXPECT_EQ(selector->name(), info.name);
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+    EXPECT_FALSE(info.objective.empty()) << info.name;
+    EXPECT_TRUE(SelectorRegistry::Global().Has(info.name));
+    for (const std::string& alias : info.aliases) {
+      EXPECT_TRUE(SelectorRegistry::Global().Has(alias)) << alias;
+      const std::unique_ptr<ItemSetSelector> via_alias =
+          std::move(SelectorRegistry::Global().Create(alias)).ValueOrDie();
+      EXPECT_EQ(via_alias->name(), info.name) << alias;
+    }
+  }
+}
+
+TEST(SelectorRegistryTest, UnknownNamesAreInvalidArgument) {
+  EXPECT_TRUE(
+      SelectorRegistry::Global().Create("no-such").status().IsInvalidArgument());
+  EXPECT_TRUE(SelectorRegistry::Global()
+                  .Describe("no-such")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_FALSE(SelectorRegistry::Global().Has("no-such"));
+}
+
+TEST(SelectorRegistryTest, TypoedOptionKeysAreInvalidArgument) {
+  // "max_swap" (missing s) must not silently fall back to the default.
+  EXPECT_TRUE(SelectorRegistry::Global()
+                  .CreateFromSpec("local-search:max_swap=5")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SelectorRegistryTest, SpecOptionsReachTheSelector) {
+  Rng rng(4242);
+  GroupContextOptions options;
+  options.top_k = 3;
+  const GroupContext ctx = RandomContext(rng, 3, 10, options);
+
+  // max_swaps=0 freezes local search at its seed; the default improves on
+  // it or matches it, never does worse.
+  const std::unique_ptr<ItemSetSelector> frozen =
+      std::move(SelectorRegistry::Global().CreateFromSpec(
+                    "local-search:max_swaps=0"))
+          .ValueOrDie();
+  const std::unique_ptr<ItemSetSelector> free_running =
+      std::move(SelectorRegistry::Global().CreateFromSpec("local-search"))
+          .ValueOrDie();
+  const Selection a = std::move(frozen->Select(ctx, 4)).ValueOrDie();
+  const Selection b = std::move(free_running->Select(ctx, 4)).ValueOrDie();
+  EXPECT_GE(b.score.value, a.score.value - 1e-12);
+}
+
+TEST(SelectorRegistryTest, InvalidOptionValuesAreInvalidArgument) {
+  EXPECT_TRUE(SelectorRegistry::Global()
+                  .CreateFromSpec("brute-force:max_combinations=-1")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SelectorRegistry::Global()
+                  .CreateFromSpec("fair-package:min_per_member=0")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SelectorRegistryTest, RegisterRejectsCollisions) {
+  SelectorInfo info;
+  info.name = "algorithm1";  // collides with the builtin
+  const Status status = SelectorRegistry::Global().Register(
+      info, [](const SelectorOptionBag&) -> Result<std::unique_ptr<ItemSetSelector>> {
+        return Status::Internal("never called");
+      });
+  EXPECT_TRUE(status.IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace fairrec

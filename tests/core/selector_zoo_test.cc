@@ -1,0 +1,172 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/envy_swap_selector.h"
+#include "core/fair_package_selector.h"
+#include "core/least_misery_selector.h"
+#include "tests/core/test_fixtures.h"
+
+namespace fairrec {
+namespace {
+
+using testing_fixtures::ContextFromDense;
+using testing_fixtures::kNaN;
+
+// ---- least-misery ---------------------------------------------------------
+
+TEST(LeastMiserySelectorTest, MaximizesTheWorstMembersMass) {
+  // item2 is the only candidate both members score; the least-misery greedy
+  // must take it first (it lifts the minimum mass to 6, every alternative
+  // leaves a member at 0), then break the item0/item1 tie toward the
+  // smaller item id.
+  GroupContextOptions options;
+  options.top_k = 1;
+  const GroupContext ctx = ContextFromDense(
+      {
+          {10.0, 0.0, 6.0, 0.0},
+          {0.0, 10.0, 6.0, 0.0},
+      },
+      options);
+  const LeastMiserySelector selector;
+  const Selection s = std::move(selector.Select(ctx, 2)).ValueOrDie();
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0], 2);
+  EXPECT_EQ(s.items[1], 0);
+}
+
+TEST(LeastMiserySelectorTest, RejectsNonPositiveZ) {
+  GroupContextOptions options;
+  options.top_k = 1;
+  const GroupContext ctx = ContextFromDense({{1.0, 2.0}}, options);
+  const LeastMiserySelector selector;
+  EXPECT_TRUE(selector.Select(ctx, 0).status().IsInvalidArgument());
+}
+
+// ---- envy-swap ------------------------------------------------------------
+
+TEST(EnvySwapSelectorTest, SwapsTowardTheEnvyFreeItem) {
+  // Seed (best group relevance) is item0: satisfactions (1.0, 0.8), envy
+  // 0.2. item2 offers (0.9, 0.9) — envy-free — at lower group relevance;
+  // the lexicographic objective (envy first) must take the swap.
+  GroupContextOptions options;
+  options.top_k = 1;
+  const GroupContext ctx = ContextFromDense(
+      {
+          {10.0, 8.0, 9.0},
+          {4.0, 5.0, 4.5},
+      },
+      options);
+  const EnvySwapSelector selector;
+  const Selection s = std::move(selector.Select(ctx, 1)).ValueOrDie();
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0], 2);
+}
+
+TEST(EnvySwapSelectorTest, ZeroSwapsKeepsTheGroupRelevanceSeed) {
+  GroupContextOptions options;
+  options.top_k = 1;
+  const GroupContext ctx = ContextFromDense(
+      {
+          {10.0, 8.0, 9.0},
+          {4.0, 5.0, 4.5},
+      },
+      options);
+  EnvySwapOptions swap_options;
+  swap_options.max_swaps = 0;
+  const EnvySwapSelector selector(swap_options);
+  const Selection s = std::move(selector.Select(ctx, 1)).ValueOrDie();
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0], 0);  // best average group relevance
+}
+
+// ---- fair-package ---------------------------------------------------------
+
+TEST(FairPackageSelectorTest, MaximizesMembersAtQuotaThenRelevance) {
+  // Three members whose A_u are disjoint singletons; z=2 can cover only
+  // two. Best coverage-2 package by relevance: item2 (top group relevance)
+  // plus item0 (the smaller-id half of the item0/item1 tie).
+  GroupContextOptions options;
+  options.top_k = 1;
+  const GroupContext ctx = ContextFromDense(
+      {
+          {10.0, 0.0, 1.0},
+          {0.0, 10.0, 1.0},
+          {0.0, 0.0, 10.0},
+      },
+      options);
+  const FairPackageSelector selector;
+  const Selection s = std::move(selector.Select(ctx, 2)).ValueOrDie();
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0], 2);  // descending-relevance selection order
+  EXPECT_EQ(s.items[1], 0);
+  EXPECT_DOUBLE_EQ(s.score.fairness, 2.0 / 3.0);
+}
+
+TEST(FairPackageSelectorTest, CoversEveryoneWhenThePackageIsLargeEnough) {
+  GroupContextOptions options;
+  options.top_k = 1;
+  const GroupContext ctx = ContextFromDense(
+      {
+          {10.0, 0.0, 1.0},
+          {0.0, 10.0, 1.0},
+          {0.0, 0.0, 10.0},
+      },
+      options);
+  const FairPackageSelector selector;
+  const Selection s = std::move(selector.Select(ctx, 3)).ValueOrDie();
+  EXPECT_EQ(s.items.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.score.fairness, 1.0);
+}
+
+TEST(FairPackageSelectorTest, NodeCapFallsBackToTopRelevance) {
+  GroupContextOptions options;
+  options.top_k = 1;
+  const GroupContext ctx = ContextFromDense(
+      {
+          {10.0, 0.0, 1.0},
+          {0.0, 10.0, 1.0},
+          {0.0, 0.0, 10.0},
+      },
+      options);
+  FairPackageOptions package_options;
+  package_options.max_nodes = 1;  // fires before any leaf
+  const FairPackageSelector selector(package_options);
+  const Selection s = std::move(selector.Select(ctx, 2)).ValueOrDie();
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0], 2);
+  EXPECT_EQ(s.items[1], 0);
+}
+
+TEST(FairPackageSelectorTest, RejectsInvalidOptions) {
+  GroupContextOptions options;
+  options.top_k = 1;
+  const GroupContext ctx = ContextFromDense({{1.0, 2.0}}, options);
+  FairPackageOptions package_options;
+  package_options.min_per_member = 0;
+  const FairPackageSelector selector(package_options);
+  EXPECT_TRUE(selector.Select(ctx, 1).status().IsInvalidArgument());
+  const FairPackageSelector ok_selector;
+  EXPECT_TRUE(ok_selector.Select(ctx, 0).status().IsInvalidArgument());
+}
+
+TEST(FairPackageSelectorTest, UndefinedMembersHaveZeroQuota) {
+  // member1 scores nothing anywhere: their quota is 0, so they are covered
+  // from the start and cannot block full coverage.
+  GroupContextOptions options;
+  options.top_k = 1;
+  options.require_all_members = false;
+  const GroupContext ctx = ContextFromDense(
+      {
+          {10.0, 2.0},
+          {kNaN, kNaN},
+      },
+      options);
+  const FairPackageSelector selector;
+  const Selection s = std::move(selector.Select(ctx, 1)).ValueOrDie();
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0], 0);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,7 +1,9 @@
 #include "data/scenario.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -85,6 +87,83 @@ TEST(ScenarioTest, OversizedCohesiveGroupFallsBack) {
   // must still produce a usable random group.
   const Group group = s.MakeCohesiveGroup(60, 13);
   EXPECT_EQ(group.size(), 60u);
+}
+
+std::map<int32_t, int32_t> ClusterCounts(const Scenario& s,
+                                         const Group& group) {
+  std::map<int32_t, int32_t> counts;
+  for (const UserId u : group) {
+    ++counts[s.cohort.cluster_of_user[static_cast<size_t>(u)]];
+  }
+  return counts;
+}
+
+TEST(ScenarioTest, SkewedGroupHasExactlyOneMinorityMember) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  const Group group = s.MakeSkewedGroup(5, 17);
+  ASSERT_EQ(group.size(), 5u);
+  const std::map<int32_t, int32_t> counts = ClusterCounts(s, group);
+  ASSERT_EQ(counts.size(), 2u);
+  std::vector<int32_t> sizes;
+  for (const auto& [cluster, count] : counts) sizes.push_back(count);
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes[0], 1);
+  EXPECT_EQ(sizes[1], 4);
+}
+
+TEST(ScenarioTest, AdversarialGroupSplitsEvenlyAcrossTwoClusters) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  const Group group = s.MakeAdversarialGroup(6, 23);
+  ASSERT_EQ(group.size(), 6u);
+  const std::map<int32_t, int32_t> counts = ClusterCounts(s, group);
+  ASSERT_EQ(counts.size(), 2u);
+  for (const auto& [cluster, count] : counts) EXPECT_EQ(count, 3);
+}
+
+TEST(ScenarioTest, ColdStartGroupSeatsTheColdestRaters) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  const Group group = s.MakeColdStartGroup(4, 31);
+  ASSERT_EQ(group.size(), 4u);
+  // The single coldest rater (fewest ratings, ties toward the smaller id)
+  // must be seated.
+  UserId coldest = 0;
+  for (UserId u = 1; u < s.ratings.num_users(); ++u) {
+    if (s.ratings.UserDegree(u) < s.ratings.UserDegree(coldest)) coldest = u;
+  }
+  EXPECT_TRUE(std::find(group.begin(), group.end(), coldest) != group.end());
+}
+
+TEST(ScenarioTest, MakeGroupDispatchesOnShape) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  EXPECT_EQ(s.MakeGroup(GroupShape::kCohesive, 4, 9),
+            s.MakeCohesiveGroup(4, 9));
+  EXPECT_EQ(s.MakeGroup(GroupShape::kRandom, 4, 9), s.MakeRandomGroup(4, 9));
+  EXPECT_EQ(s.MakeGroup(GroupShape::kSkewed, 4, 9), s.MakeSkewedGroup(4, 9));
+  EXPECT_EQ(s.MakeGroup(GroupShape::kColdStart, 4, 9),
+            s.MakeColdStartGroup(4, 9));
+  EXPECT_EQ(s.MakeGroup(GroupShape::kAdversarial, 4, 9),
+            s.MakeAdversarialGroup(4, 9));
+}
+
+TEST(ScenarioTest, GroupShapeNamesAreStable) {
+  EXPECT_STREQ(GroupShapeName(GroupShape::kCohesive), "cohesive");
+  EXPECT_STREQ(GroupShapeName(GroupShape::kRandom), "random");
+  EXPECT_STREQ(GroupShapeName(GroupShape::kSkewed), "skewed");
+  EXPECT_STREQ(GroupShapeName(GroupShape::kColdStart), "coldstart");
+  EXPECT_STREQ(GroupShapeName(GroupShape::kAdversarial), "adversarial");
+}
+
+TEST(ScenarioTest, ShapedGroupsAreDeterministicAndDistinct) {
+  const Scenario s = std::move(BuildScenario(SmallConfig())).ValueOrDie();
+  for (const GroupShape shape :
+       {GroupShape::kSkewed, GroupShape::kColdStart,
+        GroupShape::kAdversarial}) {
+    const Group a = s.MakeGroup(shape, 6, 41);
+    EXPECT_EQ(a, s.MakeGroup(shape, 6, 41)) << GroupShapeName(shape);
+    ASSERT_EQ(a.size(), 6u) << GroupShapeName(shape);
+    EXPECT_EQ(std::set<UserId>(a.begin(), a.end()).size(), 6u)
+        << GroupShapeName(shape);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+#include "eval/fairness_metrics.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/selector_registry.h"
+#include "tests/core/test_fixtures.h"
+
+namespace fairrec {
+namespace {
+
+using testing_fixtures::ContextFromDense;
+using testing_fixtures::kNaN;
+
+// Member 0's A_u = {item0}, member 1's A_u = {item1} (top_k = 1).
+GroupContext TwoMemberContext() {
+  GroupContextOptions options;
+  options.top_k = 1;
+  return ContextFromDense(
+      {
+          {10.0, 0.0, 5.0, 0.0},
+          {0.0, 8.0, 4.0, 0.0},
+      },
+      options);
+}
+
+TEST(FairnessMetricsTest, MatchesHandComputedReport) {
+  // D = {item0, item2}: member 0 is fully served (satisfaction 1.0,
+  // top-1 hit), member 1 gets 4 of a possible 8 and no hit.
+  const GroupContext ctx = TwoMemberContext();
+  const FairnessReport report =
+      ComputeFairnessReportFromIndexes(ctx, {0, 2});
+  EXPECT_EQ(report.members_counted, 2);
+  EXPECT_EQ(report.satisfied_members, 1);
+  EXPECT_DOUBLE_EQ(report.proportion_satisfied, 0.5);
+  EXPECT_DOUBLE_EQ(report.satisfaction_min, 0.5);
+  EXPECT_DOUBLE_EQ(report.satisfaction_max, 1.0);
+  EXPECT_DOUBLE_EQ(report.satisfaction_mean, 0.75);
+  EXPECT_DOUBLE_EQ(report.satisfaction_spread, 0.5);
+  EXPECT_DOUBLE_EQ(report.min_max_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(report.envy_total, 0.5);
+  EXPECT_DOUBLE_EQ(report.envy_max, 0.5);
+  EXPECT_DOUBLE_EQ(report.envy_mean, 0.25);  // 0.5 / (2 * 1)
+  EXPECT_EQ(report.package_quota, 1);
+  EXPECT_DOUBLE_EQ(report.package_feasibility, 0.5);
+}
+
+TEST(FairnessMetricsTest, EvenSelectionHasNoEnvy) {
+  // D = {item0, item1} serves both members their favourite.
+  const GroupContext ctx = TwoMemberContext();
+  const FairnessReport report =
+      ComputeFairnessReportFromIndexes(ctx, {0, 1});
+  EXPECT_EQ(report.satisfied_members, 2);
+  EXPECT_DOUBLE_EQ(report.satisfaction_spread, 0.0);
+  EXPECT_DOUBLE_EQ(report.min_max_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(report.envy_total, 0.0);
+  EXPECT_DOUBLE_EQ(report.envy_mean, 0.0);
+  EXPECT_DOUBLE_EQ(report.package_feasibility, 1.0);
+}
+
+TEST(FairnessMetricsTest, QuotaIsCappedAtTheMembersTopK) {
+  // A quota of 5 cannot exceed |A_u| = 1, so a single hit stays feasible.
+  const GroupContext ctx = TwoMemberContext();
+  const FairnessReport report =
+      ComputeFairnessReportFromIndexes(ctx, {0, 1}, /*package_quota=*/5);
+  EXPECT_EQ(report.package_quota, 5);
+  EXPECT_DOUBLE_EQ(report.package_feasibility, 1.0);
+}
+
+TEST(FairnessMetricsTest, UndefinedMembersAreExcludedFromStatistics) {
+  GroupContextOptions options;
+  options.top_k = 1;
+  options.require_all_members = false;
+  const GroupContext ctx = ContextFromDense(
+      {
+          {10.0, 2.0},
+          {kNaN, kNaN},
+      },
+      options);
+  const FairnessReport report = ComputeFairnessReportFromIndexes(ctx, {0});
+  // Only member 0 has defined relevance; member 1 contributes to neither
+  // the satisfaction distribution nor envy, and their quota collapses to 0.
+  EXPECT_EQ(report.members_counted, 1);
+  EXPECT_EQ(report.satisfied_members, 1);
+  EXPECT_DOUBLE_EQ(report.proportion_satisfied, 0.5);
+  EXPECT_DOUBLE_EQ(report.satisfaction_min, 1.0);
+  EXPECT_DOUBLE_EQ(report.satisfaction_spread, 0.0);
+  EXPECT_DOUBLE_EQ(report.min_max_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(report.envy_total, 0.0);
+  EXPECT_DOUBLE_EQ(report.package_feasibility, 1.0);
+}
+
+TEST(FairnessMetricsTest, SelectionBreakdownsAgreeWithRawIndexes) {
+  // A finalized Selection carries per-member breakdowns; the report built
+  // from them must equal the one recomputed from the raw item list.
+  const GroupContext ctx = TwoMemberContext();
+  const std::unique_ptr<ItemSetSelector> selector =
+      std::move(SelectorRegistry::Global().Create("algorithm1")).ValueOrDie();
+  const Selection s = std::move(selector->Select(ctx, 2)).ValueOrDie();
+  ASSERT_EQ(s.members.size(), 2u);
+  const FairnessReport from_selection = ComputeFairnessReport(ctx, s);
+  std::vector<int32_t> indexes;
+  for (const ItemId item : s.items) {
+    indexes.push_back(ctx.CandidateIndexOf(item));
+  }
+  const FairnessReport from_indexes =
+      ComputeFairnessReportFromIndexes(ctx, indexes);
+  EXPECT_DOUBLE_EQ(from_selection.satisfaction_mean,
+                   from_indexes.satisfaction_mean);
+  EXPECT_DOUBLE_EQ(from_selection.min_max_ratio, from_indexes.min_max_ratio);
+  EXPECT_DOUBLE_EQ(from_selection.envy_total, from_indexes.envy_total);
+  EXPECT_EQ(from_selection.satisfied_members, from_indexes.satisfied_members);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,6 +1,7 @@
 #include "serve/recommendation_service.h"
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -72,9 +73,10 @@ TEST(RecommendationServiceTest, GroupResponseMatchesDirectPipeline) {
   GroupRecRequest request;
   request.members = group;
   request.z = 4;
-  request.selector = SelectorKind::kAlgorithm1;
+  request.selector = "algorithm1";
   const GroupRecResponse response =
       std::move(service.RecommendGroup(request)).ValueOrDie();
+  EXPECT_EQ(response.selector, "algorithm1");
 
   // Reference: the same pipeline assembled by hand from the same snapshot.
   const ServingSnapshot snapshot = source.Acquire();
@@ -105,31 +107,49 @@ TEST(RecommendationServiceTest, GroupResponseMatchesDirectPipeline) {
                    response.score.fairness);
 }
 
-TEST(RecommendationServiceTest, AllSelectorsServeTheSameRequest) {
+TEST(RecommendationServiceTest, AllRegisteredSelectorsServeTheSameRequest) {
   const StaticSnapshotSource source = StaticSource(SyntheticMatrix(40, 30, 7));
   const RecommendationService service(&source, ServiceOptions());
 
-  for (const SelectorKind kind :
-       {SelectorKind::kAlgorithm1, SelectorKind::kGreedyValue,
-        SelectorKind::kLocalSearch}) {
+  const std::vector<std::string> names = service.selector_names();
+  ASSERT_GE(names.size(), 7u);
+  for (const std::string& name : names) {
     GroupRecRequest request;
     request.members = {2, 8, 14};
     request.z = 3;
-    request.selector = kind;
+    request.selector = name;
     const auto response = service.RecommendGroup(request);
-    ASSERT_TRUE(response.ok()) << SelectorKindName(kind);
-    EXPECT_EQ(response->items.size(), 3u) << SelectorKindName(kind);
+    ASSERT_TRUE(response.ok()) << name << ": " << response.status().ToString();
+    EXPECT_EQ(response->items.size(), 3u) << name;
+    EXPECT_EQ(response->selector, name);
   }
 }
 
-TEST(RecommendationServiceTest, SelectorKindNamesRoundTrip) {
-  for (const SelectorKind kind :
-       {SelectorKind::kAlgorithm1, SelectorKind::kGreedyValue,
-        SelectorKind::kLocalSearch}) {
-    EXPECT_EQ(std::move(ParseSelectorKind(SelectorKindName(kind))).ValueOrDie(),
-              kind);
-  }
-  EXPECT_TRUE(ParseSelectorKind("brute-force").status().IsInvalidArgument());
+TEST(RecommendationServiceTest, AliasesResolveToCanonicalSelectors) {
+  const StaticSnapshotSource source = StaticSource(SyntheticMatrix(40, 30, 7));
+  const RecommendationService service(&source, ServiceOptions());
+
+  GroupRecRequest request;
+  request.members = {2, 8, 14};
+  request.z = 3;
+  request.selector = "localsearch";  // legacy CLI spelling
+  const GroupRecResponse response =
+      std::move(service.RecommendGroup(request)).ValueOrDie();
+  // The echoed name is canonical, not the alias the request used.
+  EXPECT_EQ(response.selector, "local-search");
+}
+
+TEST(RecommendationServiceTest, UnknownSelectorIsInvalidArgument) {
+  const StaticSnapshotSource source = StaticSource(SyntheticMatrix(40, 30, 7));
+  const RecommendationService service(&source, ServiceOptions());
+
+  GroupRecRequest request;
+  request.members = {2, 8, 14};
+  request.z = 3;
+  request.selector = "no-such-selector";
+  EXPECT_TRUE(
+      service.RecommendGroup(request).status().IsInvalidArgument());
+  EXPECT_TRUE(service.selector("no-such-selector").status().IsInvalidArgument());
 }
 
 TEST(RecommendationServiceTest, LiveSourceAdvancesGenerationPerDelta) {

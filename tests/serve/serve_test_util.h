@@ -84,11 +84,13 @@ inline void ExpectIdentical(const serve::GroupRecResponse& a,
   EXPECT_EQ(a.score.fairness, b.score.fairness);
   EXPECT_EQ(a.score.relevance_sum, b.score.relevance_sum);
   EXPECT_EQ(a.score.value, b.score.value);
+  EXPECT_EQ(a.selector, b.selector);
   ASSERT_EQ(a.members.size(), b.members.size());
   for (size_t m = 0; m < a.members.size(); ++m) {
     EXPECT_EQ(a.members[m].user, b.members[m].user);
     EXPECT_EQ(a.members[m].satisfied, b.members[m].satisfied);
     EXPECT_EQ(a.members[m].relevance_sum, b.members[m].relevance_sum);
+    EXPECT_EQ(a.members[m].satisfaction, b.members[m].satisfaction);
   }
 }
 

@@ -87,7 +87,7 @@ TEST(SnapshotRaceTest, ConcurrentQueriesReplayBitIdenticallyAfterQuiesce) {
             request.members.push_back(static_cast<UserId>(u));
           }
           request.z = 3;
-          request.selector = SelectorKind::kAlgorithm1;
+          request.selector = "algorithm1";
           auto response = service.RecommendGroupOn(snapshot, request, scratch);
           // OutOfRange is legitimate (a tiny candidate set for this random
           // group); anything else is a bug.

@@ -7,12 +7,18 @@
 //   fairrec_cli stats     --ratings ratings.csv
 //   fairrec_cli recommend --ratings ratings.csv --user 3 [--k 10] [--delta 0.55]
 //   fairrec_cli group     --ratings ratings.csv --members 1,2,3 --z 6
-//                         [--selector algorithm1|greedy|bruteforce|localsearch]
+//                         [--selector NAME[:k=v,...]]
 //                         [--aggregation min|avg|max|median] [--k 10]
 //                         [--delta 0.55] [--max-memory-mb 256 --spill-dir /tmp/x]
+//   fairrec_cli list-selectors
+//
+// `--selector` accepts any SelectorRegistry name or alias, optionally with a
+// `:key=value,...` option tail (e.g. `local-search:max_swaps=50`); the
+// list-selectors command prints the whole zoo with its options.
 //
 // Exit status: 0 on success, 1 on usage/runtime errors.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -22,11 +28,8 @@
 
 #include "cf/recommender.h"
 #include "common/string_util.h"
-#include "core/brute_force.h"
-#include "core/fairness_heuristic.h"
-#include "core/greedy_selector.h"
 #include "core/group_recommender.h"
-#include "core/local_search.h"
+#include "core/selector_registry.h"
 #include "data/scenario.h"
 #include "eval/table.h"
 #include "ratings/dataset.h"
@@ -82,10 +85,21 @@ int Usage() {
                "  fairrec_cli stats     --ratings FILE\n"
                "  fairrec_cli recommend --ratings FILE --user ID [--k N] [--delta X]\n"
                "  fairrec_cli group     --ratings FILE --members a,b,c --z N\n"
-               "                        [--selector algorithm1|greedy|bruteforce|localsearch]\n"
+               "                        [--selector NAME[:k=v,...]]\n"
                "                        [--aggregation min|avg|max|median] [--k N] [--delta X]\n"
-               "                        [--any-member] [--max-memory-mb N --spill-dir DIR]\n");
+               "                        [--any-member] [--max-memory-mb N --spill-dir DIR]\n"
+               "  fairrec_cli list-selectors\n");
   return 1;
+}
+
+int RunListSelectors() {
+  AsciiTable table({"name", "aliases", "objective", "options"});
+  for (const SelectorInfo& info : SelectorRegistry::Global().List()) {
+    table.AddRow({info.name, Join(info.aliases, ","),
+                  info.objective, Join(info.option_keys, "; ")});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
 }
 
 Result<Dataset> LoadRatings(const Args& args) {
@@ -274,23 +288,24 @@ int RunGroup(const Args& args) {
     return 1;
   }
 
-  std::unique_ptr<ItemSetSelector> selector;
-  const std::string selector_name = args.Get("selector", "algorithm1");
-  if (selector_name == "algorithm1") {
-    selector = std::make_unique<FairnessHeuristic>();
-  } else if (selector_name == "greedy") {
-    selector = std::make_unique<GreedyValueSelector>();
-  } else if (selector_name == "bruteforce") {
-    BruteForceOptions bf_options;
-    bf_options.max_combinations = 200'000'000;  // refuse multi-hour requests
-    selector = std::make_unique<BruteForceSelector>(bf_options);
-  } else if (selector_name == "localsearch") {
-    selector = std::make_unique<LocalSearchSelector>();
-  } else {
-    std::fprintf(stderr, "error: unknown --selector '%s'\n",
-                 selector_name.c_str());
+  std::string selector_spec = args.Get("selector", "algorithm1");
+  if (selector_spec.find(':') == std::string::npos) {
+    const auto info = SelectorRegistry::Global().Describe(selector_spec);
+    if (info.ok() && info->name == "brute-force") {
+      // Refuse multi-hour requests unless the user set their own cap.
+      selector_spec += ":max_combinations=200000000";
+    }
+  }
+  auto selector_or = SelectorRegistry::Global().CreateFromSpec(selector_spec);
+  if (!selector_or.ok()) {
+    std::fprintf(stderr,
+                 "error: %s\n(run `fairrec_cli list-selectors` for the "
+                 "available selectors and options)\n",
+                 selector_or.status().ToString().c_str());
     return 1;
   }
+  const std::unique_ptr<ItemSetSelector> selector =
+      std::move(selector_or).value();
 
   const GroupRecommender group_rec(&recommender, ctx_options);
   const auto selection = group_rec.RecommendFair(group, z, *selector);
@@ -316,6 +331,23 @@ int RunGroup(const Args& args) {
               selector->name().c_str(), aggregation.c_str(),
               selection->score.fairness, selection->score.relevance_sum,
               selection->score.value);
+
+  AsciiTable member_table({"member", "satisfied", "relevance", "satisfaction"});
+  double sat_min = 1.0, sat_max = 0.0;
+  for (size_t m = 0; m < selection->members.size(); ++m) {
+    const MemberBreakdown& row = selection->members[m];
+    member_table.AddRow(
+        {std::to_string(group[m]), row.satisfied ? "yes" : "no",
+         FormatDouble(row.relevance_sum, 3),
+         row.satisfaction < 0.0 ? "n/a" : FormatDouble(row.satisfaction, 3)});
+    if (row.satisfaction >= 0.0) {
+      sat_min = std::min(sat_min, row.satisfaction);
+      sat_max = std::max(sat_max, row.satisfaction);
+    }
+  }
+  std::printf("%s", member_table.ToString().c_str());
+  std::printf("satisfaction min/max ratio = %.3f\n",
+              sat_max > 0.0 ? sat_min / sat_max : 1.0);
   return 0;
 }
 
@@ -327,6 +359,9 @@ int Main(int argc, char** argv) {
   if (command == "stats") return RunStats(args);
   if (command == "recommend") return RunRecommend(args);
   if (command == "group") return RunGroup(args);
+  if (command == "list-selectors" || command == "--list-selectors") {
+    return RunListSelectors();
+  }
   return Usage();
 }
 

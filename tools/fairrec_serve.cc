@@ -8,7 +8,7 @@
 //   fairrec_serve [--users N] [--items N] [--density F] [--seed N]
 //                 [--seconds F] [--clients N] [--workers N] [--queue N]
 //                 [--group-fraction F] [--group-size N] [--z N]
-//                 [--selector algorithm1|greedy-value|local-search]
+//                 [--selector <registry-name>]
 //                 [--update-batch F] [--updates N] [--verbose]
 
 #include <algorithm>
@@ -23,6 +23,7 @@
 
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "core/selector_registry.h"
 #include "ratings/rating_delta.h"
 #include "ratings/rating_matrix.h"
 #include "serve/recommendation_service.h"
@@ -37,7 +38,6 @@ using serve::GroupRecRequest;
 using serve::GroupRecResponse;
 using serve::LivePeerGraph;
 using serve::RecommendationService;
-using serve::SelectorKind;
 using serve::ServingServer;
 using serve::ServingServerOptions;
 using serve::ServingServerStats;
@@ -56,7 +56,7 @@ struct Config {
   double group_fraction = 0.3;
   int32_t group_size = 4;
   int32_t z = 5;
-  SelectorKind selector = SelectorKind::kAlgorithm1;
+  std::string selector = "algorithm1";
   double update_batch = 12.0;
   int32_t updates = 10;
   bool verbose = false;
@@ -142,8 +142,7 @@ int Run(const Config& config) {
       "serving with %d workers (queue %d), %d clients, %.0f%% group traffic "
       "via %s, %d update batches over %.1f s\n",
       config.workers, config.max_queue, config.clients,
-      100.0 * config.group_fraction,
-      serve::SelectorKindName(config.selector).c_str(), config.updates,
+      100.0 * config.group_fraction, config.selector.c_str(), config.updates,
       config.seconds);
 
   std::atomic<bool> stop{false};
@@ -307,12 +306,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--z") {
       config.z = std::atoi(next());
     } else if (arg == "--selector") {
-      auto kind = fairrec::serve::ParseSelectorKind(next());
-      if (!kind.ok()) {
-        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+      config.selector = next();
+      if (!fairrec::SelectorRegistry::Global().Has(config.selector)) {
+        std::fprintf(stderr, "unknown selector: %s\n", config.selector.c_str());
         return 1;
       }
-      config.selector = std::move(kind).ValueOrDie();
     } else if (arg == "--update-batch") {
       config.update_batch = std::atof(next());
     } else if (arg == "--updates") {
