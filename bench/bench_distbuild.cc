@@ -1,0 +1,402 @@
+// Distributed peer-graph build: prove that sharding the pairwise sweep over
+// N coordinated workers buys wall-clock without buying drift — the merged
+// index is byte-identical to the single-process engine at every partition
+// count — and that the failure machinery earns its keep: with a seeded
+// fraction of worker attempts killed, the build still converges to the same
+// bytes, and the recovery overhead (retries + rebuilt partials) is measured
+// against the clean run.
+//
+//   bench_distbuild [--users N] [--items N] [--degree N] [--seed N]
+//                   [--dir DIR] [--failure-rate X] [--max-attempts N]
+//                   [--check-parity] [--check-speedup-min X]
+//                   [--out BENCH_distbuild.json]
+//
+// Partition counts {1, 2, 4, 8} are fixed: 1 is the single-worker baseline
+// the speedups are measured against. --check-parity fails (exit 2) unless
+// every run — including the failure-injected one — fingerprints identical to
+// the engine build; --check-speedup-min X fails (exit 3) when the best
+// multi-worker speedup over the 1-worker baseline falls below X (on a
+// single-core runner the honest expectation is ~1.0: the sweep is CPU-bound,
+// so the gate guards against coordination *overhead*, not for parallelism the
+// hardware cannot give). Exit status: 0 ok, 1 argument/IO errors, 2 parity
+// mismatch, 3 a gate failed.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/blob_io.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "dist/coordinator.h"
+#include "dist/partial_artifact.h"
+#include "ratings/rating_matrix.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+
+namespace fairrec {
+namespace {
+
+struct BenchConfig {
+  int32_t users = 30000;
+  int32_t items = 10000;
+  int32_t degree = 8;
+  uint64_t seed = 20170417;
+  std::string dir = "bench_distbuild_artifacts";
+  /// Probability that a worker attempt (attempt < 3, so the build always
+  /// terminates) is killed right before reporting, seeded and deterministic.
+  double failure_rate = 0.10;
+  int32_t max_attempts = 6;
+  bool check_parity = false;
+  double check_speedup_min = 0.0;
+  std::string out_path = "BENCH_distbuild.json";
+};
+
+constexpr int32_t kPartitionCounts[] = {1, 2, 4, 8};
+
+RatingMatrix GenerateCorpus(const BenchConfig& config) {
+  Rng rng(config.seed);
+  RatingMatrixBuilder builder;
+  builder.Reserve(config.users, config.items);
+  std::vector<ItemId> picked;
+  picked.reserve(static_cast<size_t>(config.degree));
+  for (UserId u = 0; u < config.users; ++u) {
+    picked.clear();
+    while (picked.size() < static_cast<size_t>(config.degree)) {
+      const auto item =
+          static_cast<ItemId>(rng.UniformInt(0, config.items - 1));
+      if (std::find(picked.begin(), picked.end(), item) != picked.end()) {
+        continue;
+      }
+      picked.push_back(item);
+      const auto status =
+          builder.Add(u, item, static_cast<Rating>(rng.UniformInt(1, 5)));
+      if (!status.ok()) {
+        std::fprintf(stderr, "corpus generation failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+uint64_t FingerprintIndex(const PeerIndex& index) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint64_t>(index.num_users()));
+  for (UserId u = 0; u < index.num_users(); ++u) {
+    for (const Peer& p : index.PeersOf(u)) {
+      mix(static_cast<uint64_t>(u));
+      mix(static_cast<uint64_t>(p.user));
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(p.similarity));
+      std::memcpy(&bits, &p.similarity, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+DistWorkerOptions WorkerOptions() {
+  DistWorkerOptions options;
+  options.peers.delta = 0.1;
+  options.peers.max_peers_per_user = 64;
+  return options;
+}
+
+struct RunResult {
+  int32_t partitions = 0;
+  double wall_seconds = 0.0;
+  bool parity_ok = false;
+  DistBuildStats stats;
+};
+
+void ClearArtifacts(const std::string& dir) {
+  const auto files = ListPartialArtifactFiles(dir);
+  if (!files.ok()) return;
+  for (const std::string& path : *files) (void)RemovePath(path);
+}
+
+/// One coordinator run against `reference`. `inject_failures` kills attempts
+/// deterministically (seeded splitmix over (partition, attempt)) right
+/// before they report, leaving their artifact behind when `after_write` —
+/// both halves of the crash window the retry loop must absorb.
+int RunOnce(const RatingMatrix& matrix, const PeerIndex& reference,
+            const BenchConfig& config, int32_t partitions,
+            bool inject_failures, RunResult& r) {
+  const std::string dir =
+      config.dir + "/p" + std::to_string(partitions) +
+      (inject_failures ? "_faulty" : "");
+  if (!EnsureDirectory(dir).ok()) {
+    std::fprintf(stderr, "cannot create artifact dir %s\n", dir.c_str());
+    return 1;
+  }
+  ClearArtifacts(dir);
+
+  DistBuildOptions options;
+  options.num_partitions = partitions;
+  options.artifact_dir = dir;
+  options.worker = WorkerOptions();
+  options.retry.max_attempts = config.max_attempts;
+  // Recovery overhead should measure re-computation, not sleeping: the
+  // backoff schedule is compressed to milliseconds.
+  options.retry.initial_backoff_millis = 1;
+  options.retry.max_backoff_millis = 8;
+  DistBuildCoordinator coordinator(&matrix, options);
+  if (inject_failures) {
+    const uint64_t salt = config.seed ^ 0x9e3779b97f4a7c15ull;
+    const double rate = config.failure_rate;
+    coordinator.set_worker_fn(
+        [salt, rate](const RatingMatrix& m,
+                     const PartitionDescriptor& partition, int32_t attempt,
+                     const DistWorkerOptions& worker_options,
+                     const std::string& path) -> Status {
+          auto artifact =
+              BuildPartialPeerArtifact(m, partition, attempt, worker_options);
+          if (!artifact.ok()) return artifact.status();
+          // splitmix64 over (partition, attempt): the kill schedule is a
+          // pure function of the seed, so runs are reproducible.
+          uint64_t x = salt ^ (static_cast<uint64_t>(partition.index) << 32) ^
+                       static_cast<uint64_t>(attempt);
+          x += 0x9e3779b97f4a7c15ull;
+          x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+          x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+          x ^= x >> 31;
+          const double unit =
+              static_cast<double>(x >> 11) / 9007199254740992.0;
+          if (attempt < 3 && unit < rate) {
+            const bool after_write = (x & 1) != 0;
+            if (after_write) {
+              FAIRREC_RETURN_NOT_OK(artifact->WriteFile(path));
+            }
+            return Status::IOError("injected worker kill (" +
+                                   std::string(after_write ? "after" : "before") +
+                                   " commit)");
+          }
+          FAIRREC_RETURN_NOT_OK(artifact->WriteFile(path));
+          return Status::OK();
+        });
+  }
+
+  Stopwatch clock;
+  auto result = coordinator.Run();
+  r.wall_seconds = clock.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "dist build (%d partitions%s) failed: %s\n",
+                 partitions, inject_failures ? ", faulty" : "",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  r.partitions = partitions;
+  r.stats = result->stats;
+  r.parity_ok = result->index == reference;
+  std::printf(
+      "%2d workers%s: %7.2f s  parity %s  (%d launched, %d failed, %d "
+      "speculative)\n",
+      partitions, inject_failures ? " +faults" : "        ", r.wall_seconds,
+      r.parity_ok ? "ok" : "MISMATCH", r.stats.attempts_launched,
+      r.stats.attempts_failed, r.stats.speculative_attempts);
+  ClearArtifacts(dir);
+  return 0;
+}
+
+void WriteRunJson(std::FILE* out, const RunResult& r, double baseline_seconds,
+                  bool last) {
+  std::fprintf(out,
+               "    {\n"
+               "      \"partitions\": %d,\n"
+               "      \"wall_seconds\": %.6f,\n"
+               "      \"speedup_vs_single\": %.4f,\n"
+               "      \"parity_ok\": %s,\n"
+               "      \"attempts_launched\": %d,\n"
+               "      \"attempts_failed\": %d,\n"
+               "      \"speculative_attempts\": %d\n"
+               "    }%s\n",
+               r.partitions, r.wall_seconds,
+               baseline_seconds / r.wall_seconds, r.parity_ok ? "true" : "false",
+               r.stats.attempts_launched, r.stats.attempts_failed,
+               r.stats.speculative_attempts, last ? "" : ",");
+}
+
+int Run(const BenchConfig& config) {
+  if (!EnsureDirectory(config.dir).ok()) {
+    std::fprintf(stderr, "cannot create artifact dir %s\n",
+                 config.dir.c_str());
+    return 1;
+  }
+  std::printf("corpus: %d users x %d items, degree %d...\n", config.users,
+              config.items, config.degree);
+  Stopwatch corpus_clock;
+  const RatingMatrix matrix = GenerateCorpus(config);
+  const double corpus_seconds = corpus_clock.ElapsedSeconds();
+
+  const DistWorkerOptions worker = WorkerOptions();
+  const PairwiseSimilarityEngine engine(&matrix, worker.similarity, {});
+  Stopwatch engine_clock;
+  auto reference = engine.BuildPeerIndex(worker.peers);
+  const double engine_seconds = engine_clock.ElapsedSeconds();
+  if (!reference.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("single-process engine: %lld entries in %.2f s\n",
+              static_cast<long long>(reference->num_entries()),
+              engine_seconds);
+
+  std::vector<RunResult> runs;
+  for (const int32_t partitions : kPartitionCounts) {
+    RunResult r;
+    if (const int rc =
+            RunOnce(matrix, *reference, config, partitions, false, r);
+        rc != 0) {
+      return rc;
+    }
+    runs.push_back(r);
+  }
+  const double baseline_seconds = runs.front().wall_seconds;
+  double best_speedup = 0.0;
+  for (size_t i = 1; i < runs.size(); ++i) {
+    best_speedup =
+        std::max(best_speedup, baseline_seconds / runs[i].wall_seconds);
+  }
+
+  // Recovery overhead: the widest layout, with the seeded kill schedule.
+  RunResult faulty;
+  if (const int rc = RunOnce(matrix, *reference, config,
+                             kPartitionCounts[3], true, faulty);
+      rc != 0) {
+    return rc;
+  }
+  const double clean_wall = runs.back().wall_seconds;
+  const double recovery_overhead =
+      faulty.wall_seconds / clean_wall - 1.0;
+  std::printf("recovery overhead at %.0f%% failure rate: %.1f%% "
+              "(%d attempts failed)\n",
+              config.failure_rate * 100.0, recovery_overhead * 100.0,
+              faulty.stats.attempts_failed);
+
+  bool all_parity = faulty.parity_ok;
+  for (const RunResult& r : runs) all_parity = all_parity && r.parity_ok;
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"distbuild\",\n"
+               "  \"seed\": %llu,\n"
+               "  \"num_users\": %d,\n"
+               "  \"num_items\": %d,\n"
+               "  \"degree\": %d,\n"
+               "  \"corpus_seconds\": %.6f,\n"
+               "  \"engine_seconds\": %.6f,\n"
+               "  \"engine_entries\": %lld,\n"
+               "  \"engine_fingerprint\": \"0x%016llx\",\n"
+               "  \"runs\": [\n",
+               static_cast<unsigned long long>(config.seed), config.users,
+               config.items, config.degree, corpus_seconds, engine_seconds,
+               static_cast<long long>(reference->num_entries()),
+               static_cast<unsigned long long>(FingerprintIndex(*reference)));
+  for (size_t i = 0; i < runs.size(); ++i) {
+    WriteRunJson(out, runs[i], baseline_seconds, i + 1 == runs.size());
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"best_speedup_vs_single\": %.4f,\n"
+               "  \"recovery\": {\n"
+               "    \"failure_rate\": %.4f,\n"
+               "    \"partitions\": %d,\n"
+               "    \"wall_seconds\": %.6f,\n"
+               "    \"clean_wall_seconds\": %.6f,\n"
+               "    \"overhead_fraction\": %.4f,\n"
+               "    \"attempts_launched\": %d,\n"
+               "    \"attempts_failed\": %d,\n"
+               "    \"parity_ok\": %s\n"
+               "  },\n"
+               "  \"all_parity_ok\": %s\n"
+               "}\n",
+               best_speedup, config.failure_rate, faulty.partitions,
+               faulty.wall_seconds, clean_wall, recovery_overhead,
+               faulty.stats.attempts_launched, faulty.stats.attempts_failed,
+               faulty.parity_ok ? "true" : "false",
+               all_parity ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+
+  if (config.check_parity && !all_parity) {
+    std::fprintf(stderr,
+                 "FAIL: a distributed build disagrees with the "
+                 "single-process engine\n");
+    return 2;
+  }
+  if (config.check_speedup_min > 0.0 &&
+      best_speedup < config.check_speedup_min) {
+    std::fprintf(stderr,
+                 "FAIL: best multi-worker speedup %.3fx below the gate "
+                 "%.3fx\n",
+                 best_speedup, config.check_speedup_min);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairrec
+
+int main(int argc, char** argv) {
+  fairrec::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--users") {
+      config.users = std::atoi(next());
+    } else if (arg == "--items") {
+      config.items = std::atoi(next());
+    } else if (arg == "--degree") {
+      config.degree = std::atoi(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--dir") {
+      config.dir = next();
+    } else if (arg == "--failure-rate") {
+      config.failure_rate = std::atof(next());
+    } else if (arg == "--max-attempts") {
+      config.max_attempts = std::atoi(next());
+    } else if (arg == "--check-parity") {
+      config.check_parity = true;
+    } else if (arg == "--check-speedup-min") {
+      config.check_speedup_min = std::atof(next());
+    } else if (arg == "--out") {
+      config.out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config.users < 2 || config.items < 1 || config.degree < 1 ||
+      config.degree > config.items || config.failure_rate < 0.0 ||
+      config.failure_rate >= 1.0 || config.max_attempts < 4) {
+    std::fprintf(stderr, "invalid configuration\n");
+    return 1;
+  }
+  return fairrec::Run(config);
+}

@@ -177,6 +177,9 @@ Status WriteBlobFileAtomic(const std::string& path, uint32_t type_tag,
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::IOError(ErrnoMessage("rename", tmp));
   }
+  if (failpoint::Triggered(kFailpointBlobWriteBeforeDirSync)) {
+    return failpoint::InjectedCrash(kFailpointBlobWriteBeforeDirSync);
+  }
   // The rename itself must be durable: fsync the containing directory.
   FAIRREC_RETURN_NOT_OK(FsyncPath(DirectoryOf(path), /*directory=*/true));
 

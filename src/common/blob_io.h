@@ -44,6 +44,15 @@ inline constexpr std::string_view kFailpointBlobWriteBegin = "blob.write.begin";
 inline constexpr std::string_view kFailpointBlobWriteTorn = "blob.write.torn";
 inline constexpr std::string_view kFailpointBlobWriteBeforeRename =
     "blob.write.before_rename";
+/// Between the rename and the directory fsync: the new name is in the page
+/// cache but the directory entry is not yet durable, so a power cut here can
+/// silently un-commit an artifact the caller was about to acknowledge. The
+/// site makes the rename/dir-fsync gap walkable by the kill-point suite —
+/// note that unlike the earlier crash sites, the renamed file *is* present
+/// after this crash, so recovery must tolerate "reported failure, artifact
+/// valid".
+inline constexpr std::string_view kFailpointBlobWriteBeforeDirSync =
+    "blob.write.before_dirsync";
 inline constexpr std::string_view kFailpointBlobWriteBitFlip =
     "blob.write.bit_flip";
 

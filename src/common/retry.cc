@@ -1,0 +1,75 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace fairrec {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  int64_t NowMillis() override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepMillis(int64_t millis) override {
+    if (millis > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+    }
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock* const clock = new RealClock();
+  return clock;
+}
+
+void FakeClock::SleepMillis(int64_t millis) {
+  AdvanceMillis(millis);
+  // Let threads blocked on real primitives run while virtual time passes —
+  // the seam a fake-clock coordinator test leans on to observe stragglers.
+  std::this_thread::yield();
+}
+
+int64_t BackoffMillis(const RetryPolicy& policy, int32_t failures) {
+  FAIRREC_CHECK(failures >= 1);
+  FAIRREC_CHECK(policy.initial_backoff_millis > 0);
+  FAIRREC_CHECK(policy.backoff_multiplier >= 1.0);
+  FAIRREC_CHECK(policy.max_backoff_millis >= policy.initial_backoff_millis);
+  // Multiply up in double with an early cap check: the product reaches the
+  // cap long before it could overflow, and the loop keeps the schedule
+  // exactly hand-computable (no pow() rounding surprises).
+  double backoff = static_cast<double>(policy.initial_backoff_millis);
+  const auto cap = static_cast<double>(policy.max_backoff_millis);
+  for (int32_t f = 1; f < failures && backoff < cap; ++f) {
+    backoff *= policy.backoff_multiplier;
+  }
+  backoff = std::min(backoff, cap);
+  return std::llround(backoff);
+}
+
+int64_t BackoffWithJitterMillis(const RetryPolicy& policy, int32_t failures,
+                                Rng& rng) {
+  FAIRREC_CHECK(policy.jitter_fraction >= 0.0 && policy.jitter_fraction <= 1.0);
+  const int64_t base = BackoffMillis(policy, failures);
+  // One draw regardless of jitter, so a jitter-free policy replays the same
+  // Rng stream as a jittered one.
+  const double unit = rng.NextDouble();  // [0, 1)
+  if (policy.jitter_fraction == 0.0) return base;
+  const double spread = policy.jitter_fraction * (2.0 * unit - 1.0);  // [-j, j)
+  const double jittered = static_cast<double>(base) * (1.0 + spread);
+  const double ceiling = static_cast<double>(policy.max_backoff_millis) *
+                         (1.0 + policy.jitter_fraction);
+  return std::llround(std::clamp(jittered, 0.0, ceiling));
+}
+
+}  // namespace fairrec

@@ -1,0 +1,94 @@
+#ifndef FAIRREC_COMMON_RETRY_H_
+#define FAIRREC_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/random.h"
+
+namespace fairrec {
+
+/// Wall-clock seam for retry/backoff logic. Production code talks to the
+/// process clock through this interface so tests (and the distributed-build
+/// coordinator's unit suite) can substitute a FakeClock and walk timeout +
+/// backoff schedules deterministically, in virtual time, with no real sleeps.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic milliseconds. Only differences are meaningful; the epoch is
+  /// unspecified (the real clock uses steady_clock).
+  virtual int64_t NowMillis() = 0;
+
+  /// Blocks the calling thread for `millis` (no-op when <= 0).
+  virtual void SleepMillis(int64_t millis) = 0;
+
+  /// The process-wide real monotonic clock (never null, never destroyed).
+  static Clock* Real();
+};
+
+/// Deterministic clock: SleepMillis advances virtual time instead of
+/// blocking, so a retry schedule that would wait minutes of wall time runs
+/// in microseconds. Thread-safe — a coordinator's control loop and a test
+/// driving AdvanceMillis may race benignly.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(int64_t start_millis = 0) : now_millis_(start_millis) {}
+
+  int64_t NowMillis() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_millis_;
+  }
+
+  /// Advances virtual time by `millis` and yields the thread once, so
+  /// worker threads blocked on real primitives still make progress while a
+  /// control loop "sleeps".
+  void SleepMillis(int64_t millis) override;
+
+  /// Test-side advance (identical to SleepMillis without the yield).
+  void AdvanceMillis(int64_t millis) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (millis > 0) now_millis_ += millis;
+  }
+
+ private:
+  std::mutex mu_;
+  int64_t now_millis_ = 0;
+};
+
+/// Capped exponential backoff: how a failed task is re-tried.
+///
+/// After the f-th consecutive failure (f >= 1) the caller waits
+///
+///   min(initial_backoff_millis * backoff_multiplier^(f-1), max_backoff_millis)
+///
+/// optionally spread by +-jitter_fraction (uniform, off the caller's seeded
+/// Rng — deterministic for a fixed seed, decorrelated across tasks that use
+/// distinct seeds). max_attempts bounds the total tries of one task: the
+/// first attempt plus max_attempts - 1 retries; when it is exhausted the
+/// task's last error becomes permanent.
+struct RetryPolicy {
+  int32_t max_attempts = 4;
+  int64_t initial_backoff_millis = 100;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_millis = 10'000;
+  /// 0 disables jitter; 0.5 spreads each wait uniformly over
+  /// [0.5 * backoff, 1.5 * backoff]. Must be in [0, 1].
+  double jitter_fraction = 0.0;
+};
+
+/// The deterministic (jitter-free) wait after `failures` consecutive
+/// failures. Precondition: failures >= 1 and a sane policy (positive initial
+/// backoff, multiplier >= 1, cap >= initial).
+int64_t BackoffMillis(const RetryPolicy& policy, int32_t failures);
+
+/// BackoffMillis spread by the policy's jitter_fraction using one draw from
+/// `rng`. Consumes exactly one NextDouble() even when jitter is disabled, so
+/// schedules stay aligned across policies that differ only in jitter. The
+/// result is clamped to [0, max_backoff_millis * (1 + jitter_fraction)].
+int64_t BackoffWithJitterMillis(const RetryPolicy& policy, int32_t failures,
+                                Rng& rng);
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_COMMON_RETRY_H_

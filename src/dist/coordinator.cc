@@ -1,0 +1,312 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/blob_io.h"
+#include "common/failpoint.h"
+
+namespace fairrec {
+
+namespace {
+
+Status DefaultWorker(const RatingMatrix& matrix,
+                     const PartitionDescriptor& partition, int32_t attempt,
+                     const DistWorkerOptions& options,
+                     const std::string& path) {
+  FAIRREC_ASSIGN_OR_RETURN(
+      PartialPeerArtifact artifact,
+      BuildPartialPeerArtifact(matrix, partition, attempt, options));
+  return artifact.WriteFile(path);
+}
+
+/// Worker-level errors that a retry can plausibly fix: simulated process
+/// deaths, transient I/O, corrupt output, exhausted resources. Anything else
+/// (notably InvalidArgument) is a bug in the inputs and fails the build.
+bool IsRetryable(const Status& status) {
+  return failpoint::IsInjectedCrash(status) || status.IsIOError() ||
+         status.IsDataLoss() || status.IsResourceExhausted();
+}
+
+}  // namespace
+
+DistBuildCoordinator::DistBuildCoordinator(const RatingMatrix* matrix,
+                                           DistBuildOptions options)
+    : matrix_(matrix),
+      options_(std::move(options)),
+      worker_fn_(DefaultWorker),
+      jitter_rng_(options_.retry_jitter_seed) {}
+
+void DistBuildCoordinator::set_worker_fn(DistWorkerFn worker_fn) {
+  worker_fn_ = std::move(worker_fn);
+}
+
+Result<DistBuildResult> DistBuildCoordinator::Run() {
+  auto result = RunInternal();
+  // Every launched attempt must be reaped before Run returns, whatever the
+  // outcome — late straggler results after this point would dangle.
+  JoinWorkers();
+  return result;
+}
+
+Result<DistBuildResult> DistBuildCoordinator::RunInternal() {
+  if (options_.num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  if (options_.artifact_dir.empty()) {
+    return Status::InvalidArgument("artifact_dir is required");
+  }
+  if (options_.retry.max_attempts < 1) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+  }
+  if (options_.worker_slots == 0) {
+    options_.worker_slots = static_cast<size_t>(options_.num_partitions);
+  }
+  clock_ = options_.clock != nullptr ? options_.clock : Clock::Real();
+  FAIRREC_RETURN_NOT_OK(EnsureDirectory(options_.artifact_dir));
+  fingerprint_ = FingerprintCorpus(*matrix_);
+  tasks_.assign(static_cast<size_t>(options_.num_partitions), TaskState{});
+
+  if (options_.reuse_existing_artifacts) ReuseExistingArtifacts();
+
+  // Build -> merge, re-entering the build loop when the merge's re-read
+  // catches an artifact that went bad after validation (requeued like any
+  // other corruption). The pass budget mirrors the per-task retry budget.
+  for (int32_t pass = 0; pass < options_.retry.max_attempts; ++pass) {
+    FAIRREC_RETURN_NOT_OK(RunBuildLoop());
+    stats_.merge_passes += 1;
+    std::vector<std::string> paths;
+    paths.reserve(tasks_.size());
+    for (const TaskState& task : tasks_) paths.push_back(task.artifact_path);
+    auto merged = MergePartialArtifactFiles(paths);
+    if (merged.ok()) {
+      DistBuildResult result;
+      result.index = std::move(*merged);
+      result.stats = stats_;
+      result.artifact_paths = std::move(paths);
+      return result;
+    }
+    // An injected crash in the merge is the coordinator's own death: fail
+    // the run as a kill would; the next Run recovers through artifact reuse.
+    if (failpoint::IsInjectedCrash(merged.status())) return merged.status();
+    if (!merged.status().IsDataLoss()) return merged.status();
+    InvalidateCorruptArtifacts();
+  }
+  return Status::DataLoss("merge kept finding corrupt artifacts after " +
+                          std::to_string(options_.retry.max_attempts) +
+                          " passes");
+}
+
+void DistBuildCoordinator::ReuseExistingArtifacts() {
+  for (int32_t p = 0; p < options_.num_partitions; ++p) {
+    TaskState& task = tasks_[static_cast<size_t>(p)];
+    const PartitionDescriptor expected =
+        MakePartition(p, options_.num_partitions, matrix_->num_users());
+    for (int32_t attempt = 0; attempt < options_.retry.max_attempts;
+         ++attempt) {
+      const std::string path = PathFor(p, attempt);
+      if (!PathExists(path)) continue;
+      auto artifact = PartialPeerArtifact::ReadFile(path);
+      if (!artifact.ok()) {
+        stats_.artifacts_rejected += 1;
+        (void)RemovePath(path);
+        continue;
+      }
+      const PartialArtifactManifest& m = artifact->manifest;
+      if (!(m.fingerprint == fingerprint_) || !(m.partition == expected) ||
+          m.similarity.min_overlap != options_.worker.similarity.min_overlap ||
+          m.similarity.intersection_means !=
+              options_.worker.similarity.intersection_means ||
+          m.similarity.shift_to_unit_interval !=
+              options_.worker.similarity.shift_to_unit_interval ||
+          m.peers.delta != options_.worker.peers.delta ||
+          m.peers.max_peers_per_user !=
+              options_.worker.peers.max_peers_per_user) {
+        stats_.stale_artifacts_ignored += 1;
+        (void)RemovePath(path);
+        continue;
+      }
+      task.done = true;
+      task.done_attempt = attempt;
+      task.artifact_path = path;
+      task.relaunch_pending = false;
+      task.next_attempt = attempt + 1;
+      stats_.artifacts_reused += 1;
+      break;
+    }
+  }
+}
+
+Status DistBuildCoordinator::RunBuildLoop() {
+  while (true) {
+    bool all_done = true;
+    for (const TaskState& task : tasks_) {
+      if (!task.permanent.ok()) return task.permanent;
+      if (!task.done) all_done = false;
+    }
+    if (all_done) return Status::OK();
+
+    bool progressed = false;
+    std::deque<Event> events;
+    {
+      std::lock_guard<std::mutex> lock(events_mu_);
+      events.swap(events_);
+    }
+    for (const Event& event : events) {
+      HandleEvent(event);
+      progressed = true;
+    }
+    if (LaunchReady()) progressed = true;
+    if (!progressed) clock_->SleepMillis(options_.poll_interval_millis);
+  }
+}
+
+void DistBuildCoordinator::HandleEvent(const Event& event) {
+  TaskState& task = tasks_[static_cast<size_t>(event.partition)];
+  const auto running = std::find_if(
+      task.running.begin(), task.running.end(),
+      [&](const Attempt& a) { return a.attempt == event.attempt; });
+  if (running != task.running.end()) {
+    task.running.erase(running);
+    running_attempts_ -= 1;
+  }
+  // A result for an already-complete partition is a late straggler losing
+  // the speculation race; its artifact (if it produced one) is exactly the
+  // duplicate the merge's (partition, attempt) dedup exists for.
+  if (task.done) return;
+
+  if (event.status.ok()) {
+    // Trust nothing a worker reports: adopt the artifact only after it
+    // re-reads clean and matches this build's identity.
+    const std::string path = PathFor(event.partition, event.attempt);
+    auto artifact = PartialPeerArtifact::ReadFile(path);
+    if (!artifact.ok()) {
+      stats_.artifacts_rejected += 1;
+      (void)RemovePath(path);
+      RecordRetryableFailure(event.partition, artifact.status());
+      return;
+    }
+    const PartialArtifactManifest& m = artifact->manifest;
+    if (!(m.fingerprint == fingerprint_)) {
+      task.permanent = Status::InvalidArgument(
+          "partition " + std::to_string(event.partition) +
+          " emitted an artifact for a different corpus (fingerprint "
+          "mismatch)");
+      return;
+    }
+    const PartitionDescriptor expected = MakePartition(
+        event.partition, options_.num_partitions, matrix_->num_users());
+    if (!(m.partition == expected)) {
+      task.permanent = Status::InvalidArgument(
+          "partition " + std::to_string(event.partition) +
+          " emitted an artifact with the wrong partition descriptor");
+      return;
+    }
+    task.done = true;
+    task.done_attempt = event.attempt;
+    task.artifact_path = path;
+    task.relaunch_pending = false;
+    return;
+  }
+
+  if (IsRetryable(event.status)) {
+    RecordRetryableFailure(event.partition, event.status);
+  } else {
+    task.permanent = event.status;
+  }
+}
+
+void DistBuildCoordinator::RecordRetryableFailure(int32_t partition,
+                                                  const Status& status) {
+  TaskState& task = tasks_[static_cast<size_t>(partition)];
+  task.failures += 1;
+  stats_.attempts_failed += 1;
+  if (task.failures >= options_.retry.max_attempts) {
+    task.permanent = Status::ResourceExhausted(
+        "partition " + std::to_string(partition) + " failed after " +
+        std::to_string(task.failures) + " attempts; last error: " +
+        status.ToString());
+    return;
+  }
+  const int64_t backoff =
+      BackoffWithJitterMillis(options_.retry, task.failures, jitter_rng_);
+  stats_.backoff_waited_millis += backoff;
+  task.relaunch_pending = true;
+  task.not_before_millis = clock_->NowMillis() + backoff;
+}
+
+bool DistBuildCoordinator::LaunchReady() {
+  bool launched = false;
+  const int64_t now = clock_->NowMillis();
+  for (int32_t p = 0; p < options_.num_partitions; ++p) {
+    TaskState& task = tasks_[static_cast<size_t>(p)];
+    if (task.done || !task.permanent.ok()) continue;
+    if (running_attempts_ >= options_.worker_slots) break;
+    // At most two concurrent attempts per partition: the incumbent plus one
+    // speculative or replacement attempt.
+    if (task.running.size() >= 2) continue;
+    if (task.relaunch_pending) {
+      if (now < task.not_before_millis) continue;
+      LaunchAttempt(p);
+      task.relaunch_pending = false;
+      launched = true;
+    } else if (options_.task_timeout_millis > 0 && task.running.size() == 1 &&
+               now - task.running.front().started_millis >=
+                   options_.task_timeout_millis) {
+      stats_.speculative_attempts += 1;
+      LaunchAttempt(p);
+      launched = true;
+    }
+  }
+  return launched;
+}
+
+void DistBuildCoordinator::LaunchAttempt(int32_t partition) {
+  TaskState& task = tasks_[static_cast<size_t>(partition)];
+  const int32_t attempt = task.next_attempt++;
+  task.running.push_back({attempt, clock_->NowMillis()});
+  running_attempts_ += 1;
+  stats_.attempts_launched += 1;
+  workers_.emplace_back([this, partition, attempt] {
+    const PartitionDescriptor descriptor =
+        MakePartition(partition, options_.num_partitions, matrix_->num_users());
+    const std::string path = PathFor(partition, attempt);
+    Status status =
+        worker_fn_(*matrix_, descriptor, attempt, options_.worker, path);
+    std::lock_guard<std::mutex> lock(events_mu_);
+    events_.push_back({partition, attempt, std::move(status)});
+  });
+}
+
+void DistBuildCoordinator::InvalidateCorruptArtifacts() {
+  for (int32_t p = 0; p < options_.num_partitions; ++p) {
+    TaskState& task = tasks_[static_cast<size_t>(p)];
+    if (!task.done) continue;
+    auto artifact = PartialPeerArtifact::ReadFile(task.artifact_path);
+    if (artifact.ok() && artifact->manifest.fingerprint == fingerprint_) {
+      continue;
+    }
+    stats_.artifacts_rejected += 1;
+    (void)RemovePath(task.artifact_path);
+    task.done = false;
+    task.done_attempt = -1;
+    task.artifact_path.clear();
+    task.relaunch_pending = true;
+    task.not_before_millis = 0;
+  }
+}
+
+std::string DistBuildCoordinator::PathFor(int32_t partition,
+                                          int32_t attempt) const {
+  return options_.artifact_dir + "/" +
+         PartialArtifactFileName(partition, attempt);
+}
+
+void DistBuildCoordinator::JoinWorkers() {
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace fairrec

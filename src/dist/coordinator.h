@@ -1,0 +1,183 @@
+#ifndef FAIRREC_DIST_COORDINATOR_H_
+#define FAIRREC_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "dist/partial_artifact.h"
+#include "ratings/rating_matrix.h"
+#include "sim/peer_index.h"
+
+namespace fairrec {
+
+/// Distributed peer-graph build, stage 3: the failure-aware orchestrator.
+///
+/// DistBuildCoordinator runs one worker task per user partition (in-process
+/// threads here; `fairrec_cli build-worker` / `merge-partials` are the same
+/// protocol for the subprocess path), validates every emitted artifact by
+/// reading it back, merges, and hands out the PeerIndex that is byte-identical
+/// to the single-process BuildPeerIndex. The failure matrix it absorbs:
+///
+///   * worker crash (failpoint::InjectedCrash), I/O error, or resource
+///     exhaustion — retryable: the task is requeued under the capped
+///     exponential backoff of options.retry;
+///   * corrupt or truncated artifact (DataLoss, from the worker, the
+///     read-back validation, or the merge's re-read) — the bad file is
+///     deleted and the task requeued;
+///   * fingerprint / descriptor mismatch in a produced artifact
+///     (InvalidArgument) — wrong inputs, never retried: Run fails with the
+///     typed error;
+///   * straggler (no result within options.task_timeout_millis) — a
+///     speculative attempt with a fresh attempt id launches alongside;
+///     whichever finishes first wins, and the loser's late artifact is the
+///     duplicate the merge's (partition, attempt) dedup absorbs;
+///   * retry budget exhausted — Run fails with ResourceExhausted carrying
+///     the partition's last error;
+///   * coordinator death mid-merge (the dist.merge.consume failpoint) — Run
+///     returns the injected crash; a re-run recovers by adopting the
+///     already-valid artifacts from the directory instead of rebuilding.
+///
+/// All waiting goes through the injectable Clock (options.clock), so the
+/// whole schedule — backoffs, timeouts, speculation — is unit-testable in
+/// virtual time with a FakeClock and no real sleeps.
+///
+/// Run() blocks until every worker attempt it launched has returned (crashed
+/// attempts are simulated by Status, not detached threads), so a custom
+/// worker_fn must eventually return on every code path.
+
+/// Worker seam: computes partition `partition` of `matrix` under `options`
+/// and leaves the artifact at `path`. The default runs
+/// BuildPartialPeerArtifact + WriteFile in-process; tests and benches
+/// substitute fault-injecting or blocking wrappers.
+using DistWorkerFn = std::function<Status(
+    const RatingMatrix& matrix, const PartitionDescriptor& partition,
+    int32_t attempt, const DistWorkerOptions& options,
+    const std::string& path)>;
+
+struct DistBuildOptions {
+  /// Contiguous user partitions, one worker task each (>= 1).
+  int32_t num_partitions = 1;
+  /// Concurrent worker attempts (0 = num_partitions).
+  size_t worker_slots = 0;
+  /// Directory the partial artifacts live in (required; created if absent).
+  std::string artifact_dir;
+  /// Build knobs every worker shares.
+  DistWorkerOptions worker;
+  /// Per-partition retry budget + backoff schedule. max_attempts also bounds
+  /// the merge passes a corrupt-artifact requeue can trigger.
+  RetryPolicy retry;
+  /// Seed of the backoff jitter stream (deterministic for a fixed seed).
+  uint64_t retry_jitter_seed = 0x5eed;
+  /// Straggler threshold: a partition whose only running attempt is older
+  /// than this gets a speculative second attempt. 0 disables speculation.
+  int64_t task_timeout_millis = 0;
+  /// Control-loop sleep when idle (virtual time under a FakeClock).
+  int64_t poll_interval_millis = 1;
+  /// Clock seam; nullptr = Clock::Real().
+  Clock* clock = nullptr;
+  /// Adopt valid artifacts already in artifact_dir before launching any
+  /// worker — the recovery path after a coordinator death. Artifacts for a
+  /// different corpus or different options are stale garbage from an earlier
+  /// configuration and are deleted (counted in stale_artifacts_ignored);
+  /// corrupt ones are deleted and rebuilt.
+  bool reuse_existing_artifacts = true;
+};
+
+struct DistBuildStats {
+  int32_t attempts_launched = 0;
+  /// Retryable worker failures observed (crashes, I/O errors, rejected
+  /// artifacts).
+  int32_t attempts_failed = 0;
+  int32_t speculative_attempts = 0;
+  int32_t artifacts_reused = 0;
+  /// Artifacts that failed read-back validation (DataLoss) and were deleted.
+  int32_t artifacts_rejected = 0;
+  /// Pre-existing artifacts for a different corpus/options, deleted on
+  /// startup.
+  int32_t stale_artifacts_ignored = 0;
+  /// Merge passes run (> 1 when a merge-time DataLoss requeued a task).
+  int32_t merge_passes = 0;
+  /// Total backoff scheduled (virtual milliseconds under a FakeClock).
+  int64_t backoff_waited_millis = 0;
+};
+
+struct DistBuildResult {
+  /// Byte-identical to the single-process engine build at these options.
+  PeerIndex index;
+  DistBuildStats stats;
+  /// The validated artifact file per partition, in partition order.
+  std::vector<std::string> artifact_paths;
+};
+
+class DistBuildCoordinator {
+ public:
+  /// `matrix` must outlive the coordinator.
+  DistBuildCoordinator(const RatingMatrix* matrix, DistBuildOptions options);
+
+  /// Replaces the in-process worker (fault injection, subprocess dispatch).
+  void set_worker_fn(DistWorkerFn worker_fn);
+
+  /// Builds, validates, and merges. One-shot: construct a fresh coordinator
+  /// per run.
+  Result<DistBuildResult> Run();
+
+ private:
+  struct Event {
+    int32_t partition = 0;
+    int32_t attempt = 0;
+    Status status;
+  };
+  struct Attempt {
+    int32_t attempt = 0;
+    int64_t started_millis = 0;
+  };
+  struct TaskState {
+    bool done = false;
+    int32_t done_attempt = -1;
+    std::string artifact_path;
+    int32_t failures = 0;
+    int32_t next_attempt = 0;
+    /// A (re)launch is due once not_before_millis passes.
+    bool relaunch_pending = true;
+    int64_t not_before_millis = 0;
+    std::vector<Attempt> running;
+    Status permanent;  // OK while the task can still succeed
+  };
+
+  Result<DistBuildResult> RunInternal();
+  void ReuseExistingArtifacts();
+  Status RunBuildLoop();
+  void HandleEvent(const Event& event);
+  void RecordRetryableFailure(int32_t partition, const Status& status);
+  bool LaunchReady();
+  void LaunchAttempt(int32_t partition);
+  void InvalidateCorruptArtifacts();
+  std::string PathFor(int32_t partition, int32_t attempt) const;
+  void JoinWorkers();
+
+  const RatingMatrix* matrix_;
+  DistBuildOptions options_;
+  DistWorkerFn worker_fn_;
+  Clock* clock_ = nullptr;
+  Rng jitter_rng_;
+  CorpusFingerprint fingerprint_;
+  std::vector<TaskState> tasks_;
+  DistBuildStats stats_;
+  size_t running_attempts_ = 0;
+
+  std::vector<std::thread> workers_;
+  std::mutex events_mu_;
+  std::deque<Event> events_;
+};
+
+}  // namespace fairrec
+
+#endif  // FAIRREC_DIST_COORDINATOR_H_

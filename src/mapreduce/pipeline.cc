@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cf/top_k.h"
+#include "dist/partial_artifact.h"
 
 namespace fairrec {
 
@@ -65,6 +66,21 @@ Result<PipelineResult> GroupRecommendationPipeline::Run(
     candidate_items = std::move(job1.candidate_items);
   }
   result.num_similarity_pairs = result.peer_index.num_entries();
+
+  // Optional durable commit of the Job 2 artifact: a single-slice
+  // PartialPeerArtifact, so the pipeline's peer graph enters the distributed
+  // merge protocol unchanged (see PipelineOptions::artifact_path).
+  if (!options_.artifact_path.empty()) {
+    PartialPeerArtifact artifact;
+    artifact.manifest.fingerprint = FingerprintCorpus(matrix);
+    artifact.manifest.partition = MakePartition(0, 1, matrix.num_users());
+    artifact.manifest.attempt = 0;
+    artifact.manifest.similarity = options_.similarity;
+    artifact.manifest.peers = result.peer_index.options();
+    artifact.rows = result.peer_index;
+    FAIRREC_RETURN_NOT_OK(artifact.WriteFile(options_.artifact_path));
+    result.artifact_path = options_.artifact_path;
+  }
 
   // Job 3: Eq. 1 per member + Def. 2 group relevance, straight off the
   // peer-list artifact (no per-pair re-sort).

@@ -45,6 +45,13 @@ struct PipelineOptions {
   std::string shuffle_spill_dir;
   MapReduceOptions mapreduce;
   FairnessHeuristicOptions heuristic;
+  /// When non-empty, Job 2's peer-list artifact is additionally committed to
+  /// this path as a single-slice PartialPeerArtifact (partition 0 of 1,
+  /// attempt 0) under the checksummed blob container — the bridge from the
+  /// §IV flow into the distributed merge protocol (dist/partial_artifact.h):
+  /// the emitted file round-trips through PartialPeerArtifact::ReadFile and
+  /// is admissible to MergePartialArtifacts as a complete one-slice set.
+  std::string artifact_path;
 };
 
 /// Everything a pipeline run produces, plus per-job instrumentation.
@@ -73,6 +80,9 @@ struct PipelineResult {
   /// External-sort accounting of the budgeted boundary (all zeros when
   /// max_shuffle_bytes == 0 and the classic in-memory layout ran).
   MomentShuffleStats shuffle_stats;
+  /// Where the peer-list artifact was committed (empty when
+  /// PipelineOptions::artifact_path was not set).
+  std::string artifact_path;
 };
 
 /// The paper's §IV flow, end to end:

@@ -1,0 +1,125 @@
+// RetryPolicy schedule tests: the backoff sequence is hand-computed, the
+// jitter is bounded and seed-deterministic, and the FakeClock is a real
+// virtual-time seam (sleeps advance, never block).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/retry.h"
+
+namespace fairrec {
+namespace {
+
+TEST(RetryPolicyTest, HandComputedScheduleWithCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_millis = 1000;
+  // 100, 200, 400, 800, then the cap holds: 1000, 1000, ...
+  const std::vector<int64_t> expected = {100, 200, 400, 800, 1000, 1000, 1000};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(BackoffMillis(policy, static_cast<int32_t>(i) + 1), expected[i])
+        << "failure " << i + 1;
+  }
+}
+
+TEST(RetryPolicyTest, MultiplierOneIsConstantBackoff) {
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 250;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_millis = 10'000;
+  for (const int32_t failures : {1, 2, 5, 50}) {
+    EXPECT_EQ(BackoffMillis(policy, failures), 250);
+  }
+}
+
+TEST(RetryPolicyTest, FractionalMultiplierSchedule) {
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 100;
+  policy.backoff_multiplier = 1.5;
+  policy.max_backoff_millis = 400;
+  // 100, 150, 225, 337 (llround of 337.5 banker-free: 338), capped at 400.
+  EXPECT_EQ(BackoffMillis(policy, 1), 100);
+  EXPECT_EQ(BackoffMillis(policy, 2), 150);
+  EXPECT_EQ(BackoffMillis(policy, 3), 225);
+  EXPECT_EQ(BackoffMillis(policy, 4), 338);
+  EXPECT_EQ(BackoffMillis(policy, 5), 400);
+  EXPECT_EQ(BackoffMillis(policy, 6), 400);
+}
+
+TEST(RetryPolicyTest, HugeFailureCountSaturatesAtTheCapWithoutOverflow) {
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 100;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_millis = 5000;
+  EXPECT_EQ(BackoffMillis(policy, 1000), 5000);
+}
+
+TEST(RetryPolicyTest, JitterOffReturnsTheBaseAndStillConsumesTheStream) {
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_millis = 1000;
+  policy.jitter_fraction = 0.0;
+  Rng rng(42);
+  Rng parallel(42);
+  (void)parallel.NextDouble();
+  EXPECT_EQ(BackoffWithJitterMillis(policy, 1, rng), 100);
+  // Exactly one draw was consumed: the two streams now agree.
+  EXPECT_EQ(rng.NextDouble(), parallel.NextDouble());
+}
+
+TEST(RetryPolicyTest, JitterIsBoundedAndSeedDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_millis = 1000;
+  policy.jitter_fraction = 0.25;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int32_t failures = 1; failures <= 8; ++failures) {
+    const int64_t base = BackoffMillis(policy, failures);
+    const int64_t jittered = BackoffWithJitterMillis(policy, failures, rng_a);
+    // |jittered - base| <= jitter_fraction * base (+1 for rounding).
+    EXPECT_GE(jittered, base - base / 4 - 1) << "failure " << failures;
+    EXPECT_LE(jittered, base + base / 4 + 1) << "failure " << failures;
+    EXPECT_GE(jittered, 0);
+    // Same seed, same schedule.
+    EXPECT_EQ(jittered, BackoffWithJitterMillis(policy, failures, rng_b));
+  }
+}
+
+TEST(FakeClockTest, SleepAdvancesVirtualTimeWithoutBlocking) {
+  FakeClock clock;
+  const int64_t start = clock.NowMillis();
+  clock.SleepMillis(10'000'000);  // ~2.8 real hours if this actually slept
+  EXPECT_EQ(clock.NowMillis(), start + 10'000'000);
+}
+
+TEST(FakeClockTest, AdvanceIsVisibleAcrossThreads) {
+  FakeClock clock;
+  std::atomic<bool> observed{false};
+  std::thread watcher([&] {
+    while (clock.NowMillis() < 500) std::this_thread::yield();
+    observed.store(true);
+  });
+  clock.AdvanceMillis(600);
+  watcher.join();
+  EXPECT_TRUE(observed.load());
+  EXPECT_EQ(clock.NowMillis(), 600);
+}
+
+TEST(RealClockTest, MonotoneAndActuallySleeps) {
+  Clock* clock = Clock::Real();
+  const int64_t before = clock->NowMillis();
+  clock->SleepMillis(5);
+  const int64_t after = clock->NowMillis();
+  EXPECT_GE(after - before, 5);
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -1,0 +1,345 @@
+// PartialPeerArtifact contract tests: the wire round-trip, the manifest
+// validations, and above all the merge-parity theorem — MergePartialArtifacts
+// over any partition layout reproduces the single-process
+// PairwiseSimilarityEngine::BuildPeerIndex byte for byte, capped or not,
+// with duplicate and speculative partials deduped away.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/blob_io.h"
+#include "common/random.h"
+#include "dist/partial_artifact.h"
+#include "mapreduce/pipeline.h"
+#include "ratings/rating_matrix.h"
+#include "sim/pairwise_engine.h"
+#include "sim/peer_index.h"
+
+namespace fairrec {
+namespace {
+
+RatingMatrix Corpus(int32_t num_users, int32_t num_items, uint64_t seed,
+                    double density = 0.4) {
+  RatingMatrixBuilder builder;
+  Rng rng(seed);
+  for (UserId u = 0; u < num_users; ++u) {
+    for (ItemId i = 0; i < num_items; ++i) {
+      if (rng.NextBool(density)) {
+        EXPECT_TRUE(
+            builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+std::vector<PartialPeerArtifact> BuildAllPartials(
+    const RatingMatrix& matrix, int32_t count,
+    const DistWorkerOptions& options) {
+  std::vector<PartialPeerArtifact> partials;
+  for (int32_t p = 0; p < count; ++p) {
+    auto artifact = BuildPartialPeerArtifact(
+        matrix, MakePartition(p, count, matrix.num_users()), /*attempt=*/0,
+        options);
+    EXPECT_TRUE(artifact.ok()) << artifact.status().ToString();
+    partials.push_back(std::move(*artifact));
+  }
+  return partials;
+}
+
+PeerIndex ReferenceIndex(const RatingMatrix& matrix,
+                         const DistWorkerOptions& options) {
+  const PairwiseSimilarityEngine engine(&matrix, options.similarity, {});
+  return std::move(engine.BuildPeerIndex(options.peers)).ValueOrDie();
+}
+
+TEST(MakePartitionTest, TilesTheUserRangeEvenly) {
+  for (const int32_t num_users : {0, 1, 7, 8, 100}) {
+    for (const int32_t count : {1, 2, 3, 8, 11}) {
+      UserId expected_first = 0;
+      for (int32_t p = 0; p < count; ++p) {
+        const PartitionDescriptor slice = MakePartition(p, count, num_users);
+        EXPECT_EQ(slice.index, p);
+        EXPECT_EQ(slice.count, count);
+        EXPECT_EQ(slice.user_first, expected_first);
+        EXPECT_GE(slice.user_last, slice.user_first);
+        expected_first = slice.user_last;
+      }
+      EXPECT_EQ(expected_first, num_users)
+          << num_users << " users, " << count << " partitions";
+    }
+  }
+}
+
+TEST(PartialPeerArtifactTest, SerializeRoundTripsExactly) {
+  const RatingMatrix matrix = Corpus(20, 12, 0xd157);
+  DistWorkerOptions options;
+  options.peers.delta = 0.05;
+  options.peers.max_peers_per_user = 5;
+  auto artifact = BuildPartialPeerArtifact(
+      matrix, MakePartition(1, 3, matrix.num_users()), /*attempt=*/2, options);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  ASSERT_GT(artifact->rows.num_entries(), 0);
+
+  std::string bytes;
+  artifact->SerializeTo(bytes);
+  auto parsed = PartialPeerArtifact::Deserialize(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->manifest.fingerprint == artifact->manifest.fingerprint);
+  EXPECT_TRUE(parsed->manifest.partition == artifact->manifest.partition);
+  EXPECT_EQ(parsed->manifest.attempt, 2);
+  EXPECT_TRUE(parsed->rows == artifact->rows);
+}
+
+TEST(PartialPeerArtifactTest, FileRoundTripAndTypedReadErrors) {
+  const RatingMatrix matrix = Corpus(16, 10, 0xf11e);
+  DistWorkerOptions options;
+  options.peers.delta = 0.05;
+  auto artifact = BuildPartialPeerArtifact(
+      matrix, MakePartition(0, 1, matrix.num_users()), /*attempt=*/0, options);
+  ASSERT_TRUE(artifact.ok());
+
+  const std::string dir = testing::TempDir() + "/fairrec_dist_artifact";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = dir + "/" + PartialArtifactFileName(0, 0);
+  ASSERT_TRUE(artifact->WriteFile(path).ok());
+
+  auto read = PartialPeerArtifact::ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->rows == artifact->rows);
+
+  EXPECT_TRUE(
+      PartialPeerArtifact::ReadFile(dir + "/absent.blob").status().IsNotFound());
+  ASSERT_TRUE(RemovePath(path).ok());
+}
+
+TEST(PartialPeerArtifactTest, DeserializeRejectsCrossPartitionEntries) {
+  const RatingMatrix matrix = Corpus(18, 10, 0xc405);
+  DistWorkerOptions options;
+  options.peers.delta = 0.05;
+  auto artifact = BuildPartialPeerArtifact(
+      matrix, MakePartition(0, 2, matrix.num_users()), /*attempt=*/0, options);
+  ASSERT_TRUE(artifact.ok());
+  ASSERT_GT(artifact->rows.num_entries(), 0);
+
+  // Re-label the slice as partition 1's: the rows now carry pairs partition
+  // 1 does not own, which the ownership validation must refuse.
+  artifact->manifest.partition = MakePartition(1, 2, matrix.num_users());
+  std::string bytes;
+  artifact->SerializeTo(bytes);
+  const auto parsed = PartialPeerArtifact::Deserialize(bytes);
+  EXPECT_TRUE(parsed.status().IsDataLoss()) << parsed.status().ToString();
+}
+
+TEST(PartialPeerArtifactTest, ListsArtifactFilesSorted) {
+  const std::string dir = testing::TempDir() + "/fairrec_dist_list";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const RatingMatrix matrix = Corpus(10, 8, 0x115f);
+  DistWorkerOptions options;
+  for (const auto& [p, a] : {std::pair{1, 0}, {0, 2}, {0, 0}}) {
+    auto artifact = BuildPartialPeerArtifact(
+        matrix, MakePartition(p, 2, matrix.num_users()), a, options);
+    ASSERT_TRUE(artifact.ok());
+    ASSERT_TRUE(
+        artifact->WriteFile(dir + "/" + PartialArtifactFileName(p, a)).ok());
+  }
+  const auto listed = ListPartialArtifactFiles(dir);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 3u);
+  EXPECT_EQ((*listed)[0], dir + "/" + PartialArtifactFileName(0, 0));
+  EXPECT_EQ((*listed)[1], dir + "/" + PartialArtifactFileName(0, 2));
+  EXPECT_EQ((*listed)[2], dir + "/" + PartialArtifactFileName(1, 0));
+  for (const std::string& path : *listed) ASSERT_TRUE(RemovePath(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The merge-parity theorem, across layouts, caps, and block geometries.
+// ---------------------------------------------------------------------------
+
+TEST(MergePartialArtifactsTest, ByteIdenticalToEngineAtEveryLayout) {
+  const RatingMatrix matrix = Corpus(57, 23, 0x9a51);
+  for (const int32_t cap : {0, 4}) {
+    DistWorkerOptions options;
+    options.similarity.shift_to_unit_interval = true;
+    options.peers.delta = 0.5;
+    options.peers.max_peers_per_user = cap;
+    const PeerIndex reference = ReferenceIndex(matrix, options);
+    ASSERT_GT(reference.num_entries(), 0);
+    for (const int32_t count : {1, 2, 3, 4, 8}) {
+      const auto partials = BuildAllPartials(matrix, count, options);
+      auto merged = MergePartialArtifacts(partials);
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+      // Byte identity, proved on the wire: operator== plus serialized bytes.
+      EXPECT_TRUE(*merged == reference)
+          << count << " partitions, cap " << cap;
+      std::string merged_bytes;
+      merged->SerializeTo(merged_bytes);
+      std::string reference_bytes;
+      reference.SerializeTo(reference_bytes);
+      EXPECT_EQ(merged_bytes, reference_bytes)
+          << count << " partitions, cap " << cap;
+    }
+  }
+}
+
+TEST(MergePartialArtifactsTest, WorkerTileGeometryDoesNotChangeTheBytes) {
+  const RatingMatrix matrix = Corpus(41, 17, 0x7e0);
+  DistWorkerOptions options;
+  options.peers.delta = 0.1;
+  options.peers.max_peers_per_user = 6;
+  const PeerIndex reference = ReferenceIndex(matrix, options);
+  for (const int32_t block : {1, 3, 16, 512}) {
+    options.block_users = block;
+    auto merged = MergePartialArtifacts(BuildAllPartials(matrix, 3, options));
+    ASSERT_TRUE(merged.ok());
+    EXPECT_TRUE(*merged == reference) << "block_users " << block;
+  }
+}
+
+TEST(MergePartialArtifactsTest, UnevenAndDegenerateLayoutsMerge) {
+  // More partitions than users: the tail slices are empty and must still
+  // merge; a single-user corpus has no pairs at all.
+  const RatingMatrix tiny = Corpus(3, 6, 0x73a, /*density=*/0.9);
+  DistWorkerOptions options;
+  options.peers.delta = 0.0;
+  const PeerIndex reference = ReferenceIndex(tiny, options);
+  auto merged = MergePartialArtifacts(BuildAllPartials(tiny, 7, options));
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(*merged == reference);
+}
+
+TEST(MergePartialArtifactsTest, DuplicateAndSpeculativeAttemptsAreDeduped) {
+  const RatingMatrix matrix = Corpus(30, 14, 0xdead);
+  DistWorkerOptions options;
+  options.peers.delta = 0.1;
+  options.peers.max_peers_per_user = 4;
+  const PeerIndex reference = ReferenceIndex(matrix, options);
+  auto partials = BuildAllPartials(matrix, 3, options);
+  // A re-emitted duplicate of partition 1 and a speculative attempt 5 of
+  // partition 2 join the set; the merge keeps one artifact per partition.
+  partials.push_back(partials[1]);
+  auto speculative = BuildPartialPeerArtifact(
+      matrix, MakePartition(2, 3, matrix.num_users()), /*attempt=*/5, options);
+  ASSERT_TRUE(speculative.ok());
+  partials.push_back(std::move(*speculative));
+  auto merged = MergePartialArtifacts(partials);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(*merged == reference);
+}
+
+TEST(MergePartialArtifactsTest, TypedErrorsForInadmissibleSets) {
+  const RatingMatrix matrix = Corpus(24, 12, 0xbad);
+  DistWorkerOptions options;
+  options.peers.delta = 0.1;
+  auto partials = BuildAllPartials(matrix, 2, options);
+
+  EXPECT_TRUE(MergePartialArtifacts({}).status().IsInvalidArgument());
+
+  // Missing partition.
+  {
+    std::vector<PartialPeerArtifact> incomplete = {partials[0]};
+    EXPECT_TRUE(
+        MergePartialArtifacts(incomplete).status().IsInvalidArgument());
+  }
+  // Fingerprint mismatch: same shape, different ratings.
+  {
+    const RatingMatrix other = Corpus(24, 12, 0xbad ^ 1);
+    auto foreign = BuildPartialPeerArtifact(
+        other, MakePartition(1, 2, other.num_users()), 0, options);
+    ASSERT_TRUE(foreign.ok());
+    std::vector<PartialPeerArtifact> mixed = {partials[0],
+                                              std::move(*foreign)};
+    const auto merged = MergePartialArtifacts(mixed);
+    EXPECT_TRUE(merged.status().IsInvalidArgument())
+        << merged.status().ToString();
+  }
+  // Peer-option mismatch.
+  {
+    DistWorkerOptions other_options = options;
+    other_options.peers.delta = 0.2;
+    auto odd = BuildPartialPeerArtifact(
+        matrix, MakePartition(1, 2, matrix.num_users()), 0, other_options);
+    ASSERT_TRUE(odd.ok());
+    std::vector<PartialPeerArtifact> mixed = {partials[0], std::move(*odd)};
+    EXPECT_TRUE(MergePartialArtifacts(mixed).status().IsInvalidArgument());
+  }
+  // Partition-count mismatch.
+  {
+    auto lone = BuildPartialPeerArtifact(
+        matrix, MakePartition(0, 1, matrix.num_users()), 0, options);
+    ASSERT_TRUE(lone.ok());
+    std::vector<PartialPeerArtifact> mixed = {partials[0], std::move(*lone)};
+    EXPECT_TRUE(MergePartialArtifacts(mixed).status().IsInvalidArgument());
+  }
+}
+
+TEST(MergePartialArtifactFilesTest, MergesFromDiskAndFlagsCorruption) {
+  const RatingMatrix matrix = Corpus(26, 12, 0xf11e5);
+  DistWorkerOptions options;
+  options.peers.delta = 0.1;
+  const std::string dir = testing::TempDir() + "/fairrec_dist_merge_files";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  std::vector<std::string> paths;
+  for (int32_t p = 0; p < 2; ++p) {
+    auto artifact = BuildPartialPeerArtifact(
+        matrix, MakePartition(p, 2, matrix.num_users()), 0, options);
+    ASSERT_TRUE(artifact.ok());
+    paths.push_back(dir + "/" + PartialArtifactFileName(p, 0));
+    ASSERT_TRUE(artifact->WriteFile(paths.back()).ok());
+  }
+  auto merged = MergePartialArtifactFiles(paths);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(*merged == ReferenceIndex(matrix, options));
+
+  // Truncate one file: the merge must refuse with DataLoss naming the path.
+  std::string bytes;
+  {
+    auto read = PartialPeerArtifact::ReadFile(paths[1]);
+    ASSERT_TRUE(read.ok());
+    std::ofstream out(paths[1], std::ios::binary | std::ios::trunc);
+    out.write("torn", 4);
+  }
+  const auto corrupt = MergePartialArtifactFiles(paths);
+  EXPECT_TRUE(corrupt.status().IsDataLoss()) << corrupt.status().ToString();
+  for (const std::string& path : paths) ASSERT_TRUE(RemovePath(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce boundary: Job 2's peer-list output rides the same wire format.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineArtifactTest, PipelineEmitsItsPeerIndexAsASingleSliceArtifact) {
+  const RatingMatrix matrix = Corpus(22, 14, 0x9a9e, /*density=*/0.5);
+  const std::string dir = testing::TempDir() + "/fairrec_dist_pipeline";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = dir + "/" + PartialArtifactFileName(0, 0);
+  ASSERT_TRUE(RemovePath(path).ok());
+
+  PipelineOptions options;
+  options.delta = 0.3;
+  options.artifact_path = path;
+  const GroupRecommendationPipeline pipeline(options);
+  const auto result = pipeline.Run(matrix, {0, 1, 2}, /*z=*/4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->artifact_path, path);
+
+  auto artifact = PartialPeerArtifact::ReadFile(path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_TRUE(artifact->manifest.fingerprint == FingerprintCorpus(matrix));
+  EXPECT_EQ(artifact->manifest.partition.count, 1);
+  EXPECT_TRUE(artifact->rows == result->peer_index);
+
+  // A one-slice artifact merges to itself: the §IV flow's Job 2 output is a
+  // first-class citizen of the distributed merge protocol.
+  std::vector<PartialPeerArtifact> partials = {std::move(*artifact)};
+  auto merged = MergePartialArtifacts(partials);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(*merged == result->peer_index);
+  ASSERT_TRUE(RemovePath(path).ok());
+}
+
+}  // namespace
+}  // namespace fairrec

@@ -12,6 +12,7 @@
 
 #include "common/blob_io.h"
 #include "common/random.h"
+#include "dist/partial_artifact.h"
 #include "ratings/delta_journal.h"
 #include "ratings/rating_delta.h"
 #include "ratings/rating_matrix.h"
@@ -328,6 +329,86 @@ TEST(CorruptBlobTest, JournalCorruptionIsDataLossTearingIsNot) {
     EXPECT_EQ(journal->size_bytes(), clean.size());
     EXPECT_EQ(journal->recovered_torn_bytes(), 10u);
   }
+  ASSERT_TRUE(RemovePath(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Distributed-build artifacts: the naked PartialPeerArtifact bytes (manifest
+// + rows framing, ownership validation) and the blob-container file a worker
+// actually emits, attacked end to end through ReadFile.
+// ---------------------------------------------------------------------------
+
+PartialPeerArtifact CleanPartialArtifact(const RatingMatrix& matrix) {
+  DistWorkerOptions options;
+  options.peers.delta = 0.05;
+  options.peers.max_peers_per_user = 6;
+  auto artifact = BuildPartialPeerArtifact(
+      matrix, MakePartition(0, 2, matrix.num_users()), /*attempt=*/1, options);
+  EXPECT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_GT(artifact->rows.num_entries(), 0);
+  return std::move(*artifact);
+}
+
+TEST(CorruptBlobTest, PartialPeerArtifactDeserializeIsCorruptionSafe) {
+  const RatingMatrix matrix = CorpusMatrix();
+  const PartialPeerArtifact artifact = CleanPartialArtifact(matrix);
+  std::string bytes;
+  artifact.SerializeTo(bytes);
+  ProbeNakedArtifact(bytes, [](std::string_view b) {
+    return PartialPeerArtifact::Deserialize(b);
+  });
+  // Unlike the other naked artifacts, both sections here are CRC-framed, so
+  // bit flips are not merely "no UB": every single-bit flip must be refused.
+  for (const size_t pos : SamplePositions(bytes.size(), 400)) {
+    for (const uint8_t mask : {0x01, 0x80}) {
+      std::string flipped = bytes;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ mask);
+      const auto parsed = PartialPeerArtifact::Deserialize(flipped);
+      EXPECT_FALSE(parsed.ok()) << "bit flip at " << pos << " parsed";
+      if (!parsed.ok()) {
+        EXPECT_TRUE(parsed.status().IsDataLoss())
+            << "bit flip at " << pos << ": " << parsed.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(CorruptBlobTest, PartialArtifactFileCorruptionAlwaysSurfacesAsDataLoss) {
+  const std::string dir = testing::TempDir() + "/fairrec_robust_partial";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = dir + "/" + PartialArtifactFileName(0, 1);
+  const RatingMatrix matrix = CorpusMatrix();
+  const PartialPeerArtifact artifact = CleanPartialArtifact(matrix);
+  ASSERT_TRUE(artifact.WriteFile(path).ok());
+  const std::string clean = ReadRawFile(path);
+
+  for (const size_t len : SamplePositions(clean.size(), 150)) {
+    WriteRawFile(path, clean.substr(0, len));
+    const auto read = PartialPeerArtifact::ReadFile(path);
+    EXPECT_TRUE(read.status().IsDataLoss())
+        << "truncated to " << len << ": " << read.status().ToString();
+  }
+  for (const size_t pos : SamplePositions(clean.size(), 300)) {
+    std::string flipped = clean;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x08);
+    WriteRawFile(path, flipped);
+    const auto read = PartialPeerArtifact::ReadFile(path);
+    EXPECT_TRUE(read.status().IsDataLoss())
+        << "bit flip at " << pos << ": " << read.status().ToString();
+  }
+  WriteRawFile(path, clean + std::string(9, '\x41'));
+  EXPECT_TRUE(PartialPeerArtifact::ReadFile(path).status().IsDataLoss());
+  WriteRawFile(path, std::string(64, '\0'));
+  EXPECT_TRUE(PartialPeerArtifact::ReadFile(path).status().IsDataLoss());
+
+  // A corrupt file poisons a file-level merge with the same typed error (the
+  // coordinator keys its requeue on it), and the pristine file still reads.
+  const auto merged = MergePartialArtifactFiles({path});
+  EXPECT_TRUE(merged.status().IsDataLoss()) << merged.status().ToString();
+  WriteRawFile(path, clean);
+  const auto read = PartialPeerArtifact::ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->rows == artifact.rows);
   ASSERT_TRUE(RemovePath(path).ok());
 }
 

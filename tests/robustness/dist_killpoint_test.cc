@@ -1,0 +1,184 @@
+// Kill-point walk over the distributed-build protocol: a coordinator run is
+// dry-run once to enumerate every failpoint the worker emit / merge consume
+// path can die at (dist.worker.emit, dist.worker.finalize, dist.merge.consume,
+// plus every blob.write.* boundary the artifact writes pass through), then
+// re-run once per (site, k) with a crash injected at the k-th hit. Worker
+// deaths must self-heal inside one Run (requeue + retry); a merge-time death
+// is the coordinator's own, so Run fails with the injected crash and a fresh
+// coordinator over the same directory must recover through artifact reuse.
+// Every walk ends byte-identical to the single-process engine build.
+//
+// The fixture name keeps this walk inside CI's `-R KillpointRecoveryTest`
+// seed-matrix job.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/blob_io.h"
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "common/retry.h"
+#include "dist/coordinator.h"
+#include "dist/partial_artifact.h"
+#include "ratings/rating_matrix.h"
+#include "sim/pairwise_engine.h"
+
+namespace fairrec {
+namespace {
+
+#if FAIRREC_FAILPOINTS_ENABLED
+
+uint64_t ScriptSeed() {
+  const char* env = std::getenv("FAIRREC_KILLPOINT_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 0x5eedull;
+}
+
+RatingMatrix SeedMatrix(uint64_t seed) {
+  RatingMatrixBuilder builder;
+  Rng rng(seed);
+  for (UserId u = 0; u < 18; ++u) {
+    for (ItemId i = 0; i < 10; ++i) {
+      if (rng.NextBool(0.45)) {
+        EXPECT_TRUE(
+            builder.Add(u, i, static_cast<Rating>(rng.UniformInt(1, 5))).ok());
+      }
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+constexpr int32_t kPartitions = 3;
+
+DistBuildOptions BuildOptions(const std::string& dir, FakeClock* clock) {
+  DistBuildOptions options;
+  options.num_partitions = kPartitions;
+  // Serialized workers: the failpoint registry's hit order — and therefore
+  // the (site, k) enumeration — stays deterministic.
+  options.worker_slots = 1;
+  options.artifact_dir = dir;
+  options.worker.peers.delta = 0.1;
+  options.worker.peers.max_peers_per_user = 5;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff_millis = 10;
+  options.retry.max_backoff_millis = 100;
+  options.clock = clock;
+  return options;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/fairrec_distkill_" + name;
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  auto leftovers = ListPartialArtifactFiles(dir);
+  if (leftovers.ok()) {
+    for (const std::string& path : *leftovers) {
+      EXPECT_TRUE(RemovePath(path).ok());
+    }
+  }
+  return dir;
+}
+
+TEST(KillpointRecoveryTest, DistBuildDiesEverywhereAndStillMatchesTheEngine) {
+  const uint64_t seed = ScriptSeed();
+  const RatingMatrix matrix = SeedMatrix(seed);
+
+  const DistWorkerOptions worker = BuildOptions("unused", nullptr).worker;
+  const PairwiseSimilarityEngine engine(&matrix, worker.similarity, {});
+  const PeerIndex reference =
+      std::move(engine.BuildPeerIndex(worker.peers)).ValueOrDie();
+  ASSERT_GT(reference.num_entries(), 0);
+
+  // ---- Dry run: enumerate the kill opportunities of one clean build. ----
+  failpoint::Reset();
+  {
+    FakeClock clock;
+    const std::string dir = FreshDir("dry");
+    DistBuildCoordinator coordinator(&matrix, BuildOptions(dir, &clock));
+    auto dry = coordinator.Run();
+    ASSERT_TRUE(dry.ok()) << dry.status().ToString();
+    ASSERT_TRUE(dry->index == reference);
+  }
+  struct KillPoint {
+    std::string site;
+    int64_t hits;
+  };
+  std::vector<KillPoint> kill_points;
+  for (const std::string& site : failpoint::HitSites()) {
+    // Bit-flip is silent corruption, not a crash; its detection guarantee is
+    // covered by the corruption suites.
+    if (site == kFailpointBlobWriteBitFlip) continue;
+    kill_points.push_back({site, failpoint::HitCount(site)});
+  }
+  // The clean build must pass through all three dist protocol boundaries —
+  // once per partition — plus the blob container's own write boundaries.
+  for (const std::string_view site :
+       {kFailpointDistWorkerEmit, kFailpointDistWorkerFinalize,
+        kFailpointDistMergeConsume, kFailpointBlobWriteBegin,
+        kFailpointBlobWriteTorn, kFailpointBlobWriteBeforeRename,
+        kFailpointBlobWriteBeforeDirSync}) {
+    EXPECT_EQ(failpoint::HitCount(site), kPartitions)
+        << "site not hit once per partition in the dry run: " << site;
+  }
+
+  // ---- The walk. ----
+  int walks = 0;
+  for (const KillPoint& kp : kill_points) {
+    for (int64_t k = 0; k < kp.hits; ++k) {
+      const std::string label =
+          kp.site + "@" + std::to_string(k) + " seed " + std::to_string(seed);
+      const std::string dir = FreshDir("walk_" + std::to_string(walks));
+      ++walks;
+      failpoint::Reset();
+      failpoint::Arm(kp.site, k);
+
+      FakeClock clock;
+      int coordinator_deaths = 0;
+      Result<DistBuildResult> finished =
+          DistBuildCoordinator(&matrix, BuildOptions(dir, &clock)).Run();
+      while (!finished.ok()) {
+        // A worker death self-heals inside Run; only a merge-time death (the
+        // coordinator's own) may surface — anything else is a real bug.
+        ASSERT_TRUE(failpoint::IsInjectedCrash(finished.status()))
+            << label << ": " << finished.status().ToString();
+        ASSERT_LT(++coordinator_deaths, 3) << label;
+        finished = DistBuildCoordinator(&matrix, BuildOptions(dir, &clock)).Run();
+      }
+      ASSERT_GT(failpoint::HitCount(kp.site), k)
+          << label << ": armed site never fired";
+      EXPECT_TRUE(finished->index == reference) << label;
+      std::string got_bytes;
+      finished->index.SerializeTo(got_bytes);
+      std::string want_bytes;
+      reference.SerializeTo(want_bytes);
+      EXPECT_EQ(got_bytes, want_bytes) << label;
+
+      if (kp.site == kFailpointDistMergeConsume) {
+        // The merge crash killed the first coordinator; recovery must have
+        // adopted the already-built artifacts instead of rebuilding.
+        EXPECT_EQ(coordinator_deaths, 1) << label;
+        EXPECT_EQ(finished->stats.artifacts_reused, kPartitions) << label;
+        EXPECT_EQ(finished->stats.attempts_launched, 0) << label;
+      } else {
+        // A worker-path crash is absorbed by the retry loop within one Run.
+        EXPECT_EQ(coordinator_deaths, 0) << label;
+        EXPECT_EQ(finished->stats.attempts_failed, 1) << label;
+      }
+    }
+  }
+  ASSERT_GT(walks, 0);
+  failpoint::Reset();
+}
+
+#else  // !FAIRREC_FAILPOINTS_ENABLED
+
+TEST(KillpointRecoveryTest, DistBuildDiesEverywhereAndStillMatchesTheEngine) {
+  GTEST_SKIP() << "failpoints are compiled away in this build (NDEBUG); the "
+                  "kill-point walk needs an assertion-enabled build";
+}
+
+#endif  // FAIRREC_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace fairrec

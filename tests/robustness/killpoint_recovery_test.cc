@@ -152,7 +152,8 @@ TEST(KillpointRecoveryTest, EveryKillPointRecoversToTheReferenceState) {
   }();
   for (const std::string_view site :
        {kFailpointBlobWriteBegin, kFailpointBlobWriteTorn,
-        kFailpointBlobWriteBeforeRename, kFailpointJournalAppendBegin,
+        kFailpointBlobWriteBeforeRename, kFailpointBlobWriteBeforeDirSync,
+        kFailpointJournalAppendBegin,
         kFailpointJournalAppendTorn, kFailpointJournalAppendBeforeFsync,
         kFailpointDurableApplyAfterJournal, kFailpointDurableCheckpointBegin,
         kFailpointDurableCheckpointBeforeTruncate}) {

@@ -16,6 +16,21 @@
 // `:key=value,...` option tail (e.g. `local-search:max_swaps=50`); the
 // list-selectors command prints the whole zoo with its options.
 //
+// Distributed peer-graph build (src/dist): `build-worker` computes one user
+// partition's PartialPeerArtifact (the subprocess form of the in-process
+// worker — one invocation per partition, any order, any machine sharing the
+// artifact directory), `merge-partials` unions a directory of partials into
+// the peer graph that is byte-identical to the single-process build, and
+// `dist-build` runs the whole failure-aware coordinator in one process:
+//
+//   fairrec_cli build-worker   --ratings FILE --partition I --num-partitions N
+//                              --dir DIR [--attempt N] [--delta X]
+//                              [--max-peers N] [--min-overlap N]
+//   fairrec_cli merge-partials --dir DIR [--out FILE]
+//   fairrec_cli dist-build     --ratings FILE --partitions N --dir DIR
+//                              [--workers N] [--timeout-ms N] [--max-attempts N]
+//                              [--out FILE]
+//
 // Exit status: 0 on success, 1 on usage/runtime errors.
 
 #include <algorithm>
@@ -27,8 +42,11 @@
 #include <vector>
 
 #include "cf/recommender.h"
+#include "common/blob_io.h"
 #include "common/string_util.h"
 #include "core/group_recommender.h"
+#include "dist/coordinator.h"
+#include "dist/partial_artifact.h"
 #include "core/selector_registry.h"
 #include "data/scenario.h"
 #include "eval/table.h"
@@ -88,7 +106,16 @@ int Usage() {
                "                        [--selector NAME[:k=v,...]]\n"
                "                        [--aggregation min|avg|max|median] [--k N] [--delta X]\n"
                "                        [--any-member] [--max-memory-mb N --spill-dir DIR]\n"
-               "  fairrec_cli list-selectors\n");
+               "  fairrec_cli list-selectors\n"
+               "  fairrec_cli build-worker   --ratings FILE --partition I "
+               "--num-partitions N --dir DIR\n"
+               "                             [--attempt N] [--delta X] "
+               "[--max-peers N] [--min-overlap N]\n"
+               "  fairrec_cli merge-partials --dir DIR [--out FILE]\n"
+               "  fairrec_cli dist-build     --ratings FILE --partitions N "
+               "--dir DIR [--workers N]\n"
+               "                             [--timeout-ms N] "
+               "[--max-attempts N] [--out FILE]\n");
   return 1;
 }
 
@@ -351,6 +378,180 @@ int RunGroup(const Args& args) {
   return 0;
 }
 
+/// Shared build knobs of the dist commands. Defaults mirror the `group`
+/// command's peer-graph build (shifted similarities, delta 0.55) so a
+/// distributed build serves the same graph the serial CLI path would.
+DistWorkerOptions DistOptionsFromArgs(const Args& args) {
+  DistWorkerOptions options;
+  options.similarity.shift_to_unit_interval = true;
+  options.similarity.min_overlap =
+      static_cast<int32_t>(args.GetInt("min-overlap", 1));
+  options.peers.delta = args.GetDouble("delta", 0.55);
+  options.peers.max_peers_per_user =
+      static_cast<int32_t>(args.GetInt("max-peers", 0));
+  return options;
+}
+
+/// Commits a merged peer graph as a single-slice artifact (partition 0 of 1),
+/// so `--out` files are themselves admissible inputs to merge-partials.
+int WriteMergedArtifact(const PeerIndex& index,
+                        const PartialArtifactManifest& base,
+                        const std::string& out) {
+  PartialPeerArtifact merged;
+  merged.manifest = base;
+  merged.manifest.partition = MakePartition(0, 1, index.num_users());
+  merged.manifest.attempt = 0;
+  merged.manifest.peers = index.options();
+  merged.rows = index;
+  const Status st = merged.WriteFile(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote merged peer graph to %s\n", out.c_str());
+  return 0;
+}
+
+int RunBuildWorker(const Args& args) {
+  const auto dataset = LoadRatings(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::string dir = args.Get("dir", "");
+  if (dir.empty() || !args.Has("partition") || !args.Has("num-partitions")) {
+    std::fprintf(stderr,
+                 "error: --dir, --partition, and --num-partitions are "
+                 "required\n");
+    return 1;
+  }
+  const auto index = static_cast<int32_t>(args.GetInt("partition", -1));
+  const auto count = static_cast<int32_t>(args.GetInt("num-partitions", 0));
+  const auto attempt = static_cast<int32_t>(args.GetInt("attempt", 0));
+  if (index < 0 || count < 1 || index >= count) {
+    std::fprintf(stderr, "error: need 0 <= --partition < --num-partitions\n");
+    return 1;
+  }
+  const Status dir_st = EnsureDirectory(dir);
+  if (!dir_st.ok()) {
+    std::fprintf(stderr, "error: %s\n", dir_st.ToString().c_str());
+    return 1;
+  }
+  const auto artifact = BuildPartialPeerArtifact(
+      dataset->matrix, MakePartition(index, count, dataset->matrix.num_users()),
+      attempt, DistOptionsFromArgs(args));
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "error: %s\n", artifact.status().ToString().c_str());
+    return 1;
+  }
+  const std::string path = dir + "/" + PartialArtifactFileName(index, attempt);
+  const Status st = artifact->WriteFile(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("partition %d/%d attempt %d: users [%d, %d), %lld peer entries "
+              "-> %s\n",
+              index, count, attempt, artifact->manifest.partition.user_first,
+              artifact->manifest.partition.user_last,
+              static_cast<long long>(artifact->rows.num_entries()),
+              path.c_str());
+  return 0;
+}
+
+int RunMergePartials(const Args& args) {
+  const std::string dir = args.Get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "error: --dir is required\n");
+    return 1;
+  }
+  const auto paths = ListPartialArtifactFiles(dir);
+  if (!paths.ok()) {
+    std::fprintf(stderr, "error: %s\n", paths.status().ToString().c_str());
+    return 1;
+  }
+  if (paths->empty()) {
+    std::fprintf(stderr, "error: no partial artifacts under %s\n", dir.c_str());
+    return 1;
+  }
+  std::vector<PartialPeerArtifact> partials;
+  partials.reserve(paths->size());
+  for (const std::string& path : *paths) {
+    auto artifact = PartialPeerArtifact::ReadFile(path);
+    if (!artifact.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   artifact.status().ToString().c_str());
+      return 1;
+    }
+    partials.push_back(std::move(*artifact));
+  }
+  const auto merged = MergePartialArtifacts(partials);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "error: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  AsciiTable table({"metric", "value"});
+  table.AddRow({"partials merged", std::to_string(partials.size())});
+  table.AddRow(
+      {"partitions", std::to_string(partials.front().manifest.partition.count)});
+  table.AddRow({"users", std::to_string(merged->num_users())});
+  table.AddRow({"peer entries", std::to_string(merged->num_entries())});
+  std::printf("%s", table.ToString().c_str());
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    return WriteMergedArtifact(*merged, partials.front().manifest, out);
+  }
+  return 0;
+}
+
+int RunDistBuild(const Args& args) {
+  const auto dataset = LoadRatings(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  DistBuildOptions options;
+  options.num_partitions = static_cast<int32_t>(args.GetInt("partitions", 0));
+  options.worker_slots = static_cast<size_t>(args.GetInt("workers", 0));
+  options.artifact_dir = args.Get("dir", "");
+  options.worker = DistOptionsFromArgs(args);
+  options.task_timeout_millis = args.GetInt("timeout-ms", 0);
+  options.retry.max_attempts =
+      static_cast<int32_t>(args.GetInt("max-attempts", 4));
+  if (options.num_partitions < 1 || options.artifact_dir.empty()) {
+    std::fprintf(stderr, "error: --partitions and --dir are required\n");
+    return 1;
+  }
+  DistBuildCoordinator coordinator(&dataset->matrix, options);
+  const auto result = coordinator.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  AsciiTable table({"metric", "value"});
+  table.AddRow({"partitions", std::to_string(options.num_partitions)});
+  table.AddRow({"attempts launched",
+                std::to_string(result->stats.attempts_launched)});
+  table.AddRow(
+      {"attempts failed", std::to_string(result->stats.attempts_failed)});
+  table.AddRow({"speculative attempts",
+                std::to_string(result->stats.speculative_attempts)});
+  table.AddRow(
+      {"artifacts reused", std::to_string(result->stats.artifacts_reused)});
+  table.AddRow(
+      {"artifacts rejected", std::to_string(result->stats.artifacts_rejected)});
+  table.AddRow({"peer entries", std::to_string(result->index.num_entries())});
+  std::printf("%s", table.ToString().c_str());
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    PartialArtifactManifest base;
+    base.fingerprint = FingerprintCorpus(dataset->matrix);
+    base.similarity = options.worker.similarity;
+    return WriteMergedArtifact(result->index, base, out);
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -362,6 +563,9 @@ int Main(int argc, char** argv) {
   if (command == "list-selectors" || command == "--list-selectors") {
     return RunListSelectors();
   }
+  if (command == "build-worker") return RunBuildWorker(args);
+  if (command == "merge-partials") return RunMergePartials(args);
+  if (command == "dist-build") return RunDistBuild(args);
   return Usage();
 }
 
